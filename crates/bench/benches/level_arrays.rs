@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark behind **F1**: Algorithm 1 (level-array
+//! construction) across vDataGuide sizes and depths, plus vDataGuide
+//! compilation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vh_core::levels::LevelMap;
+use vh_core::VDataGuide;
+use vh_dataguide::TypedDocument;
+use vh_workload::generate_comb;
+
+fn bench_level_arrays(c: &mut Criterion) {
+    let mut g = c.benchmark_group("level_arrays/build");
+    for &(width, depth) in &[(16usize, 4usize), (64, 4), (64, 16), (256, 16)] {
+        let td = TypedDocument::analyze(generate_comb("comb.xml", width, depth));
+        let vdg = VDataGuide::compile("root { ** }", td.guide()).unwrap();
+        let n = vdg.len();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n}_c{depth}")),
+            &(&vdg, td.guide()),
+            |b, (vdg, guide)| b.iter(|| LevelMap::build(vdg, guide)),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("level_arrays/compile_vdg");
+    for &(width, depth) in &[(64usize, 4usize), (64, 16)] {
+        let td = TypedDocument::analyze(generate_comb("comb.xml", width, depth));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{width}_c{depth}")),
+            &td,
+            |b, td| b.iter(|| VDataGuide::compile("root { ** }", td.guide()).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_level_arrays);
+criterion_main!(benches);

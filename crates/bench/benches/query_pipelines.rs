@@ -1,0 +1,63 @@
+//! Criterion benchmark behind **F3/F4**: the two end-to-end pipelines —
+//! vPBN virtual evaluation vs materialize-and-renumber — on a mid-size
+//! books corpus, plus the FLWR formulations through the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vh_bench::baseline::{run_materialized, run_virtual};
+use vh_dataguide::TypedDocument;
+use vh_query::Engine;
+use vh_workload::queries::{rhonda_flwr, sam_flwr};
+use vh_workload::{generate_books, BooksConfig};
+
+const SPEC: &str = "title { author { name } }";
+const QUERY: &str = "//title[contains(text(), 'RARE')]/author/name";
+
+fn bench_pipelines(c: &mut Criterion) {
+    let cfg = BooksConfig {
+        books: 2_000,
+        rare_fraction: 0.01,
+        ..BooksConfig::default()
+    };
+    let td = TypedDocument::analyze(generate_books("books.xml", &cfg));
+
+    let mut g = c.benchmark_group("pipelines");
+    g.sample_size(20);
+    g.bench_function("virtual_vpbn", |b| {
+        b.iter(|| run_virtual(&td, SPEC, QUERY))
+    });
+    g.bench_function("materialize_renumber", |b| {
+        b.iter(|| run_materialized(&td, SPEC, QUERY))
+    });
+    g.finish();
+
+    // FLWR formulations through the engine (Figures 4 vs 6).
+    let mut e = Engine::new();
+    e.register(generate_books("books.xml", &BooksConfig::sized(500)));
+    let virtual_q = rhonda_flwr("books.xml", SPEC);
+    let sam_q = sam_flwr("books.xml");
+    let mut g = c.benchmark_group("flwr");
+    g.sample_size(20);
+    g.bench_function("rhonda_virtualdoc", |b| {
+        b.iter(|| e.eval(&virtual_q).unwrap())
+    });
+    g.bench_function("nested_sam_then_rhonda", |b| {
+        b.iter(|| {
+            // Materializing pipeline: run Sam, register, run Rhonda.
+            let mut inner = Engine::new();
+            inner.register(generate_books("books.xml", &BooksConfig::sized(500)));
+            let sam_out = inner.eval(&sam_q).unwrap();
+            inner.register(sam_out);
+            inner
+                .eval(
+                    r#"for $t in doc("results")//title
+                       return <result><title>{$t/text()}</title>
+                                      <count>{count($t/author)}</count></result>"#,
+                )
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark behind **A1**: deriving PBN scan ranges from level
+//! arrays (`vh_core::range`) versus filtering every instance of the target
+//! type — the ablation for the index-narrowing design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vh_core::VirtualDocument;
+use vh_dataguide::TypedDocument;
+use vh_workload::{generate_books, BooksConfig};
+
+fn bench_range_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_scan");
+    for &n in &[1_000usize, 10_000] {
+        let td = TypedDocument::analyze(generate_books("b", &BooksConfig::sized(n)));
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let title_vt = vd.vdg().guide().lookup_path(&["title"]).unwrap();
+        let name_vt = vd
+            .vdg()
+            .guide()
+            .lookup_path(&["title", "author", "name"])
+            .unwrap();
+        // A mid-corpus title: its virtual descendants of type name.
+        let title = vd.nodes_of_vtype(title_vt)[n / 2];
+
+        g.bench_with_input(BenchmarkId::new("derived_range", n), &n, |b, _| {
+            b.iter(|| vd.descendants_of_type(title, name_vt).len())
+        });
+        g.bench_with_input(BenchmarkId::new("full_filter", n), &n, |b, _| {
+            b.iter(|| vd.descendants_of_type_filter(title, name_vt).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_range_scan);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark behind **F5**: §6 virtual value assembly — stored
+//! range stitching vs element-wise construction vs plain physical value
+//! lookup (the untransformed lower bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vh_core::value::{virtual_value, virtual_value_constructed};
+use vh_core::VirtualDocument;
+use vh_dataguide::TypedDocument;
+use vh_storage::StoredDocument;
+use vh_workload::{generate_books, BooksConfig};
+
+fn bench_values(c: &mut Criterion) {
+    let mut g = c.benchmark_group("values");
+    for &fanout in &[2usize, 20] {
+        let cfg = BooksConfig {
+            books: 50,
+            max_authors: fanout,
+            rare_fraction: 0.0,
+            seed: 3,
+        };
+        let stored =
+            StoredDocument::build(TypedDocument::analyze(generate_books("b", &cfg)));
+        let td = stored.typed();
+        let vd = VirtualDocument::open(td, "title { author { name } }").unwrap();
+        let root = vd.roots()[0];
+        let book = td.doc().children(td.doc().root().unwrap())[0];
+
+        g.bench_with_input(
+            BenchmarkId::new("stitched", fanout),
+            &(&vd, &stored, root),
+            |b, (vd, stored, root)| b.iter(|| virtual_value(vd, *stored, *root)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("constructed", fanout),
+            &(&vd, &stored, root),
+            |b, (vd, stored, root)| b.iter(|| virtual_value_constructed(vd, *stored, *root)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("physical_lookup", fanout),
+            &(&stored, book),
+            |b, (stored, book)| b.iter(|| stored.value_of(*book).len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_values);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! **F2 — axis-predicate latency: PBN vs vPBN.** The core claim of §5:
+//! every location relationship is decided by comparing numbers, and the
+//! level array adds only a bounded constant factor.
+//!
+//! Method: all (x, y) node pairs of two types from the books corpus are
+//! checked with (a) the physical predicates on raw PBN numbers and (b) the
+//! virtual predicates on vPBN numbers under Sam's transformation. vPBN
+//! references (number + per-type level array + virtual type) are resolved
+//! once outside the timed loop, exactly as a query processor would hold
+//! them in its operators. Reported time is nanoseconds per check.
+
+use std::time::Instant;
+use vh_bench::report::Table;
+use vh_core::vpbn::VPbnRef;
+use vh_core::{axes as vax, VirtualDocument};
+use vh_dataguide::TypedDocument;
+use vh_pbn::{axes as pax, Pbn};
+use vh_workload::{generate_books, BooksConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let books = if full { 400 } else { 150 };
+    let td = TypedDocument::analyze(generate_books(
+        "books.xml",
+        &BooksConfig {
+            books,
+            max_authors: 3,
+            ..BooksConfig::default()
+        },
+    ));
+    let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+
+    let title_vt = vd.vdg().guide().lookup_path(&["title"]).unwrap();
+    let name_vt = vd
+        .vdg()
+        .guide()
+        .lookup_path(&["title", "author", "name"])
+        .unwrap();
+    let titles = vd.nodes_of_vtype(title_vt).to_vec();
+    let names = vd.nodes_of_vtype(name_vt).to_vec();
+
+    // Precomputed physical numbers and vPBN references for every pair.
+    let pbn = td.pbn();
+    let vdr = &vd;
+    let phys_pairs: Vec<(&Pbn, &Pbn)> = titles
+        .iter()
+        .flat_map(|&t| names.iter().map(move |&n| (pbn.pbn_of(t), pbn.pbn_of(n))))
+        .collect();
+    let virt_pairs: Vec<(VPbnRef<'_>, VPbnRef<'_>)> = titles
+        .iter()
+        .flat_map(|&t| {
+            names
+                .iter()
+                .map(move |&n| (vdr.vpbn_of(t).unwrap(), vdr.vpbn_of(n).unwrap()))
+        })
+        .collect();
+    println!(
+        "corpus: {} books, {} titles x {} names = {} pairs\n",
+        books,
+        titles.len(),
+        names.len(),
+        phys_pairs.len()
+    );
+
+    let mut t = Table::new(
+        "F2: per-check latency (ns), physical PBN vs virtual vPBN",
+        &["axis", "pbn_ns", "vpbn_ns", "overhead_x", "pbn_hits", "vpbn_hits"],
+    );
+
+    let vdg = vd.vdg();
+    macro_rules! measure {
+        ($name:expr, $phys:expr, $virt:expr) => {{
+            let (p_ns, p_hits) = time_phys(&phys_pairs, $phys);
+            let (v_ns, v_hits) = time_virt(&virt_pairs, $virt);
+            t.row(&[
+                $name.to_string(),
+                format!("{p_ns:.1}"),
+                format!("{v_ns:.1}"),
+                format!("{:.2}", v_ns / p_ns.max(0.001)),
+                p_hits.to_string(),
+                v_hits.to_string(),
+            ]);
+        }};
+    }
+
+    measure!(
+        "self",
+        pax::is_self,
+        |a, b| vax::v_self(vdg, a, b)
+    );
+    measure!(
+        "ancestor",
+        pax::is_ancestor,
+        |a, b| vax::v_ancestor(vdg, a, b)
+    );
+    measure!(
+        "parent",
+        pax::is_parent,
+        |a, b| vax::v_parent(vdg, a, b)
+    );
+    measure!(
+        "descendant",
+        |a, b| pax::is_descendant(b, a),
+        |a, b| vax::v_descendant(vdg, b, a)
+    );
+    measure!(
+        "child",
+        |a, b| pax::is_child(b, a),
+        |a, b| vax::v_child(vdg, b, a)
+    );
+    measure!(
+        "descendant-or-self",
+        |a, b| pax::is_descendant_or_self(b, a),
+        |a, b| vax::v_descendant_or_self(vdg, b, a)
+    );
+    measure!(
+        "preceding",
+        pax::is_preceding,
+        |a, b| vax::v_preceding(vdg, a, b)
+    );
+    measure!(
+        "following",
+        pax::is_following,
+        |a, b| vax::v_following(vdg, a, b)
+    );
+    measure!(
+        "preceding-sibling",
+        pax::is_preceding_sibling,
+        |a, b| vax::v_preceding_sibling(vdg, a, b)
+    );
+    measure!(
+        "following-sibling",
+        pax::is_following_sibling,
+        |a, b| vax::v_following_sibling(vdg, a, b)
+    );
+    t.print();
+    println!(
+        "note: the physical and virtual predicates answer different questions\n\
+         (original vs transformed hierarchy) — hit counts differ by design;\n\
+         the claim under test is the per-check cost ratio."
+    );
+}
+
+const REPS: usize = 5;
+
+fn time_phys(pairs: &[(&Pbn, &Pbn)], f: impl Fn(&Pbn, &Pbn) -> bool) -> (f64, usize) {
+    let mut hits = 0usize;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        hits = 0;
+        for (a, b) in pairs {
+            if std::hint::black_box(f(a, b)) {
+                hits += 1;
+            }
+        }
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / (REPS * pairs.len()) as f64;
+    (ns, hits)
+}
+
+fn time_virt(
+    pairs: &[(VPbnRef<'_>, VPbnRef<'_>)],
+    f: impl Fn(&VPbnRef<'_>, &VPbnRef<'_>) -> bool,
+) -> (f64, usize) {
+    let mut hits = 0usize;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        hits = 0;
+        for (a, b) in pairs {
+            if std::hint::black_box(f(a, b)) {
+                hits += 1;
+            }
+        }
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / (REPS * pairs.len()) as f64;
+    (ns, hits)
+}

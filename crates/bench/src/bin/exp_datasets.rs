@@ -1,0 +1,67 @@
+//! **T1 — dataset statistics.** Sizes, depths and type counts of the
+//! evaluation corpora, plus their stored footprint (§6's storage model).
+//!
+//! Run with `--full` for the larger sweep used in EXPERIMENTS.md.
+
+use vh_bench::report::Table;
+use vh_dataguide::TypedDocument;
+use vh_storage::StoredDocument;
+use vh_workload::{generate_books, generate_xmark, BooksConfig, XmarkConfig};
+use vh_xml::Document;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let book_sizes: &[usize] = if full {
+        &[100, 1_000, 10_000, 100_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    let xmark_scales: &[f64] = if full {
+        &[0.01, 0.05, 0.1, 0.5]
+    } else {
+        &[0.01, 0.05, 0.1]
+    };
+
+    let mut t = Table::new(
+        "T1: dataset statistics",
+        &[
+            "corpus",
+            "param",
+            "nodes",
+            "elements",
+            "types",
+            "max_depth",
+            "doc_bytes",
+            "index_bytes",
+        ],
+    );
+    for &n in book_sizes {
+        let doc = generate_books("books.xml", &BooksConfig::sized(n));
+        add_row(&mut t, "books", &format!("n={n}"), doc);
+    }
+    for &sf in xmark_scales {
+        let doc = generate_xmark("xmark.xml", &XmarkConfig { scale: sf, seed: 7 });
+        add_row(&mut t, "xmark", &format!("sf={sf}"), doc);
+    }
+    t.print();
+}
+
+fn add_row(t: &mut Table, corpus: &str, param: &str, doc: Document) {
+    let elements = doc.preorder().filter(|&n| doc.kind(n).is_element()).count();
+    let max_depth = doc.preorder().map(|n| doc.depth(n)).max().unwrap_or(0);
+    let td = TypedDocument::analyze(doc);
+    let types = td.guide().len();
+    let nodes = td.doc().len();
+    let stored = StoredDocument::build(td);
+    let st = stored.stats();
+    t.row(&[
+        corpus.into(),
+        param.into(),
+        nodes.to_string(),
+        elements.to_string(),
+        types.to_string(),
+        max_depth.to_string(),
+        st.document_bytes.to_string(),
+        (st.total_bytes() - st.document_bytes).to_string(),
+    ]);
+}

@@ -1,0 +1,50 @@
+//! **F1 — level-array construction cost.** Validates the O(cN) complexity
+//! claim of Algorithm 1 (§5.2): build time grows linearly in the number of
+//! vDataGuide types N, with slope proportional to the maximum depth c.
+//!
+//! Comb documents give exact control: width W branches of depth c yield
+//! N = W·c (+W text types +1 root). The identity vDataGuide covers them all.
+
+use vh_bench::report::Table;
+use vh_bench::timing::{median_time, us};
+use vh_core::levels::LevelMap;
+use vh_core::VDataGuide;
+use vh_dataguide::TypedDocument;
+use vh_workload::generate_comb;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let depths: &[usize] = &[4, 8, 16, 32];
+    let widths: &[usize] = if full {
+        &[4, 16, 64, 256, 1024]
+    } else {
+        &[4, 16, 64, 256]
+    };
+
+    let mut t = Table::new(
+        "F1: level-array construction (Algorithm 1)",
+        &["depth_c", "types_N", "build_us", "us_per_cN(x1e3)"],
+    );
+    for &c in depths {
+        for &w in widths {
+            let td = TypedDocument::analyze(generate_comb("comb.xml", w, c));
+            let vdg =
+                VDataGuide::compile("root { ** }", td.guide()).expect("identity compiles");
+            let n = vdg.len();
+            let (map, d) = median_time(9, || LevelMap::build(&vdg, td.guide()));
+            assert_eq!(map.len(), n);
+            let per_cn = d.as_secs_f64() * 1e6 / (c as f64 * n as f64) * 1e3;
+            t.row(&[
+                c.to_string(),
+                n.to_string(),
+                us(d),
+                format!("{per_cn:.3}"),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "shape check: build_us should grow ~linearly with N at fixed c,\n\
+         and us_per_cN should stay roughly constant across the sweep."
+    );
+}

@@ -1,0 +1,68 @@
+//! **F4 — query time vs selectivity.** §4.3: "our approach is to virtually
+//! transform only the data needed by the query". As the query touches a
+//! growing fraction of the view, the advantage over materialization
+//! narrows; if the materialized view is *reused* across many queries its
+//! amortized cost can eventually win — the crossover this experiment maps.
+
+use vh_bench::baseline::{run_materialized, run_virtual};
+use vh_bench::report::Table;
+use vh_bench::timing::ms;
+use vh_dataguide::TypedDocument;
+use vh_workload::{generate_books, BooksConfig};
+
+const SPEC: &str = "title { author { name } }";
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let books = if full { 20_000 } else { 5_000 };
+    let fractions: &[f64] = &[0.001, 0.01, 0.1, 0.5, 1.0];
+
+    let mut t = Table::new(
+        "F4: selectivity sweep (fixed corpus, query touches a varying share)",
+        &[
+            "rare_frac",
+            "results",
+            "virt_total_ms",
+            "mat_total_ms",
+            "mat_query_only_ms",
+            "speedup_x",
+            "breakeven_reuses",
+        ],
+    );
+    for &f in fractions {
+        let cfg = BooksConfig {
+            books,
+            rare_fraction: f,
+            ..BooksConfig::default()
+        };
+        let td = TypedDocument::analyze(generate_books("books.xml", &cfg));
+        let query = "//title[contains(text(), 'RARE')]/author/name";
+        let (vn, vt) = run_virtual(&td, SPEC, query);
+        let (mn, mt) = run_materialized(&td, SPEC, query);
+        assert_eq!(vn, mn);
+        let speedup = mt.total().as_secs_f64() / vt.total().as_secs_f64().max(1e-12);
+        // How many queries must reuse the materialized view before its
+        // amortized cost beats re-running the virtual query each time?
+        let setup = (mt.transform + mt.renumber + mt.reindex).as_secs_f64();
+        let per_query_gap = vt.total().as_secs_f64() - mt.query.as_secs_f64();
+        let breakeven = if per_query_gap > 0.0 {
+            format!("{:.0}", (setup / per_query_gap).ceil())
+        } else {
+            "never".to_owned()
+        };
+        t.row(&[
+            format!("{f}"),
+            vn.to_string(),
+            ms(vt.total()),
+            ms(mt.total()),
+            ms(mt.query),
+            format!("{speedup:.1}"),
+            breakeven,
+        ]);
+    }
+    t.print();
+    println!(
+        "shape check: speedup_x shrinks as rare_frac -> 1.0 (the query uses\n\
+         the whole view), and breakeven_reuses falls correspondingly."
+    );
+}

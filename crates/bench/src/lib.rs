@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # vh-bench — the experiment harness
+//!
+//! One binary per table/figure of the (reconstructed) evaluation — see
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded results. Criterion micro-benchmarks live under `benches/`.
+//!
+//! * `exp_datasets` — **T1** dataset statistics.
+//! * `exp_levels` — **F1** level-array construction cost (O(cN)).
+//! * `exp_axes` — **F2** axis-predicate latency, PBN vs vPBN.
+//! * `exp_query_scale` — **F3** query time vs document size:
+//!   vPBN vs materialize-and-renumber.
+//! * `exp_selectivity` — **F4** query time vs selectivity (crossover).
+//! * `exp_space` — **T2** space overhead (per-type vs per-node arrays).
+//! * `exp_values` — **F5** virtual value stitching vs construction.
+//! * `exp_sjoin` — **F6** structural joins, physical vs virtual.
+//! * `exp_twig` — **F7** holistic twig joins over virtual hierarchies.
+//! * `exp_io` — **F8** simulated page I/O, virtual vs materialized.
+//! * `exp_update` — **F9** update renumbering vs virtual renumbering (§3).
+//!
+//! The library half hosts the shared pieces: the [`baseline`]
+//! materialize-and-renumber pipeline (§4.3's strawman), [`timing`]
+//! utilities, and [`report`] table formatting.
+
+pub mod baseline;
+pub mod report;
+pub mod timing;

@@ -1,0 +1,68 @@
+//! Minimal wall-clock timing helpers for the experiment binaries.
+//! (Criterion handles the statistical micro-benchmarks; these binaries
+//! print the tables/series of the paper-style reports.)
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once, returning its result and elapsed wall time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs `f` `runs` times and returns the median elapsed time (the last
+/// run's value is returned alongside so results can be sanity-checked).
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(runs >= 1);
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let (v, d) = time(&mut f);
+        times.push(d);
+        last = Some(v);
+    }
+    times.sort();
+    (last.expect("runs >= 1"), times[times.len() / 2])
+}
+
+/// Formats a duration as microseconds with three decimals (stable column
+/// widths in reports).
+pub fn us(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e6)
+}
+
+/// Formats a duration as milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_and_returns() {
+        let (v, d) = time(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn median_over_runs() {
+        let mut calls = 0;
+        let (v, d) = median_time(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(v, 5);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(us(Duration::from_micros(1500)), "1500.000");
+        assert_eq!(ms(Duration::from_millis(2)), "2.000");
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # vh-core — virtual prefix-based numbering (vPBN)
+//!
+//! The primary contribution of *"Querying Virtual Hierarchies using Virtual
+//! Prefix-Based Numbers"* (SIGMOD 2014). A user sketches a **virtual
+//! hierarchy** for existing data with a [`vdg`] specification (a virtual
+//! DataGuide); nothing is moved, renumbered or re-indexed. Instead every
+//! physical PBN number is coupled with a per-*type* **level array**
+//! ([`levels`]) that locates each number component in the virtual numbering
+//! space, and all ten XPath location relationships are decided by comparing
+//! `(number, level array)` pairs ([`axes`]) plus a constant-time type-level
+//! check in the virtual guide.
+//!
+//! Module tour:
+//! * [`vdg`] — the vDataGuide grammar (`label { … }`, `*`, `**`), its parser
+//!   and its expansion against the original DataGuide.
+//! * [`levels`] — Algorithm 1: computing the type → level-array map.
+//! * [`vpbn`] — the [`VPbn`] number type (PBN + level array).
+//! * [`axes`] — the ten virtual location predicates of §5.
+//! * [`order`] — virtual document order and sibling ordinals (§5.1).
+//! * [`range`] — deriving PBN index-scan ranges from level arrays.
+//! * [`vdoc`] — [`VirtualDocument`]: navigation over the virtual hierarchy.
+//! * [`value`] — §6: computing transformed (virtual) node values by
+//!   stitching stored byte ranges.
+//! * [`transform`] — the *materialization baseline*: physically apply a
+//!   vDataGuide and renumber, which is exactly the strategy §4.3 argues is
+//!   too expensive; it doubles as the correctness oracle for the virtual
+//!   predicates.
+
+pub mod axes;
+pub mod levels;
+pub mod order;
+pub mod range;
+pub mod transform;
+pub mod value;
+pub mod vdg;
+pub mod vdoc;
+pub mod vpbn;
+
+pub use levels::LevelArray;
+pub use vdg::{VDataGuide, VdgError, VdgSpec};
+pub use vdoc::VirtualDocument;
+pub use vpbn::VPbn;

@@ -1,0 +1,77 @@
+//! Virtual DataGuides: grammar, parser, and expansion.
+//!
+//! §4.1 gives the specification grammar:
+//!
+//! ```text
+//! S ← label P
+//! P ← { L } | ε
+//! L ← D L | ε
+//! D ← * | ** | label P
+//! ```
+//!
+//! `label` is a (possibly dot-qualified) name of a type in the original
+//! DataGuide; `*` stands for the children of the label's original type that
+//! are not mentioned elsewhere in the vDataGuide (each carried with its
+//! original subtree so its value is preserved); `**` stands for all
+//! descendants, preserving the original hierarchy. The identity
+//! transformation is therefore `data { ** }`.
+//!
+//! Parsing produces a [`VdgSpec`] syntax tree; [`VdgSpec::expand`] binds it
+//! against an original [`vh_dataguide::DataGuide`] to produce a
+//! [`VDataGuide`]: a full virtual type forest in which every virtual type
+//! remembers its original type (`originalTypeOf`).
+
+mod expand;
+mod grammar;
+mod parse;
+
+pub use expand::{VDataGuide, VTypeId};
+pub use grammar::{VdgChild, VdgNode, VdgSpec};
+pub use parse::parse_vdg;
+
+use std::fmt;
+
+/// Errors arising while parsing or expanding a vDataGuide specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VdgError {
+    /// Syntax error in the specification string, with byte offset.
+    Syntax {
+        /// What was wrong.
+        message: String,
+        /// Byte offset in the specification string.
+        offset: usize,
+    },
+    /// A label did not resolve to any type in the original DataGuide.
+    UnknownLabel(String),
+    /// A label resolved to more than one type; it must be qualified.
+    AmbiguousLabel {
+        /// The offending label.
+        label: String,
+        /// Dotted paths of the candidate types.
+        candidates: Vec<String>,
+    },
+    /// The same original type was bound at two places in the virtual
+    /// hierarchy (unsupported: a node must have one virtual location).
+    DuplicateBinding(String),
+}
+
+impl fmt::Display for VdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VdgError::Syntax { message, offset } => {
+                write!(f, "vDataGuide syntax error at byte {offset}: {message}")
+            }
+            VdgError::UnknownLabel(l) => write!(f, "label '{l}' matches no type in the DataGuide"),
+            VdgError::AmbiguousLabel { label, candidates } => write!(
+                f,
+                "label '{label}' is ambiguous; qualify it (candidates: {})",
+                candidates.join(", ")
+            ),
+            VdgError::DuplicateBinding(p) => {
+                write!(f, "type '{p}' is bound at two virtual locations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VdgError {}

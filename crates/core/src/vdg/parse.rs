@@ -1,0 +1,173 @@
+//! Recursive-descent parser for the vDataGuide grammar.
+
+use crate::vdg::grammar::{VdgChild, VdgNode, VdgSpec};
+use crate::vdg::VdgError;
+
+/// Parses a vDataGuide specification string such as
+/// `"title { author { name } }"` or `"data { ** }"`.
+pub fn parse_vdg(input: &str) -> Result<VdgSpec, VdgError> {
+    let mut p = P {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    let mut roots = Vec::new();
+    p.ws();
+    while !p.done() {
+        roots.push(p.node()?);
+        p.ws();
+    }
+    if roots.is_empty() {
+        return Err(p.err("empty specification"));
+    }
+    Ok(VdgSpec { roots })
+}
+
+struct P<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, message: impl Into<String>) -> VdgError {
+        VdgError::Syntax {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n' | b',')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// A label: names joined by dots; names may contain `#` (pseudo-types),
+    /// alphanumerics, `_`, `-`, `:` and non-ASCII.
+    fn label(&mut self) -> Result<String, VdgError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':' | b'#')
+                || b >= 0x80;
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a label"));
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    /// `node ← label ('{' child* '}')?`
+    fn node(&mut self) -> Result<VdgNode, VdgError> {
+        let label = self.label()?;
+        self.ws();
+        let mut children = Vec::new();
+        if self.peek() == Some(b'{') {
+            self.pos += 1;
+            loop {
+                self.ws();
+                match self.peek() {
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(b'*') => {
+                        self.pos += 1;
+                        if self.peek() == Some(b'*') {
+                            self.pos += 1;
+                            children.push(VdgChild::DoubleStar);
+                        } else {
+                            children.push(VdgChild::Star);
+                        }
+                    }
+                    Some(_) => children.push(VdgChild::Node(self.node()?)),
+                    None => return Err(self.err("unterminated '{'")),
+                }
+            }
+        }
+        Ok(VdgNode { label, children })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_specification() {
+        // Figure 6 / §2: "title { author { name } }".
+        let s = parse_vdg("title { author { name } }").unwrap();
+        assert_eq!(s.roots.len(), 1);
+        let title = &s.roots[0];
+        assert_eq!(title.label, "title");
+        assert_eq!(title.children.len(), 1);
+        let VdgChild::Node(author) = &title.children[0] else {
+            panic!("expected node");
+        };
+        assert_eq!(author.label, "author");
+        assert_eq!(author.children.len(), 1);
+    }
+
+    #[test]
+    fn parses_the_identity_specifications() {
+        // §4.1 gives both the expanded identity guide and "data { ** }".
+        let full = parse_vdg(
+            "data { book { title author { name } publisher { location } } }",
+        )
+        .unwrap();
+        assert_eq!(full.roots[0].label, "data");
+        let short = parse_vdg("data { ** }").unwrap();
+        assert_eq!(short.roots[0].children, vec![VdgChild::DoubleStar]);
+    }
+
+    #[test]
+    fn parses_star_and_mixed_children() {
+        let s = parse_vdg("book { title * }").unwrap();
+        assert_eq!(s.roots[0].children.len(), 2);
+        assert_eq!(s.roots[0].children[1], VdgChild::Star);
+    }
+
+    #[test]
+    fn parses_qualified_labels() {
+        let s = parse_vdg("x.z.y { a.b }").unwrap();
+        assert_eq!(s.roots[0].label, "x.z.y");
+    }
+
+    #[test]
+    fn parses_a_forest() {
+        let s = parse_vdg("title { author } publisher").unwrap();
+        assert_eq!(s.roots.len(), 2);
+        assert_eq!(s.roots[1].label, "publisher");
+    }
+
+    #[test]
+    fn commas_are_optional_separators() {
+        let a = parse_vdg("b { x, y, z }").unwrap();
+        let b = parse_vdg("b { x y z }").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn syntax_errors_carry_offsets() {
+        let e = parse_vdg("book {").unwrap_err();
+        assert!(matches!(e, VdgError::Syntax { .. }), "{e}");
+        let e = parse_vdg("").unwrap_err();
+        assert!(matches!(e, VdgError::Syntax { .. }));
+        let e = parse_vdg("{x}").unwrap_err();
+        assert!(matches!(e, VdgError::Syntax { .. }));
+    }
+}

@@ -1,0 +1,483 @@
+//! [`VirtualDocument`]: navigating a document *as if* it had been
+//! transformed, without moving a single node.
+//!
+//! This is the runtime counterpart of the `virtualDoc` function the paper
+//! adds to XQuery: it bundles the original [`TypedDocument`], the compiled
+//! [`VDataGuide`], the level-array map (Algorithm 1), and per-virtual-type
+//! indexes (nodes of each virtual type, sorted by PBN number — the stand-in
+//! for the DBMS type index of §4.3). All navigation is implemented with the
+//! virtual predicates of [`crate::axes`], narrowed by the scan ranges of
+//! [`crate::range`].
+
+use crate::axes;
+use crate::levels::{LevelArray, LevelMap};
+use crate::order::v_cmp;
+use crate::range::related_scan_range;
+use crate::vdg::{VDataGuide, VTypeId, VdgError};
+use crate::vpbn::VPbnRef;
+use vh_dataguide::TypedDocument;
+use vh_pbn::Pbn;
+use vh_xml::NodeId;
+
+/// A virtual view of a typed document under a vDataGuide.
+#[derive(Clone, Debug)]
+pub struct VirtualDocument<'a> {
+    td: &'a TypedDocument,
+    vdg: VDataGuide,
+    levels: LevelMap,
+    /// `by_vtype[vt.index()]` = nodes of virtual type `vt`, PBN-sorted.
+    by_vtype: Vec<Vec<NodeId>>,
+}
+
+impl<'a> VirtualDocument<'a> {
+    /// Compiles `spec` against the document's DataGuide and builds the
+    /// virtual view. This is `virtualDoc(uri, spec)` minus the URI lookup.
+    pub fn open(td: &'a TypedDocument, spec: &str) -> Result<Self, VdgError> {
+        let vdg = VDataGuide::compile(spec, td.guide())?;
+        Ok(Self::with_vdg(td, vdg))
+    }
+
+    /// Builds the virtual view from an already-expanded vDataGuide.
+    pub fn with_vdg(td: &'a TypedDocument, vdg: VDataGuide) -> Self {
+        let levels = LevelMap::build(&vdg, td.guide());
+        Self::with_parts(td, vdg, levels)
+    }
+
+    /// Builds the virtual view from pre-compiled parts (used by engines
+    /// that cache `(vDataGuide, level map)` pairs across queries).
+    pub fn with_parts(td: &'a TypedDocument, vdg: VDataGuide, levels: LevelMap) -> Self {
+        let mut by_vtype: Vec<Vec<NodeId>> = vec![Vec::new(); vdg.len()];
+        // One pass in document order: PBN assignment order is document
+        // order, so each per-type list comes out PBN-sorted for free.
+        for (_, id) in td.pbn().in_document_order() {
+            if let Some(vt) = vdg.vtype_of(td.type_of(*id)) {
+                by_vtype[vt.index()].push(*id);
+            }
+        }
+        VirtualDocument {
+            td,
+            vdg,
+            levels,
+            by_vtype,
+        }
+    }
+
+    /// The underlying typed document.
+    #[inline]
+    pub fn typed(&self) -> &'a TypedDocument {
+        self.td
+    }
+
+    /// The compiled vDataGuide.
+    #[inline]
+    pub fn vdg(&self) -> &VDataGuide {
+        &self.vdg
+    }
+
+    /// The level-array map.
+    #[inline]
+    pub fn levels(&self) -> &LevelMap {
+        &self.levels
+    }
+
+    /// The virtual type of a node, or `None` if the node is not part of
+    /// the virtual hierarchy.
+    #[inline]
+    pub fn vtype_of(&self, id: NodeId) -> Option<VTypeId> {
+        self.vdg.vtype_of(self.td.type_of(id))
+    }
+
+    /// The vPBN number of a node (physical number + type level array).
+    pub fn vpbn_of(&self, id: NodeId) -> Option<VPbnRef<'_>> {
+        let vt = self.vtype_of(id)?;
+        Some(VPbnRef::new(
+            self.td.pbn().pbn_of(id),
+            self.levels.array(vt),
+            vt,
+        ))
+    }
+
+    /// The level array of a virtual type.
+    #[inline]
+    pub fn array(&self, vt: VTypeId) -> &LevelArray {
+        self.levels.array(vt)
+    }
+
+    /// All nodes of a virtual type, in PBN (original document) order.
+    #[inline]
+    pub fn nodes_of_vtype(&self, vt: VTypeId) -> &[NodeId] {
+        &self.by_vtype[vt.index()]
+    }
+
+    /// Total number of nodes visible in the virtual hierarchy.
+    pub fn visible_nodes(&self) -> usize {
+        self.by_vtype.iter().map(Vec::len).sum()
+    }
+
+    /// The virtual roots: instances of the root virtual types, in virtual
+    /// document order.
+    pub fn roots(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .vdg
+            .roots()
+            .iter()
+            .flat_map(|&rt| self.by_vtype[rt.index()].iter().copied())
+            .collect();
+        self.sort_virtual(&mut out);
+        out
+    }
+
+    /// The virtual children of `x`, in virtual document order.
+    pub fn children(&self, x: NodeId) -> Vec<NodeId> {
+        let Some(xv) = self.vpbn_of(x) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &ct in self.vdg.children(xv.vtype) {
+            self.collect_related(&xv, ct, &mut out, |v, cand, ctx| {
+                axes::v_child(v, cand, ctx)
+            });
+        }
+        self.sort_virtual(&mut out);
+        out
+    }
+
+    /// The virtual parent of `x`, if any.
+    pub fn parent(&self, x: NodeId) -> Option<NodeId> {
+        let xv = self.vpbn_of(x)?;
+        let pt = self.vdg.guide().ty(xv.vtype).parent()?;
+        let mut out = Vec::new();
+        self.collect_related(&xv, pt, &mut out, |v, cand, ctx| {
+            axes::v_parent(v, cand, ctx)
+        });
+        // The virtual tree gives every node at most one parent per parent
+        // instance match; joins can produce several (a node appearing under
+        // multiple parents) — return the first in document order.
+        out.into_iter().min_by(|&a, &b| {
+            v_cmp(
+                &self.vdg,
+                &self.vpbn_of(a).expect("candidate is visible"),
+                &self.vpbn_of(b).expect("candidate is visible"),
+            )
+        })
+    }
+
+    /// The virtual descendants of `x` with virtual type `vt`, in virtual
+    /// document order. Uses the type index with a derived scan range.
+    pub fn descendants_of_type(&self, x: NodeId, vt: VTypeId) -> Vec<NodeId> {
+        let Some(xv) = self.vpbn_of(x) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.collect_related(&xv, vt, &mut out, |v, cand, ctx| {
+            axes::v_descendant(v, cand, ctx)
+        });
+        self.sort_virtual(&mut out);
+        out
+    }
+
+    /// Ablation baseline (experiment A1): like [`Self::descendants_of_type`]
+    /// but testing **every** instance of the type instead of deriving a PBN
+    /// scan range from the level arrays.
+    pub fn descendants_of_type_filter(&self, x: NodeId, vt: VTypeId) -> Vec<NodeId> {
+        let Some(xv) = self.vpbn_of(x) else {
+            return Vec::new();
+        };
+        let ta = self.levels.array(vt);
+        let mut out: Vec<NodeId> = self.by_vtype[vt.index()]
+            .iter()
+            .copied()
+            .filter(|&cand| {
+                let cv = VPbnRef::new(self.td.pbn().pbn_of(cand), ta, vt);
+                axes::v_descendant(&self.vdg, &cv, &xv)
+            })
+            .collect();
+        self.sort_virtual(&mut out);
+        out
+    }
+
+    /// All virtual descendants of `x` (any type), in virtual document order.
+    pub fn descendants(&self, x: NodeId) -> Vec<NodeId> {
+        let Some(xv) = self.vpbn_of(x) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for vt in (0..self.vdg.len()).map(VTypeId::from_index) {
+            if vh_dataguide::axes::descendant(self.vdg.guide(), vt, xv.vtype) {
+                self.collect_related(&xv, vt, &mut out, |v, cand, ctx| {
+                    axes::v_descendant(v, cand, ctx)
+                });
+            }
+        }
+        self.sort_virtual(&mut out);
+        out
+    }
+
+    /// The virtual ancestors of `x`, nearest first.
+    pub fn ancestors(&self, x: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(x);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// §5.1: the 1-based sibling ordinal of `x` among its virtual siblings,
+    /// computed dynamically "by queueing the siblings".
+    pub fn sibling_ordinal(&self, x: NodeId) -> Option<usize> {
+        let siblings = match self.parent(x) {
+            Some(p) => self.children(p),
+            None => self.roots(),
+        };
+        siblings.iter().position(|&s| s == x).map(|i| i + 1)
+    }
+
+    /// Checks a virtual axis between two visible nodes.
+    pub fn check<F>(&self, pred: F, x: NodeId, y: NodeId) -> bool
+    where
+        F: Fn(&VDataGuide, &VPbnRef<'_>, &VPbnRef<'_>) -> bool,
+    {
+        match (self.vpbn_of(x), self.vpbn_of(y)) {
+            (Some(xv), Some(yv)) => pred(&self.vdg, &xv, &yv),
+            _ => false,
+        }
+    }
+
+    /// Preorder (virtual document order) traversal of the whole virtual
+    /// forest.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.visible_nodes());
+        let mut stack: Vec<NodeId> = self.roots();
+        stack.reverse();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            let mut kids = self.children(id);
+            kids.reverse();
+            stack.extend(kids);
+        }
+        out
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Collects nodes of type `vt` related to the context `xv` under
+    /// `pred(candidate, context)`, scanning only the derived PBN range of
+    /// the type index.
+    fn collect_related<F>(&self, xv: &VPbnRef<'_>, vt: VTypeId, out: &mut Vec<NodeId>, pred: F)
+    where
+        F: Fn(&VDataGuide, &VPbnRef<'_>, &VPbnRef<'_>) -> bool,
+    {
+        let ta = self.levels.array(vt);
+        let range = related_scan_range(xv, ta);
+        let list = &self.by_vtype[vt.index()];
+        let (start, end) = self.index_range(list, &range.lo, range.hi.as_ref());
+        for &cand in &list[start..end] {
+            let cv = VPbnRef::new(self.td.pbn().pbn_of(cand), ta, vt);
+            if pred(&self.vdg, &cv, xv) {
+                out.push(cand);
+            }
+        }
+    }
+
+    /// Binary-searches a PBN-sorted node list for the sub-range `[lo, hi)`.
+    fn index_range(&self, list: &[NodeId], lo: &Pbn, hi: Option<&Pbn>) -> (usize, usize) {
+        let pbn = self.td.pbn();
+        let start = list.partition_point(|&id| pbn.pbn_of(id) < lo);
+        let end = match hi {
+            Some(hi) => list.partition_point(|&id| pbn.pbn_of(id) < hi),
+            None => list.len(),
+        };
+        (start, end)
+    }
+
+    /// Sorts node ids into virtual document order.
+    fn sort_virtual(&self, ids: &mut [NodeId]) {
+        ids.sort_by(|&a, &b| {
+            v_cmp(
+                &self.vdg,
+                &self.vpbn_of(a).expect("visible"),
+                &self.vpbn_of(b).expect("visible"),
+            )
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vh_xml::builder::paper_figure2;
+
+    fn sam() -> TypedDocument {
+        TypedDocument::analyze(paper_figure2())
+    }
+
+    /// Labels a node for readable assertions: name or text content.
+    fn label(td: &TypedDocument, id: NodeId) -> String {
+        match td.doc().kind(id) {
+            vh_xml::NodeKind::Element { name, .. } => name.clone(),
+            vh_xml::NodeKind::Text(t) => format!("'{t}'"),
+            other => format!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn roots_are_the_titles_in_order() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let roots = vd.roots();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(td.doc().string_value(roots[0]), "X");
+        assert_eq!(td.doc().string_value(roots[1]), "Y");
+    }
+
+    #[test]
+    fn children_of_title_are_text_then_author() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let title1 = vd.roots()[0];
+        let kids = vd.children(title1);
+        let labels: Vec<String> = kids.iter().map(|&k| label(&td, k)).collect();
+        assert_eq!(labels, vec!["'X'", "author"]);
+        // The author is book 1's author, not book 2's.
+        let author = kids[1];
+        assert_eq!(td.doc().string_value(author), "C");
+    }
+
+    #[test]
+    fn parent_inverts_children() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        for root in vd.roots() {
+            assert_eq!(vd.parent(root), None);
+            for c in vd.children(root) {
+                assert_eq!(vd.parent(c), Some(root), "child {}", label(&td, c));
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_is_figure3_order() {
+        // Figure 3: title1 (X, author1(name C)), title2 (Y, author2(name D)).
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let order: Vec<String> = vd.preorder().iter().map(|&n| label(&td, n)).collect();
+        assert_eq!(
+            order,
+            vec![
+                "title", "'X'", "author", "name", "'C'", //
+                "title", "'Y'", "author", "name", "'D'",
+            ]
+        );
+        assert_eq!(vd.visible_nodes(), 10);
+    }
+
+    #[test]
+    fn descendants_of_type_scans_one_book() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let name_vt = vd
+            .vdg()
+            .guide()
+            .lookup_path(&["title", "author", "name"])
+            .unwrap();
+        let title1 = vd.roots()[0];
+        let names = vd.descendants_of_type(title1, name_vt);
+        assert_eq!(names.len(), 1);
+        assert_eq!(td.doc().string_value(names[0]), "C");
+    }
+
+    #[test]
+    fn inversion_navigation() {
+        // title { name { author } }: author hangs below name.
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { name { author } }").unwrap();
+        let title1 = vd.roots()[0];
+        let kids = vd.children(title1);
+        // title's children: its text X and name.
+        let labels: Vec<String> = kids.iter().map(|&k| label(&td, k)).collect();
+        assert_eq!(labels, vec!["'X'", "name"]);
+        let name1 = kids[1];
+        let name_kids = vd.children(name1);
+        let labels: Vec<String> = name_kids.iter().map(|&k| label(&td, k)).collect();
+        // name keeps its text and gains author as a virtual child; the
+        // prefix-holder author (1.1.2 vs text 1.1.2.1.1) sorts first.
+        assert_eq!(labels, vec!["author", "'C'"]);
+        let author1 = name_kids[0];
+        assert_eq!(vd.parent(author1), Some(name1));
+        // author has no children in this virtual hierarchy (its original
+        // child, name, is re-rooted above it).
+        assert!(vd.children(author1).is_empty());
+    }
+
+    #[test]
+    fn ancestors_climb_to_the_root() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let name_vt = vd
+            .vdg()
+            .guide()
+            .lookup_path(&["title", "author", "name"])
+            .unwrap();
+        let title1 = vd.roots()[0];
+        let name1 = vd.descendants_of_type(title1, name_vt)[0];
+        let anc: Vec<String> = vd.ancestors(name1).iter().map(|&a| label(&td, a)).collect();
+        assert_eq!(anc, vec!["author", "title"]);
+    }
+
+    #[test]
+    fn sibling_ordinals_computed_dynamically() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let roots = vd.roots();
+        assert_eq!(vd.sibling_ordinal(roots[0]), Some(1));
+        assert_eq!(vd.sibling_ordinal(roots[1]), Some(2));
+        let kids = vd.children(roots[0]);
+        assert_eq!(vd.sibling_ordinal(kids[0]), Some(1));
+        assert_eq!(vd.sibling_ordinal(kids[1]), Some(2));
+    }
+
+    #[test]
+    fn invisible_nodes_have_no_virtual_presence() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        // publisher is not part of the virtual hierarchy.
+        let root = td.doc().root().unwrap();
+        let book1 = td.doc().children(root)[0];
+        let publisher = td.doc().children(book1)[2];
+        assert_eq!(vd.vtype_of(publisher), None);
+        assert!(vd.vpbn_of(publisher).is_none());
+        assert!(vd.children(publisher).is_empty());
+        assert_eq!(vd.parent(publisher), None);
+    }
+
+    #[test]
+    fn identity_view_mirrors_the_document() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "data { ** }").unwrap();
+        assert_eq!(vd.visible_nodes(), td.doc().len());
+        let phys: Vec<NodeId> = td.doc().preorder().collect();
+        assert_eq!(vd.preorder(), phys);
+        for id in td.doc().preorder() {
+            assert_eq!(vd.parent(id), td.doc().parent(id), "parent of {}", label(&td, id));
+            assert_eq!(
+                vd.children(id),
+                td.doc().children(id).to_vec(),
+                "children of {}",
+                label(&td, id)
+            );
+        }
+    }
+
+    #[test]
+    fn axis_check_helper() {
+        let td = sam();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let title1 = vd.roots()[0];
+        let author1 = vd.children(title1)[1];
+        assert!(vd.check(crate::axes::v_child, author1, title1));
+        assert!(vd.check(crate::axes::v_parent, title1, author1));
+        assert!(!vd.check(crate::axes::v_child, title1, author1));
+    }
+}

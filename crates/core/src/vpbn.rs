@@ -1,0 +1,152 @@
+//! The vPBN number: a physical PBN number coupled with a level array.
+//!
+//! §5: "Virtual PBN maps each PBN number to a virtual PBN number (vPBN
+//! number). A vPBN number is like a PBN number, but adds a level array."
+//! The physical number is *never* changed; the level array is shared by all
+//! nodes of a virtual type, so the borrowed view [`VPbnRef`] is what query
+//! processing actually passes around (the paper: "the level arrays do not
+//! have to be stored with the numbers since the level array can be stored
+//! with each type").
+
+use crate::levels::LevelArray;
+use crate::vdg::VTypeId;
+use std::fmt;
+use vh_pbn::Pbn;
+
+/// An owned vPBN number (number + level array + virtual type).
+///
+/// Owned values are convenient for tests and APIs that outlive the borrow;
+/// hot paths use [`VPbnRef`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VPbn {
+    /// The physical PBN number (unchanged from the original document).
+    pub pbn: Pbn,
+    /// The level array of the node's virtual type.
+    pub levels: LevelArray,
+    /// The node's virtual type.
+    pub vtype: VTypeId,
+}
+
+impl VPbn {
+    /// Creates an owned vPBN number.
+    pub fn new(pbn: Pbn, levels: LevelArray, vtype: VTypeId) -> Self {
+        VPbn { pbn, levels, vtype }
+    }
+
+    /// Borrowed view for predicate evaluation.
+    #[inline]
+    pub fn as_ref(&self) -> VPbnRef<'_> {
+        VPbnRef {
+            n: self.pbn.components(),
+            a: self.levels.levels(),
+            vtype: self.vtype,
+        }
+    }
+
+    /// The node's virtual level (`max(xa)`).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.levels.max_level()
+    }
+}
+
+impl fmt::Debug for VPbn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.pbn, self.levels)
+    }
+}
+
+/// A borrowed vPBN number: the components of the physical number, the level
+/// array of the node's type, and the virtual type itself.
+#[derive(Clone, Copy, Debug)]
+pub struct VPbnRef<'a> {
+    /// PBN components (`xn` in the paper's notation).
+    pub n: &'a [u32],
+    /// Level array (`xa`). For case-2 types, one longer than `n`.
+    pub a: &'a [u32],
+    /// The virtual type of the node (for the type-level side conditions).
+    pub vtype: VTypeId,
+}
+
+impl<'a> VPbnRef<'a> {
+    /// Builds a borrowed vPBN from parts.
+    #[inline]
+    pub fn new(n: &'a Pbn, a: &'a LevelArray, vtype: VTypeId) -> Self {
+        VPbnRef {
+            n: n.components(),
+            a: a.levels(),
+            vtype,
+        }
+    }
+
+    /// `max(xa)`: the virtual level of the node. Level arrays are
+    /// non-decreasing, so the last entry is the maximum.
+    #[inline]
+    pub fn level(&self) -> u32 {
+        *self.a.last().expect("level arrays are never empty")
+    }
+
+    /// Number of positions safely comparable with another vPBN: positions
+    /// must exist in both the number and the array on both sides.
+    #[inline]
+    pub fn comparable_len(&self, other: &VPbnRef<'_>) -> usize {
+        self.n
+            .len()
+            .min(self.a.len())
+            .min(other.n.len())
+            .min(other.a.len())
+    }
+
+    /// The number-level *compatibility* core shared by every vertical
+    /// virtual predicate (§5): at every position present in both numbers,
+    /// matching levels imply matching components. Two nodes standing in any
+    /// virtual ancestor/descendant relationship are always compatible;
+    /// nodes from divergent subtrees are not.
+    #[inline]
+    pub fn compatible_with(&self, other: &VPbnRef<'_>) -> bool {
+        let m = self.comparable_len(other);
+        for i in 0..m {
+            if self.a[i] == other.a[i] && self.n[i] != other.n[i] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vh_pbn::pbn;
+
+    #[test]
+    fn owned_and_borrowed_views_agree() {
+        let v = VPbn::new(
+            pbn![1, 1, 2],
+            LevelArray::new(vec![1, 1, 2]),
+            VTypeId::from_index(3),
+        );
+        let r = v.as_ref();
+        assert_eq!(r.n, &[1, 1, 2]);
+        assert_eq!(r.a, &[1, 1, 2]);
+        assert_eq!(r.level(), 2);
+        assert_eq!(v.level(), 2);
+        assert_eq!(r.vtype, VTypeId::from_index(3));
+    }
+
+    #[test]
+    fn comparable_len_respects_case2_arrays() {
+        // Case-2 node: number 1.1.2 with array [1,1,2,3].
+        let x = VPbn::new(
+            pbn![1, 1, 2],
+            LevelArray::new(vec![1, 1, 2, 3]),
+            VTypeId::from_index(0),
+        );
+        let y = VPbn::new(
+            pbn![1, 1, 2, 1],
+            LevelArray::new(vec![1, 1, 2, 2]),
+            VTypeId::from_index(1),
+        );
+        assert_eq!(x.as_ref().comparable_len(&y.as_ref()), 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Location relationships **between types** in a DataGuide.
+//!
+//! Every virtual predicate of §5 carries a type-level side condition — e.g.
+//! `vAncestor(x, y)` additionally requires
+//! `ancestor(typeOf(V,x), typeOf(V,y))` in the vDataGuide. Since the guide's
+//! types are themselves PBN-numbered, these checks reuse `vh_pbn::axes`
+//! directly, which is exactly the implementation strategy §5 prescribes.
+
+use crate::guide::DataGuide;
+use crate::types::TypeId;
+use vh_pbn::axes as pbn_axes;
+
+/// x is the same type as y.
+#[inline]
+pub fn self_type(_g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    x == y
+}
+
+/// x is a proper ancestor type of y.
+#[inline]
+pub fn ancestor(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    pbn_axes::is_ancestor(g.ty(x).pbn(), g.ty(y).pbn())
+}
+
+/// x is the parent type of y.
+#[inline]
+pub fn parent(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    g.ty(y).parent() == Some(x)
+}
+
+/// x is a proper descendant type of y.
+#[inline]
+pub fn descendant(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    ancestor(g, y, x)
+}
+
+/// x is a child type of y.
+#[inline]
+pub fn child(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    parent(g, y, x)
+}
+
+/// x is y or a descendant type of y.
+#[inline]
+pub fn descendant_or_self(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    x == y || descendant(g, x, y)
+}
+
+/// x and y are sibling types (same parent type) — used by the virtual
+/// sibling predicates. Two root types of the forest also count as siblings.
+#[inline]
+pub fn sibling(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    x != y && g.ty(x).parent() == g.ty(y).parent()
+}
+
+/// x precedes y in the guide's document order (and is not an ancestor).
+#[inline]
+pub fn preceding(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    pbn_axes::is_preceding(g.ty(x).pbn(), g.ty(y).pbn())
+}
+
+/// x follows y in the guide's document order (and is not a descendant).
+#[inline]
+pub fn following(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    pbn_axes::is_following(g.ty(x).pbn(), g.ty(y).pbn())
+}
+
+/// x is a preceding sibling type of y.
+#[inline]
+pub fn preceding_sibling(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    sibling(g, x, y) && preceding(g, x, y)
+}
+
+/// x is a following sibling type of y.
+#[inline]
+pub fn following_sibling(g: &DataGuide, x: TypeId, y: TypeId) -> bool {
+    sibling(g, x, y) && following(g, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vh_xml::builder::paper_figure2;
+
+    fn guide() -> (DataGuide, TypeId, TypeId, TypeId, TypeId) {
+        let (g, _) = DataGuide::from_document(&paper_figure2());
+        let book = g.lookup_path(&["data", "book"]).unwrap();
+        let title = g.lookup_path(&["data", "book", "title"]).unwrap();
+        let author = g.lookup_path(&["data", "book", "author"]).unwrap();
+        let name = g.lookup_path(&["data", "book", "author", "name"]).unwrap();
+        (g, book, title, author, name)
+    }
+
+    #[test]
+    fn vertical_axes() {
+        let (g, book, title, author, name) = guide();
+        assert!(ancestor(&g, book, name));
+        assert!(parent(&g, author, name));
+        assert!(!parent(&g, book, name));
+        assert!(child(&g, name, author));
+        assert!(descendant(&g, name, book));
+        assert!(descendant_or_self(&g, title, title));
+        assert!(!descendant(&g, title, title));
+        assert!(!ancestor(&g, title, author));
+    }
+
+    #[test]
+    fn horizontal_axes() {
+        let (g, _book, title, author, name) = guide();
+        assert!(sibling(&g, title, author));
+        assert!(preceding_sibling(&g, title, author));
+        assert!(following_sibling(&g, author, title));
+        assert!(!sibling(&g, title, name));
+        assert!(preceding(&g, title, name), "title precedes author.name");
+        assert!(following(&g, name, title));
+    }
+
+    #[test]
+    fn self_is_reflexive_only() {
+        let (g, book, title, ..) = guide();
+        assert!(self_type(&g, book, book));
+        assert!(!self_type(&g, book, title));
+    }
+}

@@ -1,0 +1,340 @@
+//! The [`DataGuide`] itself: the type forest and the paper's helper
+//! functions (`roots`, `name`, `lcaTypeOf`, `length`, path lookups).
+
+use crate::types::{Type, TypeId, TEXT_TYPE_NAME};
+use std::collections::HashMap;
+use vh_pbn::Pbn;
+
+/// A structural summary: the forest of distinct root-to-node name paths of
+/// a document (or set of documents sharing a URI).
+///
+/// Types are created through [`DataGuide::intern_root`] /
+/// [`DataGuide::intern_child`], which de-duplicate by `(parent, name)` — the
+/// defining property of a strong DataGuide.
+#[derive(Clone, Debug, Default)]
+pub struct DataGuide {
+    uri: String,
+    types: Vec<Type>,
+    roots: Vec<TypeId>,
+    /// `(parent, name) → type` interning map. Roots use `None`.
+    interned: HashMap<(Option<TypeId>, String), TypeId>,
+}
+
+impl DataGuide {
+    /// Creates an empty guide for the given document URI.
+    pub fn new(uri: impl Into<String>) -> Self {
+        DataGuide {
+            uri: uri.into(),
+            ..DataGuide::default()
+        }
+    }
+
+    /// The document URI this guide describes. Per §4.1 the URI is part of
+    /// every type, so guides with different URIs share no types.
+    #[inline]
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// Number of types in the guide.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True if the guide has no types.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// The root types (`roots(S)` in the paper).
+    #[inline]
+    pub fn roots(&self) -> &[TypeId] {
+        &self.roots
+    }
+
+    /// Accesses a type record.
+    #[inline]
+    pub fn ty(&self, id: TypeId) -> &Type {
+        &self.types[id.index()]
+    }
+
+    /// The local name of a type (`name(S, v)`).
+    #[inline]
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.types[id.index()].name
+    }
+
+    /// Path length of a type (`length(S, v)`).
+    #[inline]
+    pub fn length(&self, id: TypeId) -> usize {
+        self.types[id.index()].length
+    }
+
+    /// Iterator over all type ids.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.types.len()).map(TypeId::from_index)
+    }
+
+    /// Interns (or retrieves) a root type with the given name.
+    pub fn intern_root(&mut self, name: &str) -> TypeId {
+        if let Some(&id) = self.interned.get(&(None, name.to_owned())) {
+            return id;
+        }
+        let ordinal = self.roots.len() as u32 + 1;
+        let id = TypeId::from_index(self.types.len());
+        self.types.push(Type {
+            name: name.to_owned(),
+            parent: None,
+            children: Vec::new(),
+            length: 1,
+            pbn: Pbn::new(vec![ordinal]),
+        });
+        self.roots.push(id);
+        self.interned.insert((None, name.to_owned()), id);
+        id
+    }
+
+    /// Interns (or retrieves) the child type `name` under `parent`.
+    pub fn intern_child(&mut self, parent: TypeId, name: &str) -> TypeId {
+        if let Some(&id) = self.interned.get(&(Some(parent), name.to_owned())) {
+            return id;
+        }
+        let id = TypeId::from_index(self.types.len());
+        let (length, pbn) = {
+            let p = &self.types[parent.index()];
+            (p.length + 1, p.pbn.child(p.children.len() as u32 + 1))
+        };
+        self.types.push(Type {
+            name: name.to_owned(),
+            parent: Some(parent),
+            children: Vec::new(),
+            length,
+            pbn,
+        });
+        self.types[parent.index()].children.push(id);
+        self.interned.insert((Some(parent), name.to_owned()), id);
+        id
+    }
+
+    /// Looks up the child type `name` under `parent` without interning.
+    pub fn child_named(&self, parent: TypeId, name: &str) -> Option<TypeId> {
+        self.ty(parent)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.name(c) == name)
+    }
+
+    /// Looks up a root type by name without interning.
+    pub fn root_named(&self, name: &str) -> Option<TypeId> {
+        self.roots.iter().copied().find(|&r| self.name(r) == name)
+    }
+
+    /// The full name path of a type, root first (`typeOf` in path form).
+    pub fn path(&self, id: TypeId) -> Vec<&str> {
+        let mut names = Vec::with_capacity(self.length(id));
+        let mut cur = Some(id);
+        while let Some(t) = cur {
+            names.push(self.name(t));
+            cur = self.ty(t).parent;
+        }
+        names.reverse();
+        names
+    }
+
+    /// Dotted path string, e.g. `data.book.author`.
+    pub fn path_string(&self, id: TypeId) -> String {
+        self.path(id).join(".")
+    }
+
+    /// Resolves an exact path of names, root first.
+    pub fn lookup_path(&self, names: &[&str]) -> Option<TypeId> {
+        let mut cur = self.root_named(names.first()?)?;
+        for name in &names[1..] {
+            cur = self.child_named(cur, name)?;
+        }
+        Some(cur)
+    }
+
+    /// All types whose path *ends with* the given (dot-separated) label.
+    ///
+    /// §4.1: a vDataGuide label "can be fully qualified to disambiguate and
+    /// uniquely name a type, e.g., `x.y` specifies a different type than
+    /// `x.z.y`". A bare name matches every type with that local name; a
+    /// dotted label matches by path suffix.
+    pub fn resolve_label(&self, label: &str) -> Vec<TypeId> {
+        let parts: Vec<&str> = label.split('.').collect();
+        self.type_ids()
+            .filter(|&t| self.path_ends_with(t, &parts))
+            .collect()
+    }
+
+    fn path_ends_with(&self, t: TypeId, suffix: &[&str]) -> bool {
+        let mut cur = Some(t);
+        for name in suffix.iter().rev() {
+            match cur {
+                Some(ty) if self.name(ty) == *name => cur = self.ty(ty).parent,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// The lowest common ancestor type (`lcaTypeOf(S, v, w)`), or `None`
+    /// when the types live in different trees of the forest.
+    ///
+    /// Implemented by comparing the guide-internal PBN numbers: the lca is
+    /// the type at the shared prefix (§5.2: "the least common ancestor type
+    /// can be computed by finding the shared prefix in a pair of PBN
+    /// numbers"), giving O(c) time.
+    pub fn lca(&self, a: TypeId, b: TypeId) -> Option<TypeId> {
+        let (pa, pb) = (self.ty(a).pbn(), self.ty(b).pbn());
+        let shared = pa.common_prefix_len(pb);
+        if shared == 0 {
+            return None;
+        }
+        // Walk up from the shallower side to the shared depth.
+        let mut cur = if self.length(a) <= self.length(b) { a } else { b };
+        while self.ty(cur).pbn().len() > shared {
+            cur = self.ty(cur).parent.expect("non-root has a parent");
+        }
+        Some(cur)
+    }
+
+    /// True if `anc` is a proper ancestor of `t` in the guide.
+    pub fn is_ancestor(&self, anc: TypeId, t: TypeId) -> bool {
+        self.ty(anc).pbn().is_strict_prefix_of(self.ty(t).pbn())
+    }
+
+    /// The text pseudo-type under `parent`, if the data has one.
+    pub fn text_child(&self, parent: TypeId) -> Option<TypeId> {
+        self.child_named(parent, TEXT_TYPE_NAME)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure 7(a) guide by hand:
+    /// data { book { title {◦} author { name {◦} } publisher { location {◦} } } }
+    fn figure7a() -> (DataGuide, HashMap<String, TypeId>) {
+        let mut g = DataGuide::new("book.xml");
+        let mut m = HashMap::new();
+        let data = g.intern_root("data");
+        let book = g.intern_child(data, "book");
+        let title = g.intern_child(book, "title");
+        let title_t = g.intern_child(title, TEXT_TYPE_NAME);
+        let author = g.intern_child(book, "author");
+        let name = g.intern_child(author, "name");
+        let name_t = g.intern_child(name, TEXT_TYPE_NAME);
+        let publisher = g.intern_child(book, "publisher");
+        let location = g.intern_child(publisher, "location");
+        let loc_t = g.intern_child(location, TEXT_TYPE_NAME);
+        for (k, v) in [
+            ("data", data),
+            ("book", book),
+            ("title", title),
+            ("title#", title_t),
+            ("author", author),
+            ("name", name),
+            ("name#", name_t),
+            ("publisher", publisher),
+            ("location", location),
+            ("location#", loc_t),
+        ] {
+            m.insert(k.to_owned(), v);
+        }
+        (g, m)
+    }
+
+    #[test]
+    fn interning_dedups_by_parent_and_name() {
+        let mut g = DataGuide::new("u");
+        let r = g.intern_root("data");
+        let b1 = g.intern_child(r, "book");
+        let b2 = g.intern_child(r, "book");
+        assert_eq!(b1, b2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.intern_root("data"), r);
+    }
+
+    #[test]
+    fn paths_and_lengths_match_the_paper() {
+        let (g, m) = figure7a();
+        // §4.1: "the typeOf author ... originalTypeOf is data.book.author";
+        // length of title.author in the virtual guide is 2, of
+        // data.book.author here is 3.
+        assert_eq!(g.path_string(m["author"]), "data.book.author");
+        assert_eq!(g.length(m["author"]), 3);
+        assert_eq!(g.path_string(m["name"]), "data.book.author.name");
+        assert_eq!(g.length(m["name"]), 4);
+    }
+
+    #[test]
+    fn lca_matches_worked_examples() {
+        let (g, m) = figure7a();
+        // §5.2 case 3 example: lca of title and author is book.
+        assert_eq!(g.lca(m["title"], m["author"]), Some(m["book"]));
+        // §5.2 case 2 example: lca of name and title is book.
+        assert_eq!(g.lca(m["name"], m["title"]), Some(m["book"]));
+        // lca with an ancestor is the ancestor itself.
+        assert_eq!(g.lca(m["name"], m["author"]), Some(m["author"]));
+        assert_eq!(g.lca(m["book"], m["book"]), Some(m["book"]));
+    }
+
+    #[test]
+    fn lca_across_forest_roots_is_none() {
+        let mut g = DataGuide::new("u");
+        let a = g.intern_root("a");
+        let b = g.intern_root("b");
+        let a1 = g.intern_child(a, "x");
+        assert_eq!(g.lca(a1, b), None);
+    }
+
+    #[test]
+    fn label_resolution_by_suffix() {
+        let (g, m) = figure7a();
+        assert_eq!(g.resolve_label("author"), vec![m["author"]]);
+        assert_eq!(g.resolve_label("book.author"), vec![m["author"]]);
+        assert_eq!(g.resolve_label("data.book.author"), vec![m["author"]]);
+        assert!(g.resolve_label("nosuch").is_empty());
+        assert!(g.resolve_label("title.author").is_empty());
+    }
+
+    #[test]
+    fn label_resolution_disambiguates_homonyms() {
+        // x.y vs x.z.y — the paper's own qualification example.
+        let mut g = DataGuide::new("u");
+        let x = g.intern_root("x");
+        let y1 = g.intern_child(x, "y");
+        let z = g.intern_child(x, "z");
+        let y2 = g.intern_child(z, "y");
+        let both = g.resolve_label("y");
+        assert_eq!(both.len(), 2);
+        assert_eq!(g.resolve_label("x.y"), vec![y1]);
+        assert_eq!(g.resolve_label("z.y"), vec![y2]);
+    }
+
+    #[test]
+    fn guide_pbn_numbers_are_assigned_in_child_order() {
+        let (g, m) = figure7a();
+        use vh_pbn::pbn;
+        assert_eq!(g.ty(m["data"]).pbn(), &pbn![1]);
+        assert_eq!(g.ty(m["book"]).pbn(), &pbn![1, 1]);
+        assert_eq!(g.ty(m["title"]).pbn(), &pbn![1, 1, 1]);
+        assert_eq!(g.ty(m["author"]).pbn(), &pbn![1, 1, 2]);
+        assert_eq!(g.ty(m["publisher"]).pbn(), &pbn![1, 1, 3]);
+        assert!(g.is_ancestor(m["book"], m["name"]));
+        assert!(!g.is_ancestor(m["name"], m["book"]));
+    }
+
+    #[test]
+    fn text_child_lookup() {
+        let (g, m) = figure7a();
+        assert_eq!(g.text_child(m["title"]), Some(m["title#"]));
+        assert_eq!(g.text_child(m["book"]), None);
+    }
+}

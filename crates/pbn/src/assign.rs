@@ -1,0 +1,165 @@
+//! Assigning PBN numbers to every node of a document.
+//!
+//! The assignment is the bridge between the tree model (`vh-xml`) and the
+//! numbering space: `by_node` maps a [`NodeId`] to its number in O(1), and a
+//! sorted `(Pbn, NodeId)` table answers the reverse lookup in O(log n).
+//! Comments and processing instructions are numbered like any other child,
+//! exactly as a PBN-based DBMS would.
+
+use crate::number::Pbn;
+use vh_xml::{Document, NodeId};
+
+/// The PBN numbering of a document.
+#[derive(Clone, Debug)]
+pub struct PbnAssignment {
+    /// `by_node[id.index()]` is the number of node `id`.
+    by_node: Vec<Pbn>,
+    /// `(number, node)` pairs sorted by number (document order).
+    sorted: Vec<(Pbn, NodeId)>,
+}
+
+impl PbnAssignment {
+    /// Numbers every node of `doc` (root = `1`, k-th child appends `.k`).
+    pub fn assign(doc: &Document) -> Self {
+        let mut by_node = vec![Pbn::empty(); doc.len()];
+        let mut sorted = Vec::with_capacity(doc.len());
+        if let Some(root) = doc.root() {
+            // Iterative preorder carrying the parent's number.
+            let mut stack: Vec<(NodeId, Pbn)> = vec![(root, Pbn::root())];
+            while let Some((id, num)) = stack.pop() {
+                by_node[id.index()] = num.clone();
+                sorted.push((num.clone(), id));
+                for (i, &c) in doc.children(id).iter().enumerate().rev() {
+                    stack.push((c, num.child(i as u32 + 1)));
+                }
+            }
+        }
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        PbnAssignment { by_node, sorted }
+    }
+
+    /// The number of a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to the assigned document.
+    #[inline]
+    pub fn pbn_of(&self, id: NodeId) -> &Pbn {
+        &self.by_node[id.index()]
+    }
+
+    /// The raw per-node entry, or `None` for ids past the end of this
+    /// assignment (nodes created after it was built). Unreachable nodes
+    /// keep the empty number.
+    #[inline]
+    pub fn by_node_checked(&self, id: NodeId) -> Option<&Pbn> {
+        self.by_node.get(id.index())
+    }
+
+    /// The node with the given number, if any.
+    pub fn node_of(&self, pbn: &Pbn) -> Option<NodeId> {
+        self.sorted
+            .binary_search_by(|(p, _)| p.cmp(pbn))
+            .ok()
+            .map(|i| self.sorted[i].1)
+    }
+
+    /// All `(number, node)` pairs in document order.
+    #[inline]
+    pub fn in_document_order(&self) -> &[(Pbn, NodeId)] {
+        &self.sorted
+    }
+
+    /// Number of assigned nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no nodes were assigned (empty document).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The nodes whose numbers fall in the half-open interval `[lo, hi)` in
+    /// document order — the primitive behind subtree scans.
+    pub fn range(&self, lo: &Pbn, hi: &Pbn) -> &[(Pbn, NodeId)] {
+        let start = self.sorted.partition_point(|(p, _)| p < lo);
+        let end = self.sorted.partition_point(|(p, _)| p < hi);
+        &self.sorted[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbn;
+    use vh_xml::builder::paper_figure2;
+
+    #[test]
+    fn figure8_numbers_match_the_paper() {
+        // Figure 8 gives the PBN numbers for the Figure 2 instance.
+        let doc = paper_figure2();
+        let a = PbnAssignment::assign(&doc);
+        let root = doc.root().unwrap();
+        assert_eq!(a.pbn_of(root), &pbn![1]);
+
+        let book1 = doc.children(root)[0];
+        let book2 = doc.children(root)[1];
+        assert_eq!(a.pbn_of(book1), &pbn![1, 1]);
+        assert_eq!(a.pbn_of(book2), &pbn![1, 2]);
+
+        // book2's children: title 1.2.1, author 1.2.2, publisher 1.2.3.
+        let kids = doc.children(book2);
+        assert_eq!(a.pbn_of(kids[0]), &pbn![1, 2, 1]);
+        assert_eq!(a.pbn_of(kids[1]), &pbn![1, 2, 2]);
+        assert_eq!(a.pbn_of(kids[2]), &pbn![1, 2, 3]);
+
+        // name under author 1.2.2 is 1.2.2.1; its text D is 1.2.2.1.1.
+        let author2 = kids[1];
+        let name2 = doc.children(author2)[0];
+        let d_text = doc.children(name2)[0];
+        assert_eq!(a.pbn_of(name2), &pbn![1, 2, 2, 1]);
+        assert_eq!(a.pbn_of(d_text), &pbn![1, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn node_lookup_round_trips() {
+        let doc = paper_figure2();
+        let a = PbnAssignment::assign(&doc);
+        for id in doc.preorder() {
+            let p = a.pbn_of(id);
+            assert_eq!(a.node_of(p), Some(id));
+        }
+        assert_eq!(a.node_of(&pbn![9, 9]), None);
+        assert_eq!(a.len(), doc.len());
+    }
+
+    #[test]
+    fn sorted_table_is_document_order() {
+        let doc = paper_figure2();
+        let a = PbnAssignment::assign(&doc);
+        let preorder: Vec<_> = doc.preorder().collect();
+        let by_number: Vec<_> = a.in_document_order().iter().map(|(_, id)| *id).collect();
+        assert_eq!(preorder, by_number);
+    }
+
+    #[test]
+    fn range_scan_returns_a_subtree() {
+        let doc = paper_figure2();
+        let a = PbnAssignment::assign(&doc);
+        let (lo, hi) = crate::order::subtree_range(&pbn![1, 1]);
+        let sub = a.range(&lo, &hi);
+        // book1 subtree: book, title, text, author, name, text, publisher,
+        // location, text = 9 nodes.
+        assert_eq!(sub.len(), 9);
+        assert!(sub.iter().all(|(p, _)| pbn![1, 1].is_prefix_of(p)));
+    }
+
+    #[test]
+    fn empty_document_is_empty_assignment() {
+        let doc = Document::new("u");
+        let a = PbnAssignment::assign(&doc);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! The ten location relationships of §4.2/§5, decided purely on numbers.
+//!
+//! Semantics follow XPath: `preceding`/`following` exclude ancestors and
+//! descendants; the sibling axes require a shared parent. Each predicate
+//! takes `(x, y)` and asks whether **x stands in the relationship to y**
+//! (e.g. [`is_ancestor`]`(x, y)` ⇔ x is an ancestor of y), matching the
+//! phrasing of the paper's virtual predicates.
+
+use crate::number::Pbn;
+
+/// A classification of how one node relates to another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// Same node.
+    SelfNode,
+    /// x is the parent of y.
+    Parent,
+    /// x is a proper ancestor (but not the parent) of y.
+    Ancestor,
+    /// x is a child of y.
+    Child,
+    /// x is a proper descendant (but not a child) of y.
+    Descendant,
+    /// x is a preceding sibling of y.
+    PrecedingSibling,
+    /// x precedes y in document order (not an ancestor, not a sibling).
+    Preceding,
+    /// x is a following sibling of y.
+    FollowingSibling,
+    /// x follows y in document order (not a descendant, not a sibling).
+    Following,
+    /// The numbers share no root (different trees of a forest).
+    Disjoint,
+}
+
+/// x is the same node as y.
+#[inline]
+pub fn is_self(x: &Pbn, y: &Pbn) -> bool {
+    x == y
+}
+
+/// x is a proper ancestor of y.
+#[inline]
+pub fn is_ancestor(x: &Pbn, y: &Pbn) -> bool {
+    x.is_strict_prefix_of(y)
+}
+
+/// x is the parent of y.
+#[inline]
+pub fn is_parent(x: &Pbn, y: &Pbn) -> bool {
+    x.len() + 1 == y.len() && x.is_prefix_of(y)
+}
+
+/// x is a proper descendant of y.
+#[inline]
+pub fn is_descendant(x: &Pbn, y: &Pbn) -> bool {
+    y.is_strict_prefix_of(x)
+}
+
+/// x is a child of y.
+#[inline]
+pub fn is_child(x: &Pbn, y: &Pbn) -> bool {
+    is_parent(y, x)
+}
+
+/// x is y or a proper descendant of y.
+#[inline]
+pub fn is_descendant_or_self(x: &Pbn, y: &Pbn) -> bool {
+    y.is_prefix_of(x)
+}
+
+/// x and y are distinct siblings (same parent).
+#[inline]
+pub fn is_sibling(x: &Pbn, y: &Pbn) -> bool {
+    x != y
+        && x.len() == y.len()
+        && !x.is_empty()
+        && x.components()[..x.len() - 1] == y.components()[..y.len() - 1]
+}
+
+/// x is a preceding sibling of y.
+#[inline]
+pub fn is_preceding_sibling(x: &Pbn, y: &Pbn) -> bool {
+    is_sibling(x, y) && x.components()[x.len() - 1] < y.components()[y.len() - 1]
+}
+
+/// x is a following sibling of y.
+#[inline]
+pub fn is_following_sibling(x: &Pbn, y: &Pbn) -> bool {
+    is_preceding_sibling(y, x)
+}
+
+/// x is on the `preceding` axis of y: x ends before y starts
+/// (document order, excluding ancestors).
+#[inline]
+pub fn is_preceding(x: &Pbn, y: &Pbn) -> bool {
+    x < y && !is_ancestor(x, y)
+}
+
+/// x is on the `following` axis of y: x starts after y ends
+/// (document order, excluding descendants).
+#[inline]
+pub fn is_following(x: &Pbn, y: &Pbn) -> bool {
+    is_preceding(y, x)
+}
+
+/// Classifies the relationship of x to y. See [`Relationship`].
+pub fn relationship(x: &Pbn, y: &Pbn) -> Relationship {
+    if x == y {
+        return Relationship::SelfNode;
+    }
+    if !x.is_empty() && !y.is_empty() && x.components()[0] != y.components()[0] {
+        return Relationship::Disjoint;
+    }
+    if is_parent(x, y) {
+        Relationship::Parent
+    } else if is_ancestor(x, y) {
+        Relationship::Ancestor
+    } else if is_child(x, y) {
+        Relationship::Child
+    } else if is_descendant(x, y) {
+        Relationship::Descendant
+    } else if is_preceding_sibling(x, y) {
+        Relationship::PrecedingSibling
+    } else if is_following_sibling(x, y) {
+        Relationship::FollowingSibling
+    } else if is_preceding(x, y) {
+        Relationship::Preceding
+    } else {
+        Relationship::Following
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbn;
+
+    #[test]
+    fn paper_walkthrough_section_4_2() {
+        // "1.1.2 can be compared to 1.2. Since 1.1.2 is neither a prefix nor
+        // a suffix of 1.2, it is not a child, parent, ancestor, or
+        // descendant. 1.1.2 precedes 1.2 in document order, but is not a
+        // preceding sibling since the parent of 1.1.2 (1.1) differs from
+        // that of 1.2 (1)."
+        let a = pbn![1, 1, 2];
+        let b = pbn![1, 2];
+        assert!(!is_child(&a, &b) && !is_parent(&a, &b));
+        assert!(!is_ancestor(&a, &b) && !is_descendant(&a, &b));
+        assert!(is_preceding(&a, &b));
+        assert!(!is_preceding_sibling(&a, &b));
+        assert_eq!(relationship(&a, &b), Relationship::Preceding);
+    }
+
+    #[test]
+    fn parent_child_ancestor_descendant() {
+        let p = pbn![1, 2];
+        let c = pbn![1, 2, 2];
+        let g = pbn![1, 2, 2, 1];
+        assert!(is_parent(&p, &c) && is_child(&c, &p));
+        assert!(is_ancestor(&p, &g) && !is_parent(&p, &g));
+        assert!(is_descendant(&g, &p));
+        assert!(is_descendant_or_self(&g, &g));
+        assert!(!is_descendant(&g, &g), "descendant is proper");
+        assert_eq!(relationship(&p, &g), Relationship::Ancestor);
+        assert_eq!(relationship(&g, &p), Relationship::Descendant);
+        assert_eq!(relationship(&p, &c), Relationship::Parent);
+        assert_eq!(relationship(&c, &p), Relationship::Child);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let a = pbn![1, 2, 1];
+        let b = pbn![1, 2, 3];
+        assert!(is_sibling(&a, &b));
+        assert!(is_preceding_sibling(&a, &b));
+        assert!(is_following_sibling(&b, &a));
+        assert!(!is_preceding_sibling(&b, &a));
+        assert!(!is_sibling(&a, &a), "a node is not its own sibling");
+        assert_eq!(relationship(&a, &b), Relationship::PrecedingSibling);
+        assert_eq!(relationship(&b, &a), Relationship::FollowingSibling);
+    }
+
+    #[test]
+    fn preceding_excludes_ancestors_following_excludes_descendants() {
+        let anc = pbn![1, 1];
+        let desc = pbn![1, 1, 5];
+        // An ancestor starts before but does not *end* before: not preceding.
+        assert!(!is_preceding(&anc, &desc));
+        // A descendant starts after but does not start after y *ends*.
+        assert!(!is_following(&desc, &anc));
+        assert!(is_preceding(&pbn![1, 1, 9], &pbn![1, 2]));
+        assert!(is_following(&pbn![1, 2], &pbn![1, 1, 9]));
+    }
+
+    #[test]
+    fn self_and_disjoint() {
+        let a = pbn![1, 1];
+        assert!(is_self(&a, &a));
+        assert_eq!(relationship(&a, &a), Relationship::SelfNode);
+        assert_eq!(
+            relationship(&pbn![1, 1], &pbn![2, 1]),
+            Relationship::Disjoint
+        );
+    }
+
+    #[test]
+    fn relationship_classification_is_exhaustive_and_antisymmetric() {
+        // Enumerate a small universe and cross-check pairwise properties.
+        let universe: Vec<Pbn> = vec![
+            pbn![1],
+            pbn![1, 1],
+            pbn![1, 1, 1],
+            pbn![1, 1, 2],
+            pbn![1, 2],
+            pbn![1, 2, 1],
+            pbn![1, 3],
+        ];
+        for x in &universe {
+            for y in &universe {
+                let r = relationship(x, y);
+                let r_inv = relationship(y, x);
+                use Relationship::*;
+                let expected_inv = match r {
+                    SelfNode => SelfNode,
+                    Parent => Child,
+                    Child => Parent,
+                    Ancestor => Descendant,
+                    Descendant => Ancestor,
+                    PrecedingSibling => FollowingSibling,
+                    FollowingSibling => PrecedingSibling,
+                    Preceding => Following,
+                    Following => Preceding,
+                    Disjoint => Disjoint,
+                };
+                assert_eq!(r_inv, expected_inv, "x={x} y={y}");
+            }
+        }
+    }
+}

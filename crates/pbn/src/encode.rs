@@ -1,0 +1,229 @@
+//! Compact, order-preserving byte encoding of PBN numbers.
+//!
+//! §4.2 notes that "there are strategies for packing PBN numbers into as few
+//! bits as possible, making PBN numbers relatively concise" (citing UTF-8 /
+//! ORDPATH-style schemes). This module implements such a scheme with the two
+//! properties an index needs:
+//!
+//! 1. **Prefix property** — the encoding of `p` is a byte-prefix of the
+//!    encoding of every `p.k`, so subtree scans become byte-range scans.
+//! 2. **Order preservation** — plain `memcmp` of encodings equals document
+//!    order, because each component's encoding is prefix-free and
+//!    numerically order-preserving across byte lengths.
+//!
+//! Component tiers (values are 1-based ordinals):
+//!
+//! | first byte   | total bytes | values encoded              |
+//! |--------------|-------------|-----------------------------|
+//! | `0xxxxxxx`   | 1           | 1 ..= 2^7                   |
+//! | `10xxxxxx`   | 2           | next 2^14                   |
+//! | `110xxxxx`   | 3           | next 2^21                   |
+//! | `1110xxxx`   | 4           | next 2^28                   |
+//! | `11110000`   | 5           | the remaining u32 range     |
+
+use crate::number::Pbn;
+
+const T1: u64 = 1 << 7;
+const T2: u64 = 1 << 14;
+const T3: u64 = 1 << 21;
+const T4: u64 = 1 << 28;
+
+/// A PBN number in compact encoded form. Comparison (`Ord`) is a plain byte
+/// comparison and equals document order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EncodedPbn {
+    bytes: Vec<u8>,
+}
+
+impl EncodedPbn {
+    /// Encodes a number.
+    pub fn encode(pbn: &Pbn) -> Self {
+        let mut bytes = Vec::with_capacity(pbn.len() + 1);
+        for &c in pbn.components() {
+            encode_component(c, &mut bytes);
+        }
+        EncodedPbn { bytes }
+    }
+
+    /// Decodes back to component form.
+    ///
+    /// # Panics
+    /// Panics if the bytes are not a valid encoding (cannot happen for
+    /// values produced by [`EncodedPbn::encode`]).
+    pub fn decode(&self) -> Pbn {
+        let mut components = Vec::new();
+        let mut i = 0;
+        while i < self.bytes.len() {
+            let (value, used) = decode_component(&self.bytes[i..]);
+            components.push(value);
+            i += used;
+        }
+        Pbn::new(components)
+    }
+
+    /// The encoded bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Size of the encoding in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if `self` encodes a (non-strict) ancestor-or-self of `other` —
+    /// a plain byte-prefix test thanks to the prefix property.
+    pub fn is_prefix_of(&self, other: &EncodedPbn) -> bool {
+        other.bytes.len() >= self.bytes.len() && other.bytes[..self.bytes.len()] == self.bytes[..]
+    }
+}
+
+impl std::fmt::Debug for EncodedPbn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EncodedPbn({})", self.decode())
+    }
+}
+
+/// Encodes a single component (1-based) into `out`.
+fn encode_component(c: u32, out: &mut Vec<u8>) {
+    debug_assert!(c >= 1);
+    let v = u64::from(c) - 1; // shift to 0-based for tier arithmetic
+    if v < T1 {
+        out.push(v as u8);
+    } else if v < T1 + T2 {
+        let r = v - T1;
+        out.push(0b1000_0000 | (r >> 8) as u8);
+        out.push((r & 0xFF) as u8);
+    } else if v < T1 + T2 + T3 {
+        let r = v - T1 - T2;
+        out.push(0b1100_0000 | (r >> 16) as u8);
+        out.push(((r >> 8) & 0xFF) as u8);
+        out.push((r & 0xFF) as u8);
+    } else if v < T1 + T2 + T3 + T4 {
+        let r = v - T1 - T2 - T3;
+        out.push(0b1110_0000 | (r >> 24) as u8);
+        out.push(((r >> 16) & 0xFF) as u8);
+        out.push(((r >> 8) & 0xFF) as u8);
+        out.push((r & 0xFF) as u8);
+    } else {
+        let r = v - T1 - T2 - T3 - T4;
+        out.push(0b1111_0000);
+        out.extend_from_slice(&(r as u32).to_be_bytes());
+    }
+}
+
+/// Decodes one component from the front of `bytes`; returns (value, bytes used).
+fn decode_component(bytes: &[u8]) -> (u32, usize) {
+    let b0 = bytes[0];
+    if b0 & 0b1000_0000 == 0 {
+        (b0 as u32 + 1, 1)
+    } else if b0 & 0b0100_0000 == 0 {
+        let r = ((u64::from(b0 & 0b0011_1111)) << 8) | u64::from(bytes[1]);
+        ((r + T1) as u32 + 1, 2)
+    } else if b0 & 0b0010_0000 == 0 {
+        let r = ((u64::from(b0 & 0b0001_1111)) << 16)
+            | (u64::from(bytes[1]) << 8)
+            | u64::from(bytes[2]);
+        ((r + T1 + T2) as u32 + 1, 3)
+    } else if b0 & 0b0001_0000 == 0 {
+        let r = ((u64::from(b0 & 0b0000_1111)) << 24)
+            | (u64::from(bytes[1]) << 16)
+            | (u64::from(bytes[2]) << 8)
+            | u64::from(bytes[3]);
+        ((r + T1 + T2 + T3) as u32 + 1, 4)
+    } else {
+        let r = u64::from(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]));
+        ((r + T1 + T2 + T3 + T4) as u32 + 1, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbn;
+
+    #[test]
+    fn round_trip_representative_values() {
+        for c in [
+            1u32,
+            2,
+            127,
+            128,
+            129,
+            1000,
+            (T1 + T2) as u32,
+            (T1 + T2) as u32 + 1,
+            (T1 + T2 + T3) as u32,
+            (T1 + T2 + T3) as u32 + 1,
+            (T1 + T2 + T3 + T4) as u32,
+            (T1 + T2 + T3 + T4) as u32 + 1,
+            u32::MAX,
+        ] {
+            let p = Pbn::new(vec![c]);
+            let e = EncodedPbn::encode(&p);
+            assert_eq!(e.decode(), p, "component {c}");
+        }
+    }
+
+    #[test]
+    fn multi_component_round_trip() {
+        let p = pbn![1, 128, 2, 300_000, 5];
+        assert_eq!(EncodedPbn::encode(&p).decode(), p);
+    }
+
+    #[test]
+    fn small_components_take_one_byte() {
+        let p = pbn![1, 2, 3, 4];
+        assert_eq!(EncodedPbn::encode(&p).size(), 4);
+        // vs. 16 bytes for the raw u32 representation.
+    }
+
+    #[test]
+    fn byte_order_equals_document_order() {
+        let nums = [
+            pbn![1],
+            pbn![1, 1],
+            pbn![1, 1, 200],
+            pbn![1, 2],
+            pbn![1, 127],
+            pbn![1, 128],
+            pbn![1, 129],
+            pbn![1, 70_000],
+            pbn![2],
+        ];
+        for x in &nums {
+            for y in &nums {
+                let (ex, ey) = (EncodedPbn::encode(x), EncodedPbn::encode(y));
+                assert_eq!(
+                    ex.cmp(&ey),
+                    x.cmp(y),
+                    "byte order disagrees for {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_property_holds() {
+        let p = pbn![1, 130];
+        let c = pbn![1, 130, 99];
+        let other = pbn![1, 131];
+        let (ep, ec, eo) = (
+            EncodedPbn::encode(&p),
+            EncodedPbn::encode(&c),
+            EncodedPbn::encode(&other),
+        );
+        assert!(ep.is_prefix_of(&ec));
+        assert!(!ep.is_prefix_of(&eo));
+        assert!(ep.is_prefix_of(&ep));
+    }
+
+    #[test]
+    fn empty_number_encodes_to_empty_bytes() {
+        let e = EncodedPbn::encode(&Pbn::empty());
+        assert_eq!(e.size(), 0);
+        assert_eq!(e.decode(), Pbn::empty());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # vh-pbn — Prefix-based numbering (Dewey order)
+//!
+//! Section 4.2 of the paper: every node is numbered `p.k` where `p` is the
+//! parent's number and `k` the 1-based sibling ordinal; the root is `1`.
+//! Location-based relationships between nodes (child, parent, ancestor,
+//! descendant, siblings, preceding/following) are decided purely by
+//! comparing numbers.
+//!
+//! Modules:
+//! * [`number`] — the [`Pbn`] type and prefix arithmetic.
+//! * [`axes`] — the ten XPath location relationships on raw numbers.
+//! * [`order`] — document-order comparison (lexicographic on components).
+//! * [`encode`] — a compact, prefix-free, order-preserving byte encoding
+//!   ("strategies for packing PBN numbers into as few bits as possible",
+//!   §4.2's reference [11]).
+//! * [`assign`] — numbering every node of a [`vh_xml::Document`].
+//! * [`update`] — update renumbering (§3's contrast case): how many
+//!   numbers an edit invalidates, measurably.
+
+pub mod assign;
+pub mod axes;
+pub mod encode;
+pub mod number;
+pub mod order;
+pub mod update;
+
+pub use assign::PbnAssignment;
+pub use axes::{relationship, Relationship};
+pub use encode::EncodedPbn;
+pub use number::Pbn;

@@ -1,0 +1,286 @@
+//! The [`Pbn`] number type: a sequence of 1-based sibling ordinals.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A prefix-based number such as `1.2.2`.
+///
+/// The root of a document is `1`; the k-th child of a node numbered `p`
+/// is `p.k`. Components are 1-based and never zero.
+///
+/// `Ord` is **document order**: a lexicographic comparison of components in
+/// which a proper prefix (an ancestor) sorts before its extensions — the
+/// order in which a preorder traversal visits nodes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pbn {
+    components: Vec<u32>,
+}
+
+impl Pbn {
+    /// The root number `1`.
+    pub fn root() -> Self {
+        Pbn {
+            components: vec![1],
+        }
+    }
+
+    /// Builds a number from components.
+    ///
+    /// # Panics
+    /// Panics if any component is zero (ordinals are 1-based).
+    pub fn new(components: impl Into<Vec<u32>>) -> Self {
+        let components = components.into();
+        assert!(
+            components.iter().all(|&c| c > 0),
+            "PBN components are 1-based, got {components:?}"
+        );
+        Pbn { components }
+    }
+
+    /// The empty number (no components). Used only as the numbering-space
+    /// origin (e.g. the parent of every tree root in a forest).
+    pub fn empty() -> Self {
+        Pbn {
+            components: Vec::new(),
+        }
+    }
+
+    /// The components of this number.
+    #[inline]
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Number of components (the node's depth; the root has length 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the empty number.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The number of this node's `k`-th child.
+    pub fn child(&self, k: u32) -> Pbn {
+        assert!(k > 0, "sibling ordinals are 1-based");
+        let mut components = Vec::with_capacity(self.components.len() + 1);
+        components.extend_from_slice(&self.components);
+        components.push(k);
+        Pbn { components }
+    }
+
+    /// The parent's number, or `None` for a root (length ≤ 1).
+    pub fn parent(&self) -> Option<Pbn> {
+        if self.components.len() <= 1 {
+            return None;
+        }
+        Some(Pbn {
+            components: self.components[..self.components.len() - 1].to_vec(),
+        })
+    }
+
+    /// The final component: this node's sibling ordinal.
+    pub fn ordinal(&self) -> Option<u32> {
+        self.components.last().copied()
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`.
+    #[inline]
+    pub fn is_prefix_of(&self, other: &Pbn) -> bool {
+        other.components.len() >= self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True if `self` is a strict prefix of `other` (i.e. a proper
+    /// ancestor's number).
+    #[inline]
+    pub fn is_strict_prefix_of(&self, other: &Pbn) -> bool {
+        other.components.len() > self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// Length of the longest common prefix with `other` — the depth of the
+    /// two nodes' lowest common ancestor.
+    pub fn common_prefix_len(&self, other: &Pbn) -> usize {
+        self.components
+            .iter()
+            .zip(&other.components)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The number of the lowest common ancestor of `self` and `other`
+    /// (empty if the two numbers share no prefix, which cannot happen for
+    /// two nodes of the same single-rooted document).
+    pub fn lca(&self, other: &Pbn) -> Pbn {
+        Pbn {
+            components: self.components[..self.common_prefix_len(other)].to_vec(),
+        }
+    }
+
+    /// Truncates to the first `len` components.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the number's length.
+    pub fn prefix(&self, len: usize) -> Pbn {
+        Pbn {
+            components: self.components[..len].to_vec(),
+        }
+    }
+
+    /// The immediate successor of this number among its siblings (`p.k` →
+    /// `p.(k+1)`). Useful for building exclusive scan bounds: the subtree of
+    /// `x` is exactly the document-order interval `[x, x.sibling_successor())`.
+    pub fn sibling_successor(&self) -> Pbn {
+        let mut components = self.components.clone();
+        let last = components
+            .last_mut()
+            .expect("sibling_successor of the empty number");
+        *last += 1;
+        Pbn { components }
+    }
+}
+
+impl fmt::Display for Pbn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+// Debug delegates to Display: numbers read better as `1.2.2` than as a
+// struct dump in test failures.
+impl fmt::Debug for Pbn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error returned when parsing a PBN string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbnParseError(pub String);
+
+impl fmt::Display for PbnParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid PBN number: {}", self.0)
+    }
+}
+
+impl std::error::Error for PbnParseError {}
+
+impl FromStr for Pbn {
+    type Err = PbnParseError;
+
+    /// Parses the dotted form, e.g. `"1.2.2"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Pbn::empty());
+        }
+        let mut components = Vec::new();
+        for part in s.split('.') {
+            let v: u32 = part.parse().map_err(|_| PbnParseError(s.to_owned()))?;
+            if v == 0 {
+                return Err(PbnParseError(s.to_owned()));
+            }
+            components.push(v);
+        }
+        Ok(Pbn { components })
+    }
+}
+
+/// Convenience macro for writing PBN literals in tests: `pbn![1, 2, 2]`.
+#[macro_export]
+macro_rules! pbn {
+    ($($c:expr),* $(,)?) => {
+        $crate::Pbn::new(vec![$($c as u32),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        assert_eq!(Pbn::root().to_string(), "1");
+        assert_eq!(pbn![1, 2, 2].to_string(), "1.2.2");
+        assert_eq!(Pbn::empty().to_string(), "");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let p: Pbn = "1.2.10".parse().unwrap();
+        assert_eq!(p, pbn![1, 2, 10]);
+        assert_eq!(p.to_string().parse::<Pbn>().unwrap(), p);
+        assert_eq!("".parse::<Pbn>().unwrap(), Pbn::empty());
+        assert!("1.0".parse::<Pbn>().is_err());
+        assert!("1..2".parse::<Pbn>().is_err());
+        assert!("a.b".parse::<Pbn>().is_err());
+    }
+
+    #[test]
+    fn child_and_parent_are_inverse() {
+        let p = pbn![1, 2];
+        assert_eq!(p.child(3), pbn![1, 2, 3]);
+        assert_eq!(p.child(3).parent(), Some(p.clone()));
+        assert_eq!(Pbn::root().parent(), None);
+        assert_eq!(p.ordinal(), Some(2));
+    }
+
+    #[test]
+    fn prefix_tests_follow_the_paper_example() {
+        // §4.2: 1.1.2 vs 1.2 — neither a prefix of the other.
+        let a = pbn![1, 1, 2];
+        let b = pbn![1, 2];
+        assert!(!a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        // 1.1 is the parent of 1.1.2.
+        assert!(pbn![1, 1].is_strict_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+        assert!(!a.is_strict_prefix_of(&a));
+    }
+
+    #[test]
+    fn lca_and_common_prefix() {
+        let a = pbn![1, 1, 2, 1];
+        let b = pbn![1, 1, 3];
+        assert_eq!(a.common_prefix_len(&b), 2);
+        assert_eq!(a.lca(&b), pbn![1, 1]);
+        assert_eq!(a.lca(&a), a);
+        assert_eq!(a.prefix(2), pbn![1, 1]);
+    }
+
+    #[test]
+    fn document_order_is_preorder() {
+        // Ancestor before descendant, siblings by ordinal.
+        assert!(pbn![1] < pbn![1, 1]);
+        assert!(pbn![1, 1] < pbn![1, 1, 1]);
+        assert!(pbn![1, 1, 9] < pbn![1, 2]);
+        assert!(pbn![1, 2] < pbn![1, 10]); // numeric, not string, comparison
+    }
+
+    #[test]
+    fn sibling_successor_bounds_the_subtree() {
+        let x = pbn![1, 2];
+        let succ = x.sibling_successor();
+        assert_eq!(succ, pbn![1, 3]);
+        // Every descendant of x lies in [x, succ).
+        assert!(x < pbn![1, 2, 7] && pbn![1, 2, 7] < succ);
+        assert!(pbn![1, 2, 999, 4] < succ);
+        assert!(succ <= pbn![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_component_rejected() {
+        let _ = Pbn::new(vec![1, 0]);
+    }
+}

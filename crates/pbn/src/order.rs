@@ -1,0 +1,87 @@
+//! Document-order utilities.
+//!
+//! [`Pbn`]'s derived `Ord` already *is* document order (component-wise
+//! lexicographic, prefix-first). This module adds named helpers and range
+//! construction used by index scans: the subtree of `x` is exactly the
+//! half-open document-order interval `[x, x.sibling_successor())`.
+
+use crate::number::Pbn;
+use std::cmp::Ordering;
+
+/// Compares two numbers in document order. An ancestor sorts before all of
+/// its descendants; siblings sort by ordinal.
+#[inline]
+pub fn cmp_document_order(x: &Pbn, y: &Pbn) -> Ordering {
+    x.cmp(y)
+}
+
+/// The half-open PBN interval covering the subtree rooted at `x`
+/// (descendant-or-self). Every number `d` with `x.is_prefix_of(d)` satisfies
+/// `range.0 <= d && d < range.1`, and no other number does.
+pub fn subtree_range(x: &Pbn) -> (Pbn, Pbn) {
+    (x.clone(), x.sibling_successor())
+}
+
+/// Binary-searches a **document-order sorted** slice for the sub-slice of
+/// numbers falling inside `[lo, hi)`. Returns the index range.
+pub fn range_in_sorted(sorted: &[Pbn], lo: &Pbn, hi: &Pbn) -> (usize, usize) {
+    let start = sorted.partition_point(|p| p < lo);
+    let end = sorted.partition_point(|p| p < hi);
+    (start, end)
+}
+
+/// Sorts numbers into document order (convenience for tests and index
+/// construction).
+pub fn sort_document_order(numbers: &mut [Pbn]) {
+    numbers.sort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbn;
+
+    #[test]
+    fn subtree_range_contains_exactly_the_subtree() {
+        let x = pbn![1, 2];
+        let (lo, hi) = subtree_range(&x);
+        let inside = [pbn![1, 2], pbn![1, 2, 1], pbn![1, 2, 9, 9]];
+        let outside = [pbn![1], pbn![1, 1, 9], pbn![1, 3], pbn![1, 10]];
+        for p in &inside {
+            assert!(lo <= *p && *p < hi, "{p} should be inside");
+            assert!(x.is_prefix_of(p));
+        }
+        for p in &outside {
+            assert!(!(lo <= *p && *p < hi), "{p} should be outside");
+            assert!(!x.is_prefix_of(p));
+        }
+    }
+
+    #[test]
+    fn range_in_sorted_finds_subtrees() {
+        let mut v = vec![
+            pbn![1],
+            pbn![1, 1],
+            pbn![1, 1, 1],
+            pbn![1, 2],
+            pbn![1, 2, 1],
+            pbn![1, 2, 2],
+            pbn![1, 3],
+        ];
+        sort_document_order(&mut v);
+        let (lo, hi) = subtree_range(&pbn![1, 2]);
+        let (s, e) = range_in_sorted(&v, &lo, &hi);
+        assert_eq!(&v[s..e], &[pbn![1, 2], pbn![1, 2, 1], pbn![1, 2, 2]]);
+    }
+
+    #[test]
+    fn sort_is_preorder() {
+        let mut v = vec![pbn![1, 10], pbn![1, 2, 5], pbn![1], pbn![1, 2]];
+        sort_document_order(&mut v);
+        assert_eq!(v, vec![pbn![1], pbn![1, 2], pbn![1, 2, 5], pbn![1, 10]]);
+        assert_eq!(
+            cmp_document_order(&pbn![1, 2], &pbn![1, 10]),
+            std::cmp::Ordering::Less
+        );
+    }
+}

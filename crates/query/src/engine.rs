@@ -1,0 +1,375 @@
+//! The [`Engine`]: a document registry with one-call query evaluation.
+//!
+//! This is the component a user of the paper's system would interact with:
+//! register documents once (they are analyzed — PBN numbers, DataGuide,
+//! type map), then run FLWR queries whose sources name them through
+//! `doc("uri")` or `virtualDoc("uri", "vDataGuide")`. `virtualDoc` views
+//! are compiled on first use and cached per `(uri, specification)`.
+
+use crate::doc::{PhysicalDoc, VirtualDoc};
+use crate::flwr::ast::{Clause, FlwrQuery, Origin};
+use crate::flwr::eval::{eval_flwr_multi, DocSet, FlwrError};
+use crate::flwr::parse::parse_flwr;
+use crate::xpath::eval::eval_xpath;
+use crate::xpath::parse::parse_xpath;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use vh_core::levels::LevelMap;
+use vh_core::{VDataGuide, VirtualDocument};
+use vh_dataguide::TypedDocument;
+use vh_xml::{Document, NodeId};
+
+/// A registry of analyzed documents plus the query entry points.
+#[derive(Default)]
+pub struct Engine {
+    docs: HashMap<String, TypedDocument>,
+    /// Compiled `(uri, specification) → (vDataGuide, level map)` cache:
+    /// Algorithm 1 runs once per view, not once per query.
+    views: RefCell<HashMap<(String, String), (VDataGuide, LevelMap)>>,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Parses and registers an XML string under its URI.
+    pub fn register_xml(&mut self, uri: &str, xml: &str) -> Result<(), vh_xml::ParseError> {
+        let td = TypedDocument::parse(uri, xml)?;
+        self.views.borrow_mut().retain(|(u, _), _| u != uri);
+        self.docs.insert(uri.to_owned(), td);
+        Ok(())
+    }
+
+    /// Registers an already-built document under its URI, invalidating any
+    /// cached views of a previous document at that URI.
+    pub fn register(&mut self, doc: Document) {
+        let uri = doc.uri().to_owned();
+        self.views.borrow_mut().retain(|(u, _), _| *u != uri);
+        self.docs.insert(uri, TypedDocument::analyze(doc));
+    }
+
+    /// The analyzed document registered under `uri`.
+    pub fn document(&self, uri: &str) -> Option<&TypedDocument> {
+        self.docs.get(uri)
+    }
+
+    /// Evaluates a FLWR query, returning the result document (rooted at
+    /// `<results>`).
+    pub fn eval(&self, query: &str) -> Result<Document, FlwrError> {
+        let q = parse_flwr(query)?;
+        self.eval_parsed(&q)
+    }
+
+    /// Evaluates an already-parsed FLWR query. Queries may draw from any
+    /// number of registered documents and virtual views; the first
+    /// `doc()`/`virtualDoc()` origin is the primary document for
+    /// variable-free expressions.
+    pub fn eval_parsed(&self, q: &FlwrQuery) -> Result<Document, FlwrError> {
+        // Distinct origins, in clause order.
+        let mut origins: Vec<(String, Option<String>)> = Vec::new();
+        for c in &q.clauses {
+            let origin = match c {
+                Clause::For(_, s) | Clause::Let(_, s) => &s.origin,
+                Clause::Where(_) | Clause::OrderBy(_) => continue,
+            };
+            let key = match origin {
+                Origin::Doc(uri) => (uri.clone(), None),
+                Origin::VirtualDoc(uri, spec) => (uri.clone(), Some(spec.clone())),
+                Origin::Var(_) => continue,
+            };
+            if !origins.contains(&key) {
+                origins.push(key);
+            }
+        }
+        if origins.is_empty() {
+            return Err(FlwrError::Unsupported(
+                "query has no doc()/virtualDoc() source".into(),
+            ));
+        }
+        // Open every view first (the wrappers below borrow them), then
+        // build the physical/virtual QueryDoc adapters.
+        let mut vdocs: Vec<Option<VirtualDocument<'_>>> = Vec::with_capacity(origins.len());
+        let mut phys: Vec<Option<PhysicalDoc<'_>>> = Vec::with_capacity(origins.len());
+        for (uri, spec) in &origins {
+            match spec {
+                Some(s) => {
+                    vdocs.push(Some(self.virtual_doc(uri, s)?));
+                    phys.push(None);
+                }
+                None => {
+                    let td = self
+                        .docs
+                        .get(uri)
+                        .ok_or_else(|| FlwrError::UnknownDocument(uri.clone()))?;
+                    vdocs.push(None);
+                    phys.push(Some(PhysicalDoc::new(td)));
+                }
+            }
+        }
+        let virt: Vec<Option<VirtualDoc<'_>>> =
+            vdocs.iter().map(|o| o.as_ref().map(VirtualDoc::new)).collect();
+        let entries: Vec<(String, Option<String>, &dyn crate::doc::QueryDoc)> = origins
+            .iter()
+            .enumerate()
+            .map(|(i, (uri, spec))| {
+                let doc: &dyn crate::doc::QueryDoc = match &virt[i] {
+                    Some(v) => v,
+                    None => phys[i].as_ref().expect("physical when not virtual"),
+                };
+                (uri.clone(), spec.clone(), doc)
+            })
+            .collect();
+        eval_flwr_multi(q, &DocSet::new(entries))
+    }
+
+    /// Evaluates an XPath over the physical document registered at `uri`.
+    pub fn eval_path(&self, uri: &str, path: &str) -> Result<Vec<NodeId>, FlwrError> {
+        let td = self
+            .docs
+            .get(uri)
+            .ok_or_else(|| FlwrError::UnknownDocument(uri.to_owned()))?;
+        let p = parse_xpath(path)?;
+        Ok(eval_xpath(&PhysicalDoc::new(td), &p)?)
+    }
+
+    /// Evaluates an XPath over a virtual view of the document at `uri`.
+    pub fn eval_virtual_path(
+        &self,
+        uri: &str,
+        spec: &str,
+        path: &str,
+    ) -> Result<Vec<NodeId>, FlwrError> {
+        let vd = self.virtual_doc(uri, spec)?;
+        let p = parse_xpath(path)?;
+        Ok(eval_xpath(&VirtualDoc::new(&vd), &p)?)
+    }
+
+    /// Opens a virtual document for direct navigation, using (and filling)
+    /// the compiled-view cache.
+    pub fn virtual_doc<'a>(
+        &'a self,
+        uri: &str,
+        spec: &str,
+    ) -> Result<VirtualDocument<'a>, FlwrError> {
+        let td = self
+            .docs
+            .get(uri)
+            .ok_or_else(|| FlwrError::UnknownDocument(uri.to_owned()))?;
+        let key = (uri.to_owned(), spec.to_owned());
+        if let Some((vdg, levels)) = self.views.borrow().get(&key) {
+            return Ok(VirtualDocument::with_parts(td, vdg.clone(), levels.clone()));
+        }
+        let vdg = VDataGuide::compile(spec, td.guide())?;
+        let levels = LevelMap::build(&vdg, td.guide());
+        self.views
+            .borrow_mut()
+            .insert(key, (vdg.clone(), levels.clone()));
+        Ok(VirtualDocument::with_parts(td, vdg, levels))
+    }
+
+    /// Number of compiled views currently cached.
+    pub fn cached_views(&self) -> usize {
+        self.views.borrow().len()
+    }
+
+    /// Convenience: the result of `eval` serialized compactly.
+    pub fn eval_to_string(&self, query: &str) -> Result<String, FlwrError> {
+        let out = self.eval(query)?;
+        Ok(vh_xml::serialize(&out, vh_xml::SerializeOptions::compact()))
+    }
+}
+
+/// Runs a query through a transient engine holding a single document —
+/// a convenience used by examples and tests.
+pub fn query_document(doc: Document, query: &str) -> Result<Document, FlwrError> {
+    let mut e = Engine::new();
+    e.register(doc);
+    e.eval(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vh_xml::builder::paper_figure2;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.register(paper_figure2());
+        e
+    }
+
+    #[test]
+    fn rhondas_figure6_query_end_to_end() {
+        // The headline query of the paper: Rhonda's count over Sam's
+        // virtual transformation, via virtualDoc.
+        let e = engine();
+        let got = e
+            .eval_to_string(
+                r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
+                   return <result><title>{$t/text()}</title>
+                                  <count>{count($t/author)}</count></result>"#,
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            "<results>\
+             <result><title>X</title><count>1</count></result>\
+             <result><title>Y</title><count>1</count></result>\
+             </results>"
+        );
+    }
+
+    #[test]
+    fn rhondas_nested_pipeline_matches_virtualdoc() {
+        // Figure 4's alternative: materialize Sam's output, re-register it,
+        // run Rhonda's query on the materialized document. Both roads must
+        // agree.
+        let mut e = engine();
+        // Sam's query (Figure 1).
+        let sam = e
+            .eval(
+                r#"for $t in doc("book.xml")//book/title
+                   let $a := $t/../author
+                   return <title>{$t/text()}{$a}</title>"#,
+            )
+            .unwrap();
+        e.register(sam); // registered under uri "results"
+        let nested = e
+            .eval_to_string(
+                r#"for $t in doc("results")//title
+                   return <result><title>{$t/text()}</title>
+                                  <count>{count($t/author)}</count></result>"#,
+            )
+            .unwrap();
+        let virtual_ = e
+            .eval_to_string(
+                r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
+                   return <result><title>{$t/text()}</title>
+                                  <count>{count($t/author)}</count></result>"#,
+            )
+            .unwrap();
+        assert_eq!(nested, virtual_);
+    }
+
+    #[test]
+    fn physical_and_virtual_path_evaluation() {
+        let e = engine();
+        assert_eq!(e.eval_path("book.xml", "//book").unwrap().len(), 2);
+        assert_eq!(
+            e.eval_virtual_path("book.xml", "title { author { name } }", "//title/author")
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_documents_are_reported() {
+        let e = engine();
+        assert!(matches!(
+            e.eval(r#"for $t in doc("nope.xml")//x return <y/>"#),
+            Err(FlwrError::UnknownDocument(_))
+        ));
+        assert!(e.eval_path("nope", "//x").is_err());
+    }
+
+    #[test]
+    fn cross_document_joins_work() {
+        let mut e = engine();
+        e.register_xml(
+            "prices.xml",
+            "<prices><p t='X'>10</p><p t='Y'>25</p></prices>",
+        )
+        .unwrap();
+        // Join books with their prices by title: a genuine two-document
+        // pipeline. Each expression stays within one document.
+        let got = e
+            .eval_to_string(
+                r#"for $b in doc("book.xml")//book
+                   for $p in doc("prices.xml")//p
+                   where $b/title = $p/@t
+                   return <row><t>{$b/title/text()}</t><c>{$p/text()}</c></row>"#,
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            "<results><row><t>X</t><c>10</c></row><row><t>Y</t><c>25</c></row></results>"
+        );
+    }
+
+    #[test]
+    fn physical_and_virtual_views_mix_in_one_query() {
+        let e = engine();
+        // $t ranges over the virtual view, $b over the physical document;
+        // the join key crosses the two.
+        let got = e
+            .eval_to_string(
+                r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
+                   for $b in doc("book.xml")//book
+                   where $b/title = $t/text()
+                   return <m><v>{count($t/author)}</v><p>{count($b/author)}</p></m>"#,
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            "<results><m><v>1</v><p>1</p></m><m><v>1</v><p>1</p></m></results>"
+        );
+    }
+
+    #[test]
+    fn cross_document_value_functions_decompose() {
+        let mut e = engine();
+        e.register_xml("other.xml", "<o><x>1</x></o>").unwrap();
+        // concat() across documents works via value-level decomposition.
+        let got = e
+            .eval_to_string(
+                r#"for $a in doc("book.xml")//book
+                   for $b in doc("other.xml")//o
+                   return <x>{concat($a/title, $b/x)}</x>"#,
+            )
+            .unwrap();
+        assert_eq!(got, "<results><x>X1</x><x>Y1</x></results>");
+        // A node-set function over a cross-document union cannot be
+        // decomposed: clean error, not a panic.
+        let err = e.eval(
+            r#"for $a in doc("book.xml")//book
+               for $b in doc("other.xml")//o
+               return <x>{count($a/title | $b/x)}</x>"#,
+        );
+        assert!(matches!(err, Err(FlwrError::Unsupported(_))), "{err:?}");
+    }
+
+    #[test]
+    fn compiled_views_are_cached_and_invalidated() {
+        let mut e = engine();
+        assert_eq!(e.cached_views(), 0);
+        let q = r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
+                   return <t>{$t/text()}</t>"#;
+        let first = e.eval_to_string(q).unwrap();
+        assert_eq!(e.cached_views(), 1);
+        let second = e.eval_to_string(q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(e.cached_views(), 1, "second run hits the cache");
+        // Another spec adds an entry.
+        e.eval_virtual_path("book.xml", "data { ** }", "//book").unwrap();
+        assert_eq!(e.cached_views(), 2);
+        // Re-registering the document invalidates its views.
+        e.register(paper_figure2());
+        assert_eq!(e.cached_views(), 0);
+    }
+
+    #[test]
+    fn query_document_convenience() {
+        let out = query_document(
+            paper_figure2(),
+            r#"for $b in doc("book.xml")//book return <t>{$b/title/text()}</t>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            vh_xml::serialize(&out, vh_xml::SerializeOptions::compact()),
+            "<results><t>X</t><t>Y</t></results>"
+        );
+    }
+}

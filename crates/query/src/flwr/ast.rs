@@ -1,0 +1,75 @@
+//! FLWR abstract syntax.
+
+use crate::xpath::ast::{Expr, XPath};
+
+/// A parsed FLWR query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlwrQuery {
+    /// The for/let/where clauses, in order.
+    pub clauses: Vec<Clause>,
+    /// The return constructor(s), one per binding tuple.
+    pub ret: Vec<Construct>,
+}
+
+/// One clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Clause {
+    /// `for $v in source` — iterates the source node set.
+    For(String, Source),
+    /// `let $v := source` — binds the whole node set.
+    Let(String, Source),
+    /// `where expr` — filters binding tuples.
+    Where(Expr),
+    /// `order by key [descending], …` — sorts the tuple stream.
+    OrderBy(Vec<OrderKey>),
+}
+
+/// One ordering key of an `order by` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderKey {
+    /// The key expression, evaluated per tuple.
+    pub expr: Expr,
+    /// True for `descending`.
+    pub descending: bool,
+}
+
+/// A node-set source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Source {
+    /// Where the navigation starts.
+    pub origin: Origin,
+    /// The path applied from the origin (may be empty for bare `$v`).
+    pub path: XPath,
+}
+
+/// The origin of a source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Origin {
+    /// `doc("uri")` — the physical document.
+    Doc(String),
+    /// `virtualDoc("uri", "vDataGuide")` — the paper's virtual view.
+    VirtualDoc(String, String),
+    /// `$var` — a previously bound variable.
+    Var(String),
+}
+
+/// Return-clause content.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Construct {
+    /// `<name> … </name>` with nested content. Attributes on constructed
+    /// elements are written as (name, value) literals.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Literal attributes.
+        attributes: Vec<(String, String)>,
+        /// Child content in order.
+        content: Vec<Construct>,
+    },
+    /// Literal text.
+    Text(String),
+    /// `{ expr }` — an embedded expression; node results are deep-copied
+    /// (following the *virtual* hierarchy when the source is virtual),
+    /// other values become text.
+    Embed(Expr),
+}

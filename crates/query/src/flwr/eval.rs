@@ -1,0 +1,645 @@
+//! FLWR evaluation over a [`QueryDoc`].
+//!
+//! Clauses build a stream of binding tuples; the return clause constructs
+//! one result fragment per tuple into a fresh output document rooted at
+//! `<results>`. Node values embedded with `{ … }` are deep-copied through
+//! the [`QueryDoc`] interface, so a virtual source copies the *virtual*
+//! subtree — this is how the engine produces the transformed values of §6
+//! without materializing the whole view.
+
+use crate::doc::QueryDoc;
+use crate::flwr::ast::{Clause, Construct, FlwrQuery, OrderKey, Origin, Source};
+use crate::xpath::ast::Expr;
+use crate::xpath::eval::{eval_xpath_with_vars, XValue};
+use crate::xpath::parse::XPathError;
+use std::collections::HashMap;
+use std::fmt;
+use vh_core::VdgError;
+use vh_xml::{Document, NodeId, NodeKind};
+
+/// Errors from parsing or evaluating a FLWR query.
+#[derive(Debug)]
+pub enum FlwrError {
+    /// Syntax error in the FLWR structure.
+    Parse(String),
+    /// Error in an embedded path or expression.
+    XPath(XPathError),
+    /// Error compiling a `virtualDoc` specification.
+    Vdg(VdgError),
+    /// The query refers to an unregistered document URI.
+    UnknownDocument(String),
+    /// A combination the engine does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for FlwrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlwrError::Parse(m) => write!(f, "FLWR syntax error: {m}"),
+            FlwrError::XPath(e) => write!(f, "{e}"),
+            FlwrError::Vdg(e) => write!(f, "{e}"),
+            FlwrError::UnknownDocument(u) => write!(f, "unknown document '{u}'"),
+            FlwrError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlwrError {}
+
+impl From<XPathError> for FlwrError {
+    fn from(e: XPathError) -> Self {
+        FlwrError::XPath(e)
+    }
+}
+
+impl From<VdgError> for FlwrError {
+    fn from(e: VdgError) -> Self {
+        FlwrError::Vdg(e)
+    }
+}
+
+/// Name of the output wrapper element.
+pub const RESULTS_ROOT: &str = "results";
+
+/// The documents a query runs against. Index 0 is the *primary* document
+/// (the first `doc()`/`virtualDoc()` origin); every origin in the query
+/// maps to one entry. Bindings remember which document their nodes belong
+/// to, so cross-document pipelines (`for $a in doc("x") … for $b in
+/// doc("y") …`) work — each expression must still confine itself to one
+/// document (its variables decide which; variable-free expressions use
+/// the primary).
+pub struct DocSet<'a> {
+    docs: Vec<&'a dyn QueryDoc>,
+    by_origin: HashMap<(String, Option<String>), usize>,
+}
+
+impl<'a> DocSet<'a> {
+    /// A single-document set; every origin resolves to it.
+    pub fn single(doc: &'a dyn QueryDoc) -> Self {
+        DocSet {
+            docs: vec![doc],
+            by_origin: HashMap::new(),
+        }
+    }
+
+    /// Builds a set from `(uri, spec, doc)` triples; the first entry is
+    /// the primary document.
+    pub fn new(entries: Vec<(String, Option<String>, &'a dyn QueryDoc)>) -> Self {
+        let mut docs = Vec::with_capacity(entries.len());
+        let mut by_origin = HashMap::new();
+        for (uri, spec, doc) in entries {
+            by_origin.insert((uri, spec), docs.len());
+            docs.push(doc);
+        }
+        DocSet { docs, by_origin }
+    }
+
+    fn index_of(&self, origin: &Origin) -> Result<usize, FlwrError> {
+        if self.docs.len() == 1 {
+            return Ok(0);
+        }
+        let key = match origin {
+            Origin::Doc(u) => (u.clone(), None),
+            Origin::VirtualDoc(u, s) => (u.clone(), Some(s.clone())),
+            Origin::Var(_) => unreachable!("var origins resolve through bindings"),
+        };
+        self.by_origin
+            .get(&key)
+            .copied()
+            .ok_or(FlwrError::UnknownDocument(key.0))
+    }
+
+    fn doc(&self, idx: usize) -> &'a dyn QueryDoc {
+        self.docs[idx]
+    }
+}
+
+/// A binding: the owning document plus the bound nodes.
+type Binding = (usize, Vec<NodeId>);
+type Tuple = HashMap<String, Binding>;
+
+/// Evaluates a parsed query against a single document.
+pub fn eval_flwr(q: &FlwrQuery, doc: &dyn QueryDoc) -> Result<Document, FlwrError> {
+    eval_flwr_multi(q, &DocSet::single(doc))
+}
+
+/// Evaluates a parsed query against a document set, producing the result
+/// sequence as a document rooted at [`RESULTS_ROOT`].
+pub fn eval_flwr_multi(q: &FlwrQuery, docs: &DocSet<'_>) -> Result<Document, FlwrError> {
+    let mut tuples: Vec<Tuple> = vec![HashMap::new()];
+    for clause in &q.clauses {
+        match clause {
+            Clause::For(var, src) => {
+                let mut next = Vec::new();
+                for t in &tuples {
+                    let (idx, nodes) = eval_source(docs, src, t)?;
+                    for n in nodes {
+                        let mut t2 = t.clone();
+                        t2.insert(var.clone(), (idx, vec![n]));
+                        next.push(t2);
+                    }
+                }
+                tuples = next;
+            }
+            Clause::Let(var, src) => {
+                for t in &mut tuples {
+                    let (idx, nodes) = eval_source(docs, src, t)?;
+                    t.insert(var.clone(), (idx, nodes));
+                }
+            }
+            Clause::Where(e) => {
+                let mut kept = Vec::with_capacity(tuples.len());
+                for t in tuples {
+                    if eval_tuple_expr(docs, e, &t)?.truthy() {
+                        kept.push(t);
+                    }
+                }
+                tuples = kept;
+            }
+            Clause::OrderBy(keys) => {
+                tuples = order_tuples(docs, tuples, keys)?;
+            }
+        }
+    }
+    // Construct results.
+    let mut out = Document::new("results");
+    let root = out.create_root(RESULTS_ROOT);
+    for t in &tuples {
+        for c in &q.ret {
+            construct(docs, c, t, &mut out, root)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Variables referenced (as path roots) anywhere in an expression.
+fn vars_in_expr(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Path(p) => vars_in_path(p, out),
+        Expr::Union(paths) => paths.iter().for_each(|p| vars_in_path(p, out)),
+        Expr::Compare(l, _, r)
+        | Expr::And(l, r)
+        | Expr::Or(l, r)
+        | Expr::Arith(l, _, r) => {
+            vars_in_expr(l, out);
+            vars_in_expr(r, out);
+        }
+        Expr::Neg(inner) => vars_in_expr(inner, out),
+        Expr::Call(_, args) => args.iter().for_each(|a| vars_in_expr(a, out)),
+        Expr::Literal(_) | Expr::Number(_) => {}
+    }
+}
+
+fn vars_in_path(p: &crate::xpath::ast::XPath, out: &mut Vec<String>) {
+    if let Some(v) = &p.root_var {
+        out.push(v.clone());
+    }
+    for s in &p.steps {
+        for pred in &s.predicates {
+            vars_in_expr(pred, out);
+        }
+    }
+}
+
+/// The single document an expression runs against: `Ok(Some(idx))` when
+/// all its variables agree (or it has none — the primary), `Ok(None)` when
+/// it genuinely spans documents and must be decomposed.
+fn expr_doc_index(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<Option<usize>, FlwrError> {
+    let _ = docs;
+    let mut vars = Vec::new();
+    vars_in_expr(e, &mut vars);
+    let mut idx: Option<usize> = None;
+    for v in vars {
+        if let Some((d, _)) = t.get(&v) {
+            match idx {
+                None => idx = Some(*d),
+                Some(existing) if existing == *d => {}
+                Some(_) => return Ok(None),
+            }
+        }
+    }
+    Ok(Some(idx.unwrap_or(0)))
+}
+
+/// Evaluates an expression in the context of a binding tuple.
+///
+/// Single-document expressions get full XPath semantics against their
+/// document. Expressions spanning documents (`$a/x = $b/y` joins) are
+/// decomposed: each side evaluates against its own document, node sets are
+/// *lifted* to their string values, and the combination happens at the
+/// value level (existential comparison semantics preserved).
+fn eval_tuple_expr(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, FlwrError> {
+    if let Some(idx) = expr_doc_index(docs, e, t)? {
+        let resolver = |name: &str| {
+            t.get(name)
+                .filter(|(d, _)| *d == idx)
+                .map(|(_, ns)| ns.clone())
+        };
+        return Ok(crate::xpath::eval::eval_expr_with_vars(
+            docs.doc(idx),
+            e,
+            &resolver,
+        )?);
+    }
+    // Cross-document: decompose by operator.
+    use crate::xpath::ast::ArithOp;
+    use crate::xpath::eval::{compare_values, value_to_number, value_to_string};
+    match e {
+        Expr::And(l, r) => Ok(XValue::Bool(
+            eval_tuple_expr(docs, l, t)?.truthy() && eval_tuple_expr(docs, r, t)?.truthy(),
+        )),
+        Expr::Or(l, r) => Ok(XValue::Bool(
+            eval_tuple_expr(docs, l, t)?.truthy() || eval_tuple_expr(docs, r, t)?.truthy(),
+        )),
+        Expr::Compare(l, op, r) => {
+            let lv = lift(docs, l, t)?;
+            let rv = lift(docs, r, t)?;
+            Ok(XValue::Bool(compare_values(&lv, *op, &rv)))
+        }
+        Expr::Arith(l, op, r) => {
+            let a = value_to_number(&lift(docs, l, t)?);
+            let b = value_to_number(&lift(docs, r, t)?);
+            Ok(XValue::Num(match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+                ArithOp::Mod => a % b,
+            }))
+        }
+        Expr::Neg(inner) => Ok(XValue::Num(-value_to_number(&lift(docs, inner, t)?))),
+        Expr::Call(name, args) => match name.as_str() {
+            "concat" => {
+                let mut out = String::new();
+                for a in args {
+                    out.push_str(&value_to_string(&lift(docs, a, t)?));
+                }
+                Ok(XValue::Str(out))
+            }
+            "contains" | "starts-with" if args.len() == 2 => {
+                let hay = value_to_string(&lift(docs, &args[0], t)?);
+                let needle = value_to_string(&lift(docs, &args[1], t)?);
+                Ok(XValue::Bool(if name == "contains" {
+                    hay.contains(&needle)
+                } else {
+                    hay.starts_with(&needle)
+                }))
+            }
+            "not" if args.len() == 1 => Ok(XValue::Bool(
+                !eval_tuple_expr(docs, &args[0], t)?.truthy(),
+            )),
+            other => Err(FlwrError::Unsupported(format!(
+                "{other}() cannot span documents; bind intermediate values with let"
+            ))),
+        },
+        other => Err(FlwrError::Unsupported(format!(
+            "expression spans documents and cannot be decomposed: {other:?}"
+        ))),
+    }
+}
+
+/// Evaluates a sub-expression and lifts node sets to their string values
+/// (each against its own document), so cross-document combination can
+/// proceed at the value level.
+fn lift(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, FlwrError> {
+    let idx = expr_doc_index(docs, e, t)?.ok_or_else(|| {
+        FlwrError::Unsupported(
+            "operand of a cross-document expression itself spans documents".into(),
+        )
+    })?;
+    let resolver = |name: &str| {
+        t.get(name)
+            .filter(|(d, _)| *d == idx)
+            .map(|(_, ns)| ns.clone())
+    };
+    let v = crate::xpath::eval::eval_expr_with_vars(docs.doc(idx), e, &resolver)?;
+    Ok(match v {
+        XValue::Nodes(ns) => XValue::Attrs(
+            ns.iter()
+                .map(|&n| docs.doc(idx).string_value(n))
+                .collect(),
+        ),
+        other => other,
+    })
+}
+/// One comparable order-by key value: numeric when the value parses as a
+/// number, falling back to string comparison otherwise (mirrors XPath's
+/// untyped-data behaviour).
+#[derive(Debug, PartialEq)]
+enum KeyValue {
+    Num(f64),
+    Str(String),
+}
+
+impl KeyValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (KeyValue::Num(a), KeyValue::Num(b)) => {
+                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+            }
+            (KeyValue::Str(a), KeyValue::Str(b)) => a.cmp(b),
+            // Mixed: numbers sort before strings, deterministically.
+            (KeyValue::Num(_), KeyValue::Str(_)) => std::cmp::Ordering::Less,
+            (KeyValue::Str(_), KeyValue::Num(_)) => std::cmp::Ordering::Greater,
+        }
+    }
+}
+
+/// Sorts the tuple stream by the order-by keys (stable, so earlier keys
+/// dominate and input order breaks remaining ties).
+fn order_tuples(
+    docs: &DocSet<'_>,
+    tuples: Vec<Tuple>,
+    keys: &[OrderKey],
+) -> Result<Vec<Tuple>, FlwrError> {
+    let mut decorated: Vec<(Vec<KeyValue>, Tuple)> = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let mut kv = Vec::with_capacity(keys.len());
+        for k in keys {
+            let idx = expr_doc_index(docs, &k.expr, &t)?.unwrap_or(0);
+            let v = eval_tuple_expr(docs, &k.expr, &t)?;
+            let s = match &v {
+                XValue::Nodes(ns) => ns
+                    .first()
+                    .map(|&n| docs.doc(idx).string_value(n))
+                    .unwrap_or_default(),
+                XValue::Attrs(a) => a.first().cloned().unwrap_or_default(),
+                XValue::Str(s) => s.clone(),
+                XValue::Num(n) => n.to_string(),
+                XValue::Bool(b) => b.to_string(),
+            };
+            kv.push(match s.trim().parse::<f64>() {
+                Ok(n) => KeyValue::Num(n),
+                Err(_) => KeyValue::Str(s),
+            });
+        }
+        decorated.push((kv, t));
+    }
+    decorated.sort_by(|(a, _), (b, _)| {
+        for (i, k) in keys.iter().enumerate() {
+            let ord = a[i].cmp(&b[i]);
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(decorated.into_iter().map(|(_, t)| t).collect())
+}
+
+fn eval_source(
+    docs: &DocSet<'_>,
+    src: &Source,
+    bindings: &Tuple,
+) -> Result<(usize, Vec<NodeId>), FlwrError> {
+    let idx = match &src.origin {
+        Origin::Var(v) => {
+            bindings
+                .get(v)
+                .ok_or_else(|| {
+                    FlwrError::XPath(XPathError(format!("unbound variable ${v}")))
+                })?
+                .0
+        }
+        other => docs.index_of(other)?,
+    };
+    let doc = docs.doc(idx);
+    if matches!(src.origin, Origin::Doc(_) | Origin::VirtualDoc(..)) && src.path.steps.is_empty() {
+        return Ok((idx, doc.roots()));
+    }
+    let resolver = |name: &str| {
+        bindings
+            .get(name)
+            .filter(|(d, _)| *d == idx)
+            .map(|(_, ns)| ns.clone())
+    };
+    let v = eval_xpath_with_vars(doc, &src.path, None, &resolver)?;
+    match v {
+        XValue::Nodes(ns) => Ok((idx, ns)),
+        other => Err(FlwrError::Unsupported(format!(
+            "source did not evaluate to nodes: {other:?}"
+        ))),
+    }
+}
+
+fn construct(
+    docs: &DocSet<'_>,
+    c: &Construct,
+    bindings: &Tuple,
+    out: &mut Document,
+    parent: NodeId,
+) -> Result<(), FlwrError> {
+    match c {
+        Construct::Element {
+            name,
+            attributes,
+            content,
+        } => {
+            let id = out.append_element(parent, name.clone());
+            for (an, av) in attributes {
+                out.set_attribute(id, an.clone(), av.clone());
+            }
+            for child in content {
+                construct(docs, child, bindings, out, id)?;
+            }
+        }
+        Construct::Text(t) => {
+            out.append_text(parent, t.clone());
+        }
+        Construct::Embed(e) => {
+            let idx = expr_doc_index(docs, e, bindings)?.unwrap_or(0);
+            let v = eval_tuple_expr(docs, e, bindings)?;
+            match v {
+                XValue::Nodes(ns) => {
+                    for n in ns {
+                        copy_node(docs.doc(idx), n, out, parent);
+                    }
+                }
+                XValue::Attrs(a) => {
+                    if !a.is_empty() {
+                        out.append_text(parent, a.join(" "));
+                    }
+                }
+                XValue::Str(s) => {
+                    if !s.is_empty() {
+                        out.append_text(parent, s);
+                    }
+                }
+                XValue::Num(n) => {
+                    let s = if n.fract() == 0.0 && n.is_finite() {
+                        format!("{}", n as i64)
+                    } else {
+                        format!("{n}")
+                    };
+                    out.append_text(parent, s);
+                }
+                XValue::Bool(b) => {
+                    out.append_text(parent, b.to_string());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deep-copies `src` (with the hierarchy the [`QueryDoc`] exposes — the
+/// virtual one for virtual sources) under `parent` in `out`.
+fn copy_node(doc: &dyn QueryDoc, src: NodeId, out: &mut Document, parent: NodeId) {
+    match doc.kind(src) {
+        NodeKind::Element { name, .. } => {
+            let id = out.append_element(parent, name.clone());
+            for (an, av) in doc.attributes(src) {
+                out.set_attribute(id, an, av);
+            }
+            for c in doc.children(src) {
+                copy_node(doc, c, out, id);
+            }
+        }
+        NodeKind::Text(t) => {
+            out.append_text(parent, t.clone());
+        }
+        NodeKind::Comment(t) => {
+            out.append_comment(parent, t.clone());
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            out.append_pi(parent, target.clone(), data.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::PhysicalDoc;
+    use crate::flwr::parse::parse_flwr;
+    use vh_dataguide::TypedDocument;
+    use vh_xml::builder::paper_figure2;
+    use vh_xml::{serialize, SerializeOptions};
+
+    fn run(query: &str) -> String {
+        let td = TypedDocument::analyze(paper_figure2());
+        let doc = PhysicalDoc::new(&td);
+        let q = parse_flwr(query).unwrap();
+        let out = eval_flwr(&q, &doc).unwrap();
+        serialize(&out, SerializeOptions::compact())
+    }
+
+    #[test]
+    fn sams_query_produces_figure3() {
+        // Figure 1 (result element named per the paper's output shape).
+        let got = run(r#"
+            for $t in doc("book.xml")//book/title
+            let $a := $t/../author
+            return <title>{$t/text()}{$a}</title>
+        "#);
+        assert_eq!(
+            got,
+            "<results>\
+             <title>X<author><name>C</name></author></title>\
+             <title>Y<author><name>D</name></author></title>\
+             </results>"
+        );
+    }
+
+    #[test]
+    fn where_filters_tuples() {
+        let got = run(r#"
+            for $b in doc("book.xml")//book
+            where $b/title = 'Y'
+            return <hit>{$b/publisher/location/text()}</hit>
+        "#);
+        assert_eq!(got, "<results><hit>M</hit></results>");
+    }
+
+    #[test]
+    fn count_embeds_as_text() {
+        let got = run(r#"
+            for $b in doc("book.xml")//book
+            return <c>{count($b/author)}</c>
+        "#);
+        assert_eq!(got, "<results><c>1</c><c>1</c></results>");
+    }
+
+    #[test]
+    fn nested_constructors_and_literal_text() {
+        let got = run(r#"
+            for $b in doc("book.xml")/data/book[1]
+            return <r kind="x">n: <n>{$b/title/text()}</n></r>
+        "#);
+        assert_eq!(
+            got,
+            "<results><r kind=\"x\">n: <n>X</n></r></results>"
+        );
+    }
+
+    #[test]
+    fn let_binds_node_sets() {
+        let got = run(r#"
+            for $d in doc("book.xml")
+            let $titles := $d/book/title
+            return <all>{count($titles)}</all>
+        "#);
+        assert_eq!(got, "<results><all>2</all></results>");
+    }
+
+    #[test]
+    fn order_by_sorts_tuples() {
+        let got = run(r#"
+            for $b in doc("book.xml")//book
+            order by $b/title descending
+            return <t>{$b/title/text()}</t>
+        "#);
+        assert_eq!(got, "<results><t>Y</t><t>X</t></results>");
+        let got = run(r#"
+            for $b in doc("book.xml")//book
+            order by $b/publisher/location
+            return <t>{$b/publisher/location/text()}</t>
+        "#);
+        assert_eq!(got, "<results><t>M</t><t>W</t></results>");
+    }
+
+    #[test]
+    fn order_by_numeric_keys() {
+        let td = TypedDocument::parse(
+            "n.xml",
+            "<s><i><p>9</p></i><i><p>100</p></i><i><p>25</p></i></s>",
+        )
+        .unwrap();
+        let doc = PhysicalDoc::new(&td);
+        let q = parse_flwr(
+            r#"for $i in doc("n.xml")//i
+               order by $i/p
+               return <p>{$i/p/text()}</p>"#,
+        )
+        .unwrap();
+        let out = eval_flwr(&q, &doc).unwrap();
+        assert_eq!(
+            serialize(&out, SerializeOptions::compact()),
+            "<results><p>9</p><p>25</p><p>100</p></results>",
+            "numeric, not lexicographic, ordering"
+        );
+    }
+
+    #[test]
+    fn multiple_for_clauses_build_the_product() {
+        let got = run(r#"
+            for $a in doc("book.xml")//book
+            for $b in doc("book.xml")//book
+            where $a/title != $b/title
+            return <pair>{$a/title/text()}{$b/title/text()}</pair>
+        "#);
+        assert_eq!(
+            got,
+            "<results><pair>XY</pair><pair>YX</pair></results>"
+        );
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let doc = PhysicalDoc::new(&td);
+        let q = parse_flwr(r#"for $t in doc("u")//title return <x>{$missing}</x>"#).unwrap();
+        assert!(eval_flwr(&q, &doc).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! A FLWR (for/let/where/return) subset of XQuery with element
+//! constructors, `doc(...)` and the paper's **`virtualDoc(...)`**.
+//!
+//! This is enough to express every query in the paper verbatim (modulo
+//! whitespace): Sam's transformation (Figure 1), Rhonda's nested query
+//! (Figure 4), and the `virtualDoc` formulation (Figure 6):
+//!
+//! ```text
+//! for $t in virtualDoc("x.xml", "title { author { name } }")//title
+//! return <result> <title>{$t/text()}</title>
+//!                 <count>{count($t/author)}</count> </result>
+//! ```
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! query  ::= clause+ 'return' constructor
+//! clause ::= 'for' $var 'in' source
+//!          | 'let' $var ':=' source
+//!          | 'where' expr
+//! source ::= 'doc(' str ')' path?
+//!          | 'virtualDoc(' str ',' str ')' path?
+//!          | $var path?
+//! constructor ::= '<'name'>' ( text | constructor | '{' expr '}' )* '</'name'>'
+//! ```
+//!
+//! Queries may reference several documents/views (each bound variable
+//! remembers its origin); a single *expression* must confine itself to one
+//! document — its variables decide which.
+
+pub mod ast;
+pub mod eval;
+pub mod parse;
+
+pub use ast::{Clause, Construct, FlwrQuery, Origin, Source};
+pub use eval::{eval_flwr, eval_flwr_multi, DocSet, FlwrError};
+pub use parse::parse_flwr;

@@ -1,0 +1,588 @@
+//! Parser for the FLWR subset.
+//!
+//! Clause structure is recognized at the character level (keywords at
+//! bracket/quote depth zero); path expressions and predicates inside
+//! clauses are delegated to the XPath parser.
+
+use crate::flwr::ast::{Clause, Construct, FlwrQuery, OrderKey, Origin, Source};
+use crate::flwr::eval::FlwrError;
+use crate::xpath::ast::XPath;
+use crate::xpath::parse::{parse_expr, parse_xpath};
+
+/// Parses a FLWR query.
+pub fn parse_flwr(input: &str) -> Result<FlwrQuery, FlwrError> {
+    let mut p = P {
+        s: input,
+        pos: 0,
+    };
+    let mut clauses = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat_keyword("for") {
+            let var = p.var()?;
+            p.skip_ws();
+            if !p.eat_keyword("in") {
+                return Err(p.err("expected 'in' after the for-variable"));
+            }
+            let src = p.source()?;
+            clauses.push(Clause::For(var, src));
+        } else if p.eat_keyword("let") {
+            let var = p.var()?;
+            p.skip_ws();
+            if !p.eat(":=") {
+                return Err(p.err("expected ':=' after the let-variable"));
+            }
+            let src = p.source()?;
+            clauses.push(Clause::Let(var, src));
+        } else if p.eat_keyword("where") {
+            let text = p.take_until_keyword();
+            let e = parse_expr(text.trim()).map_err(FlwrError::from)?;
+            clauses.push(Clause::Where(e));
+        } else if p.eat_keyword("order") {
+            p.skip_ws();
+            if !p.eat_keyword("by") {
+                return Err(p.err("expected 'by' after 'order'"));
+            }
+            let text = p.take_until_keyword().trim().to_owned();
+            clauses.push(Clause::OrderBy(parse_order_keys(&text)?));
+        } else if p.eat_keyword("return") {
+            if clauses.is_empty() {
+                return Err(p.err("a query needs at least one for/let clause"));
+            }
+            let ret = p.constructs()?;
+            p.skip_ws();
+            if p.pos != p.s.len() {
+                return Err(p.err("unexpected input after the return clause"));
+            }
+            return Ok(FlwrQuery { clauses, ret });
+        } else {
+            return Err(p.err("expected 'for', 'let', 'where' or 'return'"));
+        }
+    }
+}
+
+struct P<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: &str) -> FlwrError {
+        FlwrError::Parse(format!("{msg} (at byte {})", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.s[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.s[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Eats a keyword followed by a non-name character.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        let rest = &self.s[self.pos..];
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
+            if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn var(&mut self) -> Result<String, FlwrError> {
+        self.skip_ws();
+        if !self.eat("$") {
+            return Err(self.err("expected '$variable'"));
+        }
+        let start = self.pos;
+        while self.s[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("empty variable name"));
+        }
+        Ok(self.s[start..self.pos].to_owned())
+    }
+
+    /// Consumes text up to the next top-level clause keyword
+    /// (`for`/`let`/`where`/`return`), respecting quotes and brackets.
+    fn take_until_keyword(&mut self) -> &'a str {
+        let bytes = self.s.as_bytes();
+        let start = self.pos;
+        let mut depth = 0i32;
+        let mut i = self.pos;
+        let mut quote: Option<u8> = None;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if let Some(q) = quote {
+                if c == q {
+                    quote = None;
+                }
+                i += 1;
+                continue;
+            }
+            match c {
+                b'"' | b'\'' => {
+                    quote = Some(c);
+                    i += 1;
+                }
+                b'(' | b'[' | b'{' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b')' | b']' | b'}' => {
+                    depth -= 1;
+                    i += 1;
+                }
+                _ if depth == 0 => {
+                    // Keyword at a word boundary?
+                    let prev_ok = i == start
+                        || bytes[i - 1].is_ascii_whitespace()
+                        || bytes[i - 1] == b')';
+                    if prev_ok {
+                        for kw in ["for", "let", "where", "order", "return"] {
+                            if self.s[i..].starts_with(kw) {
+                                let after = self.s[i + kw.len()..].chars().next();
+                                if after
+                                    .is_none_or(|ch| !ch.is_alphanumeric() && ch != '_')
+                                    && i > start
+                                {
+                                    self.pos = i;
+                                    return self.s[start..i].trim_end();
+                                }
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        self.pos = bytes.len();
+        self.s[start..].trim_end()
+    }
+
+    fn source(&mut self) -> Result<Source, FlwrError> {
+        self.skip_ws();
+        let text = self.take_until_keyword().trim();
+        parse_source_text(text).map_err(|m| FlwrError::Parse(format!("{m} in source '{text}'")))
+    }
+
+    /// Parses the return clause: one or more constructors / embeds.
+    fn constructs(&mut self) -> Result<Vec<Construct>, FlwrError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.s[self.pos..].chars().next() {
+                Some('<') => out.push(self.element()?),
+                Some('{') => out.push(self.embed()?),
+                _ => break,
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("expected a constructor after 'return'"));
+        }
+        Ok(out)
+    }
+
+    fn element(&mut self) -> Result<Construct, FlwrError> {
+        let opened = self.eat("<");
+        debug_assert!(opened, "element() is entered at a '<'");
+        let name = self.tag_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("/>") {
+                return Ok(Construct::Element {
+                    name,
+                    attributes,
+                    content: Vec::new(),
+                });
+            }
+            if self.eat(">") {
+                break;
+            }
+            // attribute="literal"
+            let aname = self.tag_name()?;
+            self.skip_ws();
+            if !self.eat("=") {
+                return Err(self.err("expected '=' in constructed attribute"));
+            }
+            self.skip_ws();
+            let quote = if self.eat("\"") {
+                '"'
+            } else if self.eat("'") {
+                '\''
+            } else {
+                return Err(self.err("expected quoted attribute value"));
+            };
+            let start = self.pos;
+            while self.pos < self.s.len()
+                && !self.s[self.pos..].starts_with(quote)
+            {
+                self.pos += 1;
+            }
+            let value = self.s[start..self.pos].to_owned();
+            self.pos += 1; // closing quote
+            attributes.push((aname, value));
+        }
+        // Content.
+        let mut content = Vec::new();
+        loop {
+            if self.s[self.pos..].starts_with("</") {
+                self.pos += 2;
+                let end = self.tag_name()?;
+                if end != name {
+                    return Err(self.err(&format!(
+                        "mismatched constructor end tag </{end}> (expected </{name}>)"
+                    )));
+                }
+                self.skip_ws();
+                if !self.eat(">") {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                return Ok(Construct::Element {
+                    name,
+                    attributes,
+                    content,
+                });
+            }
+            match self.s[self.pos..].chars().next() {
+                Some('<') => content.push(self.element()?),
+                Some('{') => content.push(self.embed()?),
+                Some(_) => {
+                    let start = self.pos;
+                    while self.pos < self.s.len() {
+                        let c = self.s[self.pos..].chars().next().unwrap();
+                        if c == '<' || c == '{' {
+                            break;
+                        }
+                        self.pos += c.len_utf8();
+                    }
+                    let text = &self.s[start..self.pos];
+                    // Whitespace-only runs inside constructors are layout.
+                    if !text.trim().is_empty() {
+                        out_text(&mut content, text);
+                    }
+                }
+                None => return Err(self.err("unterminated element constructor")),
+            }
+        }
+    }
+
+    fn embed(&mut self) -> Result<Construct, FlwrError> {
+        let opened = self.eat("{");
+        debug_assert!(opened, "embed() is entered at a brace");
+        // Find the matching close brace, respecting nesting and quotes.
+        let bytes = self.s.as_bytes();
+        let start = self.pos;
+        let mut depth = 1;
+        let mut quote: Option<u8> = None;
+        let mut i = self.pos;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if let Some(q) = quote {
+                if c == q {
+                    quote = None;
+                }
+            } else {
+                match c {
+                    b'"' | b'\'' => quote = Some(c),
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            let inner = &self.s[start..i];
+                            self.pos = i + 1;
+                            let e = parse_expr(inner.trim()).map_err(FlwrError::from)?;
+                            return Ok(Construct::Embed(e));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        Err(self.err("unterminated '{' in constructor"))
+    }
+
+    fn tag_name(&mut self) -> Result<String, FlwrError> {
+        let start = self.pos;
+        while self.s[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.s[start..self.pos].to_owned())
+    }
+}
+
+fn out_text(content: &mut Vec<Construct>, text: &str) {
+    content.push(Construct::Text(text.to_owned()));
+}
+
+/// Parses the comma-separated keys of an `order by` clause; each key may
+/// end with `ascending` (default) or `descending`.
+fn parse_order_keys(text: &str) -> Result<Vec<OrderKey>, FlwrError> {
+    let mut keys = Vec::new();
+    for part in split_top_level_commas(text) {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(FlwrError::Parse("empty order-by key".into()));
+        }
+        let (expr_text, descending) = if let Some(stripped) = part.strip_suffix("descending") {
+            (stripped.trim_end(), true)
+        } else if let Some(stripped) = part.strip_suffix("ascending") {
+            (stripped.trim_end(), false)
+        } else {
+            (part, false)
+        };
+        let expr = parse_expr(expr_text).map_err(FlwrError::from)?;
+        keys.push(OrderKey { expr, descending });
+    }
+    if keys.is_empty() {
+        return Err(FlwrError::Parse("order by needs at least one key".into()));
+    }
+    Ok(keys)
+}
+
+/// Splits on commas outside parentheses/brackets/quotes.
+fn split_top_level_commas(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut quote: Option<u8> = None;
+    let mut start = 0;
+    for (i, &c) in bytes.iter().enumerate() {
+        if let Some(q) = quote {
+            if c == q {
+                quote = None;
+            }
+            continue;
+        }
+        match c {
+            b'"' | b'\'' => quote = Some(c),
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Parses a source: `doc("u")path?`, `virtualDoc("u","spec")path?`, or
+/// `$var path?`.
+fn parse_source_text(text: &str) -> Result<Source, String> {
+    if let Some(rest) = text.strip_prefix("doc(") {
+        let (uri, rest) = string_arg(rest)?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix(')')
+            .ok_or("expected ')' after doc(...)")?;
+        return Ok(Source {
+            origin: Origin::Doc(uri),
+            path: parse_trailing_path(rest)?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("virtualDoc(") {
+        let (uri, rest) = string_arg(rest)?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix(',')
+            .ok_or("expected ',' between virtualDoc arguments")?;
+        let (spec, rest) = string_arg(rest)?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix(')')
+            .ok_or("expected ')' after virtualDoc(...)")?;
+        return Ok(Source {
+            origin: Origin::VirtualDoc(uri, spec),
+            path: parse_trailing_path(rest)?,
+        });
+    }
+    if text.starts_with('$') {
+        // Whole thing is a var-rooted path.
+        let path = parse_xpath(text).map_err(|e| e.to_string())?;
+        let var = path
+            .root_var
+            .clone()
+            .expect("paths starting with '$' carry a root var");
+        return Ok(Source {
+            origin: Origin::Var(var),
+            path,
+        });
+    }
+    Err("a source must start with doc(, virtualDoc( or $var".to_owned())
+}
+
+/// Parses a quoted string argument, returning (value, rest-after-quote).
+fn string_arg(s: &str) -> Result<(String, &str), String> {
+    let s = s.trim_start();
+    let quote = s
+        .chars()
+        .next()
+        .filter(|&c| c == '"' || c == '\'')
+        .ok_or("expected a string literal")?;
+    let rest = &s[1..];
+    let end = rest
+        .find(quote)
+        .ok_or("unterminated string literal")?;
+    Ok((rest[..end].to_owned(), &rest[end + 1..]))
+}
+
+fn parse_trailing_path(rest: &str) -> Result<XPath, String> {
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return Ok(XPath {
+            absolute: true,
+            root_var: None,
+            steps: Vec::new(),
+        });
+    }
+    parse_xpath(rest).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::ast::Expr;
+
+    #[test]
+    fn parses_sams_query() {
+        // Figure 1, in our constructor syntax.
+        let q = parse_flwr(
+            r#"for $t in doc("book.xml")//book/title
+               let $a := $t/../author
+               return <result><title>{$t/text()}</title>{$a}</result>"#,
+        )
+        .unwrap();
+        assert_eq!(q.clauses.len(), 2);
+        let Clause::For(v, src) = &q.clauses[0] else {
+            panic!("expected for clause");
+        };
+        assert_eq!(v, "t");
+        assert_eq!(src.origin, Origin::Doc("book.xml".into()));
+        assert_eq!(src.path.steps.len(), 3);
+        let Clause::Let(v, src) = &q.clauses[1] else {
+            panic!("expected let clause");
+        };
+        assert_eq!(v, "a");
+        assert_eq!(src.origin, Origin::Var("t".into()));
+        assert_eq!(q.ret.len(), 1);
+    }
+
+    #[test]
+    fn parses_rhondas_virtualdoc_query() {
+        // Figure 6.
+        let q = parse_flwr(
+            r#"for $t in virtualDoc("x.xml", "title { author { name } }")//title
+               return <result><title>{$t/text()}</title>
+                              <count>{count($t/author)}</count></result>"#,
+        )
+        .unwrap();
+        let Clause::For(_, src) = &q.clauses[0] else {
+            panic!();
+        };
+        assert_eq!(
+            src.origin,
+            Origin::VirtualDoc("x.xml".into(), "title { author { name } }".into())
+        );
+        // //title after the call.
+        assert_eq!(src.path.steps.len(), 2);
+        let Construct::Element { name, content, .. } = &q.ret[0] else {
+            panic!();
+        };
+        assert_eq!(name, "result");
+        assert_eq!(content.len(), 2);
+    }
+
+    #[test]
+    fn parses_where_clauses() {
+        let q = parse_flwr(
+            r#"for $b in doc("u")//book
+               where count($b/author) >= 1 and $b/title = 'X'
+               return <hit>{$b/title/text()}</hit>"#,
+        )
+        .unwrap();
+        assert!(matches!(&q.clauses[1], Clause::Where(Expr::And(..))));
+    }
+
+    #[test]
+    fn parses_attributes_and_self_closing() {
+        let q = parse_flwr(
+            r#"for $b in doc("u")//book
+               return <row kind="book"><sep/>{$b}</row>"#,
+        )
+        .unwrap();
+        let Construct::Element {
+            attributes,
+            content,
+            ..
+        } = &q.ret[0]
+        else {
+            panic!();
+        };
+        assert_eq!(attributes, &[("kind".to_owned(), "book".to_owned())]);
+        assert!(matches!(
+            content[0],
+            Construct::Element { ref name, .. } if name == "sep"
+        ));
+    }
+
+    #[test]
+    fn bare_doc_source_means_the_root() {
+        let q = parse_flwr(r#"for $d in doc("u") return <r>{$d}</r>"#).unwrap();
+        let Clause::For(_, src) = &q.clauses[0] else {
+            panic!();
+        };
+        assert!(src.path.steps.is_empty());
+        assert!(src.path.absolute);
+    }
+
+    #[test]
+    fn keywords_inside_strings_do_not_split_clauses() {
+        let q = parse_flwr(
+            r#"for $b in doc("u")//book[title = 'for return']
+               return <r>{$b/title/text()}</r>"#,
+        )
+        .unwrap();
+        assert_eq!(q.clauses.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_flwr("return <x/>").is_err());
+        assert!(parse_flwr("for $t doc(\"u\") return <x/>").is_err());
+        assert!(parse_flwr(r#"for $t in doc("u") return <a><b></a></b>"#).is_err());
+        assert!(parse_flwr(r#"for $t in doc("u") return <a>{unclosed</a>"#).is_err());
+        assert!(parse_flwr(r#"for $t in frob("u") return <a/>"#).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # vh-query — XPath and mini-XQuery over physical *and* virtual documents
+//!
+//! The paper's pipeline: Sam writes a transformation, Rhonda queries its
+//! result. Without vPBN she must materialize Sam's output and re-index it;
+//! with vPBN she writes `virtualDoc("x.xml", "title { author { name } }")`
+//! and her path expressions are evaluated directly in the virtual space.
+//!
+//! This crate provides both sides:
+//! * [`doc`] — the [`doc::QueryDoc`] abstraction: one navigation interface,
+//!   two implementations ([`doc::PhysicalDoc`] over a stored document using
+//!   plain PBN, [`doc::VirtualDoc`] over a
+//!   [`vh_core::VirtualDocument`] using vPBN).
+//! * [`xpath`] — a location-path language (13 axes, name/kind tests,
+//!   predicates with comparisons, positions and functions) with a
+//!   document-agnostic evaluator.
+//! * [`sjoin`] — stack-based structural joins over PBN- or vPBN-sorted
+//!   streams (experiment F6).
+//! * [`twig`] — holistic twig joins (TwigStack) running unchanged on
+//!   physical and virtual streams.
+//! * [`flwr`] — a FLWR (for/let/where/return) subset with element
+//!   constructors, `doc(...)` and the paper's **`virtualDoc(...)`**.
+//! * [`engine`] — the document registry tying it together.
+
+pub mod doc;
+pub mod engine;
+pub mod flwr;
+pub mod sjoin;
+pub mod twig;
+pub mod xpath;
+
+pub use engine::Engine;
+pub use xpath::{parse_xpath, XPath};

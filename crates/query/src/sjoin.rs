@@ -1,0 +1,226 @@
+//! Stack-based structural joins over sorted node streams.
+//!
+//! PBN's killer application in XML query processing is the *structural
+//! join*: given the document-ordered instance lists of two types, find
+//! every (ancestor, descendant) pair with a single merge pass and a stack
+//! of nested ancestors (the Stack-Tree algorithm family). vPBN's claim is
+//! that location predicates remain pure number comparisons, so the same
+//! algorithm runs unchanged on virtual hierarchies — only the comparator
+//! and the containment predicate swap. Experiment F6 measures exactly this.
+
+use std::cmp::Ordering;
+use vh_core::axes::v_ancestor;
+use vh_core::order::v_cmp;
+use vh_core::VirtualDocument;
+use vh_dataguide::TypedDocument;
+use vh_pbn::Pbn;
+use vh_xml::NodeId;
+
+/// Generic Stack-Tree structural join.
+///
+/// Inputs must be sorted by `cmp` (a document order in which an ancestor
+/// precedes its descendants). `contains(a, d)` must be true iff `a` is an
+/// ancestor of `d`; nesting on the stack is guaranteed by the order.
+/// Returns all (ancestor, descendant) pairs, grouped by descendant.
+pub fn stack_tree_join(
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    cmp: &dyn Fn(NodeId, NodeId) -> Ordering,
+    contains: &dyn Fn(NodeId, NodeId) -> bool,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut i = 0;
+    for &d in descendants {
+        // Push every ancestor candidate that starts before d.
+        while i < ancestors.len() && cmp(ancestors[i], d) == Ordering::Less {
+            let a = ancestors[i];
+            while let Some(&top) = stack.last() {
+                if contains(top, a) {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(a);
+            i += 1;
+        }
+        // Pop candidates whose subtree ended before d.
+        while let Some(&top) = stack.last() {
+            if contains(top, d) {
+                break;
+            }
+            stack.pop();
+        }
+        // Every remaining stack entry contains d (they are nested).
+        for &a in &stack {
+            debug_assert!(contains(a, d));
+            out.push((a, d));
+        }
+    }
+    out
+}
+
+/// Physical structural join: inputs sorted by PBN; containment is the
+/// prefix test.
+pub fn physical_structural_join(
+    td: &TypedDocument,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    let pbn = |n: NodeId| -> &Pbn { td.pbn().pbn_of(n) };
+    stack_tree_join(
+        ancestors,
+        descendants,
+        &|a, b| pbn(a).cmp(pbn(b)),
+        &|a, d| pbn(a).is_strict_prefix_of(pbn(d)),
+    )
+}
+
+/// Virtual structural join: inputs sorted by virtual document order;
+/// containment is the `vAncestor` predicate. The caller passes the node
+/// lists of two *virtual types* (e.g. from the type index).
+pub fn virtual_structural_join(
+    vd: &VirtualDocument<'_>,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    stack_tree_join(
+        ancestors,
+        descendants,
+        &|a, b| {
+            v_cmp(
+                vd.vdg(),
+                &vd.vpbn_of(a).expect("join input is visible"),
+                &vd.vpbn_of(b).expect("join input is visible"),
+            )
+        },
+        &|a, d| {
+            v_ancestor(
+                vd.vdg(),
+                &vd.vpbn_of(a).expect("join input is visible"),
+                &vd.vpbn_of(d).expect("join input is visible"),
+            )
+        },
+    )
+}
+
+/// Baseline for the F6/A1 experiments: the nested-loop join that tests
+/// every (ancestor, descendant) pair.
+pub fn nested_loop_join(
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    contains: &dyn Fn(NodeId, NodeId) -> bool,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for &d in descendants {
+        for &a in ancestors {
+            if contains(a, d) {
+                out.push((a, d));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vh_xml::builder::paper_figure2;
+
+    fn sorted_by_pbn(td: &TypedDocument, mut v: Vec<NodeId>) -> Vec<NodeId> {
+        v.sort_by(|&a, &b| td.pbn().pbn_of(a).cmp(td.pbn().pbn_of(b)));
+        v
+    }
+
+    #[test]
+    fn physical_join_matches_nested_loop() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let books = sorted_by_pbn(
+            &td,
+            td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).unwrap()),
+        );
+        let names = sorted_by_pbn(
+            &td,
+            td.nodes_of_type(
+                td.guide()
+                    .lookup_path(&["data", "book", "author", "name"])
+                    .unwrap(),
+            ),
+        );
+        let fast = physical_structural_join(&td, &books, &names);
+        let slow = nested_loop_join(&books, &names, &|a, d| {
+            td.pbn().pbn_of(a).is_strict_prefix_of(td.pbn().pbn_of(d))
+        });
+        assert_eq!(fast.len(), 2);
+        let mut slow_sorted = slow;
+        slow_sorted.sort();
+        let mut fast_sorted = fast;
+        fast_sorted.sort();
+        assert_eq!(fast_sorted, slow_sorted);
+    }
+
+    #[test]
+    fn virtual_join_titles_to_names() {
+        // In Sam's virtual hierarchy, each title contains one name.
+        let td = TypedDocument::analyze(paper_figure2());
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let title_vt = vd.vdg().guide().lookup_path(&["title"]).unwrap();
+        let name_vt = vd
+            .vdg()
+            .guide()
+            .lookup_path(&["title", "author", "name"])
+            .unwrap();
+        let titles = vd.nodes_of_vtype(title_vt).to_vec();
+        let names = vd.nodes_of_vtype(name_vt).to_vec();
+        let pairs = virtual_structural_join(&vd, &titles, &names);
+        assert_eq!(pairs.len(), 2);
+        // Each pair stays within one book.
+        for (t, n) in &pairs {
+            assert_eq!(
+                td.pbn().pbn_of(*t).components()[1],
+                td.pbn().pbn_of(*n).components()[1],
+                "pair crosses books"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_join_equals_nested_loop_with_vancestor() {
+        let td = TypedDocument::analyze(paper_figure2());
+        for spec in ["title { author { name } }", "title { name { author } }"] {
+            let vd = VirtualDocument::open(&td, spec).unwrap();
+            let roots_vt = vd.vdg().roots()[0];
+            // Join roots against every visible node type.
+            for vt_idx in 0..vd.vdg().len() {
+                let vt = vh_core::vdg::VTypeId::from_index(vt_idx);
+                let anc = vd.nodes_of_vtype(roots_vt).to_vec();
+                let desc = vd.nodes_of_vtype(vt).to_vec();
+                // Inputs must be in virtual document order for the join.
+                let mut anc_v = anc.clone();
+                anc_v.sort_by(|&a, &b| {
+                    v_cmp(vd.vdg(), &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(b).unwrap())
+                });
+                let mut desc_v = desc.clone();
+                desc_v.sort_by(|&a, &b| {
+                    v_cmp(vd.vdg(), &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(b).unwrap())
+                });
+                let mut fast = virtual_structural_join(&vd, &anc_v, &desc_v);
+                let mut slow = nested_loop_join(&anc, &desc, &|a, d| {
+                    v_ancestor(vd.vdg(), &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(d).unwrap())
+                });
+                fast.sort();
+                slow.sort();
+                assert_eq!(fast, slow, "spec {spec}, vtype {vt_idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_pairs() {
+        let td = TypedDocument::analyze(paper_figure2());
+        assert!(physical_structural_join(&td, &[], &[]).is_empty());
+        let books =
+            td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).unwrap());
+        assert!(physical_structural_join(&td, &books, &[]).is_empty());
+    }
+}

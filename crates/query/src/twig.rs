@@ -1,0 +1,711 @@
+//! Holistic twig joins (the TwigStack family) over PBN and vPBN streams.
+//!
+//! Structural joins (see [`crate::sjoin`]) answer one ancestor–descendant
+//! edge at a time; *twig* patterns such as
+//! `book(title, author(name))` are matched holistically by the TwigStack
+//! algorithm: one synchronized pass over the per-pattern-node streams with
+//! chained stacks, producing root-to-leaf path solutions that are then
+//! merge-joined into full twig matches.
+//!
+//! The point of carrying this into the reproduction: TwigStack is driven
+//! *only* by document order and containment tests on the numbers. Under
+//! vPBN both are virtual-space comparisons (`v_cmp`, `vAncestor`), so the
+//! identical algorithm evaluates twig patterns **against a virtual
+//! hierarchy** without materializing it — the composition claim of §5 at
+//! the level of a real query operator.
+//!
+//! All pattern edges are descendant edges (`//`), the class for which
+//! TwigStack is optimal; child edges can be post-filtered by the caller.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use vh_core::axes::v_ancestor;
+use vh_core::order::v_cmp;
+use vh_core::VirtualDocument;
+use vh_dataguide::TypedDocument;
+use vh_xml::NodeId;
+
+// ------------------------------------------------------------ patterns ---
+
+/// A twig pattern: a small tree of name tests joined by descendant edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwigPattern {
+    nodes: Vec<TwigNode>,
+}
+
+/// One pattern node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwigNode {
+    /// Element name this pattern node matches.
+    pub test: String,
+    /// Parent pattern node (None for the root).
+    pub parent: Option<usize>,
+    /// Child pattern nodes.
+    pub children: Vec<usize>,
+}
+
+impl TwigPattern {
+    /// Parses the compact syntax `name(child, child(grandchild), …)`;
+    /// every edge is a descendant edge.
+    ///
+    /// ```
+    /// use vh_query::twig::TwigPattern;
+    /// let p = TwigPattern::parse("book(title, author(name))").unwrap();
+    /// assert_eq!(p.len(), 4);
+    /// assert_eq!(p.leaves(), vec![1, 3]);
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, TwigError> {
+        let mut p = TwigParser {
+            s: input.as_bytes(),
+            input,
+            pos: 0,
+            nodes: Vec::new(),
+        };
+        p.skip_ws();
+        let root = p.node(None)?;
+        debug_assert_eq!(root, 0);
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(TwigError(format!(
+                "trailing input at byte {} of '{input}'",
+                p.pos
+            )));
+        }
+        Ok(TwigPattern { nodes: p.nodes })
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for the (impossible after parsing) empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The pattern nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[TwigNode] {
+        &self.nodes
+    }
+
+    /// Pattern-node indices of the leaves, ascending.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
+    }
+
+    /// The root-to-`q` chain of pattern nodes (inclusive).
+    pub fn path_to(&self, q: usize) -> Vec<usize> {
+        let mut path = vec![q];
+        let mut cur = q;
+        while let Some(p) = self.nodes[cur].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Twig parsing / evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigError(pub String);
+
+impl fmt::Display for TwigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "twig error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TwigError {}
+
+struct TwigParser<'a> {
+    s: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    nodes: Vec<TwigNode>,
+}
+
+impl<'a> TwigParser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.s.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn node(&mut self, parent: Option<usize>) -> Result<usize, TwigError> {
+        let start = self.pos;
+        while self
+            .s
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'#'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(TwigError(format!(
+                "expected a name at byte {} of '{}'",
+                self.pos, self.input
+            )));
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(TwigNode {
+            test: self.input[start..self.pos].to_owned(),
+            parent,
+            children: Vec::new(),
+        });
+        self.skip_ws();
+        if self.s.get(self.pos) == Some(&b'(') {
+            self.pos += 1;
+            loop {
+                self.skip_ws();
+                let child = self.node(Some(idx))?;
+                self.nodes[idx].children.push(child);
+                self.skip_ws();
+                match self.s.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => {
+                        return Err(TwigError(format!(
+                            "expected ',' or ')' at byte {} of '{}'",
+                            self.pos, self.input
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(idx)
+    }
+}
+
+// ------------------------------------------------------------- sources ---
+
+/// What TwigStack needs from a document: per-name streams in document
+/// order, the order itself, and containment.
+pub trait TwigSource {
+    /// All elements matching `test`, in document order.
+    fn stream(&self, test: &str) -> Vec<NodeId>;
+    /// Document-order comparison.
+    fn cmp(&self, a: NodeId, b: NodeId) -> Ordering;
+    /// True iff `a` is a (proper) ancestor of `b`.
+    fn contains(&self, a: NodeId, b: NodeId) -> bool;
+}
+
+/// Physical source: plain PBN order and prefix containment.
+pub struct PhysicalTwigSource<'a> {
+    td: &'a TypedDocument,
+    by_name: HashMap<String, Vec<NodeId>>,
+}
+
+impl<'a> PhysicalTwigSource<'a> {
+    /// Builds per-name streams once (the name index of §4.3).
+    pub fn new(td: &'a TypedDocument) -> Self {
+        let mut by_name: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for (_, id) in td.pbn().in_document_order() {
+            if let Some(name) = td.doc().name(*id) {
+                by_name.entry(name.to_owned()).or_default().push(*id);
+            }
+        }
+        PhysicalTwigSource { td, by_name }
+    }
+}
+
+impl<'a> TwigSource for PhysicalTwigSource<'a> {
+    fn stream(&self, test: &str) -> Vec<NodeId> {
+        self.by_name.get(test).cloned().unwrap_or_default()
+    }
+
+    fn cmp(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.td.pbn().pbn_of(a).cmp(self.td.pbn().pbn_of(b))
+    }
+
+    fn contains(&self, a: NodeId, b: NodeId) -> bool {
+        self.td
+            .pbn()
+            .pbn_of(a)
+            .is_strict_prefix_of(self.td.pbn().pbn_of(b))
+    }
+}
+
+/// Virtual source: virtual document order and `vAncestor` containment.
+pub struct VirtualTwigSource<'a> {
+    vd: &'a VirtualDocument<'a>,
+}
+
+impl<'a> VirtualTwigSource<'a> {
+    /// Wraps a virtual document.
+    pub fn new(vd: &'a VirtualDocument<'a>) -> Self {
+        VirtualTwigSource { vd }
+    }
+}
+
+impl<'a> TwigSource for VirtualTwigSource<'a> {
+    fn stream(&self, test: &str) -> Vec<NodeId> {
+        let vdg = self.vd.vdg();
+        let mut out: Vec<NodeId> = vdg
+            .guide()
+            .type_ids()
+            .filter(|&vt| vdg.guide().name(vt) == test)
+            .flat_map(|vt| self.vd.nodes_of_vtype(vt).iter().copied())
+            .collect();
+        out.sort_by(|&a, &b| self.cmp(a, b));
+        out
+    }
+
+    fn cmp(&self, a: NodeId, b: NodeId) -> Ordering {
+        v_cmp(
+            self.vd.vdg(),
+            &self.vd.vpbn_of(a).expect("stream nodes are visible"),
+            &self.vd.vpbn_of(b).expect("stream nodes are visible"),
+        )
+    }
+
+    fn contains(&self, a: NodeId, b: NodeId) -> bool {
+        v_ancestor(
+            self.vd.vdg(),
+            &self.vd.vpbn_of(a).expect("stream nodes are visible"),
+            &self.vd.vpbn_of(b).expect("stream nodes are visible"),
+        )
+    }
+}
+
+// ------------------------------------------------------------ algorithm ---
+
+/// A full twig match: `assignment[q]` is the document node bound to
+/// pattern node `q`.
+pub type TwigMatch = Vec<NodeId>;
+
+/// Evaluates a twig pattern holistically. Returns all matches, each an
+/// assignment of one document node per pattern node, in no particular
+/// order.
+pub fn twig_join(source: &dyn TwigSource, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    let paths = twig_path_solutions(source, pattern);
+    merge_path_solutions(pattern, &paths)
+}
+
+/// Phase 1 of TwigStack: computes the root-to-leaf *path solutions* for
+/// every leaf of the pattern. `result[leaf_position]` holds node chains in
+/// pattern `path_to(leaf)` order.
+pub fn twig_path_solutions(
+    source: &dyn TwigSource,
+    pattern: &TwigPattern,
+) -> Vec<Vec<Vec<NodeId>>> {
+    TwigStack::new(source, pattern).run()
+}
+
+struct TwigStack<'s> {
+    source: &'s dyn TwigSource,
+    pattern: &'s TwigPattern,
+    /// Per pattern node: its stream and cursor.
+    streams: Vec<Vec<NodeId>>,
+    cursor: Vec<usize>,
+    /// Per pattern node: stack of (doc node, parent-stack height at push).
+    stacks: Vec<Vec<(NodeId, usize)>>,
+    /// Leaf index in pattern → position in output.
+    leaf_pos: HashMap<usize, usize>,
+    out: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl<'s> TwigStack<'s> {
+    fn new(source: &'s dyn TwigSource, pattern: &'s TwigPattern) -> Self {
+        let streams: Vec<Vec<NodeId>> = pattern
+            .nodes()
+            .iter()
+            .map(|n| source.stream(&n.test))
+            .collect();
+        let leaves = pattern.leaves();
+        let leaf_pos: HashMap<usize, usize> =
+            leaves.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        TwigStack {
+            source,
+            pattern,
+            cursor: vec![0; streams.len()],
+            stacks: vec![Vec::new(); streams.len()],
+            streams,
+            out: vec![Vec::new(); leaves.len()],
+            leaf_pos,
+        }
+    }
+
+    fn head(&self, q: usize) -> Option<NodeId> {
+        self.streams[q].get(self.cursor[q]).copied()
+    }
+
+    fn advance(&mut self, q: usize) {
+        self.cursor[q] += 1;
+    }
+
+    fn exhausted(&self, q: usize) -> bool {
+        self.cursor[q] >= self.streams[q].len()
+    }
+
+    /// The getNext(q) of TwigStack, returning the pattern node to advance
+    /// next — guaranteed to have a stream head — or `None` when the
+    /// subtree rooted at `q` is *inert*: no cursor below can make further
+    /// progress, so its path solutions are final. Exhausted branches are
+    /// skipped rather than halting the pass, because other branches can
+    /// still emit path solutions that merge with the finished branch's.
+    fn get_next(&mut self, q: usize) -> Option<usize> {
+        let children = self.pattern.nodes()[q].children.clone();
+        if children.is_empty() {
+            return if self.exhausted(q) { None } else { Some(q) };
+        }
+        let mut max_child_head: Option<NodeId> = None;
+        let mut min_child: Option<(usize, NodeId)> = None;
+        for &c in &children {
+            match self.get_next(c) {
+                None => continue, // inert branch
+                Some(r) if r != c => return Some(r),
+                Some(_) => {
+                    let h = self.head(c).expect("live child has a head");
+                    if max_child_head
+                        .is_none_or(|m| self.source.cmp(h, m) == Ordering::Greater)
+                    {
+                        max_child_head = Some(h);
+                    }
+                    if min_child.is_none_or(|(_, m)| self.source.cmp(h, m) == Ordering::Less) {
+                        min_child = Some((c, h));
+                    }
+                }
+            }
+        }
+        // Every child branch is inert: nothing below can progress.
+        let q_max = max_child_head?;
+        // Skip q candidates that end before the farthest child head: they
+        // cannot contain all (remaining) children.
+        while let Some(hq) = self.head(q) {
+            if self.source.cmp(hq, q_max) == Ordering::Less && !self.source.contains(hq, q_max) {
+                self.advance(q);
+            } else {
+                break;
+            }
+        }
+        let (min_c, q_min) = min_child.expect("q_max implies a live child");
+        match self.head(q) {
+            Some(hq) if self.source.cmp(hq, q_min) == Ordering::Less => Some(q),
+            // q exhausted or behind: drain the child (its pushes still see
+            // whatever ancestor entries remain stacked).
+            _ => Some(min_c),
+        }
+    }
+
+    /// Pops stack entries that end before `next` starts.
+    fn clean_stack(&mut self, q: usize, next: NodeId) {
+        while let Some(&(top, _)) = self.stacks[q].last() {
+            if self.source.contains(top, next) {
+                break;
+            }
+            self.stacks[q].pop();
+        }
+    }
+
+    fn run(mut self) -> Vec<Vec<Vec<NodeId>>> {
+        let root = 0;
+        while let Some(q) = self.get_next(root) {
+            let hq = self.head(q).expect("get_next returns nodes with heads");
+            if let Some(p) = self.pattern.nodes()[q].parent {
+                self.clean_stack(p, hq);
+            }
+            let parent_ok = self.pattern.nodes()[q]
+                .parent
+                .is_none_or(|p| !self.stacks[p].is_empty());
+            if parent_ok {
+                self.clean_stack(q, hq);
+                let parent_height = self.pattern.nodes()[q]
+                    .parent
+                    .map_or(0, |p| self.stacks[p].len());
+                self.stacks[q].push((hq, parent_height));
+                if self.pattern.nodes()[q].children.is_empty() {
+                    self.emit_paths(q);
+                    self.stacks[q].pop();
+                }
+            }
+            self.advance(q);
+        }
+        self.out
+    }
+
+    /// Emits every root-to-leaf solution encoded by the current stacks for
+    /// leaf `q` (its own top entry combined with all compatible ancestor
+    /// stack prefixes).
+    fn emit_paths(&mut self, leaf: usize) {
+        let chain = self.pattern.path_to(leaf);
+        let mut paths: Vec<Vec<NodeId>> = Vec::new();
+        // Walk from the leaf upward: each entry limits how much of the
+        // parent stack is visible (the height recorded at push time).
+        let (leaf_node, mut visible) = *self.stacks[leaf].last().expect("leaf just pushed");
+        paths.push(vec![leaf_node]);
+        for &q in chain.iter().rev().skip(1) {
+            let stack = &self.stacks[q];
+            let mut extended = Vec::new();
+            for path in &paths {
+                for (i, &(node, ph)) in stack.iter().enumerate().take(visible) {
+                    let _ = i;
+                    let mut p = path.clone();
+                    p.push(node);
+                    extended.push((p, ph));
+                }
+            }
+            // All entries share the same next visibility bound per path;
+            // take the maximum parent height among used entries (entries
+            // deeper in the stack recorded smaller heights, which only
+            // matters for the path that used them — track per path).
+            let mut next_paths = Vec::with_capacity(extended.len());
+            let mut next_visible = 0;
+            for (p, ph) in extended {
+                next_visible = next_visible.max(ph);
+                next_paths.push(p);
+            }
+            // Per-path visibility is approximated by the maximum; verify
+            // ancestry explicitly to stay exact.
+            paths = next_paths;
+            visible = next_visible.max(1);
+        }
+        let pos = self.leaf_pos[&leaf];
+        for mut p in paths {
+            p.reverse(); // root-first, matching path_to order
+            // Exactness guard: each consecutive pair must nest.
+            let ok = p.windows(2).all(|w| self.source.contains(w[0], w[1]));
+            if ok {
+                self.out[pos].push(p);
+            }
+        }
+    }
+}
+
+/// Phase 2: merge per-leaf path solutions into full twig matches by
+/// hash-joining on the shared pattern prefixes.
+pub fn merge_path_solutions(
+    pattern: &TwigPattern,
+    paths: &[Vec<Vec<NodeId>>],
+) -> Vec<TwigMatch> {
+    let leaves = pattern.leaves();
+    debug_assert_eq!(leaves.len(), paths.len());
+    // Start with the first leaf's paths as partial assignments.
+    let mut partial: Vec<HashMap<usize, NodeId>> = Vec::new();
+    if let Some((&first_leaf, rest)) = leaves.split_first() {
+        let chain = pattern.path_to(first_leaf);
+        for p in &paths[0] {
+            partial.push(chain.iter().copied().zip(p.iter().copied()).collect());
+        }
+        for (li, &leaf) in rest.iter().enumerate() {
+            let chain = pattern.path_to(leaf);
+            let mut next = Vec::new();
+            for assign in &partial {
+                for p in &paths[li + 1] {
+                    let candidate: HashMap<usize, NodeId> =
+                        chain.iter().copied().zip(p.iter().copied()).collect();
+                    // Shared pattern nodes must agree.
+                    let compatible = candidate
+                        .iter()
+                        .all(|(q, n)| assign.get(q).is_none_or(|m| m == n));
+                    if compatible {
+                        let mut merged = assign.clone();
+                        merged.extend(candidate);
+                        next.push(merged);
+                    }
+                }
+            }
+            partial = next;
+        }
+    }
+    partial
+        .into_iter()
+        .map(|assign| {
+            (0..pattern.len())
+                .map(|q| *assign.get(&q).expect("assignment covers all pattern nodes"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Reference implementation for testing: naive recursive enumeration of
+/// all twig matches using only `contains`.
+pub fn twig_join_naive(source: &dyn TwigSource, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    /// All assignments for the pattern subtree rooted at `q` given
+    /// `q → node`, as sparse vectors over the whole pattern.
+    fn solve(
+        source: &dyn TwigSource,
+        pattern: &TwigPattern,
+        q: usize,
+        node: NodeId,
+    ) -> Vec<Vec<Option<NodeId>>> {
+        let mut base = vec![None; pattern.len()];
+        base[q] = Some(node);
+        let mut partials = vec![base];
+        for &c in &pattern.nodes()[q].children {
+            let mut next = Vec::new();
+            for cand in source.stream(&pattern.nodes()[c].test) {
+                if !source.contains(node, cand) {
+                    continue;
+                }
+                for sub in solve(source, pattern, c, cand) {
+                    for p in &partials {
+                        let merged: Vec<Option<NodeId>> = p
+                            .iter()
+                            .zip(&sub)
+                            .map(|(a, b)| a.or(*b))
+                            .collect();
+                        next.push(merged);
+                    }
+                }
+            }
+            partials = next;
+        }
+        partials
+    }
+
+    let mut out = Vec::new();
+    for root_cand in source.stream(&pattern.nodes()[0].test) {
+        for assign in solve(source, pattern, 0, root_cand) {
+            out.push(
+                assign
+                    .into_iter()
+                    .map(|o| o.expect("subtree solutions cover all pattern nodes"))
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vh_xml::builder::paper_figure2;
+
+    fn sorted(mut m: Vec<TwigMatch>) -> Vec<TwigMatch> {
+        m.sort();
+        m.dedup();
+        m
+    }
+
+    #[test]
+    fn pattern_parsing() {
+        let p = TwigPattern::parse("book(title, author(name))").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.nodes()[0].test, "book");
+        assert_eq!(p.nodes()[0].children, vec![1, 2]);
+        assert_eq!(p.nodes()[2].children, vec![3]);
+        assert_eq!(p.leaves(), vec![1, 3]);
+        assert_eq!(p.path_to(3), vec![0, 2, 3]);
+        assert!(TwigPattern::parse("a(b").is_err());
+        assert!(TwigPattern::parse("a)b").is_err());
+        assert!(TwigPattern::parse("(a)").is_err());
+    }
+
+    #[test]
+    fn physical_twig_on_figure2() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let src = PhysicalTwigSource::new(&td);
+        let p = TwigPattern::parse("book(title, author(name))").unwrap();
+        let matches = twig_join(&src, &p);
+        // One match per book: (book, its title, its author, its name).
+        assert_eq!(matches.len(), 2);
+        for m in &matches {
+            assert!(src.contains(m[0], m[1]));
+            assert!(src.contains(m[0], m[2]));
+            assert!(src.contains(m[2], m[3]));
+        }
+    }
+
+    #[test]
+    fn physical_twig_matches_naive() {
+        let td = TypedDocument::analyze(vh_workload_books(25, 3));
+        let src = PhysicalTwigSource::new(&td);
+        for pat in [
+            "book(title)",
+            "book(author(name))",
+            "book(title, author)",
+            "book(title, author(name), publisher(location))",
+            "data(book(author))",
+        ] {
+            let p = TwigPattern::parse(pat).unwrap();
+            let fast = sorted(twig_join(&src, &p));
+            let slow = sorted(twig_join_naive(&src, &p));
+            assert_eq!(fast, slow, "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn virtual_twig_matches_naive() {
+        let td = TypedDocument::analyze(vh_workload_books(15, 3));
+        for spec in ["title { author { name } }", "location { title author { name } }"] {
+            let vd = VirtualDocument::open(&td, spec).unwrap();
+            let src = VirtualTwigSource::new(&vd);
+            for pat in ["title(author)", "title(author(name))"] {
+                let p = TwigPattern::parse(pat).unwrap();
+                if src.stream(&p.nodes()[0].test).is_empty() {
+                    continue;
+                }
+                let fast = sorted(twig_join(&src, &p));
+                let slow = sorted(twig_join_naive(&src, &p));
+                assert_eq!(fast, slow, "spec {spec} pattern {pat}");
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_twig_crosses_the_transformation() {
+        // In Sam's view, title//name holds although physically title and
+        // name are in disjoint subtrees.
+        let td = TypedDocument::analyze(paper_figure2());
+        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let src = VirtualTwigSource::new(&vd);
+        let p = TwigPattern::parse("title(name)").unwrap();
+        let matches = twig_join(&src, &p);
+        assert_eq!(matches.len(), 2);
+        // Physically those same pairs do NOT nest.
+        let phys = PhysicalTwigSource::new(&td);
+        for m in &matches {
+            assert!(!phys.contains(m[0], m[1]));
+        }
+    }
+
+    #[test]
+    fn empty_streams_yield_no_matches() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let src = PhysicalTwigSource::new(&td);
+        let p = TwigPattern::parse("book(nosuch)").unwrap();
+        assert!(twig_join(&src, &p).is_empty());
+        let p = TwigPattern::parse("nosuch").unwrap();
+        assert!(twig_join(&src, &p).is_empty());
+    }
+
+    #[test]
+    fn single_node_pattern_is_a_scan() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let src = PhysicalTwigSource::new(&td);
+        let p = TwigPattern::parse("author").unwrap();
+        assert_eq!(twig_join(&src, &p).len(), 2);
+    }
+
+    fn vh_workload_books(n: usize, authors: usize) -> vh_xml::Document {
+        // Local mini-generator to avoid a dev-dependency cycle with
+        // vh-workload: same shape as the books corpus.
+        use vh_xml::ElementBuilder;
+        let mut data = ElementBuilder::new("data");
+        for i in 0..n {
+            let mut book = ElementBuilder::new("book")
+                .child(ElementBuilder::new("title").text(format!("T{i}")));
+            for a in 0..(i % authors) + 1 {
+                book = book.child(
+                    ElementBuilder::new("author")
+                        .child(ElementBuilder::new("name").text(format!("N{i}x{a}"))),
+                );
+            }
+            book = book.child(
+                ElementBuilder::new("publisher")
+                    .child(ElementBuilder::new("location").text("L")),
+            );
+            data = data.child(book);
+        }
+        data.into_document("books.xml")
+    }
+}

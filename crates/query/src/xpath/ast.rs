@@ -1,0 +1,199 @@
+//! XPath abstract syntax.
+
+use std::fmt;
+
+/// A parsed location path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XPath {
+    /// True when the path starts at the document root(s) (`/...` or
+    /// `//...`); false for relative paths evaluated from a context node.
+    pub absolute: bool,
+    /// When set, the path is rooted at a variable binding (`$t/author`):
+    /// the FLWR engine supplies the nodes bound to the variable as the
+    /// starting contexts. Mutually exclusive with `absolute`.
+    pub root_var: Option<String>,
+    /// The steps, left to right. May be empty for a bare `$var` reference.
+    pub steps: Vec<Step>,
+}
+
+/// One location step: axis, node test, predicates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    /// The axis to walk.
+    pub axis: Axis,
+    /// Which nodes on the axis qualify.
+    pub test: NodeTest,
+    /// Zero or more predicates, applied in order.
+    pub predicates: Vec<Expr>,
+}
+
+/// The supported axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child::` (default).
+    Child,
+    /// `descendant::`.
+    Descendant,
+    /// `descendant-or-self::` (the meaning of `//`).
+    DescendantOrSelf,
+    /// `self::` (`.`).
+    SelfAxis,
+    /// `parent::` (`..`).
+    Parent,
+    /// `ancestor::`.
+    Ancestor,
+    /// `ancestor-or-self::`.
+    AncestorOrSelf,
+    /// `following-sibling::`.
+    FollowingSibling,
+    /// `preceding-sibling::`.
+    PrecedingSibling,
+    /// `following::`.
+    Following,
+    /// `preceding::`.
+    Preceding,
+    /// `attribute::` (`@`).
+    Attribute,
+}
+
+impl Axis {
+    /// The axis name as written in the full syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::Attribute => "attribute",
+        }
+    }
+}
+
+/// A node test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A name test (`book`).
+    Name(String),
+    /// `*` — any element.
+    AnyElement,
+    /// `text()`.
+    Text,
+    /// `node()` — any node.
+    AnyNode,
+    /// `comment()`.
+    Comment,
+}
+
+/// A predicate or general expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A relative (or absolute) path evaluated as a node set.
+    Path(XPath),
+    /// A string literal.
+    Literal(String),
+    /// A numeric literal. A bare number predicate means a position test.
+    Number(f64),
+    /// Binary comparison.
+    Compare(Box<Expr>, CmpOp, Box<Expr>),
+    /// Binary arithmetic (`+ - * div mod`), evaluated over numbers.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Union of path results (`a | b`), merged in document order.
+    Union(Vec<XPath>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "div",
+            ArithOp::Mod => "mod",
+        })
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_names_round_trip() {
+        for a in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::SelfAxis,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+            Axis::Following,
+            Axis::Preceding,
+            Axis::Attribute,
+        ] {
+            assert!(!a.name().is_empty());
+        }
+    }
+}

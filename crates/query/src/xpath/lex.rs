@@ -1,0 +1,320 @@
+//! Tokenizer for XPath expressions.
+
+use std::fmt;
+
+/// One XPath token.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Tok {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `@`
+    At,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `::`
+    ColonColon,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-` (standalone; hyphens inside names stay in the name)
+    Minus,
+    /// `=` `!=` `<` `<=` `>` `>=`
+    Cmp(&'static str),
+    /// A name (also `and` / `or`, disambiguated by the parser).
+    Name(String),
+    /// A quoted string literal.
+    Literal(String),
+    /// A number.
+    Number(f64),
+    /// `$name` variable reference (used by the FLWR engine).
+    Var(String),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Slash => f.write_str("/"),
+            Tok::DoubleSlash => f.write_str("//"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::At => f.write_str("@"),
+            Tok::Dot => f.write_str("."),
+            Tok::DotDot => f.write_str(".."),
+            Tok::Star => f.write_str("*"),
+            Tok::Comma => f.write_str(","),
+            Tok::ColonColon => f.write_str("::"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Cmp(op) => f.write_str(op),
+            Tok::Name(n) => f.write_str(n),
+            Tok::Literal(l) => write!(f, "'{l}'"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Var(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+/// Tokenizes `input`; returns the tokens or an error message with offset.
+pub(crate) fn tokenize(input: &str) -> Result<Vec<Tok>, (String, usize)> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' => {
+                if b.get(i + 1) == Some(&b'/') {
+                    out.push(Tok::DoubleSlash);
+                    i += 2;
+                } else {
+                    out.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            b'[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b'@' => {
+                out.push(Tok::At);
+                i += 1;
+            }
+            b',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            b'|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.push(Tok::ColonColon);
+                i += 2;
+            }
+            b'.' => {
+                if b.get(i + 1) == Some(&b'.') {
+                    out.push(Tok::DotDot);
+                    i += 2;
+                } else if b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (n, used) = lex_number(&input[i..]);
+                    out.push(Tok::Number(n));
+                    i += used;
+                } else {
+                    out.push(Tok::Dot);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                out.push(Tok::Cmp("="));
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Cmp("!="));
+                i += 2;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Cmp("<="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Cmp("<"));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Cmp(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Cmp(">"));
+                    i += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != quote {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(("unterminated string literal".into(), i));
+                }
+                out.push(Tok::Literal(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(("expected variable name after '$'".into(), i));
+                }
+                out.push(Tok::Var(input[start..j].to_owned()));
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let (n, used) = lex_number(&input[i..]);
+                out.push(Tok::Number(n));
+                i += used;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() {
+                    let d = b[j];
+                    // A ':' not followed by another ':' stays in the name
+                    // (namespace-style names); '::' is the axis separator.
+                    let name_char = d.is_ascii_alphanumeric()
+                        || matches!(d, b'_' | b'-' | b'.' | b'#')
+                        || d >= 0x80
+                        || (d == b':' && b.get(j + 1) != Some(&b':') && j > start);
+                    if name_char {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Trailing '.' belongs to an abbreviation, not the name.
+                let mut end = j;
+                while end > start && b[end - 1] == b'.' {
+                    end -= 1;
+                }
+                out.push(Tok::Name(input[start..end].to_owned()));
+                i = end.max(start + 1);
+            }
+            _ => return Err((format!("unexpected character '{}'", c as char), i)),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(s: &str) -> (f64, usize) {
+    let b = s.as_bytes();
+    let mut j = 0;
+    let mut seen_dot = false;
+    while j < b.len() {
+        match b[j] {
+            b'0'..=b'9' => j += 1,
+            b'.' if !seen_dot && b.get(j + 1).is_some_and(u8::is_ascii_digit) => {
+                seen_dot = true;
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    (s[..j].parse().unwrap_or(f64::NAN), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paths() {
+        let t = tokenize("//book/title[1]").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::DoubleSlash,
+                Tok::Name("book".into()),
+                Tok::Slash,
+                Tok::Name("title".into()),
+                Tok::LBracket,
+                Tok::Number(1.0),
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_predicates_and_functions() {
+        let t = tokenize("book[count(author) >= 2 and title = 'X']").unwrap();
+        assert!(t.contains(&Tok::Cmp(">=")));
+        assert!(t.contains(&Tok::Name("and".into())));
+        assert!(t.contains(&Tok::Literal("X".into())));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let t = tokenize("a | b + 2 - $v").unwrap();
+        assert!(t.contains(&Tok::Pipe));
+        assert!(t.contains(&Tok::Plus));
+        assert!(t.contains(&Tok::Minus));
+        // '#' alone is still rejected.
+        assert!(tokenize("a # b").is_err());
+    }
+
+    #[test]
+    fn tokenizes_axes_and_abbreviations() {
+        let t = tokenize("ancestor::book/.. /@id").unwrap();
+        assert_eq!(t[0], Tok::Name("ancestor".into()));
+        assert_eq!(t[1], Tok::ColonColon);
+        assert!(t.contains(&Tok::DotDot));
+        assert!(t.contains(&Tok::At));
+        let t = tokenize("$title/text()").unwrap();
+        assert_eq!(t[0], Tok::Var("title".into()));
+    }
+
+    #[test]
+    fn numbers_and_decimals() {
+        assert_eq!(tokenize("3.25").unwrap(), vec![Tok::Number(3.25)]);
+        assert_eq!(tokenize(".5").unwrap(), vec![Tok::Number(0.5)]);
+        // A name followed by '.' then digits is a name + number (weird but
+        // unambiguous in our grammar since names can contain dots).
+        let t = tokenize("n1.x").unwrap();
+        assert_eq!(t, vec![Tok::Name("n1.x".into())]);
+    }
+
+    #[test]
+    fn unterminated_literal_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+}

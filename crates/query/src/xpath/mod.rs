@@ -1,0 +1,25 @@
+//! An XPath 1.0 subset: location paths with thirteen axes, node tests,
+//! and predicates (comparisons, positions, boolean operators, a small
+//! function library).
+//!
+//! Grammar (abbreviated and full axis syntax):
+//!
+//! ```text
+//! path      ::= '/'? step ('/' step)*  |  '//' step ('/' step)*
+//! step      ::= (axis '::')? test predicate*
+//!             | '@' name | '.' | '..'
+//! test      ::= name | '*' | 'text()' | 'node()' | 'comment()'
+//! predicate ::= '[' expr ']'
+//! expr      ::= or-expr ; with =, !=, <, <=, >, >=, and, or,
+//!               numbers, 'literals', paths, count(...), not(...),
+//!               contains(...), position(), last()
+//! ```
+
+pub mod ast;
+pub mod eval;
+mod lex;
+pub mod parse;
+
+pub use ast::{Axis, Expr, NodeTest, Step, XPath};
+pub use eval::{eval_xpath, eval_xpath_from, XValue};
+pub use parse::{parse_xpath, XPathError};

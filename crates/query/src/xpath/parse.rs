@@ -1,0 +1,508 @@
+//! Recursive-descent parser for the XPath subset.
+
+use crate::xpath::ast::{ArithOp, Axis, CmpOp, Expr, NodeTest, Step, XPath};
+use crate::xpath::lex::{tokenize, Tok};
+use std::fmt;
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError(pub String);
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parses an XPath location path such as `//book/title[author = 'X']`.
+pub fn parse_xpath(input: &str) -> Result<XPath, XPathError> {
+    let toks = tokenize(input).map_err(|(m, off)| XPathError(format!("{m} at byte {off}")))?;
+    let mut p = Parser { toks, pos: 0 };
+    let path = p.path()?;
+    if p.pos != p.toks.len() {
+        return Err(XPathError(format!(
+            "trailing input at token {} ({})",
+            p.pos, p.toks[p.pos]
+        )));
+    }
+    Ok(path)
+}
+
+/// Parses a free-standing expression (used by the FLWR engine for `where`
+/// clauses).
+pub fn parse_expr(input: &str) -> Result<Expr, XPathError> {
+    let toks = tokenize(input).map_err(|(m, off)| XPathError(format!("{m} at byte {off}")))?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(XPathError("trailing input after expression".into()));
+    }
+    Ok(e)
+}
+
+pub(crate) struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), XPathError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(XPathError(format!(
+                "expected '{t}', found {}",
+                self.peek().map_or("end of input".to_owned(), |x| x.to_string())
+            )))
+        }
+    }
+
+    /// `path ::= '$'var ('/' step)* | '/'? step ('/'|'//' step)* | '//' …`
+    pub(crate) fn path(&mut self) -> Result<XPath, XPathError> {
+        // Variable-rooted path: `$t`, `$t/author`, `$t//name`.
+        if let Some(Tok::Var(v)) = self.peek() {
+            let root_var = Some(v.clone());
+            self.pos += 1;
+            let mut steps = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(Tok::Slash) => {
+                        self.pos += 1;
+                        steps.push(self.step()?);
+                    }
+                    Some(Tok::DoubleSlash) => {
+                        self.pos += 1;
+                        steps.push(Step {
+                            axis: Axis::DescendantOrSelf,
+                            test: NodeTest::AnyNode,
+                            predicates: Vec::new(),
+                        });
+                        steps.push(self.step()?);
+                    }
+                    _ => break,
+                }
+            }
+            return Ok(XPath {
+                absolute: false,
+                root_var,
+                steps,
+            });
+        }
+        let mut steps = Vec::new();
+        let absolute = match self.peek() {
+            Some(Tok::Slash) => {
+                self.pos += 1;
+                true
+            }
+            Some(Tok::DoubleSlash) => {
+                self.pos += 1;
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::AnyNode,
+                    predicates: Vec::new(),
+                });
+                true
+            }
+            _ => false,
+        };
+        steps.push(self.step()?);
+        loop {
+            match self.peek() {
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    steps.push(self.step()?);
+                }
+                Some(Tok::DoubleSlash) => {
+                    self.pos += 1;
+                    steps.push(Step {
+                        axis: Axis::DescendantOrSelf,
+                        test: NodeTest::AnyNode,
+                        predicates: Vec::new(),
+                    });
+                    steps.push(self.step()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(XPath {
+            absolute,
+            root_var: None,
+            steps,
+        })
+    }
+
+    fn step(&mut self) -> Result<Step, XPathError> {
+        // Abbreviations first.
+        if self.eat(&Tok::Dot) {
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyNode,
+                predicates: self.predicates()?,
+            });
+        }
+        if self.eat(&Tok::DotDot) {
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyNode,
+                predicates: self.predicates()?,
+            });
+        }
+        if self.eat(&Tok::At) {
+            let name = match self.bump() {
+                Some(Tok::Name(n)) => n,
+                Some(Tok::Star) => {
+                    return Ok(Step {
+                        axis: Axis::Attribute,
+                        test: NodeTest::AnyElement,
+                        predicates: self.predicates()?,
+                    })
+                }
+                other => {
+                    return Err(XPathError(format!(
+                        "expected attribute name after '@', found {other:?}"
+                    )))
+                }
+            };
+            return Ok(Step {
+                axis: Axis::Attribute,
+                test: NodeTest::Name(name),
+                predicates: self.predicates()?,
+            });
+        }
+        // Optional explicit axis.
+        let axis = if let Some(Tok::Name(n)) = self.peek() {
+            if self.toks.get(self.pos + 1) == Some(&Tok::ColonColon) {
+                let axis = axis_from_name(n)
+                    .ok_or_else(|| XPathError(format!("unknown axis '{n}'")))?;
+                self.pos += 2;
+                axis
+            } else {
+                Axis::Child
+            }
+        } else {
+            Axis::Child
+        };
+        let test = self.node_test()?;
+        Ok(Step {
+            axis,
+            test,
+            predicates: self.predicates()?,
+        })
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, XPathError> {
+        match self.bump() {
+            Some(Tok::Star) => Ok(NodeTest::AnyElement),
+            Some(Tok::Name(n)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    self.expect(&Tok::RParen)?;
+                    match n.as_str() {
+                        "text" => Ok(NodeTest::Text),
+                        "node" => Ok(NodeTest::AnyNode),
+                        "comment" => Ok(NodeTest::Comment),
+                        other => Err(XPathError(format!("unknown node test '{other}()'"))),
+                    }
+                } else {
+                    Ok(NodeTest::Name(n))
+                }
+            }
+            other => Err(XPathError(format!(
+                "expected a node test, found {}",
+                other.map_or("end of input".to_owned(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Expr>, XPathError> {
+        let mut out = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            out.push(self.expr()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(out)
+    }
+
+    /// `expr ::= and-expr ('or' and-expr)*`
+    pub(crate) fn expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), Some(Tok::Name(n)) if n == "or") {
+            self.pos += 1;
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.cmp_expr()?;
+        while matches!(self.peek(), Some(Tok::Name(n)) if n == "and") {
+            self.pos += 1;
+            let right = self.cmp_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, XPathError> {
+        let left = self.additive()?;
+        if let Some(Tok::Cmp(op)) = self.peek() {
+            let op = match *op {
+                "=" => CmpOp::Eq,
+                "!=" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                _ => unreachable!("lexer produces only known operators"),
+            };
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Compare(Box::new(left), op, Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    /// `additive ::= multiplicative (('+'|'-') multiplicative)*`
+    fn additive(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `multiplicative ::= unary (('*'|'div'|'mod') unary)*`
+    ///
+    /// `*` after a complete operand is multiplication; in operand position
+    /// it is the wildcard node test (standard XPath disambiguation).
+    fn multiplicative(&mut self) -> Result<Expr, XPathError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Name(n)) if n == "div" => ArithOp::Div,
+                Some(Tok::Name(n)) if n == "mod" => ArithOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `unary ::= '-' unary | union`
+    fn unary(&mut self) -> Result<Expr, XPathError> {
+        if self.eat(&Tok::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.union_expr()
+    }
+
+    /// `union ::= primary ('|' primary)*` — every operand must be a path.
+    fn union_expr(&mut self) -> Result<Expr, XPathError> {
+        let first = self.primary()?;
+        if self.peek() != Some(&Tok::Pipe) {
+            return Ok(first);
+        }
+        let mut paths = vec![match first {
+            Expr::Path(p) => p,
+            other => {
+                return Err(XPathError(format!(
+                    "only paths can be united with '|', found {other:?}"
+                )))
+            }
+        }];
+        while self.eat(&Tok::Pipe) {
+            match self.primary()? {
+                Expr::Path(p) => paths.push(p),
+                other => {
+                    return Err(XPathError(format!(
+                        "only paths can be united with '|', found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Expr::Union(paths))
+    }
+
+    fn primary(&mut self) -> Result<Expr, XPathError> {
+        match self.peek() {
+            Some(Tok::Literal(_)) => {
+                let Some(Tok::Literal(l)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expr::Literal(l))
+            }
+            Some(Tok::Number(_)) => {
+                let Some(Tok::Number(n)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expr::Number(n))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Name(n)) if self.toks.get(self.pos + 1) == Some(&Tok::LParen) => {
+                // Function call — unless it's a node test like text().
+                let name = n.clone();
+                if matches!(name.as_str(), "text" | "node" | "comment") {
+                    return self.path().map(Expr::Path);
+                }
+                self.pos += 2;
+                let mut args = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma)?;
+                    }
+                }
+                Ok(Expr::Call(name, args))
+            }
+            _ => self.path().map(Expr::Path),
+        }
+    }
+}
+
+fn axis_from_name(n: &str) -> Option<Axis> {
+    Some(match n {
+        "child" => Axis::Child,
+        "descendant" => Axis::Descendant,
+        "descendant-or-self" => Axis::DescendantOrSelf,
+        "self" => Axis::SelfAxis,
+        "parent" => Axis::Parent,
+        "ancestor" => Axis::Ancestor,
+        "ancestor-or-self" => Axis::AncestorOrSelf,
+        "following-sibling" => Axis::FollowingSibling,
+        "preceding-sibling" => Axis::PrecedingSibling,
+        "following" => Axis::Following,
+        "preceding" => Axis::Preceding,
+        "attribute" => Axis::Attribute,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sams_path() {
+        // From Figure 1: //book/title
+        let p = parse_xpath("//book/title").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[1].test, NodeTest::Name("book".into()));
+        assert_eq!(p.steps[2].test, NodeTest::Name("title".into()));
+    }
+
+    #[test]
+    fn parses_parent_abbreviation() {
+        // From Figure 1: $t/../author — relative part: ../author
+        let p = parse_xpath("../author").unwrap();
+        assert!(!p.absolute);
+        assert_eq!(p.steps[0].axis, Axis::Parent);
+        assert_eq!(p.steps[1].test, NodeTest::Name("author".into()));
+    }
+
+    #[test]
+    fn parses_predicates() {
+        let p = parse_xpath("//book[title = 'X']/author[1]").unwrap();
+        let book = &p.steps[1];
+        assert_eq!(book.predicates.len(), 1);
+        assert!(matches!(
+            &book.predicates[0],
+            Expr::Compare(l, CmpOp::Eq, r)
+                if matches!(**l, Expr::Path(_)) && matches!(**r, Expr::Literal(_))
+        ));
+        let author = &p.steps[2];
+        assert_eq!(author.predicates, vec![Expr::Number(1.0)]);
+    }
+
+    #[test]
+    fn parses_full_axes() {
+        let p = parse_xpath("ancestor::book/descendant-or-self::node()").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Ancestor);
+        assert_eq!(p.steps[1].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[1].test, NodeTest::AnyNode);
+    }
+
+    #[test]
+    fn parses_functions_and_boolean_operators() {
+        let e = parse_expr("count(author) >= 2 and not(publisher) or title = 'X'").unwrap();
+        assert!(matches!(e, Expr::Or(..)));
+    }
+
+    #[test]
+    fn parses_text_and_attribute_steps() {
+        let p = parse_xpath("book/title/text()").unwrap();
+        assert_eq!(p.steps[2].test, NodeTest::Text);
+        let p = parse_xpath("book/@id").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        assert_eq!(p.steps[1].test, NodeTest::Name("id".into()));
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let p = parse_xpath("/*/*").unwrap();
+        assert_eq!(p.steps[0].test, NodeTest::AnyElement);
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_paths() {
+        assert!(parse_xpath("//").is_err());
+        assert!(parse_xpath("book[").is_err());
+        assert!(parse_xpath("book]").is_err());
+        assert!(parse_xpath("unknown-axis::x").is_err());
+        assert!(parse_xpath("book/title[foo()]").is_ok(), "unknown fn parses; eval rejects");
+        assert!(parse_xpath("book//").is_err());
+    }
+
+    #[test]
+    fn dot_and_self_axis() {
+        let p = parse_xpath(".").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::SelfAxis);
+        let p = parse_xpath("self::book").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::SelfAxis);
+        assert_eq!(p.steps[0].test, NodeTest::Name("book".into()));
+    }
+}

@@ -1,0 +1,171 @@
+//! An LRU buffer pool over the page store.
+//!
+//! The experiments charge raw page touches by default; the buffer pool
+//! refines the model: repeated touches of a hot page are hits, capacity
+//! misses evict the least-recently-used frame. This is the standard DBMS
+//! layer between §6's value reads and the "disk", and it lets experiments
+//! separate cold from warm behaviour.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Aggregate buffer-pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that had to "go to disk".
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio in `[0, 1]`; 0 when nothing was requested.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU pool of page frames.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    inner: RefCell<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// page id → last-use tick.
+    frames: HashMap<usize, u64>,
+    tick: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding up to `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            inner: RefCell::new(Inner::default()),
+        }
+    }
+
+    /// The frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests the inclusive page range `[first, last]`, updating LRU
+    /// state and counters. Returns (hits, misses) for this request.
+    pub fn access_range(&self, first: usize, last: usize) -> (u64, u64) {
+        let mut inner = self.inner.borrow_mut();
+        let (mut hits, mut misses) = (0, 0);
+        for page in first..=last {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if inner.frames.contains_key(&page) {
+                inner.frames.insert(page, tick);
+                hits += 1;
+            } else {
+                misses += 1;
+                if inner.frames.len() >= self.capacity {
+                    // Evict the least recently used frame.
+                    if let Some((&victim, _)) =
+                        inner.frames.iter().min_by_key(|(_, &t)| t)
+                    {
+                        inner.frames.remove(&victim);
+                        inner.stats.evictions += 1;
+                    }
+                }
+                inner.frames.insert(page, tick);
+            }
+        }
+        inner.stats.hits += hits;
+        inner.stats.misses += misses;
+        (hits, misses)
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.inner.borrow().frames.len()
+    }
+
+    /// Counters since the last [`BufferPool::reset`].
+    pub fn stats(&self) -> BufferStats {
+        self.inner.borrow().stats
+    }
+
+    /// Clears counters (resident frames stay — a warm reset).
+    pub fn reset(&self) {
+        self.inner.borrow_mut().stats = BufferStats::default();
+    }
+
+    /// Drops every frame and clears counters (a cold reset).
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.frames.clear();
+        inner.stats = BufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let p = BufferPool::new(4);
+        assert_eq!(p.access_range(0, 2), (0, 3));
+        assert_eq!(p.access_range(0, 2), (3, 0));
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 3, 0));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(p.resident(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_frame() {
+        let p = BufferPool::new(2);
+        p.access_range(1, 1); // miss, resident {1}
+        p.access_range(2, 2); // miss, resident {1,2}
+        p.access_range(1, 1); // hit — 1 is now hotter than 2
+        p.access_range(3, 3); // miss, evicts 2
+        assert_eq!(p.access_range(1, 1), (1, 0), "1 survived");
+        assert_eq!(p.access_range(2, 2), (0, 1), "2 was evicted");
+        assert_eq!(p.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clear_vs_reset() {
+        let p = BufferPool::new(4);
+        p.access_range(0, 3);
+        p.reset();
+        assert_eq!(p.stats(), BufferStats::default());
+        assert_eq!(p.resident(), 4, "warm reset keeps frames");
+        assert_eq!(p.access_range(0, 3).0, 4, "all hits after warm reset");
+        p.clear();
+        assert_eq!(p.resident(), 0);
+        assert_eq!(p.access_range(0, 0), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let _ = BufferPool::new(0);
+    }
+
+    #[test]
+    fn hit_ratio_of_empty_pool_is_zero() {
+        assert_eq!(BufferPool::new(1).stats().hit_ratio(), 0.0);
+    }
+}

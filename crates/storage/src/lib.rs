@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # vh-storage — a simulated PBN-based XML store
+//!
+//! §6 of the paper describes the storage architecture vPBN assumes: "an XML
+//! DBMS stores the source XML data as a long string", each node's *value*
+//! is a substring of it, a **value index** maps a node's PBN number to the
+//! character range of its value, positions are "some combination of a disk
+//! block number and offset within the block", and per-node **header
+//! information** carries the PBN number and a Type ID. §4.3 additionally
+//! assumes a **type index** ("find all the `<title>` elements") keyed by
+//! PBN numbers.
+//!
+//! This crate is that DBMS back end, built from scratch:
+//! * [`pages`] — a block-addressed byte store with read accounting (the
+//!   stand-in for disk I/O; experiments report pages touched).
+//! * [`buffer`] — an LRU buffer pool refining the I/O model with
+//!   hit/miss/eviction accounting (cold vs warm experiments).
+//! * [`value_index`] — PBN → byte-range lookup.
+//! * [`type_index`] / [`name_index`] — type- and name-keyed node lists in
+//!   document order (PBN-sorted).
+//! * [`header`] — per-node header records (kind, Type ID, encoded PBN) and
+//!   their space accounting.
+//! * [`store`] — [`StoredDocument`]: everything wired together; implements
+//!   [`vh_core::value::RawValueSource`] so virtual values stitch directly
+//!   from stored ranges; [`stats`] aggregates access counters.
+//!
+//! The store is deliberately *not* persistent — the experiments measure
+//! algorithmic behaviour (ranges read, pages touched, index rebuild work),
+//! not disk hardware.
+
+pub mod buffer;
+pub mod header;
+pub mod name_index;
+pub mod pages;
+pub mod stats;
+pub mod store;
+pub mod type_index;
+pub mod value_index;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use pages::PageStore;
+pub use stats::StorageStats;
+pub use store::StoredDocument;
+pub use type_index::TypeIndex;
+pub use value_index::ValueIndex;

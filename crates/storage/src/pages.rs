@@ -1,0 +1,155 @@
+//! Block-addressed storage of the document string, with read accounting.
+//!
+//! The paper (§6): character positions in the value index "are usually some
+//! combination of a disk block number and offset within the block to
+//! facilitate fast retrieval from disk". We keep the string in memory but
+//! address it through fixed-size pages and count every page touched — the
+//! unit the experiments report as simulated I/O.
+
+use std::cell::Cell;
+
+/// Default page size (a common DBMS block size).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// The paged document string.
+#[derive(Debug)]
+pub struct PageStore {
+    data: String,
+    page_size: usize,
+    pages_read: Cell<u64>,
+    bytes_read: Cell<u64>,
+}
+
+impl PageStore {
+    /// Wraps a serialized document string with the default page size.
+    pub fn new(data: String) -> Self {
+        Self::with_page_size(data, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Wraps a string with an explicit page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero.
+    pub fn with_page_size(data: String, page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        PageStore {
+            data,
+            page_size,
+            pages_read: Cell::new(0),
+            bytes_read: Cell::new(0),
+        }
+    }
+
+    /// Total size of the stored string in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for an empty store.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of pages occupied.
+    pub fn page_count(&self) -> usize {
+        self.data.len().div_ceil(self.page_size)
+    }
+
+    /// The page size.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Reads the byte range `[start, end)`, charging the pages it spans.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or not on character boundaries.
+    pub fn read_range(&self, start: usize, end: usize) -> &str {
+        assert!(start <= end && end <= self.data.len(), "range out of bounds");
+        if start < end {
+            let first = start / self.page_size;
+            let last = (end - 1) / self.page_size;
+            self.pages_read
+                .set(self.pages_read.get() + (last - first + 1) as u64);
+            self.bytes_read.set(self.bytes_read.get() + (end - start) as u64);
+        }
+        &self.data[start..end]
+    }
+
+    /// Direct access without accounting (used when building indexes, which
+    /// the experiments charge separately).
+    #[inline]
+    pub fn raw(&self) -> &str {
+        &self.data
+    }
+
+    /// Pages charged so far.
+    #[inline]
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.get()
+    }
+
+    /// Bytes charged so far.
+    #[inline]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+
+    /// Resets the access counters.
+    pub fn reset_counters(&self) {
+        self.pages_read.set(0);
+        self.bytes_read.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_range_returns_the_slice() {
+        let s = PageStore::with_page_size("hello world".into(), 4);
+        assert_eq!(s.read_range(0, 5), "hello");
+        assert_eq!(s.read_range(6, 11), "world");
+        assert_eq!(s.read_range(3, 3), "");
+    }
+
+    #[test]
+    fn page_accounting_counts_spanned_pages() {
+        let s = PageStore::with_page_size("0123456789abcdef".into(), 4);
+        s.read_range(0, 4); // page 0 only
+        assert_eq!(s.pages_read(), 1);
+        s.read_range(3, 5); // pages 0-1
+        assert_eq!(s.pages_read(), 3);
+        s.read_range(0, 16); // all 4 pages
+        assert_eq!(s.pages_read(), 7);
+        assert_eq!(s.bytes_read(), 4 + 2 + 16);
+        s.reset_counters();
+        assert_eq!(s.pages_read(), 0);
+        assert_eq!(s.bytes_read(), 0);
+    }
+
+    #[test]
+    fn empty_reads_are_free() {
+        let s = PageStore::with_page_size("abc".into(), 4);
+        s.read_range(1, 1);
+        assert_eq!(s.pages_read(), 0);
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        assert_eq!(PageStore::with_page_size("12345".into(), 4).page_count(), 2);
+        assert_eq!(PageStore::with_page_size("1234".into(), 4).page_count(), 1);
+        assert_eq!(PageStore::with_page_size(String::new(), 4).page_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let s = PageStore::new("abc".into());
+        s.read_range(0, 4);
+    }
+}

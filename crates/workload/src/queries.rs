@@ -1,0 +1,119 @@
+//! Query workloads per scenario, used by the benchmark harness.
+
+use crate::scenarios::Scenario;
+
+/// A benchmark query: an XPath evaluated over the *virtual* hierarchy of a
+/// scenario, with a FLWR formulation for the end-to-end experiments.
+#[derive(Clone, Debug)]
+pub struct BenchQuery {
+    /// Identifier used in experiment output.
+    pub name: &'static str,
+    /// XPath over the virtual hierarchy.
+    pub xpath: &'static str,
+    /// Expected result multiplicity class, for sanity checks:
+    /// `PerBook`-style linear counts vs. selective.
+    pub selective: bool,
+}
+
+/// The queries the book experiments run against a scenario.
+pub fn book_queries(scenario: &Scenario) -> Vec<BenchQuery> {
+    match scenario.name {
+        "sam" => vec![
+            BenchQuery {
+                name: "q_titles",
+                xpath: "//title",
+                selective: false,
+            },
+            BenchQuery {
+                name: "q_title_authors",
+                xpath: "//title/author/name",
+                selective: false,
+            },
+            BenchQuery {
+                name: "q_rare",
+                xpath: "//title[contains(text(), 'RARE')]/author",
+                selective: true,
+            },
+        ],
+        "invert" => vec![
+            BenchQuery {
+                name: "q_name_authors",
+                xpath: "//title/name/author",
+                selective: false,
+            },
+            BenchQuery {
+                name: "q_rare_names",
+                xpath: "//title[contains(text(), 'RARE')]/name",
+                selective: true,
+            },
+        ],
+        "regroup" => vec![BenchQuery {
+            name: "q_by_location",
+            xpath: "//location/title",
+            selective: false,
+        }],
+        "project" => vec![BenchQuery {
+            name: "q_locations",
+            xpath: "//book/publisher/location",
+            selective: false,
+        }],
+        _ => vec![BenchQuery {
+            name: "q_all_names",
+            xpath: "//book/author/name",
+            selective: false,
+        }],
+    }
+}
+
+/// Rhonda's FLWR query (Figure 6) parameterized by the document URI and
+/// scenario specification.
+pub fn rhonda_flwr(uri: &str, spec: &str) -> String {
+    format!(
+        r#"for $t in virtualDoc("{uri}", "{spec}")//title
+           return <result><title>{{$t/text()}}</title>
+                          <count>{{count($t/author)}}</count></result>"#
+    )
+}
+
+/// Sam's transformation as a FLWR query (Figure 1) over the physical
+/// document — used by the materializing baseline.
+pub fn sam_flwr(uri: &str) -> String {
+    format!(
+        r#"for $t in doc("{uri}")//book/title
+           let $a := $t/../author
+           return <title>{{$t/text()}}{{$a}}</title>"#
+    )
+}
+
+/// Rhonda's counting query over an (already materialized) transformation
+/// result — the second stage of the nested-query baseline.
+pub fn rhonda_over_materialized(uri: &str) -> String {
+    format!(
+        r#"for $t in doc("{uri}")//title
+           return <result><title>{{$t/text()}}</title>
+                          <count>{{count($t/author)}}</count></result>"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::book_scenarios;
+
+    #[test]
+    fn every_scenario_has_queries() {
+        for s in book_scenarios() {
+            assert!(!book_queries(&s).is_empty(), "scenario {}", s.name);
+        }
+    }
+
+    #[test]
+    fn flwr_templates_interpolate() {
+        let q = rhonda_flwr("books.xml", "title { author { name } }");
+        assert!(q.contains("virtualDoc(\"books.xml\""));
+        assert!(q.contains("{count($t/author)}"));
+        let s = sam_flwr("books.xml");
+        assert!(s.contains("doc(\"books.xml\")"));
+        assert!(rhonda_over_materialized("m").contains("doc(\"m\")"));
+    }
+}

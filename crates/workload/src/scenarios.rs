@@ -1,0 +1,135 @@
+//! Named transformation scenarios: the virtual hierarchies each corpus is
+//! queried through in the experiments.
+
+/// A transformation scenario: a vDataGuide specification plus metadata.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Short identifier used in experiment output.
+    pub name: &'static str,
+    /// What the transformation does.
+    pub description: &'static str,
+    /// The vDataGuide specification string.
+    pub spec: &'static str,
+    /// Which of the paper's level-array cases it exercises (1, 2, 3), in
+    /// the order they appear.
+    pub cases: &'static [u8],
+}
+
+/// Scenarios over the books corpus.
+pub fn book_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "identity",
+            description: "data { ** } — the identity transformation (sanity baseline)",
+            spec: "data { ** }",
+            cases: &[1],
+        },
+        Scenario {
+            name: "sam",
+            description: "Sam's transformation (Figure 1/6): titles own their authors",
+            spec: "title { author { name } }",
+            cases: &[1, 3],
+        },
+        Scenario {
+            name: "invert",
+            description: "case-2 inversion: authors hang below their own names",
+            spec: "title { name { author } }",
+            cases: &[1, 2, 3],
+        },
+        Scenario {
+            name: "regroup",
+            description: "books regrouped under publisher locations",
+            spec: "location { title author { name } }",
+            cases: &[1, 3],
+        },
+        Scenario {
+            name: "project",
+            description: "projection: books reduced to their publisher subtree",
+            spec: "book { publisher }",
+            cases: &[1],
+        },
+        Scenario {
+            name: "deep_invert",
+            description: "double inversion: names own their authors, which \
+                          own the sibling titles — every ancestor's number \
+                          extends or diverges from its descendants'",
+            spec: "name { author { title } }",
+            cases: &[1, 2, 3],
+        },
+    ]
+}
+
+/// Scenarios over the XMark-style corpus.
+pub fn xmark_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "identity",
+            description: "site { ** } — identity over the auction site",
+            spec: "site { ** }",
+            cases: &[1],
+        },
+        Scenario {
+            name: "items_flat",
+            description: "European items lifted out of the region hierarchy \
+                          (labels qualified per §4.1 — `item` alone is \
+                          ambiguous across the six regions)",
+            spec: "europe.item { europe.item.name europe.item.description }",
+            cases: &[1],
+        },
+        Scenario {
+            name: "person_city",
+            description: "persons regrouped under their cities (case-2 \
+                          inversion: city is a descendant of person)",
+            spec: "city { person { person.name emailaddress } }",
+            cases: &[1, 2],
+        },
+        Scenario {
+            name: "auction_view",
+            description: "open auctions reduced to initial price and bidders",
+            spec: "open_auction { initial bidder { increase } }",
+            cases: &[1],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::books::{generate_books, BooksConfig};
+    use crate::xmark::{generate_xmark, XmarkConfig};
+    use vh_core::VDataGuide;
+    use vh_dataguide::TypedDocument;
+
+    #[test]
+    fn every_book_scenario_compiles_against_the_corpus() {
+        let td = TypedDocument::analyze(generate_books("b", &BooksConfig::sized(5)));
+        for s in book_scenarios() {
+            VDataGuide::compile(s.spec, td.guide())
+                .unwrap_or_else(|e| panic!("scenario {}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn every_xmark_scenario_compiles_against_the_corpus() {
+        let td = TypedDocument::analyze(generate_xmark(
+            "x",
+            &XmarkConfig {
+                scale: 0.01,
+                seed: 1,
+            },
+        ));
+        for s in xmark_scenarios() {
+            VDataGuide::compile(s.spec, td.guide())
+                .unwrap_or_else(|e| panic!("scenario {}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn scenario_metadata_is_populated() {
+        for s in book_scenarios().iter().chain(xmark_scenarios().iter()) {
+            assert!(!s.name.is_empty());
+            assert!(!s.description.is_empty());
+            assert!(!s.cases.is_empty());
+        }
+    }
+}

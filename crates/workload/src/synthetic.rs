@@ -1,0 +1,55 @@
+//! Synthetic "comb" documents with controlled DataGuide size and depth,
+//! used by the F1 (Algorithm 1 cost) experiment: the guide of a comb with
+//! `width` branches of `depth` chained elements has `width × depth + 1`
+//! types and maximum depth `depth + 1`.
+
+use vh_xml::{Document, ElementBuilder};
+
+/// Generates a comb: `root` with `width` branches, each a chain
+/// `b{i}x1/b{i}x2/…/b{i}x{depth}` ending in a text leaf. Every element
+/// name is unique, so types = nodes (minus text sharing).
+pub fn generate_comb(uri: &str, width: usize, depth: usize) -> Document {
+    let mut root = ElementBuilder::new("root");
+    for b in 0..width {
+        let mut node = ElementBuilder::new(format!("b{b}x{depth}")).text("leaf");
+        for d in (1..depth).rev() {
+            node = ElementBuilder::new(format!("b{b}x{d}")).child(node);
+        }
+        root = root.child(node);
+    }
+    root.into_document(uri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comb_shape() {
+        let d = generate_comb("u", 3, 4);
+        let root = d.root().unwrap();
+        assert_eq!(d.children(root).len(), 3);
+        // Each branch: 4 elements + 1 text.
+        assert_eq!(d.len(), 1 + 3 * 5);
+        // Depth of a leaf element is depth+1.
+        let mut cur = d.children(root)[0];
+        let mut steps = 1;
+        while let Some(&c) = d.children(cur).first() {
+            if d.kind(c).is_element() {
+                cur = c;
+                steps += 1;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let d = generate_comb("u", 1, 1);
+        assert_eq!(d.len(), 3); // root, b0x1, text
+        let d = generate_comb("u", 0, 5);
+        assert_eq!(d.len(), 1);
+    }
+}

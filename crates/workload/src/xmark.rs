@@ -1,0 +1,227 @@
+//! An XMark-style auction corpus.
+//!
+//! XMark is the standard XML benchmark; its generator (`xmlgen`) is not
+//! redistributable here, so this module synthesizes documents with the same
+//! schema skeleton and similar proportions (≈25 items, 25 persons, 12 open
+//! and 9 closed auctions per 0.01 scale units in the original):
+//!
+//! ```text
+//! site
+//! ├── regions ── africa|asia|europe|… ── item* ── name, description ── text
+//! ├── people ── person* ── name, emailaddress, [address ── city, country]
+//! ├── open_auctions ── open_auction* ── initial, bidder*(increase), itemref
+//! └── closed_auctions ── closed_auction* ── price, buyer, itemref
+//! ```
+//!
+//! `itemref/@item` and `buyer/@person` reference generated ids, so join
+//! queries over the corpus are meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vh_xml::{Document, ElementBuilder};
+
+/// Configuration of the XMark-style generator.
+#[derive(Clone, Debug)]
+pub struct XmarkConfig {
+    /// Scale factor; 1.0 ≈ 2 500 items / 2 500 persons / 1 200 open and
+    /// 900 closed auctions (a hundredth of XMark's sf=1 counts, keeping
+    /// experiment runtimes laptop-friendly; shapes are unaffected).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            scale: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+const CITIES: [&str; 8] = [
+    "Rome", "Lagos", "Lima", "Kyoto", "Graz", "Pune", "Bergen", "Quebec",
+];
+const WORDS: [&str; 12] = [
+    "vintage", "rare", "restored", "mint", "boxed", "signed", "antique",
+    "classic", "limited", "original", "pristine", "curious",
+];
+
+impl XmarkConfig {
+    fn items(&self) -> usize {
+        ((2500.0 * self.scale) as usize).max(1)
+    }
+    fn persons(&self) -> usize {
+        ((2500.0 * self.scale) as usize).max(1)
+    }
+    fn open_auctions(&self) -> usize {
+        ((1200.0 * self.scale) as usize).max(1)
+    }
+    fn closed_auctions(&self) -> usize {
+        ((900.0 * self.scale) as usize).max(1)
+    }
+}
+
+/// Generates an auction site document under the given URI.
+pub fn generate_xmark(uri: &str, cfg: &XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_items = cfg.items();
+    let n_persons = cfg.persons();
+
+    // regions: items distributed round-robin over the six regions.
+    let mut region_builders: Vec<ElementBuilder> =
+        REGIONS.iter().map(|r| ElementBuilder::new(*r)).collect();
+    for i in 0..n_items {
+        let w1 = WORDS[rng.gen_range(0..WORDS.len())];
+        let w2 = WORDS[rng.gen_range(0..WORDS.len())];
+        let item = ElementBuilder::new("item")
+            .attr("id", format!("item{i}"))
+            .child(ElementBuilder::new("name").text(format!("{w1} lot {i}")))
+            .child(ElementBuilder::new("description").text(format!("{w1} {w2} piece")));
+        let r = i % REGIONS.len();
+        region_builders[r] = region_builders[r].clone().child(item);
+    }
+    let mut regions = ElementBuilder::new("regions");
+    for rb in region_builders {
+        regions = regions.child(rb);
+    }
+
+    // people.
+    let mut people = ElementBuilder::new("people");
+    for p in 0..n_persons {
+        let mut person = ElementBuilder::new("person")
+            .attr("id", format!("person{p}"))
+            .child(ElementBuilder::new("name").text(format!("Person {p}")))
+            .child(
+                ElementBuilder::new("emailaddress").text(format!("p{p}@example.org")),
+            );
+        if rng.gen_bool(0.6) {
+            person = person.child(
+                ElementBuilder::new("address")
+                    .child(
+                        ElementBuilder::new("city")
+                            .text(CITIES[rng.gen_range(0..CITIES.len())]),
+                    )
+                    .child(ElementBuilder::new("country").text("XK")),
+            );
+        }
+        people = people.child(person);
+    }
+
+    // open auctions.
+    let mut open = ElementBuilder::new("open_auctions");
+    for a in 0..cfg.open_auctions() {
+        let mut auction = ElementBuilder::new("open_auction")
+            .attr("id", format!("open{a}"))
+            .child(
+                ElementBuilder::new("initial").text(format!("{}", rng.gen_range(1..200))),
+            );
+        for _ in 0..rng.gen_range(0..4) {
+            auction = auction.child(
+                ElementBuilder::new("bidder").child(
+                    ElementBuilder::new("increase")
+                        .text(format!("{}", rng.gen_range(1..50))),
+                ),
+            );
+        }
+        auction = auction.child(
+            ElementBuilder::new("itemref")
+                .attr("item", format!("item{}", rng.gen_range(0..n_items))),
+        );
+        open = open.child(auction);
+    }
+
+    // closed auctions.
+    let mut closed = ElementBuilder::new("closed_auctions");
+    for a in 0..cfg.closed_auctions() {
+        closed = closed.child(
+            ElementBuilder::new("closed_auction")
+                .attr("id", format!("closed{a}"))
+                .child(
+                    ElementBuilder::new("price").text(format!("{}", rng.gen_range(10..500))),
+                )
+                .child(
+                    ElementBuilder::new("buyer")
+                        .attr("person", format!("person{}", rng.gen_range(0..n_persons))),
+                )
+                .child(
+                    ElementBuilder::new("itemref")
+                        .attr("item", format!("item{}", rng.gen_range(0..n_items))),
+                ),
+        );
+    }
+
+    ElementBuilder::new("site")
+        .child(regions)
+        .child(people)
+        .child(open)
+        .child(closed)
+        .into_document(uri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_has_the_four_sections() {
+        let d = generate_xmark("x", &XmarkConfig { scale: 0.01, seed: 1 });
+        let root = d.root().unwrap();
+        let names: Vec<_> = d.children(root).iter().filter_map(|&c| d.name(c)).collect();
+        assert_eq!(
+            names,
+            vec!["regions", "people", "open_auctions", "closed_auctions"]
+        );
+    }
+
+    #[test]
+    fn counts_scale_linearly() {
+        let small = XmarkConfig { scale: 0.01, seed: 1 };
+        let big = XmarkConfig { scale: 0.04, seed: 1 };
+        assert_eq!(small.items(), 25);
+        assert_eq!(big.items(), 100);
+        assert_eq!(small.open_auctions(), 12);
+        assert_eq!(small.closed_auctions(), 9);
+        let d = generate_xmark("x", &small);
+        let items = d
+            .preorder()
+            .filter(|&n| d.name(n) == Some("item"))
+            .count();
+        assert_eq!(items, 25);
+    }
+
+    #[test]
+    fn references_point_at_existing_ids() {
+        let d = generate_xmark("x", &XmarkConfig { scale: 0.01, seed: 3 });
+        let ids: std::collections::HashSet<String> = d
+            .preorder()
+            .filter(|&n| d.name(n) == Some("item"))
+            .filter_map(|n| d.attribute(n, "id").map(str::to_owned))
+            .collect();
+        for n in d.preorder() {
+            if d.name(n) == Some("itemref") {
+                let r = d.attribute(n, "item").unwrap();
+                assert!(ids.contains(r), "dangling itemref {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_xmark("x", &XmarkConfig { scale: 0.02, seed: 5 });
+        let b = generate_xmark("x", &XmarkConfig { scale: 0.02, seed: 5 });
+        let c = generate_xmark("x", &XmarkConfig { scale: 0.02, seed: 6 });
+        let ser = |d: &Document| vh_xml::serialize(d, vh_xml::SerializeOptions::compact());
+        assert_eq!(ser(&a), ser(&b));
+        assert_ne!(ser(&a), ser(&c));
+    }
+}

@@ -1,0 +1,183 @@
+//! Ergonomic programmatic document construction.
+//!
+//! Workload generators and tests build trees with a small fluent API:
+//!
+//! ```
+//! use vh_xml::ElementBuilder;
+//!
+//! let doc = ElementBuilder::new("data")
+//!     .child(
+//!         ElementBuilder::new("book")
+//!             .attr("id", "1")
+//!             .child(ElementBuilder::new("title").text("X")),
+//!     )
+//!     .into_document("book.xml");
+//! assert_eq!(doc.string_value(doc.root().unwrap()), "X");
+//! ```
+
+use crate::arena::Document;
+use crate::model::NodeId;
+
+/// A detached element description that can be materialized into a
+/// [`Document`].
+#[derive(Clone, Debug)]
+pub struct ElementBuilder {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Content>,
+}
+
+#[derive(Clone, Debug)]
+enum Content {
+    Element(ElementBuilder),
+    Text(String),
+    Comment(String),
+}
+
+impl ElementBuilder {
+    /// Starts an element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ElementBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Appends an element child.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.children.push(Content::Element(child));
+        self
+    }
+
+    /// Appends several element children.
+    pub fn children(mut self, children: impl IntoIterator<Item = ElementBuilder>) -> Self {
+        self.children
+            .extend(children.into_iter().map(Content::Element));
+        self
+    }
+
+    /// Appends a text child.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Content::Text(text.into()));
+        self
+    }
+
+    /// Appends a comment child.
+    pub fn comment(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Content::Comment(text.into()));
+        self
+    }
+
+    /// Materializes this builder as the root of a new document.
+    pub fn into_document(self, uri: impl Into<String>) -> Document {
+        let mut doc = Document::new(uri);
+        let root = doc.create_root(self.name.clone());
+        self.fill(&mut doc, root);
+        doc
+    }
+
+    /// Materializes this builder under an existing parent node.
+    pub fn attach_to(self, doc: &mut Document, parent: NodeId) -> NodeId {
+        let id = doc.append_element(parent, self.name.clone());
+        self.fill(doc, id);
+        id
+    }
+
+    fn fill(self, doc: &mut Document, id: NodeId) {
+        for (name, value) in self.attributes {
+            doc.set_attribute(id, name, value);
+        }
+        for c in self.children {
+            match c {
+                Content::Element(e) => {
+                    e.attach_to(doc, id);
+                }
+                Content::Text(t) => {
+                    doc.append_text(id, t);
+                }
+                Content::Comment(t) => {
+                    doc.append_comment(id, t);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the paper's running-example instance (Figure 2): two books with
+/// title, author/name, and publisher/location children. Shared by tests in
+/// several crates.
+pub fn paper_figure2() -> Document {
+    ElementBuilder::new("data")
+        .child(
+            ElementBuilder::new("book")
+                .child(ElementBuilder::new("title").text("X"))
+                .child(
+                    ElementBuilder::new("author").child(ElementBuilder::new("name").text("C")),
+                )
+                .child(
+                    ElementBuilder::new("publisher")
+                        .child(ElementBuilder::new("location").text("W")),
+                ),
+        )
+        .child(
+            ElementBuilder::new("book")
+                .child(ElementBuilder::new("title").text("Y"))
+                .child(
+                    ElementBuilder::new("author").child(ElementBuilder::new("name").text("D")),
+                )
+                .child(
+                    ElementBuilder::new("publisher")
+                        .child(ElementBuilder::new("location").text("M")),
+                ),
+        )
+        .into_document("book.xml")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::{serialize, SerializeOptions};
+
+    #[test]
+    fn builder_matches_hand_built_tree() {
+        let doc = ElementBuilder::new("a")
+            .attr("k", "v")
+            .child(ElementBuilder::new("b").text("x"))
+            .comment("note")
+            .into_document("u");
+        assert_eq!(
+            serialize(&doc, SerializeOptions::compact()),
+            "<a k=\"v\"><b>x</b><!--note--></a>"
+        );
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let d = paper_figure2();
+        let root = d.root().unwrap();
+        assert_eq!(d.name(root), Some("data"));
+        assert_eq!(d.children(root).len(), 2);
+        for &book in d.children(root) {
+            assert_eq!(d.children(book).len(), 3);
+        }
+        assert_eq!(d.string_value(root), "XCWYDM");
+        // 1 data + 2*(book + title + text + author + name + text
+        //            + publisher + location + text) = 1 + 2*9 = 19 nodes.
+        assert_eq!(d.len(), 19);
+    }
+
+    #[test]
+    fn children_bulk_helper() {
+        let doc = ElementBuilder::new("r")
+            .children((0..3).map(|i| ElementBuilder::new(format!("c{i}"))))
+            .into_document("u");
+        assert_eq!(doc.children(doc.root().unwrap()).len(), 3);
+    }
+}

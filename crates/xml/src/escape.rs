@@ -1,0 +1,105 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+/// Appends `text` to `out`, escaping the characters that are unsafe in
+/// element content (`&`, `<`, `>`).
+pub fn escape_text_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Appends `value` to `out`, escaping the characters that are unsafe in a
+/// double-quoted attribute value.
+pub fn escape_attr_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes element content, returning a new string.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    escape_text_into(&mut out, text);
+    out
+}
+
+/// Resolves a single entity reference body (the part between `&` and `;`).
+///
+/// Supports the five predefined entities plus decimal (`#NNN`) and
+/// hexadecimal (`#xNNN`) character references. Returns `None` for anything
+/// unknown or malformed.
+pub fn resolve_entity(body: &str) -> Option<char> {
+    match body {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = body.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_covers_markup_characters() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn attr_escaping_covers_quotes() {
+        let mut out = String::new();
+        escape_attr_into(&mut out, r#"say "hi" & 'bye'"#);
+        assert_eq!(out, "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+    }
+
+    #[test]
+    fn numeric_references_resolve() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#X41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('\u{1F600}'));
+    }
+
+    #[test]
+    fn bad_references_are_rejected() {
+        assert_eq!(resolve_entity("nbsp"), None);
+        assert_eq!(resolve_entity("#"), None);
+        assert_eq!(resolve_entity("#xZZ"), None);
+        assert_eq!(resolve_entity("#xD800"), None, "surrogate is not a char");
+        assert_eq!(resolve_entity(""), None);
+    }
+}

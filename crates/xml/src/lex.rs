@@ -1,0 +1,168 @@
+//! A byte-oriented cursor over the parser input.
+//!
+//! The XML parser is a single-pass scanner; this module factors out the
+//! low-level input handling (peeking, consuming, position tracking for
+//! error messages) so [`crate::parse`] can stay close to the grammar.
+
+/// Cursor over the input with line/column tracking for diagnostics.
+pub(crate) struct Cursor<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Cursor {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Current byte offset.
+    #[inline]
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True when the whole input has been consumed.
+    #[inline]
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Peeks the current byte without consuming it.
+    #[inline]
+    pub(crate) fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consumes one byte.
+    #[inline]
+    pub(crate) fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Consumes `s` if the input starts with it.
+    pub(crate) fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the remaining input starts with `s`.
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    /// Skips ASCII whitespace.
+    pub(crate) fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes input until `pat` is found, returning the consumed slice.
+    /// The pattern itself is also consumed. Returns `None` (consuming
+    /// nothing) if the pattern never occurs.
+    pub(crate) fn take_until(&mut self, pat: &str) -> Option<&'a str> {
+        let idx = self.input[self.pos..].find(pat)?;
+        let start = self.pos;
+        self.pos += idx + pat.len();
+        Some(&self.input[start..start + idx])
+    }
+
+    /// Consumes an XML name (simplified: a run of name characters).
+    pub(crate) fn take_name(&mut self) -> Option<&'a str> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // A name must not start with a digit, '-' or '.'.
+        let name = &self.input[start..self.pos];
+        let valid_start = name
+            .as_bytes()
+            .first()
+            .map(|&b| b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80)
+            .unwrap_or(false);
+        if valid_start {
+            Some(name)
+        } else {
+            self.pos = start;
+            None
+        }
+    }
+
+    /// Line and column (both 1-based) of the given byte offset.
+    pub(crate) fn line_col(&self, offset: usize) -> (usize, usize) {
+        let upto = &self.input[..offset.min(self.input.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.len() - upto.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        (line, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_cursor_movement() {
+        let mut c = Cursor::new("<a>");
+        assert_eq!(c.peek(), Some(b'<'));
+        assert_eq!(c.bump(), Some(b'<'));
+        assert!(c.eat("a"));
+        assert!(!c.eat("x"));
+        assert_eq!(c.bump(), Some(b'>'));
+        assert!(c.at_end());
+        assert_eq!(c.bump(), None);
+    }
+
+    #[test]
+    fn take_until_consumes_pattern() {
+        let mut c = Cursor::new("hello-->rest");
+        assert_eq!(c.take_until("-->"), Some("hello"));
+        assert!(c.starts_with("rest"));
+    }
+
+    #[test]
+    fn take_until_missing_pattern() {
+        let mut c = Cursor::new("hello");
+        assert_eq!(c.take_until("-->"), None);
+        assert_eq!(c.pos(), 0);
+    }
+
+    #[test]
+    fn names_follow_xml_rules() {
+        let mut c = Cursor::new("book-1.x rest");
+        assert_eq!(c.take_name(), Some("book-1.x"));
+        c.skip_ws();
+        assert_eq!(c.take_name(), Some("rest"));
+
+        let mut c2 = Cursor::new("1bad");
+        assert_eq!(c2.take_name(), None);
+        assert_eq!(c2.pos(), 0);
+    }
+
+    #[test]
+    fn line_col_tracks_newlines() {
+        let c = Cursor::new("ab\ncde\nf");
+        assert_eq!(c.line_col(0), (1, 1));
+        assert_eq!(c.line_col(1), (1, 2));
+        assert_eq!(c.line_col(3), (2, 1));
+        assert_eq!(c.line_col(7), (3, 1));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # vh-xml — XML substrate for the vPBN reproduction
+//!
+//! A self-contained XML data model, non-validating parser, and serializer.
+//! The paper ("Querying Virtual Hierarchies using Virtual Prefix-Based
+//! Numbers", SIGMOD 2014) assumes an XML management system with a tree data
+//! model; this crate is that model, built from scratch:
+//!
+//! * [`Document`] — an arena-allocated ordered tree of elements, text nodes,
+//!   comments and processing instructions, with attributes on elements.
+//! * [`parse`] / [`Document::parse`] — a small, fast, non-validating XML
+//!   parser (elements, attributes, text, CDATA, comments, PIs, the five
+//!   predefined entities and numeric character references).
+//! * [`serialize`] — a serializer that round-trips documents, with compact
+//!   and indented modes.
+//! * [`builder`] — an ergonomic programmatic construction API used by the
+//!   workload generators and tests.
+//!
+//! The model deliberately mirrors what prefix-based numbering needs: ordered
+//! children, stable parent links, and cheap preorder traversal.
+
+pub mod arena;
+pub mod builder;
+pub mod escape;
+mod lex;
+pub mod model;
+pub mod parse;
+pub mod serialize;
+
+pub use arena::{Ancestors, Children, Descendants, Document};
+pub use builder::ElementBuilder;
+pub use model::{Attribute, Node, NodeId, NodeKind};
+pub use parse::{parse, ParseError};
+pub use serialize::{serialize, serialize_node, SerializeOptions};

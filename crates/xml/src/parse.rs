@@ -1,0 +1,454 @@
+//! A from-scratch, non-validating XML parser.
+//!
+//! Supports the subset of XML 1.0 the reproduction needs:
+//! elements with attributes, character data, CDATA sections, comments,
+//! processing instructions, an optional XML declaration and doctype (both
+//! skipped), the five predefined entities and numeric character references.
+//!
+//! Not supported (reported as errors or ignored by design): DTD-defined
+//! entities, namespaces-aware processing (prefixes are kept verbatim as part
+//! of the name, which is what the paper's type system does too).
+
+use crate::arena::Document;
+use crate::escape::resolve_entity;
+use crate::lex::Cursor;
+use crate::model::NodeId;
+use std::fmt;
+
+/// An error produced while parsing, with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `input` into a [`Document`] with the given `uri`.
+pub fn parse(uri: impl Into<String>, input: &str) -> Result<Document, ParseError> {
+    Parser {
+        cur: Cursor::new(input),
+        doc: Document::new(uri),
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    cur: Cursor<'a>,
+    doc: Document,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.cur.line_col(self.cur.pos());
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn run(mut self) -> Result<Document, ParseError> {
+        self.skip_prolog()?;
+        self.cur.skip_ws();
+        if !self.cur.starts_with("<") {
+            return Err(self.err("expected root element"));
+        }
+        let root = self.parse_element(None)?;
+        debug_assert_eq!(self.doc.root(), Some(root));
+        // Trailing misc: whitespace, comments, PIs.
+        loop {
+            self.cur.skip_ws();
+            if self.cur.at_end() {
+                break;
+            }
+            if self.cur.starts_with("<!--") {
+                self.parse_comment(None)?;
+            } else if self.cur.starts_with("<?") {
+                self.parse_pi(None)?;
+            } else {
+                return Err(self.err("unexpected content after root element"));
+            }
+        }
+        Ok(self.doc)
+    }
+
+    /// Skips the XML declaration, doctype, and leading misc items.
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.cur.skip_ws();
+            if self.cur.starts_with("<?xml") {
+                if self.cur.take_until("?>").is_none() {
+                    return Err(self.err("unterminated XML declaration"));
+                }
+            } else if self.cur.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>', honoring an internal subset.
+                let mut depth = 0usize;
+                loop {
+                    match self.cur.bump() {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth = depth.saturating_sub(1),
+                        Some(b'>') if depth == 0 => break,
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated DOCTYPE")),
+                    }
+                }
+            } else if self.cur.starts_with("<!--") {
+                self.cur.eat("<!--");
+                if self.cur.take_until("-->").is_none() {
+                    return Err(self.err("unterminated comment"));
+                }
+            } else if self.cur.starts_with("<?") {
+                if self.cur.take_until("?>").is_none() {
+                    return Err(self.err("unterminated processing instruction"));
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Parses an element (and its whole subtree) iteratively, attaching it
+    /// under `parent` (or as root). An explicit stack of open elements is
+    /// used instead of recursion so arbitrarily deep documents parse without
+    /// exhausting the call stack.
+    fn parse_element(&mut self, parent: Option<NodeId>) -> Result<NodeId, ParseError> {
+        let (root_id, self_closing) = self.parse_start_tag(parent)?;
+        if self_closing {
+            return Ok(root_id);
+        }
+        // Stack of open elements awaiting their end tag.
+        let mut stack: Vec<NodeId> = vec![root_id];
+        let mut text = String::new();
+        while let Some(&top) = stack.last() {
+            if self.cur.starts_with("</") {
+                self.flush_text(top, &mut text);
+                self.cur.eat("</");
+                let end = self
+                    .cur
+                    .take_name()
+                    .ok_or_else(|| self.err("expected name in end tag"))?;
+                let open = self.doc.name(top).expect("open node is an element");
+                if end != open {
+                    return Err(
+                        self.err(format!("mismatched end tag: expected </{open}>, found </{end}>"))
+                    );
+                }
+                self.cur.skip_ws();
+                if !self.cur.eat(">") {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                stack.pop();
+            } else if self.cur.starts_with("<!--") {
+                self.flush_text(top, &mut text);
+                self.parse_comment(Some(top))?;
+            } else if self.cur.starts_with("<![CDATA[") {
+                self.cur.eat("<![CDATA[");
+                let body = self
+                    .cur
+                    .take_until("]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                text.push_str(body);
+            } else if self.cur.starts_with("<?") {
+                self.flush_text(top, &mut text);
+                self.parse_pi(Some(top))?;
+            } else if self.cur.starts_with("<") {
+                self.flush_text(top, &mut text);
+                let (id, closed) = self.parse_start_tag(Some(top))?;
+                if !closed {
+                    stack.push(id);
+                }
+            } else {
+                match self.cur.bump() {
+                    Some(b'&') => text.push(self.parse_entity()?),
+                    Some(b) => self.push_byte(&mut text, b),
+                    None => {
+                        let open = self.doc.name(top).expect("open node is an element");
+                        return Err(self.err(format!("unterminated element <{open}>")));
+                    }
+                }
+            }
+        }
+        Ok(root_id)
+    }
+
+    /// Parses a start tag (attributes included), attaching the new element.
+    /// Returns the element id and whether the tag was self-closing.
+    fn parse_start_tag(&mut self, parent: Option<NodeId>) -> Result<(NodeId, bool), ParseError> {
+        debug_assert!(self.cur.starts_with("<"));
+        self.cur.eat("<");
+        let name = self
+            .cur
+            .take_name()
+            .ok_or_else(|| self.err("expected element name"))?
+            .to_owned();
+        let id = match parent {
+            Some(p) => self.doc.append_element(p, &name),
+            None => self.doc.create_root(&name),
+        };
+        loop {
+            self.cur.skip_ws();
+            match self.cur.peek() {
+                Some(b'>') => {
+                    self.cur.bump();
+                    return Ok((id, false));
+                }
+                Some(b'/') => {
+                    self.cur.bump();
+                    if !self.cur.eat(">") {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    return Ok((id, true));
+                }
+                Some(_) => {
+                    let (aname, avalue) = self.parse_attribute()?;
+                    self.doc.set_attribute(id, aname, avalue);
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+    }
+
+    fn parse_attribute(&mut self) -> Result<(String, String), ParseError> {
+        let name = self
+            .cur
+            .take_name()
+            .ok_or_else(|| self.err("expected attribute name"))?
+            .to_owned();
+        self.cur.skip_ws();
+        if !self.cur.eat("=") {
+            return Err(self.err(format!("expected '=' after attribute '{name}'")));
+        }
+        self.cur.skip_ws();
+        let quote = match self.cur.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut value = String::new();
+        loop {
+            match self.cur.bump() {
+                Some(b) if b == quote => break,
+                Some(b'&') => value.push(self.parse_entity()?),
+                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(b) => self.push_byte(&mut value, b),
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+        Ok((name, value))
+    }
+
+    /// Pushes a raw input byte onto a string buffer, handling UTF-8
+    /// continuation by copying bytes verbatim (input is valid UTF-8).
+    fn push_byte(&mut self, buf: &mut String, b: u8) {
+        if b < 0x80 {
+            buf.push(b as char);
+        } else {
+            // Multi-byte sequence: collect continuation bytes.
+            let mut bytes = vec![b];
+            let extra = match b {
+                0xC0..=0xDF => 1,
+                0xE0..=0xEF => 2,
+                _ => 3,
+            };
+            for _ in 0..extra {
+                if let Some(nb) = self.cur.bump() {
+                    bytes.push(nb);
+                }
+            }
+            buf.push_str(std::str::from_utf8(&bytes).expect("input was valid UTF-8"));
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseError> {
+        let body = self
+            .cur
+            .take_until(";")
+            .ok_or_else(|| self.err("unterminated entity reference"))?
+            .to_owned();
+        resolve_entity(&body).ok_or_else(|| self.err(format!("unknown entity '&{body};'")))
+    }
+
+    fn flush_text(&mut self, id: NodeId, text: &mut String) {
+        if !text.is_empty() {
+            // Whitespace-only runs between elements are not materialized;
+            // the data model of the paper has no whitespace text nodes.
+            if !text.chars().all(|c| c.is_ascii_whitespace()) {
+                self.doc.append_text(id, std::mem::take(text));
+            } else {
+                text.clear();
+            }
+        }
+    }
+
+    fn parse_comment(&mut self, parent: Option<NodeId>) -> Result<(), ParseError> {
+        self.cur.eat("<!--");
+        let body = self
+            .cur
+            .take_until("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?
+            .to_owned();
+        if let Some(p) = parent {
+            self.doc.append_comment(p, body);
+        }
+        Ok(())
+    }
+
+    fn parse_pi(&mut self, parent: Option<NodeId>) -> Result<(), ParseError> {
+        self.cur.eat("<?");
+        let body = self
+            .cur
+            .take_until("?>")
+            .ok_or_else(|| self.err("unterminated processing instruction"))?
+            .to_owned();
+        if let Some(p) = parent {
+            let (target, data) = match body.find(|c: char| c.is_ascii_whitespace()) {
+                Some(i) => (body[..i].to_owned(), body[i + 1..].trim_start().to_owned()),
+                None => (body, String::new()),
+            };
+            self.doc.append_pi(p, target, data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeKind;
+
+    #[test]
+    fn parses_paper_running_example() {
+        let src = "<data><book><title>X</title><author><name>C</name></author>\
+                   <publisher><location>W</location></publisher></book>\
+                   <book><title>Y</title><author><name>D</name></author>\
+                   <publisher><location>M</location></publisher></book></data>";
+        let d = parse("book.xml", src).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.name(root), Some("data"));
+        assert_eq!(d.children(root).len(), 2);
+        let book1 = d.children(root)[0];
+        assert_eq!(d.children(book1).len(), 3);
+        assert_eq!(d.string_value(book1), "XCW");
+        assert_eq!(d.uri(), "book.xml");
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let d = parse("u", "<a>\n  <b>x</b>\n  <c/>\n</a>").unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.children(root).len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_keeps_significant_text() {
+        let d = parse("u", "<p>one <b>two</b> three</p>").unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.children(root).len(), 3);
+        assert_eq!(d.string_value(root), "one two three");
+    }
+
+    #[test]
+    fn attributes_parse_with_both_quote_kinds() {
+        let d = parse("u", r#"<a x="1" y='two &amp; three'/>"#).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.attribute(root, "x"), Some("1"));
+        assert_eq!(d.attribute(root, "y"), Some("two & three"));
+    }
+
+    #[test]
+    fn entities_and_char_refs_resolve_in_text() {
+        let d = parse("u", "<a>&lt;tag&gt; &amp; &#65;&#x42;</a>").unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.string_value(root), "<tag> & AB");
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let d = parse("u", "<a><![CDATA[<not-a-tag> & friends]]></a>").unwrap();
+        assert_eq!(d.string_value(d.root().unwrap()), "<not-a-tag> & friends");
+    }
+
+    #[test]
+    fn comments_and_pis_are_materialized_in_content() {
+        let d = parse("u", "<a><!-- note --><?php echo ?><b/></a>").unwrap();
+        let root = d.root().unwrap();
+        let kids = d.children(root);
+        assert_eq!(kids.len(), 3);
+        assert!(matches!(d.kind(kids[0]), NodeKind::Comment(c) if c == " note "));
+        assert!(matches!(
+            d.kind(kids[1]),
+            NodeKind::ProcessingInstruction { target, .. } if target == "php"
+        ));
+    }
+
+    #[test]
+    fn prolog_declaration_and_doctype_are_skipped() {
+        let src = "<?xml version=\"1.0\"?>\n<!DOCTYPE data [ <!ELEMENT data ANY> ]>\n<data/>";
+        let d = parse("u", src).unwrap();
+        assert_eq!(d.name(d.root().unwrap()), Some("data"));
+    }
+
+    #[test]
+    fn utf8_content_round_trips() {
+        let d = parse("u", "<a>héllo wörld — ≤≥</a>").unwrap();
+        assert_eq!(d.string_value(d.root().unwrap()), "héllo wörld — ≤≥");
+    }
+
+    #[test]
+    fn mismatched_end_tag_is_an_error() {
+        let e = parse("u", "<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched end tag"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn unterminated_element_is_an_error() {
+        assert!(parse("u", "<a><b>").is_err());
+        assert!(parse("u", "<a").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let e = parse("u", "<a>&nbsp;</a>").unwrap_err();
+        assert!(e.message.contains("unknown entity"), "{e}");
+    }
+
+    #[test]
+    fn garbage_after_root_is_an_error() {
+        assert!(parse("u", "<a/><b/>").is_err());
+        // Trailing comments/PIs/whitespace are fine.
+        assert!(parse("u", "<a/>  <!-- bye --> <?pi?>\n").is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_line_accurate() {
+        let e = parse("u", "<a>\n<b>\n</c>\n</a>").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn deep_nesting_parses_iteratively() {
+        // The parser is iterative, so nesting depth is bounded only by memory.
+        let depth = 100_000;
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("<d>");
+        }
+        src.push('x');
+        for _ in 0..depth {
+            src.push_str("</d>");
+        }
+        let d = parse("u", &src).unwrap();
+        assert_eq!(d.len(), depth + 1);
+    }
+}

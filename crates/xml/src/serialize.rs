@@ -1,0 +1,208 @@
+//! Serialization of documents and subtrees back to XML text.
+//!
+//! Section 6 of the paper assumes the DBMS stores the source XML "as a long
+//! string" and that the *value* of a node is a substring of it. The storage
+//! crate therefore serializes with [`SerializeOptions::compact`] so byte
+//! ranges recorded while writing are exactly the node values.
+
+use crate::arena::Document;
+use crate::escape::{escape_attr_into, escape_text_into};
+use crate::model::{NodeId, NodeKind};
+
+/// Formatting options for serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SerializeOptions {
+    /// Indent nested elements by this many spaces per level; `None` emits a
+    /// single line with no inter-element whitespace.
+    pub indent: Option<usize>,
+}
+
+impl SerializeOptions {
+    /// Single-line output: the exact "long string" form used by storage.
+    pub fn compact() -> Self {
+        SerializeOptions { indent: None }
+    }
+
+    /// Human-readable output indented by `n` spaces per level.
+    pub fn pretty(n: usize) -> Self {
+        SerializeOptions { indent: Some(n) }
+    }
+}
+
+impl Default for SerializeOptions {
+    fn default() -> Self {
+        SerializeOptions::compact()
+    }
+}
+
+/// Serializes a whole document.
+pub fn serialize(doc: &Document, opts: SerializeOptions) -> String {
+    match doc.root() {
+        Some(root) => serialize_node(doc, root, opts),
+        None => String::new(),
+    }
+}
+
+/// Serializes the subtree rooted at `id` (its XML *value* in paper terms).
+pub fn serialize_node(doc: &Document, id: NodeId, opts: SerializeOptions) -> String {
+    let mut out = String::new();
+    write_node(doc, id, opts, 0, &mut out);
+    out
+}
+
+/// Appends the serialization of `id` to `out` (compact form only); used by
+/// the storage writer, which records byte offsets as it goes.
+pub fn write_compact_into(doc: &Document, id: NodeId, out: &mut String) {
+    write_node(doc, id, SerializeOptions::compact(), 0, out);
+}
+
+/// Appends only the start tag of an element (with attributes) to `out`.
+/// Returns true if the element has no children (so a self-contained
+/// `<name …/>` was written instead).
+pub fn write_start_tag(doc: &Document, id: NodeId, out: &mut String) -> bool {
+    let NodeKind::Element { name, attributes } = doc.kind(id) else {
+        panic!("write_start_tag on non-element");
+    };
+    out.push('<');
+    out.push_str(name);
+    for a in attributes {
+        out.push(' ');
+        out.push_str(&a.name);
+        out.push_str("=\"");
+        escape_attr_into(out, &a.value);
+        out.push('"');
+    }
+    if doc.children(id).is_empty() {
+        out.push_str("/>");
+        true
+    } else {
+        out.push('>');
+        false
+    }
+}
+
+/// Appends the end tag of an element to `out`.
+pub fn write_end_tag(doc: &Document, id: NodeId, out: &mut String) {
+    let name = doc.name(id).expect("write_end_tag on non-element");
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+fn write_node(doc: &Document, id: NodeId, opts: SerializeOptions, level: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Element { .. } => {
+            indent(opts, level, out);
+            let self_closed = write_start_tag(doc, id, out);
+            if self_closed {
+                return;
+            }
+            let children = doc.children(id);
+            let only_text = children.iter().all(|&c| doc.kind(c).is_text());
+            if only_text || opts.indent.is_none() {
+                for &c in children {
+                    write_node(doc, c, SerializeOptions::compact(), 0, out);
+                }
+            } else {
+                for &c in children {
+                    write_node(doc, c, opts, level + 1, out);
+                }
+                indent(opts, level, out);
+            }
+            write_end_tag(doc, id, out);
+        }
+        NodeKind::Text(t) => {
+            // No indent for text: it is always significant.
+            escape_text_into(out, t);
+        }
+        NodeKind::Comment(c) => {
+            indent(opts, level, out);
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            indent(opts, level, out);
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+fn indent(opts: SerializeOptions, level: usize, out: &mut String) {
+    if let Some(n) = opts.indent {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.extend(std::iter::repeat_n(' ', n * level));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = "<data><book id=\"1\"><title>X &amp; Y</title><author/></book></data>";
+        let d = parse("u", src).unwrap();
+        assert_eq!(serialize(&d, SerializeOptions::compact()), src);
+    }
+
+    #[test]
+    fn subtree_value_is_the_node_serialization() {
+        let d = parse("u", "<data><book><title>X</title></book></data>").unwrap();
+        let book = d.children(d.root().unwrap())[0];
+        assert_eq!(
+            serialize_node(&d, book, SerializeOptions::compact()),
+            "<book><title>X</title></book>"
+        );
+    }
+
+    #[test]
+    fn pretty_indents_structure_but_not_text() {
+        let d = parse("u", "<a><b>x</b><c><d/></c></a>").unwrap();
+        let s = serialize(&d, SerializeOptions::pretty(2));
+        assert_eq!(s, "<a>\n  <b>x</b>\n  <c>\n    <d/>\n  </c>\n</a>");
+    }
+
+    #[test]
+    fn attribute_values_are_escaped() {
+        let mut d = Document::new("u");
+        let r = d.create_root("a");
+        d.set_attribute(r, "q", "x\"y<z&");
+        assert_eq!(
+            serialize(&d, SerializeOptions::compact()),
+            "<a q=\"x&quot;y&lt;z&amp;\"/>"
+        );
+    }
+
+    #[test]
+    fn comments_and_pis_serialize() {
+        let src = "<a><!-- hi --><?go now?><b/></a>";
+        let d = parse("u", src).unwrap();
+        assert_eq!(serialize(&d, SerializeOptions::compact()), src);
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable() {
+        let src = "<r><a x=\"1&quot;2\">t&lt;u</a><b><c/>tail</b></r>";
+        let d1 = parse("u", src).unwrap();
+        let s1 = serialize(&d1, SerializeOptions::compact());
+        let d2 = parse("u", &s1).unwrap();
+        let s2 = serialize(&d2, SerializeOptions::compact());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn empty_document_serializes_to_empty_string() {
+        let d = Document::new("u");
+        assert_eq!(serialize(&d, SerializeOptions::compact()), "");
+    }
+}

@@ -1,0 +1,199 @@
+//! `vpbn` — command-line front end for the virtual-hierarchy query suite.
+//!
+//! ```text
+//! vpbn load <uri> <file.xml>... query <flwr>        # run a FLWR query
+//! vpbn load <uri> <file.xml>    xpath <path>        # physical XPath
+//! vpbn load <uri> <file.xml>    vpath <spec> <path> # virtual XPath
+//! vpbn load <uri> <file.xml>    explain <spec>      # show the compiled view
+//! vpbn load <uri> <file.xml>    stats               # storage statistics
+//! vpbn demo                                         # the paper's Figure 2/6
+//! ```
+//!
+//! Commands are positional and composable: one or more `load` clauses
+//! followed by exactly one action. Example:
+//!
+//! ```text
+//! vpbn load books.xml data/books.xml \
+//!      vpath "title { author { name } }" "//title/author/name"
+//! ```
+
+use std::process::ExitCode;
+use vpbn_suite::core::VirtualDocument;
+use vpbn_suite::dataguide::TypedDocument;
+use vpbn_suite::query::Engine;
+use vpbn_suite::storage::StoredDocument;
+use vpbn_suite::xml::{serialize, SerializeOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vpbn: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  vpbn load <uri> <file.xml> [load <uri> <file.xml> ...] <action>
+  vpbn demo
+
+actions:
+  query   <flwr-text>          evaluate a FLWR query (doc()/virtualDoc())
+  xpath   <path>               evaluate an XPath over the last-loaded doc
+  vpath   <vdataguide> <path>  evaluate an XPath over a virtual view
+  value   <vdataguide> <path>  print the virtual VALUE of each result
+  explain <vdataguide>         show the compiled view (types, level arrays)
+  stats                        storage statistics of the last-loaded doc";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut engine = Engine::new();
+    let mut last_uri: Option<String> = None;
+    let mut i = 0;
+
+    if args.first().map(String::as_str) == Some("demo") {
+        return demo();
+    }
+
+    while i < args.len() {
+        match args[i].as_str() {
+            "load" => {
+                let uri = args.get(i + 1).ok_or("load: missing <uri>")?;
+                let file = args.get(i + 2).ok_or("load: missing <file.xml>")?;
+                let xml = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read '{file}': {e}"))?;
+                engine
+                    .register_xml(uri, &xml)
+                    .map_err(|e| format!("parse error in '{file}': {e}"))?;
+                let td = engine.document(uri).expect("just registered");
+                eprintln!(
+                    "loaded {uri}: {} nodes, {} types",
+                    td.doc().len(),
+                    td.guide().len()
+                );
+                last_uri = Some(uri.clone());
+                i += 3;
+            }
+            "query" => {
+                let q = args.get(i + 1).ok_or("query: missing FLWR text")?;
+                expect_end(args, i + 2)?;
+                let out = engine.eval(q).map_err(|e| e.to_string())?;
+                println!("{}", serialize(&out, SerializeOptions::pretty(2)));
+                return Ok(());
+            }
+            "xpath" => {
+                let uri = last_uri.as_deref().ok_or("xpath: load a document first")?;
+                let p = args.get(i + 1).ok_or("xpath: missing <path>")?;
+                expect_end(args, i + 2)?;
+                let nodes = engine.eval_path(uri, p).map_err(|e| e.to_string())?;
+                print_nodes(engine.document(uri).expect("loaded"), &nodes);
+                return Ok(());
+            }
+            "vpath" | "value" => {
+                let action = args[i].clone();
+                let uri = last_uri.as_deref().ok_or("vpath: load a document first")?;
+                let spec = args.get(i + 1).ok_or("vpath: missing <vdataguide>")?;
+                let p = args.get(i + 2).ok_or("vpath: missing <path>")?;
+                expect_end(args, i + 3)?;
+                let nodes = engine
+                    .eval_virtual_path(uri, spec, p)
+                    .map_err(|e| e.to_string())?;
+                let td = engine.document(uri).expect("loaded");
+                if action == "vpath" {
+                    print_nodes(td, &nodes);
+                } else {
+                    let vd = engine.virtual_doc(uri, spec).map_err(|e| e.to_string())?;
+                    for &n in &nodes {
+                        let (v, _) = vpbn_suite::core::value::virtual_value(&vd, td, n);
+                        println!("{v}");
+                    }
+                    eprintln!("{} value(s)", nodes.len());
+                }
+                return Ok(());
+            }
+            "explain" => {
+                let uri = last_uri.as_deref().ok_or("explain: load a document first")?;
+                let spec = args.get(i + 1).ok_or("explain: missing <vdataguide>")?;
+                expect_end(args, i + 2)?;
+                let td = engine.document(uri).expect("loaded");
+                let vd = VirtualDocument::open(td, spec).map_err(|e| e.to_string())?;
+                println!("view over {uri}: {spec}");
+                println!(
+                    "{} virtual types; {} of {} nodes visible",
+                    vd.vdg().len(),
+                    vd.visible_nodes(),
+                    td.doc().len()
+                );
+                println!("{:<32} {:<28} {:>9}  notes", "virtual path", "level array", "instances");
+                for vt in vd.vdg().guide().type_ids() {
+                    println!(
+                        "{:<32} {:<28} {:>9}  {}",
+                        vd.vdg().guide().path_string(vt),
+                        vd.array(vt).to_string(),
+                        vd.nodes_of_vtype(vt).len(),
+                        if vd.vdg().is_identity_below(vt) {
+                            "identity region"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                return Ok(());
+            }
+            "stats" => {
+                let uri = last_uri.as_deref().ok_or("stats: load a document first")?;
+                expect_end(args, i + 1)?;
+                let td = engine.document(uri).expect("loaded");
+                let stored = StoredDocument::build(td.clone());
+                let s = stored.stats();
+                println!("storage statistics for {uri}:");
+                println!("  document string : {:>10} B over {} pages", s.document_bytes, s.document_pages);
+                println!("  value index     : {:>10} B", s.value_index_bytes);
+                println!("  type index      : {:>10} B", s.type_index_bytes);
+                println!("  name index      : {:>10} B", s.name_index_bytes);
+                println!("  node headers    : {:>10} B", s.header_bytes);
+                println!("  total           : {:>10} B", s.total_bytes());
+                return Ok(());
+            }
+            other => return Err(format!("unknown command '{other}'")),
+        }
+    }
+    Err("no action given".into())
+}
+
+fn expect_end(args: &[String], from: usize) -> Result<(), String> {
+    if from < args.len() {
+        Err(format!("unexpected trailing arguments: {:?}", &args[from..]))
+    } else {
+        Ok(())
+    }
+}
+
+fn print_nodes(td: &TypedDocument, nodes: &[vpbn_suite::xml::NodeId]) {
+    for &n in nodes {
+        println!(
+            "{:<14} {}",
+            td.pbn().pbn_of(n).to_string(),
+            serialize::serialize_node(td.doc(), n, SerializeOptions::compact())
+        );
+    }
+    eprintln!("{} node(s)", nodes.len());
+}
+
+/// The paper's running example, self-contained.
+fn demo() -> Result<(), String> {
+    let mut engine = Engine::new();
+    engine.register(vpbn_suite::xml::builder::paper_figure2());
+    println!("Figure 2 instance registered as book.xml\n");
+    println!("Rhonda's query (Figure 6):\n");
+    let q = r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
+               return <result><title>{$t/text()}</title>
+                              <count>{count($t/author)}</count></result>"#;
+    println!("{q}\n");
+    let out = engine.eval(q).map_err(|e| e.to_string())?;
+    println!("{}", serialize(&out, SerializeOptions::pretty(2)));
+    Ok(())
+}

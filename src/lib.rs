@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # vpbn-suite — querying virtual hierarchies with virtual prefix-based numbers
+//!
+//! Facade crate for the reproduction of *"Querying Virtual Hierarchies using
+//! Virtual Prefix-Based Numbers"* (Dyreson, Bhowmick, Grapp — SIGMOD 2014).
+//! It re-exports the public API of every workspace crate so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`xml`] — XML data model, parser, serializer ([`vh_xml`]).
+//! * [`pbn`] — prefix-based (Dewey) numbering ([`vh_pbn`]).
+//! * [`dataguide`] — structural summaries ([`vh_dataguide`]).
+//! * [`core`] — the paper's contribution: vDataGuides, level arrays, vPBN
+//!   numbers, virtual axes and virtual values ([`vh_core`]).
+//! * [`storage`] — simulated XML DBMS storage with value/type indexes
+//!   ([`vh_storage`]).
+//! * [`query`] — XPath and mini-XQuery engine with `virtualDoc`
+//!   ([`vh_query`]).
+//! * [`workload`] — synthetic corpora and transformation scenarios
+//!   ([`vh_workload`]).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use vh_core as core;
+pub use vh_dataguide as dataguide;
+pub use vh_pbn as pbn;
+pub use vh_query as query;
+pub use vh_storage as storage;
+pub use vh_workload as workload;
+pub use vh_xml as xml;

@@ -1,0 +1,161 @@
+//! End-to-end tests of the `vpbn` command-line binary.
+
+use std::process::{Command, Output};
+
+fn vpbn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vpbn"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn books_file() -> tempfile_path::TempPath {
+    tempfile_path::write(
+        "<data>\
+           <book><title>Alpha</title>\
+             <author><name>Ann</name></author>\
+             <publisher><location>Oslo</location></publisher></book>\
+           <book><title>Beta</title>\
+             <author><name>Bob</name></author>\
+             <author><name>Cy</name></author>\
+             <publisher><location>Lima</location></publisher></book>\
+         </data>",
+    )
+}
+
+/// Minimal temp-file helper (no external crates).
+mod tempfile_path {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    impl TempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 path")
+        }
+    }
+
+    pub fn write(content: &str) -> TempPath {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "vpbn-cli-test-{}-{}.xml",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&p, content).expect("temp file writes");
+        TempPath(p)
+    }
+}
+
+#[test]
+fn demo_prints_rhondas_result() {
+    let out = vpbn(&["demo"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("<title>X</title>"));
+    assert!(stdout.contains("<count>1</count>"));
+}
+
+#[test]
+fn xpath_lists_nodes_with_their_numbers() {
+    let f = books_file();
+    let out = vpbn(&["load", "b.xml", f.as_str(), "xpath", "//title"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1.1.1"));
+    assert!(stdout.contains("<title>Alpha</title>"));
+    assert!(stdout.contains("1.2.1"));
+}
+
+#[test]
+fn vpath_and_value_answer_through_the_view() {
+    let f = books_file();
+    let spec = "title { author { name } }";
+    let out = vpbn(&["load", "b.xml", f.as_str(), "vpath", spec, "//title/author/name"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("<name>Ann</name>"));
+    assert!(stdout.contains("<name>Cy</name>"));
+
+    let out = vpbn(&["load", "b.xml", f.as_str(), "value", spec, "//title[text() = 'Beta']"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(
+            "<title>Beta<author><name>Bob</name></author><author><name>Cy</name></author></title>"
+        ),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn explain_shows_level_arrays() {
+    let f = books_file();
+    let out = vpbn(&["load", "b.xml", f.as_str(), "explain", "title { author { name } }"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[1,1,1]"), "{stdout}");
+    assert!(stdout.contains("[1,1,2,3]"));
+    assert!(stdout.contains("identity region"));
+}
+
+#[test]
+fn query_runs_flwr_against_loaded_documents() {
+    let f = books_file();
+    let out = vpbn(&[
+        "load",
+        "b.xml",
+        f.as_str(),
+        "query",
+        r#"for $t in virtualDoc("b.xml", "title { author { name } }")//title
+           return <c>{count($t/author)}</c>"#,
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("<c>1</c>"));
+    assert!(stdout.contains("<c>2</c>"));
+}
+
+#[test]
+fn stats_reports_storage_sizes() {
+    let f = books_file();
+    let out = vpbn(&["load", "b.xml", f.as_str(), "stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("document string"));
+    assert!(stdout.contains("value index"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_usage() {
+    let out = vpbn(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("usage:"));
+
+    let out = vpbn(&["xpath", "//x"]);
+    assert!(!out.status.success());
+
+    let out = vpbn(&["load", "u", "/nonexistent-file.xml", "xpath", "//x"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn bad_specs_report_compile_errors() {
+    let f = books_file();
+    let out = vpbn(&["load", "b.xml", f.as_str(), "explain", "ghost { title }"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("matches no type"), "{stderr}");
+}
