@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate — the same three checks the GitHub workflow runs.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors; unwrap/expect denied in lib crates)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> OK"

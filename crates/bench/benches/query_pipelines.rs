@@ -22,9 +22,7 @@ fn bench_pipelines(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("pipelines");
     g.sample_size(20);
-    g.bench_function("virtual_vpbn", |b| {
-        b.iter(|| run_virtual(&td, SPEC, QUERY))
-    });
+    g.bench_function("virtual_vpbn", |b| b.iter(|| run_virtual(&td, SPEC, QUERY)));
     g.bench_function("materialize_renumber", |b| {
         b.iter(|| run_materialized(&td, SPEC, QUERY))
     });

@@ -18,8 +18,7 @@ fn bench_values(c: &mut Criterion) {
             rare_fraction: 0.0,
             seed: 3,
         };
-        let stored =
-            StoredDocument::build(TypedDocument::analyze(generate_books("b", &cfg)));
+        let stored = StoredDocument::build(TypedDocument::analyze(generate_books("b", &cfg)));
         let td = stored.typed();
         let vd = VirtualDocument::open(td, "title { author { name } }").unwrap();
         let root = vd.roots()[0];
@@ -38,7 +37,7 @@ fn bench_values(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("physical_lookup", fanout),
             &(&stored, book),
-            |b, (stored, book)| b.iter(|| stored.value_of(*book).len()),
+            |b, (stored, book)| b.iter(|| stored.value_of(*book).map(|v| v.len())),
         );
     }
     g.finish();

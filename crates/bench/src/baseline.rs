@@ -63,9 +63,8 @@ pub fn run_materialized(
     t.reindex = d;
 
     let path = parse_xpath(query).expect("query parses");
-    let (nodes, d) = time(|| {
-        eval_xpath(&PhysicalDoc::with_store(&stored), &path).expect("query evaluates")
-    });
+    let (nodes, d) =
+        time(|| eval_xpath(&PhysicalDoc::with_store(&stored), &path).expect("query evaluates"));
     t.query = d;
 
     (nodes.len(), t)
@@ -93,8 +92,7 @@ pub fn run_virtual(td: &TypedDocument, spec: &str, query: &str) -> (usize, Virtu
     let (vd, d) = time(|| VirtualDocument::open(td, spec).expect("scenario spec compiles"));
     t.open = d;
     let path = parse_xpath(query).expect("query parses");
-    let (nodes, d) =
-        time(|| eval_xpath(&VirtualDoc::new(&vd), &path).expect("query evaluates"));
+    let (nodes, d) = time(|| eval_xpath(&VirtualDoc::new(&vd), &path).expect("query evaluates"));
     t.query = d;
     (nodes.len(), t)
 }

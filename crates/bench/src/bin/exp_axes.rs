@@ -64,7 +64,14 @@ fn main() {
 
     let mut t = Table::new(
         "F2: per-check latency (ns), physical PBN vs virtual vPBN",
-        &["axis", "pbn_ns", "vpbn_ns", "overhead_x", "pbn_hits", "vpbn_hits"],
+        &[
+            "axis",
+            "pbn_ns",
+            "vpbn_ns",
+            "overhead_x",
+            "pbn_hits",
+            "vpbn_hits",
+        ],
     );
 
     let vdg = vd.vdg();
@@ -83,56 +90,34 @@ fn main() {
         }};
     }
 
-    measure!(
-        "self",
-        pax::is_self,
-        |a, b| vax::v_self(vdg, a, b)
-    );
-    measure!(
-        "ancestor",
-        pax::is_ancestor,
-        |a, b| vax::v_ancestor(vdg, a, b)
-    );
-    measure!(
-        "parent",
-        pax::is_parent,
-        |a, b| vax::v_parent(vdg, a, b)
-    );
-    measure!(
-        "descendant",
-        |a, b| pax::is_descendant(b, a),
-        |a, b| vax::v_descendant(vdg, b, a)
-    );
-    measure!(
-        "child",
-        |a, b| pax::is_child(b, a),
-        |a, b| vax::v_child(vdg, b, a)
-    );
+    measure!("self", pax::is_self, |a, b| vax::v_self(vdg, a, b));
+    measure!("ancestor", pax::is_ancestor, |a, b| vax::v_ancestor(
+        vdg, a, b
+    ));
+    measure!("parent", pax::is_parent, |a, b| vax::v_parent(vdg, a, b));
+    measure!("descendant", |a, b| pax::is_descendant(b, a), |a, b| {
+        vax::v_descendant(vdg, b, a)
+    });
+    measure!("child", |a, b| pax::is_child(b, a), |a, b| vax::v_child(
+        vdg, b, a
+    ));
     measure!(
         "descendant-or-self",
         |a, b| pax::is_descendant_or_self(b, a),
         |a, b| vax::v_descendant_or_self(vdg, b, a)
     );
-    measure!(
-        "preceding",
-        pax::is_preceding,
-        |a, b| vax::v_preceding(vdg, a, b)
-    );
-    measure!(
-        "following",
-        pax::is_following,
-        |a, b| vax::v_following(vdg, a, b)
-    );
-    measure!(
-        "preceding-sibling",
-        pax::is_preceding_sibling,
-        |a, b| vax::v_preceding_sibling(vdg, a, b)
-    );
-    measure!(
-        "following-sibling",
-        pax::is_following_sibling,
-        |a, b| vax::v_following_sibling(vdg, a, b)
-    );
+    measure!("preceding", pax::is_preceding, |a, b| vax::v_preceding(
+        vdg, a, b
+    ));
+    measure!("following", pax::is_following, |a, b| vax::v_following(
+        vdg, a, b
+    ));
+    measure!("preceding-sibling", pax::is_preceding_sibling, |a, b| {
+        vax::v_preceding_sibling(vdg, a, b)
+    });
+    measure!("following-sibling", pax::is_following_sibling, |a, b| {
+        vax::v_following_sibling(vdg, a, b)
+    });
     t.print();
     println!(
         "note: the physical and virtual predicates answer different questions\n\

@@ -58,7 +58,7 @@ fn main() {
         stored.reset_counters();
         let mut out = String::new();
         for &a in &answers {
-            let (v, _) = virtual_value(&vd, &stored, a);
+            let (v, _) = virtual_value(&vd, &stored, a).expect("fault-free store");
             out.push_str(&v);
         }
         let vstats = stored.stats();
@@ -69,13 +69,12 @@ fn main() {
         let mat = materialize(td, &vdg);
         let mat_stored = StoredDocument::build(TypedDocument::analyze(mat.doc));
         let pages_written = mat_stored.stats().document_pages as u64;
-        let mat_answers =
-            eval_xpath(&PhysicalDoc::with_store(&mat_stored), &path).unwrap();
+        let mat_answers = eval_xpath(&PhysicalDoc::with_store(&mat_stored), &path).unwrap();
         assert_eq!(mat_answers.len(), answers.len());
         mat_stored.reset_counters();
         let mut mat_out = String::new();
         for &a in &mat_answers {
-            mat_out.push_str(mat_stored.value_of(a));
+            mat_out.push_str(&mat_stored.value_of(a).expect("fault-free store"));
         }
         let mstats = mat_stored.stats();
         assert_eq!(out, mat_out, "both sides deliver identical values");

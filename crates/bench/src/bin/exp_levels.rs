@@ -28,18 +28,12 @@ fn main() {
     for &c in depths {
         for &w in widths {
             let td = TypedDocument::analyze(generate_comb("comb.xml", w, c));
-            let vdg =
-                VDataGuide::compile("root { ** }", td.guide()).expect("identity compiles");
+            let vdg = VDataGuide::compile("root { ** }", td.guide()).expect("identity compiles");
             let n = vdg.len();
             let (map, d) = median_time(9, || LevelMap::build(&vdg, td.guide()));
             assert_eq!(map.len(), n);
             let per_cn = d.as_secs_f64() * 1e6 / (c as f64 * n as f64) * 1e3;
-            t.row(&[
-                c.to_string(),
-                n.to_string(),
-                us(d),
-                format!("{per_cn:.3}"),
-            ]);
+            t.row(&[c.to_string(), n.to_string(), us(d), format!("{per_cn:.3}")]);
         }
     }
     t.print();

@@ -63,11 +63,7 @@ fn main() {
             let vdg = vd.vdg();
             time_us(|| {
                 nested_loop_join(&vtitles, &vnames, &|a, d| {
-                    vh_core::axes::v_ancestor(
-                        vdg,
-                        &vd.vpbn_of(a).unwrap(),
-                        &vd.vpbn_of(d).unwrap(),
-                    )
+                    vh_core::axes::v_ancestor(vdg, &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(d).unwrap())
                 })
                 .len()
             })

@@ -9,9 +9,7 @@ use vh_bench::report::Table;
 use vh_core::transform::materialize;
 use vh_core::{VDataGuide, VirtualDocument};
 use vh_dataguide::TypedDocument;
-use vh_query::twig::{
-    twig_join, PhysicalTwigSource, TwigPattern, VirtualTwigSource,
-};
+use vh_query::twig::{twig_join, PhysicalTwigSource, TwigPattern, VirtualTwigSource};
 use vh_workload::{generate_books, BooksConfig};
 
 fn main() {

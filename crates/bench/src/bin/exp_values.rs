@@ -58,7 +58,7 @@ fn main() {
             copies = 0;
             constructed = 0;
             for &r in &roots {
-                let (v, st) = virtual_value(&vd, &stored, r);
+                let (v, st) = virtual_value(&vd, &stored, r).expect("fault-free store");
                 bytes += v.len();
                 copies += st.raw_copies;
                 constructed += st.constructed_elements;
@@ -71,7 +71,9 @@ fn main() {
         for _ in 0..reps {
             bytes2 = 0;
             for &r in &roots {
-                bytes2 += virtual_value_constructed(&vd, &stored, r).len();
+                bytes2 += virtual_value_constructed(&vd, &stored, r)
+                    .expect("fault-free store")
+                    .len();
             }
         }
         let construct = start.elapsed().as_secs_f64() * 1e6 / reps as f64;

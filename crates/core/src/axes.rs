@@ -15,8 +15,8 @@
 //! ambiguously; this positional reading reproduces every worked example in
 //! §5, which the unit tests below verify verbatim.)
 
-use crate::vpbn::VPbnRef;
 use crate::vdg::VDataGuide;
+use crate::vpbn::VPbnRef;
 use vh_dataguide::axes as ty;
 
 /// Number-level compatibility: level-matching positions have matching
@@ -34,9 +34,7 @@ pub fn v_self(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
 
 /// vAncestor(x, y) — x is a virtual ancestor of y.
 pub fn v_ancestor(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
-    y.level() > x.level()
-        && compatible(x, y)
-        && ty::ancestor(v.guide(), x.vtype, y.vtype)
+    y.level() > x.level() && compatible(x, y) && ty::ancestor(v.guide(), x.vtype, y.vtype)
 }
 
 /// vParent(x, y) — x is the virtual parent of y.
@@ -44,23 +42,17 @@ pub fn v_ancestor(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
 /// (The printed predicate swaps the level arithmetic; a parent is one level
 /// *above* its child: `max(xa) + 1 = max(ya)`.)
 pub fn v_parent(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
-    x.level() + 1 == y.level()
-        && compatible(x, y)
-        && ty::parent(v.guide(), x.vtype, y.vtype)
+    x.level() + 1 == y.level() && compatible(x, y) && ty::parent(v.guide(), x.vtype, y.vtype)
 }
 
 /// vDescendant(x, y) — x is a virtual descendant of y.
 pub fn v_descendant(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
-    x.level() > y.level()
-        && compatible(x, y)
-        && ty::descendant(v.guide(), x.vtype, y.vtype)
+    x.level() > y.level() && compatible(x, y) && ty::descendant(v.guide(), x.vtype, y.vtype)
 }
 
 /// vChild(x, y) — x is a virtual child of y.
 pub fn v_child(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
-    y.level() + 1 == x.level()
-        && compatible(x, y)
-        && ty::child(v.guide(), x.vtype, y.vtype)
+    y.level() + 1 == x.level() && compatible(x, y) && ty::child(v.guide(), x.vtype, y.vtype)
 }
 
 /// vDescendant-or-self(x, y).
@@ -125,18 +117,12 @@ fn v_sibling_numbers(x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
 
 /// vPreceding-sibling(x, y) — x is a virtual preceding sibling of y.
 pub fn v_preceding_sibling(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
-    v_sibling_numbers(x, y)
-        && v_preceding(v, x, y)
-        && !v_self(v, x, y)
-        && sibling_types(v, x, y)
+    v_sibling_numbers(x, y) && v_preceding(v, x, y) && !v_self(v, x, y) && sibling_types(v, x, y)
 }
 
 /// vFollowing-sibling(x, y) — x is a virtual following sibling of y.
 pub fn v_following_sibling(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
-    v_sibling_numbers(x, y)
-        && v_following(v, x, y)
-        && !v_self(v, x, y)
-        && sibling_types(v, x, y)
+    v_sibling_numbers(x, y) && v_following(v, x, y) && !v_self(v, x, y) && sibling_types(v, x, y)
 }
 
 /// Type-level siblinghood in the virtual guide (same type counts: two
@@ -177,11 +163,7 @@ mod tests {
                 .guide()
                 .lookup_path(vpath)
                 .unwrap_or_else(|| panic!("no virtual type {vpath:?}"));
-            VPbn::new(
-                pbn.parse::<Pbn>().unwrap(),
-                self.m.array(vt).clone(),
-                vt,
-            )
+            VPbn::new(pbn.parse::<Pbn>().unwrap(), self.m.array(vt).clone(), vt)
         }
     }
 
@@ -286,15 +268,31 @@ mod tests {
         let w = World::new("title { author { name } }");
         let x_text = w.node(&["title", "#text"], "1.1.1.1");
         let author1 = w.node(&["title", "author"], "1.1.2");
-        assert!(v_preceding_sibling(&w.v, &x_text.as_ref(), &author1.as_ref()));
-        assert!(v_following_sibling(&w.v, &author1.as_ref(), &x_text.as_ref()));
+        assert!(v_preceding_sibling(
+            &w.v,
+            &x_text.as_ref(),
+            &author1.as_ref()
+        ));
+        assert!(v_following_sibling(
+            &w.v,
+            &author1.as_ref(),
+            &x_text.as_ref()
+        ));
         // Not siblings across books.
         let author2 = w.node(&["title", "author"], "1.2.2");
-        assert!(!v_preceding_sibling(&w.v, &x_text.as_ref(), &author2.as_ref()));
+        assert!(!v_preceding_sibling(
+            &w.v,
+            &x_text.as_ref(),
+            &author2.as_ref()
+        ));
         // Two titles are siblings (roots of the virtual forest).
         let title1 = w.node(&["title"], "1.1.1");
         let title2 = w.node(&["title"], "1.2.1");
-        assert!(v_preceding_sibling(&w.v, &title1.as_ref(), &title2.as_ref()));
+        assert!(v_preceding_sibling(
+            &w.v,
+            &title1.as_ref(),
+            &title2.as_ref()
+        ));
     }
 
     #[test]
@@ -329,8 +327,16 @@ mod tests {
                     phys::is_descendant(xn, yn),
                     "descendant {xn} {yn}"
                 );
-                assert_eq!(v_parent(&v, &x, &y), phys::is_parent(xn, yn), "parent {xn} {yn}");
-                assert_eq!(v_child(&v, &x, &y), phys::is_child(xn, yn), "child {xn} {yn}");
+                assert_eq!(
+                    v_parent(&v, &x, &y),
+                    phys::is_parent(xn, yn),
+                    "parent {xn} {yn}"
+                );
+                assert_eq!(
+                    v_child(&v, &x, &y),
+                    phys::is_child(xn, yn),
+                    "child {xn} {yn}"
+                );
                 assert_eq!(
                     v_preceding(&v, &x, &y),
                     phys::is_preceding(xn, yn),

@@ -68,7 +68,12 @@ impl LevelArray {
     /// this array. Arrays are non-decreasing, so this is the last entry.
     #[inline]
     pub fn max_level(&self) -> u32 {
-        *self.0.last().expect("level array of a type is never empty")
+        // Invariant: `LevelMap::build` constructs one entry per PBN
+        // component and every virtual type has length >= 1.
+        match self.0.last() {
+            Some(&l) => l,
+            None => unreachable!("level array of a type is never empty"),
+        }
     }
 
     /// Entry `i` (0-based position of the PBN component).
@@ -123,13 +128,20 @@ impl LevelMap {
             let array = match vdg.guide().ty(vt).parent() {
                 None => LevelArray::new(vec![1u32; s]),
                 Some(pvt) => {
-                    let pa = arrays[pvt.index()]
-                        .as_ref()
-                        .expect("parent visited before child in preorder");
+                    // Invariant: the stack walk is preorder, so a parent's
+                    // array is always filled before its children are
+                    // visited.
+                    let pa = match arrays[pvt.index()].as_ref() {
+                        Some(a) => a,
+                        None => unreachable!("parent visited before child in preorder"),
+                    };
                     let porig = vdg.original_type(pvt);
-                    let z = original
-                        .lca(porig, orig)
-                        .expect("virtual parent and child share a tree");
+                    // Invariant: both types come from one original guide,
+                    // whose types form a single tree — an LCA always exists.
+                    let z = match original.lca(porig, orig) {
+                        Some(z) => z,
+                        None => unreachable!("virtual parent and child share a tree"),
+                    };
                     let k = original.length(z);
                     if k < s {
                         // Cases 1 and 3: prefix of the parent's array up to
@@ -157,7 +169,12 @@ impl LevelMap {
         LevelMap {
             arrays: arrays
                 .into_iter()
-                .map(|a| a.expect("every virtual type is reachable from a root"))
+                // Invariant: the walk above visits every virtual type (the
+                // vDataGuide is a forest rooted at `roots()`).
+                .map(|a| match a {
+                    Some(a) => a,
+                    None => unreachable!("every virtual type is reachable from a root"),
+                })
                 .collect(),
         }
     }

@@ -42,3 +42,27 @@ pub use levels::LevelArray;
 pub use vdg::{VDataGuide, VdgError, VdgSpec};
 pub use vdoc::VirtualDocument;
 pub use vpbn::VPbn;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for unit tests.
+
+    /// Unwraps test fixtures that are valid by construction, printing the
+    /// `Debug` payload when the assumption is violated.
+    pub trait Must<T> {
+        /// Returns the success value or fails the test.
+        fn must(self) -> T;
+    }
+
+    impl<T, E: std::fmt::Debug> Must<T> for Result<T, E> {
+        fn must(self) -> T {
+            self.unwrap_or_else(|e| unreachable!("test fixture failed: {e:?}"))
+        }
+    }
+
+    impl<T> Must<T> for Option<T> {
+        fn must(self) -> T {
+            self.unwrap_or_else(|| unreachable!("test fixture was None"))
+        }
+    }
+}

@@ -158,8 +158,16 @@ mod tests {
         assert_eq!(
             order,
             vec![
-                "1.1.1", "1.1.1.1", "1.1.2", "1.1.2.1", "1.1.2.1.1", //
-                "1.2.1", "1.2.1.1", "1.2.2", "1.2.2.1", "1.2.2.1.1",
+                "1.1.1",
+                "1.1.1.1",
+                "1.1.2",
+                "1.1.2.1",
+                "1.1.2.1.1", //
+                "1.2.1",
+                "1.2.1.1",
+                "1.2.2",
+                "1.2.2.1",
+                "1.2.2.1.1",
             ]
         );
     }

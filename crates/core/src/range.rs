@@ -101,10 +101,7 @@ mod tests {
     fn descendants_of_a_title_scan_its_book_prefix() {
         let (v, m) = world("title { author { name } }");
         let title = v.guide().lookup_path(&["title"]).unwrap();
-        let name = v
-            .guide()
-            .lookup_path(&["title", "author", "name"])
-            .unwrap();
+        let name = v.guide().lookup_path(&["title", "author", "name"]).unwrap();
         // Context: title 1.1.1 ([1,1,1]); target type: name ([1,1,2,3]).
         let x = VPbn::new(pbn![1, 1, 1], m.array(title).clone(), title);
         let r = related_scan_range(&x.as_ref(), m.array(name));
@@ -139,10 +136,7 @@ mod tests {
         // (name, [1,1,2,2]) of author 1.1.2 ([1,1,2,3]).
         let (v, m) = world("title { name { author } }");
         let name = v.guide().lookup_path(&["title", "name"]).unwrap();
-        let author = v
-            .guide()
-            .lookup_path(&["title", "name", "author"])
-            .unwrap();
+        let author = v.guide().lookup_path(&["title", "name", "author"]).unwrap();
         let x = VPbn::new(pbn![1, 1, 2], m.array(author).clone(), author);
         let r = related_scan_range(&x.as_ref(), m.array(name));
         // Arrays agree on the full author number [1,1,2] vs [1,1,2]:

@@ -59,7 +59,10 @@ pub fn materialize(td: &TypedDocument, vdg: &VDataGuide) -> Materialized {
     for (src, vt) in top {
         place(td, vdg, &instances, src, vt, root, &mut out, &mut source_of);
     }
-    Materialized { doc: out, source_of }
+    Materialized {
+        doc: out,
+        source_of,
+    }
 }
 
 /// Copies `src` (shallow) under `parent` in `out`, then recursively places
@@ -132,9 +135,12 @@ fn place(
 /// `length(lcaTypeOf(orig(parent), orig(child)))` in the original guide.
 fn lca_len(td: &TypedDocument, vdg: &VDataGuide, pt: VTypeId, ct: VTypeId) -> usize {
     let g = td.guide();
-    let z = g
-        .lca(vdg.original_type(pt), vdg.original_type(ct))
-        .expect("virtual parent and child originate from one tree");
+    // Invariant: both virtual types are bound to types of one original
+    // guide, whose type tree always has an LCA for any pair.
+    let z = match g.lca(vdg.original_type(pt), vdg.original_type(ct)) {
+        Some(z) => z,
+        None => unreachable!("virtual parent and child originate from one tree"),
+    };
     g.length(z)
 }
 
@@ -229,26 +235,26 @@ mod tests {
     }
 
     #[test]
-    fn materialized_matches_virtual_values() {
+    fn materialized_matches_virtual_values() -> Result<(), Box<dyn std::error::Error>> {
         // The virtual value of each virtual root equals the serialization
         // of the corresponding materialized subtree.
         use crate::value::virtual_value;
         use crate::vdoc::VirtualDocument;
         let td = sam();
         for spec in ["title { author { name } }", "title { name { author } }"] {
-            let vd = VirtualDocument::open(&td, spec).unwrap();
-            let vdg = VDataGuide::compile(spec, td.guide()).unwrap();
+            let vd = VirtualDocument::open(&td, spec)?;
+            let vdg = VDataGuide::compile(spec, td.guide())?;
             let m = materialize(&td, &vdg);
-            let mroot = m.doc.root().unwrap();
+            let mroot = m.doc.root().ok_or("materialized doc has a root")?;
             let mat_children = m.doc.children(mroot);
             let vroots = vd.roots();
             assert_eq!(mat_children.len(), vroots.len());
             for (&mat, &virt) in mat_children.iter().zip(&vroots) {
-                let physical =
-                    serialize::serialize_node(&m.doc, mat, SerializeOptions::compact());
-                let (virtual_, _) = virtual_value(&vd, &td, virt);
+                let physical = serialize::serialize_node(&m.doc, mat, SerializeOptions::compact());
+                let (virtual_, _) = virtual_value(&vd, &td, virt)?;
                 assert_eq!(physical, virtual_, "spec {spec}");
             }
         }
+        Ok(())
     }
 }

@@ -13,25 +13,62 @@
 //! The [`RawValueSource`] trait abstracts the store: `vh-storage` implements
 //! it with its page-backed value index (counting simulated I/O); the plain
 //! [`TypedDocument`] implementation serializes from the in-memory tree and
-//! serves as the reference. Experiment F5 measures stitching against
-//! [`virtual_value_constructed`], the element-by-element baseline that a
-//! rewritten view query would effectively execute (§2's Figure 5 argument).
+//! serves as the reference. Stored reads can fail (the storage layer
+//! verifies checksums and retries transient faults), so the source is
+//! fallible: a failed read aborts the stitch with a [`ValueError`] whose
+//! source chain carries the storage fault. Experiment F5 measures stitching
+//! against [`virtual_value_constructed`], the element-by-element baseline
+//! that a rewritten view query would effectively execute (§2's Figure 5
+//! argument).
 
 use crate::vdoc::VirtualDocument;
+use std::fmt;
 use vh_dataguide::TypedDocument;
 use vh_xml::{serialize, NodeId, NodeKind};
+
+/// A node value could not be retrieved from its backing source.
+///
+/// Wraps the source-specific fault (for `vh-storage`, a `StorageError`) so
+/// callers can walk the chain via [`std::error::Error::source`].
+#[derive(Debug)]
+pub struct ValueError(Box<dyn std::error::Error + Send + Sync>);
+
+impl ValueError {
+    /// Wraps a source-specific retrieval fault.
+    pub fn new(source: impl std::error::Error + Send + Sync + 'static) -> Self {
+        ValueError(Box::new(source))
+    }
+
+    /// The wrapped fault.
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        self.0.as_ref()
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stored value unavailable: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.0.as_ref())
+    }
+}
 
 /// Source of stored (original) node values.
 pub trait RawValueSource {
     /// Appends the stored serialized value of `node`'s **original** subtree
-    /// to `out`.
-    fn append_raw_value(&self, node: NodeId, out: &mut String);
+    /// to `out`. Fails when the backing store cannot deliver verified bytes.
+    fn append_raw_value(&self, node: NodeId, out: &mut String) -> Result<(), ValueError>;
 }
 
-/// Reference implementation: serialize from the in-memory tree.
+/// Reference implementation: serialize from the in-memory tree (infallible).
 impl RawValueSource for TypedDocument {
-    fn append_raw_value(&self, node: NodeId, out: &mut String) {
+    fn append_raw_value(&self, node: NodeId, out: &mut String) -> Result<(), ValueError> {
         serialize::write_compact_into(self.doc(), node, out);
+        Ok(())
     }
 }
 
@@ -41,11 +78,11 @@ pub fn virtual_value(
     vdoc: &VirtualDocument<'_>,
     source: &impl RawValueSource,
     node: NodeId,
-) -> (String, StitchStats) {
+) -> Result<(String, StitchStats), ValueError> {
     let mut out = String::new();
     let mut stats = StitchStats::default();
-    append_virtual_value(vdoc, source, node, true, &mut out, &mut stats);
-    (out, stats)
+    append_virtual_value(vdoc, source, node, true, &mut out, &mut stats)?;
+    Ok((out, stats))
 }
 
 /// Computes the virtual value without the fast path: every element is
@@ -54,11 +91,11 @@ pub fn virtual_value_constructed(
     vdoc: &VirtualDocument<'_>,
     source: &impl RawValueSource,
     node: NodeId,
-) -> String {
+) -> Result<String, ValueError> {
     let mut out = String::new();
     let mut stats = StitchStats::default();
-    append_virtual_value(vdoc, source, node, false, &mut out, &mut stats);
-    out
+    append_virtual_value(vdoc, source, node, false, &mut out, &mut stats)?;
+    Ok(out)
 }
 
 /// Counters describing how a virtual value was assembled.
@@ -79,17 +116,16 @@ fn append_virtual_value(
     fast_path: bool,
     out: &mut String,
     stats: &mut StitchStats,
-) {
+) -> Result<(), ValueError> {
     let doc = vdoc.typed().doc();
     let Some(vt) = vdoc.vtype_of(node) else {
-        return; // invisible nodes contribute nothing
+        return Ok(()); // invisible nodes contribute nothing
     };
     if fast_path && vdoc.vdg().is_identity_below(vt) {
         // The whole subtree sits at its original relative positions: its
         // virtual value IS its stored value — one contiguous copy.
         stats.raw_copies += 1;
-        source.append_raw_value(node, out);
-        return;
+        return source.append_raw_value(node, out);
     }
     match doc.kind(node) {
         NodeKind::Element { .. } => {
@@ -105,7 +141,7 @@ fn append_virtual_value(
                     out.truncate(out.len() - 1);
                     out.push_str("/>");
                 }
-                return;
+                return Ok(());
             }
             if closed {
                 // `<x/>` was written but virtual children exist: reopen.
@@ -113,7 +149,7 @@ fn append_virtual_value(
                 out.push('>');
             }
             for c in children {
-                append_virtual_value(vdoc, source, c, fast_path, out, stats);
+                append_virtual_value(vdoc, source, c, fast_path, out, stats)?;
             }
             serialize::write_end_tag(doc, node, out);
         }
@@ -136,6 +172,7 @@ fn append_virtual_value(
             out.push_str("?>");
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -143,29 +180,29 @@ mod tests {
     use super::*;
     use vh_xml::builder::paper_figure2;
 
+    type R = Result<(), Box<dyn std::error::Error>>;
+
     fn sam() -> TypedDocument {
         TypedDocument::analyze(paper_figure2())
     }
 
     #[test]
-    fn transformed_title_value_matches_figure3() {
+    fn transformed_title_value_matches_figure3() -> R {
         let td = sam();
-        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let vd = VirtualDocument::open(&td, "title { author { name } }")?;
         let title1 = vd.roots()[0];
-        let (v, stats) = virtual_value(&vd, &td, title1);
-        assert_eq!(
-            v,
-            "<title>X<author><name>C</name></author></title>"
-        );
+        let (v, stats) = virtual_value(&vd, &td, title1)?;
+        assert_eq!(v, "<title>X<author><name>C</name></author></title>");
         // name and title's text node head identity regions → two raw
         // copies; title and author are constructed.
         assert_eq!(stats.raw_copies, 2);
         assert_eq!(stats.constructed_elements, 2);
         assert_eq!(stats.text_nodes, 0);
+        Ok(())
     }
 
     #[test]
-    fn fast_path_and_constructed_agree() {
+    fn fast_path_and_constructed_agree() -> R {
         let td = sam();
         for spec in [
             "title { author { name } }",
@@ -173,21 +210,22 @@ mod tests {
             "data { ** }",
             "book { publisher }",
         ] {
-            let vd = VirtualDocument::open(&td, spec).unwrap();
+            let vd = VirtualDocument::open(&td, spec)?;
             for root in vd.roots() {
-                let (fast, _) = virtual_value(&vd, &td, root);
-                let slow = virtual_value_constructed(&vd, &td, root);
+                let (fast, _) = virtual_value(&vd, &td, root)?;
+                let slow = virtual_value_constructed(&vd, &td, root)?;
                 assert_eq!(fast, slow, "spec {spec}");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn identity_value_is_the_original_value() {
+    fn identity_value_is_the_original_value() -> R {
         let td = sam();
-        let vd = VirtualDocument::open(&td, "data { ** }").unwrap();
-        let root = td.doc().root().unwrap();
-        let (v, stats) = virtual_value(&vd, &td, root);
+        let vd = VirtualDocument::open(&td, "data { ** }")?;
+        let root = td.doc().root().ok_or("no root")?;
+        let (v, stats) = virtual_value(&vd, &td, root)?;
         assert_eq!(
             v,
             vh_xml::serialize(td.doc(), vh_xml::SerializeOptions::compact())
@@ -195,41 +233,60 @@ mod tests {
         // The whole document is one identity region: exactly one raw copy.
         assert_eq!(stats.raw_copies, 1);
         assert_eq!(stats.constructed_elements, 0);
+        Ok(())
     }
 
     #[test]
-    fn inverted_value_nests_author_inside_name() {
+    fn inverted_value_nests_author_inside_name() -> R {
         let td = sam();
-        let vd = VirtualDocument::open(&td, "title { name { author } }").unwrap();
+        let vd = VirtualDocument::open(&td, "title { name { author } }")?;
         let title2 = vd.roots()[1];
-        let (v, _) = virtual_value(&vd, &td, title2);
+        let (v, _) = virtual_value(&vd, &td, title2)?;
         // Sibling order between `author` (moved below its original
         // descendant) and name's own text is not observable through the
         // paper's axes (their numbers are prefix-related); we canonicalize
         // to PBN order, which puts the prefix-holder `author` first.
         assert_eq!(v, "<title>Y<name><author/>D</name></title>");
+        Ok(())
     }
 
     #[test]
-    fn projection_value_excludes_unselected_types() {
+    fn projection_value_excludes_unselected_types() -> R {
         let td = sam();
-        let vd = VirtualDocument::open(&td, "book { publisher }").unwrap();
+        let vd = VirtualDocument::open(&td, "book { publisher }")?;
         let book1 = vd.roots()[0];
-        let (v, _) = virtual_value(&vd, &td, book1);
+        let (v, _) = virtual_value(&vd, &td, book1)?;
         assert_eq!(
             v,
             "<book><publisher><location>W</location></publisher></book>"
         );
+        Ok(())
     }
 
     #[test]
-    fn value_of_invisible_node_is_empty() {
+    fn value_of_invisible_node_is_empty() -> R {
         let td = sam();
-        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
-        let root = td.doc().root().unwrap();
+        let vd = VirtualDocument::open(&td, "title { author { name } }")?;
+        let root = td.doc().root().ok_or("no root")?;
         let book1 = td.doc().children(root)[0];
         let publisher = td.doc().children(book1)[2];
-        let (v, _) = virtual_value(&vd, &td, publisher);
+        let (v, _) = virtual_value(&vd, &td, publisher)?;
         assert!(v.is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn value_error_chains_its_source() {
+        #[derive(Debug)]
+        struct Boom;
+        impl fmt::Display for Boom {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "boom")
+            }
+        }
+        impl std::error::Error for Boom {}
+        let e = ValueError::new(Boom);
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -29,7 +29,7 @@
 //!    mentioned elsewhere in the vDataGuide").
 
 use crate::vdg::grammar::{VdgChild, VdgNode, VdgSpec};
-use crate::vdg::VdgError;
+use crate::vdg::{VdgError, MAX_VDG_DEPTH};
 use std::collections::{HashMap, HashSet};
 use vh_dataguide::{DataGuide, TypeId, TEXT_TYPE_NAME};
 
@@ -144,7 +144,7 @@ impl VdgSpec {
             let ty = out.resolve(&root.label)?;
             let vt = out.vguide.intern_root(original.name(ty));
             out.record(vt, ty)?;
-            out.expand_children(vt, ty, &root.children)?;
+            out.expand_children(vt, ty, &root.children, 1)?;
         }
         Ok(VDataGuide {
             vguide: out.vguide,
@@ -181,10 +181,10 @@ impl VdgSpec {
 
 /// Resolves a (possibly dotted) label to exactly one original type.
 fn resolve_label(original: &DataGuide, label: &str) -> Result<TypeId, VdgError> {
-    let mut candidates = original.resolve_label(label);
+    let candidates = original.resolve_label(label);
     match candidates.len() {
         0 => Err(VdgError::UnknownLabel(label.to_owned())),
-        1 => Ok(candidates.pop().expect("len checked")),
+        1 => Ok(candidates[0]),
         _ => Err(VdgError::AmbiguousLabel {
             label: label.to_owned(),
             candidates: candidates
@@ -228,18 +228,33 @@ impl<'a> Expansion<'a> {
         Ok(())
     }
 
+    /// Fails with [`VdgError::DepthExceeded`] once the virtual hierarchy
+    /// under construction nests past [`MAX_VDG_DEPTH`] — both this walk and
+    /// the identity expansion recurse once per level.
+    fn check_depth(&self, depth: usize) -> Result<(), VdgError> {
+        if depth > MAX_VDG_DEPTH {
+            return Err(VdgError::DepthExceeded {
+                depth,
+                limit: MAX_VDG_DEPTH,
+            });
+        }
+        Ok(())
+    }
+
     fn expand_children(
         &mut self,
         vt: VTypeId,
         ty: TypeId,
         children: &[VdgChild],
+        depth: usize,
     ) -> Result<(), VdgError> {
+        self.check_depth(depth)?;
         if children.is_empty() {
             // Rule 3: identity below. The fast-path flag is only set when
             // the whole original subtree really is carried over — a
             // descendant type mentioned (and thus re-rooted) elsewhere
             // makes the region value-incomplete.
-            let complete = self.expand_identity_children(vt, ty)?;
+            let complete = self.expand_identity_children(vt, ty, depth)?;
             self.identity_below[vt.index()] = complete;
             return Ok(());
         }
@@ -252,10 +267,10 @@ impl<'a> Expansion<'a> {
                     let cty = self.resolve(&n.label)?;
                     let cvt = self.vguide.intern_child(vt, self.original.name(cty));
                     self.record(cvt, cty)?;
-                    self.expand_children(cvt, cty, &n.children)?;
+                    self.expand_children(cvt, cty, &n.children, depth + 1)?;
                 }
                 VdgChild::Star | VdgChild::DoubleStar => {
-                    stars_complete &= self.expand_unmentioned(vt, ty)?;
+                    stars_complete &= self.expand_unmentioned(vt, ty, depth)?;
                 }
             }
         }
@@ -279,7 +294,13 @@ impl<'a> Expansion<'a> {
     /// `vt`, recursively, skipping explicitly mentioned types. Returns
     /// `true` when nothing was skipped anywhere below (the region is
     /// value-complete).
-    fn expand_identity_children(&mut self, vt: VTypeId, ty: TypeId) -> Result<bool, VdgError> {
+    fn expand_identity_children(
+        &mut self,
+        vt: VTypeId,
+        ty: TypeId,
+        depth: usize,
+    ) -> Result<bool, VdgError> {
+        self.check_depth(depth)?;
         let children: Vec<TypeId> = self.original.ty(ty).children().to_vec();
         let mut complete = true;
         for cty in children {
@@ -289,7 +310,7 @@ impl<'a> Expansion<'a> {
             }
             let cvt = self.vguide.intern_child(vt, self.original.name(cty));
             self.record(cvt, cty)?;
-            let child_complete = self.expand_identity_children(cvt, cty)?;
+            let child_complete = self.expand_identity_children(cvt, cty, depth + 1)?;
             self.identity_below[cvt.index()] = child_complete;
             complete &= child_complete;
         }
@@ -298,14 +319,20 @@ impl<'a> Expansion<'a> {
 
     /// `*` / `**`: unmentioned children of `ty`, each with an identity
     /// subtree. Returns `true` when nothing below was skipped.
-    fn expand_unmentioned(&mut self, vt: VTypeId, ty: TypeId) -> Result<bool, VdgError> {
-        self.expand_identity_children(vt, ty)
+    fn expand_unmentioned(
+        &mut self,
+        vt: VTypeId,
+        ty: TypeId,
+        depth: usize,
+    ) -> Result<bool, VdgError> {
+        self.expand_identity_children(vt, ty, depth)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use vh_dataguide::TypedDocument;
     use vh_xml::builder::paper_figure2;
 
@@ -318,7 +345,7 @@ mod tests {
     fn figure7b_expansion() {
         // "title { author { name } }" over the Figure 7(a) guide.
         let g = original();
-        let v = VDataGuide::compile("title { author { name } }", &g).unwrap();
+        let v = VDataGuide::compile("title { author { name } }", &g).must();
         // Virtual types: title, title.#text, author, name, name.#text.
         assert_eq!(v.len(), 5);
         assert_eq!(v.roots().len(), 1);
@@ -350,7 +377,7 @@ mod tests {
     #[test]
     fn identity_specification_covers_everything() {
         let g = original();
-        let v = VDataGuide::compile("data { ** }", &g).unwrap();
+        let v = VDataGuide::compile("data { ** }", &g).must();
         // Every original type appears, at its original position.
         assert_eq!(v.len(), g.len());
         for vt in (0..v.len()).map(VTypeId::from_index) {
@@ -367,8 +394,8 @@ mod tests {
             "data { book { title author { name } publisher { location } } }",
             &g,
         )
-        .unwrap();
-        let b = VDataGuide::compile("data { ** }", &g).unwrap();
+        .must();
+        let b = VDataGuide::compile("data { ** }", &g).must();
         assert_eq!(a.len(), b.len());
         // Same virtual paths either way.
         let paths = |v: &VDataGuide| {
@@ -384,7 +411,7 @@ mod tests {
     #[test]
     fn projection_keeps_subtrees_of_named_leaves() {
         let g = original();
-        let v = VDataGuide::compile("book { publisher }", &g).unwrap();
+        let v = VDataGuide::compile("book { publisher }", &g).must();
         let book = v.roots()[0];
         let publisher = v.children(book)[0];
         assert!(v.is_identity_below(publisher));
@@ -393,14 +420,14 @@ mod tests {
         assert_eq!(v.guide().name(location), "location");
         assert_eq!(v.level(location), 3);
         // title/author are NOT part of the virtual hierarchy.
-        let title = g.lookup_path(&["data", "book", "title"]).unwrap();
+        let title = g.lookup_path(&["data", "book", "title"]).must();
         assert_eq!(v.vtype_of(title), None);
     }
 
     #[test]
     fn star_skips_mentioned_types() {
         let g = original();
-        let v = VDataGuide::compile("book { title * }", &g).unwrap();
+        let v = VDataGuide::compile("book { title * }", &g).must();
         let book = v.roots()[0];
         let names: Vec<&str> = v
             .children(book)
@@ -436,15 +463,15 @@ mod tests {
 
     #[test]
     fn same_name_siblings_from_different_types_are_rejected() {
-        let td = TypedDocument::parse("u", "<x><y>a</y><z><y>b</y></z></x>").unwrap();
+        let td = TypedDocument::parse("u", "<x><y>a</y><z><y>b</y></z></x>").must();
         let e = VDataGuide::compile("x { x.y z.y }", td.guide()).unwrap_err();
         assert!(matches!(e, VdgError::DuplicateBinding(_)), "{e}");
     }
 
     #[test]
     fn qualified_labels_disambiguate() {
-        let td = TypedDocument::parse("u", "<x><y>a</y><z><y>b</y></z></x>").unwrap();
-        let v = VDataGuide::compile("z.y", td.guide()).unwrap();
+        let td = TypedDocument::parse("u", "<x><y>a</y><z><y>b</y></z></x>").must();
+        let v = VDataGuide::compile("z.y", td.guide()).must();
         assert_eq!(
             td.guide().path_string(v.original_type(v.roots()[0])),
             "x.z.y"
@@ -452,10 +479,28 @@ mod tests {
     }
 
     #[test]
+    fn expansion_depth_over_a_deep_guide_is_limited() {
+        // An identity expansion recurses to the original guide's depth; a
+        // document nested past MAX_VDG_DEPTH must fail structurally, not
+        // blow the stack.
+        let n = MAX_VDG_DEPTH + 8;
+        let mut xml = String::new();
+        for i in 0..n {
+            xml.push_str(&format!("<e{i}>"));
+        }
+        for i in (0..n).rev() {
+            xml.push_str(&format!("</e{i}>"));
+        }
+        let td = TypedDocument::parse("u", &xml).must();
+        let e = VDataGuide::compile("e0", td.guide()).unwrap_err();
+        assert!(matches!(e, VdgError::DepthExceeded { .. }), "{e}");
+    }
+
+    #[test]
     fn inversion_specification_expands() {
         // §5.2 case 2: invert name and author: title { name { author } }.
         let g = original();
-        let v = VDataGuide::compile("title { name { author } }", &g).unwrap();
+        let v = VDataGuide::compile("title { name { author } }", &g).must();
         let title = v.roots()[0];
         let name = v.children(title)[0];
         let author = v.children(name)[0];

@@ -78,18 +78,19 @@ impl fmt::Display for VdgNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
 
     #[test]
     fn display_round_trips_through_parse() {
-        let spec = VdgSpec::parse("title { author { name } }").unwrap();
+        let spec = VdgSpec::parse("title { author { name } }").must();
         assert_eq!(spec.to_string(), "title { author { name } }");
-        let again = VdgSpec::parse(&spec.to_string()).unwrap();
+        let again = VdgSpec::parse(&spec.to_string()).must();
         assert_eq!(spec, again);
     }
 
     #[test]
     fn display_of_stars() {
-        let spec = VdgSpec::parse("data { ** } extra { * }").unwrap();
+        let spec = VdgSpec::parse("data { ** } extra { * }").must();
         assert_eq!(spec.to_string(), "data { ** } extra { * }");
     }
 }

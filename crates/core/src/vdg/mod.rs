@@ -31,6 +31,12 @@ pub use parse::parse_vdg;
 
 use std::fmt;
 
+/// Maximum nesting depth accepted while parsing or expanding a vDataGuide
+/// specification. Real specifications are a handful of levels deep; the
+/// limit exists so hostile or runaway input degrades to a structured error
+/// instead of exhausting the stack.
+pub const MAX_VDG_DEPTH: usize = 64;
+
 /// Errors arising while parsing or expanding a vDataGuide specification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VdgError {
@@ -53,6 +59,14 @@ pub enum VdgError {
     /// The same original type was bound at two places in the virtual
     /// hierarchy (unsupported: a node must have one virtual location).
     DuplicateBinding(String),
+    /// The specification (or its expansion over the original DataGuide)
+    /// nests deeper than [`MAX_VDG_DEPTH`].
+    DepthExceeded {
+        /// The nesting depth that was reached.
+        depth: usize,
+        /// The configured limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for VdgError {
@@ -70,6 +84,10 @@ impl fmt::Display for VdgError {
             VdgError::DuplicateBinding(p) => {
                 write!(f, "type '{p}' is bound at two virtual locations")
             }
+            VdgError::DepthExceeded { depth, limit } => write!(
+                f,
+                "vDataGuide nesting depth {depth} exceeds the limit of {limit}"
+            ),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the vDataGuide grammar.
 
 use crate::vdg::grammar::{VdgChild, VdgNode, VdgSpec};
-use crate::vdg::VdgError;
+use crate::vdg::{VdgError, MAX_VDG_DEPTH};
 
 /// Parses a vDataGuide specification string such as
 /// `"title { author { name } }"` or `"data { ** }"`.
@@ -10,6 +10,7 @@ pub fn parse_vdg(input: &str) -> Result<VdgSpec, VdgError> {
         bytes: input.as_bytes(),
         input,
         pos: 0,
+        depth: 0,
     };
     let mut roots = Vec::new();
     p.ws();
@@ -27,6 +28,7 @@ struct P<'a> {
     bytes: &'a [u8],
     input: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> P<'a> {
@@ -42,7 +44,10 @@ impl<'a> P<'a> {
     }
 
     fn ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n' | b',')) {
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b' ' | b'\t' | b'\r' | b'\n' | b',')
+        ) {
             self.pos += 1;
         }
     }
@@ -72,7 +77,17 @@ impl<'a> P<'a> {
     }
 
     /// `node ← label ('{' child* '}')?`
+    ///
+    /// The parser recurses once per `{`-level, so nesting is capped at
+    /// [`MAX_VDG_DEPTH`] to keep malicious input off the stack limit.
     fn node(&mut self) -> Result<VdgNode, VdgError> {
+        self.depth += 1;
+        if self.depth > MAX_VDG_DEPTH {
+            return Err(VdgError::DepthExceeded {
+                depth: self.depth,
+                limit: MAX_VDG_DEPTH,
+            });
+        }
         let label = self.label()?;
         self.ws();
         let mut children = Vec::new();
@@ -99,6 +114,7 @@ impl<'a> P<'a> {
                 }
             }
         }
+        self.depth -= 1;
         Ok(VdgNode { label, children })
     }
 }
@@ -106,11 +122,12 @@ impl<'a> P<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
 
     #[test]
     fn parses_the_paper_specification() {
         // Figure 6 / §2: "title { author { name } }".
-        let s = parse_vdg("title { author { name } }").unwrap();
+        let s = parse_vdg("title { author { name } }").must();
         assert_eq!(s.roots.len(), 1);
         let title = &s.roots[0];
         assert_eq!(title.label, "title");
@@ -125,40 +142,48 @@ mod tests {
     #[test]
     fn parses_the_identity_specifications() {
         // §4.1 gives both the expanded identity guide and "data { ** }".
-        let full = parse_vdg(
-            "data { book { title author { name } publisher { location } } }",
-        )
-        .unwrap();
+        let full =
+            parse_vdg("data { book { title author { name } publisher { location } } }").must();
         assert_eq!(full.roots[0].label, "data");
-        let short = parse_vdg("data { ** }").unwrap();
+        let short = parse_vdg("data { ** }").must();
         assert_eq!(short.roots[0].children, vec![VdgChild::DoubleStar]);
     }
 
     #[test]
     fn parses_star_and_mixed_children() {
-        let s = parse_vdg("book { title * }").unwrap();
+        let s = parse_vdg("book { title * }").must();
         assert_eq!(s.roots[0].children.len(), 2);
         assert_eq!(s.roots[0].children[1], VdgChild::Star);
     }
 
     #[test]
     fn parses_qualified_labels() {
-        let s = parse_vdg("x.z.y { a.b }").unwrap();
+        let s = parse_vdg("x.z.y { a.b }").must();
         assert_eq!(s.roots[0].label, "x.z.y");
     }
 
     #[test]
     fn parses_a_forest() {
-        let s = parse_vdg("title { author } publisher").unwrap();
+        let s = parse_vdg("title { author } publisher").must();
         assert_eq!(s.roots.len(), 2);
         assert_eq!(s.roots[1].label, "publisher");
     }
 
     #[test]
     fn commas_are_optional_separators() {
-        let a = parse_vdg("b { x, y, z }").unwrap();
-        let b = parse_vdg("b { x y z }").unwrap();
+        let a = parse_vdg("b { x, y, z }").must();
+        let b = parse_vdg("b { x y z }").must();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deeply_nested_specification_is_rejected() {
+        let deep = "a { ".repeat(MAX_VDG_DEPTH + 4) + "a" + &" }".repeat(MAX_VDG_DEPTH + 4);
+        let e = parse_vdg(&deep).unwrap_err();
+        assert!(matches!(e, VdgError::DepthExceeded { .. }), "{e}");
+        // Depth right at the limit still parses.
+        let ok = "a { ".repeat(MAX_VDG_DEPTH - 1) + "a" + &" }".repeat(MAX_VDG_DEPTH - 1);
+        assert!(parse_vdg(&ok).is_ok());
     }
 
     #[test]

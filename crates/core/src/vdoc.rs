@@ -97,6 +97,15 @@ impl<'a> VirtualDocument<'a> {
         ))
     }
 
+    /// Invariant: only called on nodes the view itself produced (visible
+    /// candidates of a virtual type), all of which carry a vPBN.
+    fn vpbn_visible(&self, id: NodeId) -> VPbnRef<'_> {
+        match self.vpbn_of(id) {
+            Some(v) => v,
+            None => unreachable!("visible node has a vPBN"),
+        }
+    }
+
     /// The level array of a virtual type.
     #[inline]
     pub fn array(&self, vt: VTypeId) -> &LevelArray {
@@ -153,13 +162,8 @@ impl<'a> VirtualDocument<'a> {
         // The virtual tree gives every node at most one parent per parent
         // instance match; joins can produce several (a node appearing under
         // multiple parents) — return the first in document order.
-        out.into_iter().min_by(|&a, &b| {
-            v_cmp(
-                &self.vdg,
-                &self.vpbn_of(a).expect("candidate is visible"),
-                &self.vpbn_of(b).expect("candidate is visible"),
-            )
-        })
+        out.into_iter()
+            .min_by(|&a, &b| v_cmp(&self.vdg, &self.vpbn_visible(a), &self.vpbn_visible(b)))
     }
 
     /// The virtual descendants of `x` with virtual type `vt`, in virtual
@@ -294,13 +298,7 @@ impl<'a> VirtualDocument<'a> {
 
     /// Sorts node ids into virtual document order.
     fn sort_virtual(&self, ids: &mut [NodeId]) {
-        ids.sort_by(|&a, &b| {
-            v_cmp(
-                &self.vdg,
-                &self.vpbn_of(a).expect("visible"),
-                &self.vpbn_of(b).expect("visible"),
-            )
-        });
+        ids.sort_by(|&a, &b| v_cmp(&self.vdg, &self.vpbn_visible(a), &self.vpbn_visible(b)));
     }
 }
 
@@ -460,7 +458,12 @@ mod tests {
         let phys: Vec<NodeId> = td.doc().preorder().collect();
         assert_eq!(vd.preorder(), phys);
         for id in td.doc().preorder() {
-            assert_eq!(vd.parent(id), td.doc().parent(id), "parent of {}", label(&td, id));
+            assert_eq!(
+                vd.parent(id),
+                td.doc().parent(id),
+                "parent of {}",
+                label(&td, id)
+            );
             assert_eq!(
                 vd.children(id),
                 td.doc().children(id).to_vec(),

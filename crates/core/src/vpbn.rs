@@ -83,7 +83,12 @@ impl<'a> VPbnRef<'a> {
     /// non-decreasing, so the last entry is the maximum.
     #[inline]
     pub fn level(&self) -> u32 {
-        *self.a.last().expect("level arrays are never empty")
+        // Invariant: level arrays come from `LevelMap::build`, which never
+        // produces an empty array (see `LevelArray::max_level`).
+        match self.a.last() {
+            Some(&l) => l,
+            None => unreachable!("level arrays are never empty"),
+        }
     }
 
     /// Number of positions safely comparable with another vPBN: positions

@@ -17,9 +17,13 @@ impl DataGuide {
         let mut guide = DataGuide::new(doc.uri());
         let mut by_node = vec![TypeId::from_index(0); doc.len()];
         if let Some(root) = doc.root() {
-            let root_ty = guide.intern_root(
-                doc.name(root).expect("document root is an element"),
-            );
+            // Invariant: the arena only ever creates element roots
+            // (`create_root`), so the root always has a name.
+            let root_name = match doc.name(root) {
+                Some(n) => n,
+                None => unreachable!("document root is an element"),
+            };
+            let root_ty = guide.intern_root(root_name);
             let mut stack: Vec<(NodeId, TypeId)> = vec![(root, root_ty)];
             while let Some((id, ty)) = stack.pop() {
                 by_node[id.index()] = ty;

@@ -196,9 +196,19 @@ impl DataGuide {
             return None;
         }
         // Walk up from the shallower side to the shared depth.
-        let mut cur = if self.length(a) <= self.length(b) { a } else { b };
+        let mut cur = if self.length(a) <= self.length(b) {
+            a
+        } else {
+            b
+        };
         while self.ty(cur).pbn().len() > shared {
-            cur = self.ty(cur).parent.expect("non-root has a parent");
+            // Invariant: `shared >= 1`, so the walk stops at or before the
+            // root — every type visited here is below the root and has a
+            // parent.
+            cur = match self.ty(cur).parent {
+                Some(p) => p,
+                None => unreachable!("non-root has a parent"),
+            };
         }
         Some(cur)
     }

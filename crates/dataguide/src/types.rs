@@ -20,6 +20,9 @@ impl TypeId {
     /// Creates a `TypeId` from a raw index.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // Documented capacity limit: type ids are u32 by design, matching
+        // node ids; a guide with >4 Gi types is unsupported.
+        #[allow(clippy::expect_used)]
         TypeId(u32::try_from(index).expect("type index exceeds u32 range"))
     }
 }

@@ -196,11 +196,7 @@ mod tests {
         for x in &nums {
             for y in &nums {
                 let (ex, ey) = (EncodedPbn::encode(x), EncodedPbn::encode(y));
-                assert_eq!(
-                    ex.cmp(&ey),
-                    x.cmp(y),
-                    "byte order disagrees for {x} vs {y}"
-                );
+                assert_eq!(ex.cmp(&ey), x.cmp(y), "byte order disagrees for {x} vs {y}");
             }
         }
     }

@@ -134,8 +134,13 @@ impl Pbn {
     /// The immediate successor of this number among its siblings (`p.k` →
     /// `p.(k+1)`). Useful for building exclusive scan bounds: the subtree of
     /// `x` is exactly the document-order interval `[x, x.sibling_successor())`.
+    ///
+    /// # Panics
+    /// Panics on the empty number, which has no siblings.
     pub fn sibling_successor(&self) -> Pbn {
         let mut components = self.components.clone();
+        // Documented panic: the empty number has no sibling ordinal to bump.
+        #[allow(clippy::expect_used)]
         let last = components
             .last_mut()
             .expect("sibling_successor of the empty number");

@@ -123,7 +123,11 @@ mod tests {
         doc.insert_element(root, 1, "book");
         let report = incremental_renumber(&doc, &before, root);
         assert_eq!(report.changed, minimal_renumber_cost(&doc, root, 1));
-        assert_eq!(report.changed, 1 + 9, "new node + the second book's subtree");
+        assert_eq!(
+            report.changed,
+            1 + 9,
+            "new node + the second book's subtree"
+        );
     }
 
     #[test]

@@ -304,6 +304,7 @@ impl<'a> QueryDoc for VirtualDoc<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use vh_xml::builder::paper_figure2;
 
     #[test]
@@ -325,7 +326,7 @@ mod tests {
     #[test]
     fn virtual_navigation_differs_from_physical() {
         let td = TypedDocument::analyze(paper_figure2());
-        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").must();
         let d = VirtualDoc::new(&vd);
         let roots = d.roots();
         assert_eq!(roots.len(), 2, "two titles are virtual roots");
@@ -341,7 +342,7 @@ mod tests {
     #[test]
     fn identity_virtual_navigation_matches_physical() {
         let td = TypedDocument::analyze(paper_figure2());
-        let vd = VirtualDocument::open(&td, "data { ** }").unwrap();
+        let vd = VirtualDocument::open(&td, "data { ** }").must();
         let v = VirtualDoc::new(&vd);
         let p = PhysicalDoc::new(&td);
         assert_eq!(v.roots(), p.roots());

@@ -7,10 +7,11 @@
 //! are compiled on first use and cached per `(uri, specification)`.
 
 use crate::doc::{PhysicalDoc, VirtualDoc};
+use crate::error::Limits;
 use crate::flwr::ast::{Clause, FlwrQuery, Origin};
-use crate::flwr::eval::{eval_flwr_multi, DocSet, FlwrError};
+use crate::flwr::eval::{eval_flwr_multi_limited, DocSet, FlwrError};
 use crate::flwr::parse::parse_flwr;
-use crate::xpath::eval::eval_xpath;
+use crate::xpath::eval::eval_xpath_limited;
 use crate::xpath::parse::parse_xpath;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -26,12 +27,32 @@ pub struct Engine {
     /// Compiled `(uri, specification) → (vDataGuide, level map)` cache:
     /// Algorithm 1 runs once per view, not once per query.
     views: RefCell<HashMap<(String, String), (VDataGuide, LevelMap)>>,
+    /// Resource limits applied to every query this engine evaluates.
+    limits: Limits,
 }
 
 impl Engine {
-    /// Creates an empty engine.
+    /// Creates an empty engine with [`Limits::default`] guards.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Creates an empty engine with explicit resource limits.
+    pub fn with_limits(limits: Limits) -> Self {
+        Engine {
+            limits,
+            ..Engine::default()
+        }
+    }
+
+    /// Replaces the resource limits applied to subsequent queries.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// The resource limits currently in force.
+    pub fn limits(&self) -> Limits {
+        self.limits
     }
 
     /// Parses and registers an XML string under its URI.
@@ -108,20 +129,23 @@ impl Engine {
                 }
             }
         }
-        let virt: Vec<Option<VirtualDoc<'_>>> =
-            vdocs.iter().map(|o| o.as_ref().map(VirtualDoc::new)).collect();
-        let entries: Vec<(String, Option<String>, &dyn crate::doc::QueryDoc)> = origins
+        let virt: Vec<Option<VirtualDoc<'_>>> = vdocs
             .iter()
-            .enumerate()
-            .map(|(i, (uri, spec))| {
-                let doc: &dyn crate::doc::QueryDoc = match &virt[i] {
-                    Some(v) => v,
-                    None => phys[i].as_ref().expect("physical when not virtual"),
-                };
-                (uri.clone(), spec.clone(), doc)
-            })
+            .map(|o| o.as_ref().map(VirtualDoc::new))
             .collect();
-        eval_flwr_multi(q, &DocSet::new(entries))
+        let mut entries: Vec<(String, Option<String>, &dyn crate::doc::QueryDoc)> =
+            Vec::with_capacity(origins.len());
+        for (i, (uri, spec)) in origins.iter().enumerate() {
+            // Invariant: the loop above pushed exactly one of virt/phys per
+            // origin, so the two options are mutually exclusive per index.
+            let doc: &dyn crate::doc::QueryDoc = match (&virt[i], &phys[i]) {
+                (Some(v), _) => v,
+                (None, Some(p)) => p,
+                (None, None) => unreachable!("every origin is virtual or physical"),
+            };
+            entries.push((uri.clone(), spec.clone(), doc));
+        }
+        eval_flwr_multi_limited(q, &DocSet::new(entries), self.limits)
     }
 
     /// Evaluates an XPath over the physical document registered at `uri`.
@@ -131,7 +155,7 @@ impl Engine {
             .get(uri)
             .ok_or_else(|| FlwrError::UnknownDocument(uri.to_owned()))?;
         let p = parse_xpath(path)?;
-        Ok(eval_xpath(&PhysicalDoc::new(td), &p)?)
+        Ok(eval_xpath_limited(&PhysicalDoc::new(td), &p, self.limits)?)
     }
 
     /// Evaluates an XPath over a virtual view of the document at `uri`.
@@ -143,7 +167,7 @@ impl Engine {
     ) -> Result<Vec<NodeId>, FlwrError> {
         let vd = self.virtual_doc(uri, spec)?;
         let p = parse_xpath(path)?;
-        Ok(eval_xpath(&VirtualDoc::new(&vd), &p)?)
+        Ok(eval_xpath_limited(&VirtualDoc::new(&vd), &p, self.limits)?)
     }
 
     /// Opens a virtual document for direct navigation, using (and filling)
@@ -192,6 +216,7 @@ pub fn query_document(doc: Document, query: &str) -> Result<Document, FlwrError>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use vh_xml::builder::paper_figure2;
 
     fn engine() -> Engine {
@@ -211,7 +236,7 @@ mod tests {
                    return <result><title>{$t/text()}</title>
                                   <count>{count($t/author)}</count></result>"#,
             )
-            .unwrap();
+            .must();
         assert_eq!(
             got,
             "<results>\
@@ -234,7 +259,7 @@ mod tests {
                    let $a := $t/../author
                    return <title>{$t/text()}{$a}</title>"#,
             )
-            .unwrap();
+            .must();
         e.register(sam); // registered under uri "results"
         let nested = e
             .eval_to_string(
@@ -242,24 +267,24 @@ mod tests {
                    return <result><title>{$t/text()}</title>
                                   <count>{count($t/author)}</count></result>"#,
             )
-            .unwrap();
+            .must();
         let virtual_ = e
             .eval_to_string(
                 r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
                    return <result><title>{$t/text()}</title>
                                   <count>{count($t/author)}</count></result>"#,
             )
-            .unwrap();
+            .must();
         assert_eq!(nested, virtual_);
     }
 
     #[test]
     fn physical_and_virtual_path_evaluation() {
         let e = engine();
-        assert_eq!(e.eval_path("book.xml", "//book").unwrap().len(), 2);
+        assert_eq!(e.eval_path("book.xml", "//book").must().len(), 2);
         assert_eq!(
             e.eval_virtual_path("book.xml", "title { author { name } }", "//title/author")
-                .unwrap()
+                .must()
                 .len(),
             2
         );
@@ -282,7 +307,7 @@ mod tests {
             "prices.xml",
             "<prices><p t='X'>10</p><p t='Y'>25</p></prices>",
         )
-        .unwrap();
+        .must();
         // Join books with their prices by title: a genuine two-document
         // pipeline. Each expression stays within one document.
         let got = e
@@ -292,7 +317,7 @@ mod tests {
                    where $b/title = $p/@t
                    return <row><t>{$b/title/text()}</t><c>{$p/text()}</c></row>"#,
             )
-            .unwrap();
+            .must();
         assert_eq!(
             got,
             "<results><row><t>X</t><c>10</c></row><row><t>Y</t><c>25</c></row></results>"
@@ -311,7 +336,7 @@ mod tests {
                    where $b/title = $t/text()
                    return <m><v>{count($t/author)}</v><p>{count($b/author)}</p></m>"#,
             )
-            .unwrap();
+            .must();
         assert_eq!(
             got,
             "<results><m><v>1</v><p>1</p></m><m><v>1</v><p>1</p></m></results>"
@@ -321,7 +346,7 @@ mod tests {
     #[test]
     fn cross_document_value_functions_decompose() {
         let mut e = engine();
-        e.register_xml("other.xml", "<o><x>1</x></o>").unwrap();
+        e.register_xml("other.xml", "<o><x>1</x></o>").must();
         // concat() across documents works via value-level decomposition.
         let got = e
             .eval_to_string(
@@ -329,7 +354,7 @@ mod tests {
                    for $b in doc("other.xml")//o
                    return <x>{concat($a/title, $b/x)}</x>"#,
             )
-            .unwrap();
+            .must();
         assert_eq!(got, "<results><x>X1</x><x>Y1</x></results>");
         // A node-set function over a cross-document union cannot be
         // decomposed: clean error, not a panic.
@@ -347,17 +372,35 @@ mod tests {
         assert_eq!(e.cached_views(), 0);
         let q = r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
                    return <t>{$t/text()}</t>"#;
-        let first = e.eval_to_string(q).unwrap();
+        let first = e.eval_to_string(q).must();
         assert_eq!(e.cached_views(), 1);
-        let second = e.eval_to_string(q).unwrap();
+        let second = e.eval_to_string(q).must();
         assert_eq!(first, second);
         assert_eq!(e.cached_views(), 1, "second run hits the cache");
         // Another spec adds an entry.
-        e.eval_virtual_path("book.xml", "data { ** }", "//book").unwrap();
+        e.eval_virtual_path("book.xml", "data { ** }", "//book")
+            .must();
         assert_eq!(e.cached_views(), 2);
         // Re-registering the document invalidates its views.
         e.register(paper_figure2());
         assert_eq!(e.cached_views(), 0);
+    }
+
+    #[test]
+    fn engine_limits_bound_queries() {
+        let mut e = engine();
+        e.set_limits(Limits {
+            max_result: 1,
+            ..Limits::default()
+        });
+        let q = r#"for $b in doc("book.xml")//book return <t>x</t>"#;
+        let err = e.eval(q);
+        assert!(
+            matches!(err, Err(FlwrError::ResourceExhausted { .. })),
+            "{err:?}"
+        );
+        e.set_limits(Limits::default());
+        assert!(e.eval(q).is_ok());
     }
 
     #[test]
@@ -366,7 +409,7 @@ mod tests {
             paper_figure2(),
             r#"for $b in doc("book.xml")//book return <t>{$b/title/text()}</t>"#,
         )
-        .unwrap();
+        .must();
         assert_eq!(
             vh_xml::serialize(&out, vh_xml::SerializeOptions::compact()),
             "<results><t>X</t><t>Y</t></results>"

@@ -1,0 +1,203 @@
+//! The crate-wide error taxonomy and resource limits.
+//!
+//! Every fallible entry point of `vh-query` reports a [`QueryError`]
+//! (historically named `FlwrError`; the alias remains for callers).
+//! Evaluation is additionally guarded by [`Limits`]: recursion depth, a
+//! step budget, a result-cardinality cap, and an optional wall-clock
+//! budget. Exceeding any of them aborts the query with
+//! [`QueryError::ResourceExhausted`] instead of looping, ballooning, or
+//! blowing the stack.
+
+use crate::xpath::parse::XPathError;
+use std::fmt;
+use vh_core::VdgError;
+
+/// Which guarded resource a query ran out of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Expression/path recursion depth.
+    Depth,
+    /// Evaluation steps (context-node × path-step applications).
+    Steps,
+    /// Cardinality of an intermediate or final result.
+    Cardinality,
+    /// Wall-clock time budget.
+    Time,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceKind::Depth => "recursion depth",
+            ResourceKind::Steps => "evaluation steps",
+            ResourceKind::Cardinality => "result cardinality",
+            ResourceKind::Time => "time budget (ms)",
+        })
+    }
+}
+
+/// Per-query resource limits. The defaults are far above anything the
+/// paper's workloads need while still bounding hostile input; use
+/// [`Limits::unlimited`] to switch every guard off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum recursion depth while evaluating paths and expressions.
+    pub max_depth: usize,
+    /// Maximum number of step applications in one query.
+    pub max_steps: u64,
+    /// Maximum cardinality of any node set or FLWR tuple stream.
+    pub max_result: usize,
+    /// Wall-clock budget in milliseconds (`None` = unlimited).
+    pub time_budget_ms: Option<u64>,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_depth: 64,
+            max_steps: 4_000_000,
+            max_result: 1_000_000,
+            time_budget_ms: None,
+        }
+    }
+}
+
+impl Limits {
+    /// No guards at all.
+    pub fn unlimited() -> Self {
+        Limits {
+            max_depth: usize::MAX,
+            max_steps: u64::MAX,
+            max_result: usize::MAX,
+            time_budget_ms: None,
+        }
+    }
+}
+
+/// Errors from parsing or evaluating a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Syntax error in the FLWR structure.
+    Parse(String),
+    /// Error in an embedded path or expression.
+    XPath(XPathError),
+    /// Error compiling a `virtualDoc` specification.
+    Vdg(VdgError),
+    /// The query refers to an unregistered document URI.
+    UnknownDocument(String),
+    /// A combination the engine does not support.
+    Unsupported(String),
+    /// A resource limit was exceeded (see [`Limits`]).
+    ResourceExhausted {
+        /// The exhausted resource.
+        resource: ResourceKind,
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+/// The historical name of [`QueryError`], kept for existing callers.
+pub type FlwrError = QueryError;
+
+impl QueryError {
+    /// Stable machine-readable code for the error class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QueryError::Parse(_) => "QUERY_SYNTAX",
+            QueryError::XPath(XPathError::ResourceExhausted { .. })
+            | QueryError::ResourceExhausted { .. } => "QUERY_RESOURCE",
+            QueryError::XPath(_) => "QUERY_XPATH",
+            QueryError::Vdg(_) => "QUERY_VDG",
+            QueryError::UnknownDocument(_) => "QUERY_UNKNOWN_DOCUMENT",
+            QueryError::Unsupported(_) => "QUERY_UNSUPPORTED",
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "FLWR syntax error: {m}"),
+            QueryError::XPath(e) => write!(f, "{e}"),
+            QueryError::Vdg(e) => write!(f, "{e}"),
+            QueryError::UnknownDocument(u) => write!(f, "unknown document '{u}'"),
+            QueryError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            QueryError::ResourceExhausted { resource, limit } => {
+                write!(f, "query exceeded its {resource} limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::XPath(e) => Some(e),
+            QueryError::Vdg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XPathError> for QueryError {
+    fn from(e: XPathError) -> Self {
+        match e {
+            // Lift evaluation-level exhaustion to the query-level variant so
+            // callers match one shape regardless of which layer tripped.
+            XPathError::ResourceExhausted { resource, limit } => {
+                QueryError::ResourceExhausted { resource, limit }
+            }
+            other => QueryError::XPath(other),
+        }
+    }
+}
+
+impl From<VdgError> for QueryError {
+    fn from(e: VdgError) -> Self {
+        QueryError::Vdg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_per_class() {
+        let errors = [
+            QueryError::Parse("x".into()),
+            QueryError::XPath(XPathError::msg("x")),
+            QueryError::Vdg(VdgError::UnknownLabel("x".into())),
+            QueryError::UnknownDocument("x".into()),
+            QueryError::Unsupported("x".into()),
+            QueryError::ResourceExhausted {
+                resource: ResourceKind::Depth,
+                limit: 1,
+            },
+        ];
+        let codes: std::collections::HashSet<_> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errors.len());
+    }
+
+    #[test]
+    fn xpath_exhaustion_lifts_to_query_exhaustion() {
+        let e = QueryError::from(XPathError::ResourceExhausted {
+            resource: ResourceKind::Steps,
+            limit: 10,
+        });
+        assert!(matches!(
+            e,
+            QueryError::ResourceExhausted {
+                resource: ResourceKind::Steps,
+                limit: 10
+            }
+        ));
+        assert_eq!(e.code(), "QUERY_RESOURCE");
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = QueryError::XPath(XPathError::msg("bad"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

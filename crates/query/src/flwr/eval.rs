@@ -8,55 +8,18 @@
 //! without materializing the whole view.
 
 use crate::doc::QueryDoc;
+use crate::error::{Limits, ResourceKind};
 use crate::flwr::ast::{Clause, Construct, FlwrQuery, OrderKey, Origin, Source};
 use crate::xpath::ast::Expr;
-use crate::xpath::eval::{eval_xpath_with_vars, XValue};
+use crate::xpath::eval::{eval_xpath_with_vars_limited, XValue};
 use crate::xpath::parse::XPathError;
 use std::collections::HashMap;
-use std::fmt;
-use vh_core::VdgError;
+use std::time::{Duration, Instant};
 use vh_xml::{Document, NodeId, NodeKind};
 
-/// Errors from parsing or evaluating a FLWR query.
-#[derive(Debug)]
-pub enum FlwrError {
-    /// Syntax error in the FLWR structure.
-    Parse(String),
-    /// Error in an embedded path or expression.
-    XPath(XPathError),
-    /// Error compiling a `virtualDoc` specification.
-    Vdg(VdgError),
-    /// The query refers to an unregistered document URI.
-    UnknownDocument(String),
-    /// A combination the engine does not support.
-    Unsupported(String),
-}
-
-impl fmt::Display for FlwrError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlwrError::Parse(m) => write!(f, "FLWR syntax error: {m}"),
-            FlwrError::XPath(e) => write!(f, "{e}"),
-            FlwrError::Vdg(e) => write!(f, "{e}"),
-            FlwrError::UnknownDocument(u) => write!(f, "unknown document '{u}'"),
-            FlwrError::Unsupported(m) => write!(f, "unsupported query: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for FlwrError {}
-
-impl From<XPathError> for FlwrError {
-    fn from(e: XPathError) -> Self {
-        FlwrError::XPath(e)
-    }
-}
-
-impl From<VdgError> for FlwrError {
-    fn from(e: VdgError) -> Self {
-        FlwrError::Vdg(e)
-    }
-}
+// The error type lives in [`crate::error`]; the historical name is
+// re-exported here for callers of the FLWR module.
+pub use crate::error::FlwrError;
 
 /// Name of the output wrapper element.
 pub const RESULTS_ROOT: &str = "results";
@@ -123,41 +86,90 @@ pub fn eval_flwr(q: &FlwrQuery, doc: &dyn QueryDoc) -> Result<Document, FlwrErro
     eval_flwr_multi(q, &DocSet::single(doc))
 }
 
+/// [`eval_flwr`] with explicit resource limits.
+pub fn eval_flwr_limited(
+    q: &FlwrQuery,
+    doc: &dyn QueryDoc,
+    limits: Limits,
+) -> Result<Document, FlwrError> {
+    eval_flwr_multi_limited(q, &DocSet::single(doc), limits)
+}
+
 /// Evaluates a parsed query against a document set, producing the result
 /// sequence as a document rooted at [`RESULTS_ROOT`].
 pub fn eval_flwr_multi(q: &FlwrQuery, docs: &DocSet<'_>) -> Result<Document, FlwrError> {
+    eval_flwr_multi_limited(q, docs, Limits::default())
+}
+
+/// [`eval_flwr_multi`] with explicit resource limits: the tuple stream is
+/// capped at `limits.max_result`, the wall-clock budget is checked between
+/// tuples, and every embedded path/expression evaluation runs under the
+/// same limits.
+pub fn eval_flwr_multi_limited(
+    q: &FlwrQuery,
+    docs: &DocSet<'_>,
+    limits: Limits,
+) -> Result<Document, FlwrError> {
+    let deadline = limits
+        .time_budget_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let check_time = || -> Result<(), FlwrError> {
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Err(FlwrError::ResourceExhausted {
+                    resource: ResourceKind::Time,
+                    limit: limits.time_budget_ms.unwrap_or(0),
+                });
+            }
+        }
+        Ok(())
+    };
+    let check_tuples = |len: usize| -> Result<(), FlwrError> {
+        if len > limits.max_result {
+            return Err(FlwrError::ResourceExhausted {
+                resource: ResourceKind::Cardinality,
+                limit: limits.max_result as u64,
+            });
+        }
+        Ok(())
+    };
     let mut tuples: Vec<Tuple> = vec![HashMap::new()];
     for clause in &q.clauses {
+        check_time()?;
         match clause {
             Clause::For(var, src) => {
                 let mut next = Vec::new();
                 for t in &tuples {
-                    let (idx, nodes) = eval_source(docs, src, t)?;
+                    check_time()?;
+                    let (idx, nodes) = eval_source(docs, src, t, limits)?;
                     for n in nodes {
                         let mut t2 = t.clone();
                         t2.insert(var.clone(), (idx, vec![n]));
                         next.push(t2);
                     }
+                    check_tuples(next.len())?;
                 }
                 tuples = next;
             }
             Clause::Let(var, src) => {
                 for t in &mut tuples {
-                    let (idx, nodes) = eval_source(docs, src, t)?;
+                    check_time()?;
+                    let (idx, nodes) = eval_source(docs, src, t, limits)?;
                     t.insert(var.clone(), (idx, nodes));
                 }
             }
             Clause::Where(e) => {
                 let mut kept = Vec::with_capacity(tuples.len());
                 for t in tuples {
-                    if eval_tuple_expr(docs, e, &t)?.truthy() {
+                    check_time()?;
+                    if eval_tuple_expr(docs, e, &t, limits)?.truthy() {
                         kept.push(t);
                     }
                 }
                 tuples = kept;
             }
             Clause::OrderBy(keys) => {
-                tuples = order_tuples(docs, tuples, keys)?;
+                tuples = order_tuples(docs, tuples, keys, limits)?;
             }
         }
     }
@@ -165,8 +177,9 @@ pub fn eval_flwr_multi(q: &FlwrQuery, docs: &DocSet<'_>) -> Result<Document, Flw
     let mut out = Document::new("results");
     let root = out.create_root(RESULTS_ROOT);
     for t in &tuples {
+        check_time()?;
         for c in &q.ret {
-            construct(docs, c, t, &mut out, root)?;
+            construct(docs, c, t, &mut out, root, limits)?;
         }
     }
     Ok(out)
@@ -177,10 +190,7 @@ fn vars_in_expr(e: &Expr, out: &mut Vec<String>) {
     match e {
         Expr::Path(p) => vars_in_path(p, out),
         Expr::Union(paths) => paths.iter().for_each(|p| vars_in_path(p, out)),
-        Expr::Compare(l, _, r)
-        | Expr::And(l, r)
-        | Expr::Or(l, r)
-        | Expr::Arith(l, _, r) => {
+        Expr::Compare(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(l, _, r) => {
             vars_in_expr(l, out);
             vars_in_expr(r, out);
         }
@@ -228,17 +238,23 @@ fn expr_doc_index(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<Option<usize
 /// decomposed: each side evaluates against its own document, node sets are
 /// *lifted* to their string values, and the combination happens at the
 /// value level (existential comparison semantics preserved).
-fn eval_tuple_expr(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, FlwrError> {
+fn eval_tuple_expr(
+    docs: &DocSet<'_>,
+    e: &Expr,
+    t: &Tuple,
+    limits: Limits,
+) -> Result<XValue, FlwrError> {
     if let Some(idx) = expr_doc_index(docs, e, t)? {
         let resolver = |name: &str| {
             t.get(name)
                 .filter(|(d, _)| *d == idx)
                 .map(|(_, ns)| ns.clone())
         };
-        return Ok(crate::xpath::eval::eval_expr_with_vars(
+        return Ok(crate::xpath::eval::eval_expr_with_vars_limited(
             docs.doc(idx),
             e,
             &resolver,
+            limits,
         )?);
     }
     // Cross-document: decompose by operator.
@@ -246,19 +262,21 @@ fn eval_tuple_expr(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, Flw
     use crate::xpath::eval::{compare_values, value_to_number, value_to_string};
     match e {
         Expr::And(l, r) => Ok(XValue::Bool(
-            eval_tuple_expr(docs, l, t)?.truthy() && eval_tuple_expr(docs, r, t)?.truthy(),
+            eval_tuple_expr(docs, l, t, limits)?.truthy()
+                && eval_tuple_expr(docs, r, t, limits)?.truthy(),
         )),
         Expr::Or(l, r) => Ok(XValue::Bool(
-            eval_tuple_expr(docs, l, t)?.truthy() || eval_tuple_expr(docs, r, t)?.truthy(),
+            eval_tuple_expr(docs, l, t, limits)?.truthy()
+                || eval_tuple_expr(docs, r, t, limits)?.truthy(),
         )),
         Expr::Compare(l, op, r) => {
-            let lv = lift(docs, l, t)?;
-            let rv = lift(docs, r, t)?;
+            let lv = lift(docs, l, t, limits)?;
+            let rv = lift(docs, r, t, limits)?;
             Ok(XValue::Bool(compare_values(&lv, *op, &rv)))
         }
         Expr::Arith(l, op, r) => {
-            let a = value_to_number(&lift(docs, l, t)?);
-            let b = value_to_number(&lift(docs, r, t)?);
+            let a = value_to_number(&lift(docs, l, t, limits)?);
+            let b = value_to_number(&lift(docs, r, t, limits)?);
             Ok(XValue::Num(match op {
                 ArithOp::Add => a + b,
                 ArithOp::Sub => a - b,
@@ -267,18 +285,20 @@ fn eval_tuple_expr(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, Flw
                 ArithOp::Mod => a % b,
             }))
         }
-        Expr::Neg(inner) => Ok(XValue::Num(-value_to_number(&lift(docs, inner, t)?))),
+        Expr::Neg(inner) => Ok(XValue::Num(-value_to_number(&lift(
+            docs, inner, t, limits,
+        )?))),
         Expr::Call(name, args) => match name.as_str() {
             "concat" => {
                 let mut out = String::new();
                 for a in args {
-                    out.push_str(&value_to_string(&lift(docs, a, t)?));
+                    out.push_str(&value_to_string(&lift(docs, a, t, limits)?));
                 }
                 Ok(XValue::Str(out))
             }
             "contains" | "starts-with" if args.len() == 2 => {
-                let hay = value_to_string(&lift(docs, &args[0], t)?);
-                let needle = value_to_string(&lift(docs, &args[1], t)?);
+                let hay = value_to_string(&lift(docs, &args[0], t, limits)?);
+                let needle = value_to_string(&lift(docs, &args[1], t, limits)?);
                 Ok(XValue::Bool(if name == "contains" {
                     hay.contains(&needle)
                 } else {
@@ -286,7 +306,7 @@ fn eval_tuple_expr(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, Flw
                 }))
             }
             "not" if args.len() == 1 => Ok(XValue::Bool(
-                !eval_tuple_expr(docs, &args[0], t)?.truthy(),
+                !eval_tuple_expr(docs, &args[0], t, limits)?.truthy(),
             )),
             other => Err(FlwrError::Unsupported(format!(
                 "{other}() cannot span documents; bind intermediate values with let"
@@ -301,7 +321,7 @@ fn eval_tuple_expr(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, Flw
 /// Evaluates a sub-expression and lifts node sets to their string values
 /// (each against its own document), so cross-document combination can
 /// proceed at the value level.
-fn lift(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, FlwrError> {
+fn lift(docs: &DocSet<'_>, e: &Expr, t: &Tuple, limits: Limits) -> Result<XValue, FlwrError> {
     let idx = expr_doc_index(docs, e, t)?.ok_or_else(|| {
         FlwrError::Unsupported(
             "operand of a cross-document expression itself spans documents".into(),
@@ -312,13 +332,11 @@ fn lift(docs: &DocSet<'_>, e: &Expr, t: &Tuple) -> Result<XValue, FlwrError> {
             .filter(|(d, _)| *d == idx)
             .map(|(_, ns)| ns.clone())
     };
-    let v = crate::xpath::eval::eval_expr_with_vars(docs.doc(idx), e, &resolver)?;
+    let v = crate::xpath::eval::eval_expr_with_vars_limited(docs.doc(idx), e, &resolver, limits)?;
     Ok(match v {
-        XValue::Nodes(ns) => XValue::Attrs(
-            ns.iter()
-                .map(|&n| docs.doc(idx).string_value(n))
-                .collect(),
-        ),
+        XValue::Nodes(ns) => {
+            XValue::Attrs(ns.iter().map(|&n| docs.doc(idx).string_value(n)).collect())
+        }
         other => other,
     })
 }
@@ -351,13 +369,14 @@ fn order_tuples(
     docs: &DocSet<'_>,
     tuples: Vec<Tuple>,
     keys: &[OrderKey],
+    limits: Limits,
 ) -> Result<Vec<Tuple>, FlwrError> {
     let mut decorated: Vec<(Vec<KeyValue>, Tuple)> = Vec::with_capacity(tuples.len());
     for t in tuples {
         let mut kv = Vec::with_capacity(keys.len());
         for k in keys {
             let idx = expr_doc_index(docs, &k.expr, &t)?.unwrap_or(0);
-            let v = eval_tuple_expr(docs, &k.expr, &t)?;
+            let v = eval_tuple_expr(docs, &k.expr, &t, limits)?;
             let s = match &v {
                 XValue::Nodes(ns) => ns
                     .first()
@@ -392,14 +411,13 @@ fn eval_source(
     docs: &DocSet<'_>,
     src: &Source,
     bindings: &Tuple,
+    limits: Limits,
 ) -> Result<(usize, Vec<NodeId>), FlwrError> {
     let idx = match &src.origin {
         Origin::Var(v) => {
             bindings
                 .get(v)
-                .ok_or_else(|| {
-                    FlwrError::XPath(XPathError(format!("unbound variable ${v}")))
-                })?
+                .ok_or_else(|| FlwrError::XPath(XPathError::msg(format!("unbound variable ${v}"))))?
                 .0
         }
         other => docs.index_of(other)?,
@@ -414,7 +432,7 @@ fn eval_source(
             .filter(|(d, _)| *d == idx)
             .map(|(_, ns)| ns.clone())
     };
-    let v = eval_xpath_with_vars(doc, &src.path, None, &resolver)?;
+    let v = eval_xpath_with_vars_limited(doc, &src.path, None, &resolver, limits)?;
     match v {
         XValue::Nodes(ns) => Ok((idx, ns)),
         other => Err(FlwrError::Unsupported(format!(
@@ -429,6 +447,7 @@ fn construct(
     bindings: &Tuple,
     out: &mut Document,
     parent: NodeId,
+    limits: Limits,
 ) -> Result<(), FlwrError> {
     match c {
         Construct::Element {
@@ -441,7 +460,7 @@ fn construct(
                 out.set_attribute(id, an.clone(), av.clone());
             }
             for child in content {
-                construct(docs, child, bindings, out, id)?;
+                construct(docs, child, bindings, out, id, limits)?;
             }
         }
         Construct::Text(t) => {
@@ -449,7 +468,7 @@ fn construct(
         }
         Construct::Embed(e) => {
             let idx = expr_doc_index(docs, e, bindings)?.unwrap_or(0);
-            let v = eval_tuple_expr(docs, e, bindings)?;
+            let v = eval_tuple_expr(docs, e, bindings, limits)?;
             match v {
                 XValue::Nodes(ns) => {
                     for n in ns {
@@ -513,6 +532,7 @@ mod tests {
     use super::*;
     use crate::doc::PhysicalDoc;
     use crate::flwr::parse::parse_flwr;
+    use crate::testutil::Must;
     use vh_dataguide::TypedDocument;
     use vh_xml::builder::paper_figure2;
     use vh_xml::{serialize, SerializeOptions};
@@ -520,8 +540,8 @@ mod tests {
     fn run(query: &str) -> String {
         let td = TypedDocument::analyze(paper_figure2());
         let doc = PhysicalDoc::new(&td);
-        let q = parse_flwr(query).unwrap();
-        let out = eval_flwr(&q, &doc).unwrap();
+        let q = parse_flwr(query).must();
+        let out = eval_flwr(&q, &doc).must();
         serialize(&out, SerializeOptions::compact())
     }
 
@@ -567,10 +587,7 @@ mod tests {
             for $b in doc("book.xml")/data/book[1]
             return <r kind="x">n: <n>{$b/title/text()}</n></r>
         "#);
-        assert_eq!(
-            got,
-            "<results><r kind=\"x\">n: <n>X</n></r></results>"
-        );
+        assert_eq!(got, "<results><r kind=\"x\">n: <n>X</n></r></results>");
     }
 
     #[test]
@@ -605,15 +622,15 @@ mod tests {
             "n.xml",
             "<s><i><p>9</p></i><i><p>100</p></i><i><p>25</p></i></s>",
         )
-        .unwrap();
+        .must();
         let doc = PhysicalDoc::new(&td);
         let q = parse_flwr(
             r#"for $i in doc("n.xml")//i
                order by $i/p
                return <p>{$i/p/text()}</p>"#,
         )
-        .unwrap();
-        let out = eval_flwr(&q, &doc).unwrap();
+        .must();
+        let out = eval_flwr(&q, &doc).must();
         assert_eq!(
             serialize(&out, SerializeOptions::compact()),
             "<results><p>9</p><p>25</p><p>100</p></results>",
@@ -629,17 +646,44 @@ mod tests {
             where $a/title != $b/title
             return <pair>{$a/title/text()}{$b/title/text()}</pair>
         "#);
-        assert_eq!(
-            got,
-            "<results><pair>XY</pair><pair>YX</pair></results>"
-        );
+        assert_eq!(got, "<results><pair>XY</pair><pair>YX</pair></results>");
     }
 
     #[test]
     fn unbound_variable_is_an_error() {
         let td = TypedDocument::analyze(paper_figure2());
         let doc = PhysicalDoc::new(&td);
-        let q = parse_flwr(r#"for $t in doc("u")//title return <x>{$missing}</x>"#).unwrap();
+        let q = parse_flwr(r#"for $t in doc("u")//title return <x>{$missing}</x>"#).must();
         assert!(eval_flwr(&q, &doc).is_err());
+    }
+
+    #[test]
+    fn tuple_stream_cardinality_is_capped() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let doc = PhysicalDoc::new(&td);
+        // Two nested for-clauses build a 2×2 product.
+        let q = parse_flwr(
+            r#"for $a in doc("u")//book
+               for $b in doc("u")//book
+               return <p>pair</p>"#,
+        )
+        .must();
+        let tight = Limits {
+            max_result: 3,
+            ..Limits::default()
+        };
+        let e = eval_flwr_limited(&q, &doc, tight).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FlwrError::ResourceExhausted {
+                    resource: ResourceKind::Cardinality,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        assert_eq!(e.code(), "QUERY_RESOURCE");
+        assert!(eval_flwr_limited(&q, &doc, Limits::default()).is_ok());
     }
 }

@@ -4,16 +4,18 @@
 //! bracket/quote depth zero); path expressions and predicates inside
 //! clauses are delegated to the XPath parser.
 
+use crate::error::ResourceKind;
 use crate::flwr::ast::{Clause, Construct, FlwrQuery, OrderKey, Origin, Source};
 use crate::flwr::eval::FlwrError;
 use crate::xpath::ast::XPath;
-use crate::xpath::parse::{parse_expr, parse_xpath};
+use crate::xpath::parse::{parse_expr, parse_xpath, MAX_PARSE_DEPTH};
 
 /// Parses a FLWR query.
 pub fn parse_flwr(input: &str) -> Result<FlwrQuery, FlwrError> {
     let mut p = P {
         s: input,
         pos: 0,
+        depth: 0,
     };
     let mut clauses = Vec::new();
     loop {
@@ -64,6 +66,7 @@ pub fn parse_flwr(input: &str) -> Result<FlwrQuery, FlwrError> {
 struct P<'a> {
     s: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> P<'a> {
@@ -154,15 +157,13 @@ impl<'a> P<'a> {
                 }
                 _ if depth == 0 => {
                     // Keyword at a word boundary?
-                    let prev_ok = i == start
-                        || bytes[i - 1].is_ascii_whitespace()
-                        || bytes[i - 1] == b')';
+                    let prev_ok =
+                        i == start || bytes[i - 1].is_ascii_whitespace() || bytes[i - 1] == b')';
                     if prev_ok {
                         for kw in ["for", "let", "where", "order", "return"] {
                             if self.s[i..].starts_with(kw) {
                                 let after = self.s[i + kw.len()..].chars().next();
-                                if after
-                                    .is_none_or(|ch| !ch.is_alphanumeric() && ch != '_')
+                                if after.is_none_or(|ch| !ch.is_alphanumeric() && ch != '_')
                                     && i > start
                                 {
                                     self.pos = i;
@@ -204,6 +205,20 @@ impl<'a> P<'a> {
     }
 
     fn element(&mut self) -> Result<Construct, FlwrError> {
+        // element() recurses once per nested constructor level.
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(FlwrError::ResourceExhausted {
+                resource: ResourceKind::Depth,
+                limit: MAX_PARSE_DEPTH as u64,
+            });
+        }
+        let out = self.element_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn element_inner(&mut self) -> Result<Construct, FlwrError> {
         let opened = self.eat("<");
         debug_assert!(opened, "element() is entered at a '<'");
         let name = self.tag_name()?;
@@ -235,9 +250,7 @@ impl<'a> P<'a> {
                 return Err(self.err("expected quoted attribute value"));
             };
             let start = self.pos;
-            while self.pos < self.s.len()
-                && !self.s[self.pos..].starts_with(quote)
-            {
+            while self.pos < self.s.len() && !self.s[self.pos..].starts_with(quote) {
                 self.pos += 1;
             }
             let value = self.s[start..self.pos].to_owned();
@@ -270,8 +283,7 @@ impl<'a> P<'a> {
                 Some('{') => content.push(self.embed()?),
                 Some(_) => {
                     let start = self.pos;
-                    while self.pos < self.s.len() {
-                        let c = self.s[self.pos..].chars().next().unwrap();
+                    while let Some(c) = self.s[self.pos..].chars().next() {
                         if c == '<' || c == '{' {
                             break;
                         }
@@ -429,12 +441,13 @@ fn parse_source_text(text: &str) -> Result<Source, String> {
         });
     }
     if text.starts_with('$') {
-        // Whole thing is a var-rooted path.
+        // Whole thing is a var-rooted path. parse_xpath yields a root var
+        // for every input starting with '$', so the else branch can only
+        // mean the path failed to bind one — report it, don't assume.
         let path = parse_xpath(text).map_err(|e| e.to_string())?;
-        let var = path
-            .root_var
-            .clone()
-            .expect("paths starting with '$' carry a root var");
+        let Some(var) = path.root_var.clone() else {
+            return Err("a '$var' source must be a variable-rooted path".to_owned());
+        };
         return Ok(Source {
             origin: Origin::Var(var),
             path,
@@ -452,9 +465,7 @@ fn string_arg(s: &str) -> Result<(String, &str), String> {
         .filter(|&c| c == '"' || c == '\'')
         .ok_or("expected a string literal")?;
     let rest = &s[1..];
-    let end = rest
-        .find(quote)
-        .ok_or("unterminated string literal")?;
+    let end = rest.find(quote).ok_or("unterminated string literal")?;
     Ok((rest[..end].to_owned(), &rest[end + 1..]))
 }
 
@@ -473,6 +484,7 @@ fn parse_trailing_path(rest: &str) -> Result<XPath, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use crate::xpath::ast::Expr;
 
     #[test]
@@ -483,7 +495,7 @@ mod tests {
                let $a := $t/../author
                return <result><title>{$t/text()}</title>{$a}</result>"#,
         )
-        .unwrap();
+        .must();
         assert_eq!(q.clauses.len(), 2);
         let Clause::For(v, src) = &q.clauses[0] else {
             panic!("expected for clause");
@@ -507,7 +519,7 @@ mod tests {
                return <result><title>{$t/text()}</title>
                               <count>{count($t/author)}</count></result>"#,
         )
-        .unwrap();
+        .must();
         let Clause::For(_, src) = &q.clauses[0] else {
             panic!();
         };
@@ -531,7 +543,7 @@ mod tests {
                where count($b/author) >= 1 and $b/title = 'X'
                return <hit>{$b/title/text()}</hit>"#,
         )
-        .unwrap();
+        .must();
         assert!(matches!(&q.clauses[1], Clause::Where(Expr::And(..))));
     }
 
@@ -541,7 +553,7 @@ mod tests {
             r#"for $b in doc("u")//book
                return <row kind="book"><sep/>{$b}</row>"#,
         )
-        .unwrap();
+        .must();
         let Construct::Element {
             attributes,
             content,
@@ -559,7 +571,7 @@ mod tests {
 
     #[test]
     fn bare_doc_source_means_the_root() {
-        let q = parse_flwr(r#"for $d in doc("u") return <r>{$d}</r>"#).unwrap();
+        let q = parse_flwr(r#"for $d in doc("u") return <r>{$d}</r>"#).must();
         let Clause::For(_, src) = &q.clauses[0] else {
             panic!();
         };
@@ -573,7 +585,7 @@ mod tests {
             r#"for $b in doc("u")//book[title = 'for return']
                return <r>{$b/title/text()}</r>"#,
         )
-        .unwrap();
+        .must();
         assert_eq!(q.clauses.len(), 1);
     }
 
@@ -584,5 +596,17 @@ mod tests {
         assert!(parse_flwr(r#"for $t in doc("u") return <a><b></a></b>"#).is_err());
         assert!(parse_flwr(r#"for $t in doc("u") return <a>{unclosed</a>"#).is_err());
         assert!(parse_flwr(r#"for $t in frob("u") return <a/>"#).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_constructors_are_rejected() {
+        let n = MAX_PARSE_DEPTH * 2;
+        let q = format!(
+            r#"for $t in doc("u") return {}x{}"#,
+            "<a>".repeat(n),
+            "</a>".repeat(n)
+        );
+        let e = parse_flwr(&q).unwrap_err();
+        assert!(matches!(e, FlwrError::ResourceExhausted { .. }), "{e}");
     }
 }

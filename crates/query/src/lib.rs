@@ -22,13 +22,42 @@
 //! * [`flwr`] — a FLWR (for/let/where/return) subset with element
 //!   constructors, `doc(...)` and the paper's **`virtualDoc(...)`**.
 //! * [`engine`] — the document registry tying it together.
+//! * [`error`] — the [`error::QueryError`] taxonomy and [`error::Limits`]
+//!   resource guards (recursion depth, step budget, cardinality cap, time
+//!   budget) that keep hostile queries from exhausting the process.
 
 pub mod doc;
 pub mod engine;
+pub mod error;
 pub mod flwr;
 pub mod sjoin;
 pub mod twig;
 pub mod xpath;
 
 pub use engine::Engine;
+pub use error::{FlwrError, Limits, QueryError, ResourceKind};
 pub use xpath::{parse_xpath, XPath};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for unit tests.
+
+    /// Unwraps test fixtures that are valid by construction, printing the
+    /// `Debug` payload when the assumption is violated.
+    pub trait Must<T> {
+        /// Returns the success value or fails the test.
+        fn must(self) -> T;
+    }
+
+    impl<T, E: std::fmt::Debug> Must<T> for Result<T, E> {
+        fn must(self) -> T {
+            self.unwrap_or_else(|e| unreachable!("test fixture failed: {e:?}"))
+        }
+    }
+
+    impl<T> Must<T> for Option<T> {
+        fn must(self) -> T {
+            self.unwrap_or_else(|| unreachable!("test fixture was None"))
+        }
+    }
+}

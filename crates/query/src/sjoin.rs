@@ -84,23 +84,18 @@ pub fn virtual_structural_join(
     ancestors: &[NodeId],
     descendants: &[NodeId],
 ) -> Vec<(NodeId, NodeId)> {
+    // Invariant: join inputs are node lists of virtual types (from the
+    // type index), and every node of a virtual type is visible in the
+    // view — so it always has a vPBN.
+    let vpbn = |n: NodeId| match vd.vpbn_of(n) {
+        Some(v) => v,
+        None => unreachable!("join input is visible"),
+    };
     stack_tree_join(
         ancestors,
         descendants,
-        &|a, b| {
-            v_cmp(
-                vd.vdg(),
-                &vd.vpbn_of(a).expect("join input is visible"),
-                &vd.vpbn_of(b).expect("join input is visible"),
-            )
-        },
-        &|a, d| {
-            v_ancestor(
-                vd.vdg(),
-                &vd.vpbn_of(a).expect("join input is visible"),
-                &vd.vpbn_of(d).expect("join input is visible"),
-            )
-        },
+        &|a, b| v_cmp(vd.vdg(), &vpbn(a), &vpbn(b)),
+        &|a, d| v_ancestor(vd.vdg(), &vpbn(a), &vpbn(d)),
     )
 }
 
@@ -125,6 +120,7 @@ pub fn nested_loop_join(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use vh_xml::builder::paper_figure2;
 
     fn sorted_by_pbn(td: &TypedDocument, mut v: Vec<NodeId>) -> Vec<NodeId> {
@@ -137,14 +133,14 @@ mod tests {
         let td = TypedDocument::analyze(paper_figure2());
         let books = sorted_by_pbn(
             &td,
-            td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).unwrap()),
+            td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).must()),
         );
         let names = sorted_by_pbn(
             &td,
             td.nodes_of_type(
                 td.guide()
                     .lookup_path(&["data", "book", "author", "name"])
-                    .unwrap(),
+                    .must(),
             ),
         );
         let fast = physical_structural_join(&td, &books, &names);
@@ -163,13 +159,13 @@ mod tests {
     fn virtual_join_titles_to_names() {
         // In Sam's virtual hierarchy, each title contains one name.
         let td = TypedDocument::analyze(paper_figure2());
-        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
-        let title_vt = vd.vdg().guide().lookup_path(&["title"]).unwrap();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").must();
+        let title_vt = vd.vdg().guide().lookup_path(&["title"]).must();
         let name_vt = vd
             .vdg()
             .guide()
             .lookup_path(&["title", "author", "name"])
-            .unwrap();
+            .must();
         let titles = vd.nodes_of_vtype(title_vt).to_vec();
         let names = vd.nodes_of_vtype(name_vt).to_vec();
         let pairs = virtual_structural_join(&vd, &titles, &names);
@@ -188,7 +184,7 @@ mod tests {
     fn virtual_join_equals_nested_loop_with_vancestor() {
         let td = TypedDocument::analyze(paper_figure2());
         for spec in ["title { author { name } }", "title { name { author } }"] {
-            let vd = VirtualDocument::open(&td, spec).unwrap();
+            let vd = VirtualDocument::open(&td, spec).must();
             let roots_vt = vd.vdg().roots()[0];
             // Join roots against every visible node type.
             for vt_idx in 0..vd.vdg().len() {
@@ -198,15 +194,15 @@ mod tests {
                 // Inputs must be in virtual document order for the join.
                 let mut anc_v = anc.clone();
                 anc_v.sort_by(|&a, &b| {
-                    v_cmp(vd.vdg(), &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(b).unwrap())
+                    v_cmp(vd.vdg(), &vd.vpbn_of(a).must(), &vd.vpbn_of(b).must())
                 });
                 let mut desc_v = desc.clone();
                 desc_v.sort_by(|&a, &b| {
-                    v_cmp(vd.vdg(), &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(b).unwrap())
+                    v_cmp(vd.vdg(), &vd.vpbn_of(a).must(), &vd.vpbn_of(b).must())
                 });
                 let mut fast = virtual_structural_join(&vd, &anc_v, &desc_v);
                 let mut slow = nested_loop_join(&anc, &desc, &|a, d| {
-                    v_ancestor(vd.vdg(), &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(d).unwrap())
+                    v_ancestor(vd.vdg(), &vd.vpbn_of(a).must(), &vd.vpbn_of(d).must())
                 });
                 fast.sort();
                 slow.sort();
@@ -219,8 +215,7 @@ mod tests {
     fn empty_inputs_yield_no_pairs() {
         let td = TypedDocument::analyze(paper_figure2());
         assert!(physical_structural_join(&td, &[], &[]).is_empty());
-        let books =
-            td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).unwrap());
+        let books = td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).must());
         assert!(physical_structural_join(&td, &books, &[]).is_empty());
     }
 }

@@ -51,15 +51,17 @@ impl TwigPattern {
     ///
     /// ```
     /// use vh_query::twig::TwigPattern;
-    /// let p = TwigPattern::parse("book(title, author(name))").unwrap();
+    /// let p = TwigPattern::parse("book(title, author(name))")?;
     /// assert_eq!(p.len(), 4);
     /// assert_eq!(p.leaves(), vec![1, 3]);
+    /// # Ok::<(), vh_query::twig::TwigError>(())
     /// ```
     pub fn parse(input: &str) -> Result<Self, TwigError> {
         let mut p = TwigParser {
             s: input.as_bytes(),
             input,
             pos: 0,
+            depth: 0,
             nodes: Vec::new(),
         };
         p.skip_ws();
@@ -126,6 +128,7 @@ struct TwigParser<'a> {
     s: &'a [u8],
     input: &'a str,
     pos: usize,
+    depth: usize,
     nodes: Vec<TwigNode>,
 }
 
@@ -136,7 +139,22 @@ impl<'a> TwigParser<'a> {
         }
     }
 
+    /// Recurses once per `(`-nesting level, so depth is capped to keep
+    /// pathological patterns off the stack limit.
     fn node(&mut self, parent: Option<usize>) -> Result<usize, TwigError> {
+        self.depth += 1;
+        if self.depth > crate::xpath::parse::MAX_PARSE_DEPTH {
+            return Err(TwigError(format!(
+                "pattern nesting exceeds the depth limit of {}",
+                crate::xpath::parse::MAX_PARSE_DEPTH
+            )));
+        }
+        let out = self.node_inner(parent);
+        self.depth -= 1;
+        out
+    }
+
+    fn node_inner(&mut self, parent: Option<usize>) -> Result<usize, TwigError> {
         let start = self.pos;
         while self
             .s
@@ -245,6 +263,18 @@ impl<'a> VirtualTwigSource<'a> {
     }
 }
 
+impl<'a> VirtualTwigSource<'a> {
+    /// Invariant: `cmp`/`contains` are only called on nodes produced by
+    /// `stream`, which enumerates nodes of virtual types — all of which
+    /// are visible and therefore have a vPBN.
+    fn vpbn(&self, n: NodeId) -> vh_core::vpbn::VPbnRef<'_> {
+        match self.vd.vpbn_of(n) {
+            Some(v) => v,
+            None => unreachable!("twig streams contain only visible nodes"),
+        }
+    }
+}
+
 impl<'a> TwigSource for VirtualTwigSource<'a> {
     fn stream(&self, test: &str) -> Vec<NodeId> {
         let vdg = self.vd.vdg();
@@ -259,19 +289,11 @@ impl<'a> TwigSource for VirtualTwigSource<'a> {
     }
 
     fn cmp(&self, a: NodeId, b: NodeId) -> Ordering {
-        v_cmp(
-            self.vd.vdg(),
-            &self.vd.vpbn_of(a).expect("stream nodes are visible"),
-            &self.vd.vpbn_of(b).expect("stream nodes are visible"),
-        )
+        v_cmp(self.vd.vdg(), &self.vpbn(a), &self.vpbn(b))
     }
 
     fn contains(&self, a: NodeId, b: NodeId) -> bool {
-        v_ancestor(
-            self.vd.vdg(),
-            &self.vd.vpbn_of(a).expect("stream nodes are visible"),
-            &self.vd.vpbn_of(b).expect("stream nodes are visible"),
-        )
+        v_ancestor(self.vd.vdg(), &self.vpbn(a), &self.vpbn(b))
     }
 }
 
@@ -363,10 +385,13 @@ impl<'s> TwigStack<'s> {
                 None => continue, // inert branch
                 Some(r) if r != c => return Some(r),
                 Some(_) => {
-                    let h = self.head(c).expect("live child has a head");
-                    if max_child_head
-                        .is_none_or(|m| self.source.cmp(h, m) == Ordering::Greater)
-                    {
+                    // Invariant: get_next(c) == Some(c) means c's stream
+                    // is not exhausted, so it has a head.
+                    let h = match self.head(c) {
+                        Some(h) => h,
+                        None => unreachable!("live child has a head"),
+                    };
+                    if max_child_head.is_none_or(|m| self.source.cmp(h, m) == Ordering::Greater) {
                         max_child_head = Some(h);
                     }
                     if min_child.is_none_or(|(_, m)| self.source.cmp(h, m) == Ordering::Less) {
@@ -386,7 +411,12 @@ impl<'s> TwigStack<'s> {
                 break;
             }
         }
-        let (min_c, q_min) = min_child.expect("q_max implies a live child");
+        // Invariant: q_max is only Some when at least one child was live,
+        // and every live child also updated min_child.
+        let (min_c, q_min) = match min_child {
+            Some(mc) => mc,
+            None => unreachable!("q_max implies a live child"),
+        };
         match self.head(q) {
             Some(hq) if self.source.cmp(hq, q_min) == Ordering::Less => Some(q),
             // q exhausted or behind: drain the child (its pushes still see
@@ -408,7 +438,12 @@ impl<'s> TwigStack<'s> {
     fn run(mut self) -> Vec<Vec<Vec<NodeId>>> {
         let root = 0;
         while let Some(q) = self.get_next(root) {
-            let hq = self.head(q).expect("get_next returns nodes with heads");
+            // Invariant: get_next only returns pattern nodes whose streams
+            // still have a head (exhausted branches yield None).
+            let hq = match self.head(q) {
+                Some(h) => h,
+                None => unreachable!("get_next returns nodes with heads"),
+            };
             if let Some(p) = self.pattern.nodes()[q].parent {
                 self.clean_stack(p, hq);
             }
@@ -439,7 +474,12 @@ impl<'s> TwigStack<'s> {
         let mut paths: Vec<Vec<NodeId>> = Vec::new();
         // Walk from the leaf upward: each entry limits how much of the
         // parent stack is visible (the height recorded at push time).
-        let (leaf_node, mut visible) = *self.stacks[leaf].last().expect("leaf just pushed");
+        // Invariant: `run` pushes onto stacks[leaf] immediately before
+        // calling emit_paths, so the stack is never empty here.
+        let (leaf_node, mut visible) = match self.stacks[leaf].last() {
+            Some(&top) => top,
+            None => unreachable!("leaf just pushed"),
+        };
         paths.push(vec![leaf_node]);
         for &q in chain.iter().rev().skip(1) {
             let stack = &self.stacks[q];
@@ -470,7 +510,7 @@ impl<'s> TwigStack<'s> {
         let pos = self.leaf_pos[&leaf];
         for mut p in paths {
             p.reverse(); // root-first, matching path_to order
-            // Exactness guard: each consecutive pair must nest.
+                         // Exactness guard: each consecutive pair must nest.
             let ok = p.windows(2).all(|w| self.source.contains(w[0], w[1]));
             if ok {
                 self.out[pos].push(p);
@@ -481,10 +521,7 @@ impl<'s> TwigStack<'s> {
 
 /// Phase 2: merge per-leaf path solutions into full twig matches by
 /// hash-joining on the shared pattern prefixes.
-pub fn merge_path_solutions(
-    pattern: &TwigPattern,
-    paths: &[Vec<Vec<NodeId>>],
-) -> Vec<TwigMatch> {
+pub fn merge_path_solutions(pattern: &TwigPattern, paths: &[Vec<Vec<NodeId>>]) -> Vec<TwigMatch> {
     let leaves = pattern.leaves();
     debug_assert_eq!(leaves.len(), paths.len());
     // Start with the first leaf's paths as partial assignments.
@@ -519,7 +556,12 @@ pub fn merge_path_solutions(
         .into_iter()
         .map(|assign| {
             (0..pattern.len())
-                .map(|q| *assign.get(&q).expect("assignment covers all pattern nodes"))
+                // Invariant: merging path solutions over a connected
+                // pattern assigns every node before we reach here.
+                .map(|q| match assign.get(&q) {
+                    Some(&n) => n,
+                    None => unreachable!("assignment covers all pattern nodes"),
+                })
                 .collect()
         })
         .collect()
@@ -547,11 +589,8 @@ pub fn twig_join_naive(source: &dyn TwigSource, pattern: &TwigPattern) -> Vec<Tw
                 }
                 for sub in solve(source, pattern, c, cand) {
                     for p in &partials {
-                        let merged: Vec<Option<NodeId>> = p
-                            .iter()
-                            .zip(&sub)
-                            .map(|(a, b)| a.or(*b))
-                            .collect();
+                        let merged: Vec<Option<NodeId>> =
+                            p.iter().zip(&sub).map(|(a, b)| a.or(*b)).collect();
                         next.push(merged);
                     }
                 }
@@ -567,7 +606,12 @@ pub fn twig_join_naive(source: &dyn TwigSource, pattern: &TwigPattern) -> Vec<Tw
             out.push(
                 assign
                     .into_iter()
-                    .map(|o| o.expect("subtree solutions cover all pattern nodes"))
+                    // Invariant: solve(0, root) fills one slot per pattern
+                    // node — a sparse vector only stays sparse mid-merge.
+                    .map(|o| match o {
+                        Some(n) => n,
+                        None => unreachable!("subtree solutions cover all pattern nodes"),
+                    })
                     .collect(),
             );
         }
@@ -578,6 +622,7 @@ pub fn twig_join_naive(source: &dyn TwigSource, pattern: &TwigPattern) -> Vec<Tw
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use vh_xml::builder::paper_figure2;
 
     fn sorted(mut m: Vec<TwigMatch>) -> Vec<TwigMatch> {
@@ -588,7 +633,7 @@ mod tests {
 
     #[test]
     fn pattern_parsing() {
-        let p = TwigPattern::parse("book(title, author(name))").unwrap();
+        let p = TwigPattern::parse("book(title, author(name))").must();
         assert_eq!(p.len(), 4);
         assert_eq!(p.nodes()[0].test, "book");
         assert_eq!(p.nodes()[0].children, vec![1, 2]);
@@ -604,7 +649,7 @@ mod tests {
     fn physical_twig_on_figure2() {
         let td = TypedDocument::analyze(paper_figure2());
         let src = PhysicalTwigSource::new(&td);
-        let p = TwigPattern::parse("book(title, author(name))").unwrap();
+        let p = TwigPattern::parse("book(title, author(name))").must();
         let matches = twig_join(&src, &p);
         // One match per book: (book, its title, its author, its name).
         assert_eq!(matches.len(), 2);
@@ -626,7 +671,7 @@ mod tests {
             "book(title, author(name), publisher(location))",
             "data(book(author))",
         ] {
-            let p = TwigPattern::parse(pat).unwrap();
+            let p = TwigPattern::parse(pat).must();
             let fast = sorted(twig_join(&src, &p));
             let slow = sorted(twig_join_naive(&src, &p));
             assert_eq!(fast, slow, "pattern {pat}");
@@ -636,11 +681,14 @@ mod tests {
     #[test]
     fn virtual_twig_matches_naive() {
         let td = TypedDocument::analyze(vh_workload_books(15, 3));
-        for spec in ["title { author { name } }", "location { title author { name } }"] {
-            let vd = VirtualDocument::open(&td, spec).unwrap();
+        for spec in [
+            "title { author { name } }",
+            "location { title author { name } }",
+        ] {
+            let vd = VirtualDocument::open(&td, spec).must();
             let src = VirtualTwigSource::new(&vd);
             for pat in ["title(author)", "title(author(name))"] {
-                let p = TwigPattern::parse(pat).unwrap();
+                let p = TwigPattern::parse(pat).must();
                 if src.stream(&p.nodes()[0].test).is_empty() {
                     continue;
                 }
@@ -656,9 +704,9 @@ mod tests {
         // In Sam's view, title//name holds although physically title and
         // name are in disjoint subtrees.
         let td = TypedDocument::analyze(paper_figure2());
-        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").must();
         let src = VirtualTwigSource::new(&vd);
-        let p = TwigPattern::parse("title(name)").unwrap();
+        let p = TwigPattern::parse("title(name)").must();
         let matches = twig_join(&src, &p);
         assert_eq!(matches.len(), 2);
         // Physically those same pairs do NOT nest.
@@ -672,9 +720,9 @@ mod tests {
     fn empty_streams_yield_no_matches() {
         let td = TypedDocument::analyze(paper_figure2());
         let src = PhysicalTwigSource::new(&td);
-        let p = TwigPattern::parse("book(nosuch)").unwrap();
+        let p = TwigPattern::parse("book(nosuch)").must();
         assert!(twig_join(&src, &p).is_empty());
-        let p = TwigPattern::parse("nosuch").unwrap();
+        let p = TwigPattern::parse("nosuch").must();
         assert!(twig_join(&src, &p).is_empty());
     }
 
@@ -682,7 +730,7 @@ mod tests {
     fn single_node_pattern_is_a_scan() {
         let td = TypedDocument::analyze(paper_figure2());
         let src = PhysicalTwigSource::new(&td);
-        let p = TwigPattern::parse("author").unwrap();
+        let p = TwigPattern::parse("author").must();
         assert_eq!(twig_join(&src, &p).len(), 2);
     }
 
@@ -701,8 +749,7 @@ mod tests {
                 );
             }
             book = book.child(
-                ElementBuilder::new("publisher")
-                    .child(ElementBuilder::new("location").text("L")),
+                ElementBuilder::new("publisher").child(ElementBuilder::new("location").text("L")),
             );
             data = data.child(book);
         }

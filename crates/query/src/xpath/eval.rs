@@ -14,8 +14,11 @@
 //! is the starting context.
 
 use crate::doc::QueryDoc;
+use crate::error::{Limits, ResourceKind};
 use crate::xpath::ast::{ArithOp, Axis, CmpOp, Expr, NodeTest, Step, XPath};
 use crate::xpath::parse::XPathError;
+use std::cell::Cell;
+use std::time::{Duration, Instant};
 use vh_xml::{NodeId, NodeKind};
 
 /// The value of an XPath expression.
@@ -141,9 +144,18 @@ pub type VarResolver<'a> = &'a dyn Fn(&str) -> Option<Vec<NodeId>>;
 
 /// Evaluates an absolute path against the document.
 pub fn eval_xpath(doc: &dyn QueryDoc, path: &XPath) -> Result<Vec<NodeId>, XPathError> {
-    match (Evaluator { doc, vars: None }).eval_path(path, Ctx::Super)? {
+    eval_xpath_limited(doc, path, Limits::default())
+}
+
+/// [`eval_xpath`] with explicit resource limits.
+pub fn eval_xpath_limited(
+    doc: &dyn QueryDoc,
+    path: &XPath,
+    limits: Limits,
+) -> Result<Vec<NodeId>, XPathError> {
+    match Evaluator::new(doc, None, limits).eval_path(path, Ctx::Super)? {
         XValue::Nodes(ns) => Ok(ns),
-        other => Err(XPathError(format!(
+        other => Err(XPathError::msg(format!(
             "path evaluated to a non-node value: {other:?}"
         ))),
     }
@@ -155,9 +167,9 @@ pub fn eval_xpath_from(
     path: &XPath,
     ctx: NodeId,
 ) -> Result<Vec<NodeId>, XPathError> {
-    match (Evaluator { doc, vars: None }).eval_path(path, Ctx::Node(ctx))? {
+    match Evaluator::new(doc, None, Limits::default()).eval_path(path, Ctx::Node(ctx))? {
         XValue::Nodes(ns) => Ok(ns),
-        other => Err(XPathError(format!(
+        other => Err(XPathError::msg(format!(
             "path evaluated to a non-node value: {other:?}"
         ))),
     }
@@ -170,7 +182,7 @@ pub fn eval_xpath_value(
     path: &XPath,
     ctx: Option<NodeId>,
 ) -> Result<XValue, XPathError> {
-    (Evaluator { doc, vars: None }).eval_path(path, ctx.map_or(Ctx::Super, Ctx::Node))
+    Evaluator::new(doc, None, Limits::default()).eval_path(path, ctx.map_or(Ctx::Super, Ctx::Node))
 }
 
 /// Evaluates a path with `$var` support (FLWR engine entry point).
@@ -180,11 +192,18 @@ pub fn eval_xpath_with_vars(
     ctx: Option<NodeId>,
     vars: VarResolver<'_>,
 ) -> Result<XValue, XPathError> {
-    (Evaluator {
-        doc,
-        vars: Some(vars),
-    })
-    .eval_path(path, ctx.map_or(Ctx::Super, Ctx::Node))
+    eval_xpath_with_vars_limited(doc, path, ctx, vars, Limits::default())
+}
+
+/// [`eval_xpath_with_vars`] with explicit resource limits.
+pub fn eval_xpath_with_vars_limited(
+    doc: &dyn QueryDoc,
+    path: &XPath,
+    ctx: Option<NodeId>,
+    vars: VarResolver<'_>,
+    limits: Limits,
+) -> Result<XValue, XPathError> {
+    Evaluator::new(doc, Some(vars), limits).eval_path(path, ctx.map_or(Ctx::Super, Ctx::Node))
 }
 
 /// Evaluates an expression with `$var` support (FLWR `where` clauses and
@@ -194,20 +213,22 @@ pub fn eval_expr_with_vars(
     expr: &Expr,
     vars: VarResolver<'_>,
 ) -> Result<XValue, XPathError> {
-    (Evaluator {
-        doc,
-        vars: Some(vars),
-    })
-    .eval_expr(expr, Ctx::Super, 1, 1)
+    eval_expr_with_vars_limited(doc, expr, vars, Limits::default())
+}
+
+/// [`eval_expr_with_vars`] with explicit resource limits.
+pub fn eval_expr_with_vars_limited(
+    doc: &dyn QueryDoc,
+    expr: &Expr,
+    vars: VarResolver<'_>,
+    limits: Limits,
+) -> Result<XValue, XPathError> {
+    Evaluator::new(doc, Some(vars), limits).eval_expr(expr, Ctx::Super, 1, 1)
 }
 
 /// Evaluates a free-standing expression from a context node (FLWR `where`).
-pub fn eval_expr_from(
-    doc: &dyn QueryDoc,
-    expr: &Expr,
-    ctx: NodeId,
-) -> Result<XValue, XPathError> {
-    (Evaluator { doc, vars: None }).eval_expr(expr, Ctx::Node(ctx), 1, 1)
+pub fn eval_expr_from(doc: &dyn QueryDoc, expr: &Expr, ctx: NodeId) -> Result<XValue, XPathError> {
+    Evaluator::new(doc, None, Limits::default()).eval_expr(expr, Ctx::Node(ctx), 1, 1)
 }
 
 /// True when a predicate's value cannot depend on the context position —
@@ -221,9 +242,7 @@ fn predicate_is_position_free(e: &Expr) -> bool {
     }
     fn scan(e: &Expr) -> bool {
         match e {
-            Expr::Call(name, args) => {
-                name != "position" && name != "last" && args.iter().all(scan)
-            }
+            Expr::Call(name, args) => name != "position" && name != "last" && args.iter().all(scan),
             Expr::Compare(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(l, _, r) => {
                 scan(l) && scan(r)
             }
@@ -246,16 +265,94 @@ fn predicate_is_position_free(e: &Expr) -> bool {
 struct Evaluator<'d> {
     doc: &'d dyn QueryDoc,
     vars: Option<VarResolver<'d>>,
+    limits: Limits,
+    depth: Cell<usize>,
+    steps: Cell<u64>,
+    deadline: Option<Instant>,
 }
 
 impl<'d> Evaluator<'d> {
+    fn new(doc: &'d dyn QueryDoc, vars: Option<VarResolver<'d>>, limits: Limits) -> Self {
+        Evaluator {
+            doc,
+            vars,
+            limits,
+            depth: Cell::new(0),
+            steps: Cell::new(0),
+            deadline: limits
+                .time_budget_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    fn exhausted(resource: ResourceKind, limit: u64) -> XPathError {
+        XPathError::ResourceExhausted { resource, limit }
+    }
+
+    /// Depth guard around the two mutually recursive entry points
+    /// (`eval_path` ↔ `eval_expr` via predicates). Nested predicates and
+    /// parenthesized expressions each add a level.
+    fn enter(&self) -> Result<(), XPathError> {
+        let d = self.depth.get() + 1;
+        if d > self.limits.max_depth {
+            return Err(Self::exhausted(
+                ResourceKind::Depth,
+                self.limits.max_depth as u64,
+            ));
+        }
+        self.depth.set(d);
+        Ok(())
+    }
+
+    fn leave(&self) {
+        self.depth.set(self.depth.get() - 1);
+    }
+
+    /// Charges `n` evaluation steps (context-node × path-step applications)
+    /// against the step budget, and checks the wall-clock deadline if one
+    /// was configured.
+    fn charge(&self, n: u64) -> Result<(), XPathError> {
+        let s = self.steps.get().saturating_add(n);
+        self.steps.set(s);
+        if s > self.limits.max_steps {
+            return Err(Self::exhausted(ResourceKind::Steps, self.limits.max_steps));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(Self::exhausted(
+                    ResourceKind::Time,
+                    self.limits.time_budget_ms.unwrap_or(0),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Caps the cardinality of any intermediate or final context set.
+    fn check_cardinality(&self, len: usize) -> Result<(), XPathError> {
+        if len > self.limits.max_result {
+            return Err(Self::exhausted(
+                ResourceKind::Cardinality,
+                self.limits.max_result as u64,
+            ));
+        }
+        Ok(())
+    }
+
     fn eval_path(&self, path: &XPath, ctx: Ctx) -> Result<XValue, XPathError> {
+        self.enter()?;
+        let out = self.eval_path_inner(path, ctx);
+        self.leave();
+        out
+    }
+
+    fn eval_path_inner(&self, path: &XPath, ctx: Ctx) -> Result<XValue, XPathError> {
         let mut current: Vec<Ctx> = if let Some(var) = &path.root_var {
             let resolver = self.vars.ok_or_else(|| {
-                XPathError(format!("variable ${var} used outside a FLWR context"))
+                XPathError::msg(format!("variable ${var} used outside a FLWR context"))
             })?;
-            let nodes = resolver(var)
-                .ok_or_else(|| XPathError(format!("unbound variable ${var}")))?;
+            let nodes =
+                resolver(var).ok_or_else(|| XPathError::msg(format!("unbound variable ${var}")))?;
             nodes.into_iter().map(Ctx::Node).collect()
         } else if path.absolute {
             vec![Ctx::Super]
@@ -266,10 +363,12 @@ impl<'d> Evaluator<'d> {
         let mut i = 0;
         while i < steps.len() {
             let step = &steps[i];
+            // One unit per context node this step is applied to.
+            self.charge(current.len() as u64)?;
             if step.axis == Axis::Attribute {
                 if i + 1 != steps.len() {
-                    return Err(XPathError(
-                        "attribute steps are only supported at the end of a path".into(),
+                    return Err(XPathError::msg(
+                        "attribute steps are only supported at the end of a path",
                     ));
                 }
                 return Ok(XValue::Attrs(self.attribute_step(&current, step)));
@@ -285,9 +384,8 @@ impl<'d> Evaluator<'d> {
                     if next.axis == Axis::Child {
                         if let NodeTest::Name(name) = &next.test {
                             if next.predicates.iter().all(predicate_is_position_free) {
-                                if let Some(found) =
-                                    self.indexed_descendants(&current, name)
-                                {
+                                if let Some(found) = self.indexed_descendants(&current, name) {
+                                    self.check_cardinality(found.len())?;
                                     current = self.apply_predicates(found, &next.predicates)?;
                                     i += 2;
                                     continue;
@@ -298,6 +396,7 @@ impl<'d> Evaluator<'d> {
                 }
             }
             current = self.apply_step(&current, step)?;
+            self.check_cardinality(current.len())?;
             i += 1;
         }
         // The document node never appears in results.
@@ -388,8 +487,7 @@ impl<'d> Evaluator<'d> {
                 Axis::SelfAxis => vec![node(n)],
                 Axis::Parent => vec![self.doc.parent(n).map_or(Ctx::Super, node)],
                 Axis::Ancestor => {
-                    let mut v: Vec<Ctx> =
-                        self.doc.ancestors(n).into_iter().map(node).collect();
+                    let mut v: Vec<Ctx> = self.doc.ancestors(n).into_iter().map(node).collect();
                     v.push(Ctx::Super);
                     v
                 }
@@ -495,6 +593,19 @@ impl<'d> Evaluator<'d> {
     }
 
     fn eval_expr(&self, e: &Expr, ctx: Ctx, pos: usize, size: usize) -> Result<XValue, XPathError> {
+        self.enter()?;
+        let out = self.eval_expr_inner(e, ctx, pos, size);
+        self.leave();
+        out
+    }
+
+    fn eval_expr_inner(
+        &self,
+        e: &Expr,
+        ctx: Ctx,
+        pos: usize,
+        size: usize,
+    ) -> Result<XValue, XPathError> {
         match e {
             Expr::Path(p) => self.eval_path(p, ctx),
             Expr::Literal(s) => Ok(XValue::Str(s.clone())),
@@ -533,7 +644,7 @@ impl<'d> Evaluator<'d> {
                     match self.eval_path(p, ctx)? {
                         XValue::Nodes(ns) => all.extend(ns.into_iter().map(Ctx::Node)),
                         other => {
-                            return Err(XPathError(format!(
+                            return Err(XPathError::msg(format!(
                                 "union operand evaluated to a non-node value: {other:?}"
                             )))
                         }
@@ -565,7 +676,7 @@ impl<'d> Evaluator<'d> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(XPathError(format!(
+                Err(XPathError::msg(format!(
                     "{name}() expects {n} argument(s), got {}",
                     args.len()
                 )))
@@ -577,7 +688,9 @@ impl<'d> Evaluator<'d> {
                 match self.eval_expr(&args[0], ctx, pos, size)? {
                     XValue::Nodes(ns) => Ok(XValue::Num(ns.len() as f64)),
                     XValue::Attrs(a) => Ok(XValue::Num(a.len() as f64)),
-                    other => Err(XPathError(format!("count() of a non-node-set: {other:?}"))),
+                    other => Err(XPathError::msg(format!(
+                        "count() of a non-node-set: {other:?}"
+                    ))),
                 }
             }
             "not" => {
@@ -665,7 +778,7 @@ impl<'d> Evaluator<'d> {
             }
             "concat" => {
                 if args.len() < 2 {
-                    return Err(XPathError("concat() needs at least 2 arguments".into()));
+                    return Err(XPathError::msg("concat() needs at least 2 arguments"));
                 }
                 let mut out = String::new();
                 for a in args {
@@ -682,7 +795,7 @@ impl<'d> Evaluator<'d> {
             }
             "substring" => {
                 if args.len() != 2 && args.len() != 3 {
-                    return Err(XPathError("substring() takes 2 or 3 arguments".into()));
+                    return Err(XPathError::msg("substring() takes 2 or 3 arguments"));
                 }
                 let s = self.to_string_value(&self.eval_expr(&args[0], ctx, pos, size)?);
                 // XPath positions are 1-based over characters, rounded.
@@ -703,7 +816,7 @@ impl<'d> Evaluator<'d> {
                 }
                 Ok(XValue::Str(out))
             }
-            other => Err(XPathError(format!("unknown function '{other}'"))),
+            other => Err(XPathError::msg(format!("unknown function '{other}'"))),
         }
     }
 
@@ -779,13 +892,7 @@ impl<'d> Evaluator<'d> {
         Ok(match v {
             XValue::Nodes(ns) => ns
                 .iter()
-                .map(|&n| {
-                    self.doc
-                        .string_value(n)
-                        .trim()
-                        .parse()
-                        .unwrap_or(f64::NAN)
-                })
+                .map(|&n| self.doc.string_value(n).trim().parse().unwrap_or(f64::NAN))
                 .collect(),
             XValue::Attrs(a) => a
                 .iter()
@@ -829,12 +936,13 @@ impl<'d> Evaluator<'d> {
 mod tests {
     use super::*;
     use crate::doc::PhysicalDoc;
+    use crate::testutil::Must;
     use crate::xpath::parse_xpath;
     use vh_dataguide::TypedDocument;
     use vh_xml::builder::paper_figure2;
 
     fn eval(doc: &dyn QueryDoc, path: &str) -> Vec<NodeId> {
-        eval_xpath(doc, &parse_xpath(path).unwrap()).unwrap()
+        eval_xpath(doc, &parse_xpath(path).must()).must()
     }
 
     fn values(doc: &dyn QueryDoc, nodes: &[NodeId]) -> Vec<String> {
@@ -861,10 +969,10 @@ mod tests {
         let td = TypedDocument::analyze(paper_figure2());
         let d = PhysicalDoc::new(&td);
         let titles = eval(&d, "//book/title");
-        let rel = parse_xpath("../author").unwrap();
+        let rel = parse_xpath("../author").must();
         let authors: Vec<NodeId> = titles
             .iter()
-            .flat_map(|&t| eval_xpath_from(&d, &rel, t).unwrap())
+            .flat_map(|&t| eval_xpath_from(&d, &rel, t).must())
             .collect();
         assert_eq!(values(&d, &authors), vec!["C", "D"]);
     }
@@ -875,8 +983,8 @@ mod tests {
         let d = PhysicalDoc::new(&td);
         let root = eval(&d, "/data");
         // ../data from the root: up to the document node, down again.
-        let rel = parse_xpath("../data").unwrap();
-        let back = eval_xpath_from(&d, &rel, root[0]).unwrap();
+        let rel = parse_xpath("../data").must();
+        let back = eval_xpath_from(&d, &rel, root[0]).must();
         assert_eq!(back, root);
     }
 
@@ -910,11 +1018,11 @@ mod tests {
         let td = TypedDocument::analyze(paper_figure2());
         let d = PhysicalDoc::new(&td);
         let names = eval(&d, "//name");
-        let anc = parse_xpath("ancestor::*[1]").unwrap();
-        let nearest = eval_xpath_from(&d, &anc, names[0]).unwrap();
+        let anc = parse_xpath("ancestor::*[1]").must();
+        let nearest = eval_xpath_from(&d, &anc, names[0]).must();
         assert_eq!(d.name(nearest[0]), Some("author"));
-        let anc2 = parse_xpath("ancestor::*[2]").unwrap();
-        let second = eval_xpath_from(&d, &anc2, names[0]).unwrap();
+        let anc2 = parse_xpath("ancestor::*[2]").must();
+        let second = eval_xpath_from(&d, &anc2, names[0]).must();
         assert_eq!(d.name(second[0]), Some("book"));
     }
 
@@ -923,15 +1031,15 @@ mod tests {
         let td = TypedDocument::analyze(paper_figure2());
         let d = PhysicalDoc::new(&td);
         let titles = eval(&d, "//title");
-        let fs = parse_xpath("following-sibling::*").unwrap();
-        let after_title1 = eval_xpath_from(&d, &fs, titles[0]).unwrap();
-        let names: Vec<_> = after_title1.iter().map(|&n| d.name(n).unwrap()).collect();
+        let fs = parse_xpath("following-sibling::*").must();
+        let after_title1 = eval_xpath_from(&d, &fs, titles[0]).must();
+        let names: Vec<_> = after_title1.iter().map(|&n| d.name(n).must()).collect();
         assert_eq!(names, vec!["author", "publisher"]);
-        let fol = parse_xpath("following::title").unwrap();
-        let following_titles = eval_xpath_from(&d, &fol, titles[0]).unwrap();
+        let fol = parse_xpath("following::title").must();
+        let following_titles = eval_xpath_from(&d, &fol, titles[0]).must();
         assert_eq!(values(&d, &following_titles), vec!["Y"]);
-        let prec = parse_xpath("preceding::title").unwrap();
-        let preceding_titles = eval_xpath_from(&d, &prec, titles[1]).unwrap();
+        let prec = parse_xpath("preceding::title").must();
+        let preceding_titles = eval_xpath_from(&d, &prec, titles[1]).must();
         assert_eq!(values(&d, &preceding_titles), vec!["X"]);
     }
 
@@ -955,12 +1063,12 @@ mod tests {
             "u",
             r#"<lib><b id="1"><t>A</t></b><b id="2"><t>B</t></b></lib>"#,
         )
-        .unwrap();
+        .must();
         let d = PhysicalDoc::new(&td);
         let b2 = eval(&d, "//b[@id = '2']");
         assert_eq!(values(&d, &b2), vec!["B"]);
-        let path = parse_xpath("//b/@id").unwrap();
-        match eval_xpath_value(&d, &path, None).unwrap() {
+        let path = parse_xpath("//b/@id").must();
+        match eval_xpath_value(&d, &path, None).must() {
             XValue::Attrs(a) => assert_eq!(a, vec!["1", "2"]),
             other => panic!("expected attrs, got {other:?}"),
         }
@@ -983,7 +1091,7 @@ mod tests {
         use crate::doc::VirtualDoc;
         use vh_core::VirtualDocument;
         let td = TypedDocument::analyze(paper_figure2());
-        let vd = VirtualDocument::open(&td, "data { ** }").unwrap();
+        let vd = VirtualDocument::open(&td, "data { ** }").must();
         let p = PhysicalDoc::new(&td);
         let v = VirtualDoc::new(&vd);
         for q in [
@@ -1003,15 +1111,15 @@ mod tests {
         use crate::doc::VirtualDoc;
         use vh_core::VirtualDocument;
         let td = TypedDocument::analyze(paper_figure2());
-        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let vd = VirtualDocument::open(&td, "title { author { name } }").must();
         let v = VirtualDoc::new(&vd);
         let titles = eval(&v, "//title");
         assert_eq!(titles.len(), 2);
-        let count_authors = parse_xpath("author").unwrap();
+        let count_authors = parse_xpath("author").must();
         for &t in &titles {
             // In the virtual hierarchy each title has exactly one author
             // child — physically authors are the title's siblings.
-            assert_eq!(eval_xpath_from(&v, &count_authors, t).unwrap().len(), 1);
+            assert_eq!(eval_xpath_from(&v, &count_authors, t).must().len(), 1);
         }
         // And the virtual hierarchy answers //title/author/name.
         let names = eval(&v, "//title/author/name");
@@ -1024,7 +1132,7 @@ mod tests {
             "u",
             "<s><i><p>10</p></i><i><p>25</p></i><i><p>40</p></i></s>",
         )
-        .unwrap();
+        .must();
         let d = PhysicalDoc::new(&td);
         assert_eq!(eval(&d, "//i[p > 10 + 5]").len(), 2);
         assert_eq!(eval(&d, "//i[p = 5 * 5]").len(), 1);
@@ -1041,13 +1149,16 @@ mod tests {
             "u",
             "<s><i><p>10</p></i><i><p>25</p></i><i><p>40</p></i></s>",
         )
-        .unwrap();
+        .must();
         let d = PhysicalDoc::new(&td);
         assert_eq!(eval(&d, "/s[sum(i/p) = 75]").len(), 1);
         assert_eq!(eval(&d, "/s[avg(i/p) = 25]").len(), 1);
         assert_eq!(eval(&d, "/s[min(i/p) = 10 and max(i/p) = 40]").len(), 1);
         assert_eq!(eval(&d, "/s[floor(avg(i/p)) = 25]").len(), 1);
-        assert_eq!(eval(&d, "/s[round(25.5) = 26 and ceiling(25.1) = 26]").len(), 1);
+        assert_eq!(
+            eval(&d, "/s[round(25.5) = 26 and ceiling(25.1) = 26]").len(),
+            1
+        );
     }
 
     #[test]
@@ -1060,7 +1171,11 @@ mod tests {
         );
         assert_eq!(eval(&d, "//book[substring(title, 1, 1) = 'Y']").len(), 1);
         assert_eq!(
-            eval(&d, "//book[normalize-space(concat(' ', title, '  ')) = 'X']").len(),
+            eval(
+                &d,
+                "//book[normalize-space(concat(' ', title, '  ')) = 'X']"
+            )
+            .len(),
             1
         );
     }
@@ -1069,12 +1184,12 @@ mod tests {
     fn union_merges_in_document_order() {
         let td = TypedDocument::analyze(paper_figure2());
         let d = PhysicalDoc::new(&td);
-        let p = parse_xpath("//book[1]").unwrap();
-        let books = eval_xpath(&d, &p).unwrap();
-        let u = crate::xpath::parse::parse_expr("title | publisher/location | title").unwrap();
-        match super::eval_expr_from(&d, &u, books[0]).unwrap() {
+        let p = parse_xpath("//book[1]").must();
+        let books = eval_xpath(&d, &p).must();
+        let u = crate::xpath::parse::parse_expr("title | publisher/location | title").must();
+        match super::eval_expr_from(&d, &u, books[0]).must() {
             XValue::Nodes(ns) => {
-                let names: Vec<_> = ns.iter().map(|&n| d.name(n).unwrap()).collect();
+                let names: Vec<_> = ns.iter().map(|&n| d.name(n).must()).collect();
                 // Deduplicated, in document order.
                 assert_eq!(names, vec!["title", "location"]);
             }
@@ -1086,7 +1201,70 @@ mod tests {
     fn unknown_function_is_an_eval_error() {
         let td = TypedDocument::analyze(paper_figure2());
         let d = PhysicalDoc::new(&td);
-        let p = parse_xpath("//book[frobnicate()]").unwrap();
+        let p = parse_xpath("//book[frobnicate()]").must();
         assert!(eval_xpath(&d, &p).is_err());
+    }
+
+    #[test]
+    fn resource_limits_abort_evaluation() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let d = PhysicalDoc::new(&td);
+        let p = parse_xpath("//book/title").must();
+        let exhausted_with = |limits: Limits| match eval_xpath_limited(&d, &p, limits) {
+            Err(XPathError::ResourceExhausted { resource, .. }) => Some(resource),
+            _ => None,
+        };
+        assert_eq!(
+            exhausted_with(Limits {
+                max_steps: 2,
+                ..Limits::default()
+            }),
+            Some(ResourceKind::Steps)
+        );
+        assert_eq!(
+            exhausted_with(Limits {
+                max_result: 1,
+                ..Limits::default()
+            }),
+            Some(ResourceKind::Cardinality)
+        );
+        assert_eq!(
+            exhausted_with(Limits {
+                time_budget_ms: Some(0),
+                ..Limits::default()
+            }),
+            Some(ResourceKind::Time)
+        );
+        // Depth: the predicate expression pushes past a depth-1 allowance.
+        let pred = parse_xpath("//book[title = 'X']").must();
+        let e = eval_xpath_limited(
+            &d,
+            &pred,
+            Limits {
+                max_depth: 1,
+                ..Limits::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                XPathError::ResourceExhausted {
+                    resource: ResourceKind::Depth,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        // Default limits are far above what the query needs.
+        assert_eq!(
+            eval_xpath_limited(&d, &p, Limits::default()).must().len(),
+            2
+        );
+        // Unlimited switches every guard off.
+        assert_eq!(
+            eval_xpath_limited(&d, &p, Limits::unlimited()).must().len(),
+            2
+        );
     }
 }

@@ -256,10 +256,11 @@ fn lex_number(s: &str) -> (f64, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
 
     #[test]
     fn tokenizes_paths() {
-        let t = tokenize("//book/title[1]").unwrap();
+        let t = tokenize("//book/title[1]").must();
         assert_eq!(
             t,
             vec![
@@ -276,7 +277,7 @@ mod tests {
 
     #[test]
     fn tokenizes_predicates_and_functions() {
-        let t = tokenize("book[count(author) >= 2 and title = 'X']").unwrap();
+        let t = tokenize("book[count(author) >= 2 and title = 'X']").must();
         assert!(t.contains(&Tok::Cmp(">=")));
         assert!(t.contains(&Tok::Name("and".into())));
         assert!(t.contains(&Tok::Literal("X".into())));
@@ -284,7 +285,7 @@ mod tests {
 
     #[test]
     fn tokenizes_operators() {
-        let t = tokenize("a | b + 2 - $v").unwrap();
+        let t = tokenize("a | b + 2 - $v").must();
         assert!(t.contains(&Tok::Pipe));
         assert!(t.contains(&Tok::Plus));
         assert!(t.contains(&Tok::Minus));
@@ -294,22 +295,22 @@ mod tests {
 
     #[test]
     fn tokenizes_axes_and_abbreviations() {
-        let t = tokenize("ancestor::book/.. /@id").unwrap();
+        let t = tokenize("ancestor::book/.. /@id").must();
         assert_eq!(t[0], Tok::Name("ancestor".into()));
         assert_eq!(t[1], Tok::ColonColon);
         assert!(t.contains(&Tok::DotDot));
         assert!(t.contains(&Tok::At));
-        let t = tokenize("$title/text()").unwrap();
+        let t = tokenize("$title/text()").must();
         assert_eq!(t[0], Tok::Var("title".into()));
     }
 
     #[test]
     fn numbers_and_decimals() {
-        assert_eq!(tokenize("3.25").unwrap(), vec![Tok::Number(3.25)]);
-        assert_eq!(tokenize(".5").unwrap(), vec![Tok::Number(0.5)]);
+        assert_eq!(tokenize("3.25").must(), vec![Tok::Number(3.25)]);
+        assert_eq!(tokenize(".5").must(), vec![Tok::Number(0.5)]);
         // A name followed by '.' then digits is a name + number (weird but
         // unambiguous in our grammar since names can contain dots).
-        let t = tokenize("n1.x").unwrap();
+        let t = tokenize("n1.x").must();
         assert_eq!(t, vec![Tok::Name("n1.x".into())]);
     }
 

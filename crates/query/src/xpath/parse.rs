@@ -1,16 +1,47 @@
 //! Recursive-descent parser for the XPath subset.
 
+use crate::error::ResourceKind;
 use crate::xpath::ast::{ArithOp, Axis, CmpOp, Expr, NodeTest, Step, XPath};
 use crate::xpath::lex::{tokenize, Tok};
 use std::fmt;
 
-/// Parse error with a human-readable message.
+/// Maximum nesting depth the parser accepts (parenthesized expressions,
+/// nested predicates). Both the parser and the evaluator recurse once per
+/// level, so pathological input degrades to an error, not a stack overflow.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
+/// XPath parse or evaluation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct XPathError(pub String);
+pub enum XPathError {
+    /// Malformed input or an evaluation failure, human-readable.
+    Message(String),
+    /// A resource guard tripped (see [`crate::error::Limits`]).
+    ResourceExhausted {
+        /// The exhausted resource.
+        resource: ResourceKind,
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl XPathError {
+    /// Constructs a plain message error.
+    pub fn msg(m: impl Into<String>) -> Self {
+        XPathError::Message(m.into())
+    }
+}
 
 impl fmt::Display for XPathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath error: {}", self.0)
+        match self {
+            XPathError::Message(m) => write!(f, "XPath error: {m}"),
+            XPathError::ResourceExhausted { resource, limit } => {
+                write!(
+                    f,
+                    "XPath evaluation exceeded its {resource} limit of {limit}"
+                )
+            }
+        }
     }
 }
 
@@ -18,11 +49,15 @@ impl std::error::Error for XPathError {}
 
 /// Parses an XPath location path such as `//book/title[author = 'X']`.
 pub fn parse_xpath(input: &str) -> Result<XPath, XPathError> {
-    let toks = tokenize(input).map_err(|(m, off)| XPathError(format!("{m} at byte {off}")))?;
-    let mut p = Parser { toks, pos: 0 };
+    let toks = tokenize(input).map_err(|(m, off)| XPathError::msg(format!("{m} at byte {off}")))?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let path = p.path()?;
     if p.pos != p.toks.len() {
-        return Err(XPathError(format!(
+        return Err(XPathError::msg(format!(
             "trailing input at token {} ({})",
             p.pos, p.toks[p.pos]
         )));
@@ -33,11 +68,15 @@ pub fn parse_xpath(input: &str) -> Result<XPath, XPathError> {
 /// Parses a free-standing expression (used by the FLWR engine for `where`
 /// clauses).
 pub fn parse_expr(input: &str) -> Result<Expr, XPathError> {
-    let toks = tokenize(input).map_err(|(m, off)| XPathError(format!("{m} at byte {off}")))?;
-    let mut p = Parser { toks, pos: 0 };
+    let toks = tokenize(input).map_err(|(m, off)| XPathError::msg(format!("{m} at byte {off}")))?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     if p.pos != p.toks.len() {
-        return Err(XPathError("trailing input after expression".into()));
+        return Err(XPathError::msg("trailing input after expression"));
     }
     Ok(e)
 }
@@ -45,11 +84,29 @@ pub fn parse_expr(input: &str) -> Result<Expr, XPathError> {
 pub(crate) struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos)
+    }
+
+    /// Depth guard wrapped around every recursive production.
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, XPathError>,
+    ) -> Result<T, XPathError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(XPathError::ResourceExhausted {
+                resource: ResourceKind::Depth,
+                limit: MAX_PARSE_DEPTH as u64,
+            });
+        }
+        let out = f(self);
+        self.depth -= 1;
+        out
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -69,19 +126,24 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, t: &Tok) -> Result<(), XPathError> {
+    fn expect_tok(&mut self, t: &Tok) -> Result<(), XPathError> {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(XPathError(format!(
+            Err(XPathError::msg(format!(
                 "expected '{t}', found {}",
-                self.peek().map_or("end of input".to_owned(), |x| x.to_string())
+                self.peek()
+                    .map_or("end of input".to_owned(), |x| x.to_string())
             )))
         }
     }
 
     /// `path ::= '$'var ('/' step)* | '/'? step ('/'|'//' step)* | '//' …`
     pub(crate) fn path(&mut self) -> Result<XPath, XPathError> {
+        self.descend(Self::path_inner)
+    }
+
+    fn path_inner(&mut self) -> Result<XPath, XPathError> {
         // Variable-rooted path: `$t`, `$t/author`, `$t//name`.
         if let Some(Tok::Var(v)) = self.peek() {
             let root_var = Some(v.clone());
@@ -181,7 +243,7 @@ impl Parser {
                     })
                 }
                 other => {
-                    return Err(XPathError(format!(
+                    return Err(XPathError::msg(format!(
                         "expected attribute name after '@', found {other:?}"
                     )))
                 }
@@ -196,7 +258,7 @@ impl Parser {
         let axis = if let Some(Tok::Name(n)) = self.peek() {
             if self.toks.get(self.pos + 1) == Some(&Tok::ColonColon) {
                 let axis = axis_from_name(n)
-                    .ok_or_else(|| XPathError(format!("unknown axis '{n}'")))?;
+                    .ok_or_else(|| XPathError::msg(format!("unknown axis '{n}'")))?;
                 self.pos += 2;
                 axis
             } else {
@@ -219,18 +281,18 @@ impl Parser {
             Some(Tok::Name(n)) => {
                 if self.peek() == Some(&Tok::LParen) {
                     self.pos += 1;
-                    self.expect(&Tok::RParen)?;
+                    self.expect_tok(&Tok::RParen)?;
                     match n.as_str() {
                         "text" => Ok(NodeTest::Text),
                         "node" => Ok(NodeTest::AnyNode),
                         "comment" => Ok(NodeTest::Comment),
-                        other => Err(XPathError(format!("unknown node test '{other}()'"))),
+                        other => Err(XPathError::msg(format!("unknown node test '{other}()'"))),
                     }
                 } else {
                     Ok(NodeTest::Name(n))
                 }
             }
-            other => Err(XPathError(format!(
+            other => Err(XPathError::msg(format!(
                 "expected a node test, found {}",
                 other.map_or("end of input".to_owned(), |t| t.to_string())
             ))),
@@ -241,13 +303,17 @@ impl Parser {
         let mut out = Vec::new();
         while self.eat(&Tok::LBracket) {
             out.push(self.expr()?);
-            self.expect(&Tok::RBracket)?;
+            self.expect_tok(&Tok::RBracket)?;
         }
         Ok(out)
     }
 
     /// `expr ::= and-expr ('or' and-expr)*`
     pub(crate) fn expr(&mut self) -> Result<Expr, XPathError> {
+        self.descend(Self::expr_inner)
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, XPathError> {
         let mut left = self.and_expr()?;
         while matches!(self.peek(), Some(Tok::Name(n)) if n == "or") {
             self.pos += 1;
@@ -325,7 +391,9 @@ impl Parser {
     /// `unary ::= '-' unary | union`
     fn unary(&mut self) -> Result<Expr, XPathError> {
         if self.eat(&Tok::Minus) {
-            return Ok(Expr::Neg(Box::new(self.unary()?)));
+            // Self-recursive without passing through expr()/path(), so it
+            // needs its own depth guard against `----…x` chains.
+            return self.descend(|p| Ok(Expr::Neg(Box::new(p.unary()?))));
         }
         self.union_expr()
     }
@@ -339,7 +407,7 @@ impl Parser {
         let mut paths = vec![match first {
             Expr::Path(p) => p,
             other => {
-                return Err(XPathError(format!(
+                return Err(XPathError::msg(format!(
                     "only paths can be united with '|', found {other:?}"
                 )))
             }
@@ -348,7 +416,7 @@ impl Parser {
             match self.primary()? {
                 Expr::Path(p) => paths.push(p),
                 other => {
-                    return Err(XPathError(format!(
+                    return Err(XPathError::msg(format!(
                         "only paths can be united with '|', found {other:?}"
                     )))
                 }
@@ -374,7 +442,7 @@ impl Parser {
             Some(Tok::LParen) => {
                 self.pos += 1;
                 let e = self.expr()?;
-                self.expect(&Tok::RParen)?;
+                self.expect_tok(&Tok::RParen)?;
                 Ok(e)
             }
             Some(Tok::Name(n)) if self.toks.get(self.pos + 1) == Some(&Tok::LParen) => {
@@ -391,7 +459,7 @@ impl Parser {
                         if self.eat(&Tok::RParen) {
                             break;
                         }
-                        self.expect(&Tok::Comma)?;
+                        self.expect_tok(&Tok::Comma)?;
                     }
                 }
                 Ok(Expr::Call(name, args))
@@ -422,11 +490,12 @@ fn axis_from_name(n: &str) -> Option<Axis> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
 
     #[test]
     fn parses_sams_path() {
         // From Figure 1: //book/title
-        let p = parse_xpath("//book/title").unwrap();
+        let p = parse_xpath("//book/title").must();
         assert!(p.absolute);
         assert_eq!(p.steps.len(), 3);
         assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
@@ -437,7 +506,7 @@ mod tests {
     #[test]
     fn parses_parent_abbreviation() {
         // From Figure 1: $t/../author — relative part: ../author
-        let p = parse_xpath("../author").unwrap();
+        let p = parse_xpath("../author").must();
         assert!(!p.absolute);
         assert_eq!(p.steps[0].axis, Axis::Parent);
         assert_eq!(p.steps[1].test, NodeTest::Name("author".into()));
@@ -445,7 +514,7 @@ mod tests {
 
     #[test]
     fn parses_predicates() {
-        let p = parse_xpath("//book[title = 'X']/author[1]").unwrap();
+        let p = parse_xpath("//book[title = 'X']/author[1]").must();
         let book = &p.steps[1];
         assert_eq!(book.predicates.len(), 1);
         assert!(matches!(
@@ -459,7 +528,7 @@ mod tests {
 
     #[test]
     fn parses_full_axes() {
-        let p = parse_xpath("ancestor::book/descendant-or-self::node()").unwrap();
+        let p = parse_xpath("ancestor::book/descendant-or-self::node()").must();
         assert_eq!(p.steps[0].axis, Axis::Ancestor);
         assert_eq!(p.steps[1].axis, Axis::DescendantOrSelf);
         assert_eq!(p.steps[1].test, NodeTest::AnyNode);
@@ -467,22 +536,22 @@ mod tests {
 
     #[test]
     fn parses_functions_and_boolean_operators() {
-        let e = parse_expr("count(author) >= 2 and not(publisher) or title = 'X'").unwrap();
+        let e = parse_expr("count(author) >= 2 and not(publisher) or title = 'X'").must();
         assert!(matches!(e, Expr::Or(..)));
     }
 
     #[test]
     fn parses_text_and_attribute_steps() {
-        let p = parse_xpath("book/title/text()").unwrap();
+        let p = parse_xpath("book/title/text()").must();
         assert_eq!(p.steps[2].test, NodeTest::Text);
-        let p = parse_xpath("book/@id").unwrap();
+        let p = parse_xpath("book/@id").must();
         assert_eq!(p.steps[1].axis, Axis::Attribute);
         assert_eq!(p.steps[1].test, NodeTest::Name("id".into()));
     }
 
     #[test]
     fn parses_wildcards() {
-        let p = parse_xpath("/*/*").unwrap();
+        let p = parse_xpath("/*/*").must();
         assert_eq!(p.steps[0].test, NodeTest::AnyElement);
         assert_eq!(p.steps.len(), 2);
     }
@@ -493,15 +562,31 @@ mod tests {
         assert!(parse_xpath("book[").is_err());
         assert!(parse_xpath("book]").is_err());
         assert!(parse_xpath("unknown-axis::x").is_err());
-        assert!(parse_xpath("book/title[foo()]").is_ok(), "unknown fn parses; eval rejects");
+        assert!(
+            parse_xpath("book/title[foo()]").is_ok(),
+            "unknown fn parses; eval rejects"
+        );
         assert!(parse_xpath("book//").is_err());
     }
 
     #[test]
+    fn deeply_nested_input_errors_instead_of_overflowing() {
+        let deep = "(".repeat(MAX_PARSE_DEPTH * 2) + "1" + &")".repeat(MAX_PARSE_DEPTH * 2);
+        let e = parse_expr(&deep).unwrap_err();
+        assert!(matches!(e, XPathError::ResourceExhausted { .. }), "{e}");
+        let minus = "-".repeat(MAX_PARSE_DEPTH * 2) + "1";
+        let e = parse_expr(&minus).unwrap_err();
+        assert!(matches!(e, XPathError::ResourceExhausted { .. }), "{e}");
+        // Within the limit still parses.
+        let ok = "(".repeat(8) + "1" + &")".repeat(8);
+        assert!(parse_expr(&ok).is_ok());
+    }
+
+    #[test]
     fn dot_and_self_axis() {
-        let p = parse_xpath(".").unwrap();
+        let p = parse_xpath(".").must();
         assert_eq!(p.steps[0].axis, Axis::SelfAxis);
-        let p = parse_xpath("self::book").unwrap();
+        let p = parse_xpath("self::book").must();
         assert_eq!(p.steps[0].axis, Axis::SelfAxis);
         assert_eq!(p.steps[0].test, NodeTest::Name("book".into()));
     }

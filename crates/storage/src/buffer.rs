@@ -5,6 +5,12 @@
 //! misses evict the least-recently-used frame. This is the standard DBMS
 //! layer between §6's value reads and the "disk", and it lets experiments
 //! separate cold from warm behaviour.
+//!
+//! Frames carry page *data*, so the store can serve verified reads from
+//! the pool — and when a resident frame no longer passes CRC verification
+//! (simulated memory corruption, see [`BufferPool::poison_frame`]), the
+//! store **quarantines** it: the frame is dropped, counted, and the page
+//! refetched from the device.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -18,6 +24,8 @@ pub struct BufferStats {
     pub misses: u64,
     /// Frames evicted to make room.
     pub evictions: u64,
+    /// Frames dropped because their content failed verification.
+    pub quarantines: u64,
 }
 
 impl BufferStats {
@@ -32,6 +40,13 @@ impl BufferStats {
     }
 }
 
+/// One resident page.
+#[derive(Debug, Default)]
+struct Frame {
+    tick: u64,
+    data: Vec<u8>,
+}
+
 /// A fixed-capacity LRU pool of page frames.
 #[derive(Debug)]
 pub struct BufferPool {
@@ -41,10 +56,21 @@ pub struct BufferPool {
 
 #[derive(Debug, Default)]
 struct Inner {
-    /// page id → last-use tick.
-    frames: HashMap<usize, u64>,
+    frames: HashMap<usize, Frame>,
     tick: u64,
     stats: BufferStats,
+}
+
+impl Inner {
+    fn evict_if_full(&mut self, capacity: usize, incoming: usize) {
+        if !self.frames.contains_key(&incoming) && self.frames.len() >= capacity {
+            // Evict the least recently used frame.
+            if let Some((&victim, _)) = self.frames.iter().min_by_key(|(_, f)| f.tick) {
+                self.frames.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+    }
 }
 
 impl BufferPool {
@@ -65,33 +91,76 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Requests the inclusive page range `[first, last]`, updating LRU
-    /// state and counters. Returns (hits, misses) for this request.
-    pub fn access_range(&self, first: usize, last: usize) -> (u64, u64) {
+    /// Looks up `page`. A resident frame counts a hit (and is touched for
+    /// LRU); absence counts a miss. Returns a copy of the frame's data.
+    pub fn lookup(&self, page: usize) -> Option<Vec<u8>> {
         let mut inner = self.inner.borrow_mut();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.frames.get_mut(&page) {
+            Some(frame) => {
+                frame.tick = tick;
+                let data = frame.data.clone();
+                inner.stats.hits += 1;
+                Some(data)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs `data` as the frame for `page`, evicting the LRU frame if
+    /// the pool is full. Does not count a hit or a miss (the preceding
+    /// [`BufferPool::lookup`] did).
+    pub fn insert(&self, page: usize, data: Vec<u8>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.evict_if_full(self.capacity, page);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.frames.insert(page, Frame { tick, data });
+    }
+
+    /// Drops the frame for `page` because its content failed verification.
+    /// Counts a quarantine when a frame was actually resident.
+    pub fn quarantine(&self, page: usize) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let dropped = inner.frames.remove(&page).is_some();
+        if dropped {
+            inner.stats.quarantines += 1;
+        }
+        dropped
+    }
+
+    /// Fault-injection hook: XORs `mask` into byte `byte` of the resident
+    /// frame for `page`, simulating in-memory corruption of a cached page.
+    /// Returns false when the page is not resident (nothing corrupted).
+    pub fn poison_frame(&self, page: usize, byte: usize, mask: u8) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        match inner.frames.get_mut(&page) {
+            Some(frame) if byte < frame.data.len() => {
+                frame.data[byte] ^= mask;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Requests the inclusive page range `[first, last]`, updating LRU
+    /// state and counters without caching data (the id-only accounting
+    /// mode used by the I/O-model experiments). Returns (hits, misses)
+    /// for this request.
+    pub fn access_range(&self, first: usize, last: usize) -> (u64, u64) {
         let (mut hits, mut misses) = (0, 0);
         for page in first..=last {
-            inner.tick += 1;
-            let tick = inner.tick;
-            if inner.frames.contains_key(&page) {
-                inner.frames.insert(page, tick);
+            if self.lookup(page).is_some() {
                 hits += 1;
             } else {
                 misses += 1;
-                if inner.frames.len() >= self.capacity {
-                    // Evict the least recently used frame.
-                    if let Some((&victim, _)) =
-                        inner.frames.iter().min_by_key(|(_, &t)| t)
-                    {
-                        inner.frames.remove(&victim);
-                        inner.stats.evictions += 1;
-                    }
-                }
-                inner.frames.insert(page, tick);
+                self.insert(page, Vec::new());
             }
         }
-        inner.stats.hits += hits;
-        inner.stats.misses += misses;
         (hits, misses)
     }
 
@@ -167,5 +236,35 @@ mod tests {
     #[test]
     fn hit_ratio_of_empty_pool_is_zero() {
         assert_eq!(BufferPool::new(1).stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn frames_cache_data() {
+        let p = BufferPool::new(2);
+        assert_eq!(p.lookup(7), None);
+        p.insert(7, vec![1, 2, 3]);
+        assert_eq!(p.lookup(7), Some(vec![1, 2, 3]));
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn quarantine_drops_the_frame_and_counts() {
+        let p = BufferPool::new(2);
+        p.insert(3, vec![9]);
+        assert!(p.quarantine(3));
+        assert!(!p.quarantine(3), "already gone");
+        assert_eq!(p.stats().quarantines, 1);
+        assert_eq!(p.lookup(3), None);
+    }
+
+    #[test]
+    fn poison_flips_resident_bytes_only() {
+        let p = BufferPool::new(2);
+        p.insert(0, vec![0b1010, 0b0101]);
+        assert!(p.poison_frame(0, 1, 0b0001));
+        assert_eq!(p.lookup(0), Some(vec![0b1010, 0b0100]));
+        assert!(!p.poison_frame(0, 9, 1), "byte out of range");
+        assert!(!p.poison_frame(5, 0, 1), "page not resident");
     }
 }

@@ -1,0 +1,113 @@
+//! Storage fault taxonomy.
+//!
+//! Two layers: [`PageFault`] is what a raw [`crate::io::PageIo`] device
+//! reports for one page access; [`StorageError`] is what the store surfaces
+//! to callers after checksum verification and bounded retry have run their
+//! course. A `StorageError` therefore always describes a *final* outcome —
+//! transient faults that were retried to success never escape.
+
+use std::fmt;
+
+/// A single page access failing at the device level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageFault {
+    /// The device failed this attempt but a retry may succeed (e.g. a
+    /// simulated bus error or lost interrupt).
+    Transient,
+    /// The requested page does not exist on the device.
+    OutOfBounds,
+}
+
+impl fmt::Display for PageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageFault::Transient => write!(f, "transient device fault"),
+            PageFault::OutOfBounds => write!(f, "page out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for PageFault {}
+
+/// A storage operation that could not be completed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// Transient device faults persisted through every retry attempt.
+    Transient {
+        /// The page that kept faulting.
+        page: usize,
+        /// Total attempts made (including the first).
+        attempts: u32,
+    },
+    /// A page's content failed CRC32 verification on every attempt: the
+    /// stored data is corrupt (bit rot, torn write), not merely unlucky.
+    Corrupt {
+        /// The page whose checksum never matched.
+        page: usize,
+    },
+    /// A read requested bytes outside the stored string.
+    OutOfBounds {
+        /// Requested start offset (inclusive).
+        start: usize,
+        /// Requested end offset (exclusive).
+        end: usize,
+        /// Actual length of the stored string.
+        len: usize,
+    },
+}
+
+impl StorageError {
+    /// Short machine-readable code, stable across Display changes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            StorageError::Transient { .. } => "STORAGE_TRANSIENT",
+            StorageError::Corrupt { .. } => "STORAGE_CORRUPT",
+            StorageError::OutOfBounds { .. } => "STORAGE_OOB",
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Transient { page, attempts } => {
+                write!(f, "page {page} still faulting after {attempts} attempts")
+            }
+            StorageError::Corrupt { page } => {
+                write!(f, "page {page} failed checksum verification (corrupt)")
+            }
+            StorageError::OutOfBounds { start, end, len } => write!(
+                f,
+                "byte range {start}..{end} out of bounds (stored length {len})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_messages_are_distinct() {
+        let errs = [
+            StorageError::Transient {
+                page: 3,
+                attempts: 4,
+            },
+            StorageError::Corrupt { page: 3 },
+            StorageError::OutOfBounds {
+                start: 1,
+                end: 9,
+                len: 4,
+            },
+        ];
+        let codes: std::collections::HashSet<_> = errs.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errs.len());
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

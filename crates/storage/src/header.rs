@@ -6,7 +6,7 @@
 //! ID." We store headers out-of-line (a dense table) rather than inline in
 //! the string; the space accounting is what the experiments need.
 
-use vh_dataguide::{TypedDocument, TypeId};
+use vh_dataguide::{TypeId, TypedDocument};
 use vh_pbn::EncodedPbn;
 use vh_xml::{NodeId, NodeKind};
 
@@ -102,6 +102,7 @@ impl HeaderTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use vh_dataguide::TypedDocument;
     use vh_xml::builder::paper_figure2;
 
@@ -110,14 +111,14 @@ mod tests {
         let td = TypedDocument::analyze(paper_figure2());
         let t = HeaderTable::build(&td);
         assert_eq!(t.len(), td.doc().len());
-        let root = td.doc().root().unwrap();
+        let root = td.doc().root().must();
         assert_eq!(t.get(root).kind, HeaderKind::Element);
         // Find a text node and check kind + number round-trip.
         let text = td
             .doc()
             .preorder()
             .find(|&id| td.doc().kind(id).is_text())
-            .unwrap();
+            .must();
         let h = t.get(text);
         assert_eq!(h.kind, HeaderKind::Text);
         assert_eq!(&h.pbn.decode(), td.pbn().pbn_of(text));
@@ -128,7 +129,7 @@ mod tests {
     fn header_sizes_reflect_encoding() {
         let td = TypedDocument::analyze(paper_figure2());
         let t = HeaderTable::build(&td);
-        let root = td.doc().root().unwrap();
+        let root = td.doc().root().must();
         // Root header: 1 + 4 + 1 encoded byte.
         assert_eq!(t.get(root).size_bytes(), 6);
         assert!(t.total_bytes() > 0);

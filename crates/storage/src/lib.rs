@@ -13,9 +13,16 @@
 //!
 //! This crate is that DBMS back end, built from scratch:
 //! * [`pages`] — a block-addressed byte store with read accounting (the
-//!   stand-in for disk I/O; experiments report pages touched).
+//!   stand-in for disk I/O; experiments report pages touched), per-page
+//!   CRC32 verification ([`crc`]) and bounded retry ([`retry`]).
+//! * [`io`] — the injectable [`io::PageIo`] device boundary; [`faults`]
+//!   wraps any device with deterministic, seedable fault injection
+//!   (transient errors, bit flips, torn pages).
+//! * [`error`] — [`StorageError`]: the crate's fault taxonomy. Reads never
+//!   panic on bad pages and never return silently wrong bytes.
 //! * [`buffer`] — an LRU buffer pool refining the I/O model with
-//!   hit/miss/eviction accounting (cold vs warm experiments).
+//!   hit/miss/eviction accounting (cold vs warm experiments) plus
+//!   quarantine/refetch of frames that fail verification.
 //! * [`value_index`] — PBN → byte-range lookup.
 //! * [`type_index`] / [`name_index`] — type- and name-keyed node lists in
 //!   document order (PBN-sorted).
@@ -30,17 +37,50 @@
 //! not disk hardware.
 
 pub mod buffer;
+pub mod crc;
+pub mod error;
+pub mod faults;
 pub mod header;
+pub mod io;
 pub mod name_index;
 pub mod pages;
+pub mod retry;
 pub mod stats;
 pub mod store;
 pub mod type_index;
 pub mod value_index;
 
 pub use buffer::{BufferPool, BufferStats};
+pub use error::{PageFault, StorageError};
+pub use faults::{FaultConfig, FaultyPageIo};
+pub use io::{MemPageIo, PageIo};
 pub use pages::PageStore;
+pub use retry::RetryPolicy;
 pub use stats::StorageStats;
 pub use store::StoredDocument;
 pub use type_index::TypeIndex;
 pub use value_index::ValueIndex;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for unit tests.
+
+    /// Unwraps test fixtures that are valid by construction, printing the
+    /// `Debug` payload when the assumption is violated.
+    pub trait Must<T> {
+        /// Returns the success value or fails the test.
+        fn must(self) -> T;
+    }
+
+    impl<T, E: std::fmt::Debug> Must<T> for Result<T, E> {
+        fn must(self) -> T {
+            self.unwrap_or_else(|e| unreachable!("test fixture failed: {e:?}"))
+        }
+    }
+
+    impl<T> Must<T> for Option<T> {
+        fn must(self) -> T {
+            self.unwrap_or_else(|| unreachable!("test fixture was None"))
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Bounded retry with exponential backoff for transient page faults.
+
+use std::time::Duration;
+
+/// How many times to attempt a page read and how long to wait between
+/// attempts. Backoff doubles per retry, capped at `max_backoff`; the
+/// defaults are microsecond-scale because the "device" is simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts per page read (≥ 1; the first attempt counts).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling for the doubled backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff to wait after failed attempt number `attempt` (1-based):
+    /// `base * 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(
+            1u32.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u32::MAX),
+        );
+        doubled.min(self.max_backoff)
+    }
+
+    /// Sleeps for [`RetryPolicy::backoff_after`] the given attempt.
+    pub fn wait_after(&self, attempt: u32) {
+        let d = self.backoff_after(attempt);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(350),
+        };
+        assert_eq!(p.backoff_after(1), Duration::from_micros(100));
+        assert_eq!(p.backoff_after(2), Duration::from_micros(200));
+        assert_eq!(p.backoff_after(3), Duration::from_micros(350), "capped");
+        assert_eq!(
+            p.backoff_after(64),
+            Duration::from_micros(350),
+            "shift saturates"
+        );
+    }
+
+    #[test]
+    fn no_retries_policy() {
+        let p = RetryPolicy::no_retries();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff_after(1), Duration::ZERO);
+    }
+}

@@ -19,6 +19,14 @@ pub struct StorageStats {
     pub pages_read: u64,
     /// Bytes read since the last counter reset.
     pub bytes_read: u64,
+    /// Retry attempts performed after failed page reads.
+    pub read_retries: u64,
+    /// Transient device faults observed (healed or not).
+    pub transient_faults: u64,
+    /// Pages delivered with a CRC32 mismatch.
+    pub checksum_failures: u64,
+    /// Buffer-pool frames quarantined after failing verification.
+    pub quarantines: u64,
 }
 
 impl StorageStats {

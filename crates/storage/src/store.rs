@@ -7,13 +7,16 @@
 //! reads stored ranges (with page accounting) instead of re-serializing.
 
 use crate::buffer::BufferPool;
+use crate::error::StorageError;
+use crate::faults::FaultConfig;
 use crate::header::HeaderTable;
 use crate::name_index::NameIndex;
 use crate::pages::{PageStore, DEFAULT_PAGE_SIZE};
+use crate::retry::RetryPolicy;
 use crate::stats::StorageStats;
 use crate::type_index::TypeIndex;
 use crate::value_index::ValueIndex;
-use vh_core::value::RawValueSource;
+use vh_core::value::{RawValueSource, ValueError};
 use vh_dataguide::TypedDocument;
 use vh_pbn::Pbn;
 use vh_xml::{serialize, NodeId, NodeKind};
@@ -38,8 +41,22 @@ impl StoredDocument {
 
     /// Builds the store with an explicit page size.
     pub fn build_with_page_size(td: TypedDocument, page_size: usize) -> Self {
+        Self::build_inner(td, page_size, None)
+    }
+
+    /// Builds the store on a deterministic fault-injecting device (see
+    /// [`FaultConfig`]): reads go through checksum verification and retry,
+    /// so injected faults either heal or surface as [`StorageError`]s.
+    pub fn build_with_faults(td: TypedDocument, page_size: usize, faults: FaultConfig) -> Self {
+        Self::build_inner(td, page_size, Some(faults))
+    }
+
+    fn build_inner(td: TypedDocument, page_size: usize, faults: Option<FaultConfig>) -> Self {
         let (data, values) = serialize_with_ranges(&td);
-        let pages = PageStore::with_page_size(data, page_size);
+        let pages = match faults {
+            Some(cfg) => PageStore::with_fault_injection(data, page_size, cfg),
+            None => PageStore::with_page_size(data, page_size),
+        };
         let types = TypeIndex::build(&td);
         let names = NameIndex::build(&td);
         let headers = HeaderTable::build(&td);
@@ -52,6 +69,12 @@ impl StoredDocument {
             headers,
             pool: None,
         }
+    }
+
+    /// Replaces the page-read retry policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.pages.set_retry_policy(retry);
+        self
     }
 
     /// Attaches an LRU buffer pool of `frames` pages; subsequent reads
@@ -109,21 +132,23 @@ impl StoredDocument {
     }
 
     /// The stored value of a node, read through the page layer (charged;
-    /// additionally classified by the buffer pool when one is attached).
-    pub fn value_of(&self, id: NodeId) -> &str {
+    /// served and verified via the buffer pool when one is attached).
+    /// Transient faults are retried; persistent corruption surfaces as
+    /// [`StorageError::Corrupt`] — never as wrong bytes.
+    pub fn value_of(&self, id: NodeId) -> Result<String, StorageError> {
         let r = self.values.get(id);
-        if let Some(pool) = &self.pool {
-            if r.start < r.end {
-                let ps = self.pages.page_size();
-                pool.access_range(r.start as usize / ps, (r.end as usize - 1) / ps);
-            }
-        }
-        self.pages.read_range(r.start as usize, r.end as usize)
+        self.pages
+            .read_range_with_pool(r.start as usize, r.end as usize, self.pool.as_ref())
     }
 
     /// The stored value looked up by PBN number, as §6 describes.
-    pub fn value_of_pbn(&self, pbn: &Pbn) -> Option<&str> {
-        self.td.pbn().node_of(pbn).map(|id| self.value_of(id))
+    /// `Ok(None)` means the number names no node; `Err` is a storage fault.
+    pub fn value_of_pbn(&self, pbn: &Pbn) -> Result<Option<String>, StorageError> {
+        self.td
+            .pbn()
+            .node_of(pbn)
+            .map(|id| self.value_of(id))
+            .transpose()
     }
 
     /// Current sizes and access counters.
@@ -137,6 +162,10 @@ impl StoredDocument {
             header_bytes: self.headers.total_bytes(),
             pages_read: self.pages.pages_read(),
             bytes_read: self.pages.bytes_read(),
+            read_retries: self.pages.read_retries(),
+            transient_faults: self.pages.transient_faults(),
+            checksum_failures: self.pages.checksum_failures(),
+            quarantines: self.pool.as_ref().map_or(0, |p| p.stats().quarantines),
         }
     }
 
@@ -147,8 +176,9 @@ impl StoredDocument {
 }
 
 impl RawValueSource for StoredDocument {
-    fn append_raw_value(&self, node: NodeId, out: &mut String) {
-        out.push_str(self.value_of(node));
+    fn append_raw_value(&self, node: NodeId, out: &mut String) -> Result<(), ValueError> {
+        out.push_str(&self.value_of(node).map_err(ValueError::new)?);
+        Ok(())
     }
 }
 
@@ -221,6 +251,8 @@ mod tests {
     use vh_xml::builder::paper_figure2;
     use vh_xml::SerializeOptions;
 
+    type R = Result<(), Box<dyn std::error::Error>>;
+
     fn store() -> StoredDocument {
         StoredDocument::build(TypedDocument::analyze(paper_figure2()))
     }
@@ -235,74 +267,79 @@ mod tests {
     }
 
     #[test]
-    fn value_ranges_are_the_node_serializations() {
+    fn value_ranges_are_the_node_serializations() -> R {
         let s = store();
         let doc = s.typed().doc();
         for id in doc.preorder() {
             let expected = serialize::serialize_node(doc, id, SerializeOptions::compact());
-            assert_eq!(s.value_of(id), expected, "node {:?}", doc.kind(id));
+            assert_eq!(s.value_of(id)?, expected, "node {:?}", doc.kind(id));
         }
+        Ok(())
     }
 
     #[test]
-    fn pbn_keyed_value_lookup_matches_section_6() {
+    fn pbn_keyed_value_lookup_matches_section_6() -> R {
         // §6's example: the value of the first <author> (1.1.2) is
         // "<author><name>C</name></author>".
         let s = store();
         assert_eq!(
-            s.value_of_pbn(&pbn![1, 1, 2]),
+            s.value_of_pbn(&pbn![1, 1, 2])?.as_deref(),
             Some("<author><name>C</name></author>")
         );
-        assert_eq!(s.value_of_pbn(&pbn![9, 9]), None);
+        assert_eq!(s.value_of_pbn(&pbn![9, 9])?, None);
+        Ok(())
     }
 
     #[test]
-    fn reads_are_charged_and_resettable() {
+    fn reads_are_charged_and_resettable() -> R {
         let s = store();
         s.reset_counters();
-        let _ = s.value_of_pbn(&pbn![1]);
+        let _ = s.value_of_pbn(&pbn![1])?;
         let st = s.stats();
         assert!(st.pages_read >= 1);
         assert_eq!(st.bytes_read as usize, s.pages().len());
         s.reset_counters();
         assert_eq!(s.stats().pages_read, 0);
+        Ok(())
     }
 
     #[test]
-    fn raw_value_source_stitches_virtual_values_from_store() {
+    fn raw_value_source_stitches_virtual_values_from_store() -> R {
         use vh_core::value::virtual_value;
         use vh_core::VirtualDocument;
         let s = store();
-        let vd = VirtualDocument::open(s.typed(), "title { author { name } }").unwrap();
+        let vd = VirtualDocument::open(s.typed(), "title { author { name } }")?;
         let title1 = vd.roots()[0];
         s.reset_counters();
-        let (v, stats) = virtual_value(&vd, &s, title1);
+        let (v, stats) = virtual_value(&vd, &s, title1)?;
         assert_eq!(v, "<title>X<author><name>C</name></author></title>");
         assert_eq!(stats.raw_copies, 2);
         // The raw copies came from the page store.
         assert!(s.stats().pages_read >= 1);
         assert!(s.stats().bytes_read > 0);
+        Ok(())
     }
 
     #[test]
-    fn buffer_pool_classifies_repeated_reads() {
+    fn buffer_pool_classifies_repeated_reads() -> R {
         let s = StoredDocument::build_with_page_size(
             TypedDocument::analyze(paper_figure2()),
             32, // tiny pages so values span several
         )
         .with_buffer_pool(4);
-        let root = s.typed().doc().root().unwrap();
+        let root = s.typed().doc().root().ok_or("empty document")?;
         let book1 = s.typed().doc().children(root)[0];
-        let _ = s.value_of(book1);
-        let cold = s.buffer_stats().unwrap();
+        let _ = s.value_of(book1)?;
+        let cold = s.buffer_stats().ok_or("pool attached")?;
         assert!(cold.misses > 0);
         assert_eq!(cold.hits, 0);
-        let _ = s.value_of(book1);
-        let warm = s.buffer_stats().unwrap();
+        let _ = s.value_of(book1)?;
+        let warm = s.buffer_stats().ok_or("pool attached")?;
         assert!(warm.hits > 0, "second read hits the pool: {warm:?}");
         // A store without a pool reports no buffer stats.
         let plain = StoredDocument::build(TypedDocument::analyze(paper_figure2()));
         assert!(plain.buffer_stats().is_none());
+        Ok(())
     }
 
     #[test]

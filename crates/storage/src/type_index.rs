@@ -6,7 +6,7 @@
 //! type's PBN-sorted list are the access path both physical subtree queries
 //! and the vPBN scan ranges (`vh_core::range`) use.
 
-use vh_dataguide::{TypedDocument, TypeId};
+use vh_dataguide::{TypeId, TypedDocument};
 use vh_pbn::Pbn;
 use vh_xml::NodeId;
 
@@ -81,6 +81,7 @@ impl TypeIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::Must;
     use vh_pbn::pbn;
     use vh_xml::builder::paper_figure2;
 
@@ -88,7 +89,7 @@ mod tests {
     fn per_type_lists_in_document_order() {
         let td = TypedDocument::analyze(paper_figure2());
         let idx = TypeIndex::build(&td);
-        let title = td.guide().lookup_path(&["data", "book", "title"]).unwrap();
+        let title = td.guide().lookup_path(&["data", "book", "title"]).must();
         let titles = idx.nodes(title);
         assert_eq!(titles.len(), 2);
         assert_eq!(td.pbn().pbn_of(titles[0]), &pbn![1, 1, 1]);
@@ -100,7 +101,7 @@ mod tests {
     fn range_scan_isolates_a_subtree() {
         let td = TypedDocument::analyze(paper_figure2());
         let idx = TypeIndex::build(&td);
-        let title = td.guide().lookup_path(&["data", "book", "title"]).unwrap();
+        let title = td.guide().lookup_path(&["data", "book", "title"]).must();
         // Titles within book 1's subtree [1.1, 1.2).
         let r = idx.range(&td, title, &pbn![1, 1], Some(&pbn![1, 2]));
         assert_eq!(r.len(), 1);

@@ -48,6 +48,9 @@ impl ValueIndex {
     }
 
     /// Records the range of a node.
+    // Documented capacity limit: offsets are u32 by design to keep the
+    // index at 8 bytes per node; documents over 4 GiB are unsupported.
+    #[allow(clippy::expect_used)]
     pub fn set(&mut self, node: NodeId, start: usize, end: usize) {
         self.ranges[node.index()] = ValueRange {
             start: u32::try_from(start).expect("document exceeds 4 GiB"),

@@ -51,8 +51,18 @@ const LOCATIONS: [&str; 8] = [
 ];
 
 const SURNAMES: [&str; 12] = [
-    "Codd", "Gray", "Stonebraker", "Date", "Chen", "Ullman", "Widom", "Garcia",
-    "Molina", "Abiteboul", "Hull", "Vianu",
+    "Codd",
+    "Gray",
+    "Stonebraker",
+    "Date",
+    "Chen",
+    "Ullman",
+    "Widom",
+    "Garcia",
+    "Molina",
+    "Abiteboul",
+    "Hull",
+    "Vianu",
 ];
 
 /// Generates the corpus under the given URI.
@@ -79,8 +89,7 @@ pub fn generate_books(uri: &str, cfg: &BooksConfig) -> Document {
         }
         let loc = LOCATIONS[rng.gen_range(0..LOCATIONS.len())];
         book = book.child(
-            ElementBuilder::new("publisher")
-                .child(ElementBuilder::new("location").text(loc)),
+            ElementBuilder::new("publisher").child(ElementBuilder::new("location").text(loc)),
         );
         data = data.child(book);
     }
@@ -108,11 +117,7 @@ mod tests {
         assert_eq!(d.name(root), Some("data"));
         assert_eq!(d.children(root).len(), 10);
         for &book in d.children(root) {
-            let names: Vec<_> = d
-                .children(book)
-                .iter()
-                .filter_map(|&c| d.name(c))
-                .collect();
+            let names: Vec<_> = d.children(book).iter().filter_map(|&c| d.name(c)).collect();
             assert_eq!(names.first(), Some(&"title"));
             assert_eq!(names.last(), Some(&"publisher"));
             assert!(names.iter().filter(|&&n| n == "author").count() >= 1);
@@ -153,11 +158,7 @@ mod tests {
         );
         let count = |d: &Document| {
             d.preorder()
-                .filter(|&n| {
-                    d.kind(n)
-                        .text()
-                        .is_some_and(|t| t.starts_with("RARE"))
-                })
+                .filter(|&n| d.kind(n).text().is_some_and(|t| t.starts_with("RARE")))
                 .count()
         };
         let c_low = count(&low);

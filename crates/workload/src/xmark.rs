@@ -52,8 +52,8 @@ const CITIES: [&str; 8] = [
     "Rome", "Lagos", "Lima", "Kyoto", "Graz", "Pune", "Bergen", "Quebec",
 ];
 const WORDS: [&str; 12] = [
-    "vintage", "rare", "restored", "mint", "boxed", "signed", "antique",
-    "classic", "limited", "original", "pristine", "curious",
+    "vintage", "rare", "restored", "mint", "boxed", "signed", "antique", "classic", "limited",
+    "original", "pristine", "curious",
 ];
 
 impl XmarkConfig {
@@ -101,16 +101,11 @@ pub fn generate_xmark(uri: &str, cfg: &XmarkConfig) -> Document {
         let mut person = ElementBuilder::new("person")
             .attr("id", format!("person{p}"))
             .child(ElementBuilder::new("name").text(format!("Person {p}")))
-            .child(
-                ElementBuilder::new("emailaddress").text(format!("p{p}@example.org")),
-            );
+            .child(ElementBuilder::new("emailaddress").text(format!("p{p}@example.org")));
         if rng.gen_bool(0.6) {
             person = person.child(
                 ElementBuilder::new("address")
-                    .child(
-                        ElementBuilder::new("city")
-                            .text(CITIES[rng.gen_range(0..CITIES.len())]),
-                    )
+                    .child(ElementBuilder::new("city").text(CITIES[rng.gen_range(0..CITIES.len())]))
                     .child(ElementBuilder::new("country").text("XK")),
             );
         }
@@ -122,16 +117,12 @@ pub fn generate_xmark(uri: &str, cfg: &XmarkConfig) -> Document {
     for a in 0..cfg.open_auctions() {
         let mut auction = ElementBuilder::new("open_auction")
             .attr("id", format!("open{a}"))
-            .child(
-                ElementBuilder::new("initial").text(format!("{}", rng.gen_range(1..200))),
-            );
+            .child(ElementBuilder::new("initial").text(format!("{}", rng.gen_range(1..200))));
         for _ in 0..rng.gen_range(0..4) {
-            auction = auction.child(
-                ElementBuilder::new("bidder").child(
-                    ElementBuilder::new("increase")
-                        .text(format!("{}", rng.gen_range(1..50))),
-                ),
-            );
+            auction =
+                auction.child(ElementBuilder::new("bidder").child(
+                    ElementBuilder::new("increase").text(format!("{}", rng.gen_range(1..50))),
+                ));
         }
         auction = auction.child(
             ElementBuilder::new("itemref")
@@ -146,9 +137,7 @@ pub fn generate_xmark(uri: &str, cfg: &XmarkConfig) -> Document {
         closed = closed.child(
             ElementBuilder::new("closed_auction")
                 .attr("id", format!("closed{a}"))
-                .child(
-                    ElementBuilder::new("price").text(format!("{}", rng.gen_range(10..500))),
-                )
+                .child(ElementBuilder::new("price").text(format!("{}", rng.gen_range(10..500))))
                 .child(
                     ElementBuilder::new("buyer")
                         .attr("person", format!("person{}", rng.gen_range(0..n_persons))),
@@ -174,7 +163,13 @@ mod tests {
 
     #[test]
     fn structure_has_the_four_sections() {
-        let d = generate_xmark("x", &XmarkConfig { scale: 0.01, seed: 1 });
+        let d = generate_xmark(
+            "x",
+            &XmarkConfig {
+                scale: 0.01,
+                seed: 1,
+            },
+        );
         let root = d.root().unwrap();
         let names: Vec<_> = d.children(root).iter().filter_map(|&c| d.name(c)).collect();
         assert_eq!(
@@ -185,23 +180,32 @@ mod tests {
 
     #[test]
     fn counts_scale_linearly() {
-        let small = XmarkConfig { scale: 0.01, seed: 1 };
-        let big = XmarkConfig { scale: 0.04, seed: 1 };
+        let small = XmarkConfig {
+            scale: 0.01,
+            seed: 1,
+        };
+        let big = XmarkConfig {
+            scale: 0.04,
+            seed: 1,
+        };
         assert_eq!(small.items(), 25);
         assert_eq!(big.items(), 100);
         assert_eq!(small.open_auctions(), 12);
         assert_eq!(small.closed_auctions(), 9);
         let d = generate_xmark("x", &small);
-        let items = d
-            .preorder()
-            .filter(|&n| d.name(n) == Some("item"))
-            .count();
+        let items = d.preorder().filter(|&n| d.name(n) == Some("item")).count();
         assert_eq!(items, 25);
     }
 
     #[test]
     fn references_point_at_existing_ids() {
-        let d = generate_xmark("x", &XmarkConfig { scale: 0.01, seed: 3 });
+        let d = generate_xmark(
+            "x",
+            &XmarkConfig {
+                scale: 0.01,
+                seed: 3,
+            },
+        );
         let ids: std::collections::HashSet<String> = d
             .preorder()
             .filter(|&n| d.name(n) == Some("item"))
@@ -217,9 +221,27 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate_xmark("x", &XmarkConfig { scale: 0.02, seed: 5 });
-        let b = generate_xmark("x", &XmarkConfig { scale: 0.02, seed: 5 });
-        let c = generate_xmark("x", &XmarkConfig { scale: 0.02, seed: 6 });
+        let a = generate_xmark(
+            "x",
+            &XmarkConfig {
+                scale: 0.02,
+                seed: 5,
+            },
+        );
+        let b = generate_xmark(
+            "x",
+            &XmarkConfig {
+                scale: 0.02,
+                seed: 5,
+            },
+        );
+        let c = generate_xmark(
+            "x",
+            &XmarkConfig {
+                scale: 0.02,
+                seed: 6,
+            },
+        );
         let ser = |d: &Document| vh_xml::serialize(d, vh_xml::SerializeOptions::compact());
         assert_eq!(ser(&a), ser(&b));
         assert_ne!(ser(&a), ser(&c));

@@ -116,11 +116,13 @@ impl Document {
         match self.parent(id) {
             None => 1,
             Some(p) => {
-                self.children(p)
-                    .iter()
-                    .position(|&c| c == id)
-                    .expect("child not found under its parent")
-                    + 1
+                // Invariant: `parent` and `children` are kept symmetric by
+                // `attach`/`detach`, so a node always appears in its
+                // parent's child list.
+                match self.children(p).iter().position(|&c| c == id) {
+                    Some(pos) => pos + 1,
+                    None => unreachable!("child not found under its parent"),
+                }
             }
         }
     }
@@ -235,6 +237,8 @@ impl Document {
                     });
                 }
             }
+            // Documented panic: `set_attribute` is only meaningful on
+            // elements; calling it on text/comment nodes is a caller bug.
             other => panic!("set_attribute on non-element node: {other:?}"),
         }
     }
@@ -269,14 +273,19 @@ impl Document {
     /// # Panics
     /// Panics if `id` is the root or already detached.
     pub fn detach(&mut self, id: NodeId) {
+        // Documented panic (see the doc comment above): detaching the root
+        // or a detached node is a caller bug, not a recoverable state.
+        #[allow(clippy::expect_used)]
         let parent = self.nodes[id.index()]
             .parent
             .expect("cannot detach the root or an already-detached node");
         let children = &mut self.nodes[parent.index()].children;
-        let pos = children
-            .iter()
-            .position(|&c| c == id)
-            .expect("child listed under its parent");
+        // Invariant: the parent/child links are symmetric (see
+        // `sibling_ordinal`), so the child is always listed.
+        let pos = match children.iter().position(|&c| c == id) {
+            Some(p) => p,
+            None => unreachable!("child listed under its parent"),
+        };
         children.remove(pos);
         self.nodes[id.index()].parent = None;
     }
@@ -448,7 +457,10 @@ mod tests {
         assert_eq!(anc, vec![title, book, data]);
         assert!(d.is_ancestor(data, text));
         assert!(!d.is_ancestor(text, data));
-        assert!(!d.is_ancestor(title, title), "self is not a proper ancestor");
+        assert!(
+            !d.is_ancestor(title, title),
+            "self is not a proper ancestor"
+        );
     }
 
     #[test]

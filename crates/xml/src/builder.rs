@@ -12,7 +12,9 @@
 //!             .child(ElementBuilder::new("title").text("X")),
 //!     )
 //!     .into_document("book.xml");
-//! assert_eq!(doc.string_value(doc.root().unwrap()), "X");
+//! let root = doc.root().ok_or("empty document")?;
+//! assert_eq!(doc.string_value(root), "X");
+//! # Ok::<(), &'static str>(())
 //! ```
 
 use crate::arena::Document;
@@ -118,9 +120,7 @@ pub fn paper_figure2() -> Document {
         .child(
             ElementBuilder::new("book")
                 .child(ElementBuilder::new("title").text("X"))
-                .child(
-                    ElementBuilder::new("author").child(ElementBuilder::new("name").text("C")),
-                )
+                .child(ElementBuilder::new("author").child(ElementBuilder::new("name").text("C")))
                 .child(
                     ElementBuilder::new("publisher")
                         .child(ElementBuilder::new("location").text("W")),
@@ -129,9 +129,7 @@ pub fn paper_figure2() -> Document {
         .child(
             ElementBuilder::new("book")
                 .child(ElementBuilder::new("title").text("Y"))
-                .child(
-                    ElementBuilder::new("author").child(ElementBuilder::new("name").text("D")),
-                )
+                .child(ElementBuilder::new("author").child(ElementBuilder::new("name").text("D")))
                 .child(
                     ElementBuilder::new("publisher")
                         .child(ElementBuilder::new("location").text("M")),
@@ -144,6 +142,7 @@ pub fn paper_figure2() -> Document {
 mod tests {
     use super::*;
     use crate::serialize::{serialize, SerializeOptions};
+    use crate::testutil::Must;
 
     #[test]
     fn builder_matches_hand_built_tree() {
@@ -161,7 +160,7 @@ mod tests {
     #[test]
     fn figure2_shape() {
         let d = paper_figure2();
-        let root = d.root().unwrap();
+        let root = d.root().must();
         assert_eq!(d.name(root), Some("data"));
         assert_eq!(d.children(root).len(), 2);
         for &book in d.children(root) {
@@ -178,6 +177,6 @@ mod tests {
         let doc = ElementBuilder::new("r")
             .children((0..3).map(|i| ElementBuilder::new(format!("c{i}"))))
             .into_document("u");
-        assert_eq!(doc.children(doc.root().unwrap()).len(), 3);
+        assert_eq!(doc.children(doc.root().must()).len(), 3);
     }
 }

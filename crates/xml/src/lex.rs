@@ -82,9 +82,8 @@ impl<'a> Cursor<'a> {
     pub(crate) fn take_name(&mut self) -> Option<&'a str> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if ok {
                 self.pos += 1;
             } else {

@@ -29,6 +29,9 @@ impl NodeId {
     /// panic on access.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // Documented capacity limit: node ids are u32 by design (the paper's
+        // level arrays assume 32-bit ordinals); >4 Gi nodes is unsupported.
+        #[allow(clippy::expect_used)]
         NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
     }
 }

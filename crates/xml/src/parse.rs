@@ -49,6 +49,16 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    /// Invariant: the open-element stack only ever holds ids pushed by
+    /// `parse_start_tag`, which creates elements — so they always have a
+    /// name.
+    fn open_name(&self, id: NodeId) -> &str {
+        match self.doc.name(id) {
+            Some(n) => n,
+            None => unreachable!("open node is an element"),
+        }
+    }
+
     fn err(&self, message: impl Into<String>) -> ParseError {
         let (line, column) = self.cur.line_col(self.cur.pos());
         ParseError {
@@ -138,11 +148,11 @@ impl<'a> Parser<'a> {
                     .cur
                     .take_name()
                     .ok_or_else(|| self.err("expected name in end tag"))?;
-                let open = self.doc.name(top).expect("open node is an element");
+                let open = self.open_name(top);
                 if end != open {
-                    return Err(
-                        self.err(format!("mismatched end tag: expected </{open}>, found </{end}>"))
-                    );
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected </{open}>, found </{end}>"
+                    )));
                 }
                 self.cur.skip_ws();
                 if !self.cur.eat(">") {
@@ -173,7 +183,7 @@ impl<'a> Parser<'a> {
                     Some(b'&') => text.push(self.parse_entity()?),
                     Some(b) => self.push_byte(&mut text, b),
                     None => {
-                        let open = self.doc.name(top).expect("open node is an element");
+                        let open = self.open_name(top);
                         return Err(self.err(format!("unterminated element <{open}>")));
                     }
                 }
@@ -265,7 +275,12 @@ impl<'a> Parser<'a> {
                     bytes.push(nb);
                 }
             }
-            buf.push_str(std::str::from_utf8(&bytes).expect("input was valid UTF-8"));
+            // Invariant: `bytes` was sliced from a `&str`, so every
+            // multi-byte sequence we reassemble here is valid UTF-8.
+            match std::str::from_utf8(&bytes) {
+                Ok(s) => buf.push_str(s),
+                Err(_) => unreachable!("input was valid UTF-8"),
+            }
         }
     }
 
@@ -325,6 +340,7 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
     use crate::model::NodeKind;
+    use crate::testutil::Must;
 
     #[test]
     fn parses_paper_running_example() {
@@ -332,8 +348,8 @@ mod tests {
                    <publisher><location>W</location></publisher></book>\
                    <book><title>Y</title><author><name>D</name></author>\
                    <publisher><location>M</location></publisher></book></data>";
-        let d = parse("book.xml", src).unwrap();
-        let root = d.root().unwrap();
+        let d = parse("book.xml", src).must();
+        let root = d.root().must();
         assert_eq!(d.name(root), Some("data"));
         assert_eq!(d.children(root).len(), 2);
         let book1 = d.children(root)[0];
@@ -344,44 +360,44 @@ mod tests {
 
     #[test]
     fn whitespace_between_elements_is_dropped() {
-        let d = parse("u", "<a>\n  <b>x</b>\n  <c/>\n</a>").unwrap();
-        let root = d.root().unwrap();
+        let d = parse("u", "<a>\n  <b>x</b>\n  <c/>\n</a>").must();
+        let root = d.root().must();
         assert_eq!(d.children(root).len(), 2);
     }
 
     #[test]
     fn mixed_content_keeps_significant_text() {
-        let d = parse("u", "<p>one <b>two</b> three</p>").unwrap();
-        let root = d.root().unwrap();
+        let d = parse("u", "<p>one <b>two</b> three</p>").must();
+        let root = d.root().must();
         assert_eq!(d.children(root).len(), 3);
         assert_eq!(d.string_value(root), "one two three");
     }
 
     #[test]
     fn attributes_parse_with_both_quote_kinds() {
-        let d = parse("u", r#"<a x="1" y='two &amp; three'/>"#).unwrap();
-        let root = d.root().unwrap();
+        let d = parse("u", r#"<a x="1" y='two &amp; three'/>"#).must();
+        let root = d.root().must();
         assert_eq!(d.attribute(root, "x"), Some("1"));
         assert_eq!(d.attribute(root, "y"), Some("two & three"));
     }
 
     #[test]
     fn entities_and_char_refs_resolve_in_text() {
-        let d = parse("u", "<a>&lt;tag&gt; &amp; &#65;&#x42;</a>").unwrap();
-        let root = d.root().unwrap();
+        let d = parse("u", "<a>&lt;tag&gt; &amp; &#65;&#x42;</a>").must();
+        let root = d.root().must();
         assert_eq!(d.string_value(root), "<tag> & AB");
     }
 
     #[test]
     fn cdata_is_literal() {
-        let d = parse("u", "<a><![CDATA[<not-a-tag> & friends]]></a>").unwrap();
-        assert_eq!(d.string_value(d.root().unwrap()), "<not-a-tag> & friends");
+        let d = parse("u", "<a><![CDATA[<not-a-tag> & friends]]></a>").must();
+        assert_eq!(d.string_value(d.root().must()), "<not-a-tag> & friends");
     }
 
     #[test]
     fn comments_and_pis_are_materialized_in_content() {
-        let d = parse("u", "<a><!-- note --><?php echo ?><b/></a>").unwrap();
-        let root = d.root().unwrap();
+        let d = parse("u", "<a><!-- note --><?php echo ?><b/></a>").must();
+        let root = d.root().must();
         let kids = d.children(root);
         assert_eq!(kids.len(), 3);
         assert!(matches!(d.kind(kids[0]), NodeKind::Comment(c) if c == " note "));
@@ -394,14 +410,14 @@ mod tests {
     #[test]
     fn prolog_declaration_and_doctype_are_skipped() {
         let src = "<?xml version=\"1.0\"?>\n<!DOCTYPE data [ <!ELEMENT data ANY> ]>\n<data/>";
-        let d = parse("u", src).unwrap();
-        assert_eq!(d.name(d.root().unwrap()), Some("data"));
+        let d = parse("u", src).must();
+        assert_eq!(d.name(d.root().must()), Some("data"));
     }
 
     #[test]
     fn utf8_content_round_trips() {
-        let d = parse("u", "<a>héllo wörld — ≤≥</a>").unwrap();
-        assert_eq!(d.string_value(d.root().unwrap()), "héllo wörld — ≤≥");
+        let d = parse("u", "<a>héllo wörld — ≤≥</a>").must();
+        assert_eq!(d.string_value(d.root().must()), "héllo wörld — ≤≥");
     }
 
     #[test]
@@ -448,7 +464,7 @@ mod tests {
         for _ in 0..depth {
             src.push_str("</d>");
         }
-        let d = parse("u", &src).unwrap();
+        let d = parse("u", &src).must();
         assert_eq!(d.len(), depth + 1);
     }
 }

@@ -60,8 +60,10 @@ pub fn write_compact_into(doc: &Document, id: NodeId, out: &mut String) {
 /// Returns true if the element has no children (so a self-contained
 /// `<name …/>` was written instead).
 pub fn write_start_tag(doc: &Document, id: NodeId, out: &mut String) -> bool {
+    // Invariant: both callers (write_node and the storage writer) only pass
+    // element ids; tags are undefined for text and comment nodes.
     let NodeKind::Element { name, attributes } = doc.kind(id) else {
-        panic!("write_start_tag on non-element");
+        unreachable!("write_start_tag on non-element");
     };
     out.push('<');
     out.push_str(name);
@@ -83,7 +85,11 @@ pub fn write_start_tag(doc: &Document, id: NodeId, out: &mut String) -> bool {
 
 /// Appends the end tag of an element to `out`.
 pub fn write_end_tag(doc: &Document, id: NodeId, out: &mut String) {
-    let name = doc.name(id).expect("write_end_tag on non-element");
+    // Invariant: mirrors `write_start_tag` — callers only pass element ids.
+    let name = match doc.name(id) {
+        Some(n) => n,
+        None => unreachable!("write_end_tag on non-element"),
+    };
     out.push_str("</");
     out.push_str(name);
     out.push('>');
@@ -147,18 +153,19 @@ fn indent(opts: SerializeOptions, level: usize, out: &mut String) {
 mod tests {
     use super::*;
     use crate::parse::parse;
+    use crate::testutil::Must;
 
     #[test]
     fn compact_round_trip() {
         let src = "<data><book id=\"1\"><title>X &amp; Y</title><author/></book></data>";
-        let d = parse("u", src).unwrap();
+        let d = parse("u", src).must();
         assert_eq!(serialize(&d, SerializeOptions::compact()), src);
     }
 
     #[test]
     fn subtree_value_is_the_node_serialization() {
-        let d = parse("u", "<data><book><title>X</title></book></data>").unwrap();
-        let book = d.children(d.root().unwrap())[0];
+        let d = parse("u", "<data><book><title>X</title></book></data>").must();
+        let book = d.children(d.root().must())[0];
         assert_eq!(
             serialize_node(&d, book, SerializeOptions::compact()),
             "<book><title>X</title></book>"
@@ -167,7 +174,7 @@ mod tests {
 
     #[test]
     fn pretty_indents_structure_but_not_text() {
-        let d = parse("u", "<a><b>x</b><c><d/></c></a>").unwrap();
+        let d = parse("u", "<a><b>x</b><c><d/></c></a>").must();
         let s = serialize(&d, SerializeOptions::pretty(2));
         assert_eq!(s, "<a>\n  <b>x</b>\n  <c>\n    <d/>\n  </c>\n</a>");
     }
@@ -186,16 +193,16 @@ mod tests {
     #[test]
     fn comments_and_pis_serialize() {
         let src = "<a><!-- hi --><?go now?><b/></a>";
-        let d = parse("u", src).unwrap();
+        let d = parse("u", src).must();
         assert_eq!(serialize(&d, SerializeOptions::compact()), src);
     }
 
     #[test]
     fn parse_serialize_parse_is_stable() {
         let src = "<r><a x=\"1&quot;2\">t&lt;u</a><b><c/>tail</b></r>";
-        let d1 = parse("u", src).unwrap();
+        let d1 = parse("u", src).must();
         let s1 = serialize(&d1, SerializeOptions::compact());
-        let d2 = parse("u", &s1).unwrap();
+        let d2 = parse("u", &s1).must();
         let s2 = serialize(&d2, SerializeOptions::compact());
         assert_eq!(s1, s2);
     }

@@ -23,10 +23,7 @@ fn main() {
         scale: 0.02,
         seed: 7,
     };
-    let stored = StoredDocument::build(TypedDocument::analyze(generate_xmark(
-        "xmark.xml",
-        &cfg,
-    )));
+    let stored = StoredDocument::build(TypedDocument::analyze(generate_xmark("xmark.xml", &cfg)));
     let td = stored.typed();
     let stats = stored.stats();
     println!(
@@ -59,8 +56,7 @@ fn main() {
 
     // Count persons per distinct city value.
     let cities = eval_xpath(&qdoc, &parse_xpath("//city").unwrap()).unwrap();
-    let mut by_city: std::collections::BTreeMap<String, usize> =
-        std::collections::BTreeMap::new();
+    let mut by_city: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     for &c in &cities {
         let city_name = td.doc().string_value(c);
         let persons = vd
@@ -82,11 +78,8 @@ fn main() {
         .guide()
         .lookup_path(&["city", "person", "name"])
         .unwrap();
-    let pairs = virtual_structural_join(
-        &vd,
-        vd.nodes_of_vtype(city_vt),
-        vd.nodes_of_vtype(name_vt),
-    );
+    let pairs =
+        virtual_structural_join(&vd, vd.nodes_of_vtype(city_vt), vd.nodes_of_vtype(name_vt));
     println!(
         "\n  virtual structural join city ⋈ name: {} pairs (one per housed person)",
         pairs.len()
@@ -95,7 +88,8 @@ fn main() {
     // ----- virtual values from the store, with I/O accounting ---------------
     stored.reset_counters();
     let first_city = vd.roots()[0];
-    let (value, vstats) = virtual_value(&vd, &stored, first_city);
+    let (value, vstats) =
+        virtual_value(&vd, &stored, first_city).expect("fault-free store stitches");
     let io = stored.stats();
     println!("\n  value of the first virtual city ({} B):", value.len());
     let preview: String = value.chars().take(100).collect();

@@ -64,7 +64,7 @@ fn main() {
 
     // ----- virtual values (§6) --------------------------------------------
     let title1 = vd.roots()[0];
-    let (value, stats) = virtual_value(&vd, &td, title1);
+    let (value, stats) = virtual_value(&vd, &td, title1).expect("in-memory stitch cannot fault");
     println!("\nvirtual value of the first title:");
     println!("  {value}");
     println!(

@@ -66,5 +66,9 @@ fn main() {
         stars.windows(2).all(|w| w[0] >= w[1]),
         "report is ordered: {stars:?}"
     );
-    println!("\n{} entries, ordered by rating (max {})", stars.len(), stars[0]);
+    println!(
+        "\n{} entries, ordered by rating (max {})",
+        stars.len(),
+        stars[0]
+    );
 }

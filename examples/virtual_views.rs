@@ -68,13 +68,14 @@ fn main() {
         let mut checked = 0;
         for (&m, &v) in mat_children.iter().zip(&vroots) {
             let physical = serialize::serialize_node(&mat.doc, m, SerializeOptions::compact());
-            let (virtual_, _) = virtual_value(&vd, &td, v);
+            let (virtual_, _) = virtual_value(&vd, &td, v).expect("in-memory stitch cannot fault");
             assert_eq!(physical, virtual_, "scenario {}", s.name);
             checked += 1;
         }
         println!("    ✓ {checked} virtual root values match the materialized instance");
         if let Some(&first) = vroots.first() {
-            let (value, stats) = virtual_value(&vd, &td, first);
+            let (value, stats) =
+                virtual_value(&vd, &td, first).expect("in-memory stitch cannot fault");
             let preview: String = value.chars().take(72).collect();
             println!(
                 "    first root value ({} B, {} raw copies): {preview}…",

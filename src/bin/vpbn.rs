@@ -16,6 +16,10 @@
 //! vpbn load books.xml data/books.xml \
 //!      vpath "title { author { name } }" "//title/author/name"
 //! ```
+//!
+//! Failures print the full error cause chain to stderr and exit with a
+//! class-specific code: usage=2, I/O=3, XML=4, vDataGuide=5, query=6,
+//! storage=7, resource limits=8 (see `vpbn_suite::error`).
 
 use std::process::ExitCode;
 use vpbn_suite::core::VirtualDocument;
@@ -23,16 +27,27 @@ use vpbn_suite::dataguide::TypedDocument;
 use vpbn_suite::query::Engine;
 use vpbn_suite::storage::StoredDocument;
 use vpbn_suite::xml::{serialize, SerializeOptions};
+use vpbn_suite::VhError;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    // args() panics on non-UTF-8 argv; go through args_os so garbage
+    // arguments surface as a usage error instead.
+    let args: Result<Vec<String>, VhError> = std::env::args_os()
+        .skip(1)
+        .map(|a| {
+            a.into_string()
+                .map_err(|bad| VhError::usage(format!("argument is not valid UTF-8: {bad:?}")))
+        })
+        .collect();
+    match args.and_then(|args| run(&args)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("vpbn: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            eprintln!("vpbn: {}", e.render_chain());
+            if matches!(e, VhError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -47,9 +62,13 @@ actions:
   vpath   <vdataguide> <path>  evaluate an XPath over a virtual view
   value   <vdataguide> <path>  print the virtual VALUE of each result
   explain <vdataguide>         show the compiled view (types, level arrays)
-  stats                        storage statistics of the last-loaded doc";
+  stats                        storage statistics of the last-loaded doc
 
-fn run(args: &[String]) -> Result<(), String> {
+exit codes:
+  2 usage   3 I/O   4 XML parse   5 vDataGuide   6 query
+  7 storage   8 resource limit exceeded";
+
+fn run(args: &[String]) -> Result<(), VhError> {
     let mut engine = Engine::new();
     let mut last_uri: Option<String> = None;
     let mut i = 0;
@@ -61,13 +80,14 @@ fn run(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "load" => {
-                let uri = args.get(i + 1).ok_or("load: missing <uri>")?;
-                let file = args.get(i + 2).ok_or("load: missing <file.xml>")?;
-                let xml = std::fs::read_to_string(file)
-                    .map_err(|e| format!("cannot read '{file}': {e}"))?;
-                engine
-                    .register_xml(uri, &xml)
-                    .map_err(|e| format!("parse error in '{file}': {e}"))?;
+                let uri = args
+                    .get(i + 1)
+                    .ok_or_else(|| VhError::usage("load: missing <uri>"))?;
+                let file = args
+                    .get(i + 2)
+                    .ok_or_else(|| VhError::usage("load: missing <file.xml>"))?;
+                let xml = std::fs::read_to_string(file).map_err(|e| VhError::io(file, e))?;
+                engine.register_xml(uri, &xml)?;
                 let td = engine.document(uri).expect("just registered");
                 eprintln!(
                     "loaded {uri}: {} nodes, {} types",
@@ -78,36 +98,46 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 3;
             }
             "query" => {
-                let q = args.get(i + 1).ok_or("query: missing FLWR text")?;
+                let q = args
+                    .get(i + 1)
+                    .ok_or_else(|| VhError::usage("query: missing FLWR text"))?;
                 expect_end(args, i + 2)?;
-                let out = engine.eval(q).map_err(|e| e.to_string())?;
+                let out = engine.eval(q)?;
                 println!("{}", serialize(&out, SerializeOptions::pretty(2)));
                 return Ok(());
             }
             "xpath" => {
-                let uri = last_uri.as_deref().ok_or("xpath: load a document first")?;
-                let p = args.get(i + 1).ok_or("xpath: missing <path>")?;
+                let uri = last_uri
+                    .as_deref()
+                    .ok_or_else(|| VhError::usage("xpath: load a document first"))?;
+                let p = args
+                    .get(i + 1)
+                    .ok_or_else(|| VhError::usage("xpath: missing <path>"))?;
                 expect_end(args, i + 2)?;
-                let nodes = engine.eval_path(uri, p).map_err(|e| e.to_string())?;
+                let nodes = engine.eval_path(uri, p)?;
                 print_nodes(engine.document(uri).expect("loaded"), &nodes);
                 return Ok(());
             }
             "vpath" | "value" => {
                 let action = args[i].clone();
-                let uri = last_uri.as_deref().ok_or("vpath: load a document first")?;
-                let spec = args.get(i + 1).ok_or("vpath: missing <vdataguide>")?;
-                let p = args.get(i + 2).ok_or("vpath: missing <path>")?;
+                let uri = last_uri
+                    .as_deref()
+                    .ok_or_else(|| VhError::usage("vpath: load a document first"))?;
+                let spec = args
+                    .get(i + 1)
+                    .ok_or_else(|| VhError::usage("vpath: missing <vdataguide>"))?;
+                let p = args
+                    .get(i + 2)
+                    .ok_or_else(|| VhError::usage("vpath: missing <path>"))?;
                 expect_end(args, i + 3)?;
-                let nodes = engine
-                    .eval_virtual_path(uri, spec, p)
-                    .map_err(|e| e.to_string())?;
+                let nodes = engine.eval_virtual_path(uri, spec, p)?;
                 let td = engine.document(uri).expect("loaded");
                 if action == "vpath" {
                     print_nodes(td, &nodes);
                 } else {
-                    let vd = engine.virtual_doc(uri, spec).map_err(|e| e.to_string())?;
+                    let vd = engine.virtual_doc(uri, spec)?;
                     for &n in &nodes {
-                        let (v, _) = vpbn_suite::core::value::virtual_value(&vd, td, n);
+                        let (v, _) = vpbn_suite::core::value::virtual_value(&vd, td, n)?;
                         println!("{v}");
                     }
                     eprintln!("{} value(s)", nodes.len());
@@ -115,11 +145,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             "explain" => {
-                let uri = last_uri.as_deref().ok_or("explain: load a document first")?;
-                let spec = args.get(i + 1).ok_or("explain: missing <vdataguide>")?;
+                let uri = last_uri
+                    .as_deref()
+                    .ok_or_else(|| VhError::usage("explain: load a document first"))?;
+                let spec = args
+                    .get(i + 1)
+                    .ok_or_else(|| VhError::usage("explain: missing <vdataguide>"))?;
                 expect_end(args, i + 2)?;
                 let td = engine.document(uri).expect("loaded");
-                let vd = VirtualDocument::open(td, spec).map_err(|e| e.to_string())?;
+                let vd = VirtualDocument::open(td, spec)?;
                 println!("view over {uri}: {spec}");
                 println!(
                     "{} virtual types; {} of {} nodes visible",
@@ -127,7 +161,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     vd.visible_nodes(),
                     td.doc().len()
                 );
-                println!("{:<32} {:<28} {:>9}  notes", "virtual path", "level array", "instances");
+                println!(
+                    "{:<32} {:<28} {:>9}  notes",
+                    "virtual path", "level array", "instances"
+                );
                 for vt in vd.vdg().guide().type_ids() {
                     println!(
                         "{:<32} {:<28} {:>9}  {}",
@@ -144,13 +181,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             "stats" => {
-                let uri = last_uri.as_deref().ok_or("stats: load a document first")?;
+                let uri = last_uri
+                    .as_deref()
+                    .ok_or_else(|| VhError::usage("stats: load a document first"))?;
                 expect_end(args, i + 1)?;
                 let td = engine.document(uri).expect("loaded");
                 let stored = StoredDocument::build(td.clone());
                 let s = stored.stats();
                 println!("storage statistics for {uri}:");
-                println!("  document string : {:>10} B over {} pages", s.document_bytes, s.document_pages);
+                println!(
+                    "  document string : {:>10} B over {} pages",
+                    s.document_bytes, s.document_pages
+                );
                 println!("  value index     : {:>10} B", s.value_index_bytes);
                 println!("  type index      : {:>10} B", s.type_index_bytes);
                 println!("  name index      : {:>10} B", s.name_index_bytes);
@@ -158,15 +200,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("  total           : {:>10} B", s.total_bytes());
                 return Ok(());
             }
-            other => return Err(format!("unknown command '{other}'")),
+            other => return Err(VhError::usage(format!("unknown command '{other}'"))),
         }
     }
-    Err("no action given".into())
+    Err(VhError::usage("no action given"))
 }
 
-fn expect_end(args: &[String], from: usize) -> Result<(), String> {
+fn expect_end(args: &[String], from: usize) -> Result<(), VhError> {
     if from < args.len() {
-        Err(format!("unexpected trailing arguments: {:?}", &args[from..]))
+        Err(VhError::usage(format!(
+            "unexpected trailing arguments: {:?}",
+            &args[from..]
+        )))
     } else {
         Ok(())
     }
@@ -184,7 +229,7 @@ fn print_nodes(td: &TypedDocument, nodes: &[vpbn_suite::xml::NodeId]) {
 }
 
 /// The paper's running example, self-contained.
-fn demo() -> Result<(), String> {
+fn demo() -> Result<(), VhError> {
     let mut engine = Engine::new();
     engine.register(vpbn_suite::xml::builder::paper_figure2());
     println!("Figure 2 instance registered as book.xml\n");
@@ -193,7 +238,7 @@ fn demo() -> Result<(), String> {
                return <result><title>{$t/text()}</title>
                               <count>{count($t/author)}</count></result>"#;
     println!("{q}\n");
-    let out = engine.eval(q).map_err(|e| e.to_string())?;
+    let out = engine.eval(q)?;
     println!("{}", serialize(&out, SerializeOptions::pretty(2)));
     Ok(())
 }

@@ -19,7 +19,15 @@
 //! * [`workload`] — synthetic corpora and transformation scenarios
 //!   ([`vh_workload`]).
 //!
+//! Failures from every layer converge into [`VhError`], which carries a
+//! stable error code, a process exit code, and the full cause chain (see
+//! the [`error`] module and `DESIGN.md` § "Fault model & error taxonomy").
+//!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub mod error;
+
+pub use error::VhError;
 
 pub use vh_core as core;
 pub use vh_dataguide as dataguide;

@@ -79,13 +79,27 @@ fn xpath_lists_nodes_with_their_numbers() {
 fn vpath_and_value_answer_through_the_view() {
     let f = books_file();
     let spec = "title { author { name } }";
-    let out = vpbn(&["load", "b.xml", f.as_str(), "vpath", spec, "//title/author/name"]);
+    let out = vpbn(&[
+        "load",
+        "b.xml",
+        f.as_str(),
+        "vpath",
+        spec,
+        "//title/author/name",
+    ]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("<name>Ann</name>"));
     assert!(stdout.contains("<name>Cy</name>"));
 
-    let out = vpbn(&["load", "b.xml", f.as_str(), "value", spec, "//title[text() = 'Beta']"]);
+    let out = vpbn(&[
+        "load",
+        "b.xml",
+        f.as_str(),
+        "value",
+        spec,
+        "//title[text() = 'Beta']",
+    ]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(
@@ -99,7 +113,13 @@ fn vpath_and_value_answer_through_the_view() {
 #[test]
 fn explain_shows_level_arrays() {
     let f = books_file();
-    let out = vpbn(&["load", "b.xml", f.as_str(), "explain", "title { author { name } }"]);
+    let out = vpbn(&[
+        "load",
+        "b.xml",
+        f.as_str(),
+        "explain",
+        "title { author { name } }",
+    ]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("[1,1,1]"), "{stdout}");
@@ -138,15 +158,18 @@ fn stats_reports_storage_sizes() {
 fn errors_exit_nonzero_with_usage() {
     let out = vpbn(&["frobnicate"]);
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("unknown command"));
     assert!(stderr.contains("usage:"));
 
     let out = vpbn(&["xpath", "//x"]);
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
 
     let out = vpbn(&["load", "u", "/nonexistent-file.xml", "xpath", "//x"]);
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("cannot read"));
 }
@@ -156,6 +179,33 @@ fn bad_specs_report_compile_errors() {
     let f = books_file();
     let out = vpbn(&["load", "b.xml", f.as_str(), "explain", "ghost { title }"]);
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(5), "vDataGuide errors exit 5");
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("matches no type"), "{stderr}");
+}
+
+#[test]
+fn failure_classes_map_to_distinct_exit_codes() {
+    // XML that is not well-formed → exit 4.
+    let bad = tempfile_path::write("<data><book></data>");
+    let out = vpbn(&["load", "b.xml", bad.as_str(), "xpath", "//x"]);
+    assert_eq!(out.status.code(), Some(4), "XML parse errors exit 4");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error[XML_PARSE]"), "{stderr}");
+
+    // A query that cannot be parsed → exit 6.
+    let f = books_file();
+    let out = vpbn(&["load", "b.xml", f.as_str(), "query", "for $ in in in"]);
+    assert_eq!(out.status.code(), Some(6), "query errors exit 6");
+
+    // A syntactically invalid XPath → exit 6 as well.
+    let out = vpbn(&["load", "b.xml", f.as_str(), "xpath", "//["]);
+    assert_eq!(out.status.code(), Some(6), "XPath errors exit 6");
+
+    // Pathological nesting trips the recursion-depth guard → exit 8.
+    let deep = format!("//book[{}1{}]", "(".repeat(200), ")".repeat(200));
+    let out = vpbn(&["load", "b.xml", f.as_str(), "xpath", &deep]);
+    assert_eq!(out.status.code(), Some(8), "resource exhaustion exits 8");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error[QUERY_RESOURCE]"), "{stderr}");
 }

@@ -66,7 +66,8 @@ fn virtual_preorder_matches_materialized_preorder() {
                 .collect();
             let virt = vd.preorder();
             assert_eq!(
-                virt, mat_sources,
+                virt,
+                mat_sources,
                 "corpus {} scenario {}",
                 td.doc().uri(),
                 s.name
@@ -109,11 +110,7 @@ fn virtual_navigation_matches_materialized_structure() {
                     .parent(m)
                     .filter(|&p| p != mroot)
                     .map(|p| mat.source_of[p.index()].unwrap());
-                let copies = mat
-                    .source_of
-                    .iter()
-                    .filter(|&&x| x == Some(src))
-                    .count();
+                let copies = mat.source_of.iter().filter(|&&x| x == Some(src)).count();
                 if copies == 1 {
                     assert_eq!(
                         vd.parent(src),
@@ -257,7 +254,7 @@ fn virtual_values_match_materialized_serialization() {
                     continue;
                 }
                 let physical = serialize::serialize_node(&mat.doc, m, SerializeOptions::compact());
-                let (virt, _) = virtual_value(&vd, &td, src);
+                let (virt, _) = virtual_value(&vd, &td, src).expect("in-memory stitch");
                 assert_eq!(physical, virt, "value of {src:?} in scenario {}", s.name);
             }
         }

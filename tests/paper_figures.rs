@@ -104,15 +104,15 @@ fn figure10_complete_vpbn_table() {
     let td = setup();
     let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
     let expected: &[(&str, &[u32])] = &[
-        ("1.1.1", &[1, 1, 1]),       // title
-        ("1.1.1.1", &[1, 1, 1, 2]),  // X
-        ("1.1.2", &[1, 1, 2]),       // author
-        ("1.1.2.1", &[1, 1, 2, 3]),  // name
+        ("1.1.1", &[1, 1, 1]),           // title
+        ("1.1.1.1", &[1, 1, 1, 2]),      // X
+        ("1.1.2", &[1, 1, 2]),           // author
+        ("1.1.2.1", &[1, 1, 2, 3]),      // name
         ("1.1.2.1.1", &[1, 1, 2, 3, 4]), // C
-        ("1.2.1", &[1, 1, 1]),       // title
-        ("1.2.1.1", &[1, 1, 1, 2]),  // Y
-        ("1.2.2", &[1, 1, 2]),       // author
-        ("1.2.2.1", &[1, 1, 2, 3]),  // name
+        ("1.2.1", &[1, 1, 1]),           // title
+        ("1.2.1.1", &[1, 1, 1, 2]),      // Y
+        ("1.2.2", &[1, 1, 2]),           // author
+        ("1.2.2.1", &[1, 1, 2, 3]),      // name
         ("1.2.2.1.1", &[1, 1, 2, 3, 4]), // D
     ];
     let actual: Vec<(String, Vec<u32>)> = vd
@@ -239,8 +239,5 @@ fn section_4_1_identity_spellings() {
     .unwrap();
     let short = VirtualDocument::open(&td, "data { ** }").unwrap();
     assert_eq!(long.preorder(), short.preorder());
-    assert_eq!(
-        long.preorder(),
-        td.doc().preorder().collect::<Vec<_>>()
-    );
+    assert_eq!(long.preorder(), td.doc().preorder().collect::<Vec<_>>());
 }

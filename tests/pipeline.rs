@@ -137,8 +137,8 @@ fn stored_values_equal_reference_values() {
     ] {
         let vd = VirtualDocument::open(td, spec).unwrap();
         for root in vd.roots() {
-            let (from_store, _) = virtual_value(&vd, &stored, root);
-            let (from_tree, _) = virtual_value(&vd, td, root);
+            let (from_store, _) = virtual_value(&vd, &stored, root).expect("fault-free store");
+            let (from_tree, _) = virtual_value(&vd, td, root).expect("in-memory stitch");
             assert_eq!(from_store, from_tree, "spec {spec}");
         }
     }

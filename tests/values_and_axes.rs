@@ -25,7 +25,7 @@ fn stitched_values_preserve_escaping() {
     let stored = StoredDocument::build(td.clone());
     let vd = VirtualDocument::open(stored.typed(), "title { author { name } }").unwrap();
     let title = vd.roots()[0];
-    let (v, _) = virtual_value(&vd, &stored, title);
+    let (v, _) = virtual_value(&vd, &stored, title).expect("fault-free store");
     assert!(v.contains("A &amp; B &lt;odd&gt;"), "{v}");
     // The paper's value model serializes from the stored string: apostrophe
     // and quote are stored unescaped in text content.
@@ -43,12 +43,11 @@ fn values_are_page_size_independent() {
     for page_size in [16usize, 256, 4096] {
         let stored =
             StoredDocument::build_with_page_size(TypedDocument::analyze(doc.clone()), page_size);
-        let vd =
-            VirtualDocument::open(stored.typed(), "title { author { name } }").unwrap();
+        let vd = VirtualDocument::open(stored.typed(), "title { author { name } }").unwrap();
         let all: String = vd
             .roots()
             .iter()
-            .map(|&r| virtual_value(&vd, &stored, r).0)
+            .map(|&r| virtual_value(&vd, &stored, r).expect("fault-free store").0)
             .collect();
         outputs.push(all);
     }

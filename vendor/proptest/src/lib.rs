@@ -1,0 +1,217 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`
+//! - strategies for integer ranges, tuples, [`strategy::Just`], vectors
+//!   ([`collection::vec`]) and a limited `[class]{m,n}` regex subset for
+//!   `&str` patterns
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros
+//! - [`test_runner::ProptestConfig`] (only `cases` is honoured)
+//!
+//! Generation is deterministic (seeded per test name and case index) and
+//! there is **no shrinking**: a failing case reports its case index and
+//! seed instead of a minimized input. `*.proptest-regressions` files are
+//! ignored.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Vector of values from `element`, length uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, len)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs one named property test: generates `cases` inputs and invokes
+/// `body` on each, panicking with seed/case diagnostics on the first
+/// failure. Used by the [`proptest!`] macro expansion.
+pub fn run_property_test<F>(name: &str, config: &test_runner::ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest shim: property `{name}` failed at case {case}/{}: {e}\n\
+                 (deterministic: re-running reproduces this case)",
+                config.cases
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::run_property_test(stringify!($name), &config, |__rng| {
+                $(let $arg = ($strat).generate(__rng);)+
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u32>> {
+        prop::collection::vec(1u32..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..9, y in 0u64..500) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 500);
+        }
+
+        #[test]
+        fn vec_lengths_in_bounds(v in small_vec()) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (1..10).contains(&x)));
+        }
+
+        #[test]
+        fn regex_class_strings(s in "[a-c]{1,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_map(s in prop_oneof![
+            Just("x".to_owned()),
+            "[yz]{1,1}".prop_map(|s| s),
+        ]) {
+            prop_assert!(s == "x" || s == "y" || s == "z", "got {s}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_bottom_out() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u8..4).prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("recursive", 0);
+        for _ in 0..200 {
+            let t = tree.generate(&mut rng);
+            assert!(depth(&t) <= 5, "depth {} of {t:?}", depth(&t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `fails` failed")]
+    fn failures_panic_with_diagnostics() {
+        // No inner #[test]: the enclosing function drives the property
+        // directly, so the harness doesn't try to collect a nested test.
+        proptest! {
+            fn fails(x in 0u32..10) {
+                prop_assert!(x < 5, "x was {x}");
+            }
+        }
+        fails();
+    }
+}

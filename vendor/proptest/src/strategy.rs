@@ -1,0 +1,325 @@
+//! Strategy trait and combinators (generation only, no shrinking).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no value tree: a strategy simply produces
+/// a value from the test RNG, and failures are reported unshrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategy: unrolls `depth` levels, choosing at each level
+    /// between the leaf strategy (`self`) and one application of `f`.
+    /// `desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility but ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut current = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().boxed();
+            let deeper = f(current).boxed();
+            current = Union::new(vec![leaf, deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Type-erased strategy; clones share the underlying generator.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Strategy producing a single fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Vector strategy (see [`crate::collection::vec`]).
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S> VecStrategy<S> {
+    pub fn new(element: S, len: Range<usize>) -> Self {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.start + rng.below(self.len.end - self.len.start);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// `&str` patterns act as string strategies for a limited regex subset:
+/// a single character class with a bounded repetition, `[class]{m,n}`.
+/// The class supports literals, `a-z` ranges and the escapes `\n`, `\t`,
+/// `\r`, `\\`, `\xHH`. Anything else panics: the shim's regex support is
+/// intentionally only as wide as the workspace's tests need.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|e| panic!("proptest shim: unsupported regex pattern {self:?}: {e}"));
+        let n = min + rng.below(max - min + 1);
+        (0..n).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (expanded characters, m, n).
+fn parse_class_pattern(pat: &str) -> Result<(Vec<char>, usize, usize), String> {
+    let rest = pat
+        .strip_prefix('[')
+        .ok_or_else(|| "expected `[class]{m,n}`".to_owned())?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| "unterminated character class".to_owned())?;
+    let (class, tail) = (&rest[..close], &rest[close + 1..]);
+
+    let mut chars = Vec::new();
+    let mut pending: Vec<char> = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        let lit = if c == '\\' {
+            match it.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some('\\') => '\\',
+                Some('x') => {
+                    let h1 = it.next().ok_or("truncated \\x escape")?;
+                    let h2 = it.next().ok_or("truncated \\x escape")?;
+                    let v = u32::from_str_radix(&format!("{h1}{h2}"), 16)
+                        .map_err(|_| "bad \\x escape".to_owned())?;
+                    char::from_u32(v).ok_or("bad \\x escape")?
+                }
+                Some(other) => other,
+                None => return Err("trailing backslash in class".into()),
+            }
+        } else if c == '-' && !pending.is_empty() && it.peek().is_some() {
+            // Range: previous literal through the next one.
+            let lo = pending.pop().ok_or("bad range")?;
+            let hi_raw = it.next().ok_or("bad range")?;
+            let hi = if hi_raw == '\\' {
+                match it.next() {
+                    Some('x') => {
+                        let h1 = it.next().ok_or("truncated \\x escape")?;
+                        let h2 = it.next().ok_or("truncated \\x escape")?;
+                        let v = u32::from_str_radix(&format!("{h1}{h2}"), 16)
+                            .map_err(|_| "bad \\x escape".to_owned())?;
+                        char::from_u32(v).ok_or("bad \\x escape")?
+                    }
+                    Some(other) => other,
+                    None => return Err("trailing backslash in class".into()),
+                }
+            } else {
+                hi_raw
+            };
+            if hi < lo {
+                return Err(format!("inverted range {lo:?}-{hi:?}"));
+            }
+            chars.extend(lo..=hi);
+            continue;
+        } else {
+            c
+        };
+        pending.push(lit);
+        // Keep at most one literal pending (range lookbehind); flush older.
+        if pending.len() > 1 {
+            chars.push(pending.remove(0));
+        }
+    }
+    chars.append(&mut pending);
+
+    let reps = tail
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| "expected `{m,n}` repetition".to_owned())?;
+    let (m, n) = reps
+        .split_once(',')
+        .ok_or_else(|| "expected `{m,n}` repetition".to_owned())?;
+    let min: usize = m.trim().parse().map_err(|_| "bad repetition".to_owned())?;
+    let max: usize = n.trim().parse().map_err(|_| "bad repetition".to_owned())?;
+    if min > max {
+        return Err("inverted repetition".into());
+    }
+    if chars.is_empty() && min > 0 {
+        return Err("empty character class".into());
+    }
+    Ok((chars, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_class_pattern;
+
+    #[test]
+    fn parses_simple_class() {
+        let (chars, min, max) = parse_class_pattern("[a-c<>]{1,4}").unwrap();
+        assert_eq!(min, 1);
+        assert_eq!(max, 4);
+        assert_eq!(chars, vec!['a', 'b', 'c', '<', '>']);
+    }
+
+    #[test]
+    fn parses_hex_escapes_and_ranges() {
+        let (chars, min, max) = parse_class_pattern("[\\x20-\\x22\\n'\"]{0,64}").unwrap();
+        assert_eq!((min, max), (0, 64));
+        assert_eq!(chars, vec![' ', '!', '"', '\n', '\'', '"']);
+    }
+
+    #[test]
+    fn rejects_unsupported_patterns() {
+        assert!(parse_class_pattern("abc{1,2}").is_err());
+        assert!(parse_class_pattern("[a-z]+").is_err());
+        assert!(parse_class_pattern("[a-z]{2,1}").is_err());
+    }
+}
