@@ -1,8 +1,37 @@
 #!/usr/bin/env bash
-# Local CI gate — the same three checks the GitHub workflow runs.
-# Usage: ./ci.sh
+# Local CI gate — the same checks the GitHub workflow runs.
+#
+# Usage:
+#   ./ci.sh                 lint + tests + docs (the default gate)
+#   ./ci.sh --bench         additionally run the quick bench profile and
+#                           compare against crates/bench/baselines/
+#   ./ci.sh --bench-rebase  regenerate the committed bench baselines
+#                           (run on the reference machine, then commit)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+MODE="${1:-}"
+
+# Quick profile, sequential, JSON into a scratch dir — exactly what the
+# GitHub bench-gate job runs. Gated rows are the axis/twig hot paths.
+BENCH_FLAGS=(--quick --threads 1)
+BASELINE_DIR=crates/bench/baselines
+
+run_bench() {
+  local out="$1"
+  cargo build --release -p vh-bench --bins
+  for exp in exp_axes exp_twig exp_sjoin; do
+    "./target/release/$exp" "${BENCH_FLAGS[@]}" --json "$out" >/dev/null
+  done
+}
+
+if [ "$MODE" = "--bench-rebase" ]; then
+  echo "==> regenerating bench baselines in $BASELINE_DIR"
+  run_bench "$BASELINE_DIR"
+  ls -l "$BASELINE_DIR"
+  echo "==> OK (commit the updated baselines)"
+  exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -12,5 +41,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+if [ "$MODE" = "--bench" ]; then
+  echo "==> bench gate (quick profile vs $BASELINE_DIR)"
+  OUT=target/bench-current
+  rm -rf "$OUT"
+  run_bench "$OUT"
+  ./target/release/bench_diff "$BASELINE_DIR" "$OUT"
+fi
 
 echo "==> OK"

@@ -1,0 +1,152 @@
+//! `bench_diff` — the CI benchmark-regression gate.
+//!
+//! Compares every `BENCH_*.json` in a baseline directory against the
+//! matching report in a current-run directory:
+//!
+//! ```text
+//! bench_diff <baseline-dir> <current-dir> [--threshold 0.15]
+//!            [--gate-prefix axes/axis/]...
+//! ```
+//!
+//! Rows are matched by id. A gated row (id starts with a `--gate-prefix`;
+//! default `axes/axis/` and `twig/`) whose median ns/op regresses by more
+//! than the threshold — or which disappears from the current run — fails
+//! the gate (exit 1). Everything else is logged but passes. A baseline
+//! file with no counterpart in the current directory fails iff it
+//! contains gated rows. When both reports carry the `meta/calibration`
+//! reference row, ratios are first normalized by the machine-speed
+//! factor (see `vh_bench::gate::machine_factor`) so uniform
+//! host-contention swings on shared runners don't fail every row at
+//! once.
+//!
+//! Exit codes: 0 = pass, 1 = regression, 2 = usage, 3 = I/O or malformed
+//! report.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vh_bench::gate::{compare_reports, machine_factor, DEFAULT_GATE_PREFIXES, DEFAULT_THRESHOLD};
+use vh_bench::json::BenchReport;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err((msg, code)) => {
+            eprintln!("bench_diff: {msg}");
+            if code == 2 {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(code)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bench_diff <baseline-dir> <current-dir> [--threshold 0.15]
+             [--gate-prefix <id-prefix>]...
+
+Compares BENCH_*.json reports; exits 1 when a gated row (default
+prefixes: axes/axis/, twig/) regresses beyond the threshold or is
+missing from the current run.";
+
+fn run() -> Result<bool, (String, u8)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut prefixes: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .ok_or(("--threshold: missing value".to_string(), 2))?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| (format!("--threshold: bad fraction '{v}'"), 2))?;
+                if !(0.0..10.0).contains(&threshold) {
+                    return Err((format!("--threshold: '{v}' out of range [0, 10)"), 2));
+                }
+            }
+            "--gate-prefix" => {
+                let v = it
+                    .next()
+                    .ok_or(("--gate-prefix: missing value".to_string(), 2))?;
+                prefixes.push(v.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err((format!("unknown flag '{other}'"), 2));
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        return Err((
+            "expected exactly <baseline-dir> <current-dir>".to_string(),
+            2,
+        ));
+    };
+    let prefixes: Vec<&str> = if prefixes.is_empty() {
+        DEFAULT_GATE_PREFIXES.to_vec()
+    } else {
+        prefixes.iter().map(String::as_str).collect()
+    };
+
+    let baseline_files = report_files(baseline_dir)?;
+    if baseline_files.is_empty() {
+        return Err((format!("no BENCH_*.json in {}", baseline_dir.display()), 3));
+    }
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for path in &baseline_files {
+        let baseline = BenchReport::read_from(path).map_err(|e| (e, 3))?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let current_path = current_dir.join(&name);
+        // A missing current report gates exactly like a report whose rows
+        // all vanished: only its gated rows count as failures.
+        let current = if current_path.exists() {
+            BenchReport::read_from(&current_path).map_err(|e| (e, 3))?
+        } else {
+            println!("{name}: missing from current run");
+            BenchReport::new(baseline.experiment.clone())
+        };
+        let findings = compare_reports(&baseline, &current, threshold, &prefixes);
+        println!(
+            "== {name} ({} baseline rows, threshold {:.0}%)",
+            baseline.rows.len(),
+            threshold * 100.0
+        );
+        match machine_factor(&baseline, &current) {
+            Some(f) => println!("  machine-speed factor x{f:.3} (ratios normalized by it)"),
+            None => println!("  no calibration row on both sides: raw ratios"),
+        }
+        for f in &findings {
+            println!("  {}", f.render());
+        }
+        failures += findings.iter().filter(|f| f.fails()).count();
+        compared += findings.len();
+    }
+    println!(
+        "bench gate: {compared} rows compared, {failures} gated failure(s), gated prefixes {prefixes:?}"
+    );
+    Ok(failures == 0)
+}
+
+/// All `BENCH_*.json` files in `dir`, sorted by name for stable output.
+fn report_files(dir: &Path) -> Result<Vec<PathBuf>, (String, u8)> {
+    let entries = std::fs::read_dir(dir).map_err(|e| (format!("{}: {e}", dir.display()), 3))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}

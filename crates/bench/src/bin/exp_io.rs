@@ -1,5 +1,5 @@
 //! **F8 (extension) — simulated page I/O.** §4.3 argues that materializing
-//! a view "increas[es] disk I/O": the whole transformed instance is
+//! a view "increas\[es\] disk I/O": the whole transformed instance is
 //! written and its indexes rebuilt, while vPBN reads only the byte ranges
 //! a query's answers actually need. This experiment counts pages through
 //! the simulated store for the task "return the serialized value of every

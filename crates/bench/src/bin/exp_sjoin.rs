@@ -3,26 +3,41 @@
 //! one-pass algorithm runs on virtual hierarchies by swapping the
 //! comparator and the containment predicate. The nested-loop join bounds
 //! what a system without order/containment reasoning would pay.
+//!
+//! `--threads N` runs both stack joins through the chunked parallel
+//! Stack-Tree (`physical_structural_join_opts` / the view's
+//! [`ExecOptions`]); outputs are byte-identical at every thread count.
+//! `--json <dir>` writes `BENCH_sjoin.json`; `sjoin/…` rows are
+//! informational by default (the CI gate fails only on the `axes/axis/…`
+//! and `twig/…` hot paths).
 
-use std::time::Instant;
+use vh_bench::json::{BenchReport, BenchRow, CALIBRATION_ROW};
+use vh_bench::opts::{BenchOpts, Profile};
 use vh_bench::report::Table;
-use vh_core::VirtualDocument;
+use vh_core::{ExecOptions, VirtualDocument};
 use vh_dataguide::TypedDocument;
-use vh_query::sjoin::{nested_loop_join, physical_structural_join, virtual_structural_join};
+use vh_query::sjoin::{nested_loop_join, physical_structural_join_opts, virtual_structural_join};
 use vh_workload::{generate_books, BooksConfig};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let sizes: &[usize] = if full {
-        &[100, 1_000, 10_000, 50_000]
-    } else {
-        &[100, 1_000, 10_000]
+    let opts = BenchOpts::from_env();
+    let sizes: Vec<usize> = match (opts.books, opts.profile) {
+        (Some(n), _) => vec![n],
+        (None, Profile::Quick) => vec![100, 1_000],
+        (None, Profile::Default) => vec![100, 1_000, 10_000],
+        (None, Profile::Full) => vec![100, 1_000, 10_000, 50_000],
     };
+
+    let mut report = BenchReport::new("sjoin");
+    report.config("sizes", format!("{sizes:?}"));
+    report.config("profile", opts.profile.name());
+    report.config("threads", opts.threads);
 
     let mut t = Table::new(
         "F6: structural join — books x names (physical), titles x names (virtual)",
         &[
             "books",
+            "threads",
             "anc",
             "desc",
             "pairs",
@@ -32,9 +47,9 @@ fn main() {
             "stack_vs_nested_x",
         ],
     );
-    for &n in sizes {
+    for &n in &sizes {
         let td = TypedDocument::analyze(generate_books("books.xml", &BooksConfig::sized(n)));
-        let vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
+        let mut vd = VirtualDocument::open(&td, "title { author { name } }").unwrap();
 
         // Physical: book ancestors, name descendants.
         let book_t = td.guide().lookup_path(&["data", "book"]).unwrap();
@@ -55,42 +70,74 @@ fn main() {
         let vtitles = vd.nodes_of_vtype(title_vt).to_vec();
         let vnames = vd.nodes_of_vtype(name_vt).to_vec();
 
-        let (p_us, p_pairs) = time_us(|| physical_structural_join(&td, &books, &names).len());
-        let (v_us, v_pairs) = time_us(|| virtual_structural_join(&vd, &vtitles, &vnames).len());
-        assert_eq!(p_pairs, v_pairs, "both joins pair every name once");
-        // Nested-loop baseline only at sizes where it finishes promptly.
+        // Nested-loop baseline only at sizes where it finishes promptly
+        // (measured once per size; it has no parallel path).
         let (nl_us, nl_pairs) = if n <= 10_000 {
             let vdg = vd.vdg();
-            time_us(|| {
+            let vdr = &vd;
+            time_us(2, || {
                 nested_loop_join(&vtitles, &vnames, &|a, d| {
-                    vh_core::axes::v_ancestor(vdg, &vd.vpbn_of(a).unwrap(), &vd.vpbn_of(d).unwrap())
+                    vh_core::axes::v_ancestor(
+                        vdg,
+                        &vdr.vpbn_of(a).unwrap(),
+                        &vdr.vpbn_of(d).unwrap(),
+                    )
                 })
                 .len()
             })
         } else {
-            (f64::NAN, v_pairs)
+            (f64::NAN, 0)
         };
-        if !nl_us.is_nan() {
-            assert_eq!(nl_pairs, v_pairs);
+
+        for threads in opts.thread_set() {
+            let ex = ExecOptions::with_threads(threads);
+            vd.set_exec(ex);
+            let (p_us, p_pairs) = time_us(5, || {
+                physical_structural_join_opts(&td, &books, &names, &ex).len()
+            });
+            let (v_us, v_pairs) =
+                time_us(5, || virtual_structural_join(&vd, &vtitles, &vnames).len());
+            assert_eq!(p_pairs, v_pairs, "both joins pair every name once");
+            if !nl_us.is_nan() {
+                assert_eq!(nl_pairs, v_pairs);
+            }
+            t.row(&[
+                n.to_string(),
+                threads.to_string(),
+                books.len().to_string(),
+                names.len().to_string(),
+                v_pairs.to_string(),
+                format!("{p_us:.1}"),
+                format!("{v_us:.1}"),
+                if nl_us.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{nl_us:.1}")
+                },
+                if nl_us.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{:.1}", nl_us / v_us.max(0.001))
+                },
+            ]);
+            let prefix = if threads == opts.threads {
+                "sjoin"
+            } else {
+                "scaling/sjoin"
+            };
+            report.push(
+                BenchRow::new(format!("{prefix}/books={n}/phys/t{threads}"), p_us * 1e3)
+                    .with("books", n as f64)
+                    .with("threads", threads as f64)
+                    .with("pairs", p_pairs as f64),
+            );
+            report.push(
+                BenchRow::new(format!("{prefix}/books={n}/virt/t{threads}"), v_us * 1e3)
+                    .with("books", n as f64)
+                    .with("threads", threads as f64)
+                    .with("pairs", v_pairs as f64),
+            );
         }
-        t.row(&[
-            n.to_string(),
-            books.len().to_string(),
-            names.len().to_string(),
-            v_pairs.to_string(),
-            format!("{p_us:.1}"),
-            format!("{v_us:.1}"),
-            if nl_us.is_nan() {
-                "-".into()
-            } else {
-                format!("{nl_us:.1}")
-            },
-            if nl_us.is_nan() {
-                "-".into()
-            } else {
-                format!("{:.1}", nl_us / v_us.max(0.001))
-            },
-        ]);
     }
     t.print();
     println!(
@@ -98,16 +145,31 @@ fn main() {
          stay within a small factor of each other; the nested loop blows up\n\
          quadratically (stack_vs_nested_x grows with size)."
     );
+
+    // Machine-speed reference: lets the gate cancel host-contention
+    // swings between this run and the committed baseline.
+    report.push(BenchRow::new(
+        CALIBRATION_ROW,
+        vh_bench::timing::calibration_ns(),
+    ));
+
+    if let Some(dir) = &opts.json_dir {
+        match report.write_to(dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing report: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
 }
 
-/// Times a closure (median-ish: best of 3), returning (us, value).
-fn time_us(mut f: impl FnMut() -> usize) -> (f64, usize) {
-    let mut best = f64::INFINITY;
-    let mut val = 0;
-    for _ in 0..3 {
-        let start = Instant::now();
-        val = f();
-        best = best.min(start.elapsed().as_secs_f64() * 1e6);
-    }
-    (best, val)
+/// Times a closure (calibrated median, see
+/// `vh_bench::timing::median_ns_per_call`), returning (us, value). The
+/// quadratic nested-loop baseline passes a small `reps` — one call is
+/// already seconds-scale at 10 000 books.
+fn time_us(reps: usize, f: impl FnMut() -> usize) -> (f64, usize) {
+    let (val, ns) =
+        vh_bench::timing::median_ns_per_call(reps, std::time::Duration::from_millis(2), f);
+    (ns / 1e3, val)
 }

@@ -3,29 +3,55 @@
 //! under vPBN both are virtual-space comparisons, so the same operator
 //! matches twig patterns against a transformed hierarchy without
 //! materializing it. Baseline: materialize + renumber + physical TwigStack.
+//!
+//! `--threads N` runs the virtual twig join through the parallel stream
+//! builder (`twig_join_opts`); `--scaling 1,2,4,8` sweeps extra thread
+//! counts as ungated rows. `--json <dir>` writes `BENCH_twig.json`:
+//! `twig/…` rows (virtual join at the gated thread count) fail the CI
+//! bench gate on regression, `baseline/…` and `scaling/…` rows are
+//! informational.
 
-use std::time::Instant;
+use vh_bench::json::{BenchReport, BenchRow, CALIBRATION_ROW};
+use vh_bench::opts::{BenchOpts, Profile};
 use vh_bench::report::Table;
+use vh_bench::timing::{calibration_ns, median_ns_per_call, median_time};
 use vh_core::transform::materialize;
-use vh_core::{VDataGuide, VirtualDocument};
+use vh_core::{ExecOptions, VDataGuide, VirtualDocument};
 use vh_dataguide::TypedDocument;
-use vh_query::twig::{twig_join, PhysicalTwigSource, TwigPattern, VirtualTwigSource};
+use vh_query::twig::{twig_join_opts, PhysicalTwigSource, TwigPattern, VirtualTwigSource};
 use vh_workload::{generate_books, BooksConfig};
 
+/// Timing repetitions per measurement; the median is reported. Joins are
+/// batch-calibrated ([`MIN_REP`]) so small-corpus runs are not swamped
+/// by scheduler noise; the expensive materialize baseline uses plain
+/// [`median_time`] (it is minutes-scale at `--full` sizes).
+const REPS: usize = 9;
+
+/// Minimum wall time of one timed join repetition.
+const MIN_REP: std::time::Duration = std::time::Duration::from_millis(2);
+
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let sizes: &[usize] = if full {
-        &[100, 1_000, 10_000, 30_000]
-    } else {
-        &[100, 1_000, 10_000]
+    let opts = BenchOpts::from_env();
+    let sizes: Vec<usize> = match (opts.books, opts.profile) {
+        (Some(n), _) => vec![n],
+        (None, Profile::Quick) => vec![100, 1_000],
+        (None, Profile::Default) => vec![100, 1_000, 10_000],
+        (None, Profile::Full) => vec![100, 1_000, 10_000, 30_000],
     };
     const SPEC: &str = "title { author { name } }";
     const PATTERN: &str = "title(author(name))";
+
+    let mut report = BenchReport::new("twig");
+    report.config("sizes", format!("{sizes:?}"));
+    report.config("profile", opts.profile.name());
+    report.config("threads", opts.threads);
+    report.config("pattern", PATTERN);
 
     let mut t = Table::new(
         "F7: twig pattern over Sam's view — virtual TwigStack vs materialize+TwigStack",
         &[
             "books",
+            "threads",
             "matches",
             "virt_us",
             "mat_transform_us",
@@ -34,38 +60,65 @@ fn main() {
             "speedup_x",
         ],
     );
-    for &n in sizes {
+    for &n in &sizes {
         let td = TypedDocument::analyze(generate_books("books.xml", &BooksConfig::sized(n)));
         let pattern = TwigPattern::parse(PATTERN).expect("pattern parses");
-
-        // Virtual: open the view, run TwigStack on vPBN streams.
-        let start = Instant::now();
         let vd = VirtualDocument::open(&td, SPEC).unwrap();
         let vsrc = VirtualTwigSource::new(&vd);
-        let vmatches = twig_join(&vsrc, &pattern).len();
-        let virt_us = start.elapsed().as_secs_f64() * 1e6;
 
-        // Baseline: materialize + renumber, then physical TwigStack.
-        let start = Instant::now();
-        let vdg = VDataGuide::compile(SPEC, td.guide()).unwrap();
-        let mat = materialize(&td, &vdg);
-        let mat_td = TypedDocument::analyze(mat.doc);
-        let transform_us = start.elapsed().as_secs_f64() * 1e6;
-        let start = Instant::now();
-        let psrc = PhysicalTwigSource::new(&mat_td);
-        let pmatches = twig_join(&psrc, &pattern).len();
-        let twig_us = start.elapsed().as_secs_f64() * 1e6;
+        // Baseline: materialize + renumber, then physical TwigStack
+        // (measured once per size — it is thread-independent here).
+        let (mat_td, transform) = median_time(REPS, || {
+            let vdg = VDataGuide::compile(SPEC, td.guide()).unwrap();
+            TypedDocument::analyze(materialize(&td, &vdg).doc)
+        });
+        let transform_us = transform.as_secs_f64() * 1e6;
+        let (pmatches, twig_ns) = median_ns_per_call(REPS, MIN_REP, || {
+            let psrc = PhysicalTwigSource::new(&mat_td);
+            twig_join_opts(&psrc, &pattern, &ExecOptions::sequential()).len()
+        });
+        let twig_us = twig_ns / 1e3;
+        report.push(
+            BenchRow::new(
+                format!("baseline/twig/books={n}/materialize"),
+                transform_us * 1e3,
+            )
+            .with("books", n as f64),
+        );
+        report.push(
+            BenchRow::new(format!("baseline/twig/books={n}/twigstack"), twig_us * 1e3)
+                .with("books", n as f64)
+                .with("matches", pmatches as f64),
+        );
 
-        assert_eq!(vmatches, pmatches, "both engines find the same matches");
-        t.row(&[
-            n.to_string(),
-            vmatches.to_string(),
-            format!("{virt_us:.0}"),
-            format!("{transform_us:.0}"),
-            format!("{twig_us:.0}"),
-            format!("{:.0}", transform_us + twig_us),
-            format!("{:.1}", (transform_us + twig_us) / virt_us.max(0.001)),
-        ]);
+        for threads in opts.thread_set() {
+            let ex = ExecOptions::with_threads(threads);
+            let (vmatches, virt_ns) =
+                median_ns_per_call(REPS, MIN_REP, || twig_join_opts(&vsrc, &pattern, &ex).len());
+            let virt_us = virt_ns / 1e3;
+            assert_eq!(vmatches, pmatches, "both engines find the same matches");
+            t.row(&[
+                n.to_string(),
+                threads.to_string(),
+                vmatches.to_string(),
+                format!("{virt_us:.0}"),
+                format!("{transform_us:.0}"),
+                format!("{twig_us:.0}"),
+                format!("{:.0}", transform_us + twig_us),
+                format!("{:.1}", (transform_us + twig_us) / virt_us.max(0.001)),
+            ]);
+            let id = if threads == opts.threads {
+                format!("twig/books={n}/virt/t{threads}")
+            } else {
+                format!("scaling/twig/books={n}/virt/t{threads}")
+            };
+            report.push(
+                BenchRow::new(id, virt_us * 1e3)
+                    .with("books", n as f64)
+                    .with("threads", threads as f64)
+                    .with("matches", vmatches as f64),
+            );
+        }
     }
     t.print();
     println!(
@@ -73,4 +126,18 @@ fn main() {
          the transform entirely, so its advantage tracks the materialization\n\
          cost share."
     );
+
+    // Machine-speed reference: lets the gate cancel host-contention
+    // swings between this run and the committed baseline.
+    report.push(BenchRow::new(CALIBRATION_ROW, calibration_ns()));
+
+    if let Some(dir) = &opts.json_dir {
+        match report.write_to(dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing report: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
 }

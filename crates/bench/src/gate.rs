@@ -1,0 +1,314 @@
+//! Benchmark-regression gate: compares a current `BENCH_*.json` run
+//! against a committed baseline and reports findings.
+//!
+//! Policy (mirrors `.github/workflows/ci.yml`'s `bench-gate` job):
+//!
+//! * Only rows whose id starts with a **gated prefix** can fail the gate
+//!   (default: `axes/axis/` and `twig/` — the paper's hot paths).
+//!   Everything else — thread-scaling sweeps, cache demos, informational
+//!   totals — is compared for the log but never fails CI.
+//! * A gated row regresses when its median ns/op exceeds the baseline by
+//!   more than the threshold (default 15%).
+//! * A gated baseline row that is *missing* from the current run is also
+//!   a failure: silently dropping a measurement must not pass the gate.
+//! * New rows (present now, absent from the baseline) are reported as
+//!   informational — they appear when experiments grow and are adopted
+//!   into the baseline on the next rebase.
+//! * When both reports carry the `meta/calibration` reference row, all
+//!   ratios are divided by the machine-speed factor
+//!   (current calibration / baseline calibration, clamped to [0.25, 4])
+//!   before thresholding. Shared runners swing 1.5x between runs from
+//!   host contention; the fixed reference workload moves with the host,
+//!   engine regressions do not.
+
+use crate::json::{BenchReport, CALIBRATION_ROW};
+
+/// Gated row-id prefixes when the caller supplies none.
+pub const DEFAULT_GATE_PREFIXES: &[&str] = &["axes/axis/", "twig/"];
+
+/// Median-ns regression threshold when the caller supplies none (15%).
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// How one row moved between baseline and current run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within threshold (or faster).
+    Ok,
+    /// Slower than threshold but the row is not gated.
+    SlowerUngated,
+    /// Slower than threshold on a gated row — fails the gate.
+    Regressed,
+    /// Gated baseline row missing from the current run — fails the gate.
+    MissingGated,
+    /// Ungated baseline row missing from the current run.
+    MissingUngated,
+    /// Row only exists in the current run.
+    New,
+}
+
+/// One compared row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Row id (shared between baseline and current when both exist).
+    pub id: String,
+    /// Baseline median ns/op, if the row existed in the baseline.
+    pub baseline_ns: Option<f64>,
+    /// Current median ns/op, if the row exists now.
+    pub current_ns: Option<f64>,
+    /// `current / baseline` when both sides exist.
+    pub ratio: Option<f64>,
+    /// The gate's classification of this row.
+    pub verdict: Verdict,
+}
+
+impl Finding {
+    /// True when this finding fails the gate.
+    pub fn fails(&self) -> bool {
+        matches!(self.verdict, Verdict::Regressed | Verdict::MissingGated)
+    }
+
+    /// One log line: `id  base_ns -> cur_ns  (x1.03)  verdict`.
+    pub fn render(&self) -> String {
+        let fmt = |v: Option<f64>| match v {
+            Some(n) => format!("{n:.1}"),
+            None => "-".to_string(),
+        };
+        let ratio = match self.ratio {
+            Some(r) => format!("x{r:.3}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "{:<44} {:>12} -> {:>12} ns  {:>8}  {:?}",
+            self.id,
+            fmt(self.baseline_ns),
+            fmt(self.current_ns),
+            ratio,
+            self.verdict
+        )
+    }
+}
+
+fn is_gated(id: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| id.starts_with(p))
+}
+
+/// Bounds on the machine-speed factor: normalization cancels plausible
+/// host-contention swings, never order-of-magnitude shifts (a baseline
+/// from a very different machine should be rebased, not normalized away).
+const FACTOR_CLAMP: (f64, f64) = (0.25, 4.0);
+
+/// The machine-speed factor between two runs: the ratio of their
+/// [`CALIBRATION_ROW`] medians (current / baseline), clamped to
+/// `FACTOR_CLAMP` ([0.25, 4]). `None` when either side lacks a positive
+/// calibration row — the gate then compares raw ratios.
+pub fn machine_factor(baseline: &BenchReport, current: &BenchReport) -> Option<f64> {
+    let base = baseline.row(CALIBRATION_ROW)?.median_ns_per_op;
+    let cur = current.row(CALIBRATION_ROW)?.median_ns_per_op;
+    if base > 0.0 && cur > 0.0 {
+        Some((cur / base).clamp(FACTOR_CLAMP.0, FACTOR_CLAMP.1))
+    } else {
+        None
+    }
+}
+
+/// Compares one baseline report against the matching current report.
+///
+/// Findings come back in baseline-row order with current-only rows
+/// appended, so the gate log reads like the baseline file. When both
+/// reports carry a [`CALIBRATION_ROW`], every other row's ratio is
+/// divided by the [`machine_factor`] before thresholding — the
+/// calibration row itself keeps its raw ratio so the log shows the
+/// machine swing.
+pub fn compare_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold: f64,
+    gate_prefixes: &[&str],
+) -> Vec<Finding> {
+    let factor = machine_factor(baseline, current).unwrap_or(1.0);
+    let mut findings = Vec::new();
+    for base in &baseline.rows {
+        let gated = is_gated(&base.id, gate_prefixes);
+        match current.row(&base.id) {
+            None => findings.push(Finding {
+                id: base.id.clone(),
+                baseline_ns: Some(base.median_ns_per_op),
+                current_ns: None,
+                ratio: None,
+                verdict: if gated {
+                    Verdict::MissingGated
+                } else {
+                    Verdict::MissingUngated
+                },
+            }),
+            Some(cur) => {
+                // Guard the division: a zero-median baseline row can only
+                // regress by appearing slower than *any* positive time, so
+                // treat ratio as 1.0 when both are zero.
+                let norm = if base.id == CALIBRATION_ROW {
+                    1.0
+                } else {
+                    factor
+                };
+                let ratio = if base.median_ns_per_op > 0.0 {
+                    cur.median_ns_per_op / base.median_ns_per_op / norm
+                } else if cur.median_ns_per_op > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                let slower = ratio > 1.0 + threshold;
+                findings.push(Finding {
+                    id: base.id.clone(),
+                    baseline_ns: Some(base.median_ns_per_op),
+                    current_ns: Some(cur.median_ns_per_op),
+                    ratio: Some(ratio),
+                    verdict: match (slower, gated) {
+                        (false, _) => Verdict::Ok,
+                        (true, true) => Verdict::Regressed,
+                        (true, false) => Verdict::SlowerUngated,
+                    },
+                });
+            }
+        }
+    }
+    for cur in &current.rows {
+        if baseline.row(&cur.id).is_none() {
+            findings.push(Finding {
+                id: cur.id.clone(),
+                baseline_ns: None,
+                current_ns: Some(cur.median_ns_per_op),
+                ratio: None,
+                verdict: Verdict::New,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::BenchRow;
+
+    fn report(rows: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new("axes");
+        for (id, ns) in rows {
+            r.push(BenchRow::new(*id, *ns));
+        }
+        r
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = report(&[("axes/axis/self/pbn/t1", 100.0)]);
+        let cur = report(&[("axes/axis/self/pbn/t1", 114.0)]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].verdict, Verdict::Ok);
+        assert!(!f[0].fails());
+        assert!((f[0].ratio.unwrap() - 1.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gated_regression_fails() {
+        let base = report(&[("twig/books=100/virt/t1", 100.0)]);
+        let cur = report(&[("twig/books=100/virt/t1", 120.0)]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        assert_eq!(f[0].verdict, Verdict::Regressed);
+        assert!(f[0].fails());
+    }
+
+    #[test]
+    fn ungated_slowdown_is_reported_but_passes() {
+        let base = report(&[("scaling/axes/t4", 100.0), ("cache/open/warm", 10.0)]);
+        let cur = report(&[("scaling/axes/t4", 500.0), ("cache/open/warm", 50.0)]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        assert!(f.iter().all(|x| x.verdict == Verdict::SlowerUngated));
+        assert!(f.iter().all(|x| !x.fails()));
+    }
+
+    #[test]
+    fn missing_gated_row_fails_missing_ungated_does_not() {
+        let base = report(&[("axes/axis/child/vpbn/t1", 50.0), ("cache/open/cold", 9.0)]);
+        let cur = report(&[]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        assert_eq!(f[0].verdict, Verdict::MissingGated);
+        assert!(f[0].fails());
+        assert_eq!(f[1].verdict, Verdict::MissingUngated);
+        assert!(!f[1].fails());
+    }
+
+    #[test]
+    fn new_rows_are_informational() {
+        let base = report(&[]);
+        let cur = report(&[("axes/axis/self/pbn/t1", 10.0)]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        assert_eq!(f[0].verdict, Verdict::New);
+        assert!(!f[0].fails());
+    }
+
+    #[test]
+    fn zero_baseline_is_handled() {
+        let base = report(&[("axes/axis/self/pbn/t1", 0.0)]);
+        let cur = report(&[("axes/axis/self/pbn/t1", 1.0)]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        assert_eq!(f[0].verdict, Verdict::Regressed);
+        let same = compare_reports(
+            &base,
+            &report(&[("axes/axis/self/pbn/t1", 0.0)]),
+            0.15,
+            DEFAULT_GATE_PREFIXES,
+        );
+        assert_eq!(same[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_is_normalized_away() {
+        // Host ran 1.5x slower: calibration and every row moved together.
+        let base = report(&[(CALIBRATION_ROW, 1000.0), ("twig/books=100/virt/t1", 100.0)]);
+        let cur = report(&[(CALIBRATION_ROW, 1500.0), ("twig/books=100/virt/t1", 150.0)]);
+        assert_eq!(machine_factor(&base, &cur), Some(1.5));
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        let twig = f.iter().find(|x| x.id.starts_with("twig/")).unwrap();
+        assert_eq!(twig.verdict, Verdict::Ok);
+        assert!((twig.ratio.unwrap() - 1.0).abs() < 1e-9);
+        // The calibration row keeps its raw ratio so the swing is visible.
+        let cal = f.iter().find(|x| x.id == CALIBRATION_ROW).unwrap();
+        assert!((cal.ratio.unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_row_regression_still_fails_under_normalization() {
+        // Host 1.2x slower, but the twig row got 2x slower: x2.0/1.2 > 1.15.
+        let base = report(&[(CALIBRATION_ROW, 1000.0), ("twig/books=100/virt/t1", 100.0)]);
+        let cur = report(&[(CALIBRATION_ROW, 1200.0), ("twig/books=100/virt/t1", 200.0)]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        let twig = f.iter().find(|x| x.id.starts_with("twig/")).unwrap();
+        assert_eq!(twig.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn machine_factor_is_clamped_and_optional() {
+        let base = report(&[(CALIBRATION_ROW, 100.0), ("twig/a", 10.0)]);
+        let cur = report(&[(CALIBRATION_ROW, 10_000.0), ("twig/a", 10.0)]);
+        // A 100x calibration swing is not believable contention: clamp to 4.
+        assert_eq!(machine_factor(&base, &cur), Some(4.0));
+        // Without a calibration row on both sides, raw ratios are used.
+        let plain = report(&[("twig/a", 10.0)]);
+        assert_eq!(machine_factor(&plain, &cur), None);
+        let f = compare_reports(&plain, &report(&[("twig/a", 20.0)]), 0.15, &["twig/"]);
+        assert_eq!(f[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn findings_render_as_log_lines() {
+        let base = report(&[("axes/axis/self/pbn/t1", 100.0)]);
+        let cur = report(&[("axes/axis/self/pbn/t1", 90.0)]);
+        let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
+        let line = f[0].render();
+        assert!(line.contains("axes/axis/self/pbn/t1"));
+        assert!(line.contains("x0.900"));
+        assert!(line.contains("Ok"));
+    }
+}

@@ -1,0 +1,557 @@
+//! Machine-readable benchmark reports (`BENCH_<exp>.json`).
+//!
+//! The experiment binaries print human tables *and* — when `--json <dir>`
+//! is given — write one JSON report per experiment so the CI bench gate
+//! (`bench_diff`) can compare runs numerically. The format is hand-rolled
+//! (the workspace deliberately carries no serde): a tiny recursive-descent
+//! parser plus a pretty renderer, both total over the JSON value space we
+//! emit.
+//!
+//! Report shape:
+//!
+//! ```json
+//! {
+//!   "experiment": "axes",
+//!   "config": { "books": "150", "profile": "quick" },
+//!   "rows": [
+//!     { "id": "axes/axis/ancestor/vpbn/t1",
+//!       "median_ns_per_op": 41.5,
+//!       "ops_per_s": 24096385.5,
+//!       "extra": { "threads": 1.0, "hits": 300.0 } }
+//!   ]
+//! }
+//! ```
+//!
+//! Row `id`s are stable slash-separated paths; the gate selects rows by
+//! id prefix (e.g. `axes/axis/`), so informational rows (cache demos,
+//! scaling sweeps at >1 threads) use prefixes the gate ignores.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A JSON value — just enough for benchmark reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (we only emit finite f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation and a trailing newline (stable
+    /// diffs for committed baselines).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_num(out, *n),
+            Json::Str(s) => render_str(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    render_str(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (must consume all non-whitespace input).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; absent beats invalid.
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_str(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_str(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(bytes, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {pos}", *c as char)),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{lit}' at byte {pos}"))
+    }
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("dangling escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        let c = char::from_u32(code).ok_or("\\u escape is not a scalar value")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", other as char)),
+                }
+            }
+            b => out.push(b),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+/// Row id under which every experiment stores the machine-speed
+/// reference measurement (`vh_bench::timing::calibration_ns`). The gate
+/// divides per-row ratios by this row's ratio, cancelling uniform
+/// host-speed shifts between runs on shared CI machines.
+pub const CALIBRATION_ROW: &str = "meta/calibration";
+
+/// One measured series in a report, addressed by a stable slash path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Stable identifier, e.g. `axes/axis/ancestor/vpbn/t1`. The bench
+    /// gate matches rows across runs by this id and selects gated rows
+    /// by its prefix.
+    pub id: String,
+    /// Median wall-clock nanoseconds per operation.
+    pub median_ns_per_op: f64,
+    /// Operations per second implied by the median (`1e9 / median_ns`).
+    pub ops_per_s: f64,
+    /// Free-form numeric annotations (thread count, hit counts, sizes).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl BenchRow {
+    /// Builds a row from a median ns/op measurement.
+    pub fn new(id: impl Into<String>, median_ns_per_op: f64) -> Self {
+        BenchRow {
+            id: id.into(),
+            median_ns_per_op,
+            ops_per_s: if median_ns_per_op > 0.0 {
+                1e9 / median_ns_per_op
+            } else {
+                0.0
+            },
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attaches one numeric annotation (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.extra.push((key.into(), value));
+        self
+    }
+}
+
+/// A full experiment report: configuration echo plus measured rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Experiment name (`axes`, `twig`, `sjoin`, …) — also the filename
+    /// stem: `BENCH_<experiment>.json`.
+    pub experiment: String,
+    /// Configuration echo (corpus size, profile, scaling set) as strings.
+    pub config: Vec<(String, String)>,
+    /// Measured rows in emission order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Starts an empty report for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        BenchReport {
+            experiment: experiment.into(),
+            config: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one configuration key/value.
+    pub fn config(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.config.push((key.into(), value.to_string()));
+    }
+
+    /// Appends a measured row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Finds a row by exact id.
+    pub fn row(&self, id: &str) -> Option<&BenchRow> {
+        self.rows.iter().find(|r| r.id == id)
+    }
+
+    /// The report filename for this experiment (`BENCH_<exp>.json`).
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.experiment)
+    }
+
+    /// Converts to the JSON document shape.
+    pub fn to_json(&self) -> Json {
+        let config = self
+            .config
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("id".to_string(), Json::Str(r.id.clone())),
+                    (
+                        "median_ns_per_op".to_string(),
+                        Json::Num(r.median_ns_per_op),
+                    ),
+                    ("ops_per_s".to_string(), Json::Num(r.ops_per_s)),
+                ];
+                if !r.extra.is_empty() {
+                    fields.push((
+                        "extra".to_string(),
+                        Json::Obj(
+                            r.extra
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            ("config".to_string(), Json::Obj(config)),
+            ("rows".to_string(), Json::Arr(rows)),
+        ])
+    }
+
+    /// Reconstructs a report from parsed JSON.
+    pub fn from_json(value: &Json) -> Result<BenchReport, String> {
+        let experiment = value
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("report is missing 'experiment'")?
+            .to_string();
+        let mut report = BenchReport::new(experiment);
+        if let Some(Json::Obj(fields)) = value.get("config") {
+            for (k, v) in fields {
+                report
+                    .config
+                    .push((k.clone(), v.as_str().unwrap_or_default().to_string()));
+            }
+        }
+        for row in value.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+            let id = row
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("row is missing 'id'")?
+                .to_string();
+            let median = row
+                .get("median_ns_per_op")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("row '{id}' is missing 'median_ns_per_op'"))?;
+            let mut bench_row = BenchRow::new(id, median);
+            if let Some(ops) = row.get("ops_per_s").and_then(Json::as_num) {
+                bench_row.ops_per_s = ops;
+            }
+            if let Some(Json::Obj(extra)) = row.get("extra") {
+                for (k, v) in extra {
+                    bench_row.extra.push((k.clone(), v.as_num().unwrap_or(0.0)));
+                }
+            }
+            report.rows.push(bench_row);
+        }
+        Ok(report)
+    }
+
+    /// Writes `BENCH_<exp>.json` into `dir` (created if missing); returns
+    /// the path written.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.filename());
+        std::fs::write(&path, self.to_json().render())?;
+        Ok(path)
+    }
+
+    /// Reads a report back from a `BENCH_*.json` file.
+    pub fn read_from(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::from_json(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_render_and_parse() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a \"quoted\"\nline\t\u{1}".into())),
+            (
+                "nums".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Num(1e15)]),
+            ),
+            ("flag".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = Json::parse(r#""éA""#).unwrap();
+        assert_eq!(v, Json::Str("éA".into()));
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let mut r = BenchReport::new("axes");
+        r.config("books", 150);
+        r.config("profile", "quick");
+        r.push(BenchRow::new("axes/axis/ancestor/vpbn/t1", 41.5).with("threads", 1.0));
+        r.push(BenchRow::new("cache/open/warm", 1200.0));
+        let back = BenchReport::from_json(&Json::parse(&r.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.filename(), "BENCH_axes.json");
+        assert!(back.row("cache/open/warm").is_some());
+        assert!(back.row("missing").is_none());
+    }
+
+    #[test]
+    fn ops_per_s_is_derived_from_median() {
+        let row = BenchRow::new("x", 100.0);
+        assert!((row.ops_per_s - 1e7).abs() < 1e-6);
+        assert_eq!(BenchRow::new("x", 0.0).ops_per_s, 0.0);
+    }
+
+    #[test]
+    fn write_and_read_files() {
+        let dir = std::env::temp_dir().join("vh_bench_json_test");
+        let mut r = BenchReport::new("unit");
+        r.push(BenchRow::new("unit/row", 5.0));
+        let path = r.write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let back = BenchReport::read_from(&path).unwrap();
+        assert_eq!(back, r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

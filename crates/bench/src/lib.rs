@@ -21,8 +21,14 @@
 //!
 //! The library half hosts the shared pieces: the [`baseline`]
 //! materialize-and-renumber pipeline (§4.3's strawman), [`timing`]
-//! utilities, and [`report`] table formatting.
+//! utilities, [`report`] table formatting, [`json`] machine-readable
+//! `BENCH_<exp>.json` reports, [`gate`] baseline comparison for the CI
+//! bench gate, and [`opts`] shared experiment flags
+//! (`--threads`/`--scaling`/`--json`/…).
 
 pub mod baseline;
+pub mod gate;
+pub mod json;
+pub mod opts;
 pub mod report;
 pub mod timing;

@@ -1,0 +1,238 @@
+//! Shared command-line options for the experiment binaries.
+//!
+//! Every `exp_*` binary that participates in the bench gate accepts the
+//! same flags so `ci.sh --bench` and the GitHub `bench-gate` job can
+//! drive them uniformly:
+//!
+//! ```text
+//! --quick            smallest corpus profile (CI gate; overrides --full)
+//! --full             large corpus profile (paper-scale numbers)
+//! --books <n>        explicit corpus size, overrides the profile
+//! --threads <n>      worker threads for the gated measurement rows
+//!                    (default 1; 0 = all hardware threads)
+//! --scaling <list>   comma-separated thread counts for the scaling
+//!                    sweep, e.g. `1,2,4,8` (emitted as ungated rows)
+//! --json <dir>       write BENCH_<exp>.json into <dir>
+//! --cache <on|off>   compiled-view cache for cache-demo rows (default on)
+//! ```
+
+use std::path::PathBuf;
+use vh_core::ExecOptions;
+
+/// The corpus-size profile an experiment should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Smallest sizes — fast enough for a CI gate run.
+    Quick,
+    /// The default interactive sizes.
+    Default,
+    /// Paper-scale sizes (`--full`).
+    Full,
+}
+
+impl Profile {
+    /// Lower-case name for config echoes (`quick` / `default` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Default => "default",
+            Profile::Full => "full",
+        }
+    }
+}
+
+/// Parsed experiment options.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Which corpus-size profile to use (when `--books` is absent).
+    pub profile: Profile,
+    /// Explicit corpus size override.
+    pub books: Option<usize>,
+    /// Thread count for the gated measurement rows.
+    pub threads: usize,
+    /// Extra thread counts to sweep for scaling rows (never gated).
+    pub scaling: Vec<usize>,
+    /// Directory for `BENCH_<exp>.json`, when JSON output is requested.
+    pub json_dir: Option<PathBuf>,
+    /// Whether cache-demo measurements run with the cache enabled.
+    pub cache: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            profile: Profile::Default,
+            books: None,
+            threads: 1,
+            scaling: Vec::new(),
+            json_dir: None,
+            cache: true,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args()` (exits with code 2 and a message on bad
+    /// flags — these are leaf binaries, not a library surface).
+    pub fn from_env() -> BenchOpts {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator; separated from `from_env` for tests.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<BenchOpts, String> {
+        fn value(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag}: missing value"))
+        }
+        let mut opts = BenchOpts::default();
+        let mut args = args;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.profile = Profile::Quick,
+                "--full" => {
+                    if opts.profile != Profile::Quick {
+                        opts.profile = Profile::Full;
+                    }
+                }
+                "--books" => {
+                    let v = value(&mut args, "--books")?;
+                    opts.books = Some(v.parse().map_err(|_| format!("--books: bad count '{v}'"))?);
+                }
+                "--threads" => {
+                    let v = value(&mut args, "--threads")?;
+                    opts.threads = v
+                        .parse()
+                        .map_err(|_| format!("--threads: bad count '{v}'"))?;
+                }
+                "--scaling" => {
+                    let v = value(&mut args, "--scaling")?;
+                    opts.scaling = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .map_err(|_| format!("--scaling: bad count '{s}'"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--json" => opts.json_dir = Some(PathBuf::from(value(&mut args, "--json")?)),
+                "--cache" => {
+                    opts.cache = match value(&mut args, "--cache")?.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("--cache: expected on|off, got '{other}'")),
+                    };
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Picks a corpus size: explicit `--books`, else the per-profile size.
+    pub fn books(&self, quick: usize, default: usize, full: usize) -> usize {
+        self.books.unwrap_or(match self.profile {
+            Profile::Quick => quick,
+            Profile::Default => default,
+            Profile::Full => full,
+        })
+    }
+
+    /// Execution options for the gated measurement rows.
+    pub fn exec(&self) -> ExecOptions {
+        let mut e = ExecOptions::with_threads(self.threads);
+        e.cache = self.cache;
+        e
+    }
+
+    /// All thread counts to measure: the gated `--threads` value first,
+    /// then each distinct `--scaling` entry.
+    pub fn thread_set(&self) -> Vec<usize> {
+        let mut set = vec![self.threads];
+        for &t in &self.scaling {
+            if !set.contains(&t) {
+                set.push(t);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchOpts, String> {
+        BenchOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.profile, Profile::Default);
+        assert_eq!(o.threads, 1);
+        assert!(o.scaling.is_empty());
+        assert!(o.json_dir.is_none());
+        assert!(o.cache);
+        assert_eq!(o.books(10, 20, 30), 20);
+        assert_eq!(o.thread_set(), vec![1]);
+    }
+
+    #[test]
+    fn full_and_quick_profiles() {
+        assert_eq!(parse(&["--full"]).unwrap().books(10, 20, 30), 30);
+        assert_eq!(parse(&["--quick"]).unwrap().books(10, 20, 30), 10);
+        // --quick wins regardless of order: CI appends it last-resort.
+        assert_eq!(
+            parse(&["--quick", "--full"]).unwrap().profile,
+            Profile::Quick
+        );
+        assert_eq!(
+            parse(&["--full", "--quick"]).unwrap().profile,
+            Profile::Quick
+        );
+    }
+
+    #[test]
+    fn explicit_books_overrides_profile() {
+        let o = parse(&["--full", "--books", "7"]).unwrap();
+        assert_eq!(o.books(10, 20, 30), 7);
+    }
+
+    #[test]
+    fn threads_scaling_json_cache() {
+        let o = parse(&[
+            "--threads",
+            "4",
+            "--scaling",
+            "1,2,4,8",
+            "--json",
+            "out",
+            "--cache",
+            "off",
+        ])
+        .unwrap();
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.scaling, vec![1, 2, 4, 8]);
+        assert_eq!(o.json_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert!(!o.cache);
+        // thread_set dedups the gated count out of the sweep.
+        assert_eq!(o.thread_set(), vec![4, 1, 2, 8]);
+        assert_eq!(o.exec().threads, 4);
+        assert!(!o.exec().cache);
+    }
+
+    #[test]
+    fn bad_flags_error() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--scaling", "1,x"]).is_err());
+        assert!(parse(&["--cache", "maybe"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

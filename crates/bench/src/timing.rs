@@ -26,6 +26,52 @@ pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     (last.expect("runs >= 1"), times[times.len() / 2])
 }
 
+/// Median nanoseconds per call of `f`, calibrated so each timed
+/// repetition lasts at least `min_rep` by batching calls (a sub-5ns
+/// check is meaningless against a ~µs scheduler tick on a shared core).
+/// Returns the last call's value alongside for sanity checks. This is
+/// the estimator behind the `BENCH_*.json` medians the CI gate compares.
+pub fn median_ns_per_call<T>(reps: usize, min_rep: Duration, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(reps >= 1);
+    // Calibration: one warmup call sizes the batch.
+    let (mut last, once) = time(&mut f);
+    let iters = (min_rep.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as usize;
+    let mut per_call: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            last = f();
+        }
+        per_call.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    per_call.sort_by(|a, b| a.total_cmp(b));
+    (last, per_call[per_call.len() / 2])
+}
+
+/// Median ns per call of a fixed, deterministic integer workload (a
+/// xorshift chain the optimizer cannot fold away). Every experiment
+/// stores this as the [`meta/calibration`](crate::json::CALIBRATION_ROW)
+/// row of its report; the gate divides per-row ratios by the calibration
+/// ratio, cancelling uniform machine-speed shifts — shared CI runners
+/// routinely swing 1.5x between runs from host contention, which would
+/// otherwise fail every gated row at once. The workload lives in this
+/// crate and never changes with engine code, so a genuine engine
+/// regression cannot hide behind it.
+pub fn calibration_ns() -> f64 {
+    let (_, ns) = median_ns_per_call(9, Duration::from_millis(2), || {
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut acc = 0u64;
+        for _ in 0..4096 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        std::hint::black_box(acc)
+    });
+    ns
+}
+
 /// Formats a duration as microseconds with three decimals (stable column
 /// widths in reports).
 pub fn us(d: Duration) -> String {
@@ -58,6 +104,24 @@ mod tests {
         assert_eq!(calls, 5);
         assert_eq!(v, 5);
         assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn calibrated_median_batches_short_calls() {
+        let mut calls = 0u64;
+        let (v, ns) = median_ns_per_call(3, Duration::from_micros(50), || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(v, calls);
+        assert!(calls > 3, "sub-µs calls are batched ({calls} calls)");
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_finite() {
+        let ns = calibration_ns();
+        assert!(ns.is_finite() && ns > 0.0);
     }
 
     #[test]

@@ -27,8 +27,14 @@
 //!   vDataGuide and renumber, which is exactly the strategy §4.3 argues is
 //!   too expensive; it doubles as the correctness oracle for the virtual
 //!   predicates.
+//! * [`exec`] — [`ExecOptions`] and the deterministic partition/merge
+//!   primitives behind parallel scans, filters and sorts.
+//! * [`cache`] — sharded LRU for per-view compiled artifacts (vDataGuide
+//!   expansions, level-array maps, prefix tables) with hit/miss counters.
 
 pub mod axes;
+pub mod cache;
+pub mod exec;
 pub mod levels;
 pub mod order;
 pub mod range;
@@ -38,6 +44,8 @@ pub mod vdg;
 pub mod vdoc;
 pub mod vpbn;
 
+pub use cache::{CacheStats, ExecCache};
+pub use exec::ExecOptions;
 pub use levels::LevelArray;
 pub use vdg::{VDataGuide, VdgError, VdgSpec};
 pub use vdoc::VirtualDocument;

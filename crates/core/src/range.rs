@@ -14,8 +14,10 @@
 //! reports which situation holds. The A1 ablation benchmark measures the
 //! win of range scans over full-type filtering.
 
-use crate::levels::LevelArray;
+use crate::levels::{LevelArray, LevelMap};
+use crate::vdg::{VDataGuide, VTypeId};
 use crate::vpbn::VPbnRef;
+use vh_dataguide::DataGuide;
 use vh_pbn::Pbn;
 
 /// A document-order scan interval over a type index.
@@ -77,6 +79,99 @@ pub fn related_scan_range(x: &VPbnRef<'_>, ta: &LevelArray) -> ScanRange {
         lo,
         hi: Some(hi),
         exact,
+    }
+}
+
+/// Precomputed scan-range prefixes for every (context type, target type)
+/// pair of a compiled view.
+///
+/// [`related_scan_range`] depends on the context node only through the
+/// *length* of its number and its level array — and both are constant per
+/// virtual type (a node's physical number has exactly `length(orig(vt))`
+/// components, and level arrays are per-type by construction). So the
+/// contiguous-prefix length `m` and the exactness flag can be computed
+/// once per type pair and the per-node work drops to slicing the context
+/// number — this is the "decoded vPBN comparisons' per-type prefix table"
+/// artifact served by [`crate::cache::ExecCache`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixTables {
+    /// Number of virtual types (the table is `n × n`).
+    n: usize,
+    /// Row-major `(context, target)` entries.
+    entries: Vec<PrefixEntry>,
+}
+
+/// One `(context type, target type)` cell: prefix length and exactness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PrefixEntry {
+    /// Length of the pinned number prefix (`m` in [`related_scan_range`]).
+    m: u32,
+    /// Whether candidates inside the range need no further number check.
+    exact: bool,
+}
+
+impl PrefixTables {
+    /// Precomputes all `(context, target)` cells for a compiled view.
+    pub fn build(vdg: &VDataGuide, levels: &LevelMap, original: &DataGuide) -> Self {
+        let n = vdg.len();
+        let mut entries = Vec::with_capacity(n * n);
+        for ci in 0..n {
+            let ctx = VTypeId::from_index(ci);
+            // A node of virtual type `ctx` keeps its physical number, whose
+            // length is the depth of the node's *original* type.
+            let num_len = original.length(vdg.original_type(ctx));
+            let xa = levels.array(ctx).levels();
+            for ti in 0..n {
+                let t = levels.array(VTypeId::from_index(ti)).levels();
+                let bound = num_len.min(xa.len()).min(t.len());
+                let mut m = 0;
+                while m < bound && t[m] == xa[m] {
+                    m += 1;
+                }
+                let exact = (m..bound).all(|i| t[i] != xa[i]);
+                entries.push(PrefixEntry { m: m as u32, exact });
+            }
+        }
+        PrefixTables { n, entries }
+    }
+
+    /// The scan range for candidates of type `target` related to context
+    /// node `x` — identical to [`related_scan_range`] but O(m) instead of
+    /// O(m + array comparisons), with the comparisons amortized at build
+    /// time.
+    pub fn range(&self, x: &VPbnRef<'_>, target: VTypeId) -> ScanRange {
+        let e = self.entries[x.vtype.index() * self.n + target.index()];
+        let m = e.m as usize;
+        debug_assert!(m <= x.n.len(), "prefix never exceeds the context number");
+        if m == 0 {
+            return ScanRange {
+                lo: Pbn::empty(),
+                hi: None,
+                exact: e.exact,
+            };
+        }
+        let lo = Pbn::new(x.n[..m].to_vec());
+        let hi = lo.sibling_successor();
+        ScanRange {
+            lo,
+            hi: Some(hi),
+            exact: e.exact,
+        }
+    }
+
+    /// Number of virtual types covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate empty view.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Heap bytes of the table (for cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<PrefixEntry>()
     }
 }
 
@@ -196,5 +291,40 @@ mod tests {
         let r = ScanRange::full();
         assert!(r.contains(&pbn![1]));
         assert!(r.contains(&pbn![42, 7]));
+    }
+
+    #[test]
+    fn prefix_tables_agree_with_related_scan_range_on_every_pair() {
+        // Table lookups must be indistinguishable from the direct
+        // computation for every (context node, target type) pair of the
+        // paper document under several reshapings.
+        let doc = paper_figure2();
+        let typed = vh_dataguide::TypedDocument::analyze(doc);
+        for spec in [
+            "title { author { name } }",
+            "title { name { author } }",
+            "data { ** }",
+            "book { publisher }",
+        ] {
+            let v = VDataGuide::compile(spec, typed.guide()).unwrap();
+            let m = LevelMap::build(&v, typed.guide());
+            let tables = PrefixTables::build(&v, &m, typed.guide());
+            assert_eq!(tables.len(), v.len());
+            assert!(!tables.is_empty());
+            assert!(tables.heap_bytes() > 0);
+            for ci in 0..v.len() {
+                let ctx = crate::vdg::VTypeId::from_index(ci);
+                for node in typed.nodes_of_type(v.original_type(ctx)) {
+                    let num = typed.pbn().pbn_of(node);
+                    let x = VPbn::new(num.clone(), m.array(ctx).clone(), ctx);
+                    for ti in 0..v.len() {
+                        let tgt = crate::vdg::VTypeId::from_index(ti);
+                        let direct = related_scan_range(&x.as_ref(), m.array(tgt));
+                        let via_table = tables.range(&x.as_ref(), tgt);
+                        assert_eq!(direct, via_table, "spec {spec}: ctx {ci} → tgt {ti}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -10,11 +10,13 @@
 //! [`crate::range`].
 
 use crate::axes;
+use crate::exec::{self, ExecOptions};
 use crate::levels::{LevelArray, LevelMap};
 use crate::order::v_cmp;
-use crate::range::related_scan_range;
+use crate::range::{related_scan_range, PrefixTables};
 use crate::vdg::{VDataGuide, VTypeId, VdgError};
 use crate::vpbn::VPbnRef;
+use std::sync::Arc;
 use vh_dataguide::TypedDocument;
 use vh_pbn::Pbn;
 use vh_xml::NodeId;
@@ -27,6 +29,11 @@ pub struct VirtualDocument<'a> {
     levels: LevelMap,
     /// `by_vtype[vt.index()]` = nodes of virtual type `vt`, PBN-sorted.
     by_vtype: Vec<Vec<NodeId>>,
+    /// How axis filters and sorts over this view execute.
+    exec: ExecOptions,
+    /// Precomputed scan-range prefixes; when absent, ranges are derived
+    /// per lookup with [`related_scan_range`].
+    tables: Option<Arc<PrefixTables>>,
 }
 
 impl<'a> VirtualDocument<'a> {
@@ -59,7 +66,36 @@ impl<'a> VirtualDocument<'a> {
             vdg,
             levels,
             by_vtype,
+            exec: ExecOptions::default(),
+            tables: None,
         }
+    }
+
+    /// Sets the execution options for axis filters and sorts over this
+    /// view (single-threaded by default).
+    pub fn set_exec(&mut self, opts: ExecOptions) {
+        self.exec = opts;
+    }
+
+    /// The current execution options.
+    #[inline]
+    pub fn exec(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// Installs precomputed scan-range prefix tables (usually served by
+    /// [`crate::cache::ExecCache`]); navigation then skips the per-lookup
+    /// level-array comparison of [`related_scan_range`].
+    pub fn set_prefix_tables(&mut self, tables: Arc<PrefixTables>) {
+        debug_assert_eq!(tables.len(), self.vdg.len(), "tables match this view");
+        self.tables = Some(tables);
+    }
+
+    /// Builds and installs the prefix tables for this view directly (for
+    /// callers without an engine cache).
+    pub fn build_prefix_tables(&mut self) {
+        let t = PrefixTables::build(&self.vdg, &self.levels, self.td.guide());
+        self.tables = Some(Arc::new(t));
     }
 
     /// The underlying typed document.
@@ -188,14 +224,10 @@ impl<'a> VirtualDocument<'a> {
             return Vec::new();
         };
         let ta = self.levels.array(vt);
-        let mut out: Vec<NodeId> = self.by_vtype[vt.index()]
-            .iter()
-            .copied()
-            .filter(|&cand| {
-                let cv = VPbnRef::new(self.td.pbn().pbn_of(cand), ta, vt);
-                axes::v_descendant(&self.vdg, &cv, &xv)
-            })
-            .collect();
+        let mut out = exec::par_filter(&self.exec, &self.by_vtype[vt.index()], |&cand| {
+            let cv = VPbnRef::new(self.td.pbn().pbn_of(cand), ta, vt);
+            axes::v_descendant(&self.vdg, &cv, &xv)
+        });
         self.sort_virtual(&mut out);
         out
     }
@@ -268,21 +300,24 @@ impl<'a> VirtualDocument<'a> {
 
     /// Collects nodes of type `vt` related to the context `xv` under
     /// `pred(candidate, context)`, scanning only the derived PBN range of
-    /// the type index.
+    /// the type index. The scan is partitioned across threads when the
+    /// execution options allow; chunk results are concatenated in index
+    /// (PBN) order, so the output is identical to the sequential scan.
     fn collect_related<F>(&self, xv: &VPbnRef<'_>, vt: VTypeId, out: &mut Vec<NodeId>, pred: F)
     where
-        F: Fn(&VDataGuide, &VPbnRef<'_>, &VPbnRef<'_>) -> bool,
+        F: Fn(&VDataGuide, &VPbnRef<'_>, &VPbnRef<'_>) -> bool + Sync,
     {
         let ta = self.levels.array(vt);
-        let range = related_scan_range(xv, ta);
+        let range = match &self.tables {
+            Some(t) => t.range(xv, vt),
+            None => related_scan_range(xv, ta),
+        };
         let list = &self.by_vtype[vt.index()];
         let (start, end) = self.index_range(list, &range.lo, range.hi.as_ref());
-        for &cand in &list[start..end] {
+        out.extend(exec::par_filter(&self.exec, &list[start..end], |&cand| {
             let cv = VPbnRef::new(self.td.pbn().pbn_of(cand), ta, vt);
-            if pred(&self.vdg, &cv, xv) {
-                out.push(cand);
-            }
-        }
+            pred(&self.vdg, &cv, xv)
+        }));
     }
 
     /// Binary-searches a PBN-sorted node list for the sub-range `[lo, hi)`.
@@ -296,9 +331,14 @@ impl<'a> VirtualDocument<'a> {
         (start, end)
     }
 
-    /// Sorts node ids into virtual document order.
+    /// Sorts node ids into virtual document order. Safe to parallelize:
+    /// `v_cmp` never returns `Equal` for distinct nodes (equal numbers of
+    /// equal types are the same node), so chunk-sort + merge reproduces
+    /// the sequential order exactly.
     fn sort_virtual(&self, ids: &mut [NodeId]) {
-        ids.sort_by(|&a, &b| v_cmp(&self.vdg, &self.vpbn_visible(a), &self.vpbn_visible(b)));
+        exec::par_sort_by(&self.exec, ids, |&a, &b| {
+            v_cmp(&self.vdg, &self.vpbn_visible(a), &self.vpbn_visible(b))
+        });
     }
 }
 
@@ -470,6 +510,42 @@ mod tests {
                 "children of {}",
                 label(&td, id)
             );
+        }
+    }
+
+    #[test]
+    fn parallel_and_table_paths_match_the_default_exactly() {
+        let td = sam();
+        for spec in ["title { author { name } }", "title { name { author } }"] {
+            let base = VirtualDocument::open(&td, spec).unwrap();
+            for threads in [2, 3, 8] {
+                let mut vd = VirtualDocument::open(&td, spec).unwrap();
+                vd.set_exec(ExecOptions {
+                    threads,
+                    cache: true,
+                    par_threshold: 1, // force parallel paths on this tiny doc
+                });
+                vd.build_prefix_tables();
+                assert_eq!(vd.exec().threads, threads);
+                assert_eq!(vd.roots(), base.roots(), "{spec} t={threads}");
+                assert_eq!(vd.preorder(), base.preorder(), "{spec} t={threads}");
+                for id in base.preorder() {
+                    assert_eq!(vd.children(id), base.children(id));
+                    assert_eq!(vd.parent(id), base.parent(id));
+                    assert_eq!(vd.ancestors(id), base.ancestors(id));
+                }
+                let name_vt = vd.vdg().guide().type_ids().last().unwrap();
+                for id in base.preorder() {
+                    assert_eq!(
+                        vd.descendants_of_type(id, name_vt),
+                        base.descendants_of_type(id, name_vt)
+                    );
+                    assert_eq!(
+                        vd.descendants_of_type_filter(id, name_vt),
+                        base.descendants_of_type_filter(id, name_vt)
+                    );
+                }
+            }
         }
     }
 

@@ -14,7 +14,7 @@
 //! * [`order`] — document-order comparison (lexicographic on components).
 //! * [`encode`] — a compact, prefix-free, order-preserving byte encoding
 //!   ("strategies for packing PBN numbers into as few bits as possible",
-//!   §4.2's reference [11]).
+//!   §4.2's reference \[11\]).
 //! * [`assign`] — numbering every node of a [`vh_xml::Document`].
 //! * [`update`] — update renumbering (§3's contrast case): how many
 //!   numbers an edit invalidates, measurably.

@@ -4,7 +4,12 @@
 //! register documents once (they are analyzed — PBN numbers, DataGuide,
 //! type map), then run FLWR queries whose sources name them through
 //! `doc("uri")` or `virtualDoc("uri", "vDataGuide")`. `virtualDoc` views
-//! are compiled on first use and cached per `(uri, specification)`.
+//! are compiled on first use and served from the sharded
+//! [`ExecCache`] — vDataGuide expansions, Algorithm-1 level maps and
+//! scan-range prefix tables are each cached per
+//! `(uri, guide fingerprint, specification)` — so Algorithm 1 runs once
+//! per view, not once per query. The engine is `Sync`: reads (`eval*`)
+//! can run from many threads against one registry.
 
 use crate::doc::{PhysicalDoc, VirtualDoc};
 use crate::error::Limits;
@@ -13,10 +18,12 @@ use crate::flwr::eval::{eval_flwr_multi_limited, DocSet, FlwrError};
 use crate::flwr::parse::parse_flwr;
 use crate::xpath::eval::eval_xpath_limited;
 use crate::xpath::parse::parse_xpath;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
+use vh_core::cache::{guide_fingerprint, CacheStats, ViewKey};
 use vh_core::levels::LevelMap;
-use vh_core::{VDataGuide, VirtualDocument};
+use vh_core::range::PrefixTables;
+use vh_core::{ExecCache, ExecOptions, VDataGuide, VirtualDocument};
 use vh_dataguide::TypedDocument;
 use vh_xml::{Document, NodeId};
 
@@ -24,9 +31,13 @@ use vh_xml::{Document, NodeId};
 #[derive(Default)]
 pub struct Engine {
     docs: HashMap<String, TypedDocument>,
-    /// Compiled `(uri, specification) → (vDataGuide, level map)` cache:
-    /// Algorithm 1 runs once per view, not once per query.
-    views: RefCell<HashMap<(String, String), (VDataGuide, LevelMap)>>,
+    /// DataGuide fingerprint per registered URI — part of every view's
+    /// cache key, so re-registered content can never serve stale views.
+    guide_hash: HashMap<String, u64>,
+    /// Compiled-view artifacts shared across queries (and threads).
+    cache: Arc<ExecCache>,
+    /// Execution options stamped onto every view this engine opens.
+    exec: ExecOptions,
     /// Resource limits applied to every query this engine evaluates.
     limits: Limits,
 }
@@ -55,11 +66,27 @@ impl Engine {
         self.limits
     }
 
+    /// Replaces the execution options (threads, caching) applied to every
+    /// view opened by subsequent queries.
+    pub fn set_exec_options(&mut self, exec: ExecOptions) {
+        self.exec = exec;
+    }
+
+    /// The execution options currently in force.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// Hit/miss/eviction counters of the compiled-view cache, reported
+    /// alongside `StorageStats` by the CLI's `stats` action.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Parses and registers an XML string under its URI.
     pub fn register_xml(&mut self, uri: &str, xml: &str) -> Result<(), vh_xml::ParseError> {
         let td = TypedDocument::parse(uri, xml)?;
-        self.views.borrow_mut().retain(|(u, _), _| u != uri);
-        self.docs.insert(uri.to_owned(), td);
+        self.install(uri.to_owned(), td);
         Ok(())
     }
 
@@ -67,8 +94,17 @@ impl Engine {
     /// cached views of a previous document at that URI.
     pub fn register(&mut self, doc: Document) {
         let uri = doc.uri().to_owned();
-        self.views.borrow_mut().retain(|(u, _), _| *u != uri);
-        self.docs.insert(uri, TypedDocument::analyze(doc));
+        let td = TypedDocument::analyze(doc);
+        self.install(uri, td);
+    }
+
+    /// Stores an analyzed document, evicting all cached views of the URI
+    /// and recording the new guide fingerprint.
+    fn install(&mut self, uri: String, td: TypedDocument) {
+        self.cache.invalidate_uri(&uri);
+        self.guide_hash
+            .insert(uri.clone(), guide_fingerprint(td.guide()));
+        self.docs.insert(uri, td);
     }
 
     /// The analyzed document registered under `uri`.
@@ -171,7 +207,9 @@ impl Engine {
     }
 
     /// Opens a virtual document for direct navigation, using (and filling)
-    /// the compiled-view cache.
+    /// the compiled-view cache unless caching is disabled in the
+    /// execution options. The returned view carries the engine's
+    /// [`ExecOptions`].
     pub fn virtual_doc<'a>(
         &'a self,
         uri: &str,
@@ -181,21 +219,40 @@ impl Engine {
             .docs
             .get(uri)
             .ok_or_else(|| FlwrError::UnknownDocument(uri.to_owned()))?;
-        let key = (uri.to_owned(), spec.to_owned());
-        if let Some((vdg, levels)) = self.views.borrow().get(&key) {
-            return Ok(VirtualDocument::with_parts(td, vdg.clone(), levels.clone()));
-        }
-        let vdg = VDataGuide::compile(spec, td.guide())?;
-        let levels = LevelMap::build(&vdg, td.guide());
-        self.views
-            .borrow_mut()
-            .insert(key, (vdg.clone(), levels.clone()));
-        Ok(VirtualDocument::with_parts(td, vdg, levels))
+        // Invariant: `install` records a fingerprint for every registered
+        // URI; recompute defensively if a future path skips it.
+        let fp = self
+            .guide_hash
+            .get(uri)
+            .copied()
+            .unwrap_or_else(|| guide_fingerprint(td.guide()));
+        let mut vd = if self.exec.cache {
+            let key = ViewKey::new(uri, fp, spec);
+            let vdg = self
+                .cache
+                .expansions
+                .get_or_try_insert(&key, || VDataGuide::compile(spec, td.guide()).map(Arc::new))?;
+            let levels = self.cache.levels.get_or_try_insert(&key, || {
+                Ok::<_, FlwrError>(Arc::new(LevelMap::build(&vdg, td.guide())))
+            })?;
+            let tables = self.cache.tables.get_or_try_insert(&key, || {
+                Ok::<_, FlwrError>(Arc::new(PrefixTables::build(&vdg, &levels, td.guide())))
+            })?;
+            let mut vd = VirtualDocument::with_parts(td, (*vdg).clone(), (*levels).clone());
+            vd.set_prefix_tables(tables);
+            vd
+        } else {
+            let vdg = VDataGuide::compile(spec, td.guide())?;
+            let levels = LevelMap::build(&vdg, td.guide());
+            VirtualDocument::with_parts(td, vdg, levels)
+        };
+        vd.set_exec(self.exec);
+        Ok(vd)
     }
 
-    /// Number of compiled views currently cached.
+    /// Number of compiled views currently cached (expansion entries).
     pub fn cached_views(&self) -> usize {
-        self.views.borrow().len()
+        self.cache.expansions.len()
     }
 
     /// Convenience: the result of `eval` serialized compactly.

@@ -10,13 +10,14 @@
 
 use std::cmp::Ordering;
 use vh_core::axes::v_ancestor;
+use vh_core::exec::{self, ExecOptions};
 use vh_core::order::v_cmp;
 use vh_core::VirtualDocument;
 use vh_dataguide::TypedDocument;
 use vh_pbn::Pbn;
 use vh_xml::NodeId;
 
-/// Generic Stack-Tree structural join.
+/// Generic Stack-Tree structural join (sequential).
 ///
 /// Inputs must be sorted by `cmp` (a document order in which an ancestor
 /// precedes its descendants). `contains(a, d)` must be true iff `a` is an
@@ -25,13 +26,70 @@ use vh_xml::NodeId;
 pub fn stack_tree_join(
     ancestors: &[NodeId],
     descendants: &[NodeId],
-    cmp: &dyn Fn(NodeId, NodeId) -> Ordering,
-    contains: &dyn Fn(NodeId, NodeId) -> bool,
+    cmp: &(dyn Fn(NodeId, NodeId) -> Ordering + Sync),
+    contains: &(dyn Fn(NodeId, NodeId) -> bool + Sync),
+) -> Vec<(NodeId, NodeId)> {
+    stack_tree_join_opts(
+        ancestors,
+        descendants,
+        cmp,
+        contains,
+        &ExecOptions::default(),
+    )
+}
+
+/// [`stack_tree_join`] with an execution knob: the descendant stream is
+/// partitioned into contiguous chunks, each chunk replays the compatible
+/// ancestor prefix to rebuild its starting stack, and per-chunk outputs
+/// are concatenated in chunk order.
+///
+/// This is byte-identical to the sequential join: the stack visible to a
+/// descendant `d` is a pure function of the ancestors preceding `d` — the
+/// push-time cleaning depends only on the ancestor sequence, and entries
+/// popped early for an earlier descendant `d'` cannot contain `d` (their
+/// subtree ended before `d'` ≤ `d`), so they fall to `d`'s own pop loop in
+/// the replayed stack instead. The replay costs O(|ancestors|) per chunk,
+/// amortized by chunks being as large as the thread count allows.
+pub fn stack_tree_join_opts(
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    cmp: &(dyn Fn(NodeId, NodeId) -> Ordering + Sync),
+    contains: &(dyn Fn(NodeId, NodeId) -> bool + Sync),
+    opts: &ExecOptions,
+) -> Vec<(NodeId, NodeId)> {
+    let chunks = exec::par_chunk_map(opts, descendants, |chunk| {
+        stack_tree_chunk(ancestors, chunk, cmp, contains)
+    });
+    exec::concat(chunks)
+}
+
+/// Runs the Stack-Tree merge for one contiguous descendant chunk,
+/// replaying the ancestor prefix `< chunk[0]` to seed the stack.
+fn stack_tree_chunk(
+    ancestors: &[NodeId],
+    chunk: &[NodeId],
+    cmp: &(dyn Fn(NodeId, NodeId) -> Ordering + Sync),
+    contains: &(dyn Fn(NodeId, NodeId) -> bool + Sync),
 ) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::new();
+    let Some(&first) = chunk.first() else {
+        return out;
+    };
     let mut stack: Vec<NodeId> = Vec::new();
-    let mut i = 0;
-    for &d in descendants {
+    // Replay: push-clean every ancestor that starts before the chunk's
+    // first descendant. For the first chunk this is a no-op prefix (the
+    // main loop below would do the same pushes for `first`).
+    let mut i = ancestors.partition_point(|&a| cmp(a, first) == Ordering::Less);
+    for &a in &ancestors[..i] {
+        while let Some(&top) = stack.last() {
+            if contains(top, a) {
+                break;
+            }
+            stack.pop();
+        }
+        stack.push(a);
+    }
+    for &d in chunk {
         // Push every ancestor candidate that starts before d.
         while i < ancestors.len() && cmp(ancestors[i], d) == Ordering::Less {
             let a = ancestors[i];
@@ -67,18 +125,30 @@ pub fn physical_structural_join(
     ancestors: &[NodeId],
     descendants: &[NodeId],
 ) -> Vec<(NodeId, NodeId)> {
+    physical_structural_join_opts(td, ancestors, descendants, &ExecOptions::default())
+}
+
+/// [`physical_structural_join`] with an execution knob.
+pub fn physical_structural_join_opts(
+    td: &TypedDocument,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    opts: &ExecOptions,
+) -> Vec<(NodeId, NodeId)> {
     let pbn = |n: NodeId| -> &Pbn { td.pbn().pbn_of(n) };
-    stack_tree_join(
+    stack_tree_join_opts(
         ancestors,
         descendants,
         &|a, b| pbn(a).cmp(pbn(b)),
         &|a, d| pbn(a).is_strict_prefix_of(pbn(d)),
+        opts,
     )
 }
 
 /// Virtual structural join: inputs sorted by virtual document order;
 /// containment is the `vAncestor` predicate. The caller passes the node
-/// lists of two *virtual types* (e.g. from the type index).
+/// lists of two *virtual types* (e.g. from the type index). Runs with the
+/// view's own [`ExecOptions`] (see [`VirtualDocument::set_exec`]).
 pub fn virtual_structural_join(
     vd: &VirtualDocument<'_>,
     ancestors: &[NodeId],
@@ -91,11 +161,12 @@ pub fn virtual_structural_join(
         Some(v) => v,
         None => unreachable!("join input is visible"),
     };
-    stack_tree_join(
+    stack_tree_join_opts(
         ancestors,
         descendants,
         &|a, b| v_cmp(vd.vdg(), &vpbn(a), &vpbn(b)),
         &|a, d| v_ancestor(vd.vdg(), &vpbn(a), &vpbn(d)),
+        &vd.exec(),
     )
 }
 
@@ -217,5 +288,52 @@ mod tests {
         assert!(physical_structural_join(&td, &[], &[]).is_empty());
         let books = td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).must());
         assert!(physical_structural_join(&td, &books, &[]).is_empty());
+    }
+
+    #[test]
+    fn chunked_join_is_byte_identical_to_sequential() {
+        // A corpus with real nesting: books containing authors containing
+        // names, joined at several ancestor/descendant type pairs.
+        use vh_xml::ElementBuilder;
+        let mut data = ElementBuilder::new("data");
+        for i in 0..40 {
+            let mut book = ElementBuilder::new("book");
+            for a in 0..(i % 4) + 1 {
+                book = book.child(
+                    ElementBuilder::new("author")
+                        .child(ElementBuilder::new("name").text(format!("n{i}.{a}"))),
+                );
+            }
+            data = data.child(book);
+        }
+        let td = TypedDocument::analyze(data.into_document("big.xml"));
+        let pairs = [
+            (vec!["data", "book"], vec!["data", "book", "author", "name"]),
+            (
+                vec!["data", "book", "author"],
+                vec!["data", "book", "author", "name"],
+            ),
+            (vec!["data"], vec!["data", "book", "author"]),
+        ];
+        for (anc_path, desc_path) in &pairs {
+            let anc = sorted_by_pbn(
+                &td,
+                td.nodes_of_type(td.guide().lookup_path(anc_path).must()),
+            );
+            let desc = sorted_by_pbn(
+                &td,
+                td.nodes_of_type(td.guide().lookup_path(desc_path).must()),
+            );
+            let seq = physical_structural_join(&td, &anc, &desc);
+            for threads in [2, 3, 8] {
+                let opts = vh_core::ExecOptions {
+                    threads,
+                    cache: true,
+                    par_threshold: 1,
+                };
+                let par = physical_structural_join_opts(&td, &anc, &desc, &opts);
+                assert_eq!(par, seq, "{anc_path:?}//{desc_path:?} t={threads}");
+            }
+        }
     }
 }

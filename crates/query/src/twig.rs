@@ -21,6 +21,7 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 use vh_core::axes::v_ancestor;
+use vh_core::exec::{self, ExecOptions};
 use vh_core::order::v_cmp;
 use vh_core::VirtualDocument;
 use vh_dataguide::TypedDocument;
@@ -224,10 +225,29 @@ pub struct PhysicalTwigSource<'a> {
 impl<'a> PhysicalTwigSource<'a> {
     /// Builds per-name streams once (the name index of §4.3).
     pub fn new(td: &'a TypedDocument) -> Self {
+        Self::with_options(td, &ExecOptions::default())
+    }
+
+    /// [`Self::new`] with an execution knob: the document-order pass is
+    /// partitioned into contiguous chunks, each building its own per-name
+    /// lists, which are then appended **in chunk order** — so every stream
+    /// comes out in exactly the document order of the sequential build.
+    pub fn with_options(td: &'a TypedDocument, opts: &ExecOptions) -> Self {
+        let in_order = td.pbn().in_document_order();
+        let partials = exec::par_chunk_map(opts, in_order, |chunk| {
+            let mut by_name: HashMap<String, Vec<NodeId>> = HashMap::new();
+            for (_, id) in chunk {
+                if let Some(name) = td.doc().name(*id) {
+                    by_name.entry(name.to_owned()).or_default().push(*id);
+                }
+            }
+            by_name
+        });
         let mut by_name: HashMap<String, Vec<NodeId>> = HashMap::new();
-        for (_, id) in td.pbn().in_document_order() {
-            if let Some(name) = td.doc().name(*id) {
-                by_name.entry(name.to_owned()).or_default().push(*id);
+        for partial in partials {
+            // Chunk order = document order, so appending preserves it.
+            for (name, mut ids) in partial {
+                by_name.entry(name).or_default().append(&mut ids);
             }
         }
         PhysicalTwigSource { td, by_name }
@@ -284,7 +304,8 @@ impl<'a> TwigSource for VirtualTwigSource<'a> {
             .filter(|&vt| vdg.guide().name(vt) == test)
             .flat_map(|vt| self.vd.nodes_of_vtype(vt).iter().copied())
             .collect();
-        out.sort_by(|&a, &b| self.cmp(a, b));
+        // Safe to parallelize: v_cmp never ties for distinct nodes.
+        exec::par_sort_by(&self.vd.exec(), &mut out, |&a, &b| self.cmp(a, b));
         out
     }
 
@@ -311,6 +332,20 @@ pub fn twig_join(source: &dyn TwigSource, pattern: &TwigPattern) -> Vec<TwigMatc
     merge_path_solutions(pattern, &paths)
 }
 
+/// [`twig_join`] with an execution knob: the per-pattern-node streams are
+/// built concurrently (one task per pattern node — stream extraction is
+/// the scan-heavy phase), then the synchronized TwigStack pass runs
+/// sequentially, so the result is identical to [`twig_join`].
+pub fn twig_join_opts(
+    source: &(dyn TwigSource + Sync),
+    pattern: &TwigPattern,
+    opts: &ExecOptions,
+) -> Vec<TwigMatch> {
+    let streams = build_streams(source, pattern, opts);
+    let paths = TwigStack::with_streams(source, pattern, streams).run();
+    merge_path_solutions(pattern, &paths)
+}
+
 /// Phase 1 of TwigStack: computes the root-to-leaf *path solutions* for
 /// every leaf of the pattern. `result[leaf_position]` holds node chains in
 /// pattern `path_to(leaf)` order.
@@ -319,6 +354,39 @@ pub fn twig_path_solutions(
     pattern: &TwigPattern,
 ) -> Vec<Vec<Vec<NodeId>>> {
     TwigStack::new(source, pattern).run()
+}
+
+/// Extracts one stream per pattern node, concurrently when `opts` allows.
+/// The output vector is indexed by pattern node, so task completion order
+/// cannot affect the result.
+fn build_streams(
+    source: &(dyn TwigSource + Sync),
+    pattern: &TwigPattern,
+    opts: &ExecOptions,
+) -> Vec<Vec<NodeId>> {
+    if opts.resolved_threads() <= 1 || pattern.len() <= 1 {
+        return pattern
+            .nodes()
+            .iter()
+            .map(|n| source.stream(&n.test))
+            .collect();
+    }
+    let mut slots: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(pattern.len());
+    slots.resize_with(pattern.len(), || None);
+    rayon::scope(|s| {
+        for (slot, node) in slots.iter_mut().zip(pattern.nodes()) {
+            s.spawn(move || *slot = Some(source.stream(&node.test)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(s) => s,
+            // Invariant: rayon::scope joins every spawned worker, and each
+            // worker fills exactly its own slot.
+            None => unreachable!("scope joined all stream builders"),
+        })
+        .collect()
 }
 
 struct TwigStack<'s> {
@@ -341,6 +409,17 @@ impl<'s> TwigStack<'s> {
             .iter()
             .map(|n| source.stream(&n.test))
             .collect();
+        Self::with_streams(source, pattern, streams)
+    }
+
+    /// Builds the evaluator over pre-extracted streams (one per pattern
+    /// node, in pattern-node order, each in document order).
+    fn with_streams(
+        source: &'s dyn TwigSource,
+        pattern: &'s TwigPattern,
+        streams: Vec<Vec<NodeId>>,
+    ) -> Self {
+        debug_assert_eq!(streams.len(), pattern.len());
         let leaves = pattern.leaves();
         let leaf_pos: HashMap<usize, usize> =
             leaves.iter().enumerate().map(|(i, &l)| (l, i)).collect();
@@ -713,6 +792,40 @@ mod tests {
         let phys = PhysicalTwigSource::new(&td);
         for m in &matches {
             assert!(!phys.contains(m[0], m[1]));
+        }
+    }
+
+    #[test]
+    fn parallel_twig_join_matches_sequential() {
+        let td = TypedDocument::analyze(vh_workload_books(30, 3));
+        let phys = PhysicalTwigSource::new(&td);
+        let vd = VirtualDocument::open(&td, "title { author { name } }").must();
+        let virt = VirtualTwigSource::new(&vd);
+        for pat in [
+            "book(title, author(name))",
+            "data(book(author))",
+            "title(author(name))",
+        ] {
+            let p = TwigPattern::parse(pat).must();
+            for threads in [2, 4] {
+                let opts = ExecOptions {
+                    threads,
+                    cache: true,
+                    par_threshold: 1,
+                };
+                // Parallel stream build in the source AND in the join.
+                let phys_par = PhysicalTwigSource::with_options(&td, &opts);
+                assert_eq!(
+                    twig_join_opts(&phys_par, &p, &opts),
+                    twig_join(&phys, &p),
+                    "physical {pat} t={threads}"
+                );
+                assert_eq!(
+                    twig_join_opts(&virt, &p, &opts),
+                    twig_join(&virt, &p),
+                    "virtual {pat} t={threads}"
+                );
+            }
         }
     }
 

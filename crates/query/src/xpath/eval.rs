@@ -6,7 +6,7 @@
 //! compare strings unless a number is involved, and the relational
 //! operators compare numbers.
 //!
-//! Internally every context is a [`Ctx`]: either a real node or the
+//! Internally every context is a `Ctx`: either a real node or the
 //! conceptual **document node** (`Ctx::Super`) above the root(s). Virtual
 //! hierarchies are forests, so `//title` must reach root-level titles —
 //! exactly what the standard expansion

@@ -9,10 +9,10 @@
 //!
 //! * [`Document`] — an arena-allocated ordered tree of elements, text nodes,
 //!   comments and processing instructions, with attributes on elements.
-//! * [`parse`] / [`Document::parse`] — a small, fast, non-validating XML
+//! * [`parse`](fn@parse) / [`Document::parse`] — a small, fast, non-validating XML
 //!   parser (elements, attributes, text, CDATA, comments, PIs, the five
 //!   predefined entities and numeric character references).
-//! * [`serialize`] — a serializer that round-trips documents, with compact
+//! * [`serialize`](fn@serialize) — a serializer that round-trips documents, with compact
 //!   and indented modes.
 //! * [`builder`] — an ergonomic programmatic construction API used by the
 //!   workload generators and tests.

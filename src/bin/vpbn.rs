@@ -17,12 +17,18 @@
 //!      vpath "title { author { name } }" "//title/author/name"
 //! ```
 //!
+//! Global flags (accepted anywhere before the action): `--threads N`
+//! parallelizes node scans, axis filters and sorts over N worker threads
+//! (`0` = all hardware threads; results are byte-identical to `--threads
+//! 1`), and `--cache on|off` controls the compiled-view artifact cache
+//! whose hit/miss counters `stats` reports.
+//!
 //! Failures print the full error cause chain to stderr and exit with a
 //! class-specific code: usage=2, I/O=3, XML=4, vDataGuide=5, query=6,
 //! storage=7, resource limits=8 (see `vpbn_suite::error`).
 
 use std::process::ExitCode;
-use vpbn_suite::core::VirtualDocument;
+use vpbn_suite::core::{ExecOptions, VirtualDocument};
 use vpbn_suite::dataguide::TypedDocument;
 use vpbn_suite::query::Engine;
 use vpbn_suite::storage::StoredDocument;
@@ -53,8 +59,14 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  vpbn load <uri> <file.xml> [load <uri> <file.xml> ...] <action>
+  vpbn [flags] load <uri> <file.xml> [load <uri> <file.xml> ...] <action>
   vpbn demo
+
+flags (anywhere before the action):
+  --threads <n>                parallel workers for scans/filters/sorts
+                               (default 1 = sequential, 0 = all cores;
+                               results are identical at any thread count)
+  --cache <on|off>             compiled-view artifact cache (default on)
 
 actions:
   query   <flwr-text>          evaluate a FLWR query (doc()/virtualDoc())
@@ -62,14 +74,17 @@ actions:
   vpath   <vdataguide> <path>  evaluate an XPath over a virtual view
   value   <vdataguide> <path>  print the virtual VALUE of each result
   explain <vdataguide>         show the compiled view (types, level arrays)
-  stats                        storage statistics of the last-loaded doc
+  stats                        storage + cache statistics of the last doc
 
 exit codes:
   2 usage   3 I/O   4 XML parse   5 vDataGuide   6 query
   7 storage   8 resource limit exceeded";
 
 fn run(args: &[String]) -> Result<(), VhError> {
+    let (exec, args) = parse_global_flags(args)?;
+    let args = &args[..];
     let mut engine = Engine::new();
+    engine.set_exec_options(exec);
     let mut last_uri: Option<String> = None;
     let mut i = 0;
 
@@ -198,12 +213,61 @@ fn run(args: &[String]) -> Result<(), VhError> {
                 println!("  name index      : {:>10} B", s.name_index_bytes);
                 println!("  node headers    : {:>10} B", s.header_bytes);
                 println!("  total           : {:>10} B", s.total_bytes());
+                let cs = engine.cache_stats();
+                println!("compiled-view cache:");
+                for (name, c) in [
+                    ("expansions", cs.expansions),
+                    ("level maps", cs.levels),
+                    ("prefix tables", cs.tables),
+                ] {
+                    println!(
+                        "  {name:<16}: {} entries, {} hits / {} misses, {} evicted, {} invalidated",
+                        c.entries, c.hits, c.misses, c.evictions, c.invalidations
+                    );
+                }
                 return Ok(());
             }
             other => return Err(VhError::usage(format!("unknown command '{other}'"))),
         }
     }
     Err(VhError::usage("no action given"))
+}
+
+/// Strips `--threads N` / `--cache on|off` from anywhere in the argument
+/// list and returns the resulting [`ExecOptions`] plus the remaining
+/// positional arguments.
+fn parse_global_flags(args: &[String]) -> Result<(ExecOptions, Vec<String>), VhError> {
+    let mut exec = ExecOptions::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| VhError::usage("--threads: missing worker count"))?;
+                exec.threads = v.parse().map_err(|_| {
+                    VhError::usage(format!("--threads: '{v}' is not a thread count"))
+                })?;
+            }
+            "--cache" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| VhError::usage("--cache: missing on|off"))?;
+                exec.cache = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(VhError::usage(format!(
+                            "--cache: expected on|off, got '{other}'"
+                        )))
+                    }
+                };
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((exec, rest))
 }
 
 fn expect_end(args: &[String], from: usize) -> Result<(), VhError> {

@@ -283,3 +283,92 @@ fn sibling_ordinals_match_materialized_positions() {
         }
     }
 }
+
+/// Cache invalidation: re-registering a mutated document under the same
+/// URI must evict the stale compiled-view artifacts (vDataGuide
+/// expansion, level-array map, prefix tables), and the next open must
+/// agree with the materialization oracle on the *new* instance — a stale
+/// level array would place nodes at the old document's positions.
+#[test]
+fn mutating_a_document_evicts_stale_view_artifacts() {
+    use vpbn_suite::query::Engine;
+    const SPEC: &str = "title { author { name } }";
+    const URI: &str = "books.xml";
+
+    let old_cfg = BooksConfig {
+        books: 9,
+        max_authors: 3,
+        rare_fraction: 0.25,
+        seed: 11,
+    };
+    // The mutation: more books, different shapes — every level array and
+    // prefix table changes.
+    let new_cfg = BooksConfig {
+        books: 14,
+        max_authors: 2,
+        rare_fraction: 0.5,
+        seed: 12,
+    };
+
+    let mut engine = Engine::new();
+    engine.register(generate_books(URI, &old_cfg));
+
+    // Cold open fills the cache; warm open hits every shard.
+    let old_pre = engine.virtual_doc(URI, SPEC).unwrap().preorder();
+    let cold = engine.cache_stats();
+    assert_eq!(cold.total_misses(), 3, "expansion + levels + tables miss");
+    assert_eq!(cold.total_hits(), 0);
+    let _ = engine.virtual_doc(URI, SPEC).unwrap();
+    let warm = engine.cache_stats();
+    assert_eq!(warm.total_hits(), 3, "warm open hits all three caches");
+    assert_eq!(warm.total_misses(), 3);
+
+    // Mutate: same URI, new instance. Registration must invalidate.
+    engine.register(generate_books(URI, &new_cfg));
+    let after = engine.cache_stats();
+    assert_eq!(
+        after.total_invalidations(),
+        3,
+        "stale expansion, level map and prefix tables are evicted"
+    );
+
+    // The next open recompiles (miss, not hit) ...
+    let new_pre = engine.virtual_doc(URI, SPEC).unwrap().preorder();
+    let refilled = engine.cache_stats();
+    assert_eq!(refilled.total_misses(), 6, "recompiled after invalidation");
+    assert_eq!(refilled.total_hits(), 3, "no stale hits served");
+    assert_ne!(old_pre, new_pre, "the mutation changed the view");
+
+    // ... and agrees with materializing the new instance from scratch.
+    let td = TypedDocument::analyze(generate_books(URI, &new_cfg));
+    let vdg = VDataGuide::compile(SPEC, td.guide()).unwrap();
+    let mat = materialize(&td, &vdg);
+    let mroot = mat.doc.root().unwrap();
+    let oracle: Vec<NodeId> = mat
+        .doc
+        .descendants_or_self(mroot)
+        .skip(1)
+        .map(|m| mat.source_of[m.index()].unwrap())
+        .collect();
+    assert_eq!(new_pre, oracle, "post-mutation view matches the oracle");
+
+    // Unrelated URIs are untouched by invalidation.
+    engine.register(generate_books("other.xml", &old_cfg));
+    let _ = engine.virtual_doc("other.xml", SPEC).unwrap();
+    let with_other = engine.cache_stats();
+    engine.register(generate_books(URI, &new_cfg));
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.total_invalidations(),
+        with_other.total_invalidations() + 3,
+        "only books.xml entries are evicted"
+    );
+    let other_pre = engine.virtual_doc("other.xml", SPEC).unwrap().preorder();
+    let hits_after = engine.cache_stats().total_hits();
+    assert_eq!(
+        hits_after,
+        stats.total_hits() + 3,
+        "other.xml still served from cache"
+    );
+    assert!(!other_pre.is_empty());
+}

@@ -327,3 +327,95 @@ proptest! {
         }
     }
 }
+
+// Parallel execution is deterministic: every navigation primitive, the
+// chunked Stack-Tree join and the parallel twig join return results
+// identical to the single-threaded run, for random trees and every
+// sampled thread count. `par_threshold` is lowered to 1 so the parallel
+// paths actually run on these small corpora.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_execution_matches_sequential(
+        books in 1usize..10,
+        max_authors in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        use vpbn_suite::core::ExecOptions;
+        use vpbn_suite::query::sjoin::virtual_structural_join;
+        use vpbn_suite::query::twig::{twig_join_opts, TwigPattern, VirtualTwigSource};
+
+        let cfg = vpbn_suite::workload::BooksConfig {
+            books,
+            max_authors,
+            rare_fraction: 0.2,
+            seed,
+        };
+        let td = TypedDocument::analyze(
+            vpbn_suite::workload::generate_books("books.xml", &cfg),
+        );
+
+        // Navigation over every scenario view.
+        for s in vpbn_suite::workload::book_scenarios() {
+            let base = VirtualDocument::open(&td, s.spec).unwrap();
+            let base_pre = base.preorder();
+            let base_roots = base.roots();
+            for &threads in &[2usize, 3, 8] {
+                let mut vd = VirtualDocument::open(&td, s.spec).unwrap();
+                vd.set_exec(ExecOptions { threads, cache: true, par_threshold: 1 });
+                vd.build_prefix_tables();
+                prop_assert_eq!(&vd.preorder(), &base_pre,
+                    "preorder, scenario {} t={}", s.name, threads);
+                prop_assert_eq!(&vd.roots(), &base_roots,
+                    "roots, scenario {} t={}", s.name, threads);
+                for &x in base_pre.iter().take(16) {
+                    prop_assert_eq!(vd.children(x), base.children(x),
+                        "children, scenario {} t={}", s.name, threads);
+                    prop_assert_eq!(vd.parent(x), base.parent(x),
+                        "parent, scenario {} t={}", s.name, threads);
+                    prop_assert_eq!(vd.ancestors(x), base.ancestors(x),
+                        "ancestors, scenario {} t={}", s.name, threads);
+                }
+                for vt in vd.vdg().guide().type_ids() {
+                    for &r in &base_roots {
+                        prop_assert_eq!(
+                            vd.descendants_of_type(r, vt),
+                            base.descendants_of_type(r, vt),
+                            "descendants_of_type, scenario {} t={}", s.name, threads);
+                    }
+                }
+            }
+        }
+
+        // Joins over Sam's view (guaranteed present in the books corpus).
+        const SPEC: &str = "title { author { name } }";
+        let base = VirtualDocument::open(&td, SPEC).unwrap();
+        let title_vt = base.vdg().guide().lookup_path(&["title"]).unwrap();
+        let name_vt = base
+            .vdg()
+            .guide()
+            .lookup_path(&["title", "author", "name"])
+            .unwrap();
+        let titles = base.nodes_of_vtype(title_vt).to_vec();
+        let names = base.nodes_of_vtype(name_vt).to_vec();
+        let base_join = virtual_structural_join(&base, &titles, &names);
+        let pattern = TwigPattern::parse("title(author(name))").unwrap();
+        let base_src = VirtualTwigSource::new(&base);
+        let base_twig = twig_join_opts(&base_src, &pattern, &ExecOptions::sequential());
+        for &threads in &[2usize, 3, 8] {
+            let ex = ExecOptions { threads, cache: true, par_threshold: 1 };
+            let mut vd = VirtualDocument::open(&td, SPEC).unwrap();
+            vd.set_exec(ex);
+            prop_assert_eq!(
+                &virtual_structural_join(&vd, &titles, &names),
+                &base_join,
+                "structural join t={}", threads);
+            let src = VirtualTwigSource::new(&vd);
+            prop_assert_eq!(
+                &twig_join_opts(&src, &pattern, &ex),
+                &base_twig,
+                "twig join t={}", threads);
+        }
+    }
+}

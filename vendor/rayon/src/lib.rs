@@ -1,0 +1,76 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the small fork-join subset the workspace actually uses:
+//! [`scope`] (re-exported from `std::thread`, whose `Scope::spawn` closure
+//! takes no scope argument — the one API difference from real rayon),
+//! [`join`], and [`current_num_threads`]. There is no work-stealing pool:
+//! every spawn is an OS thread, so callers chunk work coarsely (one task
+//! per hardware thread) rather than spawning per item. `vh_core::exec`
+//! is the only intended consumer; it layers deterministic partition/merge
+//! helpers on top.
+
+/// Scoped threads: `rayon::scope(|s| { s.spawn(|| ...); ... })`.
+///
+/// Re-export of [`std::thread::scope`]; all spawned threads are joined
+/// before `scope` returns, and panics are propagated to the caller.
+pub use std::thread::scope;
+
+/// The scope handle passed to the [`scope`] closure.
+pub use std::thread::Scope;
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `oper_b` runs on a freshly spawned scoped thread while `oper_a` runs on
+/// the calling thread; a panic in either is propagated.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Number of hardware threads available to this process (≥ 1).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_runs_both_and_returns_in_order() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn scope_joins_spawned_threads() {
+        let mut results = vec![0u32; 4];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u32 + 1);
+            }
+        });
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn at_least_one_thread_reported() {
+        assert!(current_num_threads() >= 1);
+    }
+}
