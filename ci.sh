@@ -20,7 +20,7 @@ BASELINE_DIR=crates/bench/baselines
 run_bench() {
   local out="$1"
   cargo build --release -p vh-bench --bins
-  for exp in exp_axes exp_twig exp_sjoin; do
+  for exp in exp_axes exp_twig exp_sjoin exp_space; do
     "./target/release/$exp" "${BENCH_FLAGS[@]}" --json "$out" >/dev/null
   done
 }
@@ -41,6 +41,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> cargo test --release (optimized build exercises the byte-scan fast paths)"
+cargo test --workspace --release -q
 
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -194,6 +194,8 @@ fn main() {
          the claim under test is the per-check cost ratio.\n"
     );
 
+    axis_scan_demo(&opts, &td, &mut report);
+
     cache_demo(&opts, &cfg, &mut report);
 
     // Machine-speed reference: lets the gate cancel host-contention
@@ -223,6 +225,71 @@ fn time_count<T: Sync>(
         exec::par_count(ex, pairs, |p| std::hint::black_box(pred(p)))
     });
     (ns_per_scan / pairs.len().max(1) as f64, hits)
+}
+
+/// Arena range-scan axis *evaluation* vs the O(N) predicate oracle:
+/// `descendants_of_type` resolves the context's related prefix once and
+/// binary-searches the byte-range of the type index, while the `_filter`
+/// oracle runs the §5 predicate over every node of the target type. Rows
+/// `axes/axis/descendant-range/…` are gated at the configured thread
+/// count; `oracle/…` and `scaling/…` rows are informational.
+fn axis_scan_demo(opts: &BenchOpts, td: &TypedDocument, report: &mut BenchReport) {
+    let mut t = Table::new(
+        "F2b: descendant axis evaluation (ns/context) — arena range scan vs predicate scan",
+        &["threads", "contexts", "range_ns", "filter_ns", "speedup_x"],
+    );
+    for threads in opts.thread_set() {
+        let mut vd = VirtualDocument::open(td, SPEC).unwrap();
+        vd.set_exec(ExecOptions::with_threads(threads));
+        vd.build_prefix_tables();
+        let title_vt = vd.vdg().guide().lookup_path(&["title"]).unwrap();
+        let name_vt = vd
+            .vdg()
+            .guide()
+            .lookup_path(&["title", "author", "name"])
+            .unwrap();
+        let contexts = vd.nodes_of_vtype(title_vt).to_vec();
+        let per_ctx = |ns: f64| ns / contexts.len().max(1) as f64;
+        let (range_hits, range_ns) = median_ns_per_call(REPS, MIN_REP, || {
+            contexts
+                .iter()
+                .map(|&x| vd.descendants_of_type(x, name_vt).len())
+                .sum::<usize>()
+        });
+        let (filter_hits, filter_ns) = median_ns_per_call(REPS, MIN_REP, || {
+            contexts
+                .iter()
+                .map(|&x| vd.descendants_of_type_filter(x, name_vt).len())
+                .sum::<usize>()
+        });
+        assert_eq!(range_hits, filter_hits, "range scan matches the oracle");
+        t.row(&[
+            threads.to_string(),
+            contexts.len().to_string(),
+            format!("{:.0}", per_ctx(range_ns)),
+            format!("{:.0}", per_ctx(filter_ns)),
+            format!("{:.1}", filter_ns / range_ns.max(0.001)),
+        ]);
+        let prefix = if threads == opts.threads {
+            "axes/axis/descendant-range".to_string()
+        } else {
+            "scaling/axes/descendant-range".to_string()
+        };
+        report.push(
+            BenchRow::new(format!("{prefix}/t{threads}"), per_ctx(range_ns))
+                .with("threads", threads as f64)
+                .with("hits", range_hits as f64),
+        );
+        report.push(
+            BenchRow::new(
+                format!("oracle/axes/descendant-filter/t{threads}"),
+                per_ctx(filter_ns),
+            )
+            .with("threads", threads as f64)
+            .with("hits", filter_hits as f64),
+        );
+    }
+    t.print();
 }
 
 /// Cold vs warm compiled-view open through the engine cache: the warm

@@ -18,8 +18,28 @@ use vh_bench::timing::{calibration_ns, median_ns_per_call, median_time};
 use vh_core::transform::materialize;
 use vh_core::{ExecOptions, VDataGuide, VirtualDocument};
 use vh_dataguide::TypedDocument;
-use vh_query::twig::{twig_join_opts, PhysicalTwigSource, TwigPattern, VirtualTwigSource};
+use vh_query::twig::{
+    twig_join_opts, PhysicalTwigSource, TwigPattern, TwigSource, VirtualTwigSource,
+};
 use vh_workload::{generate_books, BooksConfig};
+use vh_xml::NodeId;
+
+/// The physical source driven by the trait's documented linear skip loop
+/// (no `seek` override) — quantifies the galloped binary search on
+/// identical streams.
+struct LinearSeekSource<'a>(PhysicalTwigSource<'a>);
+
+impl TwigSource for LinearSeekSource<'_> {
+    fn stream(&self, test: &str) -> Vec<NodeId> {
+        self.0.stream(test)
+    }
+    fn cmp(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        self.0.cmp(a, b)
+    }
+    fn contains(&self, a: NodeId, b: NodeId) -> bool {
+        self.0.contains(a, b)
+    }
+}
 
 /// Timing repetitions per measurement; the median is reported. Joins are
 /// batch-calibrated ([`MIN_REP`]) so small-corpus runs are not swamped
@@ -89,6 +109,29 @@ fn main() {
             BenchRow::new(format!("baseline/twig/books={n}/twigstack"), twig_us * 1e3)
                 .with("books", n as f64)
                 .with("matches", pmatches as f64),
+        );
+
+        // Seek ablation: identical streams and comparators, but the
+        // documented linear skip loop instead of the galloped binary
+        // search over arena slots (informational).
+        let (lmatches, linear_ns) = median_ns_per_call(REPS, MIN_REP, || {
+            let lsrc = LinearSeekSource(PhysicalTwigSource::new(&mat_td));
+            twig_join_opts(&lsrc, &pattern, &ExecOptions::sequential()).len()
+        });
+        assert_eq!(lmatches, pmatches, "seek strategy cannot change matches");
+        println!(
+            "seek ablation: books={n} linear {:.0}us vs galloped {:.0}us ({:.1}x)",
+            linear_ns / 1e3,
+            twig_us,
+            linear_ns / (twig_us * 1e3).max(0.001)
+        );
+        report.push(
+            BenchRow::new(
+                format!("baseline/twig/books={n}/twigstack-linear"),
+                linear_ns,
+            )
+            .with("books", n as f64)
+            .with("matches", lmatches as f64),
         );
 
         for threads in opts.thread_set() {

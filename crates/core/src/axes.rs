@@ -163,7 +163,7 @@ mod tests {
                 .guide()
                 .lookup_path(vpath)
                 .unwrap_or_else(|| panic!("no virtual type {vpath:?}"));
-            VPbn::new(pbn.parse::<Pbn>().unwrap(), self.m.array(vt).clone(), vt)
+            VPbn::new(pbn.parse::<Pbn>().unwrap(), self.m.array(vt), vt)
         }
     }
 
@@ -309,7 +309,7 @@ mod tests {
             .preorder()
             .map(|id| {
                 let vt = v.vtype_of(td.type_of(id)).unwrap();
-                (td.pbn().pbn_of(id).clone(), m.array(vt).clone(), vt)
+                (td.pbn().pbn_of(id).clone(), m.array(vt), vt)
             })
             .collect();
         for (xn, xa, xt) in &nodes {

@@ -1,14 +1,18 @@
 //! Sharded LRU cache for per-view compiled artifacts.
 //!
-//! Three artifacts are recomputed from scratch on every query in a naive
-//! engine, and all three are pure functions of `(document guide, transform
-//! spec)`: the expanded [`VDataGuide`], the Algorithm-1 [`LevelMap`], and
-//! the [`PrefixTables`] of precomputed scan-range prefixes. [`ExecCache`]
-//! memoizes each behind a [`ShardedLru`] keyed by [`ViewKey`] — the
-//! document URI, a fingerprint of its DataGuide, and the transform spec —
-//! so re-registering a document (which may change the guide) naturally
-//! misses, and [`ExecCache::invalidate_uri`] evicts everything for a URI
-//! explicitly.
+//! Four artifacts are recomputed from scratch on every query in a naive
+//! engine: the expanded [`VDataGuide`], the Algorithm-1 [`LevelMap`], the
+//! [`PrefixTables`] of precomputed scan-range prefixes (all three pure
+//! functions of `(document guide, transform spec)`), and the per-type
+//! [`TypeIndex`] of the view, which additionally depends on the document's
+//! nodes and is the only per-node-cost artifact — caching it makes warm
+//! view opens O(1) in document size. [`ExecCache`] memoizes each behind a
+//! [`ShardedLru`] keyed by [`ViewKey`] — the document URI, a fingerprint
+//! of its DataGuide, and the transform spec — so re-registering a document
+//! (which may change the guide) naturally misses, and
+//! [`ExecCache::invalidate_uri`] evicts everything for a URI explicitly
+//! (which is what keeps a re-registered same-shaped document from serving
+//! a stale node index).
 //!
 //! The cache is `Sync`: shards are independent mutexes, counters are
 //! atomics, and values are handed out as cheap clones (`Arc`s at the call
@@ -19,6 +23,7 @@
 use crate::levels::LevelMap;
 use crate::range::PrefixTables;
 use crate::vdg::VDataGuide;
+use crate::vdoc::TypeIndex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -243,22 +248,27 @@ pub struct CacheStats {
     pub levels: CacheCounters,
     /// Scan-range prefix-table cache.
     pub tables: CacheCounters,
+    /// Per-type node-index cache.
+    pub indexes: CacheCounters,
 }
 
 impl CacheStats {
-    /// Total hits across all three artifact maps.
+    /// Total hits across all four artifact maps.
     pub fn total_hits(&self) -> u64 {
-        self.expansions.hits + self.levels.hits + self.tables.hits
+        self.expansions.hits + self.levels.hits + self.tables.hits + self.indexes.hits
     }
 
-    /// Total misses across all three artifact maps.
+    /// Total misses across all four artifact maps.
     pub fn total_misses(&self) -> u64 {
-        self.expansions.misses + self.levels.misses + self.tables.misses
+        self.expansions.misses + self.levels.misses + self.tables.misses + self.indexes.misses
     }
 
-    /// Total explicit invalidations across all three artifact maps.
+    /// Total explicit invalidations across all four artifact maps.
     pub fn total_invalidations(&self) -> u64 {
-        self.expansions.invalidations + self.levels.invalidations + self.tables.invalidations
+        self.expansions.invalidations
+            + self.levels.invalidations
+            + self.tables.invalidations
+            + self.indexes.invalidations
     }
 }
 
@@ -309,6 +319,11 @@ pub struct ExecCache {
     pub levels: ShardedLru<ViewKey, Arc<LevelMap>>,
     /// Precomputed scan-range prefix tables keyed by view.
     pub tables: ShardedLru<ViewKey, Arc<PrefixTables>>,
+    /// Per-type node indexes keyed by view. Unlike the other artifacts this
+    /// depends on the document's *nodes*, not just its guide; the
+    /// [`ViewKey`] URI plus [`ExecCache::invalidate_uri`] on re-register
+    /// keep it from going stale.
+    pub indexes: ShardedLru<ViewKey, Arc<TypeIndex>>,
 }
 
 impl ExecCache {
@@ -319,6 +334,7 @@ impl ExecCache {
             expansions: ShardedLru::new(capacity),
             levels: ShardedLru::new(capacity),
             tables: ShardedLru::new(capacity),
+            indexes: ShardedLru::new(capacity),
         }
     }
 
@@ -328,6 +344,7 @@ impl ExecCache {
         self.expansions.retain(|k| k.uri != uri)
             + self.levels.retain(|k| k.uri != uri)
             + self.tables.retain(|k| k.uri != uri)
+            + self.indexes.retain(|k| k.uri != uri)
     }
 
     /// Drops everything, without counting invalidations.
@@ -335,14 +352,16 @@ impl ExecCache {
         self.expansions.clear();
         self.levels.clear();
         self.tables.clear();
+        self.indexes.clear();
     }
 
-    /// Counter snapshot across the three artifact maps.
+    /// Counter snapshot across the four artifact maps.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             expansions: self.expansions.counters(),
             levels: self.levels.counters(),
             tables: self.tables.counters(),
+            indexes: self.indexes.counters(),
         }
     }
 }

@@ -107,12 +107,18 @@ impl fmt::Display for LevelArray {
     }
 }
 
-/// The complete type → level-array map for a virtual hierarchy, plus the
-/// map from each virtual type to the prefix length it shares with its
-/// parent's number (used when deriving index-scan ranges).
-#[derive(Clone, Debug)]
+/// The complete type → level-array map for a virtual hierarchy, stored as
+/// one flat column: all level entries concatenated in virtual-type order
+/// plus an offset table. A type's array is a borrowed slice of the column
+/// ([`Self::levels_of`]), so vPBN construction on the hot path allocates
+/// nothing and consecutive types share cache lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LevelMap {
-    arrays: Vec<LevelArray>,
+    /// Every type's level entries, concatenated in type-index order.
+    column: Vec<u32>,
+    /// `column[offsets[i]..offsets[i+1]]` is the array of virtual type `i`;
+    /// always `len + 1` entries starting at 0.
+    offsets: Vec<u32>,
 }
 
 impl LevelMap {
@@ -166,42 +172,56 @@ impl LevelMap {
             arrays[vt.index()] = Some(array);
             stack.extend(vdg.children(vt).iter().rev().copied());
         }
-        LevelMap {
-            arrays: arrays
-                .into_iter()
-                // Invariant: the walk above visits every virtual type (the
-                // vDataGuide is a forest rooted at `roots()`).
-                .map(|a| match a {
-                    Some(a) => a,
-                    None => unreachable!("every virtual type is reachable from a root"),
-                })
-                .collect(),
+        // Flatten into the columnar form: entries first, offsets after.
+        let mut column = Vec::new();
+        let mut offsets = Vec::with_capacity(arrays.len() + 1);
+        offsets.push(0u32);
+        for a in arrays {
+            // Invariant: the walk above visits every virtual type (the
+            // vDataGuide is a forest rooted at `roots()`).
+            let a = match a {
+                Some(a) => a,
+                None => unreachable!("every virtual type is reachable from a root"),
+            };
+            column.extend_from_slice(a.levels());
+            offsets.push(column.len() as u32);
         }
+        LevelMap { column, offsets }
     }
 
-    /// The level array of a virtual type.
+    /// The level entries of a virtual type, borrowed from the flat column —
+    /// the allocation-free accessor hot paths use.
     #[inline]
-    pub fn array(&self, vt: VTypeId) -> &LevelArray {
-        &self.arrays[vt.index()]
+    pub fn levels_of(&self, vt: VTypeId) -> &[u32] {
+        let i = vt.index();
+        &self.column[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The level array of a virtual type, materialized as an owned value —
+    /// a convenience for tests and owned [`crate::vpbn::VPbn`] numbers; hot
+    /// paths borrow via [`Self::levels_of`].
+    pub fn array(&self, vt: VTypeId) -> LevelArray {
+        LevelArray::new(self.levels_of(vt).to_vec())
     }
 
     /// Number of entries (= number of virtual types).
     #[inline]
     pub fn len(&self) -> usize {
-        self.arrays.len()
+        self.offsets.len() - 1
     }
 
     /// True if the map is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.arrays.is_empty()
+        self.len() == 0
     }
 
-    /// Total heap bytes of all arrays (space-overhead experiment; this is
-    /// the *per-type* cost the paper contrasts with storing an array on
-    /// every node).
+    /// Total heap bytes of all level entries (space-overhead experiment;
+    /// this is the *per-type* cost the paper contrasts with storing an
+    /// array on every node — the offset table is bookkeeping, not part of
+    /// the contrast, and is excluded).
     pub fn heap_bytes(&self) -> usize {
-        self.arrays.iter().map(LevelArray::heap_bytes).sum()
+        self.column.len() * std::mem::size_of::<u32>()
     }
 }
 

@@ -30,7 +30,8 @@
 //! * [`exec`] — [`ExecOptions`] and the deterministic partition/merge
 //!   primitives behind parallel scans, filters and sorts.
 //! * [`cache`] — sharded LRU for per-view compiled artifacts (vDataGuide
-//!   expansions, level-array maps, prefix tables) with hit/miss counters.
+//!   expansions, level-array maps, prefix tables, per-type node indexes)
+//!   with hit/miss counters.
 
 pub mod axes;
 pub mod cache;
@@ -48,7 +49,7 @@ pub use cache::{CacheStats, ExecCache};
 pub use exec::ExecOptions;
 pub use levels::LevelArray;
 pub use vdg::{VDataGuide, VdgError, VdgSpec};
-pub use vdoc::VirtualDocument;
+pub use vdoc::{TypeIndex, VirtualDocument};
 pub use vpbn::VPbn;
 
 #[cfg(test)]

@@ -83,7 +83,7 @@ mod tests {
                 .guide()
                 .lookup_path(vpath)
                 .unwrap_or_else(|| panic!("no virtual type {vpath:?}"));
-            VPbn::new(pbn.parse::<Pbn>().unwrap(), self.m.array(vt).clone(), vt)
+            VPbn::new(pbn.parse::<Pbn>().unwrap(), self.m.array(vt), vt)
         }
     }
 

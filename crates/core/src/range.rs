@@ -14,7 +14,7 @@
 //! reports which situation holds. The A1 ablation benchmark measures the
 //! win of range scans over full-type filtering.
 
-use crate::levels::{LevelArray, LevelMap};
+use crate::levels::LevelMap;
 use crate::vdg::{VDataGuide, VTypeId};
 use crate::vpbn::VPbnRef;
 use vh_dataguide::DataGuide;
@@ -49,23 +49,34 @@ impl ScanRange {
     }
 }
 
+/// The `(prefix length, exactness)` pair behind a scan range: how many
+/// leading components of a related candidate's number are pinned to the
+/// context's, and whether that prefix subsumes every compatibility
+/// constraint. This is the allocation-free core of [`related_scan_range`],
+/// and what byte-key range scans consume directly (the pinned prefix of
+/// the context's *encoded* key bounds the candidates without ever decoding
+/// a number).
+pub fn related_prefix(x: &VPbnRef<'_>, ta: &[u32]) -> (usize, bool) {
+    // Positions that constrain a candidate's number: i < |xn| (the context
+    // must have a component there), i < |xa| and i < |ta| (both arrays must
+    // cover it), with matching levels.
+    let bound = x.n.len().min(x.a.len()).min(ta.len());
+    // Longest contiguous constrained prefix.
+    let mut m = 0;
+    while m < bound && ta[m] == x.a[m] {
+        m += 1;
+    }
+    // Any constrained position beyond the prefix?
+    let exact = (m..bound).all(|i| ta[i] != x.a[i]);
+    (m, exact)
+}
+
 /// Computes the scan range over the index of a virtual type with level
 /// array `ta`, for candidates related to the context node `x` by any
 /// vertical virtual axis (ancestor/descendant/parent/child — they share the
 /// compatibility core).
-pub fn related_scan_range(x: &VPbnRef<'_>, ta: &LevelArray) -> ScanRange {
-    let t = ta.levels();
-    // Positions that constrain a candidate's number: i < |xn| (the context
-    // must have a component there), i < |xa| and i < |ta| (both arrays must
-    // cover it), with matching levels.
-    let bound = x.n.len().min(x.a.len()).min(t.len());
-    // Longest contiguous constrained prefix.
-    let mut m = 0;
-    while m < bound && t[m] == x.a[m] {
-        m += 1;
-    }
-    // Any constrained position beyond the prefix?
-    let exact = (m..bound).all(|i| t[i] != x.a[i]);
+pub fn related_scan_range(x: &VPbnRef<'_>, ta: &[u32]) -> ScanRange {
+    let (m, exact) = related_prefix(x, ta);
     if m == 0 {
         return ScanRange {
             lo: Pbn::empty(),
@@ -120,9 +131,9 @@ impl PrefixTables {
             // A node of virtual type `ctx` keeps its physical number, whose
             // length is the depth of the node's *original* type.
             let num_len = original.length(vdg.original_type(ctx));
-            let xa = levels.array(ctx).levels();
+            let xa = levels.levels_of(ctx);
             for ti in 0..n {
-                let t = levels.array(VTypeId::from_index(ti)).levels();
+                let t = levels.levels_of(VTypeId::from_index(ti));
                 let bound = num_len.min(xa.len()).min(t.len());
                 let mut m = 0;
                 while m < bound && t[m] == xa[m] {
@@ -157,6 +168,16 @@ impl PrefixTables {
             hi: Some(hi),
             exact: e.exact,
         }
+    }
+
+    /// The raw `(prefix length, exactness)` cell for a type pair — the
+    /// allocation-free form of [`Self::range`] consumed by encoded-key
+    /// range scans, which slice the context's key instead of building
+    /// bound numbers.
+    #[inline]
+    pub fn prefix(&self, ctx: VTypeId, target: VTypeId) -> (usize, bool) {
+        let e = self.entries[ctx.index() * self.n + target.index()];
+        (e.m as usize, e.exact)
     }
 
     /// Number of virtual types covered.
@@ -198,8 +219,8 @@ mod tests {
         let title = v.guide().lookup_path(&["title"]).unwrap();
         let name = v.guide().lookup_path(&["title", "author", "name"]).unwrap();
         // Context: title 1.1.1 ([1,1,1]); target type: name ([1,1,2,3]).
-        let x = VPbn::new(pbn![1, 1, 1], m.array(title).clone(), title);
-        let r = related_scan_range(&x.as_ref(), m.array(name));
+        let x = VPbn::new(pbn![1, 1, 1], m.array(title), title);
+        let r = related_scan_range(&x.as_ref(), m.levels_of(name));
         // Constrained prefix: positions 1-2 (levels 1,1 match) → scan the
         // book-1 subtree [1.1, 1.2).
         assert_eq!(r.lo, pbn![1, 1]);
@@ -217,8 +238,8 @@ mod tests {
             .guide()
             .lookup_path(&["data", "book", "author", "name"])
             .unwrap();
-        let x = VPbn::new(pbn![1, 2], m.array(book).clone(), book);
-        let r = related_scan_range(&x.as_ref(), m.array(name));
+        let x = VPbn::new(pbn![1, 2], m.array(book), book);
+        let r = related_scan_range(&x.as_ref(), m.levels_of(name));
         // Exactly the physical subtree range of 1.2.
         assert_eq!(r.lo, pbn![1, 2]);
         assert_eq!(r.hi, Some(pbn![1, 3]));
@@ -232,8 +253,8 @@ mod tests {
         let (v, m) = world("title { name { author } }");
         let name = v.guide().lookup_path(&["title", "name"]).unwrap();
         let author = v.guide().lookup_path(&["title", "name", "author"]).unwrap();
-        let x = VPbn::new(pbn![1, 1, 2], m.array(author).clone(), author);
-        let r = related_scan_range(&x.as_ref(), m.array(name));
+        let x = VPbn::new(pbn![1, 1, 2], m.array(author), author);
+        let r = related_scan_range(&x.as_ref(), m.levels_of(name));
         // Arrays agree on the full author number [1,1,2] vs [1,1,2]:
         // prefix = 1.1.2 → candidates are name nodes inside [1.1.2, 1.1.3).
         assert_eq!(r.lo, pbn![1, 1, 2]);
@@ -248,10 +269,9 @@ mod tests {
         // no position pins anything → full scan.
         let (v, m) = world("title { author { name } }");
         let title = v.guide().lookup_path(&["title"]).unwrap();
-        let x = VPbn::new(pbn![1, 1, 1], m.array(title).clone(), title);
+        let x = VPbn::new(pbn![1, 1, 1], m.array(title), title);
         // Craft a target array that never matches levels with the context.
-        let ta = crate::levels::LevelArray::new(vec![2, 2, 2]);
-        let r = related_scan_range(&x.as_ref(), &ta);
+        let r = related_scan_range(&x.as_ref(), &[2, 2, 2]);
         assert_eq!(r.lo, Pbn::empty());
         assert_eq!(r.hi, None);
         assert!(r.exact, "no level ever matches, so nothing is constrained");
@@ -271,8 +291,7 @@ mod tests {
             crate::levels::LevelArray::new(vec![1, 2, 2]),
             title,
         );
-        let ta = crate::levels::LevelArray::new(vec![1, 1, 2]);
-        let r = related_scan_range(&x.as_ref(), &ta);
+        let r = related_scan_range(&x.as_ref(), &[1, 1, 2]);
         assert_eq!(r.lo, pbn![1], "contiguous prefix stops at position 1");
         assert_eq!(r.hi, Some(pbn![2]));
         assert!(
@@ -280,8 +299,7 @@ mod tests {
             "position 2 matches levels outside the prefix — candidates need re-checking"
         );
         // A target whose deeper levels never coincide stays exact.
-        let ta2 = crate::levels::LevelArray::new(vec![1, 3, 3]);
-        let r2 = related_scan_range(&x.as_ref(), &ta2);
+        let r2 = related_scan_range(&x.as_ref(), &[1, 3, 3]);
         assert_eq!(r2.lo, pbn![1]);
         assert!(r2.exact);
     }
@@ -316,12 +334,18 @@ mod tests {
                 let ctx = crate::vdg::VTypeId::from_index(ci);
                 for node in typed.nodes_of_type(v.original_type(ctx)) {
                     let num = typed.pbn().pbn_of(node);
-                    let x = VPbn::new(num.clone(), m.array(ctx).clone(), ctx);
+                    let x = VPbn::new(num.clone(), m.array(ctx), ctx);
                     for ti in 0..v.len() {
                         let tgt = crate::vdg::VTypeId::from_index(ti);
-                        let direct = related_scan_range(&x.as_ref(), m.array(tgt));
+                        let direct = related_scan_range(&x.as_ref(), m.levels_of(tgt));
                         let via_table = tables.range(&x.as_ref(), tgt);
                         assert_eq!(direct, via_table, "spec {spec}: ctx {ci} → tgt {ti}");
+                        // The raw cell agrees with the direct computation.
+                        assert_eq!(
+                            tables.prefix(ctx, tgt),
+                            related_prefix(&x.as_ref(), m.levels_of(tgt)),
+                            "spec {spec}: prefix cell ctx {ci} → tgt {ti}"
+                        );
                     }
                 }
             }

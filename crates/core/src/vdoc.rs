@@ -13,13 +13,70 @@ use crate::axes;
 use crate::exec::{self, ExecOptions};
 use crate::levels::{LevelArray, LevelMap};
 use crate::order::v_cmp;
-use crate::range::{related_scan_range, PrefixTables};
+use crate::range::{related_prefix, PrefixTables};
 use crate::vdg::{VDataGuide, VTypeId, VdgError};
 use crate::vpbn::VPbnRef;
 use std::sync::Arc;
 use vh_dataguide::TypedDocument;
-use vh_pbn::Pbn;
+use vh_pbn::keys;
 use vh_xml::NodeId;
+
+/// The per-virtual-type node index of one view: for each virtual type,
+/// every node of that type in PBN (document) order — the stand-in for the
+/// per-type index of a PBN-based DBMS (§4.3). A pure function of
+/// `(document, vDataGuide)`, so engines cache it per view alongside the
+/// other compiled artifacts instead of re-walking the document on every
+/// query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeIndex {
+    /// `by_vtype[vt.index()]` = nodes of virtual type `vt`, PBN-sorted.
+    by_vtype: Vec<Vec<NodeId>>,
+}
+
+impl TypeIndex {
+    /// Builds the index in one pass in document order: PBN assignment
+    /// order is document order, so each per-type list comes out PBN-sorted
+    /// for free.
+    pub fn build(td: &TypedDocument, vdg: &VDataGuide) -> Self {
+        let mut by_vtype: Vec<Vec<NodeId>> = vec![Vec::new(); vdg.len()];
+        for (_, id) in td.pbn().in_document_order() {
+            if let Some(vt) = vdg.vtype_of(td.type_of(*id)) {
+                by_vtype[vt.index()].push(*id);
+            }
+        }
+        TypeIndex { by_vtype }
+    }
+
+    /// The nodes of one virtual type, in PBN order.
+    #[inline]
+    pub fn nodes(&self, vt: VTypeId) -> &[NodeId] {
+        &self.by_vtype[vt.index()]
+    }
+
+    /// Number of virtual types indexed.
+    pub fn len(&self) -> usize {
+        self.by_vtype.len()
+    }
+
+    /// True for the degenerate empty view.
+    pub fn is_empty(&self) -> bool {
+        self.by_vtype.is_empty()
+    }
+
+    /// Total nodes across all types (= visible nodes of the view).
+    pub fn total_nodes(&self) -> usize {
+        self.by_vtype.iter().map(Vec::len).sum()
+    }
+
+    /// Heap bytes of the index (for cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.by_vtype
+            .iter()
+            .map(|v| v.len() * std::mem::size_of::<NodeId>())
+            .sum::<usize>()
+            + self.by_vtype.len() * std::mem::size_of::<Vec<NodeId>>()
+    }
+}
 
 /// A virtual view of a typed document under a vDataGuide.
 #[derive(Clone, Debug)]
@@ -27,12 +84,13 @@ pub struct VirtualDocument<'a> {
     td: &'a TypedDocument,
     vdg: VDataGuide,
     levels: LevelMap,
-    /// `by_vtype[vt.index()]` = nodes of virtual type `vt`, PBN-sorted.
-    by_vtype: Vec<Vec<NodeId>>,
+    /// Per-type node lists, shared with the engine cache when the view was
+    /// opened through one.
+    index: Arc<TypeIndex>,
     /// How axis filters and sorts over this view execute.
     exec: ExecOptions,
-    /// Precomputed scan-range prefixes; when absent, ranges are derived
-    /// per lookup with [`related_scan_range`].
+    /// Precomputed scan-range prefixes; when absent, prefixes are derived
+    /// per lookup with [`related_prefix`].
     tables: Option<Arc<PrefixTables>>,
 }
 
@@ -51,21 +109,28 @@ impl<'a> VirtualDocument<'a> {
     }
 
     /// Builds the virtual view from pre-compiled parts (used by engines
-    /// that cache `(vDataGuide, level map)` pairs across queries).
+    /// that cache `(vDataGuide, level map)` pairs across queries), building
+    /// the type index fresh.
     pub fn with_parts(td: &'a TypedDocument, vdg: VDataGuide, levels: LevelMap) -> Self {
-        let mut by_vtype: Vec<Vec<NodeId>> = vec![Vec::new(); vdg.len()];
-        // One pass in document order: PBN assignment order is document
-        // order, so each per-type list comes out PBN-sorted for free.
-        for (_, id) in td.pbn().in_document_order() {
-            if let Some(vt) = vdg.vtype_of(td.type_of(*id)) {
-                by_vtype[vt.index()].push(*id);
-            }
-        }
+        let index = Arc::new(TypeIndex::build(td, &vdg));
+        Self::with_cached_parts(td, vdg, levels, index)
+    }
+
+    /// Builds the virtual view from pre-compiled parts *including* a
+    /// cached [`TypeIndex`] — the fully warm open path, which touches no
+    /// per-node state at all.
+    pub fn with_cached_parts(
+        td: &'a TypedDocument,
+        vdg: VDataGuide,
+        levels: LevelMap,
+        index: Arc<TypeIndex>,
+    ) -> Self {
+        debug_assert_eq!(index.len(), vdg.len(), "index matches this view");
         VirtualDocument {
             td,
             vdg,
             levels,
-            by_vtype,
+            index,
             exec: ExecOptions::default(),
             tables: None,
         }
@@ -85,7 +150,7 @@ impl<'a> VirtualDocument<'a> {
 
     /// Installs precomputed scan-range prefix tables (usually served by
     /// [`crate::cache::ExecCache`]); navigation then skips the per-lookup
-    /// level-array comparison of [`related_scan_range`].
+    /// level-array comparison of [`crate::range::related_prefix`].
     pub fn set_prefix_tables(&mut self, tables: Arc<PrefixTables>) {
         debug_assert_eq!(tables.len(), self.vdg.len(), "tables match this view");
         self.tables = Some(tables);
@@ -124,11 +189,13 @@ impl<'a> VirtualDocument<'a> {
     }
 
     /// The vPBN number of a node (physical number + type level array).
+    /// Both sides are borrowed from columns: components from the PBN
+    /// assignment, levels from the flat level column.
     pub fn vpbn_of(&self, id: NodeId) -> Option<VPbnRef<'_>> {
         let vt = self.vtype_of(id)?;
-        Some(VPbnRef::new(
-            self.td.pbn().pbn_of(id),
-            self.levels.array(vt),
+        Some(VPbnRef::from_slices(
+            self.td.pbn().pbn_of(id).components(),
+            self.levels.levels_of(vt),
             vt,
         ))
     }
@@ -142,21 +209,28 @@ impl<'a> VirtualDocument<'a> {
         }
     }
 
-    /// The level array of a virtual type.
+    /// The level array of a virtual type, materialized from the flat level
+    /// column (borrow via [`Self::levels`] + `levels_of` on hot paths).
     #[inline]
-    pub fn array(&self, vt: VTypeId) -> &LevelArray {
+    pub fn array(&self, vt: VTypeId) -> LevelArray {
         self.levels.array(vt)
+    }
+
+    /// The per-type node index of this view.
+    #[inline]
+    pub fn type_index(&self) -> &Arc<TypeIndex> {
+        &self.index
     }
 
     /// All nodes of a virtual type, in PBN (original document) order.
     #[inline]
     pub fn nodes_of_vtype(&self, vt: VTypeId) -> &[NodeId] {
-        &self.by_vtype[vt.index()]
+        self.index.nodes(vt)
     }
 
     /// Total number of nodes visible in the virtual hierarchy.
     pub fn visible_nodes(&self) -> usize {
-        self.by_vtype.iter().map(Vec::len).sum()
+        self.index.total_nodes()
     }
 
     /// The virtual roots: instances of the root virtual types, in virtual
@@ -166,7 +240,7 @@ impl<'a> VirtualDocument<'a> {
             .vdg
             .roots()
             .iter()
-            .flat_map(|&rt| self.by_vtype[rt.index()].iter().copied())
+            .flat_map(|&rt| self.index.nodes(rt).iter().copied())
             .collect();
         self.sort_virtual(&mut out);
         out
@@ -179,7 +253,7 @@ impl<'a> VirtualDocument<'a> {
         };
         let mut out = Vec::new();
         for &ct in self.vdg.children(xv.vtype) {
-            self.collect_related(&xv, ct, &mut out, |v, cand, ctx| {
+            self.collect_related(x, &xv, ct, &mut out, |v, cand, ctx| {
                 axes::v_child(v, cand, ctx)
             });
         }
@@ -192,7 +266,7 @@ impl<'a> VirtualDocument<'a> {
         let xv = self.vpbn_of(x)?;
         let pt = self.vdg.guide().ty(xv.vtype).parent()?;
         let mut out = Vec::new();
-        self.collect_related(&xv, pt, &mut out, |v, cand, ctx| {
+        self.collect_related(x, &xv, pt, &mut out, |v, cand, ctx| {
             axes::v_parent(v, cand, ctx)
         });
         // The virtual tree gives every node at most one parent per parent
@@ -209,7 +283,7 @@ impl<'a> VirtualDocument<'a> {
             return Vec::new();
         };
         let mut out = Vec::new();
-        self.collect_related(&xv, vt, &mut out, |v, cand, ctx| {
+        self.collect_related(x, &xv, vt, &mut out, |v, cand, ctx| {
             axes::v_descendant(v, cand, ctx)
         });
         self.sort_virtual(&mut out);
@@ -223,9 +297,9 @@ impl<'a> VirtualDocument<'a> {
         let Some(xv) = self.vpbn_of(x) else {
             return Vec::new();
         };
-        let ta = self.levels.array(vt);
-        let mut out = exec::par_filter(&self.exec, &self.by_vtype[vt.index()], |&cand| {
-            let cv = VPbnRef::new(self.td.pbn().pbn_of(cand), ta, vt);
+        let ta = self.levels.levels_of(vt);
+        let mut out = exec::par_filter(&self.exec, self.index.nodes(vt), |&cand| {
+            let cv = VPbnRef::from_slices(self.td.pbn().pbn_of(cand).components(), ta, vt);
             axes::v_descendant(&self.vdg, &cv, &xv)
         });
         self.sort_virtual(&mut out);
@@ -240,7 +314,7 @@ impl<'a> VirtualDocument<'a> {
         let mut out = Vec::new();
         for vt in (0..self.vdg.len()).map(VTypeId::from_index) {
             if vh_dataguide::axes::descendant(self.vdg.guide(), vt, xv.vtype) {
-                self.collect_related(&xv, vt, &mut out, |v, cand, ctx| {
+                self.collect_related(x, &xv, vt, &mut out, |v, cand, ctx| {
                     axes::v_descendant(v, cand, ctx)
                 });
             }
@@ -298,36 +372,69 @@ impl<'a> VirtualDocument<'a> {
 
     // ----- internals ----------------------------------------------------
 
-    /// Collects nodes of type `vt` related to the context `xv` under
-    /// `pred(candidate, context)`, scanning only the derived PBN range of
-    /// the type index. The scan is partitioned across threads when the
-    /// execution options allow; chunk results are concatenated in index
-    /// (PBN) order, so the output is identical to the sequential scan.
-    fn collect_related<F>(&self, xv: &VPbnRef<'_>, vt: VTypeId, out: &mut Vec<NodeId>, pred: F)
-    where
+    /// Collects nodes of type `vt` related to the context node `x` (whose
+    /// vPBN is `xv`) under `pred(candidate, context)`, scanning only the
+    /// byte range of the type index pinned by the compatibility prefix:
+    /// with `m` pinned components, a candidate's encoded key must extend
+    /// the first `m` components of the context's key, so the candidates
+    /// form one contiguous slice of the PBN-sorted index, found by two
+    /// binary searches on borrowed keys — no numbers are decoded and no
+    /// bound numbers allocated (`memcmp` is document order, `starts_with`
+    /// is the prefix test).
+    ///
+    /// When the prefix subsumes every compatibility constraint (`exact`),
+    /// the §5 predicate is a *constant* over the slice: every in-range
+    /// candidate extends the pinned prefix (hence is compatible with the
+    /// context), and the remaining level/guide-type conditions depend only
+    /// on the `(context type, target type)` pair. It is therefore evaluated
+    /// once and the slice copied wholesale. Otherwise the per-candidate
+    /// filter is partitioned across threads when the execution options
+    /// allow; chunk results concatenate in index (PBN) order, so the output
+    /// is identical to the sequential scan either way.
+    fn collect_related<F>(
+        &self,
+        x: NodeId,
+        xv: &VPbnRef<'_>,
+        vt: VTypeId,
+        out: &mut Vec<NodeId>,
+        pred: F,
+    ) where
         F: Fn(&VDataGuide, &VPbnRef<'_>, &VPbnRef<'_>) -> bool + Sync,
     {
-        let ta = self.levels.array(vt);
-        let range = match &self.tables {
-            Some(t) => t.range(xv, vt),
-            None => related_scan_range(xv, ta),
+        let ta = self.levels.levels_of(vt);
+        let (m, exact) = match &self.tables {
+            Some(t) => t.prefix(xv.vtype, vt),
+            None => related_prefix(xv, ta),
         };
-        let list = &self.by_vtype[vt.index()];
-        let (start, end) = self.index_range(list, &range.lo, range.hi.as_ref());
-        out.extend(exec::par_filter(&self.exec, &list[start..end], |&cand| {
-            let cv = VPbnRef::new(self.td.pbn().pbn_of(cand), ta, vt);
+        let xkey = self.td.pbn().key_of(x);
+        let prefix = &xkey[..keys::component_boundary(xkey, m)];
+        let list = self.index.nodes(vt);
+        let (start, end) = self.index_range(list, prefix);
+        let candidates = &list[start..end];
+        if exact {
+            if let Some(&first) = candidates.first() {
+                let cv = VPbnRef::from_slices(self.td.pbn().pbn_of(first).components(), ta, vt);
+                if pred(&self.vdg, &cv, xv) {
+                    out.extend_from_slice(candidates);
+                }
+            }
+            return;
+        }
+        out.extend(exec::par_filter(&self.exec, candidates, |&cand| {
+            let cv = VPbnRef::from_slices(self.td.pbn().pbn_of(cand).components(), ta, vt);
             pred(&self.vdg, &cv, xv)
         }));
     }
 
-    /// Binary-searches a PBN-sorted node list for the sub-range `[lo, hi)`.
-    fn index_range(&self, list: &[NodeId], lo: &Pbn, hi: Option<&Pbn>) -> (usize, usize) {
+    /// Binary-searches a PBN-sorted node list for the sub-range of nodes
+    /// whose encoded keys extend `prefix`: keys sort in document order
+    /// under `memcmp`, so the extensions of a prefix are exactly the
+    /// interval `[prefix, prefix_succ(prefix))`. The empty prefix selects
+    /// the whole list.
+    fn index_range(&self, list: &[NodeId], prefix: &[u8]) -> (usize, usize) {
         let pbn = self.td.pbn();
-        let start = list.partition_point(|&id| pbn.pbn_of(id) < lo);
-        let end = match hi {
-            Some(hi) => list.partition_point(|&id| pbn.pbn_of(id) < hi),
-            None => list.len(),
-        };
+        let start = list.partition_point(|&id| pbn.key_of(id) < prefix);
+        let end = list.partition_point(|&id| keys::before_subtree_end(prefix, pbn.key_of(id)));
         (start, end)
     }
 

@@ -79,6 +79,14 @@ impl<'a> VPbnRef<'a> {
         }
     }
 
+    /// Builds a borrowed vPBN directly from component and level slices —
+    /// the columnar form, where levels come from the flat level column of
+    /// a [`crate::levels::LevelMap`].
+    #[inline]
+    pub fn from_slices(n: &'a [u32], a: &'a [u32], vtype: VTypeId) -> Self {
+        VPbnRef { n, a, vtype }
+    }
+
     /// `max(xa)`: the virtual level of the node. Level arrays are
     /// non-decreasing, so the last entry is the maximum.
     #[inline]

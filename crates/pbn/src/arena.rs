@@ -1,0 +1,378 @@
+//! Columnar arena of encoded PBN keys.
+//!
+//! §4.2 packs numbers into order-preserving byte strings; this module packs
+//! **all** of a document's numbers into one contiguous, document-order byte
+//! buffer plus a `u32` offset table. A node's key is then a borrowed
+//! `&[u8]` — zero per-node allocation, and a scan over keys in document
+//! order is a linear walk of one buffer. Subtree-shaped axes become
+//! binary-searched byte-range scans `[enc(p), prefix_succ(enc(p)))` over
+//! the slot space (see [`crate::keys`]).
+//!
+//! Layout (also the on-disk column format in `vh-storage`):
+//!
+//! * `bytes`   — the concatenated encodings, slot 0 first;
+//! * `offsets` — `n + 1` entries, slot `s` spans `bytes[offsets[s]..offsets[s+1]]`;
+//! * `node_of_slot` — the [`NodeId`] at each document-order slot;
+//! * `slot_of_node` — the inverse map, indexed by `NodeId::index()`
+//!   (rebuilt from `node_of_slot` on load, never persisted).
+
+use crate::encode::EncodedPbn;
+use crate::keys;
+use crate::number::Pbn;
+use std::ops::Range;
+use vh_xml::NodeId;
+
+/// Sentinel slot for node ids that were never assigned a number (padding
+/// entries of sparse id spaces). `key_of` returns the empty key for them.
+const NO_SLOT: u32 = u32::MAX;
+
+/// All of a document's encoded PBN keys in one document-order buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PbnArena {
+    bytes: Vec<u8>,
+    offsets: Vec<u32>,
+    node_of_slot: Vec<NodeId>,
+    slot_of_node: Vec<u32>,
+}
+
+/// Error raised when reassembling an arena from untrusted parts (disk
+/// pages) fails structural validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaFormatError(pub String);
+
+impl std::fmt::Display for ArenaFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed PBN arena column: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArenaFormatError {}
+
+impl PbnArena {
+    /// Flattens `(number, node)` pairs — already sorted in document order —
+    /// into the columnar form. `id_space` is the size of the document's
+    /// node-id space (ids not present keep the empty key).
+    pub fn build(sorted: &[(Pbn, NodeId)], id_space: usize) -> Self {
+        let mut bytes = Vec::with_capacity(sorted.len() * 3);
+        let mut offsets = Vec::with_capacity(sorted.len() + 1);
+        let mut node_of_slot = Vec::with_capacity(sorted.len());
+        let mut slot_of_node = vec![NO_SLOT; id_space];
+        offsets.push(0);
+        for (slot, (pbn, id)) in sorted.iter().enumerate() {
+            bytes.extend_from_slice(EncodedPbn::encode(pbn).as_bytes());
+            offsets.push(bytes.len() as u32);
+            node_of_slot.push(*id);
+            slot_of_node[id.index()] = slot as u32;
+        }
+        PbnArena {
+            bytes,
+            offsets,
+            node_of_slot,
+            slot_of_node,
+        }
+    }
+
+    /// Reassembles an arena from its persisted columns, validating the
+    /// structural invariants (monotone offsets spanning `bytes`, in-range
+    /// node ids, keys in strictly increasing document order).
+    pub fn from_parts(
+        bytes: Vec<u8>,
+        offsets: Vec<u32>,
+        node_of_slot: Vec<NodeId>,
+        id_space: usize,
+    ) -> Result<Self, ArenaFormatError> {
+        if offsets.len() != node_of_slot.len() + 1 {
+            return Err(ArenaFormatError(format!(
+                "offset table has {} entries for {} slots",
+                offsets.len(),
+                node_of_slot.len()
+            )));
+        }
+        if offsets.first() != Some(&0) || *offsets.last().unwrap_or(&0) as usize != bytes.len() {
+            return Err(ArenaFormatError(
+                "offset table does not span the key buffer".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(ArenaFormatError("offset table is not monotone".into()));
+        }
+        let mut slot_of_node = vec![NO_SLOT; id_space];
+        for (slot, id) in node_of_slot.iter().enumerate() {
+            let Some(cell) = slot_of_node.get_mut(id.index()) else {
+                return Err(ArenaFormatError(format!(
+                    "slot {slot} names node {} outside the id space of {id_space}",
+                    id.index()
+                )));
+            };
+            if *cell != NO_SLOT {
+                return Err(ArenaFormatError(format!(
+                    "node {} appears in two slots",
+                    id.index()
+                )));
+            }
+            *cell = slot as u32;
+        }
+        let arena = PbnArena {
+            bytes,
+            offsets,
+            node_of_slot,
+            slot_of_node,
+        };
+        for s in 1..arena.len() {
+            if arena.key_at_slot(s - 1) >= arena.key_at_slot(s) {
+                return Err(ArenaFormatError(format!(
+                    "keys out of document order at slot {s}"
+                )));
+            }
+        }
+        Ok(arena)
+    }
+
+    /// Number of keyed slots (assigned nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.node_of_slot.len()
+    }
+
+    /// True for an empty document.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_of_slot.is_empty()
+    }
+
+    /// The encoded key at a document-order slot.
+    ///
+    /// # Panics
+    /// Panics if `slot >= self.len()`.
+    #[inline]
+    pub fn key_at_slot(&self, slot: usize) -> &[u8] {
+        &self.bytes[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
+    }
+
+    /// The node at a document-order slot.
+    ///
+    /// # Panics
+    /// Panics if `slot >= self.len()`.
+    #[inline]
+    pub fn node_at_slot(&self, slot: usize) -> NodeId {
+        self.node_of_slot[slot]
+    }
+
+    /// The encoded key of a node — the empty key for ids outside the
+    /// assignment (matching the `Pbn::empty()` those ids hold).
+    #[inline]
+    pub fn key_of(&self, id: NodeId) -> &[u8] {
+        match self.slot_of_node.get(id.index()) {
+            Some(&s) if s != NO_SLOT => self.key_at_slot(s as usize),
+            _ => &[],
+        }
+    }
+
+    /// The document-order slot of a node, if it was assigned a number.
+    #[inline]
+    pub fn slot_of(&self, id: NodeId) -> Option<usize> {
+        match self.slot_of_node.get(id.index()) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// First slot whose key is `>= key` (document-order lower bound).
+    #[inline]
+    pub fn lower_bound(&self, key: &[u8]) -> usize {
+        self.partition(|k| k < key)
+    }
+
+    /// The half-open slot interval of the subtree rooted at the node with
+    /// encoded key `p`: all slots whose key carries `p` as a byte prefix.
+    /// Two binary searches; no allocation (the upper bound uses the
+    /// `before_subtree_end` characterization instead of materializing
+    /// `prefix_succ`).
+    pub fn subtree_slots(&self, p: &[u8]) -> Range<usize> {
+        let lo = self.partition(|k| k < p);
+        let hi = self.partition(|k| keys::before_subtree_end(p, k));
+        lo..hi
+    }
+
+    /// The nodes of the subtree rooted at encoded key `p`, in document
+    /// order — the arena form of `PbnAssignment::range` over
+    /// `subtree_range(p)`.
+    #[inline]
+    pub fn subtree_nodes(&self, p: &[u8]) -> &[NodeId] {
+        &self.node_of_slot[self.subtree_slots(p)]
+    }
+
+    /// `partition_point` over slots ordered by key.
+    fn partition(&self, pred: impl Fn(&[u8]) -> bool) -> usize {
+        let mut lo = 0;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.key_at_slot(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The raw key buffer (persisted verbatim by `vh-storage`).
+    #[inline]
+    pub fn key_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The raw offset table, `len() + 1` entries (persisted verbatim).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The document-order node column (persisted verbatim).
+    #[inline]
+    pub fn nodes_in_order(&self) -> &[NodeId] {
+        &self.node_of_slot
+    }
+
+    /// Total bytes of encoded key data (the paper's space metric).
+    #[inline]
+    pub fn total_key_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Size of the node-id space the arena was built over (persisted so a
+    /// loaded arena can rebuild its inverse map at the original width).
+    #[inline]
+    pub fn id_space(&self) -> usize {
+        self.slot_of_node.len()
+    }
+
+    /// Heap footprint of all columns, for cache and space accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.len()
+            + self.offsets.len() * 4
+            + self.node_of_slot.len() * 4
+            + self.slot_of_node.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::PbnAssignment;
+    use crate::pbn;
+    use vh_xml::builder::paper_figure2;
+
+    fn arena() -> (vh_xml::Document, PbnAssignment) {
+        let doc = paper_figure2();
+        let a = PbnAssignment::assign(&doc);
+        (doc, a)
+    }
+
+    #[test]
+    fn keys_match_per_node_encodings() {
+        let (doc, a) = arena();
+        for id in doc.preorder() {
+            assert_eq!(
+                a.arena().key_of(id),
+                EncodedPbn::encode(a.pbn_of(id)).as_bytes(),
+                "node {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slots_are_document_order() {
+        let (doc, a) = arena();
+        let by_slot: Vec<NodeId> = (0..a.arena().len())
+            .map(|s| a.arena().node_at_slot(s))
+            .collect();
+        let preorder: Vec<NodeId> = doc.preorder().collect();
+        assert_eq!(by_slot, preorder);
+        for (s, id) in preorder.iter().enumerate() {
+            assert_eq!(a.arena().slot_of(*id), Some(s));
+        }
+    }
+
+    #[test]
+    fn subtree_slots_equal_the_pbn_range() {
+        let (_, a) = arena();
+        let p = pbn![1, 1];
+        let key = EncodedPbn::encode(&p);
+        let slots = a.arena().subtree_slots(key.as_bytes());
+        let via_range: Vec<NodeId> = {
+            let (lo, hi) = crate::order::subtree_range(&p);
+            a.range(&lo, &hi).iter().map(|(_, id)| *id).collect()
+        };
+        let via_arena: Vec<NodeId> = a.arena().subtree_nodes(key.as_bytes()).to_vec();
+        assert_eq!(via_arena, via_range);
+        assert_eq!(slots.len(), 9, "book1 subtree has 9 nodes");
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let (_, a) = arena();
+        let src = a.arena();
+        let re = PbnArena::from_parts(
+            src.key_bytes().to_vec(),
+            src.offsets().to_vec(),
+            src.nodes_in_order().to_vec(),
+            src.slot_of_node.len(),
+        )
+        .unwrap();
+        assert_eq!(&re, src);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_columns() {
+        let (_, a) = arena();
+        let src = a.arena();
+        let n = src.slot_of_node.len();
+        // Truncated offset table.
+        assert!(PbnArena::from_parts(
+            src.key_bytes().to_vec(),
+            src.offsets()[..src.offsets().len() - 1].to_vec(),
+            src.nodes_in_order().to_vec(),
+            n,
+        )
+        .is_err());
+        // Offsets that do not span the buffer.
+        let mut offs = src.offsets().to_vec();
+        if let Some(last) = offs.last_mut() {
+            *last += 1;
+        }
+        assert!(PbnArena::from_parts(
+            src.key_bytes().to_vec(),
+            offs,
+            src.nodes_in_order().to_vec(),
+            n
+        )
+        .is_err());
+        // Duplicate node id.
+        let mut nodes = src.nodes_in_order().to_vec();
+        nodes[1] = nodes[0];
+        assert!(
+            PbnArena::from_parts(src.key_bytes().to_vec(), src.offsets().to_vec(), nodes, n)
+                .is_err()
+        );
+        // Keys out of document order (swap two slots' bytes).
+        let k0 = src.key_at_slot(0).to_vec();
+        let k1 = src.key_at_slot(1).to_vec();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&k1);
+        bytes.extend_from_slice(&k0);
+        bytes.extend_from_slice(&src.key_bytes()[(k0.len() + k1.len())..]);
+        let mut offs = src.offsets().to_vec();
+        offs[1] = k1.len() as u32;
+        assert!(PbnArena::from_parts(bytes, offs, src.nodes_in_order().to_vec(), n).is_err());
+    }
+
+    #[test]
+    fn empty_document_yields_an_empty_arena() {
+        let a = PbnAssignment::assign(&vh_xml::Document::new("u"));
+        assert!(a.arena().is_empty());
+        assert_eq!(a.arena().subtree_slots(&[0x00]), 0..0);
+        assert_eq!(a.arena().key_of(NodeId::from_index(0)), &[] as &[u8]);
+    }
+}

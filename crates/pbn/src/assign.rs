@@ -6,6 +6,7 @@
 //! Comments and processing instructions are numbered like any other child,
 //! exactly as a PBN-based DBMS would.
 
+use crate::arena::PbnArena;
 use crate::number::Pbn;
 use vh_xml::{Document, NodeId};
 
@@ -16,6 +17,8 @@ pub struct PbnAssignment {
     by_node: Vec<Pbn>,
     /// `(number, node)` pairs sorted by number (document order).
     sorted: Vec<(Pbn, NodeId)>,
+    /// Columnar encoded-key form of the same numbering.
+    arena: PbnArena,
 }
 
 impl PbnAssignment {
@@ -35,7 +38,52 @@ impl PbnAssignment {
             }
         }
         sorted.sort_by(|a, b| a.0.cmp(&b.0));
-        PbnAssignment { by_node, sorted }
+        let arena = PbnArena::build(&sorted, by_node.len());
+        PbnAssignment {
+            by_node,
+            sorted,
+            arena,
+        }
+    }
+
+    /// Rebuilds an assignment around an arena loaded from storage, decoding
+    /// numbers from the keys instead of renumbering the document. The
+    /// arena must come from [`PbnArena::from_parts`] (validated) and cover
+    /// an id space of at least `id_space` entries.
+    pub fn from_arena(arena: PbnArena, id_space: usize) -> Self {
+        let mut by_node = vec![Pbn::empty(); id_space];
+        let mut sorted = Vec::with_capacity(arena.len());
+        for slot in 0..arena.len() {
+            let id = arena.node_at_slot(slot);
+            // Keys from a validated arena decode cleanly; a malformed key
+            // would have failed `from_parts`' ordering check. Fall back to
+            // the empty number rather than panicking on hostile bytes.
+            let pbn = crate::encode::EncodedPbn::from_bytes(arena.key_at_slot(slot).to_vec())
+                .map(|e| e.decode())
+                .unwrap_or_else(|_| Pbn::empty());
+            if let Some(cell) = by_node.get_mut(id.index()) {
+                *cell = pbn.clone();
+            }
+            sorted.push((pbn, id));
+        }
+        PbnAssignment {
+            by_node,
+            sorted,
+            arena,
+        }
+    }
+
+    /// The columnar encoded-key arena of this numbering.
+    #[inline]
+    pub fn arena(&self) -> &PbnArena {
+        &self.arena
+    }
+
+    /// The encoded byte key of a node — empty for ids outside the
+    /// assignment. Borrowed from the arena; zero allocation.
+    #[inline]
+    pub fn key_of(&self, id: NodeId) -> &[u8] {
+        self.arena.key_of(id)
     }
 
     /// The number of a node.

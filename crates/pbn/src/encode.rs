@@ -21,12 +21,61 @@
 //! | `1110xxxx`   | 4           | next 2^28                   |
 //! | `11110000`   | 5           | the remaining u32 range     |
 
+use crate::keys::component_len;
 use crate::number::Pbn;
 
 const T1: u64 = 1 << 7;
 const T2: u64 = 1 << 14;
 const T3: u64 = 1 << 21;
 const T4: u64 = 1 << 28;
+
+/// Error describing why a byte string is not a valid PBN encoding.
+///
+/// Raised only on untrusted input (disk pages, wire bytes); values built
+/// by [`EncodedPbn::encode`] always decode. Carries a stable code so the
+/// suite-level `VhError` facade can classify it like any layer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbnCodecError {
+    /// The buffer ends in the middle of a multi-byte component.
+    Truncated {
+        /// Byte offset of the truncated component's first byte.
+        at: usize,
+    },
+    /// A five-byte component encodes a value past `u32::MAX`.
+    Overflow {
+        /// Byte offset of the overflowing component's first byte.
+        at: usize,
+    },
+}
+
+impl PbnCodecError {
+    /// Stable machine-readable code for the failure class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PbnCodecError::Truncated { .. } => "PBN_TRUNCATED",
+            PbnCodecError::Overflow { .. } => "PBN_OVERFLOW",
+        }
+    }
+}
+
+impl std::fmt::Display for PbnCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PbnCodecError::Truncated { at } => {
+                write!(
+                    f,
+                    "PBN encoding truncated inside the component at byte {at}"
+                )
+            }
+            PbnCodecError::Overflow { at } => write!(
+                f,
+                "PBN component at byte {at} exceeds the 32-bit ordinal range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PbnCodecError {}
 
 /// A PBN number in compact encoded form. Comparison (`Ord`) is a plain byte
 /// comparison and equals document order.
@@ -45,20 +94,42 @@ impl EncodedPbn {
         EncodedPbn { bytes }
     }
 
+    /// Wraps raw bytes as an encoded number after validating that they
+    /// parse as a well-formed component sequence. This is the entry point
+    /// for untrusted input (disk pages, wire bytes).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, PbnCodecError> {
+        let candidate = EncodedPbn { bytes };
+        candidate.try_decode()?;
+        Ok(candidate)
+    }
+
     /// Decodes back to component form.
     ///
     /// # Panics
     /// Panics if the bytes are not a valid encoding (cannot happen for
-    /// values produced by [`EncodedPbn::encode`]).
+    /// values produced by [`EncodedPbn::encode`] or accepted by
+    /// [`EncodedPbn::from_bytes`]).
     pub fn decode(&self) -> Pbn {
+        // Documented panic: trusted internal call sites only; untrusted
+        // input must go through `try_decode` / `from_bytes`.
+        #[allow(clippy::expect_used)]
+        self.try_decode()
+            .expect("EncodedPbn holds a valid encoding")
+    }
+
+    /// Decodes back to component form, reporting malformed input instead
+    /// of panicking.
+    pub fn try_decode(&self) -> Result<Pbn, PbnCodecError> {
         let mut components = Vec::new();
         let mut i = 0;
         while i < self.bytes.len() {
-            let (value, used) = decode_component(&self.bytes[i..]);
+            let (value, used) = decode_component_checked(&self.bytes[i..], i)?;
             components.push(value);
             i += used;
         }
-        Pbn::new(components)
+        // Components are ≥ 1 by construction (tier values are offset by 1),
+        // so the panicking constructor is unreachable here.
+        Ok(Pbn::new(components))
     }
 
     /// The encoded bytes.
@@ -114,29 +185,41 @@ fn encode_component(c: u32, out: &mut Vec<u8>) {
     }
 }
 
-/// Decodes one component from the front of `bytes`; returns (value, bytes used).
-fn decode_component(bytes: &[u8]) -> (u32, usize) {
+/// Decodes one component from the front of `bytes`, which must be
+/// non-empty; `at` is its absolute offset (for error reporting). Returns
+/// `(value, bytes used)`. Bounds-checked: truncated multi-byte components
+/// and five-byte values past the `u32` range are errors, never panics or
+/// silent wrap-around.
+fn decode_component_checked(bytes: &[u8], at: usize) -> Result<(u32, usize), PbnCodecError> {
     let b0 = bytes[0];
-    if b0 & 0b1000_0000 == 0 {
-        (b0 as u32 + 1, 1)
-    } else if b0 & 0b0100_0000 == 0 {
-        let r = ((u64::from(b0 & 0b0011_1111)) << 8) | u64::from(bytes[1]);
-        ((r + T1) as u32 + 1, 2)
-    } else if b0 & 0b0010_0000 == 0 {
-        let r = ((u64::from(b0 & 0b0001_1111)) << 16)
-            | (u64::from(bytes[1]) << 8)
-            | u64::from(bytes[2]);
-        ((r + T1 + T2) as u32 + 1, 3)
-    } else if b0 & 0b0001_0000 == 0 {
-        let r = ((u64::from(b0 & 0b0000_1111)) << 24)
-            | (u64::from(bytes[1]) << 16)
-            | (u64::from(bytes[2]) << 8)
-            | u64::from(bytes[3]);
-        ((r + T1 + T2 + T3) as u32 + 1, 4)
-    } else {
-        let r = u64::from(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]));
-        ((r + T1 + T2 + T3 + T4) as u32 + 1, 5)
+    let len = component_len(b0);
+    if bytes.len() < len {
+        return Err(PbnCodecError::Truncated { at });
     }
+    let (r, offset) = match len {
+        1 => (u64::from(b0), 0),
+        2 => ((u64::from(b0 & 0b0011_1111) << 8) | u64::from(bytes[1]), T1),
+        3 => (
+            (u64::from(b0 & 0b0001_1111) << 16) | (u64::from(bytes[1]) << 8) | u64::from(bytes[2]),
+            T1 + T2,
+        ),
+        4 => (
+            (u64::from(b0 & 0b0000_1111) << 24)
+                | (u64::from(bytes[1]) << 16)
+                | (u64::from(bytes[2]) << 8)
+                | u64::from(bytes[3]),
+            T1 + T2 + T3,
+        ),
+        _ => (
+            u64::from(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]])),
+            T1 + T2 + T3 + T4,
+        ),
+    };
+    // The component is the 1-based ordinal r + offset + 1; it must fit u32.
+    let value = r + offset + 1;
+    u32::try_from(value)
+        .map(|v| (v, len))
+        .map_err(|_| PbnCodecError::Overflow { at })
 }
 
 #[cfg(test)]
@@ -221,5 +304,46 @@ mod tests {
         let e = EncodedPbn::encode(&Pbn::empty());
         assert_eq!(e.size(), 0);
         assert_eq!(e.decode(), Pbn::empty());
+    }
+
+    #[test]
+    fn from_bytes_accepts_exactly_the_valid_encodings() {
+        let p = pbn![1, 128, 2, 300_000, 5];
+        let bytes = EncodedPbn::encode(&p).as_bytes().to_vec();
+        let e = EncodedPbn::from_bytes(bytes).unwrap();
+        assert_eq!(e.decode(), p);
+        assert_eq!(
+            EncodedPbn::from_bytes(Vec::new()).unwrap(),
+            EncodedPbn::default()
+        );
+    }
+
+    #[test]
+    fn truncated_components_are_rejected_not_panicked() {
+        // A two-byte component's first byte with nothing after it.
+        let err = EncodedPbn::from_bytes(vec![0b1000_0001]).unwrap_err();
+        assert_eq!(err, PbnCodecError::Truncated { at: 0 });
+        assert_eq!(err.code(), "PBN_TRUNCATED");
+        // Valid one-byte component followed by a truncated five-byte one.
+        let err = EncodedPbn::from_bytes(vec![0x03, 0b1111_0000, 0, 0]).unwrap_err();
+        assert_eq!(err, PbnCodecError::Truncated { at: 1 });
+    }
+
+    #[test]
+    fn five_byte_overflow_is_rejected_not_wrapped() {
+        // Largest representable component is u32::MAX; its payload is
+        // u32::MAX - 1 - (T1+T2+T3+T4). Anything above must error.
+        let max_r = (u64::from(u32::MAX) - 1 - (T1 + T2 + T3 + T4)) as u32;
+        let mut ok = vec![0b1111_0000];
+        ok.extend_from_slice(&max_r.to_be_bytes());
+        assert_eq!(
+            EncodedPbn::from_bytes(ok).unwrap().decode(),
+            Pbn::new(vec![u32::MAX])
+        );
+        let mut bad = vec![0b1111_0000];
+        bad.extend_from_slice(&(max_r + 1).to_be_bytes());
+        let err = EncodedPbn::from_bytes(bad).unwrap_err();
+        assert_eq!(err, PbnCodecError::Overflow { at: 0 });
+        assert_eq!(err.code(), "PBN_OVERFLOW");
     }
 }

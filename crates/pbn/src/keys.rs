@@ -1,0 +1,210 @@
+//! Primitives on encoded PBN byte keys.
+//!
+//! The [`crate::encode`] scheme guarantees two structural facts about the
+//! byte strings it produces:
+//!
+//! 1. `memcmp(enc(x), enc(y))` equals document order `x.cmp(y)`, and
+//! 2. `enc(p)` is a byte-prefix of `enc(p.k)` for every child `p.k`.
+//!
+//! Everything in this module follows from those two facts alone, so the
+//! functions take plain `&[u8]` slices — typically borrowed from a
+//! [`crate::arena::PbnArena`] — and never allocate on the comparison path.
+//! This is what turns the §5 axis predicates into `starts_with` /
+//! `memcmp` calls and subtree axes into byte-range scans.
+
+use std::cmp::Ordering;
+
+/// Document order of two encoded keys: a plain byte comparison.
+#[inline]
+pub fn cmp(a: &[u8], b: &[u8]) -> Ordering {
+    a.cmp(b)
+}
+
+/// True if `p` encodes an ancestor-or-self of `y` (non-strict byte prefix).
+#[inline]
+pub fn is_prefix(p: &[u8], y: &[u8]) -> bool {
+    y.starts_with(p)
+}
+
+/// True if `p` encodes a proper ancestor of `y` (strict byte prefix).
+#[inline]
+pub fn is_strict_prefix(p: &[u8], y: &[u8]) -> bool {
+    y.len() > p.len() && y.starts_with(p)
+}
+
+/// Number of bytes of the component whose first byte is `b0`.
+///
+/// Components are self-delimiting: the tier (and hence the length) is
+/// fully determined by the leading bits of the first byte.
+#[inline]
+pub fn component_len(b0: u8) -> usize {
+    if b0 & 0b1000_0000 == 0 {
+        1
+    } else if b0 & 0b0100_0000 == 0 {
+        2
+    } else if b0 & 0b0010_0000 == 0 {
+        3
+    } else if b0 & 0b0001_0000 == 0 {
+        4
+    } else {
+        5
+    }
+}
+
+/// Byte offset of the end of the first `m` components of `key`, i.e.
+/// `enc(x)[..component_boundary(enc(x), m)] == enc(x.prefix(m))`.
+///
+/// Walks at most `m` components; saturates at the end of the key (a key
+/// with fewer than `m` components yields its full length).
+pub fn component_boundary(key: &[u8], m: usize) -> usize {
+    let mut i = 0;
+    for _ in 0..m {
+        if i >= key.len() {
+            break;
+        }
+        i += component_len(key[i]);
+    }
+    i.min(key.len())
+}
+
+/// Number of components encoded in `key`.
+pub fn component_count(key: &[u8]) -> usize {
+    let mut i = 0;
+    let mut n = 0;
+    while i < key.len() {
+        i += component_len(key[i]);
+        n += 1;
+    }
+    n
+}
+
+/// The smallest byte string strictly greater than **every** string with
+/// prefix `p`: drop trailing `0xFF` bytes and increment the last remaining
+/// byte. Returns `None` when no such string exists (`p` empty or all
+/// `0xFF`), meaning the subtree range extends to the end of the key space.
+///
+/// Correctness: `[p, prefix_succ(p))` in byte-lexicographic order contains
+/// exactly `p` and its extensions — any `y ≥ p` below the bound must agree
+/// with `p` on every non-dropped byte (it cannot exceed a `0xFF`), hence
+/// carries `p` as a prefix.
+pub fn prefix_succ(p: &[u8]) -> Option<Vec<u8>> {
+    let end = p.iter().rposition(|&b| b != 0xFF)?;
+    let mut out = p[..=end].to_vec();
+    out[end] += 1;
+    Some(out)
+}
+
+/// True iff `y < prefix_succ(p)` — the allocation-free form of the subtree
+/// upper bound. Equivalent to `y < p || y.starts_with(p)`: a key below the
+/// subtree's end either precedes the subtree entirely or lies inside it.
+/// When `prefix_succ(p)` is `None` the bound is infinite and this is true
+/// for every `y`, which the disjunction already yields.
+#[inline]
+pub fn before_subtree_end(p: &[u8], y: &[u8]) -> bool {
+    y.starts_with(p) || y < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pbn, EncodedPbn, Pbn};
+
+    fn enc(p: &Pbn) -> Vec<u8> {
+        EncodedPbn::encode(p).as_bytes().to_vec()
+    }
+
+    #[test]
+    fn cmp_is_document_order() {
+        let nums = [
+            pbn![1],
+            pbn![1, 1],
+            pbn![1, 1, 200],
+            pbn![1, 2],
+            pbn![1, 127],
+            pbn![1, 128],
+            pbn![1, 70_000],
+            pbn![2],
+        ];
+        for x in &nums {
+            for y in &nums {
+                assert_eq!(cmp(&enc(x), &enc(y)), x.cmp(y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_predicates_match_number_prefixes() {
+        let p = pbn![1, 130];
+        let c = pbn![1, 130, 99];
+        let o = pbn![1, 131];
+        assert!(is_prefix(&enc(&p), &enc(&c)));
+        assert!(is_prefix(&enc(&p), &enc(&p)));
+        assert!(!is_prefix(&enc(&p), &enc(&o)));
+        assert!(is_strict_prefix(&enc(&p), &enc(&c)));
+        assert!(!is_strict_prefix(&enc(&p), &enc(&p)));
+    }
+
+    #[test]
+    fn component_walks_agree_with_the_number_form() {
+        let p = pbn![1, 128, 2, 300_000, 5];
+        let k = enc(&p);
+        assert_eq!(component_count(&k), 5);
+        for m in 0..=5 {
+            let boundary = component_boundary(&k, m);
+            assert_eq!(&k[..boundary], &enc(&p.prefix(m))[..], "m = {m}");
+        }
+        // Saturation past the end.
+        assert_eq!(component_boundary(&k, 99), k.len());
+    }
+
+    #[test]
+    fn prefix_succ_drops_ff_tails_and_increments() {
+        assert_eq!(prefix_succ(&[1, 2]), Some(vec![1, 3]));
+        assert_eq!(prefix_succ(&[1, 0xFF, 0xFF]), Some(vec![2]));
+        assert_eq!(prefix_succ(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_succ(&[]), None);
+    }
+
+    #[test]
+    fn prefix_succ_bounds_exactly_the_prefix_extensions() {
+        // For a spread of keys, membership in [p, succ) equals the prefix
+        // test — the theorem the range scans rely on.
+        let keys: Vec<Vec<u8>> = [
+            pbn![1],
+            pbn![1, 1],
+            pbn![1, 2],
+            pbn![1, 2, 7],
+            pbn![1, 2, 999, 4],
+            pbn![1, 3],
+            pbn![1, 127],
+            pbn![1, 128],
+            pbn![1, 128, 1],
+            pbn![1, 129],
+            pbn![2],
+        ]
+        .iter()
+        .map(enc)
+        .collect();
+        for p in &keys {
+            for y in &keys {
+                let inside = match prefix_succ(p) {
+                    Some(hi) => p.as_slice() <= y.as_slice() && y.as_slice() < hi.as_slice(),
+                    None => p.as_slice() <= y.as_slice(),
+                };
+                assert_eq!(inside, is_prefix(p, y), "p={p:?} y={y:?}");
+                // And the allocation-free predicate agrees with `< succ`.
+                let below = match prefix_succ(p) {
+                    Some(hi) => y.as_slice() < hi.as_slice(),
+                    None => true,
+                };
+                assert_eq!(below, before_subtree_end(p, y), "p={p:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_prefix_spans_everything() {
+        assert!(before_subtree_end(&[], &enc(&pbn![1])));
+        assert!(is_prefix(&[], &enc(&pbn![7, 7])));
+    }
+}

@@ -15,18 +15,26 @@
 //! * [`encode`] — a compact, prefix-free, order-preserving byte encoding
 //!   ("strategies for packing PBN numbers into as few bits as possible",
 //!   §4.2's reference \[11\]).
+//! * [`keys`] — allocation-free predicates on encoded byte keys
+//!   (`memcmp` = document order, `starts_with` = ancestor-or-self) and
+//!   the `prefix_succ` subtree upper bound.
+//! * [`arena`] — the columnar [`PbnArena`]: every key of a document in
+//!   one contiguous, document-order buffer.
 //! * [`assign`] — numbering every node of a [`vh_xml::Document`].
 //! * [`update`] — update renumbering (§3's contrast case): how many
 //!   numbers an edit invalidates, measurably.
 
+pub mod arena;
 pub mod assign;
 pub mod axes;
 pub mod encode;
+pub mod keys;
 pub mod number;
 pub mod order;
 pub mod update;
 
+pub use arena::{ArenaFormatError, PbnArena};
 pub use assign::PbnAssignment;
 pub use axes::{relationship, Relationship};
-pub use encode::EncodedPbn;
+pub use encode::{EncodedPbn, PbnCodecError};
 pub use number::Pbn;

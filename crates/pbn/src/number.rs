@@ -27,7 +27,9 @@ impl Pbn {
     /// Builds a number from components.
     ///
     /// # Panics
-    /// Panics if any component is zero (ordinals are 1-based).
+    /// Panics if any component is zero (ordinals are 1-based). Trusted
+    /// internal call sites only; untrusted input goes through
+    /// [`Pbn::try_new`] or [`str::parse`].
     pub fn new(components: impl Into<Vec<u32>>) -> Self {
         let components = components.into();
         assert!(
@@ -35,6 +37,18 @@ impl Pbn {
             "PBN components are 1-based, got {components:?}"
         );
         Pbn { components }
+    }
+
+    /// Builds a number from components, rejecting zero ordinals instead of
+    /// panicking — the constructor for externally supplied values.
+    pub fn try_new(components: impl Into<Vec<u32>>) -> Result<Self, PbnParseError> {
+        let components = components.into();
+        if let Some(zero_at) = components.iter().position(|&c| c == 0) {
+            return Err(PbnParseError(format!(
+                "component {zero_at} is zero in {components:?} (ordinals are 1-based)"
+            )));
+        }
+        Ok(Pbn { components })
     }
 
     /// The empty number (no components). Used only as the numbering-space
@@ -287,5 +301,13 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn zero_component_rejected() {
         let _ = Pbn::new(vec![1, 0]);
+    }
+
+    #[test]
+    fn try_new_reports_zero_components_instead_of_panicking() {
+        assert_eq!(Pbn::try_new(vec![1, 2, 2]).unwrap(), pbn![1, 2, 2]);
+        assert_eq!(Pbn::try_new(Vec::new()).unwrap(), Pbn::empty());
+        let err = Pbn::try_new(vec![1, 0, 3]).unwrap_err();
+        assert!(err.to_string().contains("1-based"), "{err}");
     }
 }

@@ -5,10 +5,10 @@
 //! type map), then run FLWR queries whose sources name them through
 //! `doc("uri")` or `virtualDoc("uri", "vDataGuide")`. `virtualDoc` views
 //! are compiled on first use and served from the sharded
-//! [`ExecCache`] — vDataGuide expansions, Algorithm-1 level maps and
-//! scan-range prefix tables are each cached per
+//! [`ExecCache`] — vDataGuide expansions, Algorithm-1 level maps,
+//! scan-range prefix tables and per-type node indexes are each cached per
 //! `(uri, guide fingerprint, specification)` — so Algorithm 1 runs once
-//! per view, not once per query. The engine is `Sync`: reads (`eval*`)
+//! per view, not once per query, and a warm open does no per-node work. The engine is `Sync`: reads (`eval*`)
 //! can run from many threads against one registry.
 
 use crate::doc::{PhysicalDoc, VirtualDoc};
@@ -23,7 +23,7 @@ use std::sync::Arc;
 use vh_core::cache::{guide_fingerprint, CacheStats, ViewKey};
 use vh_core::levels::LevelMap;
 use vh_core::range::PrefixTables;
-use vh_core::{ExecCache, ExecOptions, VDataGuide, VirtualDocument};
+use vh_core::{ExecCache, ExecOptions, TypeIndex, VDataGuide, VirtualDocument};
 use vh_dataguide::TypedDocument;
 use vh_xml::{Document, NodeId};
 
@@ -238,7 +238,11 @@ impl Engine {
             let tables = self.cache.tables.get_or_try_insert(&key, || {
                 Ok::<_, FlwrError>(Arc::new(PrefixTables::build(&vdg, &levels, td.guide())))
             })?;
-            let mut vd = VirtualDocument::with_parts(td, (*vdg).clone(), (*levels).clone());
+            let index = self.cache.indexes.get_or_try_insert(&key, || {
+                Ok::<_, FlwrError>(Arc::new(TypeIndex::build(td, &vdg)))
+            })?;
+            let mut vd =
+                VirtualDocument::with_cached_parts(td, (*vdg).clone(), (*levels).clone(), index);
             vd.set_prefix_tables(tables);
             vd
         } else {

@@ -14,7 +14,7 @@ use vh_core::exec::{self, ExecOptions};
 use vh_core::order::v_cmp;
 use vh_core::VirtualDocument;
 use vh_dataguide::TypedDocument;
-use vh_pbn::Pbn;
+use vh_pbn::keys;
 use vh_xml::NodeId;
 
 /// Generic Stack-Tree structural join (sequential).
@@ -119,7 +119,10 @@ fn stack_tree_chunk(
 }
 
 /// Physical structural join: inputs sorted by PBN; containment is the
-/// prefix test.
+/// prefix test. Both predicates run on the encoded key arena — document
+/// order is one u32 slot comparison (arena slots are assigned in document
+/// order) and containment a `starts_with` on borrowed byte slices, so the
+/// merge pass never touches the `Vec<u32>` number form.
 pub fn physical_structural_join(
     td: &TypedDocument,
     ancestors: &[NodeId],
@@ -135,12 +138,12 @@ pub fn physical_structural_join_opts(
     descendants: &[NodeId],
     opts: &ExecOptions,
 ) -> Vec<(NodeId, NodeId)> {
-    let pbn = |n: NodeId| -> &Pbn { td.pbn().pbn_of(n) };
+    let arena = td.pbn().arena();
     stack_tree_join_opts(
         ancestors,
         descendants,
-        &|a, b| pbn(a).cmp(pbn(b)),
-        &|a, d| pbn(a).is_strict_prefix_of(pbn(d)),
+        &|a, b| arena.slot_of(a).cmp(&arena.slot_of(b)),
+        &|a, d| keys::is_strict_prefix(arena.key_of(a), arena.key_of(d)),
         opts,
     )
 }
@@ -280,6 +283,32 @@ mod tests {
                 assert_eq!(fast, slow, "spec {spec}, vtype {vt_idx}");
             }
         }
+    }
+
+    #[test]
+    fn byte_key_join_matches_number_comparators() {
+        // The arena byte-key comparators must reproduce the Vec<u32>
+        // number comparators exactly (memcmp == doc order, starts_with ==
+        // prefix containment).
+        let td = TypedDocument::analyze(paper_figure2());
+        let pbn = |n: NodeId| td.pbn().pbn_of(n);
+        let anc = sorted_by_pbn(
+            &td,
+            td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).must()),
+        );
+        let desc = sorted_by_pbn(
+            &td,
+            td.nodes_of_type(
+                td.guide()
+                    .lookup_path(&["data", "book", "author", "name"])
+                    .must(),
+            ),
+        );
+        let by_key = physical_structural_join(&td, &anc, &desc);
+        let by_number = stack_tree_join(&anc, &desc, &|a, b| pbn(a).cmp(pbn(b)), &|a, d| {
+            pbn(a).is_strict_prefix_of(pbn(d))
+        });
+        assert_eq!(by_key, by_number);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use vh_core::exec::{self, ExecOptions};
 use vh_core::order::v_cmp;
 use vh_core::VirtualDocument;
 use vh_dataguide::TypedDocument;
+use vh_pbn::keys;
 use vh_xml::NodeId;
 
 // ------------------------------------------------------------ patterns ---
@@ -214,6 +215,26 @@ pub trait TwigSource {
     fn cmp(&self, a: NodeId, b: NodeId) -> Ordering;
     /// True iff `a` is a (proper) ancestor of `b`.
     fn contains(&self, a: NodeId, b: NodeId) -> bool;
+    /// First position `i ≥ from` in `stream` (one of this source's
+    /// document-ordered streams) where the TwigStack skip loop must stop:
+    /// `stream[i]` is at-or-after `target` in document order, or contains
+    /// it. Entries before that position start *and end* before `target`,
+    /// so no match can involve them and the cursor jumps straight past.
+    ///
+    /// The default walks linearly; sources whose document order is a byte
+    /// comparison on sorted keys override this with binary searches.
+    /// Overrides must return exactly the index the default would.
+    fn seek(&self, stream: &[NodeId], from: usize, target: NodeId) -> usize {
+        let mut i = from;
+        while i < stream.len() {
+            let h = stream[i];
+            if self.cmp(h, target) != Ordering::Less || self.contains(h, target) {
+                break;
+            }
+            i += 1;
+        }
+        i
+    }
 }
 
 /// Physical source: plain PBN order and prefix containment.
@@ -260,26 +281,110 @@ impl<'a> TwigSource for PhysicalTwigSource<'a> {
     }
 
     fn cmp(&self, a: NodeId, b: NodeId) -> Ordering {
-        self.td.pbn().pbn_of(a).cmp(self.td.pbn().pbn_of(b))
+        // Arena slots are assigned in document order, so doc-order
+        // comparison is one u32 compare per side (unassigned ids sort
+        // first, matching their empty keys).
+        let arena = self.td.pbn().arena();
+        arena.slot_of(a).cmp(&arena.slot_of(b))
     }
 
     fn contains(&self, a: NodeId, b: NodeId) -> bool {
-        self.td
-            .pbn()
-            .pbn_of(a)
-            .is_strict_prefix_of(self.td.pbn().pbn_of(b))
+        keys::is_strict_prefix(self.td.pbn().key_of(a), self.td.pbn().key_of(b))
+    }
+
+    /// Binary-searched skip with a linear warm-up. Most calls stop within
+    /// the first few entries (cursors only move forward), so those stay
+    /// O(1); longer jumps gallop exponentially and pay one binary search
+    /// logarithmic in the distance actually skipped, never in the stream
+    /// length. Physical streams are sorted by encoded key — equivalently
+    /// by arena slot — so the first entry at-or-after `target` is one
+    /// `partition_point` over slots; the only entries *before* the target
+    /// that stop the skip are its proper ancestors, whose keys are exactly
+    /// the proper component-prefixes of `target`'s key — each present at
+    /// most once (keys are unique), hence one exact binary search per
+    /// prefix length, shortest (earliest slot) first.
+    fn seek(&self, stream: &[NodeId], from: usize, target: NodeId) -> usize {
+        const PROBES: usize = 4;
+        let pbn = self.td.pbn();
+        let arena = pbn.arena();
+        let tkey = pbn.key_of(target);
+        let tslot = arena.slot_of(target);
+        let tail = &stream[from..];
+        let stops =
+            |n: NodeId| arena.slot_of(n) >= tslot || keys::is_strict_prefix(pbn.key_of(n), tkey);
+        for (i, &n) in tail.iter().take(PROBES).enumerate() {
+            if stops(n) {
+                return from + i;
+            }
+        }
+        if tail.len() <= PROBES {
+            return from + tail.len();
+        }
+        // Gallop past the run of keys before `target`, then binary-search
+        // the bracket for the partition point (first slot ≥ target's).
+        let mut hi = PROBES;
+        let mut jump = PROBES;
+        while hi < tail.len() && arena.slot_of(tail[hi]) < tslot {
+            hi += jump;
+            jump *= 2;
+        }
+        let hi = hi.min(tail.len());
+        let mut best = PROBES + tail[PROBES..hi].partition_point(|&n| arena.slot_of(n) < tslot);
+        // Ancestors of `target` all sit before the partition point; the
+        // shortest prefix present is the earliest stop.
+        let mut end = keys::component_boundary(tkey, 1);
+        while end < tkey.len() {
+            let prefix = &tkey[..end];
+            if let Ok(i) = tail[..best].binary_search_by(|&n| pbn.key_of(n).cmp(prefix)) {
+                best = i;
+                break;
+            }
+            end += keys::component_len(tkey[end]);
+        }
+        from + best
     }
 }
 
 /// Virtual source: virtual document order and `vAncestor` containment.
+///
+/// Construction materializes a **virtual-order rank column**: all visible
+/// nodes sorted once by `v_cmp`, their positions stored in a flat
+/// `u32` column indexed by node id. Every document-order comparison
+/// during the join — including the per-stream sorts, one per pattern
+/// node — is then a single integer compare instead of a component walk
+/// over number and level arrays.
 pub struct VirtualTwigSource<'a> {
     vd: &'a VirtualDocument<'a>,
+    rank: Vec<u32>,
 }
 
+/// Rank sentinel for nodes outside the virtual hierarchy (never produced
+/// by `stream`, which enumerates visible nodes only).
+const NO_RANK: u32 = u32::MAX;
+
 impl<'a> VirtualTwigSource<'a> {
-    /// Wraps a virtual document.
+    /// Wraps a virtual document, building the rank column with one global
+    /// `v_cmp` sort (amortized over every stream and comparison of the
+    /// join; uses the view's own [`ExecOptions`]).
     pub fn new(vd: &'a VirtualDocument<'a>) -> Self {
-        VirtualTwigSource { vd }
+        let vdg = vd.vdg();
+        let vpbn = |n: NodeId| match vd.vpbn_of(n) {
+            Some(v) => v,
+            None => unreachable!("type-index nodes are visible"),
+        };
+        let mut visible: Vec<NodeId> = vdg
+            .guide()
+            .type_ids()
+            .flat_map(|vt| vd.nodes_of_vtype(vt).iter().copied())
+            .collect();
+        exec::par_sort_by(&vd.exec(), &mut visible, |&a, &b| {
+            v_cmp(vdg, &vpbn(a), &vpbn(b))
+        });
+        let mut rank = vec![NO_RANK; vd.typed().doc().len()];
+        for (r, id) in visible.iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        VirtualTwigSource { vd, rank }
     }
 }
 
@@ -304,13 +409,14 @@ impl<'a> TwigSource for VirtualTwigSource<'a> {
             .filter(|&vt| vdg.guide().name(vt) == test)
             .flat_map(|vt| self.vd.nodes_of_vtype(vt).iter().copied())
             .collect();
-        // Safe to parallelize: v_cmp never ties for distinct nodes.
+        // Rank order *is* virtual document order, so this is an integer
+        // sort (and safe to parallelize: ranks never tie).
         exec::par_sort_by(&self.vd.exec(), &mut out, |&a, &b| self.cmp(a, b));
         out
     }
 
     fn cmp(&self, a: NodeId, b: NodeId) -> Ordering {
-        v_cmp(self.vd.vdg(), &self.vpbn(a), &self.vpbn(b))
+        self.rank[a.index()].cmp(&self.rank[b.index()])
     }
 
     fn contains(&self, a: NodeId, b: NodeId) -> bool {
@@ -482,14 +588,11 @@ impl<'s> TwigStack<'s> {
         // Every child branch is inert: nothing below can progress.
         let q_max = max_child_head?;
         // Skip q candidates that end before the farthest child head: they
-        // cannot contain all (remaining) children.
-        while let Some(hq) = self.head(q) {
-            if self.source.cmp(hq, q_max) == Ordering::Less && !self.source.contains(hq, q_max) {
-                self.advance(q);
-            } else {
-                break;
-            }
-        }
+        // cannot contain all (remaining) children. `seek` jumps the cursor
+        // to the stop position in one call (binary-searched on sources
+        // with byte-comparable keys).
+        let src = self.source;
+        self.cursor[q] = src.seek(&self.streams[q], self.cursor[q], q_max);
         // Invariant: q_max is only Some when at least one child was live,
         // and every live child also updated min_child.
         let (min_c, q_min) = match min_child {
@@ -825,6 +928,51 @@ mod tests {
                     twig_join(&virt, &p),
                     "virtual {pat} t={threads}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_column_orders_exactly_like_v_cmp() {
+        let td = TypedDocument::analyze(vh_workload_books(20, 3));
+        let vd = VirtualDocument::open(&td, "title { author { name } }").must();
+        let src = VirtualTwigSource::new(&vd);
+        let nodes: Vec<NodeId> = ["title", "author", "name"]
+            .iter()
+            .flat_map(|n| src.stream(n))
+            .collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let by_rank = src.cmp(a, b);
+                let by_vcmp = v_cmp(vd.vdg(), &src.vpbn(a), &src.vpbn(b));
+                assert_eq!(by_rank, by_vcmp, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn physical_seek_matches_the_linear_default() {
+        // The binary-searched override must return exactly the index the
+        // documented linear walk would, for every (stream, target, from).
+        let td = TypedDocument::analyze(vh_workload_books(25, 3));
+        let src = PhysicalTwigSource::new(&td);
+        let names = ["data", "book", "title", "author", "name", "publisher"];
+        let targets: Vec<NodeId> = names.iter().flat_map(|n| src.stream(n)).collect();
+        for name in names {
+            let stream = src.stream(name);
+            for &t in &targets {
+                for from in [0, stream.len() / 3, stream.len() / 2, stream.len()] {
+                    let fast = src.seek(&stream, from, t);
+                    let mut slow = from;
+                    while slow < stream.len() {
+                        let h = stream[slow];
+                        if src.cmp(h, t) != Ordering::Less || src.contains(h, t) {
+                            break;
+                        }
+                        slow += 1;
+                    }
+                    assert_eq!(fast, slow, "{name} from {from}");
+                }
             }
         }
     }

@@ -54,6 +54,15 @@ pub enum StorageError {
         /// Actual length of the stored string.
         len: usize,
     },
+    /// A persisted index column failed structural validation on load
+    /// (bad magic, truncated image, CRC mismatch, malformed PBN keys).
+    BadColumn {
+        /// Which column failed (e.g. `"pbn"`).
+        column: &'static str,
+        /// Why it was rejected; includes the layer error's own code when
+        /// one exists (e.g. `PBN_TRUNCATED`).
+        reason: String,
+    },
 }
 
 impl StorageError {
@@ -63,6 +72,7 @@ impl StorageError {
             StorageError::Transient { .. } => "STORAGE_TRANSIENT",
             StorageError::Corrupt { .. } => "STORAGE_CORRUPT",
             StorageError::OutOfBounds { .. } => "STORAGE_OOB",
+            StorageError::BadColumn { .. } => "STORAGE_BAD_COLUMN",
         }
     }
 }
@@ -80,6 +90,9 @@ impl fmt::Display for StorageError {
                 f,
                 "byte range {start}..{end} out of bounds (stored length {len})"
             ),
+            StorageError::BadColumn { column, reason } => {
+                write!(f, "persisted {column} column rejected: {reason}")
+            }
         }
     }
 }
@@ -102,6 +115,10 @@ mod tests {
                 start: 1,
                 end: 9,
                 len: 4,
+            },
+            StorageError::BadColumn {
+                column: "pbn",
+                reason: "offset table is not monotone".into(),
             },
         ];
         let codes: std::collections::HashSet<_> = errs.iter().map(|e| e.code()).collect();

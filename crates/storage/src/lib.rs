@@ -28,6 +28,10 @@
 //!   document order (PBN-sorted).
 //! * [`header`] — per-node header records (kind, Type ID, encoded PBN) and
 //!   their space accounting.
+//! * [`pbn_column`] — the persisted columnar key arena: the document's
+//!   encoded PBN keys, offset table and node column written verbatim with
+//!   a CRC trailer, so reopening a store rebuilds the numbering without
+//!   renumbering the document.
 //! * [`store`] — [`StoredDocument`]: everything wired together; implements
 //!   [`vh_core::value::RawValueSource`] so virtual values stitch directly
 //!   from stored ranges; [`stats`] aggregates access counters.
@@ -44,6 +48,7 @@ pub mod header;
 pub mod io;
 pub mod name_index;
 pub mod pages;
+pub mod pbn_column;
 pub mod retry;
 pub mod stats;
 pub mod store;
@@ -55,6 +60,7 @@ pub use error::{PageFault, StorageError};
 pub use faults::{FaultConfig, FaultyPageIo};
 pub use io::{MemPageIo, PageIo};
 pub use pages::PageStore;
+pub use pbn_column::{decode_arena_column, encode_arena_column};
 pub use retry::RetryPolicy;
 pub use stats::StorageStats;
 pub use store::StoredDocument;

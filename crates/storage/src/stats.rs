@@ -15,6 +15,8 @@ pub struct StorageStats {
     pub name_index_bytes: usize,
     /// Bytes of the node header table (kind + type id + encoded PBN).
     pub header_bytes: usize,
+    /// Bytes of the persisted PBN key-arena column image.
+    pub pbn_column_bytes: usize,
     /// Pages read since the last counter reset.
     pub pages_read: u64,
     /// Bytes read since the last counter reset.
@@ -37,6 +39,7 @@ impl StorageStats {
             + self.type_index_bytes
             + self.name_index_bytes
             + self.header_bytes
+            + self.pbn_column_bytes
     }
 }
 
@@ -52,8 +55,9 @@ mod tests {
             type_index_bytes: 20,
             name_index_bytes: 5,
             header_bytes: 15,
+            pbn_column_bytes: 50,
             ..StorageStats::default()
         };
-        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.total_bytes(), 200);
     }
 }

@@ -12,13 +12,14 @@ use crate::faults::FaultConfig;
 use crate::header::HeaderTable;
 use crate::name_index::NameIndex;
 use crate::pages::{PageStore, DEFAULT_PAGE_SIZE};
+use crate::pbn_column::{decode_arena_column, encode_arena_column};
 use crate::retry::RetryPolicy;
 use crate::stats::StorageStats;
 use crate::type_index::TypeIndex;
 use crate::value_index::ValueIndex;
 use vh_core::value::{RawValueSource, ValueError};
 use vh_dataguide::TypedDocument;
-use vh_pbn::Pbn;
+use vh_pbn::{Pbn, PbnAssignment};
 use vh_xml::{serialize, NodeId, NodeKind};
 
 /// A typed document together with its simulated on-disk representation.
@@ -30,6 +31,7 @@ pub struct StoredDocument {
     types: TypeIndex,
     names: NameIndex,
     headers: HeaderTable,
+    pbn_column: Vec<u8>,
     pool: Option<BufferPool>,
 }
 
@@ -60,6 +62,7 @@ impl StoredDocument {
         let types = TypeIndex::build(&td);
         let names = NameIndex::build(&td);
         let headers = HeaderTable::build(&td);
+        let pbn_column = encode_arena_column(td.pbn());
         StoredDocument {
             td,
             pages,
@@ -67,6 +70,7 @@ impl StoredDocument {
             types,
             names,
             headers,
+            pbn_column,
             pool: None,
         }
     }
@@ -131,6 +135,21 @@ impl StoredDocument {
         &self.headers
     }
 
+    /// The persisted PBN key-arena column image (see
+    /// [`crate::pbn_column`]).
+    #[inline]
+    pub fn pbn_column(&self) -> &[u8] {
+        &self.pbn_column
+    }
+
+    /// Reconstructs the document's PBN assignment from the persisted
+    /// column image, as reopening the store from disk would — the columns
+    /// are validated and wrapped, never renumbered. The result is
+    /// byte-identical to `self.typed().pbn()`.
+    pub fn reopen_pbn(&self) -> Result<PbnAssignment, StorageError> {
+        decode_arena_column(&self.pbn_column)
+    }
+
     /// The stored value of a node, read through the page layer (charged;
     /// served and verified via the buffer pool when one is attached).
     /// Transient faults are retried; persistent corruption surfaces as
@@ -160,6 +179,7 @@ impl StoredDocument {
             type_index_bytes: self.types.heap_bytes(),
             name_index_bytes: self.names.heap_bytes(),
             header_bytes: self.headers.total_bytes(),
+            pbn_column_bytes: self.pbn_column.len(),
             pages_read: self.pages.pages_read(),
             bytes_read: self.pages.bytes_read(),
             read_retries: self.pages.read_retries(),
@@ -343,6 +363,19 @@ mod tests {
     }
 
     #[test]
+    fn reopened_pbn_assignment_is_byte_identical() -> R {
+        let s = store();
+        let reopened = s.reopen_pbn()?;
+        let original = s.typed().pbn();
+        assert_eq!(reopened.arena(), original.arena());
+        assert_eq!(reopened.in_document_order(), original.in_document_order());
+        for id in s.typed().doc().preorder() {
+            assert_eq!(reopened.key_of(id), original.key_of(id));
+        }
+        Ok(())
+    }
+
+    #[test]
     fn stats_cover_all_components() {
         let s = store();
         let st = s.stats();
@@ -351,6 +384,7 @@ mod tests {
         assert!(st.type_index_bytes > 0);
         assert!(st.name_index_bytes > 0);
         assert!(st.header_bytes > 0);
+        assert!(st.pbn_column_bytes > 0);
         assert_eq!(st.document_pages, 1, "small document fits one page");
         assert!(st.total_bytes() > st.document_bytes);
     }

@@ -224,6 +224,20 @@ mod tests {
     }
 
     #[test]
+    fn rejected_column_loads_are_storage_class_failures() {
+        // A malformed persisted PBN column (bad CRC, truncated keys, …)
+        // must land in the storage exit class with its own stable code.
+        let e: VhError = StorageError::BadColumn {
+            column: "pbn",
+            reason: "key at slot 3: [PBN_TRUNCATED] truncated".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 7);
+        assert_eq!(e.code(), "STORAGE_BAD_COLUMN");
+        assert!(e.render_chain().contains("PBN_TRUNCATED"));
+    }
+
+    #[test]
     fn query_vdg_errors_collapse_to_the_vdg_class() {
         let e: VhError = QueryError::Vdg(VdgError::UnknownLabel("x".into())).into();
         assert_eq!(e.exit_code(), 5);

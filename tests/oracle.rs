@@ -286,7 +286,8 @@ fn sibling_ordinals_match_materialized_positions() {
 
 /// Cache invalidation: re-registering a mutated document under the same
 /// URI must evict the stale compiled-view artifacts (vDataGuide
-/// expansion, level-array map, prefix tables), and the next open must
+/// expansion, level-array map, prefix tables, node index), and the next
+/// open must
 /// agree with the materialization oracle on the *new* instance — a stale
 /// level array would place nodes at the old document's positions.
 #[test]
@@ -316,27 +317,31 @@ fn mutating_a_document_evicts_stale_view_artifacts() {
     // Cold open fills the cache; warm open hits every shard.
     let old_pre = engine.virtual_doc(URI, SPEC).unwrap().preorder();
     let cold = engine.cache_stats();
-    assert_eq!(cold.total_misses(), 3, "expansion + levels + tables miss");
+    assert_eq!(
+        cold.total_misses(),
+        4,
+        "expansion + levels + tables + index miss"
+    );
     assert_eq!(cold.total_hits(), 0);
     let _ = engine.virtual_doc(URI, SPEC).unwrap();
     let warm = engine.cache_stats();
-    assert_eq!(warm.total_hits(), 3, "warm open hits all three caches");
-    assert_eq!(warm.total_misses(), 3);
+    assert_eq!(warm.total_hits(), 4, "warm open hits all four caches");
+    assert_eq!(warm.total_misses(), 4);
 
     // Mutate: same URI, new instance. Registration must invalidate.
     engine.register(generate_books(URI, &new_cfg));
     let after = engine.cache_stats();
     assert_eq!(
         after.total_invalidations(),
-        3,
-        "stale expansion, level map and prefix tables are evicted"
+        4,
+        "stale expansion, level map, prefix tables and node index are evicted"
     );
 
     // The next open recompiles (miss, not hit) ...
     let new_pre = engine.virtual_doc(URI, SPEC).unwrap().preorder();
     let refilled = engine.cache_stats();
-    assert_eq!(refilled.total_misses(), 6, "recompiled after invalidation");
-    assert_eq!(refilled.total_hits(), 3, "no stale hits served");
+    assert_eq!(refilled.total_misses(), 8, "recompiled after invalidation");
+    assert_eq!(refilled.total_hits(), 4, "no stale hits served");
     assert_ne!(old_pre, new_pre, "the mutation changed the view");
 
     // ... and agrees with materializing the new instance from scratch.
@@ -360,14 +365,14 @@ fn mutating_a_document_evicts_stale_view_artifacts() {
     let stats = engine.cache_stats();
     assert_eq!(
         stats.total_invalidations(),
-        with_other.total_invalidations() + 3,
+        with_other.total_invalidations() + 4,
         "only books.xml entries are evicted"
     );
     let other_pre = engine.virtual_doc("other.xml", SPEC).unwrap().preorder();
     let hits_after = engine.cache_stats().total_hits();
     assert_eq!(
         hits_after,
-        stats.total_hits() + 3,
+        stats.total_hits() + 4,
         "other.xml still served from cache"
     );
     assert!(!other_pre.is_empty());

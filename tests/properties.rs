@@ -35,6 +35,22 @@ proptest! {
         prop_assert_eq!(ea.is_prefix_of(&eb), a.is_prefix_of(&b));
     }
 
+    /// The two facts the byte-range scans rest on, stated on raw key
+    /// bytes: `enc(p)` is a byte-prefix of every child extension, and
+    /// `memcmp` of encodings equals document order of the numbers.
+    #[test]
+    fn encoded_key_bytes_support_range_scans(
+        p in arb_pbn(),
+        a in arb_pbn(),
+        k in 1u32..100_000,
+    ) {
+        let ep = EncodedPbn::encode(&p);
+        let ec = EncodedPbn::encode(&p.child(k));
+        prop_assert!(ec.as_bytes().starts_with(ep.as_bytes()));
+        let ea = EncodedPbn::encode(&a);
+        prop_assert_eq!(ea.as_bytes().cmp(ep.as_bytes()), a.cmp(&p));
+    }
+
     /// Relationship classification is consistent: exactly one coarse class
     /// holds for any pair from the same tree.
     #[test]
@@ -324,6 +340,58 @@ proptest! {
                 max_authors,
                 seed
             );
+        }
+    }
+}
+
+// Range-scan axis evaluation is byte-identical to the predicate-scan
+// oracle: the binary-searched candidate slice (plus the collapsed check
+// for exact ranges) must select exactly the nodes the full Algorithm-1
+// predicate scan does — for every scenario view, with and without prefix
+// tables, at thread counts 1, 2 and 8.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn range_scan_axes_match_the_predicate_oracle(
+        books in 1usize..12,
+        max_authors in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        use vpbn_suite::core::ExecOptions;
+        let cfg = vpbn_suite::workload::BooksConfig {
+            books,
+            max_authors,
+            rare_fraction: 0.25,
+            seed,
+        };
+        let td = TypedDocument::analyze(
+            vpbn_suite::workload::generate_books("books.xml", &cfg),
+        );
+        for s in vpbn_suite::workload::book_scenarios() {
+            for &threads in &[1usize, 2, 8] {
+                let mut vd = VirtualDocument::open(&td, s.spec).unwrap();
+                vd.set_exec(ExecOptions { threads, cache: true, par_threshold: 1 });
+                // Exercise both the per-call prefix computation (t=1) and
+                // the precomputed tables (t=2, t=8).
+                if threads > 1 {
+                    vd.build_prefix_tables();
+                }
+                let contexts: Vec<NodeId> =
+                    vd.preorder().into_iter().take(20).collect();
+                for vt in vd.vdg().guide().type_ids() {
+                    for &x in &contexts {
+                        prop_assert_eq!(
+                            vd.descendants_of_type(x, vt),
+                            vd.descendants_of_type_filter(x, vt),
+                            "scenario {} t={} vtype {:?}",
+                            s.name,
+                            threads,
+                            vt
+                        );
+                    }
+                }
+            }
         }
     }
 }
