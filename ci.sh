@@ -13,14 +13,16 @@ cd "$(dirname "$0")"
 MODE="${1:-}"
 
 # Quick profile, sequential, JSON into a scratch dir — exactly what the
-# GitHub bench-gate job runs. Gated rows are the axis/twig hot paths.
+# GitHub bench-gate job runs. Gated rows are the axis/twig hot paths plus
+# the observability layer's end-to-end query cost (exp_obs also enforces
+# its own ≤2% disabled-mode overhead budget and exits nonzero past it).
 BENCH_FLAGS=(--quick --threads 1)
 BASELINE_DIR=crates/bench/baselines
 
 run_bench() {
   local out="$1"
   cargo build --release -p vh-bench --bins
-  for exp in exp_axes exp_twig exp_sjoin exp_space; do
+  for exp in exp_axes exp_twig exp_sjoin exp_space exp_obs; do
     "./target/release/$exp" "${BENCH_FLAGS[@]}" --json "$out" >/dev/null
   done
 }
@@ -37,7 +39,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (warnings are errors; unwrap/expect denied in lib crates)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::dbg_macro
+
+echo "==> vh-obs builds without default features (no-std-clock consumers)"
+cargo build -p vh-obs --no-default-features --quiet
 
 echo "==> cargo test"
 cargo test --workspace -q

@@ -4,7 +4,8 @@
 //! Policy (mirrors `.github/workflows/ci.yml`'s `bench-gate` job):
 //!
 //! * Only rows whose id starts with a **gated prefix** can fail the gate
-//!   (default: `axes/axis/` and `twig/` — the paper's hot paths).
+//!   (default: `axes/axis/` and `twig/` — the paper's hot paths — plus
+//!   `obs/run/`, the observability layer's end-to-end query cost).
 //!   Everything else — thread-scaling sweeps, cache demos, informational
 //!   totals — is compared for the log but never fails CI.
 //! * A gated row regresses when its median ns/op exceeds the baseline by
@@ -24,7 +25,7 @@
 use crate::json::{BenchReport, CALIBRATION_ROW};
 
 /// Gated row-id prefixes when the caller supplies none.
-pub const DEFAULT_GATE_PREFIXES: &[&str] = &["axes/axis/", "twig/"];
+pub const DEFAULT_GATE_PREFIXES: &[&str] = &["axes/axis/", "twig/", "obs/run/"];
 
 /// Median-ns regression threshold when the caller supplies none (15%).
 pub const DEFAULT_THRESHOLD: f64 = 0.15;

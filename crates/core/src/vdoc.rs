@@ -18,6 +18,7 @@ use crate::vdg::{VDataGuide, VTypeId, VdgError};
 use crate::vpbn::VPbnRef;
 use std::sync::Arc;
 use vh_dataguide::TypedDocument;
+use vh_obs::{AxisCounters, RangeChoice};
 use vh_pbn::keys;
 use vh_xml::NodeId;
 
@@ -92,6 +93,9 @@ pub struct VirtualDocument<'a> {
     /// Precomputed scan-range prefixes; when absent, prefixes are derived
     /// per lookup with [`related_prefix`].
     tables: Option<Arc<PrefixTables>>,
+    /// Axis-scan observability sink for traced queries. `None` (the
+    /// default) keeps the hot path a single pointer test per scan.
+    obs: Option<Arc<AxisCounters>>,
 }
 
 impl<'a> VirtualDocument<'a> {
@@ -133,6 +137,7 @@ impl<'a> VirtualDocument<'a> {
             index,
             exec: ExecOptions::default(),
             tables: None,
+            obs: None,
         }
     }
 
@@ -161,6 +166,14 @@ impl<'a> VirtualDocument<'a> {
     pub fn build_prefix_tables(&mut self) {
         let t = PrefixTables::build(&self.vdg, &self.levels, self.td.guide());
         self.tables = Some(Arc::new(t));
+    }
+
+    /// Attaches an axis-scan counter sink: every subsequent
+    /// `collect_related` records its chosen byte range (type-index and
+    /// arena slot brackets) and scan totals into it. Traced queries
+    /// attach one; untraced navigation leaves it `None`.
+    pub fn set_obs(&mut self, obs: Arc<AxisCounters>) {
+        self.obs = Some(obs);
     }
 
     /// The underlying typed document.
@@ -411,6 +424,9 @@ impl<'a> VirtualDocument<'a> {
         let list = self.index.nodes(vt);
         let (start, end) = self.index_range(list, prefix);
         let candidates = &list[start..end];
+        if let Some(obs) = &self.obs {
+            self.record_scan(obs, xv.vtype, vt, prefix, m, exact, start, end);
+        }
         if exact {
             if let Some(&first) = candidates.first() {
                 let cv = VPbnRef::from_slices(self.td.pbn().pbn_of(first).components(), ta, vt);
@@ -424,6 +440,44 @@ impl<'a> VirtualDocument<'a> {
             let cv = VPbnRef::from_slices(self.td.pbn().pbn_of(cand).components(), ta, vt);
             pred(&self.vdg, &cv, xv)
         }));
+    }
+
+    /// Publishes one `collect_related` range selection to the attached
+    /// counter sink: aggregate totals always, plus a detail
+    /// [`RangeChoice`] (virtual-path names, type-index bracket, global
+    /// arena slot bracket) while the sink still wants them. Out of the
+    /// hot path — only traced queries reach it.
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn record_scan(
+        &self,
+        obs: &AxisCounters,
+        ctx: VTypeId,
+        vt: VTypeId,
+        prefix: &[u8],
+        pinned: usize,
+        exact: bool,
+        start: usize,
+        end: usize,
+    ) {
+        let slots = (end - start) as u64;
+        // Exact regions evaluate the §5 predicate once for the whole
+        // slice; otherwise once per candidate.
+        let filters = if exact { slots.min(1) } else { slots };
+        obs.record_scan(slots, exact, filters);
+        if obs.wants_range() {
+            let (arena_start, arena_end) = self.td.pbn().arena().slot_window(prefix);
+            obs.push_range(RangeChoice {
+                context: self.vdg.guide().path_string(ctx),
+                target: self.vdg.guide().path_string(vt),
+                pinned: pinned as u32,
+                exact,
+                index_start: start as u64,
+                index_end: end as u64,
+                arena_start,
+                arena_end,
+            });
+        }
     }
 
     /// Binary-searches a PBN-sorted node list for the sub-range of nodes

@@ -1,0 +1,377 @@
+//! Hand-rolled JSON codec for [`QueryTrace`] — no external dependencies.
+//!
+//! The schema is fixed: every span serializes as
+//! `{"name": s, "start_ns": n, "duration_ns": n, "meta": {…},
+//! "counters": {…}, "children": […]}` with all six keys always present,
+//! which keeps the recursive-descent parser small and the output
+//! deterministic for golden tests. `meta`/`counters` objects preserve
+//! insertion order in both directions.
+
+use crate::span::{QueryTrace, Span};
+use std::fmt;
+
+/// A JSON parse failure: what was expected and the byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace JSON error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+// ----- writer -----------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_span(out: &mut String, s: &Span) {
+    out.push_str("{\"name\":");
+    push_escaped(out, &s.name);
+    out.push_str(&format!(
+        ",\"start_ns\":{},\"duration_ns\":{},\"meta\":{{",
+        s.start_ns, s.duration_ns
+    ));
+    for (i, (k, v)) in s.meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(out, k);
+        out.push(':');
+        push_escaped(out, v);
+    }
+    out.push_str("},\"counters\":{");
+    for (i, (k, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(out, k);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"children\":[");
+    for (i, c) in s.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_span(out, c);
+    }
+    out.push_str("]}");
+}
+
+// ----- parser -----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Traces never emit surrogate pairs (the writer
+                            // only \u-escapes control characters), so a lone
+                            // surrogate is simply rejected.
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is a &str, so
+                    // slicing on char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("number out of range"))
+    }
+
+    /// Parses `{"k": v, …}` with `v` produced by `value`.
+    fn pairs<T>(
+        &mut self,
+        mut value: impl FnMut(&mut Self) -> Result<T, JsonError>,
+    ) -> Result<Vec<(String, T)>, JsonError> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let k = self.string()?;
+            self.expect(b':')?;
+            out.push((k, value(self)?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn key(&mut self, expected: &str) -> Result<(), JsonError> {
+        let k = self.string()?;
+        if k != expected {
+            return Err(self.err(format!("expected key \"{expected}\", got \"{k}\"")));
+        }
+        self.expect(b':')
+    }
+
+    fn span(&mut self) -> Result<Span, JsonError> {
+        self.expect(b'{')?;
+        self.key("name")?;
+        let name = self.string()?;
+        self.expect(b',')?;
+        self.key("start_ns")?;
+        let start_ns = self.number()?;
+        self.expect(b',')?;
+        self.key("duration_ns")?;
+        let duration_ns = self.number()?;
+        self.expect(b',')?;
+        self.key("meta")?;
+        let meta = self.pairs(Self::string)?;
+        self.expect(b',')?;
+        self.key("counters")?;
+        let counters = self.pairs(Self::number)?;
+        self.expect(b',')?;
+        self.key("children")?;
+        self.expect(b'[')?;
+        let mut children = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+        } else {
+            loop {
+                children.push(self.span()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or ']'")),
+                }
+            }
+        }
+        self.expect(b'}')?;
+        Ok(Span {
+            name,
+            start_ns,
+            duration_ns,
+            meta,
+            counters,
+            children,
+        })
+    }
+}
+
+impl QueryTrace {
+    /// Serializes the trace as a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        write_span(&mut out, &self.root);
+        out
+    }
+
+    /// Parses a trace produced by [`Self::to_json`].
+    pub fn from_json(input: &str) -> Result<QueryTrace, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let root = p.span()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after trace"));
+        }
+        Ok(QueryTrace { root })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        let mut exec = Span::named("exec");
+        exec.start_ns = 40;
+        exec.duration_ns = 50;
+        exec.counters = vec![("axis.range_scans".into(), 3), ("twig.seeks".into(), 0)];
+        let mut range = Span::named("arena-range-selection");
+        range.meta = vec![
+            ("context".into(), "/title".into()),
+            ("arena".into(), "[5,9)".into()),
+        ];
+        exec.children.push(range);
+        let mut root = Span::named("query");
+        root.duration_ns = 100;
+        root.meta = vec![("kind".into(), "flwr".into())];
+        root.children = vec![
+            Span {
+                name: "parse".into(),
+                start_ns: 1,
+                duration_ns: 9,
+                ..Span::default()
+            },
+            exec,
+        ];
+        QueryTrace { root }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let t = sample();
+        let json = t.to_json();
+        let back = QueryTrace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+        // And the serialization is a fixed point.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn golden_serialization() {
+        // Deterministic golden: any schema change must be deliberate,
+        // because external tooling parses this format.
+        let got = sample().to_json();
+        let want = concat!(
+            "{\"name\":\"query\",\"start_ns\":0,\"duration_ns\":100,",
+            "\"meta\":{\"kind\":\"flwr\"},\"counters\":{},\"children\":[",
+            "{\"name\":\"parse\",\"start_ns\":1,\"duration_ns\":9,",
+            "\"meta\":{},\"counters\":{},\"children\":[]},",
+            "{\"name\":\"exec\",\"start_ns\":40,\"duration_ns\":50,",
+            "\"meta\":{},\"counters\":{\"axis.range_scans\":3,\"twig.seeks\":0},",
+            "\"children\":[{\"name\":\"arena-range-selection\",",
+            "\"start_ns\":0,\"duration_ns\":0,",
+            "\"meta\":{\"context\":\"/title\",\"arena\":\"[5,9)\"},",
+            "\"counters\":{},\"children\":[]}]}]}"
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let mut root = Span::named("q\"uo\\te\n\ttab");
+        root.meta = vec![("k".into(), "line1\nline2 \u{1}".into())];
+        let t = QueryTrace { root };
+        assert_eq!(QueryTrace::from_json(&t.to_json()).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"name\":\"q\"}",
+            "{\"nome\":\"q\",\"start_ns\":0,\"duration_ns\":0,\"meta\":{},\"counters\":{},\"children\":[]}",
+            "{\"name\":\"q\",\"start_ns\":-1,\"duration_ns\":0,\"meta\":{},\"counters\":{},\"children\":[]}",
+        ] {
+            assert!(QueryTrace::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let good = sample().to_json();
+        assert!(QueryTrace::from_json(&format!("{good} x")).is_err());
+    }
+}

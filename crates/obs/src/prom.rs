@@ -1,0 +1,89 @@
+//! A minimal Prometheus text-format (version 0.0.4) writer for the
+//! engine's cumulative counter snapshot (`Engine::metrics_text()`).
+
+use std::fmt::Write as _;
+
+/// Accumulates `# HELP`/`# TYPE` headers and samples into one exposition
+/// string. Families must be opened (via [`PromWriter::counter`] /
+/// [`PromWriter::gauge`]) before their samples are added.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Opens a counter family.
+    pub fn counter(&mut self, name: &str, help: &str) {
+        self.family(name, help, "counter");
+    }
+
+    /// Opens a gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str) {
+        self.family(name, help, "gauge");
+    }
+
+    /// Emits one sample, optionally labelled. Label values are escaped
+    /// per the exposition format (backslash, quote, newline).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_format() {
+        let mut w = PromWriter::new();
+        w.counter("vpbn_queries_total", "Queries attempted.");
+        w.sample("vpbn_queries_total", &[], 7);
+        w.counter("vpbn_cache_hits_total", "Compiled-view cache hits.");
+        w.sample("vpbn_cache_hits_total", &[("artifact", "expansions")], 3);
+        w.sample("vpbn_cache_hits_total", &[("artifact", "level\"s\n")], 1);
+        let got = w.finish();
+        let want = "# HELP vpbn_queries_total Queries attempted.\n\
+                    # TYPE vpbn_queries_total counter\n\
+                    vpbn_queries_total 7\n\
+                    # HELP vpbn_cache_hits_total Compiled-view cache hits.\n\
+                    # TYPE vpbn_cache_hits_total counter\n\
+                    vpbn_cache_hits_total{artifact=\"expansions\"} 3\n\
+                    vpbn_cache_hits_total{artifact=\"level\\\"s\\n\"} 1\n";
+        assert_eq!(got, want);
+    }
+}

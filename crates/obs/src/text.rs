@@ -1,0 +1,83 @@
+//! Human-readable tree rendering of a [`QueryTrace`] for the CLI's
+//! `--trace` / `--explain` output.
+
+use crate::span::{QueryTrace, Span};
+use std::fmt::Write as _;
+
+/// Formats nanoseconds with a human-friendly unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.3}s", ns as f64 / 1e9),
+    }
+}
+
+fn line(out: &mut String, s: &Span) {
+    let _ = write!(out, "{} ({})", s.name, fmt_ns(s.duration_ns));
+    for (k, v) in &s.meta {
+        let _ = write!(out, " {k}={v}");
+    }
+    for (k, v) in &s.counters {
+        let _ = write!(out, " {k}={v}");
+    }
+    out.push('\n');
+}
+
+fn render(out: &mut String, s: &Span, prefix: &str) {
+    let n = s.children.len();
+    for (i, c) in s.children.iter().enumerate() {
+        let last = i + 1 == n;
+        out.push_str(prefix);
+        out.push_str(if last { "└─ " } else { "├─ " });
+        line(out, c);
+        let deeper = format!("{prefix}{}", if last { "   " } else { "│  " });
+        render(out, c, &deeper);
+    }
+}
+
+impl QueryTrace {
+    /// Renders the span tree as indented text, one span per line:
+    /// name, duration, then `key=value` meta and counters.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        line(&mut out, &self.root);
+        render(&mut out, &self.root, "");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_scale() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(150_000), "150.0µs");
+        assert_eq!(fmt_ns(25_000_000), "25.00ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.200s");
+    }
+
+    #[test]
+    fn renders_nested_tree() {
+        let mut root = Span::named("query");
+        root.duration_ns = 100;
+        root.meta = vec![("kind".into(), "flwr".into())];
+        let mut plan = Span::named("plan");
+        plan.children.push(Span::named("guide-expansion"));
+        plan.children.push(Span::named("type-index"));
+        let mut exec = Span::named("exec");
+        exec.counters = vec![("sjoin.comparisons".into(), 4)];
+        root.children = vec![Span::named("parse"), plan, exec];
+        let got = QueryTrace { root }.render_text();
+        let want = "query (100ns) kind=flwr\n\
+                    ├─ parse (0ns)\n\
+                    ├─ plan (0ns)\n\
+                    │  ├─ guide-expansion (0ns)\n\
+                    │  └─ type-index (0ns)\n\
+                    └─ exec (0ns) sjoin.comparisons=4\n";
+        assert_eq!(got, want);
+    }
+}

@@ -194,6 +194,16 @@ impl PbnArena {
         lo..hi
     }
 
+    /// The slot bracket of [`Self::subtree_slots`] as `u64` endpoints —
+    /// the form query tracing reports ("arena range selection" in
+    /// EXPLAIN output), so observability sinks don't re-derive the two
+    /// binary-search bounds.
+    #[inline]
+    pub fn slot_window(&self, p: &[u8]) -> (u64, u64) {
+        let r = self.subtree_slots(p);
+        (r.start as u64, r.end as u64)
+    }
+
     /// The nodes of the subtree rooted at encoded key `p`, in document
     /// order — the arena form of `PbnAssignment::range` over
     /// `subtree_range(p)`.

@@ -124,6 +124,14 @@ impl<'a> PhysicalDoc<'a> {
         PhysicalDoc { td, store: None }
     }
 
+    /// Wraps a typed document — the named sibling of
+    /// [`Self::with_store`], so the two construction paths read
+    /// symmetrically at call sites ([`Self::new`] remains as the
+    /// conventional alias).
+    pub fn with_document(td: &'a TypedDocument) -> Self {
+        Self::new(td)
+    }
+
     /// Wraps a stored document; `//x` steps use the name index with PBN
     /// subtree-range narrowing.
     pub fn with_store(store: &'a vh_storage::StoredDocument) -> Self {

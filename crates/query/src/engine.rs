@@ -10,22 +10,217 @@
 //! `(uri, guide fingerprint, specification)` — so Algorithm 1 runs once
 //! per view, not once per query, and a warm open does no per-node work. The engine is `Sync`: reads (`eval*`)
 //! can run from many threads against one registry.
+//!
+//! # The request API
+//!
+//! [`Engine::run`] is the single entry point: it takes a [`QueryRequest`]
+//! (FLWR text, a pre-parsed query, or an XPath over a physical or virtual
+//! view, plus per-request limits/exec/trace overrides) and returns a
+//! [`QueryOutcome`] carrying the result document, per-query
+//! [`QueryStats`], and — when tracing was requested — a [`QueryTrace`]
+//! span tree with per-stage timings, per-view cache provenance, axis
+//! range selections (type-index and arena slot brackets) and operator
+//! counts. [`Engine::explain`] forces tracing on and wraps the result in
+//! an [`Explain`] with text/JSON renderings; [`Engine::snapshot`] and
+//! [`Engine::metrics_text`] expose the cumulative counters. The legacy
+//! `eval*` methods remain as thin wrappers over `run`.
 
-use crate::doc::{PhysicalDoc, VirtualDoc};
+use crate::doc::{PhysicalDoc, QueryDoc, VirtualDoc};
 use crate::error::Limits;
 use crate::flwr::ast::{Clause, FlwrQuery, Origin};
-use crate::flwr::eval::{eval_flwr_multi_limited, DocSet, FlwrError};
+use crate::flwr::eval::{copy_node, eval_flwr_multi_limited, DocSet, FlwrError, RESULTS_ROOT};
 use crate::flwr::parse::parse_flwr;
+use crate::xpath::ast::XPath;
 use crate::xpath::eval::eval_xpath_limited;
 use crate::xpath::parse::parse_xpath;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use vh_core::cache::{guide_fingerprint, CacheStats, ViewKey};
 use vh_core::levels::LevelMap;
 use vh_core::range::PrefixTables;
 use vh_core::{ExecCache, ExecOptions, TypeIndex, VDataGuide, VirtualDocument};
 use vh_dataguide::TypedDocument;
+use vh_obs::{
+    AxisCounters, CacheOutcome, PromWriter, QueryCounterCells, QueryCounters, QueryStats,
+    QueryTrace, Span, TraceBuilder, ViewProvenance,
+};
+use vh_storage::buffer::BufferStats;
+use vh_storage::stats::StorageStats;
+use vh_storage::store::StoredDocument;
 use vh_xml::{Document, NodeId};
+
+// --------------------------------------------------------- request API ---
+
+/// What a [`QueryRequest`] asks the engine to evaluate.
+#[derive(Clone, Debug, PartialEq)]
+enum RequestKind {
+    /// FLWR query text, parsed by the engine.
+    Flwr(String),
+    /// An already-parsed FLWR query (skips the parse stage).
+    Parsed(FlwrQuery),
+    /// An XPath over one registered document — physical when `spec` is
+    /// `None`, over the virtual view compiled from `spec` otherwise.
+    Path {
+        uri: String,
+        spec: Option<String>,
+        path: String,
+    },
+}
+
+impl RequestKind {
+    fn label(&self) -> &'static str {
+        match self {
+            RequestKind::Flwr(_) => "flwr",
+            RequestKind::Parsed(_) => "flwr-parsed",
+            RequestKind::Path { spec: None, .. } => "path",
+            RequestKind::Path { spec: Some(_), .. } => "virtual-path",
+        }
+    }
+}
+
+/// One query for [`Engine::run`]: what to evaluate plus per-request
+/// overrides of the engine's limits and execution options, and whether
+/// to collect a [`QueryTrace`].
+///
+/// Built with [`QueryRequest::flwr`] / [`QueryRequest::parsed`] /
+/// [`QueryRequest::path`] / [`QueryRequest::virtual_path`] and the
+/// `with_*` builder methods.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    kind: RequestKind,
+    limits: Option<Limits>,
+    exec: Option<ExecOptions>,
+    trace: bool,
+}
+
+impl QueryRequest {
+    fn new(kind: RequestKind) -> Self {
+        QueryRequest {
+            kind,
+            limits: None,
+            exec: None,
+            trace: false,
+        }
+    }
+
+    /// A FLWR query from source text.
+    pub fn flwr(query: impl Into<String>) -> Self {
+        Self::new(RequestKind::Flwr(query.into()))
+    }
+
+    /// An already-parsed FLWR query (the parse stage is skipped).
+    pub fn parsed(query: FlwrQuery) -> Self {
+        Self::new(RequestKind::Parsed(query))
+    }
+
+    /// An XPath over the physical document registered at `uri`.
+    pub fn path(uri: impl Into<String>, path: impl Into<String>) -> Self {
+        Self::new(RequestKind::Path {
+            uri: uri.into(),
+            spec: None,
+            path: path.into(),
+        })
+    }
+
+    /// An XPath over the virtual view `spec` of the document at `uri`.
+    pub fn virtual_path(
+        uri: impl Into<String>,
+        spec: impl Into<String>,
+        path: impl Into<String>,
+    ) -> Self {
+        Self::new(RequestKind::Path {
+            uri: uri.into(),
+            spec: Some(spec.into()),
+            path: path.into(),
+        })
+    }
+
+    /// Overrides the engine's resource limits for this request.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Overrides the engine's execution options for this request.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Turns span/counter collection on or off (off by default).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Whether this request collects a trace.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+}
+
+/// What [`Engine::run`] returns: the result document, per-query
+/// statistics, and the span tree when tracing was requested.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The result document — rooted at `<results>` for FLWR queries, and
+    /// holding copies of the selected nodes for path requests.
+    pub document: Document,
+    /// For path requests, the selected node ids in the *source* document
+    /// (`None` for FLWR queries, whose results are constructed nodes).
+    pub nodes: Option<Vec<NodeId>>,
+    /// Stage timings, result size, cache provenance and operator counts.
+    pub stats: QueryStats,
+    /// The span tree; `Some` exactly when the request enabled tracing.
+    pub trace: Option<QueryTrace>,
+}
+
+impl QueryOutcome {
+    /// The result document serialized compactly.
+    pub fn to_string_compact(&self) -> String {
+        vh_xml::serialize(&self.document, vh_xml::SerializeOptions::compact())
+    }
+}
+
+/// The rendered plan of one traced query: [`Engine::explain`] output.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// The statistics of the explaining run.
+    pub stats: QueryStats,
+    /// The full span tree of the explaining run.
+    pub trace: QueryTrace,
+}
+
+impl Explain {
+    /// Human-readable span tree (the CLI's `--explain` output).
+    pub fn text(&self) -> String {
+        self.trace.render_text()
+    }
+
+    /// The trace as JSON (round-trips through
+    /// [`QueryTrace::from_json`]).
+    pub fn json(&self) -> String {
+        self.trace.to_json()
+    }
+}
+
+/// One engine-wide statistics snapshot: compiled-view cache counters,
+/// storage and buffer-pool counters aggregated over the attached stores,
+/// and cumulative query counters. Returned by [`Engine::snapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineSnapshot {
+    /// Hit/miss/eviction counters of the compiled-view cache.
+    pub cache: CacheStats,
+    /// Storage sizes and access counters, merged over attached stores.
+    pub storage: StorageStats,
+    /// Buffer-pool counters, merged over attached stores with pools.
+    pub buffers: BufferStats,
+    /// Cumulative query counters since the engine was created.
+    pub queries: QueryCounters,
+}
+
+// --------------------------------------------------------------- engine ---
 
 /// A registry of analyzed documents plus the query entry points.
 #[derive(Default)]
@@ -40,6 +235,11 @@ pub struct Engine {
     exec: ExecOptions,
     /// Resource limits applied to every query this engine evaluates.
     limits: Limits,
+    /// Cumulative query counters (a few relaxed adds per query).
+    counters: QueryCounterCells,
+    /// Page stores attached for storage-stats reporting (see
+    /// [`Engine::attach_store`]); queries never read through them.
+    stores: HashMap<String, StoredDocument>,
 }
 
 impl Engine {
@@ -77,12 +277,6 @@ impl Engine {
         self.exec
     }
 
-    /// Hit/miss/eviction counters of the compiled-view cache, reported
-    /// alongside `StorageStats` by the CLI's `stats` action.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
     /// Parses and registers an XML string under its URI.
     pub fn register_xml(&mut self, uri: &str, xml: &str) -> Result<(), vh_xml::ParseError> {
         let td = TypedDocument::parse(uri, xml)?;
@@ -102,6 +296,7 @@ impl Engine {
     /// and recording the new guide fingerprint.
     fn install(&mut self, uri: String, td: TypedDocument) {
         self.cache.invalidate_uri(&uri);
+        self.stores.remove(&uri);
         self.guide_hash
             .insert(uri.clone(), guide_fingerprint(td.guide()));
         self.docs.insert(uri, td);
@@ -112,47 +307,122 @@ impl Engine {
         self.docs.get(uri)
     }
 
-    /// Evaluates a FLWR query, returning the result document (rooted at
-    /// `<results>`).
-    pub fn eval(&self, query: &str) -> Result<Document, FlwrError> {
-        let q = parse_flwr(query)?;
-        self.eval_parsed(&q)
+    /// Builds (or returns the existing) page store for the document at
+    /// `uri`, so [`Engine::snapshot`] can report storage sizes and access
+    /// counters for it. Queries evaluate against the in-memory analyzed
+    /// document either way.
+    pub fn attach_store(&mut self, uri: &str) -> Result<&StoredDocument, FlwrError> {
+        let td = self
+            .docs
+            .get(uri)
+            .ok_or_else(|| FlwrError::UnknownDocument(uri.to_owned()))?;
+        Ok(self
+            .stores
+            .entry(uri.to_owned())
+            .or_insert_with(|| StoredDocument::build(td.clone())))
     }
 
-    /// Evaluates an already-parsed FLWR query. Queries may draw from any
-    /// number of registered documents and virtual views; the first
-    /// `doc()`/`virtualDoc()` origin is the primary document for
-    /// variable-free expressions.
-    pub fn eval_parsed(&self, q: &FlwrQuery) -> Result<Document, FlwrError> {
-        // Distinct origins, in clause order.
-        let mut origins: Vec<(String, Option<String>)> = Vec::new();
-        for c in &q.clauses {
-            let origin = match c {
-                Clause::For(_, s) | Clause::Let(_, s) => &s.origin,
-                Clause::Where(_) | Clause::OrderBy(_) => continue,
-            };
-            let key = match origin {
-                Origin::Doc(uri) => (uri.clone(), None),
-                Origin::VirtualDoc(uri, spec) => (uri.clone(), Some(spec.clone())),
-                Origin::Var(_) => continue,
-            };
-            if !origins.contains(&key) {
-                origins.push(key);
+    // ------------------------------------------------------------- run ---
+
+    /// Evaluates one [`QueryRequest`] end to end. This is the blessed
+    /// entry point; every legacy `eval*` method wraps it.
+    pub fn run(&self, req: &QueryRequest) -> Result<QueryOutcome, FlwrError> {
+        let mut trace = if req.trace {
+            TraceBuilder::enabled("query")
+        } else {
+            TraceBuilder::disabled()
+        };
+        match self.run_inner(req, &mut trace) {
+            Ok((document, nodes, stats)) => {
+                self.counters.record_query(&stats, req.trace);
+                Ok(QueryOutcome {
+                    document,
+                    nodes,
+                    stats,
+                    trace: trace.finish(),
+                })
+            }
+            Err(e) => {
+                self.counters.record_failure();
+                Err(e)
             }
         }
-        if origins.is_empty() {
-            return Err(FlwrError::Unsupported(
-                "query has no doc()/virtualDoc() source".into(),
-            ));
+    }
+
+    /// Runs a request with tracing forced on and returns the rendered
+    /// plan: stage spans, per-view cache provenance, chosen axis ranges
+    /// (type-index and arena slot brackets) and operator counts.
+    pub fn explain(&self, req: &QueryRequest) -> Result<Explain, FlwrError> {
+        let traced = req.clone().with_trace(true);
+        let out = self.run(&traced)?;
+        // Invariant: tracing was forced on, so the outcome carries a
+        // trace; the fallback is unreachable.
+        let trace = out.trace.unwrap_or_default();
+        Ok(Explain {
+            stats: out.stats,
+            trace,
+        })
+    }
+
+    /// The stages shared by every request kind: parse → plan (resolve and
+    /// open every source view, recording cache provenance) → exec.
+    fn run_inner(
+        &self,
+        req: &QueryRequest,
+        trace: &mut TraceBuilder,
+    ) -> Result<(Document, Option<Vec<NodeId>>, QueryStats), FlwrError> {
+        let t0 = Instant::now();
+        let limits = req.limits.unwrap_or(self.limits);
+        let exec = req.exec.unwrap_or(self.exec);
+        let mut stats = QueryStats::default();
+        trace.meta("kind", req.kind.label());
+
+        // ----- parse -----
+        trace.begin("parse");
+        let tp = Instant::now();
+        let mut flwr: Option<&FlwrQuery> = None;
+        let parsed_flwr;
+        let mut xpath: Option<XPath> = None;
+        match &req.kind {
+            RequestKind::Flwr(text) => {
+                parsed_flwr = Some(parse_flwr(text)?);
+                flwr = parsed_flwr.as_ref();
+            }
+            RequestKind::Parsed(q) => {
+                trace.meta("cached", "pre-parsed");
+                flwr = Some(q);
+            }
+            RequestKind::Path { path, .. } => {
+                xpath = Some(parse_xpath(path)?);
+            }
         }
-        // Open every view first (the wrappers below borrow them), then
-        // build the physical/virtual QueryDoc adapters.
+        stats.parse_ns = elapsed_ns(tp);
+        trace.end();
+
+        // ----- plan: resolve origins, open views -----
+        trace.begin("plan");
+        let tplan = Instant::now();
+        let origins: Vec<(String, Option<String>)> = match (&req.kind, flwr) {
+            (RequestKind::Path { uri, spec, .. }, _) => vec![(uri.clone(), spec.clone())],
+            (_, Some(q)) => flwr_origins(q)?,
+            // Invariant: non-path kinds always parsed a FLWR query above.
+            (_, None) => unreachable!("path requests carry an xpath"),
+        };
+        let axis = if trace.is_enabled() {
+            Some(Arc::new(AxisCounters::new()))
+        } else {
+            None
+        };
         let mut vdocs: Vec<Option<VirtualDocument<'_>>> = Vec::with_capacity(origins.len());
         let mut phys: Vec<Option<PhysicalDoc<'_>>> = Vec::with_capacity(origins.len());
         for (uri, spec) in &origins {
             match spec {
                 Some(s) => {
-                    vdocs.push(Some(self.virtual_doc(uri, s)?));
+                    let mut vd = self.open_view(uri, s, exec, trace, &mut stats.views)?;
+                    if let Some(ax) = &axis {
+                        vd.set_obs(Arc::clone(ax));
+                    }
+                    vdocs.push(Some(vd));
                     phys.push(None);
                 }
                 None => {
@@ -160,60 +430,115 @@ impl Engine {
                         .docs
                         .get(uri)
                         .ok_or_else(|| FlwrError::UnknownDocument(uri.clone()))?;
+                    if trace.is_enabled() {
+                        let mut s = Span::named("document");
+                        s.meta.push(("uri".to_owned(), uri.clone()));
+                        trace.child(s);
+                    }
                     vdocs.push(None);
                     phys.push(Some(PhysicalDoc::new(td)));
                 }
             }
         }
+        stats.plan_ns = elapsed_ns(tplan);
+        trace.end();
+
+        // ----- exec -----
+        trace.begin("exec");
+        let te = Instant::now();
         let virt: Vec<Option<VirtualDoc<'_>>> = vdocs
             .iter()
             .map(|o| o.as_ref().map(VirtualDoc::new))
             .collect();
-        let mut entries: Vec<(String, Option<String>, &dyn crate::doc::QueryDoc)> =
-            Vec::with_capacity(origins.len());
-        for (i, (uri, spec)) in origins.iter().enumerate() {
-            // Invariant: the loop above pushed exactly one of virt/phys per
-            // origin, so the two options are mutually exclusive per index.
-            let doc: &dyn crate::doc::QueryDoc = match (&virt[i], &phys[i]) {
+        let (document, nodes) = if let Some(p) = &xpath {
+            // Invariant: path requests planned exactly one origin above.
+            let doc: &dyn QueryDoc = match (&virt[0], &phys[0]) {
                 (Some(v), _) => v,
                 (None, Some(p)) => p,
-                (None, None) => unreachable!("every origin is virtual or physical"),
+                (None, None) => unreachable!("the single origin was opened"),
             };
-            entries.push((uri.clone(), spec.clone(), doc));
+            let ids = eval_xpath_limited(doc, p, limits)?;
+            let mut out = Document::new("results");
+            let root = out.create_root(RESULTS_ROOT);
+            for &n in &ids {
+                copy_node(doc, n, &mut out, root);
+            }
+            (out, Some(ids))
+        } else {
+            let mut entries: Vec<(String, Option<String>, &dyn QueryDoc)> =
+                Vec::with_capacity(origins.len());
+            for (i, (uri, spec)) in origins.iter().enumerate() {
+                // Invariant: the plan loop pushed exactly one of
+                // virt/phys per origin.
+                let doc: &dyn QueryDoc = match (&virt[i], &phys[i]) {
+                    (Some(v), _) => v,
+                    (None, Some(p)) => p,
+                    (None, None) => unreachable!("every origin is virtual or physical"),
+                };
+                entries.push((uri.clone(), spec.clone(), doc));
+            }
+            // Invariant: non-path kinds always carry a FLWR query.
+            let q = match flwr {
+                Some(q) => q,
+                None => unreachable!("checked above"),
+            };
+            let out = eval_flwr_multi_limited(q, &DocSet::new(entries), limits)?;
+            (out, None)
+        };
+        stats.exec_ns = elapsed_ns(te);
+        stats.result_nodes = match &nodes {
+            Some(ids) => ids.len() as u64,
+            None => document
+                .root()
+                .map_or(0, |r| document.children(r).len() as u64),
+        };
+        if let Some(ax) = &axis {
+            stats.axis = ax.snapshot();
         }
-        eval_flwr_multi_limited(q, &DocSet::new(entries), self.limits)
+        if trace.is_enabled() {
+            // Operator counters are always named, even at zero, so
+            // EXPLAIN output has a stable vocabulary.
+            trace.count("axis.range_scans", stats.axis.range_scans);
+            trace.count("axis.slots_scanned", stats.axis.slots_scanned);
+            trace.count("axis.exact_regions", stats.axis.exact_regions);
+            trace.count("axis.filter_checks", stats.axis.filter_checks);
+            trace.count("twig.seeks", stats.twig.seeks);
+            trace.count("twig.gallop_steps", stats.twig.gallop_steps);
+            trace.count("sjoin.comparisons", stats.sjoin.comparisons);
+            trace.count("sjoin.containment_tests", stats.sjoin.containment_tests);
+            trace.count("result.nodes", stats.result_nodes);
+            for r in &stats.axis.ranges {
+                let mut s = Span::named("arena-range-selection");
+                s.meta.push(("context".to_owned(), r.context.clone()));
+                s.meta.push(("target".to_owned(), r.target.clone()));
+                s.meta.push(("pinned".to_owned(), r.pinned.to_string()));
+                s.meta.push(("exact".to_owned(), r.exact.to_string()));
+                s.meta.push((
+                    "index".to_owned(),
+                    format!("[{},{})", r.index_start, r.index_end),
+                ));
+                s.meta.push((
+                    "arena".to_owned(),
+                    format!("[{},{})", r.arena_start, r.arena_end),
+                ));
+                trace.child(s);
+            }
+        }
+        trace.end();
+        stats.total_ns = elapsed_ns(t0);
+        Ok((document, nodes, stats))
     }
 
-    /// Evaluates an XPath over the physical document registered at `uri`.
-    pub fn eval_path(&self, uri: &str, path: &str) -> Result<Vec<NodeId>, FlwrError> {
-        let td = self
-            .docs
-            .get(uri)
-            .ok_or_else(|| FlwrError::UnknownDocument(uri.to_owned()))?;
-        let p = parse_xpath(path)?;
-        Ok(eval_xpath_limited(&PhysicalDoc::new(td), &p, self.limits)?)
-    }
-
-    /// Evaluates an XPath over a virtual view of the document at `uri`.
-    pub fn eval_virtual_path(
-        &self,
-        uri: &str,
-        spec: &str,
-        path: &str,
-    ) -> Result<Vec<NodeId>, FlwrError> {
-        let vd = self.virtual_doc(uri, spec)?;
-        let p = parse_xpath(path)?;
-        Ok(eval_xpath_limited(&VirtualDoc::new(&vd), &p, self.limits)?)
-    }
-
-    /// Opens a virtual document for direct navigation, using (and filling)
-    /// the compiled-view cache unless caching is disabled in the
-    /// execution options. The returned view carries the engine's
-    /// [`ExecOptions`].
-    pub fn virtual_doc<'a>(
+    /// Opens the virtual view `spec` of `uri`, going through the
+    /// compiled-view cache when `exec` allows, recording one child span
+    /// per artifact and its cache provenance.
+    fn open_view<'a>(
         &'a self,
         uri: &str,
         spec: &str,
+        exec: ExecOptions,
+        trace: &mut TraceBuilder,
+        views: &mut Vec<ViewProvenance>,
     ) -> Result<VirtualDocument<'a>, FlwrError> {
         let td = self
             .docs
@@ -226,44 +551,337 @@ impl Engine {
             .get(uri)
             .copied()
             .unwrap_or_else(|| guide_fingerprint(td.guide()));
-        let mut vd = if self.exec.cache {
+        trace.begin("view");
+        trace.meta("uri", uri);
+        trace.meta("spec", spec);
+        let mut prov = ViewProvenance {
+            uri: uri.to_owned(),
+            spec: spec.to_owned(),
+            ..ViewProvenance::default()
+        };
+        let mut vd = if exec.cache {
             let key = ViewKey::new(uri, fp, spec);
-            let vdg = self
-                .cache
-                .expansions
-                .get_or_try_insert(&key, || VDataGuide::compile(spec, td.guide()).map(Arc::new))?;
+            trace.begin("guide-expansion");
+            let mut fresh = false;
+            let vdg = self.cache.expansions.get_or_try_insert(&key, || {
+                fresh = true;
+                VDataGuide::compile(spec, td.guide()).map(Arc::new)
+            })?;
+            prov.expansion = cache_outcome(fresh);
+            trace.meta("cache", prov.expansion.label());
+            trace.end();
+
+            trace.begin("level-map");
+            let mut fresh = false;
             let levels = self.cache.levels.get_or_try_insert(&key, || {
+                fresh = true;
                 Ok::<_, FlwrError>(Arc::new(LevelMap::build(&vdg, td.guide())))
             })?;
+            prov.levels = cache_outcome(fresh);
+            trace.meta("cache", prov.levels.label());
+            trace.end();
+
+            trace.begin("prefix-tables");
+            let mut fresh = false;
             let tables = self.cache.tables.get_or_try_insert(&key, || {
+                fresh = true;
                 Ok::<_, FlwrError>(Arc::new(PrefixTables::build(&vdg, &levels, td.guide())))
             })?;
+            prov.tables = cache_outcome(fresh);
+            trace.meta("cache", prov.tables.label());
+            trace.end();
+
+            trace.begin("type-index");
+            let mut fresh = false;
             let index = self.cache.indexes.get_or_try_insert(&key, || {
+                fresh = true;
                 Ok::<_, FlwrError>(Arc::new(TypeIndex::build(td, &vdg)))
             })?;
+            prov.indexes = cache_outcome(fresh);
+            trace.meta("cache", prov.indexes.label());
+            trace.end();
+
             let mut vd =
                 VirtualDocument::with_cached_parts(td, (*vdg).clone(), (*levels).clone(), index);
             vd.set_prefix_tables(tables);
             vd
         } else {
+            // Cache bypassed: every artifact is computed fresh
+            // (`ViewProvenance::default()` already says `Bypassed`).
+            trace.begin("guide-expansion");
+            trace.meta("cache", CacheOutcome::Bypassed.label());
             let vdg = VDataGuide::compile(spec, td.guide())?;
+            trace.end();
+            trace.begin("level-map");
+            trace.meta("cache", CacheOutcome::Bypassed.label());
             let levels = LevelMap::build(&vdg, td.guide());
+            trace.end();
             VirtualDocument::with_parts(td, vdg, levels)
         };
-        vd.set_exec(self.exec);
+        vd.set_exec(exec);
+        views.push(prov);
+        trace.end(); // view
         Ok(vd)
     }
 
+    /// Opens a virtual document for direct navigation, using (and filling)
+    /// the compiled-view cache unless caching is disabled in the
+    /// execution options. The returned view carries the engine's
+    /// [`ExecOptions`].
+    pub fn virtual_doc<'a>(
+        &'a self,
+        uri: &str,
+        spec: &str,
+    ) -> Result<VirtualDocument<'a>, FlwrError> {
+        let mut trace = TraceBuilder::disabled();
+        let mut views = Vec::new();
+        self.open_view(uri, spec, self.exec, &mut trace, &mut views)
+    }
+
+    // --------------------------------------------------- statistics -----
+
+    /// One consolidated statistics snapshot: compiled-view cache
+    /// counters, storage/buffer counters merged over the attached
+    /// stores, and cumulative query counters.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut storage = StorageStats::default();
+        let mut buffers = BufferStats::default();
+        for store in self.stores.values() {
+            storage.merge(&store.stats());
+            if let Some(b) = store.buffer_stats() {
+                buffers.merge(&b);
+            }
+        }
+        EngineSnapshot {
+            cache: self.cache.stats(),
+            storage,
+            buffers,
+            queries: self.counters.snapshot(),
+        }
+    }
+
+    /// The cumulative engine counters as a Prometheus text exposition.
+    pub fn metrics_text(&self) -> String {
+        let snap = self.snapshot();
+        let mut w = PromWriter::new();
+        w.counter("vpbn_queries_total", "Queries attempted.");
+        w.sample("vpbn_queries_total", &[], snap.queries.queries);
+        w.counter(
+            "vpbn_query_failures_total",
+            "Queries that returned an error.",
+        );
+        w.sample("vpbn_query_failures_total", &[], snap.queries.failures);
+        w.counter("vpbn_queries_traced_total", "Queries run with tracing on.");
+        w.sample("vpbn_queries_traced_total", &[], snap.queries.traced);
+        w.counter(
+            "vpbn_query_stage_ns_total",
+            "Cumulative nanoseconds per query stage.",
+        );
+        w.sample(
+            "vpbn_query_stage_ns_total",
+            &[("stage", "parse")],
+            snap.queries.parse_ns,
+        );
+        w.sample(
+            "vpbn_query_stage_ns_total",
+            &[("stage", "plan")],
+            snap.queries.plan_ns,
+        );
+        w.sample(
+            "vpbn_query_stage_ns_total",
+            &[("stage", "exec")],
+            snap.queries.exec_ns,
+        );
+        w.sample(
+            "vpbn_query_stage_ns_total",
+            &[("stage", "total")],
+            snap.queries.total_ns,
+        );
+        w.counter(
+            "vpbn_query_result_nodes_total",
+            "Result nodes produced across all queries.",
+        );
+        w.sample(
+            "vpbn_query_result_nodes_total",
+            &[],
+            snap.queries.result_nodes,
+        );
+        let artifacts = [
+            ("expansions", &snap.cache.expansions),
+            ("levels", &snap.cache.levels),
+            ("tables", &snap.cache.tables),
+            ("indexes", &snap.cache.indexes),
+        ];
+        // One family at a time: the exposition format wants every sample
+        // of a metric grouped directly under its HELP/TYPE lines.
+        w.counter("vpbn_cache_hits_total", "Compiled-view cache hits.");
+        for (artifact, c) in artifacts {
+            w.sample("vpbn_cache_hits_total", &[("artifact", artifact)], c.hits);
+        }
+        w.counter("vpbn_cache_misses_total", "Compiled-view cache misses.");
+        for (artifact, c) in artifacts {
+            w.sample(
+                "vpbn_cache_misses_total",
+                &[("artifact", artifact)],
+                c.misses,
+            );
+        }
+        w.gauge("vpbn_cache_entries", "Live compiled-view cache entries.");
+        for (artifact, c) in artifacts {
+            w.sample(
+                "vpbn_cache_entries",
+                &[("artifact", artifact)],
+                c.entries as u64,
+            );
+        }
+        w.gauge(
+            "vpbn_storage_resident_bytes",
+            "Resident bytes across attached stores.",
+        );
+        w.sample(
+            "vpbn_storage_resident_bytes",
+            &[],
+            snap.storage.total_bytes() as u64,
+        );
+        w.counter("vpbn_storage_pages_read_total", "Pages read.");
+        w.sample(
+            "vpbn_storage_pages_read_total",
+            &[],
+            snap.storage.pages_read,
+        );
+        w.counter("vpbn_storage_read_retries_total", "Page read retries.");
+        w.sample(
+            "vpbn_storage_read_retries_total",
+            &[],
+            snap.storage.read_retries,
+        );
+        w.counter(
+            "vpbn_storage_checksum_failures_total",
+            "Pages delivered with a CRC mismatch.",
+        );
+        w.sample(
+            "vpbn_storage_checksum_failures_total",
+            &[],
+            snap.storage.checksum_failures,
+        );
+        w.counter("vpbn_buffer_hits_total", "Buffer-pool hits.");
+        w.sample("vpbn_buffer_hits_total", &[], snap.buffers.hits);
+        w.counter("vpbn_buffer_misses_total", "Buffer-pool misses.");
+        w.sample("vpbn_buffer_misses_total", &[], snap.buffers.misses);
+        w.finish()
+    }
+
+    /// Hit/miss/eviction counters of the compiled-view cache.
+    ///
+    /// Deprecated: prefer [`Engine::snapshot`], which reports these
+    /// alongside storage, buffer and query counters.
+    #[doc(hidden)]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Number of compiled views currently cached (expansion entries).
+    ///
+    /// Deprecated: prefer [`Engine::snapshot`]
+    /// (`snapshot().cache.expansions.entries`).
+    #[doc(hidden)]
     pub fn cached_views(&self) -> usize {
         self.cache.expansions.len()
     }
 
-    /// Convenience: the result of `eval` serialized compactly.
-    pub fn eval_to_string(&self, query: &str) -> Result<String, FlwrError> {
-        let out = self.eval(query)?;
-        Ok(vh_xml::serialize(&out, vh_xml::SerializeOptions::compact()))
+    // ------------------------------------------------ legacy wrappers ---
+
+    /// Evaluates a FLWR query, returning the result document (rooted at
+    /// `<results>`).
+    ///
+    /// Deprecated: prefer [`Engine::run`] with [`QueryRequest::flwr`],
+    /// which also returns per-query statistics.
+    pub fn eval(&self, query: &str) -> Result<Document, FlwrError> {
+        Ok(self.run(&QueryRequest::flwr(query))?.document)
     }
+
+    /// Evaluates an already-parsed FLWR query. Queries may draw from any
+    /// number of registered documents and virtual views; the first
+    /// `doc()`/`virtualDoc()` origin is the primary document for
+    /// variable-free expressions.
+    ///
+    /// Deprecated: prefer [`Engine::run`] with [`QueryRequest::parsed`].
+    pub fn eval_parsed(&self, q: &FlwrQuery) -> Result<Document, FlwrError> {
+        Ok(self.run(&QueryRequest::parsed(q.clone()))?.document)
+    }
+
+    /// Evaluates an XPath over the physical document registered at `uri`.
+    ///
+    /// Deprecated: prefer [`Engine::run`] with [`QueryRequest::path`].
+    pub fn eval_path(&self, uri: &str, path: &str) -> Result<Vec<NodeId>, FlwrError> {
+        Ok(self
+            .run(&QueryRequest::path(uri, path))?
+            .nodes
+            .unwrap_or_default())
+    }
+
+    /// Evaluates an XPath over a virtual view of the document at `uri`.
+    ///
+    /// Deprecated: prefer [`Engine::run`] with
+    /// [`QueryRequest::virtual_path`].
+    pub fn eval_virtual_path(
+        &self,
+        uri: &str,
+        spec: &str,
+        path: &str,
+    ) -> Result<Vec<NodeId>, FlwrError> {
+        Ok(self
+            .run(&QueryRequest::virtual_path(uri, spec, path))?
+            .nodes
+            .unwrap_or_default())
+    }
+
+    /// Convenience: the result of `eval` serialized compactly.
+    ///
+    /// Deprecated: prefer [`Engine::run`] +
+    /// [`QueryOutcome::to_string_compact`].
+    pub fn eval_to_string(&self, query: &str) -> Result<String, FlwrError> {
+        Ok(self.run(&QueryRequest::flwr(query))?.to_string_compact())
+    }
+}
+
+/// Distinct `doc()`/`virtualDoc()` origins of a FLWR query, in clause
+/// order.
+fn flwr_origins(q: &FlwrQuery) -> Result<Vec<(String, Option<String>)>, FlwrError> {
+    let mut origins: Vec<(String, Option<String>)> = Vec::new();
+    for c in &q.clauses {
+        let origin = match c {
+            Clause::For(_, s) | Clause::Let(_, s) => &s.origin,
+            Clause::Where(_) | Clause::OrderBy(_) => continue,
+        };
+        let key = match origin {
+            Origin::Doc(uri) => (uri.clone(), None),
+            Origin::VirtualDoc(uri, spec) => (uri.clone(), Some(spec.clone())),
+            Origin::Var(_) => continue,
+        };
+        if !origins.contains(&key) {
+            origins.push(key);
+        }
+    }
+    if origins.is_empty() {
+        return Err(FlwrError::Unsupported(
+            "query has no doc()/virtualDoc() source".into(),
+        ));
+    }
+    Ok(origins)
+}
+
+fn cache_outcome(fresh: bool) -> CacheOutcome {
+    if fresh {
+        CacheOutcome::Computed
+    } else {
+        CacheOutcome::Hit
+    }
+}
+
+/// Nanoseconds since `t`, saturating into `u64`.
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Runs a query through a transient engine holding a single document —
@@ -286,18 +904,16 @@ mod tests {
         e
     }
 
+    const RHONDA: &str = r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
+           return <result><title>{$t/text()}</title>
+                          <count>{count($t/author)}</count></result>"#;
+
     #[test]
     fn rhondas_figure6_query_end_to_end() {
         // The headline query of the paper: Rhonda's count over Sam's
         // virtual transformation, via virtualDoc.
         let e = engine();
-        let got = e
-            .eval_to_string(
-                r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
-                   return <result><title>{$t/text()}</title>
-                                  <count>{count($t/author)}</count></result>"#,
-            )
-            .must();
+        let got = e.eval_to_string(RHONDA).must();
         assert_eq!(
             got,
             "<results>\
@@ -329,13 +945,7 @@ mod tests {
                                   <count>{count($t/author)}</count></result>"#,
             )
             .must();
-        let virtual_ = e
-            .eval_to_string(
-                r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
-                   return <result><title>{$t/text()}</title>
-                                  <count>{count($t/author)}</count></result>"#,
-            )
-            .must();
+        let virtual_ = e.eval_to_string(RHONDA).must();
         assert_eq!(nested, virtual_);
     }
 
@@ -475,5 +1085,174 @@ mod tests {
             vh_xml::serialize(&out, vh_xml::SerializeOptions::compact()),
             "<results><t>X</t><t>Y</t></results>"
         );
+    }
+
+    // ---------------------------------------------- request API tests ---
+
+    #[test]
+    fn run_without_trace_returns_stats_but_no_trace() {
+        let e = engine();
+        let out = e.run(&QueryRequest::flwr(RHONDA)).must();
+        assert!(out.trace.is_none());
+        assert_eq!(out.stats.result_nodes, 2);
+        assert!(out.stats.stage_ns() <= out.stats.total_ns);
+        assert_eq!(out.stats.views.len(), 1);
+        assert_eq!(out.stats.views[0].uri, "book.xml");
+        // Untraced queries do not pay for axis counters.
+        assert_eq!(out.stats.axis.range_scans, 0);
+    }
+
+    #[test]
+    fn traced_run_collects_spans_and_counters() {
+        let e = engine();
+        let out = e.run(&QueryRequest::flwr(RHONDA).with_trace(true)).must();
+        let trace = out.trace.must();
+        assert_eq!(trace.root.name, "query");
+        for stage in ["parse", "plan", "exec", "view", "guide-expansion"] {
+            assert!(trace.root.find(stage).is_some(), "missing span {stage}");
+        }
+        let exec = trace.root.find("exec").must();
+        assert!(exec.counter("axis.range_scans").must() > 0);
+        assert!(exec.find("arena-range-selection").is_some());
+        assert!(out.stats.axis.range_scans > 0);
+        assert!(!out.stats.axis.ranges.is_empty());
+        let r = &out.stats.axis.ranges[0];
+        assert!(r.index_end >= r.index_start);
+        assert!(r.arena_end >= r.arena_start);
+    }
+
+    #[test]
+    fn provenance_goes_computed_then_hit() {
+        let e = engine();
+        let cold = e.run(&QueryRequest::flwr(RHONDA).with_trace(true)).must();
+        let v = &cold.stats.views[0];
+        assert_eq!(v.expansion, CacheOutcome::Computed);
+        assert_eq!(v.indexes, CacheOutcome::Computed);
+        let warm = e.run(&QueryRequest::flwr(RHONDA).with_trace(true)).must();
+        let v = &warm.stats.views[0];
+        assert_eq!(v.expansion, CacheOutcome::Hit);
+        assert_eq!(v.levels, CacheOutcome::Hit);
+        assert_eq!(v.tables, CacheOutcome::Hit);
+        assert_eq!(v.indexes, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn cache_bypass_reports_bypassed_provenance() {
+        let e = engine();
+        let req = QueryRequest::flwr(RHONDA)
+            .with_trace(true)
+            .with_exec(ExecOptions {
+                cache: false,
+                ..ExecOptions::default()
+            });
+        let out = e.run(&req).must();
+        assert_eq!(out.stats.views[0].expansion, CacheOutcome::Bypassed);
+        assert_eq!(e.cached_views(), 0, "bypass must not fill the cache");
+    }
+
+    #[test]
+    fn path_requests_fill_nodes_and_document() {
+        let e = engine();
+        let out = e.run(&QueryRequest::path("book.xml", "//book")).must();
+        assert_eq!(out.nodes.as_ref().must().len(), 2);
+        assert_eq!(out.stats.result_nodes, 2);
+        let s = out.to_string_compact();
+        assert!(s.starts_with("<results><book>"), "{s}");
+        let out = e
+            .run(&QueryRequest::virtual_path(
+                "book.xml",
+                "title { author { name } }",
+                "//title/author",
+            ))
+            .must();
+        assert_eq!(out.nodes.as_ref().must().len(), 2);
+        assert!(out.to_string_compact().contains("<author>"));
+    }
+
+    #[test]
+    fn per_request_limits_override_engine_limits() {
+        let e = engine();
+        let req = QueryRequest::flwr(r#"for $b in doc("book.xml")//book return <t>x</t>"#)
+            .with_limits(Limits {
+                max_result: 1,
+                ..Limits::default()
+            });
+        assert!(matches!(
+            e.run(&req),
+            Err(FlwrError::ResourceExhausted { .. })
+        ));
+        // The engine's own limits were not touched.
+        assert!(e
+            .eval(r#"for $b in doc("book.xml")//book return <t>x</t>"#)
+            .is_ok());
+    }
+
+    #[test]
+    fn parsed_requests_skip_the_parser() {
+        let e = engine();
+        let q = crate::flwr::parse::parse_flwr(RHONDA).must();
+        let out = e.run(&QueryRequest::parsed(q).with_trace(true)).must();
+        let trace = out.trace.must();
+        assert_eq!(
+            trace.root.find("parse").must().meta_value("cached"),
+            Some("pre-parsed")
+        );
+    }
+
+    #[test]
+    fn explain_renders_text_and_json() {
+        let e = engine();
+        let ex = e.explain(&QueryRequest::flwr(RHONDA)).must();
+        let text = ex.text();
+        for needle in [
+            "parse",
+            "guide-expansion",
+            "arena-range-selection",
+            "arena=[",
+            "twig.seeks",
+            "sjoin.comparisons",
+            "cache=",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // The JSON exporter round-trips the same trace.
+        let back = QueryTrace::from_json(&ex.json()).must();
+        assert_eq!(back, ex.trace);
+    }
+
+    #[test]
+    fn snapshot_and_metrics_cover_all_sections() {
+        let mut e = engine();
+        e.run(&QueryRequest::flwr(RHONDA)).must();
+        let _ = e.run(&QueryRequest::flwr("not a query"));
+        e.attach_store("book.xml").must();
+        let snap = e.snapshot();
+        assert_eq!(snap.queries.queries, 2);
+        assert_eq!(snap.queries.failures, 1);
+        assert!(snap.queries.total_ns > 0);
+        assert!(snap.cache.expansions.entries > 0);
+        assert!(snap.storage.total_bytes() > 0);
+        let text = e.metrics_text();
+        for needle in [
+            "vpbn_queries_total 2",
+            "vpbn_query_failures_total 1",
+            "vpbn_query_stage_ns_total{stage=\"exec\"}",
+            "vpbn_cache_hits_total{artifact=\"expansions\"}",
+            "vpbn_storage_resident_bytes",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(e.attach_store("nope.xml").is_err());
+    }
+
+    #[test]
+    fn failed_requests_leave_no_partial_outcome() {
+        let e = engine();
+        assert!(e
+            .run(&QueryRequest::flwr("for $x in").with_trace(true))
+            .is_err());
+        assert!(e.run(&QueryRequest::path("book.xml", "//[")).is_err());
+        let snap = e.snapshot();
+        assert_eq!(snap.queries.failures, 2);
     }
 }

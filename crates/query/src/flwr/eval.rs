@@ -504,7 +504,7 @@ fn construct(
 
 /// Deep-copies `src` (with the hierarchy the [`QueryDoc`] exposes — the
 /// virtual one for virtual sources) under `parent` in `out`.
-fn copy_node(doc: &dyn QueryDoc, src: NodeId, out: &mut Document, parent: NodeId) {
+pub(crate) fn copy_node(doc: &dyn QueryDoc, src: NodeId, out: &mut Document, parent: NodeId) {
     match doc.kind(src) {
         NodeKind::Element { name, .. } => {
             let id = out.append_element(parent, name.clone());

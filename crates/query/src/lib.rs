@@ -21,11 +21,15 @@
 //!   physical and virtual streams.
 //! * [`flwr`] — a FLWR (for/let/where/return) subset with element
 //!   constructors, `doc(...)` and the paper's **`virtualDoc(...)`**.
-//! * [`engine`] — the document registry tying it together.
+//! * [`engine`] — the document registry tying it together, with the
+//!   [`engine::QueryRequest`] / [`engine::QueryOutcome`] request API,
+//!   per-query tracing and the EXPLAIN renderer.
+//! * [`api`] — the blessed flat re-export surface for downstream code.
 //! * [`error`] — the [`error::QueryError`] taxonomy and [`error::Limits`]
 //!   resource guards (recursion depth, step budget, cardinality cap, time
 //!   budget) that keep hostile queries from exhausting the process.
 
+pub mod api;
 pub mod doc;
 pub mod engine;
 pub mod error;
@@ -34,7 +38,7 @@ pub mod sjoin;
 pub mod twig;
 pub mod xpath;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot, Explain, QueryOutcome, QueryRequest};
 pub use error::{FlwrError, Limits, QueryError, ResourceKind};
 pub use xpath::{parse_xpath, XPath};
 

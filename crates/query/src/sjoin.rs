@@ -14,6 +14,7 @@ use vh_core::exec::{self, ExecOptions};
 use vh_core::order::v_cmp;
 use vh_core::VirtualDocument;
 use vh_dataguide::TypedDocument;
+use vh_obs::SjoinCounters;
 use vh_pbn::keys;
 use vh_xml::NodeId;
 
@@ -116,6 +117,62 @@ fn stack_tree_chunk(
         }
     }
     out
+}
+
+/// [`stack_tree_join_opts`] with operator counters: every document-order
+/// comparison and containment test the merge evaluates is recorded, plus
+/// the produced pair count. Only traced queries take this path, so the
+/// per-predicate relaxed adds never burden plain joins; results are
+/// identical to the uncounted join.
+pub fn stack_tree_join_counted(
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    cmp: &(dyn Fn(NodeId, NodeId) -> Ordering + Sync),
+    contains: &(dyn Fn(NodeId, NodeId) -> bool + Sync),
+    opts: &ExecOptions,
+    counters: &SjoinCounters,
+) -> Vec<(NodeId, NodeId)> {
+    let counted_cmp = |a, b| {
+        counters.add_comparisons(1);
+        cmp(a, b)
+    };
+    let counted_contains = |a, d| {
+        counters.add_containment_tests(1);
+        contains(a, d)
+    };
+    let out = stack_tree_join_opts(
+        ancestors,
+        descendants,
+        &counted_cmp,
+        &counted_contains,
+        opts,
+    );
+    counters.add_pairs(out.len() as u64);
+    out
+}
+
+/// [`virtual_structural_join`] with operator counters (see
+/// [`stack_tree_join_counted`]).
+pub fn virtual_structural_join_counted(
+    vd: &VirtualDocument<'_>,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    counters: &SjoinCounters,
+) -> Vec<(NodeId, NodeId)> {
+    // Invariant: as in `virtual_structural_join`, join inputs are node
+    // lists of virtual types, so every node has a vPBN.
+    let vpbn = |n: NodeId| match vd.vpbn_of(n) {
+        Some(v) => v,
+        None => unreachable!("join input is visible"),
+    };
+    stack_tree_join_counted(
+        ancestors,
+        descendants,
+        &|a, b| v_cmp(vd.vdg(), &vpbn(a), &vpbn(b)),
+        &|a, d| v_ancestor(vd.vdg(), &vpbn(a), &vpbn(d)),
+        &vd.exec(),
+        counters,
+    )
 }
 
 /// Physical structural join: inputs sorted by PBN; containment is the
@@ -252,6 +309,61 @@ mod tests {
                 "pair crosses books"
             );
         }
+    }
+
+    #[test]
+    fn counted_joins_match_their_uncounted_twins() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let vd = VirtualDocument::open(&td, "title { author { name } }").must();
+        let title_vt = vd.vdg().guide().lookup_path(&["title"]).must();
+        let name_vt = vd
+            .vdg()
+            .guide()
+            .lookup_path(&["title", "author", "name"])
+            .must();
+        let titles = vd.nodes_of_vtype(title_vt).to_vec();
+        let names = vd.nodes_of_vtype(name_vt).to_vec();
+
+        let plain = virtual_structural_join(&vd, &titles, &names);
+        let counters = SjoinCounters::default();
+        let counted = virtual_structural_join_counted(&vd, &titles, &names, &counters);
+        assert_eq!(plain, counted, "counting must not change the pairs");
+
+        let s = counters.snapshot();
+        assert_eq!(s.pairs, counted.len() as u64);
+        assert!(s.comparisons > 0, "the merge compared document order");
+        assert!(s.containment_tests > 0, "the merge tested vAncestor");
+    }
+
+    #[test]
+    fn counted_physical_join_counts_each_predicate() {
+        let td = TypedDocument::analyze(paper_figure2());
+        let arena = td.pbn().arena();
+        let books = sorted_by_pbn(
+            &td,
+            td.nodes_of_type(td.guide().lookup_path(&["data", "book"]).must()),
+        );
+        let names = sorted_by_pbn(
+            &td,
+            td.nodes_of_type(
+                td.guide()
+                    .lookup_path(&["data", "book", "author", "name"])
+                    .must(),
+            ),
+        );
+        let counters = SjoinCounters::default();
+        let pairs = stack_tree_join_counted(
+            &books,
+            &names,
+            &|a, b| arena.slot_of(a).cmp(&arena.slot_of(b)),
+            &|a, d| keys::is_strict_prefix(arena.key_of(a), arena.key_of(d)),
+            &ExecOptions::default(),
+            &counters,
+        );
+        assert_eq!(pairs, physical_structural_join(&td, &books, &names));
+        let s = counters.snapshot();
+        assert_eq!(s.pairs, 2);
+        assert!(s.comparisons >= books.len() as u64);
     }
 
     #[test]

@@ -20,11 +20,13 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use vh_core::axes::v_ancestor;
 use vh_core::exec::{self, ExecOptions};
 use vh_core::order::v_cmp;
 use vh_core::VirtualDocument;
 use vh_dataguide::TypedDocument;
+use vh_obs::TwigCounters;
 use vh_pbn::keys;
 use vh_xml::NodeId;
 
@@ -241,6 +243,9 @@ pub trait TwigSource {
 pub struct PhysicalTwigSource<'a> {
     td: &'a TypedDocument,
     by_name: HashMap<String, Vec<NodeId>>,
+    /// Seek-shape counters (gallop steps, probe stops) for traced runs;
+    /// `None` keeps the seek hot path untouched.
+    obs: Option<Arc<TwigCounters>>,
 }
 
 impl<'a> PhysicalTwigSource<'a> {
@@ -271,7 +276,18 @@ impl<'a> PhysicalTwigSource<'a> {
                 by_name.entry(name).or_default().append(&mut ids);
             }
         }
-        PhysicalTwigSource { td, by_name }
+        PhysicalTwigSource {
+            td,
+            by_name,
+            obs: None,
+        }
+    }
+
+    /// Attaches seek-shape counters: subsequent [`TwigSource::seek`]
+    /// calls record whether they stopped in the linear probe window and
+    /// how many gallop doublings they took.
+    pub fn set_obs(&mut self, obs: Arc<TwigCounters>) {
+        self.obs = Some(obs);
     }
 }
 
@@ -314,6 +330,9 @@ impl<'a> TwigSource for PhysicalTwigSource<'a> {
             |n: NodeId| arena.slot_of(n) >= tslot || keys::is_strict_prefix(pbn.key_of(n), tkey);
         for (i, &n) in tail.iter().take(PROBES).enumerate() {
             if stops(n) {
+                if let Some(o) = &self.obs {
+                    o.add_probe_stop();
+                }
                 return from + i;
             }
         }
@@ -324,9 +343,14 @@ impl<'a> TwigSource for PhysicalTwigSource<'a> {
         // the bracket for the partition point (first slot ≥ target's).
         let mut hi = PROBES;
         let mut jump = PROBES;
+        let mut gallops = 0u64;
         while hi < tail.len() && arena.slot_of(tail[hi]) < tslot {
             hi += jump;
             jump *= 2;
+            gallops += 1;
+        }
+        if let Some(o) = &self.obs {
+            o.add_gallop_steps(gallops);
         }
         let hi = hi.min(tail.len());
         let mut best = PROBES + tail[PROBES..hi].partition_point(|&n| arena.slot_of(n) < tslot);
@@ -452,6 +476,27 @@ pub fn twig_join_opts(
     merge_path_solutions(pattern, &paths)
 }
 
+/// [`twig_join_opts`] with operator counters: records issued seeks and
+/// cursor advances during the TwigStack pass, plus path-solution and
+/// match totals. Identical results to the uncounted variants. To also
+/// capture seek shape (probe stops, gallop steps), attach the same
+/// counters to the source via [`PhysicalTwigSource::set_obs`].
+pub fn twig_join_counted(
+    source: &(dyn TwigSource + Sync),
+    pattern: &TwigPattern,
+    opts: &ExecOptions,
+    counters: &TwigCounters,
+) -> Vec<TwigMatch> {
+    let streams = build_streams(source, pattern, opts);
+    let mut stack = TwigStack::with_streams(source, pattern, streams);
+    stack.counters = Some(counters);
+    let paths = stack.run();
+    counters.add_path_solutions(paths.iter().map(|p| p.len() as u64).sum());
+    let matches = merge_path_solutions(pattern, &paths);
+    counters.add_matches(matches.len() as u64);
+    matches
+}
+
 /// Phase 1 of TwigStack: computes the root-to-leaf *path solutions* for
 /// every leaf of the pattern. `result[leaf_position]` holds node chains in
 /// pattern `path_to(leaf)` order.
@@ -506,6 +551,8 @@ struct TwigStack<'s> {
     /// Leaf index in pattern → position in output.
     leaf_pos: HashMap<usize, usize>,
     out: Vec<Vec<Vec<NodeId>>>,
+    /// Operator counters for traced runs (`None` on the plain paths).
+    counters: Option<&'s TwigCounters>,
 }
 
 impl<'s> TwigStack<'s> {
@@ -537,6 +584,7 @@ impl<'s> TwigStack<'s> {
             streams,
             out: vec![Vec::new(); leaves.len()],
             leaf_pos,
+            counters: None,
         }
     }
 
@@ -592,6 +640,9 @@ impl<'s> TwigStack<'s> {
         // to the stop position in one call (binary-searched on sources
         // with byte-comparable keys).
         let src = self.source;
+        if let Some(c) = self.counters {
+            c.add_seek();
+        }
         self.cursor[q] = src.seek(&self.streams[q], self.cursor[q], q_max);
         // Invariant: q_max is only Some when at least one child was live,
         // and every live child also updated min_child.
@@ -619,7 +670,9 @@ impl<'s> TwigStack<'s> {
 
     fn run(mut self) -> Vec<Vec<Vec<NodeId>>> {
         let root = 0;
+        let mut advanced = 0u64;
         while let Some(q) = self.get_next(root) {
+            advanced += 1;
             // Invariant: get_next only returns pattern nodes whose streams
             // still have a head (exhausted branches yield None).
             let hq = match self.head(q) {
@@ -644,6 +697,9 @@ impl<'s> TwigStack<'s> {
                 }
             }
             self.advance(q);
+        }
+        if let Some(c) = self.counters {
+            c.add_advances(advanced);
         }
         self.out
     }
@@ -895,6 +951,29 @@ mod tests {
         let phys = PhysicalTwigSource::new(&td);
         for m in &matches {
             assert!(!phys.contains(m[0], m[1]));
+        }
+    }
+
+    #[test]
+    fn counted_twig_join_matches_and_counts() {
+        let td = TypedDocument::analyze(vh_workload_books(25, 3));
+        let src = PhysicalTwigSource::new(&td);
+        let opts = ExecOptions::default();
+        for pat in ["book(title)", "book(title, author(name))"] {
+            let p = TwigPattern::parse(pat).must();
+            let plain = twig_join_opts(&src, &p, &opts);
+            let counters = TwigCounters::default();
+            let counted = twig_join_counted(&src, &p, &opts, &counters);
+            assert_eq!(
+                sorted(plain),
+                sorted(counted.clone()),
+                "counting must not change the matches of {pat}"
+            );
+            let s = counters.snapshot();
+            assert!(s.seeks > 0, "{pat} issued seeks");
+            assert!(s.advances > 0, "{pat} advanced its streams");
+            assert!(s.path_solutions > 0, "{pat} produced path solutions");
+            assert_eq!(s.matches, counted.len() as u64, "{pat}");
         }
     }
 

@@ -11,9 +11,7 @@
 use vpbn_suite::core::value::virtual_value;
 use vpbn_suite::core::VirtualDocument;
 use vpbn_suite::dataguide::TypedDocument;
-use vpbn_suite::query::doc::VirtualDoc;
-use vpbn_suite::query::sjoin::virtual_structural_join;
-use vpbn_suite::query::xpath::{eval_xpath, parse_xpath};
+use vpbn_suite::query::api::{eval_xpath, parse_xpath, virtual_structural_join, VirtualDoc};
 use vpbn_suite::storage::StoredDocument;
 use vpbn_suite::workload::{generate_xmark, XmarkConfig};
 

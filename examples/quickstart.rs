@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use vpbn_suite::core::{value::virtual_value, VirtualDocument};
+use vpbn_suite::core::value::virtual_value;
 use vpbn_suite::dataguide::TypedDocument;
-use vpbn_suite::query::Engine;
+use vpbn_suite::query::api::{Engine, QueryRequest, VirtualDocument};
 use vpbn_suite::xml::builder::paper_figure2;
 
 fn main() {
@@ -75,13 +75,16 @@ fn main() {
     // ----- Rhonda's query (Figure 6) ---------------------------------------
     let mut engine = Engine::new();
     engine.register(paper_figure2());
-    let result = engine
-        .eval_to_string(
-            r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
-               return <result><title>{$t/text()}</title>
-                              <count>{count($t/author)}</count></result>"#,
-        )
-        .expect("query runs");
+    let request = QueryRequest::flwr(
+        r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
+           return <result><title>{$t/text()}</title>
+                          <count>{count($t/author)}</count></result>"#,
+    );
+    let out = engine.run(&request).expect("query runs");
     println!("\nRhonda's query result (Figure 6):");
-    println!("  {result}");
+    println!("  {}", out.to_string_compact());
+    println!(
+        "  ({} result nodes; parse {} ns, exec {} ns)",
+        out.stats.result_nodes, out.stats.parse_ns, out.stats.exec_ns
+    );
 }

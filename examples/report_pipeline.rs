@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example report_pipeline`
 
-use vpbn_suite::query::Engine;
+use vpbn_suite::query::api::{Engine, QueryRequest};
 use vpbn_suite::workload::{generate_books, BooksConfig};
 use vpbn_suite::xml::{serialize, SerializeOptions};
 
@@ -48,7 +48,13 @@ fn main() {
                  <score>{$r/text() * count($t/author)}</score>
                </entry>"#;
 
-    let out = engine.eval(query).expect("report query runs");
+    let outcome = engine
+        .run(&QueryRequest::flwr(query).with_trace(true))
+        .expect("report query runs");
+    if let Some(trace) = &outcome.trace {
+        eprint!("{}", trace.render_text());
+    }
+    let out = outcome.document;
     println!("{}", serialize(&out, SerializeOptions::pretty(2)));
 
     // Sanity: entries are sorted by stars, descending.

@@ -5,7 +5,7 @@
 //! vpbn load <uri> <file.xml>    xpath <path>        # physical XPath
 //! vpbn load <uri> <file.xml>    vpath <spec> <path> # virtual XPath
 //! vpbn load <uri> <file.xml>    explain <spec>      # show the compiled view
-//! vpbn load <uri> <file.xml>    stats               # storage statistics
+//! vpbn load <uri> <file.xml>    stats               # storage + engine stats
 //! vpbn demo                                         # the paper's Figure 2/6
 //! ```
 //!
@@ -20,18 +20,19 @@
 //! Global flags (accepted anywhere before the action): `--threads N`
 //! parallelizes node scans, axis filters and sorts over N worker threads
 //! (`0` = all hardware threads; results are byte-identical to `--threads
-//! 1`), and `--cache on|off` controls the compiled-view artifact cache
-//! whose hit/miss counters `stats` reports.
+//! 1`), `--cache on|off` controls the compiled-view artifact cache, and
+//! the observability trio — `--trace` prints the query's span tree to
+//! stderr alongside the results, while `--explain` / `--explain-json`
+//! replace the results with the evaluated plan (text tree or JSON; see
+//! `DESIGN.md` § "Observability").
 //!
 //! Failures print the full error cause chain to stderr and exit with a
 //! class-specific code: usage=2, I/O=3, XML=4, vDataGuide=5, query=6,
 //! storage=7, resource limits=8 (see `vpbn_suite::error`).
 
 use std::process::ExitCode;
-use vpbn_suite::core::{ExecOptions, VirtualDocument};
 use vpbn_suite::dataguide::TypedDocument;
-use vpbn_suite::query::Engine;
-use vpbn_suite::storage::StoredDocument;
+use vpbn_suite::query::api::{Engine, ExecOptions, QueryOutcome, QueryRequest, VirtualDocument};
 use vpbn_suite::xml::{serialize, SerializeOptions};
 use vpbn_suite::VhError;
 
@@ -67,6 +68,9 @@ flags (anywhere before the action):
                                (default 1 = sequential, 0 = all cores;
                                results are identical at any thread count)
   --cache <on|off>             compiled-view artifact cache (default on)
+  --trace                      print the query's span tree to stderr
+  --explain                    print the evaluated plan instead of results
+  --explain-json               like --explain, as one line of JSON
 
 actions:
   query   <flwr-text>          evaluate a FLWR query (doc()/virtualDoc())
@@ -74,17 +78,27 @@ actions:
   vpath   <vdataguide> <path>  evaluate an XPath over a virtual view
   value   <vdataguide> <path>  print the virtual VALUE of each result
   explain <vdataguide>         show the compiled view (types, level arrays)
-  stats                        storage + cache statistics of the last doc
+  stats                        storage, cache and query-counter statistics
 
 exit codes:
   2 usage   3 I/O   4 XML parse   5 vDataGuide   6 query
   7 storage   8 resource limit exceeded";
 
+/// Global flags stripped off the argument list before the positional
+/// commands are interpreted.
+#[derive(Default)]
+struct Flags {
+    exec: ExecOptions,
+    trace: bool,
+    explain: bool,
+    explain_json: bool,
+}
+
 fn run(args: &[String]) -> Result<(), VhError> {
-    let (exec, args) = parse_global_flags(args)?;
+    let (flags, args) = parse_global_flags(args)?;
     let args = &args[..];
     let mut engine = Engine::new();
-    engine.set_exec_options(exec);
+    engine.set_exec_options(flags.exec);
     let mut last_uri: Option<String> = None;
     let mut i = 0;
 
@@ -117,8 +131,9 @@ fn run(args: &[String]) -> Result<(), VhError> {
                     .get(i + 1)
                     .ok_or_else(|| VhError::usage("query: missing FLWR text"))?;
                 expect_end(args, i + 2)?;
-                let out = engine.eval(q)?;
-                println!("{}", serialize(&out, SerializeOptions::pretty(2)));
+                if let Some(out) = execute(&engine, &flags, QueryRequest::flwr(q.as_str()))? {
+                    println!("{}", serialize(&out.document, SerializeOptions::pretty(2)));
+                }
                 return Ok(());
             }
             "xpath" => {
@@ -129,8 +144,10 @@ fn run(args: &[String]) -> Result<(), VhError> {
                     .get(i + 1)
                     .ok_or_else(|| VhError::usage("xpath: missing <path>"))?;
                 expect_end(args, i + 2)?;
-                let nodes = engine.eval_path(uri, p)?;
-                print_nodes(engine.document(uri).expect("loaded"), &nodes);
+                if let Some(out) = execute(&engine, &flags, QueryRequest::path(uri, p.as_str()))? {
+                    let nodes = out.nodes.unwrap_or_default();
+                    print_nodes(engine.document(uri).expect("loaded"), &nodes);
+                }
                 return Ok(());
             }
             "vpath" | "value" => {
@@ -145,17 +162,20 @@ fn run(args: &[String]) -> Result<(), VhError> {
                     .get(i + 2)
                     .ok_or_else(|| VhError::usage("vpath: missing <path>"))?;
                 expect_end(args, i + 3)?;
-                let nodes = engine.eval_virtual_path(uri, spec, p)?;
-                let td = engine.document(uri).expect("loaded");
-                if action == "vpath" {
-                    print_nodes(td, &nodes);
-                } else {
-                    let vd = engine.virtual_doc(uri, spec)?;
-                    for &n in &nodes {
-                        let (v, _) = vpbn_suite::core::value::virtual_value(&vd, td, n)?;
-                        println!("{v}");
+                let req = QueryRequest::virtual_path(uri, spec.as_str(), p.as_str());
+                if let Some(out) = execute(&engine, &flags, req)? {
+                    let nodes = out.nodes.unwrap_or_default();
+                    let td = engine.document(uri).expect("loaded");
+                    if action == "vpath" {
+                        print_nodes(td, &nodes);
+                    } else {
+                        let vd = engine.virtual_doc(uri, spec)?;
+                        for &n in &nodes {
+                            let (v, _) = vpbn_suite::core::value::virtual_value(&vd, td, n)?;
+                            println!("{v}");
+                        }
+                        eprintln!("{} value(s)", nodes.len());
                     }
-                    eprintln!("{} value(s)", nodes.len());
                 }
                 return Ok(());
             }
@@ -200,9 +220,7 @@ fn run(args: &[String]) -> Result<(), VhError> {
                     .as_deref()
                     .ok_or_else(|| VhError::usage("stats: load a document first"))?;
                 expect_end(args, i + 1)?;
-                let td = engine.document(uri).expect("loaded");
-                let stored = StoredDocument::build(td.clone());
-                let s = stored.stats();
+                let s = engine.attach_store(uri)?.stats();
                 println!("storage statistics for {uri}:");
                 println!(
                     "  document string : {:>10} B over {} pages",
@@ -213,18 +231,35 @@ fn run(args: &[String]) -> Result<(), VhError> {
                 println!("  name index      : {:>10} B", s.name_index_bytes);
                 println!("  node headers    : {:>10} B", s.header_bytes);
                 println!("  total           : {:>10} B", s.total_bytes());
-                let cs = engine.cache_stats();
+                let snap = engine.snapshot();
                 println!("compiled-view cache:");
                 for (name, c) in [
-                    ("expansions", cs.expansions),
-                    ("level maps", cs.levels),
-                    ("prefix tables", cs.tables),
+                    ("expansions", snap.cache.expansions),
+                    ("level maps", snap.cache.levels),
+                    ("prefix tables", snap.cache.tables),
+                    ("type indexes", snap.cache.indexes),
                 ] {
                     println!(
                         "  {name:<16}: {} entries, {} hits / {} misses, {} evicted, {} invalidated",
                         c.entries, c.hits, c.misses, c.evictions, c.invalidations
                     );
                 }
+                println!(
+                    "buffer pool: {} hits / {} misses, {} evicted, {} quarantined",
+                    snap.buffers.hits,
+                    snap.buffers.misses,
+                    snap.buffers.evictions,
+                    snap.buffers.quarantines
+                );
+                println!(
+                    "queries: {} run ({} traced), {} failed, {} result node(s)",
+                    snap.queries.queries,
+                    snap.queries.traced,
+                    snap.queries.failures,
+                    snap.queries.result_nodes
+                );
+                println!();
+                print!("{}", engine.metrics_text());
                 return Ok(());
             }
             other => return Err(VhError::usage(format!("unknown command '{other}'"))),
@@ -233,11 +268,35 @@ fn run(args: &[String]) -> Result<(), VhError> {
     Err(VhError::usage("no action given"))
 }
 
-/// Strips `--threads N` / `--cache on|off` from anywhere in the argument
-/// list and returns the resulting [`ExecOptions`] plus the remaining
-/// positional arguments.
-fn parse_global_flags(args: &[String]) -> Result<(ExecOptions, Vec<String>), VhError> {
-    let mut exec = ExecOptions::default();
+/// Runs one request under the global observability flags: `--explain`
+/// prints the evaluated plan instead of results and returns `None`;
+/// `--trace` prints the span tree to stderr and hands the outcome back.
+fn execute(
+    engine: &Engine,
+    flags: &Flags,
+    req: QueryRequest,
+) -> Result<Option<QueryOutcome>, VhError> {
+    if flags.explain {
+        let ex = engine.explain(&req)?;
+        if flags.explain_json {
+            println!("{}", ex.json());
+        } else {
+            print!("{}", ex.text());
+        }
+        return Ok(None);
+    }
+    let out = engine.run(&req.with_trace(flags.trace))?;
+    if let Some(trace) = &out.trace {
+        eprint!("{}", trace.render_text());
+    }
+    Ok(Some(out))
+}
+
+/// Strips the global flags (`--threads N`, `--cache on|off`, `--trace`,
+/// `--explain`, `--explain-json`) from anywhere in the argument list and
+/// returns them plus the remaining positional arguments.
+fn parse_global_flags(args: &[String]) -> Result<(Flags, Vec<String>), VhError> {
+    let mut flags = Flags::default();
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -246,7 +305,7 @@ fn parse_global_flags(args: &[String]) -> Result<(ExecOptions, Vec<String>), VhE
                 let v = it
                     .next()
                     .ok_or_else(|| VhError::usage("--threads: missing worker count"))?;
-                exec.threads = v.parse().map_err(|_| {
+                flags.exec.threads = v.parse().map_err(|_| {
                     VhError::usage(format!("--threads: '{v}' is not a thread count"))
                 })?;
             }
@@ -254,7 +313,7 @@ fn parse_global_flags(args: &[String]) -> Result<(ExecOptions, Vec<String>), VhE
                 let v = it
                     .next()
                     .ok_or_else(|| VhError::usage("--cache: missing on|off"))?;
-                exec.cache = match v.as_str() {
+                flags.exec.cache = match v.as_str() {
                     "on" => true,
                     "off" => false,
                     other => {
@@ -264,10 +323,16 @@ fn parse_global_flags(args: &[String]) -> Result<(ExecOptions, Vec<String>), VhE
                     }
                 };
             }
+            "--trace" => flags.trace = true,
+            "--explain" => flags.explain = true,
+            "--explain-json" => {
+                flags.explain = true;
+                flags.explain_json = true;
+            }
             _ => rest.push(a.clone()),
         }
     }
-    Ok((exec, rest))
+    Ok((flags, rest))
 }
 
 fn expect_end(args: &[String], from: usize) -> Result<(), VhError> {

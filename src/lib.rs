@@ -15,7 +15,9 @@
 //! * [`storage`] — simulated XML DBMS storage with value/type indexes
 //!   ([`vh_storage`]).
 //! * [`query`] — XPath and mini-XQuery engine with `virtualDoc`
-//!   ([`vh_query`]).
+//!   ([`vh_query`]); `query::api` is the blessed flat entry surface.
+//! * [`obs`] — query observability: span trees, stage counters and the
+//!   EXPLAIN text/JSON/Prometheus exporters ([`vh_obs`]).
 //! * [`workload`] — synthetic corpora and transformation scenarios
 //!   ([`vh_workload`]).
 //!
@@ -31,6 +33,7 @@ pub use error::VhError;
 
 pub use vh_core as core;
 pub use vh_dataguide as dataguide;
+pub use vh_obs as obs;
 pub use vh_pbn as pbn;
 pub use vh_query as query;
 pub use vh_storage as storage;

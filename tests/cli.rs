@@ -155,6 +155,94 @@ fn stats_reports_storage_sizes() {
 }
 
 #[test]
+fn trace_flag_prints_the_span_tree_to_stderr() {
+    let f = books_file();
+    let out = vpbn(&[
+        "--trace",
+        "load",
+        "b.xml",
+        f.as_str(),
+        "query",
+        r#"for $t in virtualDoc("b.xml", "title { author { name } }")//title
+           return <c>{count($t/author)}</c>"#,
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("<c>2</c>"),
+        "results stay on stdout: {stdout}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for needle in ["query (", "parse (", "guide-expansion", "result.nodes=2"] {
+        assert!(stderr.contains(needle), "missing '{needle}': {stderr}");
+    }
+}
+
+#[test]
+fn explain_flag_replaces_results_with_the_plan() {
+    let f = books_file();
+    let out = vpbn(&[
+        "--explain",
+        "load",
+        "b.xml",
+        f.as_str(),
+        "vpath",
+        "title { author { name } }",
+        "//title/author/name",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("<name>"), "no result nodes: {stdout}");
+    for needle in [
+        "parse (",
+        "guide-expansion",
+        "arena-range-selection",
+        "twig.seeks=",
+        "sjoin.comparisons=",
+        "cache=",
+        "arena=[",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}': {stdout}");
+    }
+}
+
+#[test]
+fn explain_json_round_trips_through_the_obs_parser() {
+    let f = books_file();
+    let out = vpbn(&[
+        "--explain-json",
+        "load",
+        "b.xml",
+        f.as_str(),
+        "vpath",
+        "title { author { name } }",
+        "//title",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let trace = vpbn_suite::obs::QueryTrace::from_json(stdout.trim())
+        .expect("stdout is one valid trace document");
+    assert_eq!(trace.root.name, "query");
+    assert_eq!(trace.root.meta_value("kind"), Some("virtual-path"));
+    assert_eq!(trace.to_json(), stdout.trim(), "round-trip is lossless");
+}
+
+#[test]
+fn stats_reports_engine_counters_and_prometheus_metrics() {
+    let f = books_file();
+    let out = vpbn(&["load", "b.xml", f.as_str(), "stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("compiled-view cache:"), "{stdout}");
+    assert!(stdout.contains("buffer pool:"), "{stdout}");
+    assert!(
+        stdout.contains("# TYPE vpbn_queries_total counter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("vpbn_storage_resident_bytes"), "{stdout}");
+}
+
+#[test]
 fn errors_exit_nonzero_with_usage() {
     let out = vpbn(&["frobnicate"]);
     assert!(!out.status.success());
