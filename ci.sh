@@ -2,15 +2,46 @@
 # Local CI gate — the same checks the GitHub workflow runs.
 #
 # Usage:
-#   ./ci.sh                 lint + tests + docs (the default gate)
-#   ./ci.sh --bench         additionally run the quick bench profile and
-#                           compare against crates/bench/baselines/
-#   ./ci.sh --bench-rebase  regenerate the committed bench baselines
-#                           (run on the reference machine, then commit)
+#   ./ci.sh [FLAGS]        flags combine freely, e.g. `./ci.sh --bench --vet`
+#
+# Without flags, the default gate runs: fmt, clippy, vh-vet, the vh-obs
+# no-default-features build, tests (debug + release) and rustdoc.
+# Flags are additive on top of the gate:
+#   --bench         run the quick bench profile and compare against
+#                   crates/bench/baselines/
+#   --miri          run the Miri leg (vh-core exec/cache + the interleaving
+#                   stress test + vh-pbn arena) — needs the nightly `miri`
+#                   component; skipped with a notice when it is missing
+#   --tsan          run the ThreadSanitizer leg over the partition/merge and
+#                   cache tests — needs nightly + `rust-src` (std must be
+#                   rebuilt instrumented); skipped with a notice otherwise
+#   --vet           run vh-vet (already part of the gate; useful with
+#                   --no-gate for a lint-only run)
+#   --no-gate       skip the default gate and run only the selected legs
+#   --bench-rebase  regenerate the committed bench baselines
+#                   (run on the reference machine, then commit)
 set -euo pipefail
 cd "$(dirname "$0")"
 
-MODE="${1:-}"
+RUN_GATE=1
+RUN_BENCH=0
+RUN_MIRI=0
+RUN_TSAN=0
+RUN_VET=0
+RUN_REBASE=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --bench)        RUN_BENCH=1 ;;
+    --miri)         RUN_MIRI=1 ;;
+    --tsan)         RUN_TSAN=1 ;;
+    --vet)          RUN_VET=1 ;;
+    --no-gate)      RUN_GATE=0 ;;
+    --bench-rebase) RUN_REBASE=1 ;;
+    -h|--help)      grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "ci.sh: unknown flag '$arg' (see --help)" >&2; exit 2 ;;
+  esac
+done
 
 # Quick profile, sequential, JSON into a scratch dir — exactly what the
 # GitHub bench-gate job runs. Gated rows are the axis/twig hot paths plus
@@ -27,7 +58,50 @@ run_bench() {
   done
 }
 
-if [ "$MODE" = "--bench-rebase" ]; then
+run_vet() {
+  echo "==> vh-vet (workspace invariants; JSON report in target/vet-findings.json)"
+  cargo build --release -p vh-vet --quiet
+  ./target/release/vh-vet --json target/vet-findings.json
+}
+
+# Miri and TSan want the nightly toolchain plus specific components; on
+# machines without them the legs skip loudly instead of failing, so the
+# default developer loop never needs nightly. CI installs the real thing.
+nightly_has() {
+  rustup component list --installed --toolchain nightly 2>/dev/null | grep -q "^$1"
+}
+
+run_miri() {
+  echo "==> miri leg (vh-core exec/cache, interleaving stress, vh-pbn arena)"
+  if ! nightly_has miri; then
+    echo "    SKIPPED: nightly 'miri' component not installed" >&2
+    echo "    (rustup component add --toolchain nightly miri)" >&2
+    return 0
+  fi
+  cargo +nightly miri test -q -p vh-core --lib -- exec:: cache::
+  cargo +nightly miri test -q -p vh-core --test stress_interleave
+  cargo +nightly miri test -q -p vh-pbn --lib -- arena::
+}
+
+run_tsan() {
+  echo "==> tsan leg (partition/merge + cache under ThreadSanitizer)"
+  if ! nightly_has rust-src; then
+    echo "    SKIPPED: nightly 'rust-src' component not installed" >&2
+    echo "    (TSan needs std rebuilt with instrumentation via -Zbuild-std;" >&2
+    echo "     an uninstrumented std reports phantom races on every futex)" >&2
+    return 0
+  fi
+  local host
+  host="$(rustc -vV | sed -n 's/^host: //p')"
+  RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+    cargo +nightly test -q -Zbuild-std --target "$host" \
+    -p vh-core --lib -- exec:: cache::
+  RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+    cargo +nightly test -q -Zbuild-std --target "$host" \
+    -p vh-core --test stress_interleave
+}
+
+if [ "$RUN_REBASE" = 1 ]; then
   echo "==> regenerating bench baselines in $BASELINE_DIR"
   run_bench "$BASELINE_DIR"
   ls -l "$BASELINE_DIR"
@@ -35,25 +109,39 @@ if [ "$MODE" = "--bench-rebase" ]; then
   exit 0
 fi
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+if [ "$RUN_GATE" = 1 ]; then
+  echo "==> cargo fmt --check"
+  cargo fmt --all -- --check
 
-echo "==> cargo clippy (warnings are errors; unwrap/expect denied in lib crates)"
-cargo clippy --workspace --all-targets -- -D warnings -D clippy::dbg_macro
+  echo "==> cargo clippy (warnings are errors; unwrap/expect denied in lib crates)"
+  cargo clippy --workspace --all-targets -- -D warnings -D clippy::dbg_macro
 
-echo "==> vh-obs builds without default features (no-std-clock consumers)"
-cargo build -p vh-obs --no-default-features --quiet
+  run_vet
 
-echo "==> cargo test"
-cargo test --workspace -q
+  echo "==> vh-obs builds without default features (no-std-clock consumers)"
+  cargo build -p vh-obs --no-default-features --quiet
 
-echo "==> cargo test --release (optimized build exercises the byte-scan fast paths)"
-cargo test --workspace --release -q
+  echo "==> cargo test"
+  cargo test --workspace -q
 
-echo "==> cargo doc (no deps, warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+  echo "==> cargo test --release (optimized build exercises the byte-scan fast paths)"
+  cargo test --workspace --release -q
 
-if [ "$MODE" = "--bench" ]; then
+  echo "==> cargo doc (no deps, warnings are errors)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+elif [ "$RUN_VET" = 1 ]; then
+  run_vet
+fi
+
+if [ "$RUN_MIRI" = 1 ]; then
+  run_miri
+fi
+
+if [ "$RUN_TSAN" = 1 ]; then
+  run_tsan
+fi
+
+if [ "$RUN_BENCH" = 1 ]; then
   echo "==> bench gate (quick profile vs $BASELINE_DIR)"
   OUT=target/bench-current
   rm -rf "$OUT"

@@ -23,6 +23,7 @@ impl TypeId {
         // Documented capacity limit: type ids are u32 by design, matching
         // node ids; a guide with >4 Gi types is unsupported.
         #[allow(clippy::expect_used)]
+        // vet: allow(no-panic) — documented capacity limit: >4 Gi types is out of scope
         TypeId(u32::try_from(index).expect("type index exceeds u32 range"))
     }
 }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Observability for the virtual-hierarchy query stack.
 //!
 //! The paper's central claim is a *cost* claim — evaluating queries over
@@ -47,4 +49,4 @@ pub use counters::{
 };
 pub use json::JsonError;
 pub use prom::PromWriter;
-pub use span::{QueryTrace, Span, TraceBuilder};
+pub use span::{is_stable_span_name, QueryTrace, Span, TraceBuilder, STABLE_SPAN_NAMES};

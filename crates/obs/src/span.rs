@@ -61,6 +61,32 @@ impl Span {
     }
 }
 
+/// The stable span vocabulary: every stage name the engine may emit.
+///
+/// Exporters, dashboards and the `vh-vet` `span-vocab` lint treat this
+/// list as the contract between `vh-query` (which opens spans) and
+/// `vh-obs` (which renders them). Renaming a stage or adding a new one
+/// means extending this list in the same change — DESIGN.md §10 keys its
+/// span-tree documentation off these names.
+pub const STABLE_SPAN_NAMES: &[&str] = &[
+    "query",
+    "parse",
+    "plan",
+    "view",
+    "document",
+    "guide-expansion",
+    "level-map",
+    "prefix-tables",
+    "type-index",
+    "exec",
+    "arena-range-selection",
+];
+
+/// Is `name` part of the stable span vocabulary?
+pub fn is_stable_span_name(name: &str) -> bool {
+    STABLE_SPAN_NAMES.contains(&name)
+}
+
 /// A completed per-query span tree.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueryTrace {
@@ -222,6 +248,24 @@ impl TraceBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stable_vocabulary_is_well_formed() {
+        for (i, name) in STABLE_SPAN_NAMES.iter().enumerate() {
+            assert!(!name.is_empty());
+            assert!(
+                name.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
+                "span name `{name}` is not lowercase-kebab"
+            );
+            assert!(
+                !STABLE_SPAN_NAMES[..i].contains(name),
+                "duplicate span name `{name}`"
+            );
+            assert!(is_stable_span_name(name));
+        }
+        assert!(!is_stable_span_name("made-up-stage"));
+    }
 
     #[test]
     fn disabled_builder_records_nothing() {

@@ -114,6 +114,7 @@ impl EncodedPbn {
         // input must go through `try_decode` / `from_bytes`.
         #[allow(clippy::expect_used)]
         self.try_decode()
+            // vet: allow(no-panic) — documented panic; untrusted input goes through try_decode
             .expect("EncodedPbn holds a valid encoding")
     }
 

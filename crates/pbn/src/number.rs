@@ -157,6 +157,7 @@ impl Pbn {
         #[allow(clippy::expect_used)]
         let last = components
             .last_mut()
+            // vet: allow(no-panic) — documented panic: the empty number has no siblings
             .expect("sibling_successor of the empty number");
         *last += 1;
         Pbn { components }

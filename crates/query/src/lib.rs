@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # vh-query — XPath and mini-XQuery over physical *and* virtual documents

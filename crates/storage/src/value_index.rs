@@ -53,7 +53,9 @@ impl ValueIndex {
     #[allow(clippy::expect_used)]
     pub fn set(&mut self, node: NodeId, start: usize, end: usize) {
         self.ranges[node.index()] = ValueRange {
+            // vet: allow(no-panic) — documented capacity limit: >4 GiB documents unsupported
             start: u32::try_from(start).expect("document exceeds 4 GiB"),
+            // vet: allow(no-panic) — documented capacity limit: >4 GiB documents unsupported
             end: u32::try_from(end).expect("document exceeds 4 GiB"),
         };
     }

@@ -1,0 +1,204 @@
+//! Findings: what a lint reports, and the text/JSON renderings.
+
+use std::fmt;
+
+/// The lints `vh-vet` knows, in reporting order.
+///
+/// Each lint's id is the name accepted by the
+/// `// vet: allow(<id>) — <reason>` escape hatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// `panic!`/`todo!`/`unimplemented!`/`dbg!`/`.unwrap()`/`.expect()`
+    /// in lib-crate non-test code.
+    NoPanic,
+    /// An `unsafe` block or fn without a `// SAFETY:` comment.
+    SafetyComment,
+    /// A span name used in `vh-query` that is missing from `vh-obs`'s
+    /// stable span vocabulary.
+    SpanVocab,
+    /// A `VhError` variant missing from `code()`/`exit_code()`, or an
+    /// exit code missing its README table row.
+    ErrorExit,
+    /// A Prometheus metric name that is not namespaced snake_case, or a
+    /// sample emitted before its family's `# HELP`/`# TYPE` opener.
+    PromName,
+    /// A legacy `Engine` wrapper that does not forward to `Engine::run`
+    /// or lacks deprecation docs.
+    DeprecatedWrapper,
+    /// A malformed or unknown `// vet: allow(…)` comment.
+    VetAllow,
+}
+
+/// Every lint, in reporting order.
+pub const ALL_LINTS: &[Lint] = &[
+    Lint::NoPanic,
+    Lint::SafetyComment,
+    Lint::SpanVocab,
+    Lint::ErrorExit,
+    Lint::PromName,
+    Lint::DeprecatedWrapper,
+    Lint::VetAllow,
+];
+
+impl Lint {
+    /// The lint's stable kebab-case id (used in findings, JSON and
+    /// allow-comments).
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "no-panic",
+            Lint::SafetyComment => "safety-comment",
+            Lint::SpanVocab => "span-vocab",
+            Lint::ErrorExit => "error-exit",
+            Lint::PromName => "prom-name",
+            Lint::DeprecatedWrapper => "deprecated-wrapper",
+            Lint::VetAllow => "vet-allow",
+        }
+    }
+
+    /// One-line description, shown by `vh-vet --list`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::NoPanic => {
+                "no panic!/todo!/unimplemented!/dbg!/.unwrap()/.expect() in lib-crate non-test code"
+            }
+            Lint::SafetyComment => "every unsafe block/fn carries a // SAFETY: comment",
+            Lint::SpanVocab => {
+                "every span name used in vh-query appears in vh-obs's STABLE_SPAN_NAMES"
+            }
+            Lint::ErrorExit => {
+                "every VhError variant has code()/exit_code() arms and a README exit-table row"
+            }
+            Lint::PromName => {
+                "Prometheus metric names are vpbn_/vh_-prefixed snake_case with families opened before samples"
+            }
+            Lint::DeprecatedWrapper => {
+                "legacy Engine wrappers forward to Engine::run and carry deprecation docs"
+            }
+            Lint::VetAllow => "vet: allow comments name a known lint and give a reason",
+        }
+    }
+
+    /// Parses a lint id as written in an allow-comment.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        ALL_LINTS.iter().copied().find(|l| l.id() == id)
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The one-line text rendering: `file:line: [lint] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Renders findings as the JSON document the CI job uploads:
+/// `{"tool":"vh-vet","count":N,"findings":[{file,line,lint,message}…]}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"tool\":\"vh-vet\",\"count\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"file\":\"");
+        escape_into(&mut out, &f.file);
+        out.push_str("\",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"lint\":\"");
+        escape_into(&mut out, f.lint.id());
+        out.push_str("\",\"message\":\"");
+        escape_into(&mut out, &f.message);
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let d = (b >> shift) & 0xf;
+                    let d = u8::try_from(d).unwrap_or(0);
+                    out.push(char::from_digit(u32::from(d), 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for l in ALL_LINTS {
+            assert_eq!(Lint::from_id(l.id()), Some(*l));
+        }
+        assert_eq!(Lint::from_id("nope"), None);
+    }
+
+    #[test]
+    fn text_rendering_is_grep_friendly() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            lint: Lint::NoPanic,
+            message: "`.unwrap()` in lib-crate code".into(),
+        };
+        assert_eq!(
+            f.render(),
+            "crates/x/src/lib.rs:7: [no-panic] `.unwrap()` in lib-crate code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let f = Finding {
+            file: "a\"b.rs".into(),
+            line: 1,
+            lint: Lint::VetAllow,
+            message: "tab\there\nnewline".into(),
+        };
+        let j = to_json(&[f]);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("tab\\there\\nnewline"));
+        assert!(j.starts_with("{\"tool\":\"vh-vet\",\"count\":1,"));
+        let empty = to_json(&[]);
+        assert_eq!(empty, "{\"tool\":\"vh-vet\",\"count\":0,\"findings\":[]}");
+    }
+}

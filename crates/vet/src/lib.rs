@@ -1,0 +1,48 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # vh-vet — the workspace invariant checker
+//!
+//! A dependency-free static-analysis pass over every `.rs` file in the
+//! workspace, enforcing the cross-file invariants clippy cannot express
+//! (DESIGN.md §11). The suite grew contracts that live in more than one
+//! crate — panic-freedom in libraries, `SAFETY:` justifications, the
+//! stable span vocabulary shared by `vh-query` and `vh-obs`, the
+//! `VhError` ↔ exit-code ↔ README synchronisation, Prometheus family
+//! discipline, the deprecated `Engine` wrapper contract — and each was
+//! policed only by convention. `vh-vet` checks them at lint time, in the
+//! spirit of catching the invariant break before it ships rather than
+//! under load.
+//!
+//! Pipeline: [`workspace::Workspace::load`] walks the tree and scans
+//! every file with the hand-rolled lexer in [`scan`]; [`lints::run`]
+//! applies the lint set; findings render as text lines or as the JSON
+//! document CI uploads ([`findings::to_json`]).
+//!
+//! Escape hatch: a finding is suppressed by a comment on the same line
+//! or the line directly above, of the form
+//! `// vet: allow(<lint-id>) — <reason>` — the reason is mandatory, and
+//! malformed allows are themselves findings (`vet-allow`).
+//!
+//! The binary (`vh-vet`) exits 0 on a clean tree, 1 when findings exist,
+//! 2 on usage errors and 3 on I/O errors, matching the suite's exit-code
+//! classes. `crates/vet/tests/self_check.rs` runs the whole pass over
+//! the live workspace on every `cargo test`, so a stray `unwrap()` or an
+//! uncommented `unsafe` fails the ordinary test gate, not just CI.
+
+pub mod findings;
+pub mod lints;
+pub mod scan;
+pub mod workspace;
+
+pub use findings::{to_json, Finding, Lint, ALL_LINTS};
+pub use workspace::{VetError, Workspace};
+
+use std::path::Path;
+
+/// Walks the workspace at `root`, runs every lint, and returns the
+/// findings sorted by path, line and lint id.
+pub fn vet_workspace(root: &Path) -> Result<Vec<Finding>, VetError> {
+    let ws = Workspace::load(root)?;
+    Ok(lints::run(&ws))
+}

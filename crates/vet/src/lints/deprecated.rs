@@ -1,0 +1,230 @@
+//! `deprecated-wrapper`: legacy `Engine` entry points stay thin and honest.
+//!
+//! PR 4 redesigned the engine around `QueryRequest` → `Engine::run` →
+//! `QueryOutcome`, keeping the old `eval*` methods as documented
+//! wrappers and hiding the replaced getters behind `#[doc(hidden)]`.
+//! This lint pins that contract in `crates/query/src/engine.rs`:
+//!
+//! * every public `fn eval*` must carry a doc comment mentioning
+//!   `Deprecated` *and* forward through `self.run(…)` — a wrapper that
+//!   grows its own evaluation path would fork the pipeline silently;
+//! * every `#[doc(hidden)]` public fn must carry a `Deprecated` doc line
+//!   telling embedders what to call instead.
+
+use crate::findings::{Finding, Lint};
+use crate::scan::Tok;
+use crate::workspace::Workspace;
+
+/// The engine's home.
+const ENGINE: &str = "crates/query/src/engine.rs";
+
+/// Runs the lint over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(file) = ws.file(ENGINE) else {
+        return; // no engine in this tree — nothing to enforce
+    };
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.suppressed[i] || !matches!(&toks[i].kind, Tok::Ident(s) if s == "fn") {
+            continue;
+        }
+        // The fn name is the next code token.
+        let Some((name_idx, name)) = next_ident(toks, i + 1) else {
+            continue;
+        };
+        let pre = preamble(toks, i);
+        if !pre.is_pub {
+            continue;
+        }
+        let line = toks[name_idx].line;
+        let is_eval = name.starts_with("eval");
+        if !is_eval && !pre.doc_hidden {
+            continue;
+        }
+        if !pre.deprecated_doc {
+            file.report(
+                out,
+                Lint::DeprecatedWrapper,
+                line,
+                format!(
+                    "legacy `Engine::{name}` needs a doc comment marking it \
+                     Deprecated and naming the `Engine::run`-era replacement"
+                ),
+            );
+        }
+        if is_eval && !body_calls_run(toks, name_idx) {
+            file.report(
+                out,
+                Lint::DeprecatedWrapper,
+                line,
+                format!(
+                    "legacy wrapper `Engine::{name}` must forward to `self.run(…)`, \
+                     not evaluate on its own"
+                ),
+            );
+        }
+    }
+}
+
+/// What precedes a `fn` keyword: doc comments, attributes, visibility.
+struct Preamble {
+    is_pub: bool,
+    doc_hidden: bool,
+    deprecated_doc: bool,
+}
+
+/// Walks backwards from the `fn` keyword to the end of the previous item
+/// (`}`, `;`, or an opening `{`), collecting docs and attributes.
+fn preamble(toks: &[Tok2], fn_idx: usize) -> Preamble {
+    let mut p = Preamble {
+        is_pub: false,
+        doc_hidden: false,
+        deprecated_doc: false,
+    };
+    let mut i = fn_idx;
+    let mut attr_idents: Vec<String> = Vec::new();
+    while i > 0 {
+        i -= 1;
+        match &toks[i].kind {
+            Tok::Punct('}' | ';' | '{') => break,
+            Tok::Comment { text, doc } if *doc && text.contains("Deprecated") => {
+                p.deprecated_doc = true;
+            }
+            Tok::Ident(s) if s == "pub" => p.is_pub = true,
+            Tok::Ident(s) => attr_idents.push(s.clone()),
+            _ => {}
+        }
+    }
+    if attr_idents.iter().any(|s| s == "doc") && attr_idents.iter().any(|s| s == "hidden") {
+        p.doc_hidden = true;
+    }
+    p
+}
+
+type Tok2 = crate::scan::Token;
+
+/// Does the fn body starting after `name_idx` contain `.run(`?
+fn body_calls_run(toks: &[Tok2], name_idx: usize) -> bool {
+    // Find the body's `{`, then scan to its matching `}`.
+    let mut i = name_idx;
+    while i < toks.len() && toks[i].kind != Tok::Punct('{') {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            Tok::Punct('.')
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Ident(s)) if s == "run")
+                    && toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct('(')) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The next identifier token at or after `start`, skipping comments.
+fn next_ident(toks: &[Tok2], start: usize) -> Option<(usize, String)> {
+    for (i, t) in toks.iter().enumerate().skip(start) {
+        match &t.kind {
+            Tok::Comment { .. } => continue,
+            Tok::Ident(s) => return Some((i, s.clone())),
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            files: vec![SourceFile::from_source(ENGINE, src)],
+            readme: None,
+        };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    const CLEAN: &str = r#"
+impl Engine {
+    /// Evaluates a query.
+    ///
+    /// Deprecated: prefer [`Engine::run`].
+    pub fn eval(&self, q: &str) -> Result<Document, FlwrError> {
+        Ok(self.run(&QueryRequest::flwr(q))?.document)
+    }
+
+    /// Cache counters.
+    ///
+    /// Deprecated: prefer [`Engine::snapshot`].
+    #[doc(hidden)]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// A current, non-legacy method: no constraints.
+    pub fn run(&self, req: &QueryRequest) -> Result<QueryOutcome, FlwrError> {
+        self.pipeline(req)
+    }
+}
+"#;
+
+    #[test]
+    fn honest_wrappers_are_clean() {
+        assert_eq!(run_on(CLEAN), Vec::new());
+    }
+
+    #[test]
+    fn missing_deprecation_docs_fire() {
+        let src = CLEAN.replace("Deprecated: prefer [`Engine::run`].", "Runs a query.");
+        let got = run_on(&src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("Engine::eval"));
+        assert!(got[0].message.contains("Deprecated"));
+
+        let src = CLEAN.replace("Deprecated: prefer [`Engine::snapshot`].", "Counters.");
+        let got = run_on(&src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("cache_stats"));
+    }
+
+    #[test]
+    fn wrappers_that_do_not_forward_fire() {
+        let src = CLEAN.replace(
+            "Ok(self.run(&QueryRequest::flwr(q))?.document)",
+            "self.evaluate_directly(q)",
+        );
+        let got = run_on(&src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("must forward to `self.run"));
+    }
+
+    #[test]
+    fn only_the_engine_file_is_checked() {
+        let ws = Workspace {
+            files: vec![SourceFile::from_source(
+                "crates/query/src/xpath/eval.rs",
+                "pub fn eval_path(x: u32) -> u32 { x }",
+            )],
+            readme: None,
+        };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! `error-exit`: the `VhError` facade, exit codes and README stay in sync.
+//!
+//! Three cross-file facts must agree (DESIGN.md §7): every `VhError`
+//! variant is matched in `code()` (so it has a stable machine-readable
+//! code) and in `exit_code()` (so the CLI maps it to a process exit
+//! code), and every distinct exit code returned by `exit_code()` has a
+//! row in the README's exit-code table. Each broken leg is a separate
+//! finding, anchored to `src/error.rs`.
+
+use crate::findings::{Finding, Lint};
+use crate::lints::Code;
+use crate::scan::Tok;
+use crate::workspace::Workspace;
+
+/// The error facade's home.
+const FACADE: &str = "src/error.rs";
+/// The enum whose variants are audited.
+const ENUM_NAME: &str = "VhError";
+
+/// Runs the lint over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(file) = ws.file(FACADE) else {
+        return; // no facade in this tree — nothing to enforce
+    };
+    let code = Code::of(file);
+    let variants = enum_variants(&code);
+    for (fn_name, label) in [
+        ("code", "stable error code"),
+        ("exit_code", "CLI exit code"),
+    ] {
+        let Some((body_start, body_end)) = fn_body(&code, fn_name) else {
+            file.report(
+                out,
+                Lint::ErrorExit,
+                1,
+                format!("`{ENUM_NAME}::{fn_name}()` not found in {FACADE}"),
+            );
+            continue;
+        };
+        let matched = matched_variants(&code, body_start, body_end);
+        for (variant, line) in &variants {
+            if !matched.iter().any(|m| m == variant) {
+                file.report(
+                    out,
+                    Lint::ErrorExit,
+                    *line,
+                    format!("`{ENUM_NAME}::{variant}` has no {label} arm in `{fn_name}()`"),
+                );
+            }
+        }
+    }
+    // Every distinct exit literal needs a README table row.
+    let Some((body_start, body_end)) = fn_body(&code, "exit_code") else {
+        return;
+    };
+    let Some(readme) = &ws.readme else { return };
+    let rows = readme_exit_rows(readme);
+    let mut seen = Vec::new();
+    for i in body_start..body_end {
+        if !(code.is_punct(i, '=') && code.is_punct(i + 1, '>')) {
+            continue;
+        }
+        let Some(Tok::Num(n)) = code.kind(i + 2) else {
+            continue;
+        };
+        if seen.contains(n) {
+            continue;
+        }
+        seen.push(n.clone());
+        if !rows.contains(n) {
+            file.report(
+                out,
+                Lint::ErrorExit,
+                code.line(i + 2),
+                format!("exit code {n} has no row in the README.md exit-code table"),
+            );
+        }
+    }
+}
+
+/// Variant names (and lines) of `pub enum VhError { … }`.
+fn enum_variants(code: &Code<'_>) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !(code.is_ident(i, "enum")
+            && code.is_ident(i + 1, ENUM_NAME)
+            && code.is_punct(i + 2, '{'))
+        {
+            continue;
+        }
+        let end = code.matching_brace(i + 2);
+        let mut expecting = true;
+        let mut depth = 0usize; // nesting inside variant fields
+        let mut j = i + 3;
+        while j < end {
+            match code.kind(j) {
+                Some(Tok::Punct('#')) if depth == 0 => {
+                    // Skip the `[…]` of an attribute.
+                    let mut k = j + 1;
+                    let mut b = 0usize;
+                    while k < end {
+                        if code.is_punct(k, '[') {
+                            b += 1;
+                        } else if code.is_punct(k, ']') {
+                            b -= 1;
+                            if b == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                }
+                Some(Tok::Punct('(' | '{' | '[')) => depth += 1,
+                Some(Tok::Punct(')' | '}' | ']')) => depth = depth.saturating_sub(1),
+                Some(Tok::Punct(',')) if depth == 0 => expecting = true,
+                Some(Tok::Ident(name)) if depth == 0 && expecting => {
+                    out.push((name.clone(), code.line(j)));
+                    expecting = false;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        break;
+    }
+    out
+}
+
+/// Code-token range of the body of `fn name`.
+fn fn_body(code: &Code<'_>, name: &str) -> Option<(usize, usize)> {
+    for i in 0..code.len() {
+        if code.is_ident(i, "fn") && code.is_ident(i + 1, name) {
+            let mut j = i + 2;
+            while j < code.len() && !code.is_punct(j, '{') {
+                j += 1;
+            }
+            if j < code.len() {
+                return Some((j + 1, code.matching_brace(j)));
+            }
+        }
+    }
+    None
+}
+
+/// Variant names appearing as `VhError::X` in a token range.
+fn matched_variants(code: &Code<'_>, start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in start..end {
+        if code.is_ident(i, ENUM_NAME) && code.is_punct(i + 1, ':') && code.is_punct(i + 2, ':') {
+            if let Some(Tok::Ident(v)) = code.kind(i + 3) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+/// First-cell values of markdown table rows: `| 7 | storage | …` → "7".
+fn readme_exit_rows(readme: &str) -> Vec<String> {
+    readme
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let cell = l.strip_prefix('|')?.split('|').next()?.trim();
+            cell.parse::<u32>().ok().map(|_| cell.to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    const GOOD: &str = "
+pub enum VhError {
+    Usage(String),
+    Io { path: String },
+    Query(QueryError),
+}
+impl VhError {
+    pub fn code(&self) -> &'static str {
+        match self {
+            VhError::Usage(_) => \"CLI_USAGE\",
+            VhError::Io { .. } => \"CLI_IO\",
+            VhError::Query(e) => e.code(),
+        }
+    }
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            VhError::Usage(_) => 2,
+            VhError::Io { .. } => 3,
+            VhError::Query(_) => 6,
+        }
+    }
+}
+";
+
+    fn run(src: &str, readme: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            files: vec![SourceFile::from_source(FACADE, src)],
+            readme: Some(readme.to_string()),
+        };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    const README: &str = "| exit | class |\n|---:|---|\n| 2 | usage |\n| 3 | io |\n| 6 | query |\n";
+
+    #[test]
+    fn a_synchronised_facade_is_clean() {
+        assert_eq!(run(GOOD, README), Vec::new());
+    }
+
+    #[test]
+    fn missing_arms_and_rows_each_fire() {
+        let src = GOOD.replace("VhError::Query(e) => e.code(),", "");
+        let got = run(&src, README);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("no stable error code arm"));
+
+        let src = GOOD.replace("VhError::Query(_) => 6,", "");
+        let got = run(&src, README);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("no CLI exit code arm"));
+
+        let got = run(GOOD, "| 2 | usage |\n| 3 | io |\n");
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("exit code 6 has no row"));
+    }
+}

@@ -1,0 +1,139 @@
+//! `no-panic`: lib-crate non-test code never panics on purpose.
+//!
+//! The workspace contract (DESIGN.md §7) is that every failure in
+//! library code is a typed error; panics are reserved for documented
+//! caller bugs, each carrying a `// vet: allow(no-panic) — <reason>`
+//! comment. This lint flags `panic!`, `todo!`, `unimplemented!`, `dbg!`,
+//! `.unwrap()` and `.expect(…)` in [`FileClass::Lib`] files outside
+//! `#[cfg(test)]` regions.
+//!
+//! One deliberate blind spot: `.expect(…)` on a `self` receiver is
+//! skipped, because the workspace's hand-rolled parsers define their own
+//! `fn expect(&mut self, …)` cursor methods (e.g. `vh-obs`'s JSON
+//! reader) that are ordinary fallible calls, not `Option::expect`.
+
+use crate::findings::{Finding, Lint};
+use crate::lints::Code;
+use crate::workspace::{FileClass, SourceFile};
+
+/// Macros that are always a panic in disguise.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "dbg"];
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.class != FileClass::Lib {
+        return;
+    }
+    let code = Code::of(file);
+    for i in 0..code.len() {
+        if code.suppressed(i) {
+            continue;
+        }
+        // `panic!(` / `todo!(` / `unimplemented!(` / `dbg!(`
+        if let Some(crate::scan::Tok::Ident(name)) = code.kind(i) {
+            if PANIC_MACROS.contains(&name.as_str()) && code.is_punct(i + 1, '!') {
+                file.report(
+                    out,
+                    Lint::NoPanic,
+                    code.line(i),
+                    format!("`{name}!` in lib-crate code (return a typed error instead)"),
+                );
+            }
+        }
+        // `.unwrap()` / `.expect(`
+        if code.is_punct(i, '.') && code.is_punct(i + 2, '(') {
+            let method = match code.kind(i + 1) {
+                Some(crate::scan::Tok::Ident(m)) if m == "unwrap" || m == "expect" => m.clone(),
+                _ => continue,
+            };
+            if method == "expect" && i > 0 && code.is_ident(i - 1, "self") {
+                continue; // a cursor method, not Option/Result::expect
+            }
+            file.report(
+                out,
+                Lint::NoPanic,
+                code.line(i + 1),
+                format!(
+                    "`.{method}()` in lib-crate code (propagate the error, or add \
+                     `// vet: allow(no-panic) — <reason>` for a documented caller bug)"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(rel, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn every_forbidden_form_fires() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    dbg!(x);
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    if a > b { panic!(\"boom\") }
+    todo!()
+}
+fn g() { unimplemented!() }
+";
+        let got = findings("crates/x/src/lib.rs", src);
+        let lines: Vec<u32> = got.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5, 6, 8]);
+        assert!(got.iter().all(|f| f.lint == Lint::NoPanic));
+    }
+
+    #[test]
+    fn scope_and_suppression_rules() {
+        let panicky = "fn f() { panic!() }";
+        assert!(
+            findings("crates/bench/src/lib.rs", panicky).is_empty(),
+            "bench exempt"
+        );
+        assert!(
+            findings("vendor/rand/src/lib.rs", panicky).is_empty(),
+            "vendor exempt"
+        );
+        assert!(
+            findings("tests/oracle.rs", panicky).is_empty(),
+            "tests exempt"
+        );
+        assert!(
+            findings("src/bin/vpbn.rs", panicky).is_empty(),
+            "bins exempt"
+        );
+        assert_eq!(
+            findings("src/lib.rs", panicky).len(),
+            1,
+            "facade lib in scope"
+        );
+
+        let in_tests = "#[cfg(test)]\nmod tests { fn f() { x.unwrap() } }";
+        assert!(findings("crates/x/src/lib.rs", in_tests).is_empty());
+
+        let allowed = "// vet: allow(no-panic) — documented caller bug\nx.unwrap();";
+        assert!(findings("crates/x/src/lib.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn lookalikes_do_not_fire() {
+        let src = "\
+fn f() {
+    let s = \"panic! unwrap()\"; // panic! in a comment
+    x.unwrap_or(0);
+    x.unwrap_or_default();
+    self.expect(b'{');
+    should_panic();
+}
+";
+        assert!(findings("crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! `safety-comment`: every `unsafe` block or item justifies itself.
+//!
+//! Each occurrence of the `unsafe` keyword — blocks, functions, trait
+//! impls — must have a comment containing `SAFETY:` on the same line or
+//! within the four lines above it (enough room for an attribute between
+//! the comment and the keyword). The lint runs on *every* walked file,
+//! test code included: an unjustified `unsafe` in a test is as much of a
+//! review hazard as one in the library.
+
+use crate::findings::{Finding, Lint};
+use crate::scan::Tok;
+use crate::workspace::SourceFile;
+
+/// How many lines above the `unsafe` keyword a `SAFETY:` comment may
+/// start while still covering it.
+const SAFETY_WINDOW: u32 = 4;
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let safety_lines: Vec<u32> = file
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Comment { text, .. } if text.contains("SAFETY:") => Some(t.line),
+            _ => None,
+        })
+        .collect();
+    let mut reported = 0u32; // dedupe: one finding per line
+    for t in &file.tokens {
+        let is_unsafe = matches!(&t.kind, Tok::Ident(s) if s == "unsafe");
+        if !is_unsafe || t.line == reported {
+            continue;
+        }
+        let covered = safety_lines
+            .iter()
+            .any(|&c| c <= t.line && c + SAFETY_WINDOW >= t.line);
+        if !covered {
+            file.report(
+                out,
+                Lint::SafetyComment,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment on the line or just above".to_string(),
+            );
+            reported = t.line;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncommented_unsafe_fires_everywhere() {
+        let src = "\
+fn f() {
+    unsafe { danger() }
+}
+unsafe fn g() {}
+#[cfg(test)]
+mod tests {
+    fn t() { unsafe { danger() } }
+}
+";
+        let got = findings(src);
+        let lines: Vec<u32> = got.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 4, 7], "test code is not exempt");
+    }
+
+    #[test]
+    fn safety_comments_and_allows_cover() {
+        let src = "\
+fn f() {
+    // SAFETY: the buffer is valid UTF-8 split at char boundaries.
+    unsafe { ok() }
+    // SAFETY: justified, with an attribute in between.
+    #[allow(dead_code)]
+    unsafe fn g() {}
+    let x = unsafe { ok() }; // SAFETY: same-line form
+    // vet: allow(safety-comment) — justified elsewhere
+    unsafe { ok() }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn the_word_unsafe_in_prose_is_ignored() {
+        let src = "/// escaping characters that are unsafe in XML\nfn f() { let s = \"unsafe\"; }";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! `vh-vet` — the workspace invariant checker CLI.
+//!
+//! ```text
+//! vh-vet [--root <dir>] [--json <file>] [--quiet] [--list]
+//! ```
+//!
+//! Walks the workspace (default: the current directory), runs every lint
+//! and prints one `file:line: [lint] message` line per finding. With
+//! `--json <file>` the findings are additionally written as the JSON
+//! document the CI job uploads as an artifact. Exit codes follow the
+//! suite's classes: 0 clean, 1 findings, 2 usage, 3 I/O.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vh_vet::{to_json, vet_workspace, ALL_LINTS};
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    quiet: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        quiet: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--json needs a file path".to_string())?,
+                ));
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "vh-vet: workspace invariant checker\n\n\
+                     usage: vh-vet [--root <dir>] [--json <file>] [--quiet] [--list]\n\n\
+                     Lints (suppress one occurrence with \
+                     `// vet: allow(<lint>) — <reason>`):"
+                );
+                for l in ALL_LINTS {
+                    println!("  {:<20} {}", l.id(), l.describe());
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("vh-vet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for l in ALL_LINTS {
+            println!("{:<20} {}", l.id(), l.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let findings = match vet_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("vh-vet: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if let Some(path) = &args.json {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(path, to_json(&findings)) {
+            eprintln!("vh-vet: cannot write {}: {e}", path.display());
+            return ExitCode::from(3);
+        }
+    }
+    if !args.quiet {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+    }
+    if findings.is_empty() {
+        if !args.quiet {
+            println!("vh-vet: workspace clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("vh-vet: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,160 @@
+//! Drives the `vh-vet` binary over the fixture corpus and asserts one
+//! finding per seeded violation, with the exit codes and JSON document
+//! the CI contract promises.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// The fixture mini-workspace next to this test.
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run_vet(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vh-vet"))
+        .args(args)
+        .output()
+        .expect("vh-vet binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Every seeded violation, as `(file, line, lint)`. The corpus README
+/// documents what each one is; this list is the contract the test pins.
+const SEEDED: &[(&str, u32, &str)] = &[
+    ("crates/demo/src/lib.rs", 12, "safety-comment"),
+    ("crates/query/src/engine.rs", 12, "span-vocab"),
+    ("crates/query/src/engine.rs", 19, "deprecated-wrapper"),
+    ("crates/query/src/engine.rs", 25, "deprecated-wrapper"),
+    ("crates/query/src/engine.rs", 32, "deprecated-wrapper"),
+    ("crates/query/src/metrics.rs", 11, "prom-name"),
+    ("crates/query/src/metrics.rs", 12, "prom-name"),
+    ("crates/query/src/metrics.rs", 13, "prom-name"),
+    ("src/error.rs", 19, "error-exit"),
+    ("src/error.rs", 39, "error-exit"),
+    ("src/lib.rs", 11, "no-panic"),
+    ("src/lib.rs", 12, "no-panic"),
+    ("src/lib.rs", 13, "no-panic"),
+    ("src/lib.rs", 15, "no-panic"),
+    ("src/lib.rs", 17, "no-panic"),
+    ("src/lib.rs", 22, "no-panic"),
+    ("src/lib.rs", 34, "vet-allow"),
+    ("src/lib.rs", 35, "no-panic"),
+    ("src/lib.rs", 41, "vet-allow"),
+    ("src/lib.rs", 42, "no-panic"),
+];
+
+#[test]
+fn every_lint_fires_exactly_where_seeded() {
+    let root = fixtures_root();
+    let out = run_vet(&["--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "findings mean exit 1");
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with("vh-vet:")).collect();
+    assert_eq!(
+        lines.len(),
+        SEEDED.len(),
+        "one finding per seeded violation:\n{text}"
+    );
+    for (i, (file, line, lint)) in SEEDED.iter().enumerate() {
+        let prefix = format!("{file}:{line}: [{lint}]");
+        assert!(
+            lines[i].starts_with(&prefix),
+            "finding {i}: expected `{prefix}…`, got `{}`",
+            lines[i]
+        );
+    }
+}
+
+#[test]
+fn json_report_matches_the_text_findings() {
+    let root = fixtures_root();
+    let json_path = std::env::temp_dir().join(format!("vh-vet-corpus-{}.json", std::process::id()));
+    let out = run_vet(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(stdout(&out), "", "--quiet silences the text report");
+    let json = std::fs::read_to_string(&json_path).expect("JSON artifact written");
+    let _ = std::fs::remove_file(&json_path);
+
+    assert!(json.starts_with(&format!(
+        "{{\"tool\":\"vh-vet\",\"count\":{},",
+        SEEDED.len()
+    )));
+    // One JSON finding object per seeded violation, in report order.
+    for (file, line, lint) in SEEDED {
+        let entry = format!("{{\"file\":\"{file}\",\"line\":{line},\"lint\":\"{lint}\",");
+        assert!(json.contains(&entry), "JSON misses {file}:{line} [{lint}]");
+    }
+    for lint in [
+        "no-panic",
+        "safety-comment",
+        "span-vocab",
+        "error-exit",
+        "prom-name",
+        "deprecated-wrapper",
+        "vet-allow",
+    ] {
+        let expected = SEEDED.iter().filter(|(_, _, l)| l == &lint).count();
+        let got = json.matches(&format!("\"lint\":\"{lint}\"")).count();
+        assert_eq!(got, expected, "JSON count for {lint}");
+    }
+}
+
+#[test]
+fn allow_comments_suppress_and_test_code_is_exempt() {
+    // The fixture seeds a *valid* allow (`documented`) and a
+    // `#[cfg(test)]` unwrap; neither may appear in the findings.
+    let root = fixtures_root();
+    let out = run_vet(&["--root", root.to_str().unwrap()]);
+    let text = stdout(&out);
+    assert!(
+        !text.contains("src/lib.rs:28"),
+        "the documented allow at line 27 must gate line 28:\n{text}"
+    );
+    assert!(
+        !text.contains("src/lib.rs:49"),
+        "the cfg(test) unwrap at line 49 must stay silent:\n{text}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = run_vet(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown argument"), "{err}");
+}
+
+#[test]
+fn unreadable_roots_exit_three() {
+    let out = run_vet(&["--root", "/nonexistent/vh-vet-no-such-dir"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn list_names_every_lint() {
+    let out = run_vet(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for lint in [
+        "no-panic",
+        "safety-comment",
+        "span-vocab",
+        "error-exit",
+        "prom-name",
+        "deprecated-wrapper",
+        "vet-allow",
+    ] {
+        assert!(text.contains(lint), "--list misses {lint}");
+    }
+}

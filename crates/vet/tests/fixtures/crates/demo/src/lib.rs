@@ -1,0 +1,13 @@
+//! Fixture crate seeding `safety-comment`: one justified and one naked
+//! `unsafe` block.
+
+/// Justified: covered by the `SAFETY:` comment, zero findings.
+pub fn justified(bytes: &[u8]) -> &str {
+    // SAFETY: fixture — callers pass ASCII only, so the bytes are UTF-8.
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+/// Naked: one `safety-comment` finding.
+pub fn naked(bytes: &[u8]) -> &str {
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}

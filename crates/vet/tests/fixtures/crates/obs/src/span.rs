@@ -1,0 +1,4 @@
+//! Fixture span vocabulary (subset of the real one).
+
+/// The stable span vocabulary the fixture engine must stick to.
+pub const STABLE_SPAN_NAMES: &[&str] = &["query", "parse", "exec"];

@@ -1,0 +1,14 @@
+//! Fixture exposition seeding `prom-name`.
+//!
+//! Seeded findings: a namespace-less counter, an uppercase gauge name,
+//! and a sample whose family is never opened. The first family/sample
+//! pair is disciplined and must stay silent.
+
+/// Exports fixture metrics.
+pub fn export(w: &mut PromWriter) {
+    w.counter("vpbn_queries_total", "Queries attempted.");
+    w.sample("vpbn_queries_total", &[], 1);
+    w.counter("queries_total", "Missing namespace.");
+    w.gauge("vpbn_BadName", "Uppercase metric name.");
+    w.sample("vpbn_orphan_total", &[], 2);
+}

@@ -1,0 +1,51 @@
+//! Fixture library seeding every `no-panic` form plus the allow-comment
+//! edge cases (`vet-allow`).
+//!
+//! Seeded findings: six `no-panic` forms in `panics`/`unfinished`, one
+//! suppressed occurrence in `documented`, a reason-less allow and an
+//! unknown-lint allow (each a `vet-allow` finding whose occurrence still
+//! fires), and a `#[cfg(test)]` region that must stay silent.
+
+/// Fires all six forbidden forms.
+pub fn panics(x: Option<u32>) -> u32 {
+    dbg!(x);
+    let a = x.unwrap();
+    let b = x.expect("fixture");
+    if a > b {
+        panic!("boom");
+    }
+    todo!()
+}
+
+/// Fires `unimplemented!`.
+pub fn unfinished() {
+    unimplemented!()
+}
+
+/// A properly documented caller bug: suppressed, zero findings.
+pub fn documented(x: Option<u32>) -> u32 {
+    // vet: allow(no-panic) — fixture: documented caller bug
+    x.unwrap()
+}
+
+/// A reason-less allow suppresses nothing: one `vet-allow` finding plus
+/// the `no-panic` finding it failed to gate.
+pub fn reasonless(x: Option<u32>) -> u32 {
+    // vet: allow(no-panic)
+    x.unwrap()
+}
+
+/// An unknown lint id: one `vet-allow` finding plus the ungated
+/// `no-panic` finding.
+pub fn unknown_lint(x: Option<u32>) -> u32 {
+    // vet: allow(no-such-lint) — reason given but the lint is made up
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! The live gate: vets the real workspace on every `cargo test`.
+//!
+//! A stray `unwrap()` in a lib crate, an uncommented `unsafe`, an
+//! off-vocabulary span name or a desynchronised `VhError` table fails
+//! this test immediately — CI wiring is a second line of defence, not
+//! the first.
+
+#![allow(clippy::expect_used)]
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_vet_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/vet sits two levels below the workspace root");
+    let findings = vh_vet::vet_workspace(root).expect("workspace walks cleanly");
+    assert!(
+        findings.is_empty(),
+        "vh-vet findings in the live workspace:\n{}",
+        findings
+            .iter()
+            .map(vh_vet::Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -239,6 +239,7 @@ impl Document {
             }
             // Documented panic: `set_attribute` is only meaningful on
             // elements; calling it on text/comment nodes is a caller bug.
+            // vet: allow(no-panic) — documented panic: caller bug, not recoverable state
             other => panic!("set_attribute on non-element node: {other:?}"),
         }
     }
@@ -278,6 +279,7 @@ impl Document {
         #[allow(clippy::expect_used)]
         let parent = self.nodes[id.index()]
             .parent
+            // vet: allow(no-panic) — documented panic: detaching the root is a caller bug
             .expect("cannot detach the root or an already-detached node");
         let children = &mut self.nodes[parent.index()].children;
         // Invariant: the parent/child links are symmetric (see

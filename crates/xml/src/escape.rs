@@ -1,31 +1,69 @@
 //! Escaping and unescaping of XML character data and attribute values.
+//!
+//! The `*_into` functions are on the serialisation hot path (every text
+//! node and attribute value of every emitted document flows through
+//! them), so they scan bytes rather than chars: runs of ordinary bytes
+//! are copied in bulk and only the escapable ASCII characters break the
+//! run. The two `unsafe` blocks below are the crate's only ones; each
+//! appends a slice of a `&str` that starts and ends at positions where an
+//! ASCII byte was found, which are always UTF-8 boundaries.
 
 /// Appends `text` to `out`, escaping the characters that are unsafe in
 /// element content (`&`, `<`, `>`).
 pub fn escape_text_into(out: &mut String, text: &str) {
-    for c in text.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(c),
+    let bytes = text.as_bytes();
+    let mut run = 0;
+    let mut flush = |out: &mut String, hi: usize, next: usize| {
+        if run < hi {
+            // SAFETY: `bytes` views the valid `&str` `text`; `run` and `hi`
+            // sit at the string's ends or adjacent to a matched one-byte
+            // ASCII character (`&<>`), so both are UTF-8 boundaries and the
+            // appended slice is valid UTF-8, preserving the `String` invariant.
+            unsafe { out.as_mut_vec().extend_from_slice(&bytes[run..hi]) };
         }
+        run = next;
+    };
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep = match b {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            _ => continue,
+        };
+        flush(out, i, i + 1);
+        out.push_str(rep);
     }
+    flush(out, bytes.len(), bytes.len());
 }
 
 /// Appends `value` to `out`, escaping the characters that are unsafe in a
 /// double-quoted attribute value.
 pub fn escape_attr_into(out: &mut String, value: &str) {
-    for c in value.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&apos;"),
-            _ => out.push(c),
+    let bytes = value.as_bytes();
+    let mut run = 0;
+    let mut flush = |out: &mut String, hi: usize, next: usize| {
+        if run < hi {
+            // SAFETY: `bytes` views the valid `&str` `value`; `run` and `hi`
+            // sit at the string's ends or adjacent to a matched one-byte
+            // ASCII character (`&<>"'`), so both are UTF-8 boundaries and the
+            // appended slice is valid UTF-8, preserving the `String` invariant.
+            unsafe { out.as_mut_vec().extend_from_slice(&bytes[run..hi]) };
         }
+        run = next;
+    };
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep = match b {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            b'"' => "&quot;",
+            b'\'' => "&apos;",
+            _ => continue,
+        };
+        flush(out, i, i + 1);
+        out.push_str(rep);
     }
+    flush(out, bytes.len(), bytes.len());
 }
 
 /// Escapes element content, returning a new string.
@@ -75,6 +113,44 @@ mod tests {
         let mut out = String::new();
         escape_attr_into(&mut out, r#"say "hi" & 'bye'"#);
         assert_eq!(out, "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn multibyte_runs_survive_bulk_copies() {
+        assert_eq!(escape_text("π<δ"), "π&lt;δ");
+        assert_eq!(escape_text("héllo & wörld"), "héllo &amp; wörld");
+        assert_eq!(escape_text("\u{1F600}>\u{1F600}"), "\u{1F600}&gt;\u{1F600}");
+        let mut out = String::new();
+        escape_attr_into(&mut out, "\"π'");
+        assert_eq!(out, "&quot;π&apos;");
+    }
+
+    #[test]
+    fn edge_runs_flush_correctly() {
+        assert_eq!(escape_text(""), "");
+        assert_eq!(escape_text("&"), "&amp;");
+        assert_eq!(escape_text("&&"), "&amp;&amp;");
+        assert_eq!(escape_text("a&"), "a&amp;");
+        assert_eq!(escape_text("&a"), "&amp;a");
+    }
+
+    #[test]
+    fn byte_scan_matches_the_char_reference() {
+        fn reference(text: &str) -> String {
+            let mut out = String::new();
+            for c in text.chars() {
+                match c {
+                    '&' => out.push_str("&amp;"),
+                    '<' => out.push_str("&lt;"),
+                    '>' => out.push_str("&gt;"),
+                    _ => out.push(c),
+                }
+            }
+            out
+        }
+        for s in ["", "x", "a<b&c>d", "π<δ>&", "no escapes at all", "<<<>>>"] {
+            assert_eq!(escape_text(s), reference(s), "input {s:?}");
+        }
     }
 
     #[test]

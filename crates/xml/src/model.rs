@@ -32,6 +32,7 @@ impl NodeId {
         // Documented capacity limit: node ids are u32 by design (the paper's
         // level arrays assume 32-bit ordinals); >4 Gi nodes is unsupported.
         #[allow(clippy::expect_used)]
+        // vet: allow(no-panic) — documented capacity limit: >4 Gi nodes is out of scope
         NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
     }
 }

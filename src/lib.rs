@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # vpbn-suite — querying virtual hierarchies with virtual prefix-based numbers

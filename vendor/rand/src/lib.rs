@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `rand` crate.
 //!
 //! The build environment has no registry access, so this vendored crate

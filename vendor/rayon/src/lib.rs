@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no registry access, so this vendored crate
