@@ -10,8 +10,11 @@
 #   --bench         run the quick bench profile and compare against
 #                   crates/bench/baselines/
 #   --miri          run the Miri leg (vh-core exec/cache + the interleaving
-#                   stress test + vh-pbn arena) — needs the nightly `miri`
-#                   component; skipped with a notice when it is missing
+#                   stress test + vh-pbn arena + the vh-storage WAL frame
+#                   codec) — needs the nightly `miri` component; skipped
+#                   with a notice when it is missing
+#   --recovery      run the fault-injected recovery matrix (crash-point
+#                   truncations + bit flips) over the widened CI seed set
 #   --tsan          run the ThreadSanitizer leg over the partition/merge and
 #                   cache tests — needs nightly + `rust-src` (std must be
 #                   rebuilt instrumented); skipped with a notice otherwise
@@ -29,6 +32,7 @@ RUN_MIRI=0
 RUN_TSAN=0
 RUN_VET=0
 RUN_REBASE=0
+RUN_RECOVERY=0
 
 for arg in "$@"; do
   case "$arg" in
@@ -36,6 +40,7 @@ for arg in "$@"; do
     --miri)         RUN_MIRI=1 ;;
     --tsan)         RUN_TSAN=1 ;;
     --vet)          RUN_VET=1 ;;
+    --recovery)     RUN_RECOVERY=1 ;;
     --no-gate)      RUN_GATE=0 ;;
     --bench-rebase) RUN_REBASE=1 ;;
     -h|--help)      grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
@@ -44,16 +49,18 @@ for arg in "$@"; do
 done
 
 # Quick profile, sequential, JSON into a scratch dir — exactly what the
-# GitHub bench-gate job runs. Gated rows are the axis/twig hot paths plus
-# the observability layer's end-to-end query cost (exp_obs also enforces
-# its own ≤2% disabled-mode overhead budget and exits nonzero past it).
+# GitHub bench-gate job runs. Gated rows are the axis/twig hot paths, the
+# observability layer's end-to-end query cost (exp_obs also enforces its
+# own ≤2% disabled-mode overhead budget and exits nonzero past it) and the
+# edit subsystem's throughput (exp_update likewise enforces its ≤1.25x
+# post-edit slowdown and ≤2x arena-growth acceptance bounds itself).
 BENCH_FLAGS=(--quick --threads 1)
 BASELINE_DIR=crates/bench/baselines
 
 run_bench() {
   local out="$1"
   cargo build --release -p vh-bench --bins
-  for exp in exp_axes exp_twig exp_sjoin exp_space exp_obs; do
+  for exp in exp_axes exp_twig exp_sjoin exp_space exp_obs exp_update; do
     "./target/release/$exp" "${BENCH_FLAGS[@]}" --json "$out" >/dev/null
   done
 }
@@ -72,7 +79,7 @@ nightly_has() {
 }
 
 run_miri() {
-  echo "==> miri leg (vh-core exec/cache, interleaving stress, vh-pbn arena)"
+  echo "==> miri leg (vh-core exec/cache, interleaving stress, vh-pbn arena, WAL codec)"
   if ! nightly_has miri; then
     echo "    SKIPPED: nightly 'miri' component not installed" >&2
     echo "    (rustup component add --toolchain nightly miri)" >&2
@@ -81,6 +88,16 @@ run_miri() {
   cargo +nightly miri test -q -p vh-core --lib -- exec:: cache::
   cargo +nightly miri test -q -p vh-core --test stress_interleave
   cargo +nightly miri test -q -p vh-pbn --lib -- arena::
+  cargo +nightly miri test -q -p vh-storage --lib -- wal::
+}
+
+# The same matrix `cargo test` runs on its three default seeds, widened to
+# the CI seed set. Failures drop RecoveryReport JSON into
+# target/recovery-reports/ — the GitHub job uploads that as an artifact.
+run_recovery() {
+  echo "==> recovery matrix (crash-point truncations + bit flips, CI seeds)"
+  VPBN_RECOVERY_SEEDS="11,42,2026,7,1914" \
+    cargo test --release --test recovery -q
 }
 
 run_tsan() {
@@ -139,6 +156,10 @@ fi
 
 if [ "$RUN_TSAN" = 1 ]; then
   run_tsan
+fi
+
+if [ "$RUN_RECOVERY" = 1 ]; then
+  run_recovery
 fi
 
 if [ "$RUN_BENCH" = 1 ]; then

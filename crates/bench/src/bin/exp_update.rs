@@ -1,33 +1,205 @@
-//! **F9 (extension) — the §3 contrast: update renumbering vs virtual
-//! renumbering.** §3: "Update renumbering physically changes the PBN number
-//! for every node in an edit. In contrast, vPBN does not change any
-//! physical node numbers … Adapting update renumbering to support virtual
-//! hierarchies would be very expensive since all of the nodes in a data
-//! collection would have to be individually, physically renumbered at
-//! query time."
+//! **F9 + UPD — the cost of mutation.**
 //!
-//! Measured: numbers invalidated by a single insertion at the front /
-//! middle / back of the corpus, the wall time of the renumbering pass, and
-//! — for the virtual-hierarchy column — the count of physical numbers vPBN
-//! rewrites for an arbitrarily large transformation: zero, by construction
-//! (the level-array map is per-type and schema-sized).
+//! The first half keeps the paper contrast. §3: "Update renumbering
+//! physically changes the PBN number for every node in an edit. In
+//! contrast, vPBN does not change any physical node numbers …" — one
+//! insertion at the front / middle / back of the corpus, the numbers it
+//! invalidates, and the zero numbers a whole-hierarchy virtual
+//! transformation rewrites.
+//!
+//! The second half prices the edit subsystem that builds on that
+//! property, over one skewed random script (60% inserts, mostly at
+//! position 0 — the gap-minting worst case):
+//!
+//! * **throughput** — ns/edit through `Engine::apply` (eager per-edit
+//!   compaction) and `Engine::apply_all` at compaction thresholds 1024
+//!   and 1. The gap between the two thresholds is the compaction cost.
+//! * **post-edit query slowdown** — the same query suite on the edited
+//!   engine vs an engine rebuilt from scratch on the final document.
+//!   The binary enforces the ≤[`SLOWDOWN_BUDGET`]x acceptance bound
+//!   itself (compaction allowed — the edited engine is drained), with
+//!   up to [`ATTEMPTS`] rounds keeping the minimum ratio so a noisy
+//!   runner retries while a real regression keeps failing.
+//! * **space** — the edited key arena vs the rebuilt one, enforced
+//!   against the paper's ≤[`SPACE_BUDGET`]x key-growth bound, plus the
+//!   write-ahead log's bytes/edit (the WAL is linear in edits by
+//!   design; it is reported, not bounded by the arena ratio).
+//!
+//! Medians land in `BENCH_update.json`; the `update/apply/…` rows are
+//! gated against the committed baseline like every other hot path.
 
+use vh_bench::json::{BenchReport, BenchRow, CALIBRATION_ROW};
+use vh_bench::opts::{BenchOpts, Profile};
 use vh_bench::report::Table;
-use vh_bench::timing::{ms, time};
+use vh_bench::timing::{calibration_ns, median_ns_per_call, ms, time};
 use vh_core::VirtualDocument;
 use vh_dataguide::TypedDocument;
 use vh_pbn::update::{incremental_renumber, minimal_renumber_cost};
 use vh_pbn::PbnAssignment;
+use vh_query::api::{Edit, Engine, QueryRequest};
 use vh_workload::{generate_books, BooksConfig};
+use vh_xml::{serialize, Document, NodeId, SerializeOptions};
+
+/// Timing repetitions per query measurement; the median is reported.
+const REPS: usize = 9;
+
+/// Minimum wall time of one timed query repetition.
+const MIN_REP: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// Acceptance bound: gated queries on the edited engine may cost at
+/// most this multiple of the same queries on a fresh rebuild.
+const SLOWDOWN_BUDGET: f64 = 1.25;
+
+/// Acceptance bound: the edited key arena may occupy at most this
+/// multiple of the rebuilt arena (the paper's key-growth bound).
+const SPACE_BUDGET: f64 = 2.0;
+
+/// Measurement rounds before a ratio above budget becomes a failure.
+const ATTEMPTS: usize = 3;
+
+const URI: &str = "books.xml";
+
+/// The query suite priced before/after the edit script.
+const PATHS: &[&str] = &["//book", "//name", "//book/title"];
+
+/// Splitmix-style generator so scripts are reproducible across runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Dotted 1-based child-index path of `n` — the `Edit` addressing scheme.
+fn dotted_path(doc: &Document, n: NodeId) -> String {
+    let mut steps = Vec::new();
+    let mut cur = n;
+    while let Some(p) = doc.parent(cur) {
+        let idx = doc.children(p).iter().position(|&c| c == cur).unwrap() + 1;
+        steps.push(idx);
+        cur = p;
+    }
+    steps.push(1);
+    steps.reverse();
+    steps
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// One skewed edit against the current document: 60% inserts (mostly at
+/// position 0, the front-gap minting worst case), 20% value rewrites,
+/// 10% deletes, 10% moves. `None` when the roll found no legal target.
+fn skewed_edit(doc: &Document, rng: &mut Lcg) -> Option<Edit> {
+    let elements: Vec<NodeId> = doc
+        .preorder()
+        .filter(|&n| doc.kind(n).is_element())
+        .collect();
+    let (op, a, b) = (rng.next(), rng.next() as usize, rng.next() as usize);
+    let pick = |pool: &[NodeId], salt: usize| pool.get(salt % pool.len().max(1)).copied();
+    let uri = URI.to_string();
+    match op % 10 {
+        0..=5 => {
+            let parent = pick(&elements, a)?;
+            let pos = if b % 4 != 0 {
+                0
+            } else {
+                b % (doc.children(parent).len() + 1)
+            };
+            Some(Edit::InsertSubtree {
+                uri,
+                parent: dotted_path(doc, parent),
+                pos,
+                xml: format!("<note>n{b}</note>"),
+            })
+        }
+        6 | 7 => {
+            let target = pick(&elements, a.wrapping_add(b))?;
+            Some(Edit::SetValue {
+                uri,
+                target: dotted_path(doc, target),
+                value: format!("v{b}"),
+            })
+        }
+        8 => {
+            let target = pick(&elements[1.min(elements.len())..], a)?;
+            Some(Edit::DeleteSubtree {
+                uri,
+                target: dotted_path(doc, target),
+            })
+        }
+        _ => {
+            let target = pick(&elements[1.min(elements.len())..], a)?;
+            let dest = elements
+                .iter()
+                .copied()
+                .cycle()
+                .skip(b % elements.len().max(1))
+                .take(elements.len())
+                .find(|&p| p != target && !doc.is_ancestor(target, p))?;
+            Some(Edit::MoveSubtree {
+                uri,
+                target: dotted_path(doc, target),
+                parent: dotted_path(doc, dest),
+                pos: 0,
+            })
+        }
+    }
+}
+
+/// Generates a script of `n` edits that all apply cleanly in sequence
+/// from the base document (each edit is concretized against the state
+/// its predecessors produced).
+fn build_script(base_xml: &str, n: usize, seed: u64) -> Vec<Edit> {
+    let mut engine = Engine::new();
+    engine.register_xml(URI, base_xml).expect("base registers");
+    let mut rng = Lcg(seed);
+    let mut script = Vec::with_capacity(n);
+    while script.len() < n {
+        let Some(edit) = skewed_edit(engine.document(URI).unwrap().doc(), &mut rng) else {
+            continue;
+        };
+        if engine.apply(edit.clone()).is_ok() {
+            script.push(edit);
+        }
+    }
+    script
+}
+
+/// Key-arena footprint: encoded key bytes plus the `u32` offset column.
+fn arena_bytes(td: &TypedDocument) -> usize {
+    let arena = td.pbn().arena();
+    arena.total_key_bytes() + arena.offsets().len() * 4
+}
+
+/// Median ns/query over the whole path suite on one engine.
+fn suite_ns(engine: &Engine) -> f64 {
+    let (_, ns) = median_ns_per_call(REPS, MIN_REP, || {
+        let mut total = 0usize;
+        for p in PATHS {
+            let res = engine.run(&QueryRequest::path(URI, *p)).unwrap();
+            total += res.nodes.map_or(0, |n| n.len());
+        }
+        total
+    });
+    ns
+}
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let sizes: &[usize] = if full {
-        &[1_000, 10_000, 100_000]
-    } else {
-        &[1_000, 10_000]
-    };
+    let opts = BenchOpts::from_env();
 
+    // ------------------------------------------------- F9: the contrast ---
+    let sizes: &[usize] = match opts.profile {
+        Profile::Quick => &[1_000],
+        Profile::Default => &[1_000, 10_000],
+        Profile::Full => &[1_000, 10_000, 100_000],
+    };
     let mut t = Table::new(
         "F9: numbers invalidated by one edit vs by a virtual transformation",
         &[
@@ -42,7 +214,7 @@ fn main() {
     );
     for &n in sizes {
         for at in ["front", "middle", "back"] {
-            let mut doc = generate_books("books.xml", &BooksConfig::sized(n));
+            let mut doc = generate_books(URI, &BooksConfig::sized(n));
             let root = doc.root().unwrap();
             let before = PbnAssignment::assign(&doc);
             let pos = match at {
@@ -73,10 +245,196 @@ fn main() {
         }
     }
     t.print();
+
+    // ------------------------------------------- UPD: the edit subsystem ---
+    let books = opts.books(60, 250, 600);
+    let edits = match opts.profile {
+        Profile::Quick => 1_500,
+        Profile::Default | Profile::Full => 10_000,
+    };
+    let base_xml = serialize(
+        &generate_books(URI, &BooksConfig::sized(books)),
+        SerializeOptions::compact(),
+    );
+    let script = build_script(&base_xml, edits, 0x5eed);
+
+    let mut report = BenchReport::new("update");
+    report.config("books", books);
+    report.config("edits", edits);
+    report.config("profile", opts.profile.name());
+    report.config("threads", opts.threads);
+
+    let fresh = || {
+        let mut e = Engine::new();
+        e.set_exec_options(opts.exec());
+        e.register_xml(URI, &base_xml).expect("base registers");
+        e
+    };
+
+    // Throughput: eager singles, then batches at two thresholds. The
+    // threshold-1 batch compacts after every edit; its gap over the
+    // threshold-1024 batch is the pure compaction cost.
+    let mut singles = fresh();
+    let (applied, d_single) = time(|| {
+        script
+            .iter()
+            .filter(|e| singles.apply((*e).clone()).is_ok())
+            .count()
+    });
+    assert_eq!(applied, script.len(), "generated scripts re-apply cleanly");
+    let single_ns = d_single.as_nanos() as f64 / applied as f64;
+
+    let mut batch = fresh();
+    let (receipts, d_batch) = time(|| batch.apply_all(script.clone()).expect("batch applies"));
+    let batch_compacted: usize = receipts.iter().map(|r| r.compacted).sum();
+    let batch_ns = d_batch.as_nanos() as f64 / receipts.len() as f64;
+
+    let mut churn = fresh();
+    churn.set_compact_threshold(1);
+    let (_, d_churn) = time(|| churn.apply_all(script.clone()).expect("batch applies"));
+    let churn_ns = d_churn.as_nanos() as f64 / script.len() as f64;
+
+    let mut t = Table::new(
+        "UPD-a: ns/edit — apply (eager) vs apply_all (threshold 1024 / 1)",
+        &[
+            "edits",
+            "apply_ns",
+            "batch_ns",
+            "churn_ns",
+            "compaction_ns",
+            "mid_batch_compactions",
+        ],
+    );
+    t.row(&[
+        applied.to_string(),
+        format!("{single_ns:.0}"),
+        format!("{batch_ns:.0}"),
+        format!("{churn_ns:.0}"),
+        format!("{:.0}", churn_ns - batch_ns),
+        batch_compacted.to_string(),
+    ]);
+    t.print();
+
+    report.push(
+        BenchRow::new("update/apply/edit_ns", single_ns)
+            .with("edits", applied as f64)
+            .with("edits_per_s", 1e9 / single_ns),
+    );
+    report.push(
+        BenchRow::new("update/apply_all/edit_ns", batch_ns)
+            .with("edits_per_s", 1e9 / batch_ns)
+            .with("mid_batch_compactions", batch_compacted as f64),
+    );
+    report.push(
+        BenchRow::new("update/compact/edit_ns", churn_ns)
+            .with("compaction_ns_per_edit", churn_ns - batch_ns),
+    );
+
+    // Post-edit slowdown: the suite on the lived-in engine vs a rebuild.
+    let final_xml = serialize(
+        singles.document(URI).expect("registered").doc(),
+        SerializeOptions::compact(),
+    );
+    let mut rebuilt = fresh();
+    rebuilt
+        .register_xml(URI, &final_xml)
+        .expect("rebuild registers");
+    let mut t = Table::new(
+        "UPD-b: ns/query-suite — edited engine vs fresh rebuild",
+        &["attempt", "edited_ns", "rebuilt_ns", "slowdown_x"],
+    );
+    let mut best = f64::INFINITY;
+    let (mut best_edited, mut best_rebuilt) = (0.0, 0.0);
+    for attempt in 1..=ATTEMPTS {
+        let edited_ns = suite_ns(&singles);
+        let rebuilt_ns = suite_ns(&rebuilt);
+        let x = edited_ns / rebuilt_ns.max(1.0);
+        t.row(&[
+            attempt.to_string(),
+            format!("{edited_ns:.0}"),
+            format!("{rebuilt_ns:.0}"),
+            format!("{x:.3}"),
+        ]);
+        if x < best {
+            best = x;
+            best_edited = edited_ns;
+            best_rebuilt = rebuilt_ns;
+        }
+        if best <= SLOWDOWN_BUDGET {
+            break;
+        }
+    }
+    t.print();
+    report
+        .push(BenchRow::new("update/query/edited", best_edited).with("post_edit_slowdown_x", best));
+    report.push(BenchRow::new("update/query/rebuilt", best_rebuilt));
+
+    // Space: the minted arena vs the rebuilt one, and the log itself.
+    let edited_arena = arena_bytes(singles.document(URI).expect("registered"));
+    let rebuilt_arena = arena_bytes(rebuilt.document(URI).expect("registered"));
+    let arena_x = edited_arena as f64 / rebuilt_arena.max(1) as f64;
+    let wal_bytes = singles.wal_bytes().len();
+    let wal_per_edit = wal_bytes as f64 / applied as f64;
+    let mut t = Table::new(
+        "UPD-c: space — edited arena vs rebuilt, and the write-ahead log",
+        &[
+            "edited_arena_B",
+            "rebuilt_arena_B",
+            "arena_x",
+            "wal_B",
+            "wal_B_per_edit",
+        ],
+    );
+    t.row(&[
+        edited_arena.to_string(),
+        rebuilt_arena.to_string(),
+        format!("{arena_x:.3}"),
+        wal_bytes.to_string(),
+        format!("{wal_per_edit:.1}"),
+    ]);
+    t.print();
+    report.push(
+        BenchRow::new("update/space/arena_bytes", edited_arena as f64)
+            .with("arena_growth_x", arena_x)
+            .with("rebuilt_arena_bytes", rebuilt_arena as f64),
+    );
+    report.push(
+        BenchRow::new("update/space/wal_bytes", wal_bytes as f64)
+            .with("wal_bytes_per_edit", wal_per_edit),
+    );
+    report.push(BenchRow::new(CALIBRATION_ROW, calibration_ns()));
+
+    if let Some(dir) = &opts.json_dir {
+        match report.write_to(dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing report: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+
+    let mut failed = false;
+    if best > SLOWDOWN_BUDGET {
+        eprintln!(
+            "error: post-edit query slowdown {best:.3}x exceeds the {SLOWDOWN_BUDGET}x \
+             acceptance bound after {ATTEMPTS} attempts"
+        );
+        failed = true;
+    }
+    if arena_x > SPACE_BUDGET {
+        eprintln!(
+            "error: edited arena is {arena_x:.3}x the rebuilt arena, over the \
+             {SPACE_BUDGET}x key-growth bound"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
     println!(
-        "shape check: a single front insertion invalidates ~all numbers\n\
-         (growing with the corpus), while the virtual transformation — which\n\
-         relocates every node in the hierarchy — rewrites none and stores a\n\
-         schema-sized level map. This is §3's argument, quantified."
+        "acceptance: after {applied} skewed edits queries run at {best:.3}x a fresh rebuild \
+         (bound {SLOWDOWN_BUDGET}x) and the arena sits at {arena_x:.3}x (bound {SPACE_BUDGET}x); \
+         the log costs {wal_per_edit:.1} B/edit"
     );
 }

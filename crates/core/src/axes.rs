@@ -27,9 +27,11 @@ fn compatible(x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
 }
 
 /// vSelf(x, y) — x is the virtual self of y: same number, same array, same
-/// virtual type.
+/// virtual type. The level arrays are compared first: they are flat `u32`
+/// slices (one `memcmp`), so almost every non-self pair is rejected before
+/// the component-wise number comparison runs.
 pub fn v_self(v: &VDataGuide, x: &VPbnRef<'_>, y: &VPbnRef<'_>) -> bool {
-    x.n == y.n && x.a == y.a && ty::self_type(v.guide(), x.vtype, y.vtype)
+    x.a == y.a && x.n == y.n && ty::self_type(v.guide(), x.vtype, y.vtype)
 }
 
 /// vAncestor(x, y) — x is a virtual ancestor of y.

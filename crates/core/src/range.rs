@@ -84,8 +84,8 @@ pub fn related_scan_range(x: &VPbnRef<'_>, ta: &[u32]) -> ScanRange {
             exact,
         };
     }
-    let lo = Pbn::new(x.n[..m].to_vec());
-    let hi = lo.sibling_successor();
+    let lo = Pbn::from_comps(x.n[..m].to_vec());
+    let hi = lo.subtree_bound();
     ScanRange {
         lo,
         hi: Some(hi),
@@ -161,8 +161,8 @@ impl PrefixTables {
                 exact: e.exact,
             };
         }
-        let lo = Pbn::new(x.n[..m].to_vec());
-        let hi = lo.sibling_successor();
+        let lo = Pbn::from_comps(x.n[..m].to_vec());
+        let hi = lo.subtree_bound();
         ScanRange {
             lo,
             hi: Some(hi),
@@ -224,7 +224,7 @@ mod tests {
         // Constrained prefix: positions 1-2 (levels 1,1 match) → scan the
         // book-1 subtree [1.1, 1.2).
         assert_eq!(r.lo, pbn![1, 1]);
-        assert_eq!(r.hi, Some(pbn![1, 2]));
+        assert_eq!(r.hi, Some(pbn![1, 1].subtree_bound()));
         assert!(r.exact, "no constrained positions beyond the prefix");
         assert!(r.contains(&pbn![1, 1, 2, 1]));
         assert!(!r.contains(&pbn![1, 2, 2, 1]));
@@ -242,7 +242,7 @@ mod tests {
         let r = related_scan_range(&x.as_ref(), m.levels_of(name));
         // Exactly the physical subtree range of 1.2.
         assert_eq!(r.lo, pbn![1, 2]);
-        assert_eq!(r.hi, Some(pbn![1, 3]));
+        assert_eq!(r.hi, Some(pbn![1, 2].subtree_bound()));
         assert!(r.exact);
     }
 
@@ -258,7 +258,7 @@ mod tests {
         // Arrays agree on the full author number [1,1,2] vs [1,1,2]:
         // prefix = 1.1.2 → candidates are name nodes inside [1.1.2, 1.1.3).
         assert_eq!(r.lo, pbn![1, 1, 2]);
-        assert_eq!(r.hi, Some(pbn![1, 1, 3]));
+        assert_eq!(r.hi, Some(pbn![1, 1, 2].subtree_bound()));
         assert!(r.exact);
         assert!(r.contains(&pbn![1, 1, 2, 1]));
     }
@@ -293,7 +293,7 @@ mod tests {
         );
         let r = related_scan_range(&x.as_ref(), &[1, 1, 2]);
         assert_eq!(r.lo, pbn![1], "contiguous prefix stops at position 1");
-        assert_eq!(r.hi, Some(pbn![2]));
+        assert_eq!(r.hi, Some(pbn![1].subtree_bound()));
         assert!(
             !r.exact,
             "position 2 matches levels outside the prefix — candidates need re-checking"

@@ -11,7 +11,7 @@
 use crate::levels::LevelArray;
 use crate::vdg::VTypeId;
 use std::fmt;
-use vh_pbn::Pbn;
+use vh_pbn::{Comp, Pbn};
 
 /// An owned vPBN number (number + level array + virtual type).
 ///
@@ -60,8 +60,10 @@ impl fmt::Debug for VPbn {
 /// array of the node's type, and the virtual type itself.
 #[derive(Clone, Copy, Debug)]
 pub struct VPbnRef<'a> {
-    /// PBN components (`xn` in the paper's notation).
-    pub n: &'a [u32],
+    /// PBN components (`xn` in the paper's notation). Minted components
+    /// (renumbering-free inserts) compare like any other: the derived
+    /// `Ord`/`Eq` on [`Comp`] is document order.
+    pub n: &'a [Comp],
     /// Level array (`xa`). For case-2 types, one longer than `n`.
     pub a: &'a [u32],
     /// The virtual type of the node (for the type-level side conditions).
@@ -83,7 +85,7 @@ impl<'a> VPbnRef<'a> {
     /// the columnar form, where levels come from the flat level column of
     /// a [`crate::levels::LevelMap`].
     #[inline]
-    pub fn from_slices(n: &'a [u32], a: &'a [u32], vtype: VTypeId) -> Self {
+    pub fn from_slices(n: &'a [Comp], a: &'a [u32], vtype: VTypeId) -> Self {
         VPbnRef { n, a, vtype }
     }
 
@@ -140,7 +142,7 @@ mod tests {
             VTypeId::from_index(3),
         );
         let r = v.as_ref();
-        assert_eq!(r.n, &[1, 1, 2]);
+        assert_eq!(r.n, pbn![1, 1, 2].components());
         assert_eq!(r.a, &[1, 1, 2]);
         assert_eq!(r.level(), 2);
         assert_eq!(v.level(), 2);

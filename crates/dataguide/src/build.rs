@@ -50,10 +50,10 @@ impl DataGuide {
 /// layers the virtual hierarchy on top of it.
 #[derive(Clone, Debug)]
 pub struct TypedDocument {
-    doc: Document,
-    pbn: PbnAssignment,
-    guide: DataGuide,
-    type_of: Vec<TypeId>,
+    pub(crate) doc: Document,
+    pub(crate) pbn: PbnAssignment,
+    pub(crate) guide: DataGuide,
+    pub(crate) type_of: Vec<TypeId>,
 }
 
 impl TypedDocument {

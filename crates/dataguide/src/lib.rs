@@ -23,8 +23,10 @@
 pub mod axes;
 pub mod build;
 pub mod guide;
+pub mod mutate;
 pub mod types;
 
 pub use build::TypedDocument;
 pub use guide::DataGuide;
+pub use mutate::{resolve_path, EditError};
 pub use types::{Type, TypeId, TEXT_TYPE_NAME};

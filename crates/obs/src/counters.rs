@@ -317,6 +317,14 @@ pub struct QueryCounters {
     pub total_ns: u64,
     /// Result nodes produced across all queries.
     pub result_nodes: u64,
+    /// Edits applied successfully (`Engine::apply` and WAL replay).
+    pub edits: u64,
+    /// Edits rejected with an error.
+    pub edit_failures: u64,
+    /// Edits re-applied from the write-ahead log by `Engine::recover`.
+    pub replayed_edits: u64,
+    /// Delta-segment compactions (automatic and explicit).
+    pub compactions: u64,
 }
 
 /// Live cumulative engine counters; one cell set per engine, updated with
@@ -331,6 +339,10 @@ pub struct QueryCounterCells {
     exec_ns: AtomicU64,
     total_ns: AtomicU64,
     result_nodes: AtomicU64,
+    edits: AtomicU64,
+    edit_failures: AtomicU64,
+    replayed_edits: AtomicU64,
+    compactions: AtomicU64,
 }
 
 impl QueryCounterCells {
@@ -358,6 +370,25 @@ impl QueryCounterCells {
         self.failures.fetch_add(1, Relaxed);
     }
 
+    /// Counts one successfully applied edit; `replayed` marks edits
+    /// re-applied from the write-ahead log during recovery.
+    pub fn record_edit(&self, replayed: bool) {
+        self.edits.fetch_add(1, Relaxed);
+        if replayed {
+            self.replayed_edits.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Counts one rejected edit.
+    pub fn record_edit_failure(&self) {
+        self.edit_failures.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one delta-segment compaction.
+    pub fn record_compaction(&self) {
+        self.compactions.fetch_add(1, Relaxed);
+    }
+
     /// Plain snapshot of the current totals.
     pub fn snapshot(&self) -> QueryCounters {
         QueryCounters {
@@ -369,6 +400,10 @@ impl QueryCounterCells {
             exec_ns: self.exec_ns.load(Relaxed),
             total_ns: self.total_ns.load(Relaxed),
             result_nodes: self.result_nodes.load(Relaxed),
+            edits: self.edits.load(Relaxed),
+            edit_failures: self.edit_failures.load(Relaxed),
+            replayed_edits: self.replayed_edits.load(Relaxed),
+            compactions: self.compactions.load(Relaxed),
         }
     }
 }
@@ -479,12 +514,20 @@ mod tests {
         cells.record_query(&stats, true);
         cells.record_query(&stats, false);
         cells.record_failure();
+        cells.record_edit(false);
+        cells.record_edit(true);
+        cells.record_edit_failure();
+        cells.record_compaction();
         let s = cells.snapshot();
         assert_eq!(s.queries, 3);
         assert_eq!(s.failures, 1);
         assert_eq!(s.traced, 1);
         assert_eq!(s.total_ns, 200);
         assert_eq!(s.result_nodes, 8);
+        assert_eq!(s.edits, 2);
+        assert_eq!(s.edit_failures, 1);
+        assert_eq!(s.replayed_edits, 1);
+        assert_eq!(s.compactions, 1);
         assert!(stats.stage_ns() <= stats.total_ns);
     }
 

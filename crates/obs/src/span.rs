@@ -80,6 +80,9 @@ pub const STABLE_SPAN_NAMES: &[&str] = &[
     "type-index",
     "exec",
     "arena-range-selection",
+    "apply",
+    "recover",
+    "compact",
 ];
 
 /// Is `name` part of the stable span vocabulary?

@@ -11,14 +11,28 @@ use crate::number::Pbn;
 use vh_xml::{Document, NodeId};
 
 /// The PBN numbering of a document.
+///
+/// After construction the assignment is **mutable**: minted numbers are
+/// merged into `by_node`/`sorted` immediately (so every number-level read
+/// is always current), while the columnar byte [`PbnArena`] is refreshed
+/// lazily by [`PbnAssignment::compact`]. The set of edits the arena has
+/// not yet absorbed is the *delta segment*; byte-key consumers (slot
+/// windows, twig galloping) must compact first — the engine does this
+/// before serving queries and bounds the delta with an automatic
+/// compaction threshold.
 #[derive(Clone, Debug)]
 pub struct PbnAssignment {
     /// `by_node[id.index()]` is the number of node `id`.
     by_node: Vec<Pbn>,
-    /// `(number, node)` pairs sorted by number (document order).
+    /// `(number, node)` pairs sorted by number (document order). Edits
+    /// are merged here eagerly; this is the always-fresh read view.
     sorted: Vec<(Pbn, NodeId)>,
-    /// Columnar encoded-key form of the same numbering.
+    /// Columnar encoded-key form of the numbering as of the last
+    /// compaction; stale while `delta > 0`.
     arena: PbnArena,
+    /// Number of edits (inserts + removals) not yet compacted into the
+    /// arena.
+    delta: usize,
 }
 
 impl PbnAssignment {
@@ -43,6 +57,7 @@ impl PbnAssignment {
             by_node,
             sorted,
             arena,
+            delta: 0,
         }
     }
 
@@ -70,6 +85,7 @@ impl PbnAssignment {
             by_node,
             sorted,
             arena,
+            delta: 0,
         }
     }
 
@@ -135,6 +151,64 @@ impl PbnAssignment {
         let start = self.sorted.partition_point(|(p, _)| p < lo);
         let end = self.sorted.partition_point(|(p, _)| p < hi);
         &self.sorted[start..end]
+    }
+
+    /// Records a newly minted number for `id`, merging it into the sorted
+    /// table and per-node map immediately. The arena is *not* updated —
+    /// the edit joins the delta segment until [`PbnAssignment::compact`].
+    ///
+    /// Returns `false` (and changes nothing) if the number is already
+    /// assigned to another node — minted keys must be unique.
+    pub fn insert_node(&mut self, id: NodeId, pbn: Pbn) -> bool {
+        let pos = match self.sorted.binary_search_by(|(p, _)| p.cmp(&pbn)) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        if self.by_node.len() <= id.index() {
+            self.by_node.resize(id.index() + 1, Pbn::empty());
+        }
+        self.by_node[id.index()] = pbn.clone();
+        self.sorted.insert(pos, (pbn, id));
+        self.delta += 1;
+        true
+    }
+
+    /// Removes the assignment of `id`, if any. The node's `by_node` entry
+    /// reverts to the empty number; the arena keeps the stale key until
+    /// [`PbnAssignment::compact`].
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        let Some(pbn) = self.by_node.get(id.index()).cloned() else {
+            return false;
+        };
+        if pbn.is_empty() {
+            return false;
+        }
+        let Ok(pos) = self.sorted.binary_search_by(|(p, _)| p.cmp(&pbn)) else {
+            return false;
+        };
+        self.sorted.remove(pos);
+        self.by_node[id.index()] = Pbn::empty();
+        self.delta += 1;
+        true
+    }
+
+    /// Number of edits the arena has not yet absorbed. While non-zero,
+    /// [`PbnAssignment::arena`] and [`PbnAssignment::key_of`] reflect the
+    /// last compaction, not the current numbering.
+    #[inline]
+    pub fn delta_len(&self) -> usize {
+        self.delta
+    }
+
+    /// Rebuilds the columnar arena from the (always-fresh) sorted table,
+    /// absorbing the delta segment. Returns the number of edits merged.
+    pub fn compact(&mut self) -> usize {
+        let merged = self.delta;
+        if merged > 0 {
+            self.arena = PbnArena::build(&self.sorted, self.by_node.len());
+            self.delta = 0;
+        }
+        merged
     }
 }
 
@@ -209,5 +283,65 @@ mod tests {
         let doc = Document::new("u");
         let a = PbnAssignment::assign(&doc);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn minted_inserts_merge_eagerly_and_compact_lazily() {
+        let doc = paper_figure2();
+        let mut a = PbnAssignment::assign(&doc);
+        let before = a.len();
+
+        // Mint a sibling between book1 (1.1) and book2 (1.2), attach it to
+        // a fresh id past the current id space.
+        let minted = crate::mint::KeyGen::between(&pbn![1], Some(&pbn![1, 1]), Some(&pbn![1, 2]));
+        let new_id = NodeId::from_index(doc.len());
+        assert!(a.insert_node(new_id, minted.clone()));
+        assert!(!a.insert_node(NodeId::from_index(doc.len() + 1), minted.clone()));
+        assert_eq!(a.delta_len(), 1);
+
+        // Number-level reads see the edit immediately…
+        assert_eq!(a.len(), before + 1);
+        assert_eq!(a.pbn_of(new_id), &minted);
+        assert_eq!(a.node_of(&minted), Some(new_id));
+        let order: Vec<_> = a
+            .in_document_order()
+            .iter()
+            .map(|(p, _)| p.clone())
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "sorted table stays sorted after insert");
+
+        // …while the byte arena is stale until compaction.
+        assert!(a.key_of(new_id).is_empty());
+        assert_eq!(a.compact(), 1);
+        assert_eq!(a.delta_len(), 0);
+        assert!(!a.key_of(new_id).is_empty());
+        assert_eq!(a.arena().len(), before + 1);
+        assert_eq!(a.compact(), 0, "compacting a clean assignment is free");
+    }
+
+    #[test]
+    fn removals_free_the_number_for_reuse() {
+        let doc = paper_figure2();
+        let mut a = PbnAssignment::assign(&doc);
+        let root = doc.root().unwrap();
+        let book1 = doc.children(root)[0];
+        let n = a.len();
+
+        assert!(a.remove_node(book1));
+        assert!(!a.remove_node(book1), "double remove is a no-op");
+        assert_eq!(a.len(), n - 1);
+        assert_eq!(a.node_of(&pbn![1, 1]), None);
+        assert_eq!(a.by_node_checked(book1), Some(&Pbn::empty()));
+
+        // The freed number can be re-minted for a different node.
+        let id = NodeId::from_index(doc.len());
+        assert!(a.insert_node(id, pbn![1, 1]));
+        assert_eq!(a.node_of(&pbn![1, 1]), Some(id));
+        assert_eq!(a.delta_len(), 2);
+        a.compact();
+        assert_eq!(a.key_of(id), a.arena().key_of(id));
+        assert_eq!(a.arena().len(), n);
     }
 }

@@ -11,23 +11,46 @@
 //!    order, because each component's encoding is prefix-free and
 //!    numerically order-preserving across byte lengths.
 //!
-//! Component tiers (values are 1-based ordinals):
+//! Ordinal tiers (values are the 1-based ordinals themselves):
 //!
 //! | first byte   | total bytes | values encoded              |
 //! |--------------|-------------|-----------------------------|
-//! | `0xxxxxxx`   | 1           | 1 ..= 2^7                   |
+//! | `0xxxxxxx`   | 1           | 1 ..= 2^7 - 1               |
 //! | `10xxxxxx`   | 2           | next 2^14                   |
 //! | `110xxxxx`   | 3           | next 2^21                   |
 //! | `1110xxxx`   | 4           | next 2^28                   |
 //! | `11110000`   | 5           | the remaining u32 range     |
+//!
+//! Two byte values are deliberately **never** produced by the ordinal
+//! tiers and serve as markers for minted gap components (DESIGN.md §12):
+//!
+//! * [`FRONT_MARK`] (`0x00`) — below every ordinal. `K · 0x00 · F · 0x00`
+//!   is a child of `K` minted *before* its first plain child.
+//! * [`GAP_MARK`] (`0xF8`) — above every ordinal first byte (`<= 0xF0`).
+//!   `enc(j) · 0xF8 · F · 0x00` sorts after the entire subtree of `j` and
+//!   before `enc(j+1)`: a sibling minted *between* `j` and `j + 1`.
+//!
+//! First bytes `0xF1..=0xFF` other than a mid-component `0xF8` are
+//! reserved and rejected ([`PbnCodecError::Reserved`]) so hostile bytes
+//! can never alias a minted key.
 
-use crate::keys::component_len;
-use crate::number::Pbn;
+use crate::number::{Comp, Pbn};
 
 const T1: u64 = 1 << 7;
 const T2: u64 = 1 << 14;
 const T3: u64 = 1 << 21;
 const T4: u64 = 1 << 28;
+
+/// Marker byte opening the fraction of a front-gap component (`ord` 0).
+/// Sorts below every ordinal encoding.
+pub const FRONT_MARK: u8 = 0x00;
+
+/// Marker byte opening the fraction of an after-gap component. Sorts above
+/// every ordinal first byte and every descendant of the preceding key.
+pub const GAP_MARK: u8 = 0xF8;
+
+/// Terminator closing a fraction (fractions themselves never contain it).
+pub const FRAC_END: u8 = 0x00;
 
 /// Error describing why a byte string is not a valid PBN encoding.
 ///
@@ -36,7 +59,8 @@ const T4: u64 = 1 << 28;
 /// suite-level `VhError` facade can classify it like any layer error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PbnCodecError {
-    /// The buffer ends in the middle of a multi-byte component.
+    /// The buffer ends in the middle of a multi-byte component or an
+    /// unterminated fraction.
     Truncated {
         /// Byte offset of the truncated component's first byte.
         at: usize,
@@ -44,6 +68,12 @@ pub enum PbnCodecError {
     /// A five-byte component encodes a value past `u32::MAX`.
     Overflow {
         /// Byte offset of the overflowing component's first byte.
+        at: usize,
+    },
+    /// A reserved byte pattern: a first byte in `0xF1..=0xFF` that is not
+    /// a gap continuation, or an empty minted fraction.
+    Reserved {
+        /// Byte offset of the offending byte.
         at: usize,
     },
 }
@@ -54,6 +84,7 @@ impl PbnCodecError {
         match self {
             PbnCodecError::Truncated { .. } => "PBN_TRUNCATED",
             PbnCodecError::Overflow { .. } => "PBN_OVERFLOW",
+            PbnCodecError::Reserved { .. } => "PBN_RESERVED",
         }
     }
 }
@@ -71,6 +102,9 @@ impl std::fmt::Display for PbnCodecError {
                 f,
                 "PBN component at byte {at} exceeds the 32-bit ordinal range"
             ),
+            PbnCodecError::Reserved { at } => {
+                write!(f, "PBN encoding uses a reserved byte pattern at byte {at}")
+            }
         }
     }
 }
@@ -88,7 +122,7 @@ impl EncodedPbn {
     /// Encodes a number.
     pub fn encode(pbn: &Pbn) -> Self {
         let mut bytes = Vec::with_capacity(pbn.len() + 1);
-        for &c in pbn.components() {
+        for c in pbn.components() {
             encode_component(c, &mut bytes);
         }
         EncodedPbn { bytes }
@@ -124,13 +158,11 @@ impl EncodedPbn {
         let mut components = Vec::new();
         let mut i = 0;
         while i < self.bytes.len() {
-            let (value, used) = decode_component_checked(&self.bytes[i..], i)?;
-            components.push(value);
+            let (comp, used) = decode_component_checked(&self.bytes[i..], i)?;
+            components.push(comp);
             i += used;
         }
-        // Components are ≥ 1 by construction (tier values are offset by 1),
-        // so the panicking constructor is unreachable here.
-        Ok(Pbn::new(components))
+        Ok(Pbn::from_comps(components))
     }
 
     /// The encoded bytes.
@@ -146,9 +178,10 @@ impl EncodedPbn {
     }
 
     /// True if `self` encodes a (non-strict) ancestor-or-self of `other` —
-    /// a plain byte-prefix test thanks to the prefix property.
+    /// a byte-prefix test (excluding `other`s that continue into `self`'s
+    /// sibling gap, see [`crate::keys::is_prefix`]).
     pub fn is_prefix_of(&self, other: &EncodedPbn) -> bool {
-        other.bytes.len() >= self.bytes.len() && other.bytes[..self.bytes.len()] == self.bytes[..]
+        crate::keys::is_prefix(&self.bytes, &other.bytes)
     }
 }
 
@@ -158,10 +191,24 @@ impl std::fmt::Debug for EncodedPbn {
     }
 }
 
-/// Encodes a single component (1-based) into `out`.
-fn encode_component(c: u32, out: &mut Vec<u8>) {
+/// Encodes a single component into `out`.
+fn encode_component(c: &Comp, out: &mut Vec<u8>) {
+    if c.ord() >= 1 {
+        encode_ordinal(c.ord(), out);
+    }
+    let frac = c.frac();
+    if !frac.is_empty() {
+        out.push(if c.ord() == 0 { FRONT_MARK } else { GAP_MARK });
+        out.extend_from_slice(frac);
+        out.push(FRAC_END);
+    }
+    debug_assert!(c.ord() >= 1 || !frac.is_empty(), "ord-0 needs a fraction");
+}
+
+/// Encodes a 1-based ordinal into `out`.
+fn encode_ordinal(c: u32, out: &mut Vec<u8>) {
     debug_assert!(c >= 1);
-    let v = u64::from(c) - 1; // shift to 0-based for tier arithmetic
+    let v = u64::from(c); // 1-based direct: byte 0x00 is never produced
     if v < T1 {
         out.push(v as u8);
     } else if v < T1 + T2 {
@@ -186,14 +233,36 @@ fn encode_component(c: u32, out: &mut Vec<u8>) {
     }
 }
 
+/// Reads a fraction `F · FRAC_END` starting at `bytes[from..]`; `at` is the
+/// component's absolute offset. Returns `(frac, bytes used incl. the
+/// terminator)`.
+fn decode_frac(bytes: &[u8], from: usize, at: usize) -> Result<(Vec<u8>, usize), PbnCodecError> {
+    let Some(end) = bytes[from..].iter().position(|&b| b == FRAC_END) else {
+        return Err(PbnCodecError::Truncated { at });
+    };
+    if end == 0 {
+        return Err(PbnCodecError::Reserved { at });
+    }
+    Ok((bytes[from..from + end].to_vec(), end + 1))
+}
+
 /// Decodes one component from the front of `bytes`, which must be
 /// non-empty; `at` is its absolute offset (for error reporting). Returns
-/// `(value, bytes used)`. Bounds-checked: truncated multi-byte components
-/// and five-byte values past the `u32` range are errors, never panics or
-/// silent wrap-around.
-fn decode_component_checked(bytes: &[u8], at: usize) -> Result<(u32, usize), PbnCodecError> {
+/// `(component, bytes used)`. Bounds-checked: truncated multi-byte
+/// components, unterminated fractions, five-byte values past the `u32`
+/// range and reserved byte patterns are errors, never panics or silent
+/// wrap-around.
+fn decode_component_checked(bytes: &[u8], at: usize) -> Result<(Comp, usize), PbnCodecError> {
     let b0 = bytes[0];
-    let len = component_len(b0);
+    if b0 == FRONT_MARK {
+        let (frac, used) = decode_frac(bytes, 1, at)?;
+        return Ok((Comp::minted(0, frac), 1 + used));
+    }
+    if b0 > 0b1111_0000 {
+        // 0xF1..=0xFF never open a component (0xF8 only *continues* one).
+        return Err(PbnCodecError::Reserved { at });
+    }
+    let len = ordinal_len(b0);
     if bytes.len() < len {
         return Err(PbnCodecError::Truncated { at });
     }
@@ -216,11 +285,28 @@ fn decode_component_checked(bytes: &[u8], at: usize) -> Result<(u32, usize), Pbn
             T1 + T2 + T3 + T4,
         ),
     };
-    // The component is the 1-based ordinal r + offset + 1; it must fit u32.
-    let value = r + offset + 1;
-    u32::try_from(value)
-        .map(|v| (v, len))
-        .map_err(|_| PbnCodecError::Overflow { at })
+    // The component is the 1-based ordinal r + offset; it must fit u32.
+    let ord = u32::try_from(r + offset).map_err(|_| PbnCodecError::Overflow { at })?;
+    if bytes.get(len) == Some(&GAP_MARK) {
+        let (frac, used) = decode_frac(bytes, len + 1, at)?;
+        return Ok((Comp::minted(ord, frac), len + 1 + used));
+    }
+    Ok((Comp::new(ord), len))
+}
+
+/// Byte length of an ordinal encoding, from its first byte's leading bits.
+pub(crate) fn ordinal_len(b0: u8) -> usize {
+    if b0 & 0b1000_0000 == 0 {
+        1
+    } else if b0 & 0b0100_0000 == 0 {
+        2
+    } else if b0 & 0b0010_0000 == 0 {
+        3
+    } else if b0 & 0b0001_0000 == 0 {
+        4
+    } else {
+        5
+    }
 }
 
 #[cfg(test)]
@@ -237,12 +323,12 @@ mod tests {
             128,
             129,
             1000,
+            (T1 + T2) as u32 - 1,
             (T1 + T2) as u32,
-            (T1 + T2) as u32 + 1,
+            (T1 + T2 + T3) as u32 - 1,
             (T1 + T2 + T3) as u32,
-            (T1 + T2 + T3) as u32 + 1,
+            (T1 + T2 + T3 + T4) as u32 - 1,
             (T1 + T2 + T3 + T4) as u32,
-            (T1 + T2 + T3 + T4) as u32 + 1,
             u32::MAX,
         ] {
             let p = Pbn::new(vec![c]);
@@ -255,6 +341,28 @@ mod tests {
     fn multi_component_round_trip() {
         let p = pbn![1, 128, 2, 300_000, 5];
         assert_eq!(EncodedPbn::encode(&p).decode(), p);
+    }
+
+    #[test]
+    fn minted_components_round_trip() {
+        let p = Pbn::root()
+            .child_comp(Comp::minted(2, vec![0x80]))
+            .child(3)
+            .child_comp(Comp::minted(0, vec![0x01, 0x02]));
+        let e = EncodedPbn::encode(&p);
+        assert_eq!(e.decode(), p);
+        assert_eq!(EncodedPbn::from_bytes(e.as_bytes().to_vec()).unwrap(), e);
+    }
+
+    #[test]
+    fn ordinal_bytes_never_collide_with_the_markers() {
+        // The ordinal coder never emits 0x00 or 0xF1..0xFF as a first byte.
+        for c in [1u32, 127, 128, 1000, 1 << 20, 1 << 29, u32::MAX] {
+            let mut out = Vec::new();
+            encode_ordinal(c, &mut out);
+            assert_ne!(out[0], FRONT_MARK, "ordinal {c}");
+            assert!(out[0] <= 0xF0, "ordinal {c} first byte {:#x}", out[0]);
+        }
     }
 
     #[test]
@@ -286,6 +394,38 @@ mod tests {
     }
 
     #[test]
+    fn byte_order_equals_document_order_with_minted_keys() {
+        let nums = [
+            pbn![1],
+            Pbn::root().child_comp(Comp::minted(0, vec![0x7F])),
+            Pbn::root().child_comp(Comp::minted(0, vec![0x80])),
+            Pbn::root().child_comp(Comp::minted(0, vec![0x80])).child(1),
+            pbn![1, 1],
+            pbn![1, 1, 200],
+            Pbn::root().child_comp(Comp::minted(1, vec![0x80])),
+            pbn![1, 2],
+            pbn![1, 2, 7],
+            Pbn::root().child_comp(Comp::minted(2, vec![0x40])),
+            Pbn::root().child_comp(Comp::minted(2, vec![0x40, 0x02])),
+            Pbn::root()
+                .child_comp(Comp::minted(2, vec![0x40, 0x02]))
+                .child(5),
+            Pbn::root().child_comp(Comp::minted(2, vec![0x41])),
+            pbn![1, 3],
+            pbn![1, 128],
+            Pbn::root().child_comp(Comp::minted(128, vec![0x80])),
+            pbn![1, 129],
+            pbn![2],
+        ];
+        for x in &nums {
+            for y in &nums {
+                let (ex, ey) = (EncodedPbn::encode(x), EncodedPbn::encode(y));
+                assert_eq!(ex.cmp(&ey), x.cmp(y), "byte order disagrees for {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn prefix_property_holds() {
         let p = pbn![1, 130];
         let c = pbn![1, 130, 99];
@@ -298,6 +438,20 @@ mod tests {
         assert!(ep.is_prefix_of(&ec));
         assert!(!ep.is_prefix_of(&eo));
         assert!(ep.is_prefix_of(&ep));
+    }
+
+    #[test]
+    fn gap_keys_are_not_descendants_of_their_left_sibling() {
+        // enc({j, F}) byte-extends enc(j) — the GAP_MARK continuation —
+        // but the prefix predicate must classify it as a *sibling*.
+        let left = pbn![1, 2];
+        let minted = Pbn::root().child_comp(Comp::minted(2, vec![0x80]));
+        let (el, em) = (EncodedPbn::encode(&left), EncodedPbn::encode(&minted));
+        assert!(em.as_bytes().starts_with(el.as_bytes()));
+        assert!(!el.is_prefix_of(&em), "gap sibling misread as descendant");
+        // The minted node is an ancestor of its own children, though.
+        let child = minted.child(1);
+        assert!(em.is_prefix_of(&EncodedPbn::encode(&child)));
     }
 
     #[test]
@@ -328,13 +482,30 @@ mod tests {
         // Valid one-byte component followed by a truncated five-byte one.
         let err = EncodedPbn::from_bytes(vec![0x03, 0b1111_0000, 0, 0]).unwrap_err();
         assert_eq!(err, PbnCodecError::Truncated { at: 1 });
+        // An unterminated fraction.
+        let err = EncodedPbn::from_bytes(vec![0x03, GAP_MARK, 0x80]).unwrap_err();
+        assert_eq!(err, PbnCodecError::Truncated { at: 0 });
+    }
+
+    #[test]
+    fn reserved_patterns_are_rejected_not_misread() {
+        // 0xF9 can never open a component.
+        let err = EncodedPbn::from_bytes(vec![0xF9]).unwrap_err();
+        assert_eq!(err, PbnCodecError::Reserved { at: 0 });
+        assert_eq!(err.code(), "PBN_RESERVED");
+        // A gap marker with an empty fraction.
+        let err = EncodedPbn::from_bytes(vec![0x03, GAP_MARK, FRAC_END]).unwrap_err();
+        assert_eq!(err, PbnCodecError::Reserved { at: 0 });
+        // A front marker with an empty fraction.
+        let err = EncodedPbn::from_bytes(vec![FRONT_MARK, FRAC_END]).unwrap_err();
+        assert_eq!(err, PbnCodecError::Reserved { at: 0 });
     }
 
     #[test]
     fn five_byte_overflow_is_rejected_not_wrapped() {
         // Largest representable component is u32::MAX; its payload is
-        // u32::MAX - 1 - (T1+T2+T3+T4). Anything above must error.
-        let max_r = (u64::from(u32::MAX) - 1 - (T1 + T2 + T3 + T4)) as u32;
+        // u32::MAX - (T1+T2+T3+T4). Anything above must error.
+        let max_r = (u64::from(u32::MAX) - (T1 + T2 + T3 + T4)) as u32;
         let mut ok = vec![0b1111_0000];
         ok.extend_from_slice(&max_r.to_be_bytes());
         assert_eq!(

@@ -4,14 +4,22 @@
 //! byte strings it produces:
 //!
 //! 1. `memcmp(enc(x), enc(y))` equals document order `x.cmp(y)`, and
-//! 2. `enc(p)` is a byte-prefix of `enc(p.k)` for every child `p.k`.
+//! 2. `enc(p)` is a byte-prefix of `enc(p.k)` for every child `p.k` — and
+//!    the *only* byte-extensions of `enc(p)` that are **not** descendants
+//!    of `p` are the minted gap siblings continuing with
+//!    [`GAP_MARK`] (see `DESIGN.md` §12).
 //!
-//! Everything in this module follows from those two facts alone, so the
+//! Everything in this module follows from those facts alone, so the
 //! functions take plain `&[u8]` slices — typically borrowed from a
 //! [`crate::arena::PbnArena`] — and never allocate on the comparison path.
 //! This is what turns the §5 axis predicates into `starts_with` /
 //! `memcmp` calls and subtree axes into byte-range scans.
+//!
+//! The prefix predicates require `p` to end on a component boundary (a
+//! full node key, or a [`component_boundary`] cut of one); `y` may be any
+//! valid key.
 
+use crate::encode::{ordinal_len, FRAC_END, FRONT_MARK, GAP_MARK};
 use std::cmp::Ordering;
 
 /// Document order of two encoded keys: a plain byte comparison.
@@ -20,34 +28,60 @@ pub fn cmp(a: &[u8], b: &[u8]) -> Ordering {
     a.cmp(b)
 }
 
-/// True if `p` encodes an ancestor-or-self of `y` (non-strict byte prefix).
+/// True when `y`'s byte at the end of prefix `p` continues into `p`'s
+/// sibling gap — i.e. `y` byte-extends `p` but is a minted *following
+/// sibling* (or its descendant), not a descendant of `p`.
+#[inline]
+fn extends_into_gap(p: &[u8], y: &[u8]) -> bool {
+    y.get(p.len()) == Some(&GAP_MARK)
+}
+
+/// True if `p` encodes an ancestor-or-self of `y`.
+///
+/// A byte-prefix test, refined for minted keys: an extension continuing
+/// with [`GAP_MARK`] right after `p` lies in
+/// `p`'s sibling gap and is excluded. (Front-gap children, continuing
+/// with `0x00`, *are* descendants and remain included.)
 #[inline]
 pub fn is_prefix(p: &[u8], y: &[u8]) -> bool {
-    y.starts_with(p)
+    y.starts_with(p) && !extends_into_gap(p, y)
 }
 
-/// True if `p` encodes a proper ancestor of `y` (strict byte prefix).
+/// True if `p` encodes a proper ancestor of `y` (strict prefix, same
+/// gap-sibling exclusion as [`is_prefix`]).
 #[inline]
 pub fn is_strict_prefix(p: &[u8], y: &[u8]) -> bool {
-    y.len() > p.len() && y.starts_with(p)
+    y.len() > p.len() && y.starts_with(p) && !extends_into_gap(p, y)
 }
 
-/// Number of bytes of the component whose first byte is `b0`.
+/// Number of bytes of the first component of `key`.
 ///
-/// Components are self-delimiting: the tier (and hence the length) is
-/// fully determined by the leading bits of the first byte.
-#[inline]
-pub fn component_len(b0: u8) -> usize {
-    if b0 & 0b1000_0000 == 0 {
-        1
-    } else if b0 & 0b0100_0000 == 0 {
-        2
-    } else if b0 & 0b0010_0000 == 0 {
-        3
-    } else if b0 & 0b0001_0000 == 0 {
-        4
+/// Components are self-delimiting: a plain ordinal's length follows from
+/// the leading bits of its first byte; a minted component appends a
+/// `0x00`-terminated fraction opened by `FRONT_MARK`/`GAP_MARK`. The
+/// ordinal **and** its gap fraction are one component. Saturates at the
+/// end of the key for truncated input (the codec, not this walker, is
+/// responsible for rejecting it).
+pub fn component_len(key: &[u8]) -> usize {
+    let Some(&b0) = key.first() else {
+        return 0;
+    };
+    let after_ord = if b0 == FRONT_MARK { 1 } else { ordinal_len(b0) };
+    if after_ord > key.len() {
+        return key.len();
+    }
+    let has_frac = b0 == FRONT_MARK || key.get(after_ord) == Some(&GAP_MARK);
+    if !has_frac {
+        return after_ord;
+    }
+    let frac_from = if b0 == FRONT_MARK {
+        after_ord
     } else {
-        5
+        after_ord + 1
+    };
+    match key[frac_from..].iter().position(|&b| b == FRAC_END) {
+        Some(p) => frac_from + p + 1,
+        None => key.len(),
     }
 }
 
@@ -62,7 +96,7 @@ pub fn component_boundary(key: &[u8], m: usize) -> usize {
         if i >= key.len() {
             break;
         }
-        i += component_len(key[i]);
+        i += component_len(&key[i..]);
     }
     i.min(key.len())
 }
@@ -72,21 +106,32 @@ pub fn component_count(key: &[u8]) -> usize {
     let mut i = 0;
     let mut n = 0;
     while i < key.len() {
-        i += component_len(key[i]);
+        i += component_len(&key[i..]);
         n += 1;
     }
     n
 }
 
+/// The exclusive upper bound of the subtree rooted at the node with key
+/// `p`: `p · GAP_MARK`. Every descendant key is below it (component first
+/// bytes are `<= 0xF0` or `FRONT_MARK`), and every minted following
+/// sibling of `p` — which byte-extends `p` with `GAP_MARK` — is at or
+/// above it.
+pub fn subtree_end(p: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(p.len() + 1);
+    out.extend_from_slice(p);
+    out.push(GAP_MARK);
+    out
+}
+
 /// The smallest byte string strictly greater than **every** string with
 /// prefix `p`: drop trailing `0xFF` bytes and increment the last remaining
 /// byte. Returns `None` when no such string exists (`p` empty or all
-/// `0xFF`), meaning the subtree range extends to the end of the key space.
+/// `0xFF`), meaning the range extends to the end of the key space.
 ///
-/// Correctness: `[p, prefix_succ(p))` in byte-lexicographic order contains
-/// exactly `p` and its extensions — any `y ≥ p` below the bound must agree
-/// with `p` on every non-dropped byte (it cannot exceed a `0xFF`), hence
-/// carries `p` as a prefix.
+/// This is the *raw byte-extension* bound; subtree scans over minted keys
+/// use the tighter [`subtree_end`] / [`before_subtree_end`], which stop
+/// before `p`'s sibling gap.
 pub fn prefix_succ(p: &[u8]) -> Option<Vec<u8>> {
     let end = p.iter().rposition(|&b| b != 0xFF)?;
     let mut out = p[..=end].to_vec();
@@ -94,54 +139,75 @@ pub fn prefix_succ(p: &[u8]) -> Option<Vec<u8>> {
     Some(out)
 }
 
-/// True iff `y < prefix_succ(p)` — the allocation-free form of the subtree
-/// upper bound. Equivalent to `y < p || y.starts_with(p)`: a key below the
+/// True iff `y < subtree_end(p)` — the allocation-free form of the subtree
+/// upper bound. Equivalent to `y < p || is_prefix(p, y)`: a key below the
 /// subtree's end either precedes the subtree entirely or lies inside it.
-/// When `prefix_succ(p)` is `None` the bound is infinite and this is true
-/// for every `y`, which the disjunction already yields.
 #[inline]
 pub fn before_subtree_end(p: &[u8], y: &[u8]) -> bool {
-    y.starts_with(p) || y < p
+    (y.starts_with(p) && !extends_into_gap(p, y)) || y < p
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::number::Comp;
     use crate::{pbn, EncodedPbn, Pbn};
 
     fn enc(p: &Pbn) -> Vec<u8> {
         EncodedPbn::encode(p).as_bytes().to_vec()
     }
 
-    #[test]
-    fn cmp_is_document_order() {
-        let nums = [
+    /// A key universe mixing plain and minted numbers.
+    fn universe() -> Vec<(Pbn, Vec<u8>)> {
+        let mut nums = vec![
             pbn![1],
             pbn![1, 1],
             pbn![1, 1, 200],
             pbn![1, 2],
+            pbn![1, 2, 7],
+            pbn![1, 2, 999, 4],
+            pbn![1, 3],
             pbn![1, 127],
             pbn![1, 128],
-            pbn![1, 70_000],
+            pbn![1, 128, 1],
+            pbn![1, 129],
             pbn![2],
         ];
-        for x in &nums {
-            for y in &nums {
-                assert_eq!(cmp(&enc(x), &enc(y)), x.cmp(y), "{x} vs {y}");
+        nums.push(Pbn::root().child_comp(Comp::minted(0, vec![0x80])));
+        nums.push(Pbn::root().child_comp(Comp::minted(0, vec![0x80])).child(2));
+        nums.push(Pbn::root().child_comp(Comp::minted(2, vec![0x40])));
+        nums.push(Pbn::root().child_comp(Comp::minted(2, vec![0x40, 0x02])));
+        nums.push(Pbn::root().child_comp(Comp::minted(2, vec![0x40])).child(1));
+        nums.push(Pbn::root().child_comp(Comp::minted(128, vec![0x80])));
+        nums.into_iter().map(|p| (p.clone(), enc(&p))).collect()
+    }
+
+    #[test]
+    fn cmp_is_document_order() {
+        let u = universe();
+        for (x, kx) in &u {
+            for (y, ky) in &u {
+                assert_eq!(cmp(kx, ky), x.cmp(y), "{x} vs {y}");
             }
         }
     }
 
     #[test]
     fn prefix_predicates_match_number_prefixes() {
-        let p = pbn![1, 130];
-        let c = pbn![1, 130, 99];
-        let o = pbn![1, 131];
-        assert!(is_prefix(&enc(&p), &enc(&c)));
-        assert!(is_prefix(&enc(&p), &enc(&p)));
-        assert!(!is_prefix(&enc(&p), &enc(&o)));
-        assert!(is_strict_prefix(&enc(&p), &enc(&c)));
-        assert!(!is_strict_prefix(&enc(&p), &enc(&p)));
+        // Including minted keys: byte predicates must agree with the
+        // component-level prefix tests, which are gap-correct by
+        // construction (a minted component never equals a plain one).
+        let u = universe();
+        for (x, kx) in &u {
+            for (y, ky) in &u {
+                assert_eq!(is_prefix(kx, ky), x.is_prefix_of(y), "{x} vs {y}");
+                assert_eq!(
+                    is_strict_prefix(kx, ky),
+                    x.is_strict_prefix_of(y),
+                    "{x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -158,6 +224,20 @@ mod tests {
     }
 
     #[test]
+    fn component_walks_treat_a_minted_component_as_one_unit() {
+        let p = Pbn::root()
+            .child_comp(Comp::minted(2, vec![0x40, 0x02]))
+            .child(3)
+            .child_comp(Comp::minted(0, vec![0x80]));
+        let k = enc(&p);
+        assert_eq!(component_count(&k), 4);
+        for m in 0..=4 {
+            let boundary = component_boundary(&k, m);
+            assert_eq!(&k[..boundary], &enc(&p.prefix(m))[..], "m = {m}");
+        }
+    }
+
+    #[test]
     fn prefix_succ_drops_ff_tails_and_increments() {
         assert_eq!(prefix_succ(&[1, 2]), Some(vec![1, 3]));
         assert_eq!(prefix_succ(&[1, 0xFF, 0xFF]), Some(vec![2]));
@@ -166,38 +246,21 @@ mod tests {
     }
 
     #[test]
-    fn prefix_succ_bounds_exactly_the_prefix_extensions() {
-        // For a spread of keys, membership in [p, succ) equals the prefix
-        // test — the theorem the range scans rely on.
-        let keys: Vec<Vec<u8>> = [
-            pbn![1],
-            pbn![1, 1],
-            pbn![1, 2],
-            pbn![1, 2, 7],
-            pbn![1, 2, 999, 4],
-            pbn![1, 3],
-            pbn![1, 127],
-            pbn![1, 128],
-            pbn![1, 128, 1],
-            pbn![1, 129],
-            pbn![2],
-        ]
-        .iter()
-        .map(enc)
-        .collect();
-        for p in &keys {
-            for y in &keys {
-                let inside = match prefix_succ(p) {
-                    Some(hi) => p.as_slice() <= y.as_slice() && y.as_slice() < hi.as_slice(),
-                    None => p.as_slice() <= y.as_slice(),
-                };
-                assert_eq!(inside, is_prefix(p, y), "p={p:?} y={y:?}");
-                // And the allocation-free predicate agrees with `< succ`.
-                let below = match prefix_succ(p) {
-                    Some(hi) => y.as_slice() < hi.as_slice(),
-                    None => true,
-                };
-                assert_eq!(below, before_subtree_end(p, y), "p={p:?} y={y:?}");
+    fn subtree_end_bounds_exactly_the_subtree() {
+        // Membership in [p, subtree_end(p)) equals the ancestor-or-self
+        // test — the theorem the range scans rely on — for plain *and*
+        // minted keys.
+        let u = universe();
+        for (x, p) in &u {
+            let hi = subtree_end(p);
+            for (y, k) in &u {
+                let inside = p.as_slice() <= k.as_slice() && k.as_slice() < hi.as_slice();
+                assert_eq!(inside, x.is_prefix_of(y), "p={x} y={y}");
+                assert_eq!(
+                    k.as_slice() < hi.as_slice(),
+                    before_subtree_end(p, k),
+                    "p={x} y={y}"
+                );
             }
         }
     }

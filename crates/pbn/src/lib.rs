@@ -22,6 +22,9 @@
 //! * [`arena`] — the columnar [`PbnArena`]: every key of a document in
 //!   one contiguous, document-order buffer.
 //! * [`assign`] — numbering every node of a [`vh_xml::Document`].
+//! * [`mint`] — renumbering-free sibling-key minting: [`KeyGen::between`]
+//!   allocates a number strictly between two existing siblings without
+//!   touching any assigned number.
 //! * [`update`] — update renumbering (§3's contrast case): how many
 //!   numbers an edit invalidates, measurably.
 
@@ -30,6 +33,7 @@ pub mod assign;
 pub mod axes;
 pub mod encode;
 pub mod keys;
+pub mod mint;
 pub mod number;
 pub mod order;
 pub mod update;
@@ -38,4 +42,5 @@ pub use arena::{ArenaFormatError, PbnArena};
 pub use assign::PbnAssignment;
 pub use axes::{relationship, Relationship};
 pub use encode::{EncodedPbn, PbnCodecError};
-pub use number::Pbn;
+pub use mint::KeyGen;
+pub use number::{Comp, Pbn};

@@ -1,0 +1,296 @@
+//! Minting sibling keys between existing ones — renumbering-free inserts.
+//!
+//! The paper's contrast case (§3, `crate::update`) shows what plain PBN
+//! pays for an insert: every following sibling's subtree is renumbered.
+//! [`KeyGen`] avoids that entirely, in the spirit of Hazel's rational
+//! nested-set keys and Tropashko's nested intervals: a new sibling's
+//! component is allocated **between** its neighbours and no existing
+//! number changes, ever.
+//!
+//! Three allocation strategies, cheapest first (DESIGN.md §12):
+//!
+//! 1. **Dense** — appends after the last child, and inserts where an
+//!    integer ordinal is free (after deletions), mint a plain component.
+//!    Appends are therefore always as compact as initial assignment.
+//! 2. **Gap fractions** — between adjacent ordinals `j` and `j + 1`
+//!    there is no integer, so the new component is `{j, F}`: a minted
+//!    [`Comp`] living in `j`'s *gap*, encoded as
+//!    `enc(j) · GAP_MARK · F · 0x00` (before the first plain child:
+//!    `{0, F}`, encoded `FRONT_MARK · F · 0x00`).
+//! 3. **Fraction stepping** — within a gap, fractions are byte strings
+//!    over `0x01..=0xFF` ending `>= 0x02`. Minting below `F` first steps
+//!    the leading byte down arithmetically (≈ 253 inserts per added
+//!    byte); only when that floor is reached does the fraction grow by
+//!    one byte. Repeatedly inserting at the *same* point therefore grows
+//!    keys by O(1) byte per ~253 inserts front-of-gap and 1 byte per
+//!    insert for pathological midpoint splits — the worst case the
+//!    DESIGN.md space-bound discussion quantifies.
+
+use crate::number::{Comp, Pbn};
+
+/// Stateless key minter. All decisions derive from the two neighbouring
+/// components, so replaying the same edit sequence (e.g. WAL recovery)
+/// mints identical keys.
+pub struct KeyGen;
+
+impl KeyGen {
+    /// The number for a new child of `parent` inserted between the
+    /// existing children numbered `left` and `right` (`None` at the
+    /// ends: `(None, None)` = first child ever, `(Some, None)` = append,
+    /// `(None, Some)` = insert at the front).
+    ///
+    /// Guarantees, given `left < right` and both children of `parent`:
+    /// the result is strictly between them (document order and byte
+    /// order), distinct from every existing key, and **no existing key
+    /// changes** — the insert is renumbering-free.
+    pub fn between(parent: &Pbn, left: Option<&Pbn>, right: Option<&Pbn>) -> Pbn {
+        let comp = Self::between_comps(
+            left.and_then(|p| p.last_comp()),
+            right.and_then(|p| p.last_comp()),
+        );
+        parent.child_comp(comp)
+    }
+
+    /// Component-level minting: a component strictly between `left` and
+    /// `right` among siblings.
+    pub fn between_comps(left: Option<&Comp>, right: Option<&Comp>) -> Comp {
+        match (left, right) {
+            // No children at all: dense numbering starts at 1.
+            (None, None) => Comp::new(1),
+            // Append: the slot after the last child's gap ordinal is
+            // always free, so appends stay dense.
+            (Some(l), None) => match l.ord().checked_add(1) {
+                Some(next) => Comp::new(next),
+                None => Comp::minted(
+                    l.ord(),
+                    if l.frac().is_empty() {
+                        vec![0x80]
+                    } else {
+                        frac_after(l.frac())
+                    },
+                ),
+            },
+            // Insert before the first child.
+            (None, Some(r)) => match (r.ord(), r.is_plain()) {
+                (0, _) => Comp::minted(0, frac_before(r.frac())),
+                (1, true) => Comp::minted(0, vec![0x80]),
+                // `r` is the first child, so the plain ordinal below it
+                // (or its own gap ordinal, for a minted `r`) is free.
+                (j, true) => Comp::new(j - 1),
+                (j, false) => Comp::new(j),
+            },
+            // Insert between two adjacent children.
+            (Some(l), Some(r)) => {
+                let (j, k) = (l.ord(), r.ord());
+                debug_assert!((j, l.frac()) < (k, r.frac()), "siblings out of order");
+                if k > j && k - j >= 2 {
+                    // An integer ordinal is free between them (deletion
+                    // gap): stay dense.
+                    Comp::new(j + 1)
+                } else if k == j + 1 {
+                    // Adjacent ordinals: open (or extend) j's gap.
+                    Comp::minted(
+                        j,
+                        if l.frac().is_empty() {
+                            vec![0x80]
+                        } else {
+                            frac_after(l.frac())
+                        },
+                    )
+                } else {
+                    // Same gap: split the fraction interval.
+                    Comp::minted(
+                        j,
+                        if l.frac().is_empty() {
+                            frac_before(r.frac())
+                        } else {
+                            frac_between(l.frac(), r.frac())
+                        },
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// A fraction strictly below `f` (which is non-empty and, by minting
+/// convention, not all-`0x01`): step the first non-`0x01` byte down, or —
+/// when it has hit the `0x02` floor — descend one level and restart at
+/// `0xFF`, so each added byte buys another ~253 arithmetic steps.
+fn frac_before(f: &[u8]) -> Vec<u8> {
+    let k = f.iter().take_while(|&&b| b == 0x01).count();
+    let b = f.get(k).copied().unwrap_or(0x02);
+    if b >= 0x03 {
+        let mut out = vec![0x01; k];
+        out.push(b - 1);
+        out
+    } else {
+        let mut out = vec![0x01; k + 1];
+        out.push(0xFF);
+        out
+    }
+}
+
+/// A fraction strictly above `f` with nothing between them in use: bump
+/// the last byte, or extend when it is already `0xFF`.
+fn frac_after(f: &[u8]) -> Vec<u8> {
+    let mut out = f.to_vec();
+    match out.last_mut() {
+        Some(last) if *last < 0xFF => *last += 1,
+        _ => out.push(0x02),
+    }
+    out
+}
+
+/// A fraction strictly between `f` and `g` (`f < g`).
+fn frac_between(f: &[u8], g: &[u8]) -> Vec<u8> {
+    if g.starts_with(f) {
+        // g = f · tail: anything of the form f · (fraction below tail).
+        let mut out = f.to_vec();
+        out.extend_from_slice(&frac_before(&g[f.len()..]));
+        out
+    } else {
+        // f and g diverge within f's length, so any extension of f stays
+        // below g.
+        let mut out = f.to_vec();
+        out.push(0x02);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::EncodedPbn;
+    use crate::pbn;
+
+    fn assert_between(parent: &Pbn, left: Option<&Pbn>, right: Option<&Pbn>) -> Pbn {
+        let minted = KeyGen::between(parent, left, right);
+        if let Some(l) = left {
+            assert!(l < &minted, "{minted} not after {l}");
+            // Strictly after the *subtree* of the left sibling.
+            assert!(l.subtree_bound() <= minted, "{minted} inside {l}");
+        }
+        if let Some(r) = right {
+            assert!(&minted < r, "{minted} not before {r}");
+        }
+        assert!(parent.is_strict_prefix_of(&minted));
+        assert_eq!(minted.len(), parent.len() + 1, "minted key is a child");
+        minted
+    }
+
+    #[test]
+    fn dense_cases_stay_dense() {
+        let p = pbn![1];
+        assert_eq!(assert_between(&p, None, None), pbn![1, 1]);
+        assert_eq!(assert_between(&p, Some(&pbn![1, 3]), None), pbn![1, 4]);
+        // Deletion gaps are reused.
+        assert_eq!(
+            assert_between(&p, Some(&pbn![1, 3]), Some(&pbn![1, 7])),
+            pbn![1, 4]
+        );
+        assert_eq!(assert_between(&p, None, Some(&pbn![1, 5])), pbn![1, 4]);
+    }
+
+    #[test]
+    fn adjacent_ordinals_open_a_gap() {
+        let p = pbn![1];
+        let m = assert_between(&p, Some(&pbn![1, 2]), Some(&pbn![1, 3]));
+        assert_eq!(m.to_string(), "1.2~80");
+        // The minted key leaves both neighbours' byte keys untouched and
+        // sits between them byte-wise too.
+        let (el, em, er) = (
+            EncodedPbn::encode(&pbn![1, 2]),
+            EncodedPbn::encode(&m),
+            EncodedPbn::encode(&pbn![1, 3]),
+        );
+        assert!(el < em && em < er);
+    }
+
+    #[test]
+    fn front_inserts_use_the_front_gap() {
+        let p = pbn![1];
+        let m = assert_between(&p, None, Some(&pbn![1, 1]));
+        assert_eq!(m.to_string(), "1.0~80");
+        // And again before the minted one.
+        let m2 = assert_between(&p, None, Some(&m));
+        assert!(m2 < m);
+        assert_eq!(m2.to_string(), "1.0~7f");
+    }
+
+    #[test]
+    fn repeated_midpoint_splits_stay_ordered_and_unique() {
+        // Keep inserting at the same point (after node "1.1", before
+        // whatever was minted last) — the adversarial worst case.
+        let p = pbn![1];
+        let left = pbn![1, 1];
+        let right = pbn![1, 2];
+        let mut last = assert_between(&p, Some(&left), Some(&right));
+        let mut seen = vec![left.clone(), right.clone(), last.clone()];
+        for _ in 0..200 {
+            let m = assert_between(&p, Some(&left), Some(&last));
+            assert!(!seen.contains(&m), "duplicate mint {m}");
+            seen.push(m.clone());
+            last = m;
+        }
+        // Byte order agrees with document order over everything minted.
+        let mut encoded: Vec<_> = seen.iter().map(EncodedPbn::encode).collect();
+        let mut by_pbn = seen.clone();
+        by_pbn.sort();
+        encoded.sort();
+        let decoded: Vec<_> = encoded.iter().map(|e| e.decode()).collect();
+        assert_eq!(decoded, by_pbn);
+    }
+
+    #[test]
+    fn front_of_gap_growth_is_arithmetic_not_geometric() {
+        // 200 inserts at the front of a gap must step bytes down one at a
+        // time — roughly 253 inserts per added byte, not one byte each.
+        let p = pbn![1];
+        let mut right = assert_between(&p, Some(&pbn![1, 1]), Some(&pbn![1, 2]));
+        for _ in 0..200 {
+            right = assert_between(&p, Some(&pbn![1, 1]), Some(&right));
+        }
+        let frac_len = right.last_comp().unwrap().frac().len();
+        assert!(frac_len <= 2, "front-of-gap fraction grew to {frac_len}");
+    }
+
+    #[test]
+    fn random_insert_storm_preserves_order_and_neighbours() {
+        // Simulate a sibling list under random positional inserts and
+        // check global invariants after every mint.
+        let parent = pbn![1];
+        let mut sibs: Vec<Pbn> = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let pos = (rng() as usize) % (sibs.len() + 1);
+            let left = pos.checked_sub(1).map(|i| sibs[i].clone());
+            let right = sibs.get(pos).cloned();
+            let m = assert_between(&parent, left.as_ref(), right.as_ref());
+            sibs.insert(pos, m);
+            // The list must still be strictly sorted, in both forms.
+            for w in sibs.windows(2) {
+                assert!(w[0] < w[1]);
+                assert!(EncodedPbn::encode(&w[0]) < EncodedPbn::encode(&w[1]));
+                // And the left subtree bound clears the right sibling.
+                assert!(w[0].subtree_bound() <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn minting_under_minted_parents_works() {
+        let parent = Pbn::root().child_comp(crate::number::Comp::minted(2, vec![0x80]));
+        let c1 = assert_between(&parent, None, None);
+        assert_eq!(c1, parent.child(1));
+        let c2 = assert_between(&parent, Some(&c1), None);
+        let m = assert_between(&parent, Some(&c1), Some(&c2));
+        assert!(c1 < m && m < c2);
+    }
+}

@@ -1,54 +1,244 @@
-//! The [`Pbn`] number type: a sequence of 1-based sibling ordinals.
+//! The [`Pbn`] number type: a sequence of 1-based sibling ordinals,
+//! optionally extended with minted *gap fractions* (see [`crate::mint`]).
 
 use std::fmt;
 use std::str::FromStr;
 
+/// One component of a PBN number.
+///
+/// A *plain* component is a 1-based sibling ordinal, exactly as in §4.2 of
+/// the paper. A *minted* component additionally carries a non-empty
+/// `frac` byte string allocated by [`crate::mint::KeyGen`] so that a new
+/// sibling can be placed **between** two existing ordinals without
+/// renumbering either: `{ord: j, frac: F}` sorts after the entire subtree
+/// of plain `j` and before plain `j + 1`, and `{ord: 0, frac: F}` sorts
+/// before plain `1` (a front insertion; `ord` 0 never appears without a
+/// fraction).
+///
+/// `Ord` is `(ord, frac)` lexicographic, empty fraction first — exactly
+/// the order of the byte encoding in [`crate::encode`]. The comparisons
+/// are written by hand (not derived) so the plain/plain case — virtually
+/// every comparison on an undisturbed document, and the innermost loop of
+/// the §5 axis predicates — stays a branch on two integers instead of a
+/// `memcmp` call against two empty fractions.
+///
+/// Fraction bytes are drawn from `0x01..=0xFF` (never `0x00`, which the
+/// encoding uses as the fraction terminator) and by minting convention end
+/// with a byte `>= 0x02` so there is always room to mint below them.
+#[derive(Clone, Eq)]
+pub struct Comp {
+    ord: u32,
+    // Box<[u8]>, not Vec<u8>: one word smaller, and number comparison is
+    // the innermost loop of every axis predicate. Empty boxes (plain
+    // components — virtually all of them) never allocate.
+    frac: Box<[u8]>,
+}
+
+impl std::hash::Hash for Comp {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.ord.hash(state);
+        self.frac.hash(state);
+    }
+}
+
+impl PartialEq for Comp {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.ord == other.ord
+            && self.frac.len() == other.frac.len()
+            && (self.frac.is_empty() || self.frac == other.frac)
+    }
+}
+
+impl PartialOrd for Comp {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Comp {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match self.ord.cmp(&other.ord) {
+            std::cmp::Ordering::Equal => {
+                if self.frac.is_empty() && other.frac.is_empty() {
+                    std::cmp::Ordering::Equal
+                } else {
+                    self.frac.cmp(&other.frac)
+                }
+            }
+            unequal => unequal,
+        }
+    }
+}
+
+impl Comp {
+    /// A plain 1-based ordinal component.
+    ///
+    /// # Panics
+    /// Panics if `ord` is zero (ordinals are 1-based; `ord` 0 exists only
+    /// on minted front-gap components).
+    pub fn new(ord: u32) -> Self {
+        assert!(ord > 0, "PBN components are 1-based, got 0");
+        Comp {
+            ord,
+            frac: Box::default(),
+        }
+    }
+
+    /// A minted gap component: sorts after the subtree of plain `ord` and
+    /// before plain `ord + 1` (for `ord` 0: before plain `1`).
+    ///
+    /// # Panics
+    /// Panics if `frac` is empty or contains a `0x00` byte — minted
+    /// components always carry a well-formed fraction. Trusted internal
+    /// call sites only ([`crate::mint`], the codec).
+    pub fn minted(ord: u32, frac: Vec<u8>) -> Self {
+        assert!(
+            !frac.is_empty() && !frac.contains(&0),
+            "minted components need a non-empty, zero-free fraction"
+        );
+        Comp {
+            ord,
+            frac: frac.into_boxed_slice(),
+        }
+    }
+
+    /// The ordinal part. For a minted component this names the gap the
+    /// component lives in, not a sibling position.
+    #[inline]
+    pub fn ord(&self) -> u32 {
+        self.ord
+    }
+
+    /// The minted fraction — empty for plain components.
+    #[inline]
+    pub fn frac(&self) -> &[u8] {
+        &self.frac
+    }
+
+    /// True for a plain (fraction-free) ordinal component.
+    #[inline]
+    pub fn is_plain(&self) -> bool {
+        self.frac.is_empty()
+    }
+
+    /// The next component in the classic dense numbering: `j` → `j + 1`
+    /// for plain components; for minted components the fraction is
+    /// extended with a `0x00` sentinel (a **bound**, not a mintable
+    /// component), which sorts after the fraction itself and before every
+    /// longer minted sibling.
+    fn successor(&self) -> Comp {
+        if self.frac.is_empty() {
+            Comp {
+                ord: self.ord.saturating_add(1),
+                frac: Box::default(),
+            }
+        } else {
+            self.bound()
+        }
+    }
+
+    /// The *tight* exclusive upper bound of this component's subtree: the
+    /// fraction (empty for plain components) extended with a `0x00`
+    /// sentinel. `{j, frac·0x00}` sorts after every descendant of
+    /// `{j, frac}` and before every minted sibling in its gap — unlike
+    /// `j + 1`, which would swallow the gap. A **bound**, never a valid
+    /// mintable component.
+    fn bound(&self) -> Comp {
+        let mut frac = self.frac.to_vec();
+        frac.push(0);
+        Comp {
+            ord: self.ord,
+            frac: frac.into_boxed_slice(),
+        }
+    }
+}
+
+impl From<u32> for Comp {
+    fn from(ord: u32) -> Self {
+        Comp::new(ord)
+    }
+}
+
+impl fmt::Display for Comp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ord)?;
+        if !self.frac.is_empty() {
+            f.write_str("~")?;
+            for b in &self.frac {
+                write!(f, "{b:02x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Comp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
 /// A prefix-based number such as `1.2.2`.
 ///
 /// The root of a document is `1`; the k-th child of a node numbered `p`
-/// is `p.k`. Components are 1-based and never zero.
+/// is `p.k`. Components are 1-based and never zero; nodes inserted after
+/// the initial numbering may carry minted components (see [`Comp`]) whose
+/// dotted form looks like `1.2~80.1`.
 ///
 /// `Ord` is **document order**: a lexicographic comparison of components in
 /// which a proper prefix (an ancestor) sorts before its extensions — the
 /// order in which a preorder traversal visits nodes.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pbn {
-    components: Vec<u32>,
+    components: Vec<Comp>,
 }
 
 impl Pbn {
     /// The root number `1`.
     pub fn root() -> Self {
         Pbn {
-            components: vec![1],
+            components: vec![Comp::new(1)],
         }
     }
 
-    /// Builds a number from components.
+    /// Builds a number from plain ordinal components.
     ///
     /// # Panics
     /// Panics if any component is zero (ordinals are 1-based). Trusted
     /// internal call sites only; untrusted input goes through
     /// [`Pbn::try_new`] or [`str::parse`].
     pub fn new(components: impl Into<Vec<u32>>) -> Self {
-        let components = components.into();
+        let raw = components.into();
         assert!(
-            components.iter().all(|&c| c > 0),
-            "PBN components are 1-based, got {components:?}"
+            raw.iter().all(|&c| c > 0),
+            "PBN components are 1-based, got {raw:?}"
         );
-        Pbn { components }
+        Pbn {
+            components: raw.into_iter().map(Comp::new).collect(),
+        }
     }
 
-    /// Builds a number from components, rejecting zero ordinals instead of
-    /// panicking — the constructor for externally supplied values.
+    /// Builds a number from plain components, rejecting zero ordinals
+    /// instead of panicking — the constructor for externally supplied
+    /// values.
     pub fn try_new(components: impl Into<Vec<u32>>) -> Result<Self, PbnParseError> {
-        let components = components.into();
-        if let Some(zero_at) = components.iter().position(|&c| c == 0) {
+        let raw = components.into();
+        if let Some(zero_at) = raw.iter().position(|&c| c == 0) {
             return Err(PbnParseError(format!(
-                "component {zero_at} is zero in {components:?} (ordinals are 1-based)"
+                "component {zero_at} is zero in {raw:?} (ordinals are 1-based)"
             )));
         }
-        Ok(Pbn { components })
+        Ok(Pbn {
+            components: raw.into_iter().map(Comp::new).collect(),
+        })
+    }
+
+    /// Builds a number directly from components (plain or minted).
+    pub fn from_comps(components: Vec<Comp>) -> Self {
+        Pbn { components }
     }
 
     /// The empty number (no components). Used only as the numbering-space
@@ -61,7 +251,7 @@ impl Pbn {
 
     /// The components of this number.
     #[inline]
-    pub fn components(&self) -> &[u32] {
+    pub fn components(&self) -> &[Comp] {
         &self.components
     }
 
@@ -80,9 +270,14 @@ impl Pbn {
     /// The number of this node's `k`-th child.
     pub fn child(&self, k: u32) -> Pbn {
         assert!(k > 0, "sibling ordinals are 1-based");
+        self.child_comp(Comp::new(k))
+    }
+
+    /// The number formed by appending `comp` as a child component.
+    pub fn child_comp(&self, comp: Comp) -> Pbn {
         let mut components = Vec::with_capacity(self.components.len() + 1);
         components.extend_from_slice(&self.components);
-        components.push(k);
+        components.push(comp);
         Pbn { components }
     }
 
@@ -96,9 +291,16 @@ impl Pbn {
         })
     }
 
-    /// The final component: this node's sibling ordinal.
+    /// The final component's ordinal part. For minted components this is
+    /// the gap ordinal, not a sibling position (sibling positions are
+    /// computed dynamically under vPBN anyway, §5.1).
     pub fn ordinal(&self) -> Option<u32> {
-        self.components.last().copied()
+        self.components.last().map(Comp::ord)
+    }
+
+    /// The final component.
+    pub fn last_comp(&self) -> Option<&Comp> {
+        self.components.last()
     }
 
     /// True if `self` is a (non-strict) prefix of `other`.
@@ -146,8 +348,9 @@ impl Pbn {
     }
 
     /// The immediate successor of this number among its siblings (`p.k` →
-    /// `p.(k+1)`). Useful for building exclusive scan bounds: the subtree of
-    /// `x` is exactly the document-order interval `[x, x.sibling_successor())`.
+    /// `p.(k+1)`; minted components get a sentinel-extended fraction).
+    /// Useful for building exclusive scan bounds: the subtree of `x` is
+    /// exactly the document-order interval `[x, x.sibling_successor())`.
     ///
     /// # Panics
     /// Panics on the empty number, which has no siblings.
@@ -159,7 +362,26 @@ impl Pbn {
             .last_mut()
             // vet: allow(no-panic) — documented panic: the empty number has no siblings
             .expect("sibling_successor of the empty number");
-        *last += 1;
+        *last = last.successor();
+        Pbn { components }
+    }
+
+    /// The tight exclusive upper bound of this node's subtree in document
+    /// order: every descendant-or-self `d` satisfies `self <= d <
+    /// self.subtree_bound()`, and nothing else does — **including** minted
+    /// gap siblings, which `sibling_successor` (the classic `p.(k+1)`
+    /// bound) would wrongly cover. Scan bounds must use this form.
+    ///
+    /// # Panics
+    /// Panics on the empty number (its subtree is the whole space).
+    pub fn subtree_bound(&self) -> Pbn {
+        let mut components = self.components.clone();
+        #[allow(clippy::expect_used)]
+        let last = components
+            .last_mut()
+            // vet: allow(no-panic) — documented panic: the empty number bounds nothing
+            .expect("subtree_bound of the empty number");
+        *last = last.bound();
         Pbn { components }
     }
 }
@@ -199,20 +421,45 @@ impl std::error::Error for PbnParseError {}
 impl FromStr for Pbn {
     type Err = PbnParseError;
 
-    /// Parses the dotted form, e.g. `"1.2.2"`.
+    /// Parses the dotted form, e.g. `"1.2.2"`. Minted components use the
+    /// display form `ord~hexfrac`, e.g. `"1.2~80.1"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s.is_empty() {
             return Ok(Pbn::empty());
         }
         let mut components = Vec::new();
         for part in s.split('.') {
-            let v: u32 = part.parse().map_err(|_| PbnParseError(s.to_owned()))?;
-            if v == 0 {
-                return Err(PbnParseError(s.to_owned()));
-            }
-            components.push(v);
+            components.push(parse_comp(part).ok_or_else(|| PbnParseError(s.to_owned()))?);
         }
         Ok(Pbn { components })
+    }
+}
+
+/// Parses one dotted-form component: `"12"` or `"12~80ff"`.
+fn parse_comp(part: &str) -> Option<Comp> {
+    match part.split_once('~') {
+        None => {
+            let v: u32 = part.parse().ok()?;
+            if v == 0 {
+                return None;
+            }
+            Some(Comp::new(v))
+        }
+        Some((ord, hex)) => {
+            let ord: u32 = ord.parse().ok()?;
+            if hex.is_empty() || hex.len() % 2 != 0 {
+                return None;
+            }
+            let mut frac = Vec::with_capacity(hex.len() / 2);
+            for i in (0..hex.len()).step_by(2) {
+                let b = u8::from_str_radix(&hex[i..i + 2], 16).ok()?;
+                if b == 0 {
+                    return None; // fractions never contain the terminator byte
+                }
+                frac.push(b);
+            }
+            Some(Comp::minted(ord, frac))
+        }
     }
 }
 
@@ -244,6 +491,37 @@ mod tests {
         assert!("1.0".parse::<Pbn>().is_err());
         assert!("1..2".parse::<Pbn>().is_err());
         assert!("a.b".parse::<Pbn>().is_err());
+    }
+
+    #[test]
+    fn minted_components_display_and_parse() {
+        let m = Pbn::root().child_comp(Comp::minted(2, vec![0x80]));
+        assert_eq!(m.to_string(), "1.2~80");
+        assert_eq!(m.to_string().parse::<Pbn>().unwrap(), m);
+        let front = Pbn::root().child_comp(Comp::minted(0, vec![0x80, 0x02]));
+        assert_eq!(front.to_string(), "1.0~8002");
+        assert_eq!(front.to_string().parse::<Pbn>().unwrap(), front);
+        // Malformed fraction forms are rejected.
+        assert!("1.2~".parse::<Pbn>().is_err());
+        assert!("1.2~8".parse::<Pbn>().is_err());
+        assert!("1.2~00".parse::<Pbn>().is_err());
+    }
+
+    #[test]
+    fn minted_components_sit_between_their_neighbours() {
+        // {j, F} sorts after the whole subtree of j and before j + 1;
+        // {0, F} sorts before 1.
+        let plain2 = pbn![1, 2];
+        let deep2 = pbn![1, 2, 9, 9];
+        let after2 = Pbn::root().child_comp(Comp::minted(2, vec![0x80]));
+        let plain3 = pbn![1, 3];
+        assert!(plain2 < after2 && deep2 < after2 && after2 < plain3);
+        let front = Pbn::root().child_comp(Comp::minted(0, vec![0x80]));
+        assert!(pbn![1] < front && front < pbn![1, 1]);
+        // A minted node's own descendants stay inside its subtree bound.
+        let child_of_minted = after2.child(1);
+        assert!(after2 < child_of_minted && child_of_minted < after2.sibling_successor());
+        assert!(after2.is_strict_prefix_of(&child_of_minted));
     }
 
     #[test]
@@ -296,6 +574,19 @@ mod tests {
         assert!(x < pbn![1, 2, 7] && pbn![1, 2, 7] < succ);
         assert!(pbn![1, 2, 999, 4] < succ);
         assert!(succ <= pbn![1, 3]);
+    }
+
+    #[test]
+    fn sibling_successor_bounds_minted_subtrees() {
+        let x = Pbn::root().child_comp(Comp::minted(2, vec![0x80]));
+        let succ = x.sibling_successor();
+        // Descendants are inside the bound …
+        assert!(x < x.child(1) && x.child(1) < succ);
+        assert!(x.child(7).child(3) < succ);
+        // … while a longer minted sibling (fraction 0x80 0x02 > 0x80) is not.
+        let later = Pbn::root().child_comp(Comp::minted(2, vec![0x80, 0x02]));
+        assert!(x < later && succ <= later);
+        assert!(later < pbn![1, 3]);
     }
 
     #[test]

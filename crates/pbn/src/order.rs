@@ -3,7 +3,9 @@
 //! [`Pbn`]'s derived `Ord` already *is* document order (component-wise
 //! lexicographic, prefix-first). This module adds named helpers and range
 //! construction used by index scans: the subtree of `x` is exactly the
-//! half-open document-order interval `[x, x.sibling_successor())`.
+//! half-open document-order interval `[x, x.subtree_bound())` — the tight
+//! bound that, unlike `x.sibling_successor()`, excludes siblings minted
+//! into `x`'s gap (see [`crate::mint`]).
 
 use crate::number::Pbn;
 use std::cmp::Ordering;
@@ -19,7 +21,7 @@ pub fn cmp_document_order(x: &Pbn, y: &Pbn) -> Ordering {
 /// (descendant-or-self). Every number `d` with `x.is_prefix_of(d)` satisfies
 /// `range.0 <= d && d < range.1`, and no other number does.
 pub fn subtree_range(x: &Pbn) -> (Pbn, Pbn) {
-    (x.clone(), x.sibling_successor())
+    (x.clone(), x.subtree_bound())
 }
 
 /// Binary-searches a **document-order sorted** slice for the sub-slice of

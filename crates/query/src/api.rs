@@ -21,6 +21,7 @@
 //! ```
 
 pub use crate::doc::{PhysicalDoc, QueryDoc, VirtualDoc};
+pub use crate::edit::{Edit, EditReceipt, EditRecovery, ReplayFailure};
 pub use crate::engine::{
     query_document, Engine, EngineSnapshot, Explain, QueryOutcome, QueryRequest,
 };

@@ -26,6 +26,7 @@
 //! `eval*` methods remain as thin wrappers over `run`.
 
 use crate::doc::{PhysicalDoc, QueryDoc, VirtualDoc};
+use crate::edit::{Edit, EditReceipt, EditRecovery, ReplayFailure};
 use crate::error::Limits;
 use crate::flwr::ast::{Clause, FlwrQuery, Origin};
 use crate::flwr::eval::{copy_node, eval_flwr_multi_limited, DocSet, FlwrError, RESULTS_ROOT};
@@ -40,7 +41,7 @@ use vh_core::cache::{guide_fingerprint, CacheStats, ViewKey};
 use vh_core::levels::LevelMap;
 use vh_core::range::PrefixTables;
 use vh_core::{ExecCache, ExecOptions, TypeIndex, VDataGuide, VirtualDocument};
-use vh_dataguide::TypedDocument;
+use vh_dataguide::{resolve_path, TypedDocument};
 use vh_obs::{
     AxisCounters, CacheOutcome, PromWriter, QueryCounterCells, QueryCounters, QueryStats,
     QueryTrace, Span, TraceBuilder, ViewProvenance,
@@ -48,6 +49,7 @@ use vh_obs::{
 use vh_storage::buffer::BufferStats;
 use vh_storage::stats::StorageStats;
 use vh_storage::store::StoredDocument;
+use vh_storage::{replay, EditWal, StorageError};
 use vh_xml::{Document, NodeId};
 
 // --------------------------------------------------------- request API ---
@@ -222,8 +224,12 @@ pub struct EngineSnapshot {
 
 // --------------------------------------------------------------- engine ---
 
+/// Default number of delta-segment entries a document may accumulate
+/// during an [`Engine::apply_all`] batch or WAL replay before it is
+/// compacted mid-stream.
+pub const DEFAULT_COMPACT_THRESHOLD: usize = 1024;
+
 /// A registry of analyzed documents plus the query entry points.
-#[derive(Default)]
 pub struct Engine {
     docs: HashMap<String, TypedDocument>,
     /// DataGuide fingerprint per registered URI — part of every view's
@@ -240,6 +246,34 @@ pub struct Engine {
     /// Page stores attached for storage-stats reporting (see
     /// [`Engine::attach_store`]); queries never read through them.
     stores: HashMap<String, StoredDocument>,
+    /// The engine-wide write-ahead edit log. An edit is acknowledged only
+    /// after its frame is appended *and synced* here, so the synced
+    /// prefix always reproduces the acknowledged document state.
+    wal: EditWal,
+    /// Highest WAL sequence number already applied to the registry —
+    /// [`Engine::recover`] skips records at or below it (idempotent
+    /// replay).
+    applied_seq: u64,
+    /// Delta-segment entries a document may accumulate mid-batch before
+    /// being compacted (see [`Engine::set_compact_threshold`]).
+    compact_threshold: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            docs: HashMap::new(),
+            guide_hash: HashMap::new(),
+            cache: Arc::default(),
+            exec: ExecOptions::default(),
+            limits: Limits::default(),
+            counters: QueryCounterCells::new(),
+            stores: HashMap::new(),
+            wal: EditWal::new(),
+            applied_seq: 0,
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        }
+    }
 }
 
 impl Engine {
@@ -320,6 +354,318 @@ impl Engine {
             .stores
             .entry(uri.to_owned())
             .or_insert_with(|| StoredDocument::build(td.clone())))
+    }
+
+    // ----------------------------------------------------------- edits ---
+
+    /// Applies one [`Edit`] to its registered document.
+    ///
+    /// The mutation runs in memory first (validation and application are
+    /// one step — the document layer rejects bad paths, positions and
+    /// cyclic moves before changing anything), then the edit's frame is
+    /// appended **and synced** to the write-ahead log, and only then is
+    /// the receipt produced. A crash at any point loses at most the one
+    /// unacknowledged edit: [`Engine::recover`] rebuilds exactly the
+    /// acknowledged state from the base documents plus the synced log.
+    ///
+    /// Sibling numbers are minted *between* their neighbours
+    /// ([`vh_pbn::KeyGen`]), so no existing node is ever renumbered; the
+    /// byte arena absorbs the edit via an immediate bounded compaction so
+    /// concurrent readers ([`Engine::run`] takes `&self`) always see a
+    /// fresh arena.
+    pub fn apply(&mut self, edit: Edit) -> Result<EditReceipt, FlwrError> {
+        self.apply_traced(edit, false).map(|(receipt, _)| receipt)
+    }
+
+    /// [`Engine::apply`] with an optional `apply` span tree (metadata:
+    /// edit kind and URI; children: the `compact` span when the delta
+    /// segment is drained).
+    pub fn apply_traced(
+        &mut self,
+        edit: Edit,
+        traced: bool,
+    ) -> Result<(EditReceipt, Option<QueryTrace>), FlwrError> {
+        let mut trace = if traced {
+            TraceBuilder::enabled("apply")
+        } else {
+            TraceBuilder::disabled()
+        };
+        trace.meta("kind", edit.kind());
+        trace.meta("uri", edit.uri());
+        let nodes_touched = match self.apply_inner(&edit, &mut trace) {
+            Ok(n) => n,
+            Err(e) => {
+                self.counters.record_edit_failure();
+                return Err(e);
+            }
+        };
+        let seq = self.log_edit(&edit);
+        trace.count("wal.seq", seq);
+        let compacted = self.drain_delta(edit.uri(), &mut trace);
+        Ok((
+            EditReceipt {
+                seq,
+                uri: edit.uri().to_owned(),
+                kind: edit.kind(),
+                nodes_touched,
+                compacted,
+            },
+            trace.finish(),
+        ))
+    }
+
+    /// Applies a batch of edits in order. Unlike repeated
+    /// [`Engine::apply`] calls, the delta segment of each document is
+    /// allowed to accumulate up to the compaction threshold between
+    /// edits and is drained once per document at the end of the batch —
+    /// the receipts' `compacted` fields report only mid-batch threshold
+    /// compactions. Stops at the first rejected edit; everything before
+    /// it is applied and durable.
+    pub fn apply_all(&mut self, edits: Vec<Edit>) -> Result<Vec<EditReceipt>, FlwrError> {
+        let mut trace = TraceBuilder::disabled();
+        let mut receipts = Vec::with_capacity(edits.len());
+        let mut touched: Vec<String> = Vec::new();
+        for edit in edits {
+            let nodes_touched = match self.apply_inner(&edit, &mut trace) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.counters.record_edit_failure();
+                    self.drain_touched(&touched, &mut trace);
+                    return Err(e);
+                }
+            };
+            let seq = self.log_edit(&edit);
+            if !touched.iter().any(|u| u == edit.uri()) {
+                touched.push(edit.uri().to_owned());
+            }
+            let compacted = if self.delta_of(edit.uri()) >= self.compact_threshold {
+                self.drain_delta(edit.uri(), &mut trace)
+            } else {
+                0
+            };
+            receipts.push(EditReceipt {
+                seq,
+                uri: edit.uri().to_owned(),
+                kind: edit.kind(),
+                nodes_touched,
+                compacted,
+            });
+        }
+        self.drain_touched(&touched, &mut trace);
+        Ok(receipts)
+    }
+
+    /// Rebuilds the acknowledged document state from a write-ahead log.
+    ///
+    /// `bytes` is the persisted log (torn tails and corrupt frames are
+    /// quarantined by [`vh_storage::replay`], never applied). Records
+    /// whose sequence number was already applied in this engine are
+    /// skipped, so replay is idempotent; the remainder are re-applied in
+    /// order against the registered base documents. Replay stops at the
+    /// first record that fails to decode or re-apply — the failure is
+    /// reported, never papered over — and the engine adopts the readable
+    /// log prefix as its own, so subsequent edits append after it.
+    ///
+    /// Only log-level corruption of the header is an `Err`; everything
+    /// else is reported in the returned [`EditRecovery`].
+    pub fn recover(&mut self, bytes: &[u8]) -> Result<EditRecovery, StorageError> {
+        self.recover_traced(bytes, false)
+    }
+
+    /// [`Engine::recover`] with an optional `recover` span tree.
+    pub fn recover_traced(
+        &mut self,
+        bytes: &[u8],
+        traced: bool,
+    ) -> Result<EditRecovery, StorageError> {
+        let mut trace = if traced {
+            TraceBuilder::enabled("recover")
+        } else {
+            TraceBuilder::disabled()
+        };
+        let (wal, report) = EditWal::from_bytes(bytes.to_vec())?;
+        // The adopted log is the validated clean prefix, so this second
+        // pass cannot fail or quarantine further.
+        let (records, _) = replay(wal.as_bytes())?;
+        let mut rec = EditRecovery {
+            wal: report,
+            ..EditRecovery::default()
+        };
+        let mut touched: Vec<String> = Vec::new();
+        for r in &records {
+            if r.seq <= self.applied_seq {
+                rec.skipped += 1;
+                continue;
+            }
+            let edit = match Edit::decode(&r.payload) {
+                Ok(e) => e,
+                Err(e) => {
+                    rec.failed.push(ReplayFailure {
+                        seq: r.seq,
+                        reason: e.to_string(),
+                    });
+                    break;
+                }
+            };
+            match self.apply_inner(&edit, &mut trace) {
+                Ok(_) => {
+                    self.applied_seq = r.seq;
+                    rec.replayed += 1;
+                    self.counters.record_edit(true);
+                    if !touched.iter().any(|u| u == edit.uri()) {
+                        touched.push(edit.uri().to_owned());
+                    }
+                    // Bound the delta segment during long replays.
+                    if self.delta_of(edit.uri()) >= self.compact_threshold {
+                        rec.compacted += self.drain_delta(edit.uri(), &mut trace);
+                    }
+                }
+                Err(e) => {
+                    rec.failed.push(ReplayFailure {
+                        seq: r.seq,
+                        reason: e.to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+        for uri in &touched {
+            rec.compacted += self.drain_delta(uri, &mut trace);
+        }
+        self.wal = wal;
+        trace.count("recover.replayed", rec.replayed);
+        trace.count("recover.skipped", rec.skipped);
+        rec.trace = trace.finish();
+        Ok(rec)
+    }
+
+    /// Explicitly merges every document's outstanding delta segment into
+    /// its byte arena, evicting cached views of the compacted documents.
+    /// Returns the total number of entries merged. After single
+    /// [`Engine::apply`] calls this is a no-op (they drain eagerly); it
+    /// exists as the bounded explicit compactor for embedders driving
+    /// [`Engine::apply_all`] batches or long replays.
+    pub fn compact(&mut self) -> usize {
+        let uris: Vec<String> = self.docs.keys().cloned().collect();
+        let mut trace = TraceBuilder::disabled();
+        let mut merged = 0;
+        for uri in uris {
+            merged += self.drain_delta(&uri, &mut trace);
+        }
+        merged
+    }
+
+    /// Replaces the mid-batch compaction threshold (clamped to ≥ 1).
+    pub fn set_compact_threshold(&mut self, threshold: usize) {
+        self.compact_threshold = threshold.max(1);
+    }
+
+    /// The mid-batch compaction threshold currently in force.
+    pub fn compact_threshold(&self) -> usize {
+        self.compact_threshold
+    }
+
+    /// The engine's write-ahead edit log as bytes — what `vpbn edit`
+    /// persists after a batch. Includes only synced frames plus any
+    /// staged-but-unsynced tail (none, between [`Engine::apply`] calls).
+    pub fn wal_bytes(&self) -> &[u8] {
+        self.wal.as_bytes()
+    }
+
+    /// Highest WAL sequence number applied to this registry.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Validates and applies one edit to its document, then refreshes the
+    /// URI's guide fingerprint and evicts its cached views (the guide may
+    /// have grown and every cached artifact was built pre-edit). Returns
+    /// the number of nodes touched. Does **not** log or compact.
+    fn apply_inner(&mut self, edit: &Edit, trace: &mut TraceBuilder) -> Result<u64, FlwrError> {
+        let uri = edit.uri();
+        let td = self
+            .docs
+            .get_mut(uri)
+            .ok_or_else(|| FlwrError::UnknownDocument(uri.to_owned()))?;
+        let nodes_touched = match edit {
+            Edit::InsertSubtree {
+                parent, pos, xml, ..
+            } => {
+                let parent = resolve_path(td.doc(), parent)?;
+                let root = td.insert_fragment(parent, *pos, xml)?;
+                td.doc().descendants_or_self(root).count() as u64
+            }
+            Edit::DeleteSubtree { target, .. } => {
+                let target = resolve_path(td.doc(), target)?;
+                td.delete_subtree(target)? as u64
+            }
+            Edit::MoveSubtree {
+                target,
+                parent,
+                pos,
+                ..
+            } => {
+                let t = resolve_path(td.doc(), target)?;
+                let p = resolve_path(td.doc(), parent)?;
+                td.move_subtree(t, p, *pos)?;
+                td.doc().descendants_or_self(t).count() as u64
+            }
+            Edit::SetValue { target, value, .. } => {
+                let t = resolve_path(td.doc(), target)?;
+                td.set_value(t, value)?;
+                1
+            }
+        };
+        trace.count("edit.nodes_touched", nodes_touched);
+        let fp = guide_fingerprint(td.guide());
+        self.cache.invalidate_uri(uri);
+        self.stores.remove(uri);
+        self.guide_hash.insert(uri.to_owned(), fp);
+        Ok(nodes_touched)
+    }
+
+    /// Makes an applied edit durable: encodes, appends and syncs its WAL
+    /// frame, advances the applied sequence and counts it. Returns the
+    /// edit's sequence number.
+    fn log_edit(&mut self, edit: &Edit) -> u64 {
+        let payload = edit.encode();
+        let seq = self.wal.append(&payload);
+        self.wal.sync();
+        self.applied_seq = seq;
+        self.counters.record_edit(false);
+        seq
+    }
+
+    /// Merges `uri`'s delta segment into its byte arena under a `compact`
+    /// span, evicting cached views built over the old arena. Returns the
+    /// number of entries merged (0 when already compact).
+    fn drain_delta(&mut self, uri: &str, trace: &mut TraceBuilder) -> usize {
+        let Some(td) = self.docs.get_mut(uri) else {
+            return 0;
+        };
+        if td.delta_len() == 0 {
+            return 0;
+        }
+        trace.begin("compact");
+        trace.meta("uri", uri);
+        let merged = td.compact();
+        trace.count("compact.merged", merged as u64);
+        trace.end();
+        self.cache.invalidate_uri(uri);
+        self.counters.record_compaction();
+        merged
+    }
+
+    /// Drains every URI in `touched` (end-of-batch cleanup).
+    fn drain_touched(&mut self, touched: &[String], trace: &mut TraceBuilder) {
+        for uri in touched {
+            self.drain_delta(uri, trace);
+        }
+    }
+
+    /// Outstanding delta-segment length of `uri` (0 for unknown URIs).
+    fn delta_of(&self, uri: &str) -> usize {
+        self.docs.get(uri).map_or(0, TypedDocument::delta_len)
     }
 
     // ------------------------------------------------------------- run ---
@@ -706,6 +1052,24 @@ impl Engine {
             &[],
             snap.queries.result_nodes,
         );
+        w.counter("vpbn_edits_total", "Edits applied successfully.");
+        w.sample("vpbn_edits_total", &[], snap.queries.edits);
+        w.counter("vpbn_edit_failures_total", "Edits rejected with an error.");
+        w.sample("vpbn_edit_failures_total", &[], snap.queries.edit_failures);
+        w.counter(
+            "vpbn_replayed_edits_total",
+            "Edits re-applied from the write-ahead log by recovery.",
+        );
+        w.sample(
+            "vpbn_replayed_edits_total",
+            &[],
+            snap.queries.replayed_edits,
+        );
+        w.counter(
+            "vpbn_compactions_total",
+            "Delta-segment compactions (automatic and explicit).",
+        );
+        w.sample("vpbn_compactions_total", &[], snap.queries.compactions);
         let artifacts = [
             ("expansions", &snap.cache.expansions),
             ("levels", &snap.cache.levels),
@@ -1254,5 +1618,214 @@ mod tests {
         assert!(e.run(&QueryRequest::path("book.xml", "//[")).is_err());
         let snap = e.snapshot();
         assert_eq!(snap.queries.failures, 2);
+    }
+
+    // ----------------------------------------------------------- edits ---
+
+    /// The registered document at `uri`, serialized compactly — the
+    /// equality oracle for edit and recovery tests.
+    fn doc_text(e: &Engine, uri: &str) -> String {
+        vh_xml::serialize(
+            e.document(uri).must().doc(),
+            vh_xml::SerializeOptions::compact(),
+        )
+    }
+
+    fn insert_book(title: &str, pos: usize) -> Edit {
+        Edit::InsertSubtree {
+            uri: "book.xml".into(),
+            parent: "1".into(),
+            pos,
+            xml: format!("<book><title>{title}</title><author><name>Q</name></author></book>"),
+        }
+    }
+
+    #[test]
+    fn applied_edits_are_queryable_and_acknowledged_in_order() {
+        let mut e = engine();
+        let r1 = e.apply(insert_book("Z", 2)).must();
+        assert_eq!(r1.seq, 1);
+        assert_eq!(r1.kind, "insert-subtree");
+        assert_eq!(r1.nodes_touched, 6); // book+title+text+author+name+text
+        assert!(r1.compacted > 0, "single applies drain the delta eagerly");
+        let r2 = e
+            .apply(Edit::SetValue {
+                uri: "book.xml".into(),
+                target: "1.3.1".into(),
+                value: "Z2".into(),
+            })
+            .must();
+        assert_eq!(r2.seq, 2);
+        assert_eq!(e.applied_seq(), 2);
+        // Physical, virtual and twig paths all see the new state.
+        assert_eq!(e.eval_path("book.xml", "//book").must().len(), 3);
+        let got = e.eval_to_string(RHONDA).must();
+        assert!(got.contains("<title>Z2</title>"), "{got}");
+        let snap = e.snapshot();
+        assert_eq!(snap.queries.edits, 2);
+        assert_eq!(snap.queries.edit_failures, 0);
+        // The insert drained its delta; the in-place text rewrite touched
+        // no numbering, so it had nothing to compact.
+        assert_eq!(snap.queries.compactions, 1);
+        assert_eq!(r2.compacted, 0);
+    }
+
+    #[test]
+    fn edits_invalidate_cached_views() {
+        let mut e = engine();
+        // Warm every view artifact, then edit, then re-run: the cached
+        // artifacts were built pre-edit and must not serve the second run.
+        let before = e.eval_to_string(RHONDA).must();
+        assert_eq!(before.matches("<result>").count(), 2);
+        e.apply(insert_book("W", 0)).must();
+        let after = e.eval_to_string(RHONDA).must();
+        assert_eq!(after.matches("<result>").count(), 3);
+        assert!(after.contains("<title>W</title>"), "{after}");
+    }
+
+    #[test]
+    fn rejected_edits_change_nothing_and_log_nothing() {
+        let mut e = engine();
+        let before = doc_text(&e, "book.xml");
+        let wal_len = e.wal_bytes().len();
+        let bad = Edit::DeleteSubtree {
+            uri: "book.xml".into(),
+            target: "1.9.9".into(),
+        };
+        let err = e.apply(bad).unwrap_err();
+        assert_eq!(err.code(), "QUERY_EDIT");
+        assert!(matches!(
+            e.apply(Edit::SetValue {
+                uri: "nope.xml".into(),
+                target: "1".into(),
+                value: "x".into(),
+            }),
+            Err(FlwrError::UnknownDocument(_))
+        ));
+        assert_eq!(doc_text(&e, "book.xml"), before);
+        assert_eq!(e.wal_bytes().len(), wal_len, "rejected edits never log");
+        assert_eq!(e.snapshot().queries.edit_failures, 2);
+    }
+
+    #[test]
+    fn recovery_replays_the_log_onto_a_fresh_base() {
+        let mut live = engine();
+        live.apply(insert_book("Z", 2)).must();
+        live.apply(Edit::MoveSubtree {
+            uri: "book.xml".into(),
+            target: "1.3".into(),
+            parent: "1".into(),
+            pos: 0,
+        })
+        .must();
+        live.apply(Edit::DeleteSubtree {
+            uri: "book.xml".into(),
+            target: "1.2".into(),
+        })
+        .must();
+        let wal: Vec<u8> = live.wal_bytes().to_vec();
+
+        let mut restarted = engine();
+        let rec = restarted.recover(&wal).must();
+        assert!(rec.is_clean(), "{}", rec.to_json());
+        assert_eq!(rec.replayed, 3);
+        assert_eq!(rec.skipped, 0);
+        assert_eq!(
+            doc_text(&restarted, "book.xml"),
+            doc_text(&live, "book.xml")
+        );
+        assert_eq!(restarted.applied_seq(), 3);
+        // Replay is idempotent: recovering the same log again is a no-op.
+        let again = restarted.recover(&wal).must();
+        assert_eq!(again.replayed, 0);
+        assert_eq!(again.skipped, 3);
+        assert_eq!(
+            doc_text(&restarted, "book.xml"),
+            doc_text(&live, "book.xml")
+        );
+        // The restarted engine continues the sequence where the log ended.
+        let r = restarted.apply(insert_book("post", 0)).must();
+        assert_eq!(r.seq, 4);
+    }
+
+    #[test]
+    fn recovery_reports_undecodable_records_without_applying_them() {
+        let mut live = engine();
+        live.apply(insert_book("Z", 2)).must();
+        let wal = live.wal_bytes().to_vec();
+        // Graft a frame whose payload passes the CRC but is not an edit.
+        let mut sneaky = EditWal::from_bytes(wal).must().0;
+        sneaky.append(&[0xEE, 0xFF]);
+        sneaky.sync();
+        let mut restarted = engine();
+        let rec = restarted.recover(sneaky.as_bytes()).must();
+        assert!(rec.wal.is_clean(), "frames themselves are intact");
+        assert!(!rec.is_clean());
+        assert_eq!(rec.replayed, 1);
+        assert_eq!(rec.failed.len(), 1);
+        assert_eq!(rec.failed[0].seq, 2);
+        assert!(rec.failed[0].reason.contains("EDIT_PAYLOAD"));
+        // The valid prefix was still applied.
+        assert_eq!(restarted.eval_path("book.xml", "//book").must().len(), 3);
+    }
+
+    #[test]
+    fn recovery_quarantines_torn_tails() {
+        let mut live = engine();
+        live.apply(insert_book("Z", 2)).must();
+        live.apply(insert_book("Z2", 3)).must();
+        let wal = live.wal_bytes().to_vec();
+        // Tear the last frame mid-payload, as a crash during a write would.
+        let torn = &wal[..wal.len() - 3];
+        let mut restarted = engine();
+        let rec = restarted.recover(torn).must();
+        assert!(!rec.wal.is_clean());
+        assert_eq!(rec.replayed, 1, "the intact prefix is applied");
+        assert!(rec.failed.is_empty());
+        assert_eq!(restarted.eval_path("book.xml", "//book").must().len(), 3);
+        // New edits append after the quarantined tail was truncated.
+        let r = restarted.apply(insert_book("fresh", 0)).must();
+        assert_eq!(r.seq, 2);
+    }
+
+    #[test]
+    fn apply_all_batches_share_one_final_compaction() {
+        let mut e = engine();
+        let edits: Vec<Edit> = (0..8).map(|i| insert_book(&format!("b{i}"), 2)).collect();
+        let receipts = e.apply_all(edits).must();
+        assert_eq!(receipts.len(), 8);
+        assert!(
+            receipts.iter().all(|r| r.compacted == 0),
+            "below the threshold nothing compacts mid-batch"
+        );
+        assert_eq!(e.compact(), 0, "the batch drained its delta at the end");
+        assert_eq!(e.eval_path("book.xml", "//book").must().len(), 10);
+        // A tiny threshold forces mid-batch compactions.
+        let mut tight = engine();
+        tight.set_compact_threshold(1);
+        let receipts = tight
+            .apply_all((0..3).map(|i| insert_book(&format!("t{i}"), 2)).collect())
+            .must();
+        assert!(receipts.iter().all(|r| r.compacted > 0));
+    }
+
+    #[test]
+    fn traced_applies_emit_the_edit_span_vocabulary() {
+        let mut e = engine();
+        let (_, trace) = e.apply_traced(insert_book("Z", 2), true).must();
+        let trace = trace.must();
+        assert_eq!(trace.root.name, "apply");
+        assert_eq!(trace.root.meta_value("kind"), Some("insert-subtree"));
+        assert_eq!(trace.root.meta_value("uri"), Some("book.xml"));
+        assert!(trace.root.find("compact").is_some());
+        let text = e.metrics_text();
+        for needle in [
+            "vpbn_edits_total 1",
+            "vpbn_edit_failures_total 0",
+            "vpbn_compactions_total 1",
+            "vpbn_replayed_edits_total 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 }

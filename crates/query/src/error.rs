@@ -94,6 +94,9 @@ pub enum QueryError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// An [`crate::edit::Edit`] was rejected by the document layer (bad
+    /// path, bad position, cyclic move, …).
+    Edit(vh_dataguide::EditError),
 }
 
 /// The historical name of [`QueryError`], kept for existing callers.
@@ -110,6 +113,7 @@ impl QueryError {
             QueryError::Vdg(_) => "QUERY_VDG",
             QueryError::UnknownDocument(_) => "QUERY_UNKNOWN_DOCUMENT",
             QueryError::Unsupported(_) => "QUERY_UNSUPPORTED",
+            QueryError::Edit(_) => "QUERY_EDIT",
         }
     }
 }
@@ -125,6 +129,7 @@ impl fmt::Display for QueryError {
             QueryError::ResourceExhausted { resource, limit } => {
                 write!(f, "query exceeded its {resource} limit of {limit}")
             }
+            QueryError::Edit(e) => write!(f, "edit rejected: {e}"),
         }
     }
 }
@@ -134,6 +139,7 @@ impl std::error::Error for QueryError {
         match self {
             QueryError::XPath(e) => Some(e),
             QueryError::Vdg(e) => Some(e),
+            QueryError::Edit(e) => Some(e),
             _ => None,
         }
     }
@@ -174,6 +180,7 @@ mod tests {
                 resource: ResourceKind::Depth,
                 limit: 1,
             },
+            QueryError::Edit(vh_dataguide::EditError::RootTarget),
         ];
         let codes: std::collections::HashSet<_> = errors.iter().map(|e| e.code()).collect();
         assert_eq!(codes.len(), errors.len());

@@ -25,6 +25,9 @@
 //! * [`engine`] — the document registry tying it together, with the
 //!   [`engine::QueryRequest`] / [`engine::QueryOutcome`] request API,
 //!   per-query tracing and the EXPLAIN renderer.
+//! * [`edit`] — crash-safe document mutations: the [`edit::Edit`] model,
+//!   its write-ahead-log payload codec, and the receipts/recovery reports
+//!   behind `Engine::apply` / `Engine::recover`.
 //! * [`api`] — the blessed flat re-export surface for downstream code.
 //! * [`error`] — the [`error::QueryError`] taxonomy and [`error::Limits`]
 //!   resource guards (recursion depth, step budget, cardinality cap, time
@@ -32,6 +35,7 @@
 
 pub mod api;
 pub mod doc;
+pub mod edit;
 pub mod engine;
 pub mod error;
 pub mod flwr;
@@ -39,6 +43,7 @@ pub mod sjoin;
 pub mod twig;
 pub mod xpath;
 
+pub use edit::{Edit, EditReceipt, EditRecovery, ReplayFailure};
 pub use engine::{Engine, EngineSnapshot, Explain, QueryOutcome, QueryRequest};
 pub use error::{FlwrError, Limits, QueryError, ResourceKind};
 pub use xpath::{parse_xpath, XPath};

@@ -363,7 +363,7 @@ impl<'a> TwigSource for PhysicalTwigSource<'a> {
                 best = i;
                 break;
             }
-            end += keys::component_len(tkey[end]);
+            end += keys::component_len(&tkey[end..]);
         }
         from + best
     }

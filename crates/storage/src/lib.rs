@@ -29,6 +29,9 @@
 //!   document order (PBN-sorted).
 //! * [`header`] — per-node header records (kind, Type ID, encoded PBN) and
 //!   their space accounting.
+//! * [`wal`] — the CRC32-framed write-ahead edit log behind
+//!   `Engine::apply`: fsync-ordered appends, torn-tail detection, and
+//!   idempotent, quarantine-on-corruption replay.
 //! * [`pbn_column`] — the persisted columnar key arena: the document's
 //!   encoded PBN keys, offset table and node column written verbatim with
 //!   a CRC trailer, so reopening a store rebuilds the numbering without
@@ -55,6 +58,7 @@ pub mod stats;
 pub mod store;
 pub mod type_index;
 pub mod value_index;
+pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use error::{PageFault, StorageError};
@@ -67,6 +71,7 @@ pub use stats::StorageStats;
 pub use store::StoredDocument;
 pub use type_index::TypeIndex;
 pub use value_index::ValueIndex;
+pub use wal::{replay, replay_from_device, EditWal, RecoveryReport, WalRecord};
 
 #[cfg(test)]
 pub(crate) mod testutil {

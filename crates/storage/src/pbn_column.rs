@@ -7,12 +7,12 @@
 //! verbatim, the offsets never recomputed, and a reopened assignment is
 //! byte-identical to the one built at analyze time.
 //!
-//! Image layout (version 1, all integers little-endian `u32`):
+//! Image layout (version 2, all integers little-endian `u32`):
 //!
 //! | bytes                | content                                   |
 //! |----------------------|-------------------------------------------|
 //! | `0..4`               | magic `b"VPBC"`                           |
-//! | `4..8`               | format version (`1`)                      |
+//! | `4..8`               | format version (`2`)                      |
 //! | `8..12`              | slot count `n`                            |
 //! | `12..16`             | node-id space size                        |
 //! | `16..20`             | key-buffer length `k`                     |
@@ -36,10 +36,14 @@ use vh_xml::NodeId;
 
 /// Magic bytes identifying a PBN column image.
 const MAGIC: [u8; 4] = *b"VPBC";
-/// Current image format version.
-const VERSION: u32 = 1;
+/// Current image format version. Version 2 introduced minted (gap)
+/// components in the key encoding — `0x00`/`0xF8` marker bytes inside a
+/// key, see `vh_pbn::encode` — so version-1 images, whose byte ranges
+/// were computed without gap exclusion, are rejected rather than
+/// reinterpreted.
+const VERSION: u32 = 2;
 
-/// Serializes an assignment's key arena into the version-1 column image.
+/// Serializes an assignment's key arena into the current column image.
 pub fn encode_arena_column(assignment: &PbnAssignment) -> Vec<u8> {
     let arena = assignment.arena();
     let n = arena.len();
@@ -199,6 +203,24 @@ mod tests {
         let err = decode_arena_column(&payload).unwrap_err();
         assert_eq!(err.code(), "STORAGE_BAD_COLUMN");
         assert!(err.to_string().contains("PBN_TRUNCATED"), "{err}");
+    }
+
+    #[test]
+    fn version_1_images_are_rejected_not_reinterpreted() {
+        // Version 1 keys predate minted (gap) components; their byte
+        // ranges would be misread by the gap-aware walkers, so the loader
+        // must refuse them outright.
+        let (_, img) = image();
+        let mut old = img[..img.len() - 4].to_vec();
+        old[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let sum = crc32(&old);
+        old.extend_from_slice(&sum.to_le_bytes());
+        let err = decode_arena_column(&old).unwrap_err();
+        assert_eq!(err.code(), "STORAGE_BAD_COLUMN");
+        assert!(
+            err.to_string().contains("unsupported format version 1"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum Lint {
     /// A span name used in `vh-query` that is missing from `vh-obs`'s
     /// stable span vocabulary.
     SpanVocab,
+    /// A `match` over the `Edit` mutation enum with a catch-all arm or
+    /// a missing variant (WAL encode/replay/tracing must be total).
+    EditExhaustive,
     /// A `VhError` variant missing from `code()`/`exit_code()`, or an
     /// exit code missing its README table row.
     ErrorExit,
@@ -34,6 +37,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::NoPanic,
     Lint::SafetyComment,
     Lint::SpanVocab,
+    Lint::EditExhaustive,
     Lint::ErrorExit,
     Lint::PromName,
     Lint::DeprecatedWrapper,
@@ -48,6 +52,7 @@ impl Lint {
             Lint::NoPanic => "no-panic",
             Lint::SafetyComment => "safety-comment",
             Lint::SpanVocab => "span-vocab",
+            Lint::EditExhaustive => "edit-exhaustive",
             Lint::ErrorExit => "error-exit",
             Lint::PromName => "prom-name",
             Lint::DeprecatedWrapper => "deprecated-wrapper",
@@ -64,6 +69,9 @@ impl Lint {
             Lint::SafetyComment => "every unsafe block/fn carries a // SAFETY: comment",
             Lint::SpanVocab => {
                 "every span name used in vh-query appears in vh-obs's STABLE_SPAN_NAMES"
+            }
+            Lint::EditExhaustive => {
+                "every match over the Edit mutation enum names each variant (no catch-all arms)"
             }
             Lint::ErrorExit => {
                 "every VhError variant has code()/exit_code() arms and a README exit-table row"

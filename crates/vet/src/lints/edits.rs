@@ -1,0 +1,407 @@
+//! `edit-exhaustive`: every `match` over the `Edit` mutation enum names
+//! each variant explicitly.
+//!
+//! The WAL payload codec, the replay dispatch and the trace-span
+//! emission all fan out over `Edit` (crates/query/src/edit.rs). A
+//! `_ =>` or catch-all binding arm in any of them means a future edit
+//! variant would be *silently* dropped from the log, skipped on replay,
+//! or untraced — the exact class of bug a crash-safe mutation log must
+//! not have. This lint extracts the variant list from the enum
+//! definition and checks every non-test `match` whose arm patterns
+//! mention `Edit::…`: catch-all arms are findings, and (defensively,
+//! for trees that no longer compile the exhaustiveness check) so are
+//! missing variants.
+
+use crate::findings::{Finding, Lint};
+use crate::lints::Code;
+use crate::workspace::{FileClass, Workspace};
+
+/// Where the mutation enum lives.
+const EDIT_ENUM_FILE: &str = "crates/query/src/edit.rs";
+/// Its name.
+const EDIT_ENUM: &str = "Edit";
+
+/// Runs the lint over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(enum_file) = ws.file(EDIT_ENUM_FILE) else {
+        return; // no mutation subsystem in this tree — nothing to enforce
+    };
+    let Some(variants) = extract_variants(&Code::of(enum_file)) else {
+        out.push(Finding {
+            file: EDIT_ENUM_FILE.to_string(),
+            line: 1,
+            lint: Lint::EditExhaustive,
+            message: format!("`enum {EDIT_ENUM}` (the mutation model) not found"),
+        });
+        return;
+    };
+    for file in &ws.files {
+        if matches!(
+            file.class,
+            FileClass::Vendor | FileClass::Test | FileClass::Bench | FileClass::Example
+        ) {
+            continue;
+        }
+        let code = Code::of(file);
+        for i in 0..code.len() {
+            if code.is_ident(i, "match") && !code.suppressed(i) {
+                if let Some(open) = body_brace(&code, i) {
+                    check_match(file, &code, &variants, open, out);
+                }
+            }
+        }
+    }
+}
+
+/// One parsed match arm: its pattern token range and source line.
+struct Arm {
+    /// Code-token positions of the pattern (guard stripped).
+    pat: (usize, usize),
+    /// Line of the pattern's first token.
+    line: u32,
+}
+
+/// Checks one `match` body (arms between `open` and its matching
+/// brace). Only matches whose patterns mention `Edit::` are in scope.
+fn check_match(
+    file: &crate::workspace::SourceFile,
+    code: &Code<'_>,
+    variants: &[String],
+    open: usize,
+    out: &mut Vec<Finding>,
+) {
+    let close = code.matching_brace(open);
+    let arms = parse_arms(code, open, close);
+    let mut seen: Vec<&str> = Vec::new();
+    let mut catch_alls: Vec<&Arm> = Vec::new();
+    let mut dispatches_on_edit = false;
+    for arm in &arms {
+        let mut named_edit = false;
+        let (from, to) = arm.pat;
+        let mut j = from;
+        while j < to {
+            if code.is_ident(j, EDIT_ENUM) && code.is_punct(j + 1, ':') && code.is_punct(j + 2, ':')
+            {
+                named_edit = true;
+                if let Some(crate::scan::Tok::Ident(v)) = code.kind(j + 3) {
+                    if let Some(v) = variants.iter().find(|known| *known == v) {
+                        if !seen.contains(&v.as_str()) {
+                            seen.push(v);
+                        }
+                    }
+                }
+                j += 3;
+            }
+            j += 1;
+        }
+        dispatches_on_edit |= named_edit;
+        if !named_edit && is_catch_all(code, from, to) {
+            catch_alls.push(arm);
+        }
+    }
+    if !dispatches_on_edit {
+        return;
+    }
+    for arm in &catch_alls {
+        file.report(
+            out,
+            Lint::EditExhaustive,
+            arm.line,
+            format!(
+                "`match` over `{EDIT_ENUM}` has a catch-all arm; name every \
+                 variant so a future edit kind fails to compile here instead \
+                 of being silently dropped"
+            ),
+        );
+    }
+    if catch_alls.is_empty() {
+        let missing: Vec<&str> = variants
+            .iter()
+            .map(String::as_str)
+            .filter(|v| !seen.contains(v))
+            .collect();
+        if !missing.is_empty() {
+            file.report(
+                out,
+                Lint::EditExhaustive,
+                code.line(open),
+                format!(
+                    "`match` over `{EDIT_ENUM}` does not name variant(s) {}",
+                    missing.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// Is the pattern a wildcard (`_`) or a bare binding (`other`)?
+///
+/// Single all-uppercase identifiers are treated as const patterns, not
+/// bindings, so tag-byte dispatches (`TAG_INSERT => …`) stay clean.
+fn is_catch_all(code: &Code<'_>, from: usize, to: usize) -> bool {
+    if to != from + 1 {
+        return false;
+    }
+    match code.kind(from) {
+        Some(crate::scan::Tok::Ident(name)) => {
+            name == "_" || name.chars().any(|c| c.is_ascii_lowercase())
+        }
+        _ => false,
+    }
+}
+
+/// Splits a match body into arms: pattern tokens up to each depth-0
+/// `=>`, then the arm expression (block or comma-terminated).
+fn parse_arms(code: &Code<'_>, open: usize, close: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut at = open + 1;
+    while at < close {
+        // Find the arrow ending this arm's pattern.
+        let mut depth = 0usize;
+        let mut j = at;
+        let mut arrow = None;
+        let mut guard = None;
+        while j < close {
+            if is_open(code, j) {
+                depth += 1;
+            } else if is_close(code, j) {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && code.is_punct(j, '=') && code.is_punct(j + 1, '>') {
+                arrow = Some(j);
+                break;
+            } else if depth == 0 && guard.is_none() && code.is_ident(j, "if") {
+                guard = Some(j); // `pat if cond =>`: the guard is not pattern
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pat_end = guard.unwrap_or(arrow);
+        arms.push(Arm {
+            pat: (at, pat_end),
+            line: code.line(at),
+        });
+        // Skip the arm expression: a block, or tokens up to a depth-0 comma.
+        let mut k = arrow + 2;
+        if code.is_punct(k, '{') {
+            k = code.matching_brace(k) + 1;
+        } else {
+            let mut depth = 0usize;
+            while k < close {
+                if is_open(code, k) {
+                    depth += 1;
+                } else if is_close(code, k) {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && code.is_punct(k, ',') {
+                    break;
+                }
+                k += 1;
+            }
+        }
+        if code.is_punct(k, ',') {
+            k += 1;
+        }
+        at = k;
+    }
+    arms
+}
+
+/// Finds the `{` opening the arm list of the `match` at code-pos `i`:
+/// the first `{` outside any paren/bracket group in the scrutinee.
+fn body_brace(code: &Code<'_>, i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < code.len() {
+        if code.is_punct(j, '(') || code.is_punct(j, '[') {
+            depth += 1;
+        } else if code.is_punct(j, ')') || code.is_punct(j, ']') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && code.is_punct(j, '{') {
+            return Some(j);
+        }
+        j += 1;
+    }
+    None
+}
+
+fn is_open(code: &Code<'_>, i: usize) -> bool {
+    code.is_punct(i, '(') || code.is_punct(i, '[') || code.is_punct(i, '{')
+}
+
+fn is_close(code: &Code<'_>, i: usize) -> bool {
+    code.is_punct(i, ')') || code.is_punct(i, ']') || code.is_punct(i, '}')
+}
+
+/// Collects the variant names of `enum Edit { … }`.
+fn extract_variants(code: &Code<'_>) -> Option<Vec<String>> {
+    for i in 0..code.len() {
+        if !(code.is_ident(i, "enum") && code.is_ident(i + 1, EDIT_ENUM)) {
+            continue;
+        }
+        let open = body_brace(code, i + 1)?;
+        let close = code.matching_brace(open);
+        let mut depth = 0usize;
+        let mut variants = Vec::new();
+        let mut j = open;
+        while j <= close.min(code.len().saturating_sub(1)) {
+            if is_open(code, j) {
+                depth += 1;
+            } else if is_close(code, j) {
+                depth = depth.saturating_sub(1);
+            } else if depth == 1 {
+                if let Some(crate::scan::Tok::Ident(name)) = code.kind(j) {
+                    // A variant name is directly followed by its payload
+                    // or a separator; field names sit at depth 2.
+                    if code.is_punct(j + 1, '{')
+                        || code.is_punct(j + 1, '(')
+                        || code.is_punct(j + 1, ',')
+                        || code.is_punct(j + 1, '}')
+                    {
+                        variants.push(name.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if !variants.is_empty() {
+            return Some(variants);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    const ENUM_SRC: &str = r#"
+/// The mutation model.
+pub enum Edit {
+    /// Insert a parsed fragment.
+    InsertSubtree { uri: String, xml: String },
+    /// Delete a subtree.
+    DeleteSubtree { uri: String, target: String },
+    /// Move a subtree.
+    MoveSubtree { uri: String, target: String },
+    /// Replace a text value.
+    SetValue { uri: String, value: String },
+}
+"#;
+
+    fn ws(extra: &[(&str, &str)]) -> Workspace {
+        let mut files = vec![SourceFile::from_source(EDIT_ENUM_FILE, ENUM_SRC)];
+        for (rel, src) in extra {
+            files.push(SourceFile::from_source(rel, src));
+        }
+        Workspace {
+            files,
+            readme: None,
+        }
+    }
+
+    #[test]
+    fn the_variant_list_comes_from_the_enum() {
+        let code_file = SourceFile::from_source(EDIT_ENUM_FILE, ENUM_SRC);
+        let vs = extract_variants(&Code::of(&code_file)).unwrap();
+        assert_eq!(
+            vs,
+            ["InsertSubtree", "DeleteSubtree", "MoveSubtree", "SetValue"]
+        );
+    }
+
+    #[test]
+    fn wildcard_and_binding_arms_fire() {
+        let src = r#"
+fn encode(e: &Edit) -> u8 {
+    match e {
+        Edit::InsertSubtree { .. } => 1,
+        Edit::DeleteSubtree { .. } => 2,
+        _ => 0,
+    }
+}
+fn kind(e: &Edit) -> &'static str {
+    match e {
+        Edit::InsertSubtree { .. } => "insert",
+        other => "other",
+    }
+}
+"#;
+        let mut out = Vec::new();
+        check(&ws(&[("crates/query/src/engine.rs", src)]), &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].line, 6);
+        assert_eq!(out[1].line, 12);
+        assert!(out[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn exhaustive_matches_and_foreign_matches_pass() {
+        let src = r#"
+fn f(e: &Edit, tag: u8) -> u8 {
+    let t = match tag {
+        TAG_INSERT => Edit::InsertSubtree { uri: u, xml: x },
+        other => 0,
+    };
+    match e {
+        Edit::InsertSubtree { .. } => 1,
+        Edit::DeleteSubtree { .. } | Edit::MoveSubtree { .. } => 2,
+        Edit::SetValue { value, .. } if value.is_empty() => 3,
+        Edit::SetValue { .. } => 4,
+    }
+}
+"#;
+        let mut out = Vec::new();
+        check(&ws(&[("crates/query/src/engine.rs", src)]), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_variants_fire_without_a_catch_all() {
+        let src = r#"
+fn f(e: &Edit) -> u8 {
+    match e {
+        Edit::InsertSubtree { .. } => 1,
+        Edit::DeleteSubtree { .. } => 2,
+        Edit::MoveSubtree { .. } => 3,
+    }
+}
+"#;
+        let mut out = Vec::new();
+        check(&ws(&[("crates/query/src/engine.rs", src)]), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("SetValue"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn test_code_and_test_files_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn f(e: &Edit) -> u8 {
+        match e {
+            Edit::InsertSubtree { .. } => 1,
+            _ => 0,
+        }
+    }
+}
+"#;
+        let mut out = Vec::new();
+        check(&ws(&[("crates/query/src/cached.rs", src)]), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let plain = src.replace("#[cfg(test)]\nmod tests {", "mod m {");
+        check(&ws(&[("crates/query/tests/it.rs", &plain)]), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn a_missing_enum_is_itself_a_finding() {
+        let ws = Workspace {
+            files: vec![SourceFile::from_source(EDIT_ENUM_FILE, "pub struct X;")],
+            readme: None,
+        };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("enum Edit"));
+    }
+}

@@ -1,14 +1,16 @@
 //! The lint set and its driver.
 //!
 //! Per-file lints ([`panics`], [`safety`], [`prom`]) run over every
-//! walked file in their scope; cross-file lints ([`spans`], [`errors`],
-//! [`deprecated`]) additionally read the workspace files that define the
-//! invariant they enforce (the `vh-obs` span vocabulary, the `VhError`
-//! facade, the deprecated `Engine` wrapper set). The driver wires scopes
+//! walked file in their scope; cross-file lints ([`spans`], [`edits`],
+//! [`errors`], [`deprecated`]) additionally read the workspace files
+//! that define the invariant they enforce (the `vh-obs` span
+//! vocabulary, the `Edit` mutation enum, the `VhError` facade, the
+//! deprecated `Engine` wrapper set). The driver wires scopes
 //! to [`FileClass`](crate::workspace::FileClass) and returns findings
 //! sorted by path, line and lint id.
 
 pub mod deprecated;
+pub mod edits;
 pub mod errors;
 pub mod panics;
 pub mod prom;
@@ -112,6 +114,7 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
         prom::check(file, &mut out);
     }
     spans::check(ws, &mut out);
+    edits::check(ws, &mut out);
     errors::check(ws, &mut out);
     deprecated::check(ws, &mut out);
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));

@@ -27,6 +27,8 @@ fn stdout(out: &Output) -> String {
 /// documents what each one is; this list is the contract the test pins.
 const SEEDED: &[(&str, u32, &str)] = &[
     ("crates/demo/src/lib.rs", 12, "safety-comment"),
+    ("crates/query/src/edit.rs", 21, "edit-exhaustive"),
+    ("crates/query/src/edit.rs", 29, "edit-exhaustive"),
     ("crates/query/src/engine.rs", 12, "span-vocab"),
     ("crates/query/src/engine.rs", 19, "deprecated-wrapper"),
     ("crates/query/src/engine.rs", 25, "deprecated-wrapper"),
@@ -99,6 +101,7 @@ fn json_report_matches_the_text_findings() {
         "no-panic",
         "safety-comment",
         "span-vocab",
+        "edit-exhaustive",
         "error-exit",
         "prom-name",
         "deprecated-wrapper",
@@ -150,6 +153,7 @@ fn list_names_every_lint() {
         "no-panic",
         "safety-comment",
         "span-vocab",
+        "edit-exhaustive",
         "error-exit",
         "prom-name",
         "deprecated-wrapper",

@@ -1,0 +1,41 @@
+//! Seeded `edit-exhaustive` violations: a wildcard arm in the WAL
+//! encoder and a catch-all binding in the kind label, both over the
+//! mutation enum below (a trimmed fixture copy of the real one).
+
+/// The mutation model (fixture copy).
+pub enum Edit {
+    /// Insert a parsed fragment.
+    InsertSubtree { xml: String },
+    /// Delete a subtree.
+    DeleteSubtree { target: String },
+    /// Replace a text value.
+    SetValue { value: String },
+}
+
+/// Violation: the wildcard would silently drop a future variant from
+/// the log.
+pub fn encode(e: &Edit) -> u8 {
+    match e {
+        Edit::InsertSubtree { .. } => 1,
+        Edit::DeleteSubtree { .. } => 2,
+        _ => 0,
+    }
+}
+
+/// Violation: the binding arm hides unlabelled edit kinds from traces.
+pub fn kind(e: &Edit) -> &'static str {
+    match e {
+        Edit::InsertSubtree { .. } => "insert-subtree",
+        other => "unknown",
+    }
+}
+
+/// Clean: a tag-byte dispatch whose const patterns and binding arm are
+/// fine — `Edit::` appears only on the expression side.
+pub fn decode(tag: u8) -> Option<Edit> {
+    const TAG_SET: u8 = 4;
+    match tag {
+        TAG_SET => Some(Edit::SetValue { value: String::new() }),
+        other => None,
+    }
+}

@@ -298,6 +298,57 @@ impl Document {
         self.nodes[parent.index()].children.push(child);
     }
 
+    /// Attaches a detached subtree as the `pos`-th child of `parent`
+    /// (0-based, `pos` may equal the child count). The complement of
+    /// [`Document::detach`]: together they move a subtree.
+    ///
+    /// # Panics
+    /// Panics if `child` is attached or `pos` exceeds the child count.
+    pub fn attach_at(&mut self, parent: NodeId, pos: usize, child: NodeId) {
+        assert!(
+            self.nodes[child.index()].parent.is_none(),
+            "attach_at requires a detached subtree"
+        );
+        self.nodes[child.index()].parent = Some(parent);
+        let children = &mut self.nodes[parent.index()].children;
+        assert!(pos <= children.len(), "attach position out of bounds");
+        children.insert(pos, child);
+    }
+
+    /// Replaces the content of a text node.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a text node.
+    pub fn set_text(&mut self, id: NodeId, text: impl Into<String>) {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Text(t) => *t = text.into(),
+            // Documented panic: callers (the edit layer) validate the node
+            // kind before dispatching here.
+            // vet: allow(no-panic) — documented panic: caller bug, not recoverable state
+            other => panic!("set_text on non-text node: {other:?}"),
+        }
+    }
+
+    /// Deep-copies the subtree rooted at `src` in `from` to become the
+    /// `pos`-th child of `parent` (0-based), returning the copied root.
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the current child count of `parent`.
+    pub fn copy_subtree_at(
+        &mut self,
+        parent: NodeId,
+        pos: usize,
+        from: &Document,
+        src: NodeId,
+    ) -> NodeId {
+        let id = self.copy_subtree(parent, from, src);
+        // `copy_subtree` appended; rotate the new child into place.
+        let children = &mut self.nodes[parent.index()].children;
+        assert!(pos < children.len(), "insert position out of bounds");
+        children[pos..].rotate_right(1);
+        id
+    }
+
     /// Deep-copies the subtree rooted at `src` in `from` under `parent` in
     /// this document, returning the id of the copied root.
     pub fn copy_subtree(&mut self, parent: NodeId, from: &Document, src: NodeId) -> NodeId {

@@ -6,6 +6,8 @@
 //! vpbn load <uri> <file.xml>    vpath <spec> <path> # virtual XPath
 //! vpbn load <uri> <file.xml>    explain <spec>      # show the compiled view
 //! vpbn load <uri> <file.xml>    stats               # storage + engine stats
+//! vpbn --wal <log> load <uri> <file.xml> edit <op>  # apply a logged edit
+//! vpbn --wal <log> load <uri> <file.xml> recover    # replay the edit log
 //! vpbn demo                                         # the paper's Figure 2/6
 //! ```
 //!
@@ -26,13 +28,24 @@
 //! replace the results with the evaluated plan (text tree or JSON; see
 //! `DESIGN.md` § "Observability").
 //!
+//! Mutations go through `edit` / `recover` with a `--wal <file>` log:
+//! `edit` replays any existing log onto the loaded base document, applies
+//! one new operation, and writes the extended log back atomically with the
+//! acknowledgement; `recover` just replays, reporting (and quarantining)
+//! torn or corrupt tails instead of applying them. `--dump` turns the
+//! recover report into one line of JSON on stdout.
+//!
 //! Failures print the full error cause chain to stderr and exit with a
 //! class-specific code: usage=2, I/O=3, XML=4, vDataGuide=5, query=6,
-//! storage=7, resource limits=8 (see `vpbn_suite::error`).
+//! storage=7, resource limits=8, edit rejected=9 (see
+//! `vpbn_suite::error`).
 
 use std::process::ExitCode;
 use vpbn_suite::dataguide::TypedDocument;
-use vpbn_suite::query::api::{Engine, ExecOptions, QueryOutcome, QueryRequest, VirtualDocument};
+use vpbn_suite::query::api::{
+    Edit, EditRecovery, Engine, ExecOptions, QueryError, QueryOutcome, QueryRequest,
+    VirtualDocument,
+};
 use vpbn_suite::xml::{serialize, SerializeOptions};
 use vpbn_suite::VhError;
 
@@ -71,6 +84,8 @@ flags (anywhere before the action):
   --trace                      print the query's span tree to stderr
   --explain                    print the evaluated plan instead of results
   --explain-json               like --explain, as one line of JSON
+  --wal <file>                 write-ahead log for edit/recover actions
+  --dump                       recover: print the recovery report as JSON
 
 actions:
   query   <flwr-text>          evaluate a FLWR query (doc()/virtualDoc())
@@ -79,10 +94,19 @@ actions:
   value   <vdataguide> <path>  print the virtual VALUE of each result
   explain <vdataguide>         show the compiled view (types, level arrays)
   stats                        storage, cache and query-counter statistics
+  edit    <operation>          apply one edit to the last-loaded doc and
+                               append it to the --wal log; operations:
+                                 insert <parent-path> <pos> <fragment-xml>
+                                 delete <target-path>
+                                 move   <target-path> <parent-path> <pos>
+                                 set    <target-path> <value>
+                               (paths are dotted child indexes, e.g. 1.2.1)
+  recover                      replay the --wal log onto the loaded doc,
+                               quarantining torn/corrupt tails
 
 exit codes:
   2 usage   3 I/O   4 XML parse   5 vDataGuide   6 query
-  7 storage   8 resource limit exceeded";
+  7 storage   8 resource limit exceeded   9 edit rejected";
 
 /// Global flags stripped off the argument list before the positional
 /// commands are interpreted.
@@ -92,6 +116,8 @@ struct Flags {
     trace: bool,
     explain: bool,
     explain_json: bool,
+    wal: Option<String>,
+    dump: bool,
 }
 
 fn run(args: &[String]) -> Result<(), VhError> {
@@ -262,6 +288,67 @@ fn run(args: &[String]) -> Result<(), VhError> {
                 print!("{}", engine.metrics_text());
                 return Ok(());
             }
+            "edit" => {
+                let uri = last_uri
+                    .clone()
+                    .ok_or_else(|| VhError::usage("edit: load a document first"))?;
+                let wal_path = flags
+                    .wal
+                    .clone()
+                    .ok_or_else(|| VhError::usage("edit: --wal <file> is required"))?;
+                // An existing log is the durable history for this document:
+                // replay it onto the freshly loaded base before appending.
+                if let Some(rec) = replay_wal_file(&mut engine, &wal_path)? {
+                    report_recovery(&wal_path, &rec);
+                    if let Some(f) = rec.failed.first() {
+                        return Err(VhError::Query(QueryError::Unsupported(format!(
+                            "replay of '{wal_path}' stopped at seq {}: {}; \
+                             the loaded document does not match the log, \
+                             refusing to append",
+                            f.seq, f.reason
+                        ))));
+                    }
+                }
+                let (edit, next) = parse_edit_op(args, i + 1, &uri)?;
+                expect_end(args, next)?;
+                let (receipt, trace) = engine.apply_traced(edit, flags.trace)?;
+                if let Some(trace) = &trace {
+                    eprint!("{}", trace.render_text());
+                }
+                std::fs::write(&wal_path, engine.wal_bytes())
+                    .map_err(|e| VhError::io(&wal_path, e))?;
+                eprintln!(
+                    "edit {} acknowledged as seq {}: {} node(s) touched, \
+                     {} slot(s) compacted",
+                    receipt.kind, receipt.seq, receipt.nodes_touched, receipt.compacted
+                );
+                let td = engine.document(&uri).expect("loaded");
+                println!("{}", serialize(td.doc(), SerializeOptions::pretty(2)));
+                return Ok(());
+            }
+            "recover" => {
+                let uri = last_uri
+                    .as_deref()
+                    .ok_or_else(|| VhError::usage("recover: load a document first"))?;
+                let wal_path = flags
+                    .wal
+                    .clone()
+                    .ok_or_else(|| VhError::usage("recover: --wal <file> is required"))?;
+                expect_end(args, i + 1)?;
+                let bytes = std::fs::read(&wal_path).map_err(|e| VhError::io(&wal_path, e))?;
+                let rec = engine.recover_traced(&bytes, flags.trace)?;
+                if let Some(trace) = &rec.trace {
+                    eprint!("{}", trace.render_text());
+                }
+                report_recovery(&wal_path, &rec);
+                if flags.dump {
+                    println!("{}", rec.to_json());
+                } else {
+                    let td = engine.document(uri).expect("loaded");
+                    println!("{}", serialize(td.doc(), SerializeOptions::pretty(2)));
+                }
+                return Ok(());
+            }
             other => return Err(VhError::usage(format!("unknown command '{other}'"))),
         }
     }
@@ -324,6 +411,13 @@ fn parse_global_flags(args: &[String]) -> Result<(Flags, Vec<String>), VhError> 
                 };
             }
             "--trace" => flags.trace = true,
+            "--wal" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| VhError::usage("--wal: missing <file>"))?;
+                flags.wal = Some(v.clone());
+            }
+            "--dump" => flags.dump = true,
             "--explain" => flags.explain = true,
             "--explain-json" => {
                 flags.explain = true;
@@ -333,6 +427,95 @@ fn parse_global_flags(args: &[String]) -> Result<(Flags, Vec<String>), VhError> 
         }
     }
     Ok((flags, rest))
+}
+
+/// Parses one `edit` operation starting at `args[at]`, returning the
+/// [`Edit`] and the index of the first argument after it.
+fn parse_edit_op(args: &[String], at: usize, uri: &str) -> Result<(Edit, usize), VhError> {
+    let op = args
+        .get(at)
+        .ok_or_else(|| VhError::usage("edit: missing operation (insert|delete|move|set)"))?;
+    let operand = |off: usize, what: &str| -> Result<String, VhError> {
+        args.get(at + off)
+            .cloned()
+            .ok_or_else(|| VhError::usage(format!("edit {op}: missing <{what}>")))
+    };
+    let pos = |off: usize| -> Result<usize, VhError> {
+        let v = operand(off, "pos")?;
+        v.parse()
+            .map_err(|_| VhError::usage(format!("edit {op}: '{v}' is not a sibling position")))
+    };
+    let uri = uri.to_owned();
+    match op.as_str() {
+        "insert" => Ok((
+            Edit::InsertSubtree {
+                uri,
+                parent: operand(1, "parent-path")?,
+                pos: pos(2)?,
+                xml: operand(3, "fragment-xml")?,
+            },
+            at + 4,
+        )),
+        "delete" => Ok((
+            Edit::DeleteSubtree {
+                uri,
+                target: operand(1, "target-path")?,
+            },
+            at + 2,
+        )),
+        "move" => Ok((
+            Edit::MoveSubtree {
+                uri,
+                target: operand(1, "target-path")?,
+                parent: operand(2, "parent-path")?,
+                pos: pos(3)?,
+            },
+            at + 4,
+        )),
+        "set" => Ok((
+            Edit::SetValue {
+                uri,
+                target: operand(1, "target-path")?,
+                value: operand(2, "value")?,
+            },
+            at + 3,
+        )),
+        other => Err(VhError::usage(format!(
+            "edit: unknown operation '{other}' (expected insert|delete|move|set)"
+        ))),
+    }
+}
+
+/// Replays an existing WAL file into the engine. A missing file is an
+/// empty log (`Ok(None)`), not an error, so the first `edit` against a
+/// fresh `--wal` path just starts the log.
+fn replay_wal_file(engine: &mut Engine, path: &str) -> Result<Option<EditRecovery>, VhError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(VhError::io(path, e)),
+    };
+    Ok(Some(engine.recover(&bytes)?))
+}
+
+/// Prints the recovery summary to stderr — loudly, so a quarantined tail
+/// or a mid-log replay failure is never silent.
+fn report_recovery(path: &str, rec: &EditRecovery) {
+    eprintln!(
+        "recovered {path}: {} edit(s) replayed, {} skipped, {} slot(s) compacted",
+        rec.replayed, rec.skipped, rec.compacted
+    );
+    if rec.wal.quarantined_bytes > 0 {
+        eprintln!(
+            "warning: quarantined {} byte(s) of torn/corrupt log tail at offset {} ({})",
+            rec.wal.quarantined_bytes,
+            rec.wal.first_bad_offset.unwrap_or(0),
+            rec.wal.reason.as_deref().unwrap_or("unknown reason")
+        );
+    }
+    for f in &rec.failed {
+        eprintln!("warning: replay stopped at seq {}: {}", f.seq, f.reason);
+    }
 }
 
 fn expect_end(args: &[String], from: usize) -> Result<(), VhError> {

@@ -18,6 +18,7 @@
 //! | query (syntax / evaluation)   | 6         |
 //! | storage (faults, corruption)  | 7         |
 //! | resource limits exceeded      | 8         |
+//! | edit rejected                 | 9         |
 
 use std::error::Error;
 use std::fmt;
@@ -98,6 +99,9 @@ impl VhError {
             // Resource exhaustion gets its own code so scripts can
             // distinguish "query is wrong" from "query is too big".
             VhError::Query(QueryError::ResourceExhausted { .. }) => 8,
+            // Rejected edits likewise: "the document refused this
+            // mutation" is actionable differently from a bad query.
+            VhError::Query(QueryError::Edit(_)) => 9,
             VhError::Query(_) => 6,
             VhError::Storage(_) => 7,
             // A ValueError is a storage-class failure whether or not the
@@ -211,6 +215,7 @@ mod tests {
         }
         .into();
         let storage: VhError = StorageError::Corrupt { page: 3 }.into();
+        let edit: VhError = QueryError::Edit(vh_dataguide::EditError::RootTarget).into();
         let codes = [
             usage.exit_code(),
             io.exit_code(),
@@ -219,8 +224,10 @@ mod tests {
             query.exit_code(),
             storage.exit_code(),
             resource.exit_code(),
+            edit.exit_code(),
         ];
-        assert_eq!(codes, [2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(codes, [2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(edit.code(), "QUERY_EDIT");
     }
 
     #[test]
