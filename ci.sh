@@ -20,6 +20,11 @@
 #                   rebuilt instrumented); skipped with a notice otherwise
 #   --vet           run vh-vet (already part of the gate; useful with
 #                   --no-gate for a lint-only run)
+#   --bench-history run the quick bench profile, append this commit's
+#                   machine-normalized medians to
+#                   target/bench-history/BENCH_history.jsonl and print the
+#                   trend report (JSON + markdown land next to the history;
+#                   gated rows drifting >10% across the window fail)
 #   --no-gate       skip the default gate and run only the selected legs
 #   --bench-rebase  regenerate the committed bench baselines
 #                   (run on the reference machine, then commit)
@@ -33,10 +38,12 @@ RUN_TSAN=0
 RUN_VET=0
 RUN_REBASE=0
 RUN_RECOVERY=0
+RUN_HISTORY=0
 
 for arg in "$@"; do
   case "$arg" in
     --bench)        RUN_BENCH=1 ;;
+    --bench-history) RUN_HISTORY=1 ;;
     --miri)         RUN_MIRI=1 ;;
     --tsan)         RUN_TSAN=1 ;;
     --vet)          RUN_VET=1 ;;
@@ -162,12 +169,24 @@ if [ "$RUN_RECOVERY" = 1 ]; then
   run_recovery
 fi
 
-if [ "$RUN_BENCH" = 1 ]; then
-  echo "==> bench gate (quick profile vs $BASELINE_DIR)"
+if [ "$RUN_BENCH" = 1 ] || [ "$RUN_HISTORY" = 1 ]; then
   OUT=target/bench-current
   rm -rf "$OUT"
   run_bench "$OUT"
-  ./target/release/bench_diff "$BASELINE_DIR" "$OUT"
+  if [ "$RUN_BENCH" = 1 ]; then
+    echo "==> bench gate (quick profile vs $BASELINE_DIR)"
+    ./target/release/bench_diff "$BASELINE_DIR" "$OUT"
+  fi
+  if [ "$RUN_HISTORY" = 1 ]; then
+    HIST=target/bench-history
+    mkdir -p "$HIST"
+    COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+    echo "==> bench history (appending commit $COMMIT, trend over the last runs)"
+    ./target/release/bench_history append "$OUT" "$HIST/BENCH_history.jsonl" \
+      --commit "$COMMIT"
+    ./target/release/bench_history report "$HIST/BENCH_history.jsonl" \
+      --json "$HIST/trend.json" --markdown "$HIST/trend.md"
+  fi
 fi
 
 echo "==> OK"

@@ -1,0 +1,240 @@
+//! `bench_history` — the per-commit perf-trajectory recorder and check.
+//!
+//! Two subcommands:
+//!
+//! ```text
+//! bench_history append <reports-dir> <history.jsonl> --commit <sha>
+//!               [--timestamp <opaque>]
+//! bench_history report <history.jsonl> [--window 10] [--drift 0.10]
+//!               [--gate-prefix <id-prefix>]... [--json <path>]
+//!               [--markdown <path>]
+//! ```
+//!
+//! `append` normalizes every row of every `BENCH_*.json` in the reports
+//! directory by the run's `meta/calibration` spin-row and appends one
+//! JSONL record to the history file (created if missing). `report` walks
+//! the last `--window` records and prints the trend table; any **gated**
+//! row whose normalized median drifted more than `--drift` across the
+//! window (and more than the 3 ns noise floor) fails the check. The CI
+//! job keeps the history file alive across runs by downloading the
+//! previous run's artifact before appending (see `.github/workflows/
+//! ci.yml`, `bench-history` job).
+//!
+//! Exit codes: 0 = pass, 1 = gated drift, 2 = usage, 3 = I/O or
+//! malformed input.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vh_bench::gate::DEFAULT_GATE_PREFIXES;
+use vh_bench::history::{
+    analyze, read_history, render_json, render_markdown, render_text, HistoryRecord, DEFAULT_DRIFT,
+    DEFAULT_WINDOW,
+};
+use vh_bench::json::BenchReport;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err((msg, code)) => {
+            eprintln!("bench_history: {msg}");
+            if code == 2 {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(code)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bench_history append <reports-dir> <history.jsonl> --commit <sha>
+                [--timestamp <opaque>]
+  bench_history report <history.jsonl> [--window 10] [--drift 0.10]
+                [--gate-prefix <id-prefix>]... [--json <path>]
+                [--markdown <path>]
+
+append: normalize every BENCH_*.json row by the run's meta/calibration
+row and append one JSONL record. report: flag any gated row whose
+normalized median drifted beyond the threshold across the window
+(exit 1).";
+
+fn run() -> Result<bool, (String, u8)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("append") => run_append(&args[1..]).map(|()| true),
+        Some("report") => run_report(&args[1..]),
+        Some(other) => Err((format!("unknown subcommand '{other}'"), 2)),
+        None => Err(("missing subcommand".to_string(), 2)),
+    }
+}
+
+fn run_append(args: &[String]) -> Result<(), (String, u8)> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut commit: Option<String> = None;
+    let mut timestamp: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--commit" => {
+                commit = Some(
+                    it.next()
+                        .ok_or(("--commit: missing value".to_string(), 2))?
+                        .clone(),
+                );
+            }
+            "--timestamp" => {
+                timestamp = Some(
+                    it.next()
+                        .ok_or(("--timestamp: missing value".to_string(), 2))?
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err((format!("unknown flag '{other}'"), 2));
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    let [reports_dir, history_path] = paths.as_slice() else {
+        return Err((
+            "append: expected <reports-dir> <history.jsonl>".to_string(),
+            2,
+        ));
+    };
+    let commit = commit.ok_or(("append: --commit is required".to_string(), 2))?;
+    let timestamp = timestamp.unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_default()
+    });
+
+    let files = report_files(reports_dir)?;
+    if files.is_empty() {
+        return Err((format!("no BENCH_*.json in {}", reports_dir.display()), 3));
+    }
+    let mut reports = Vec::new();
+    for path in &files {
+        reports.push(BenchReport::read_from(path).map_err(|e| (e, 3))?);
+    }
+    let record = HistoryRecord::from_reports(commit, timestamp, &reports).map_err(|e| (e, 3))?;
+    record
+        .append_to(history_path)
+        .map_err(|e| (format!("{}: {e}", history_path.display()), 3))?;
+    println!(
+        "bench history: appended commit {} ({} rows, calibration {:.1} ns) to {}",
+        record.commit,
+        record.rows.len(),
+        record.calibration_ns,
+        history_path.display()
+    );
+    Ok(())
+}
+
+fn run_report(args: &[String]) -> Result<bool, (String, u8)> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut window = DEFAULT_WINDOW;
+    let mut drift = DEFAULT_DRIFT;
+    let mut prefixes: Vec<String> = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
+    let mut md_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--window" => {
+                let v = it
+                    .next()
+                    .ok_or(("--window: missing value".to_string(), 2))?;
+                window = v
+                    .parse()
+                    .map_err(|_| (format!("--window: bad count '{v}'"), 2))?;
+                if window < 2 {
+                    return Err((format!("--window: '{v}' must be >= 2"), 2));
+                }
+            }
+            "--drift" => {
+                let v = it.next().ok_or(("--drift: missing value".to_string(), 2))?;
+                drift = v
+                    .parse()
+                    .map_err(|_| (format!("--drift: bad fraction '{v}'"), 2))?;
+                if !(0.0..10.0).contains(&drift) {
+                    return Err((format!("--drift: '{v}' out of range [0, 10)"), 2));
+                }
+            }
+            "--gate-prefix" => {
+                prefixes.push(
+                    it.next()
+                        .ok_or(("--gate-prefix: missing value".to_string(), 2))?
+                        .clone(),
+                );
+            }
+            "--json" => {
+                json_out = Some(PathBuf::from(
+                    it.next().ok_or(("--json: missing value".to_string(), 2))?,
+                ));
+            }
+            "--markdown" => {
+                md_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or(("--markdown: missing value".to_string(), 2))?,
+                ));
+            }
+            other if other.starts_with("--") => {
+                return Err((format!("unknown flag '{other}'"), 2));
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    let [history_path] = paths.as_slice() else {
+        return Err(("report: expected <history.jsonl>".to_string(), 2));
+    };
+    let prefixes: Vec<&str> = if prefixes.is_empty() {
+        DEFAULT_GATE_PREFIXES.to_vec()
+    } else {
+        prefixes.iter().map(String::as_str).collect()
+    };
+
+    let history = read_history(history_path).map_err(|e| (e, 3))?;
+    if history.is_empty() {
+        return Err((format!("{}: empty history", history_path.display()), 3));
+    }
+    let trends = analyze(&history, window, drift, &prefixes);
+    print!("{}", render_text(&trends, window, drift));
+    if let Some(path) = &json_out {
+        write_out(path, render_json(&trends, window, drift).render())?;
+    }
+    if let Some(path) = &md_out {
+        write_out(path, render_markdown(&trends, window, drift))?;
+    }
+    let failures = trends.iter().filter(|t| t.fails()).count();
+    println!(
+        "bench history: {} records, {} rows trended, {} gated drift(s), gated prefixes {:?}",
+        history.len(),
+        trends.len(),
+        failures,
+        prefixes
+    );
+    Ok(failures == 0)
+}
+
+fn write_out(path: &Path, text: String) -> Result<(), (String, u8)> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| (format!("{}: {e}", dir.display()), 3))?;
+    }
+    std::fs::write(path, text).map_err(|e| (format!("{}: {e}", path.display()), 3))
+}
+
+/// All `BENCH_*.json` files in `dir`, sorted by name for stable records.
+fn report_files(dir: &Path) -> Result<Vec<PathBuf>, (String, u8)> {
+    let entries = std::fs::read_dir(dir).map_err(|e| (format!("{}: {e}", dir.display()), 3))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}

@@ -71,6 +71,13 @@ pub struct Finding {
     pub current_ns: Option<f64>,
     /// `current / baseline` when both sides exist.
     pub ratio: Option<f64>,
+    /// Machine-normalized `current - baseline` in ns — the **pre-floor**
+    /// delta, recorded even when the noise floor absorbs it so history
+    /// consumers can tell a floored row from a genuinely flat one.
+    pub delta_ns: Option<f64>,
+    /// True when the row exceeded the relative threshold but was kept
+    /// `Ok` solely by the [`NOISE_FLOOR_NS`] absolute floor.
+    pub floored: bool,
     /// The gate's classification of this row.
     pub verdict: Verdict,
 }
@@ -91,13 +98,15 @@ impl Finding {
             Some(r) => format!("x{r:.3}"),
             None => "-".to_string(),
         };
+        let floored = if self.floored { "  [floored]" } else { "" };
         format!(
-            "{:<44} {:>12} -> {:>12} ns  {:>8}  {:?}",
+            "{:<44} {:>12} -> {:>12} ns  {:>8}  {:?}{}",
             self.id,
             fmt(self.baseline_ns),
             fmt(self.current_ns),
             ratio,
-            self.verdict
+            self.verdict,
+            floored
         )
     }
 }
@@ -149,6 +158,8 @@ pub fn compare_reports(
                 baseline_ns: Some(base.median_ns_per_op),
                 current_ns: None,
                 ratio: None,
+                delta_ns: None,
+                floored: false,
                 verdict: if gated {
                     Verdict::MissingGated
                 } else {
@@ -176,12 +187,15 @@ pub fn compare_reports(
                 // getting slower) and the absolute floor (screens out
                 // scheduler jitter on the single-digit-ns rows).
                 let delta_ns = cur.median_ns_per_op / norm - base.median_ns_per_op;
-                let slower = ratio > 1.0 + threshold && delta_ns > NOISE_FLOOR_NS;
+                let over_threshold = ratio > 1.0 + threshold;
+                let slower = over_threshold && delta_ns > NOISE_FLOOR_NS;
                 findings.push(Finding {
                     id: base.id.clone(),
                     baseline_ns: Some(base.median_ns_per_op),
                     current_ns: Some(cur.median_ns_per_op),
                     ratio: Some(ratio),
+                    delta_ns: Some(delta_ns),
+                    floored: over_threshold && !slower,
                     verdict: match (slower, gated) {
                         (false, _) => Verdict::Ok,
                         (true, true) => Verdict::Regressed,
@@ -198,6 +212,8 @@ pub fn compare_reports(
                 baseline_ns: None,
                 current_ns: Some(cur.median_ns_per_op),
                 ratio: None,
+                delta_ns: None,
+                floored: false,
                 verdict: Verdict::New,
             });
         }
@@ -328,6 +344,11 @@ mod tests {
         let cur = report(&[("axes/axis/following-sibling/vpbn/t1", 6.8)]);
         let f = compare_reports(&base, &cur, 0.15, DEFAULT_GATE_PREFIXES);
         assert_eq!(f[0].verdict, Verdict::Ok);
+        // The floor's intervention is recorded, with the pre-floor delta,
+        // so downstream history consumers see the row moved.
+        assert!(f[0].floored);
+        assert!((f[0].delta_ns.unwrap() - 2.6).abs() < 1e-9);
+        assert!(f[0].render().contains("[floored]"));
         // The same ratio on a row doing real work clears the floor.
         let base = report(&[("axes/axis/descendant-range/t1", 100.0)]);
         let cur = report(&[("axes/axis/descendant-range/t1", 160.0)]);

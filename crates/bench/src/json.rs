@@ -88,6 +88,45 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no trailing newline — the JSONL form
+    /// used by the bench-history trajectory file, one record per line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_num(out, *n),
+            Json::Str(s) => render_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(out, k);
+                    out.push(':');
+                    v.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -504,6 +543,21 @@ mod tests {
         ]);
         let text = v.render();
         assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\nb".into())),
+            (
+                "nums".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "JSONL records must be one line");
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

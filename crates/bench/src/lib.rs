@@ -24,11 +24,13 @@
 //! materialize-and-renumber pipeline (§4.3's strawman), [`timing`]
 //! utilities, [`report`] table formatting, [`json`] machine-readable
 //! `BENCH_<exp>.json` reports, [`gate`] baseline comparison for the CI
-//! bench gate, and [`opts`] shared experiment flags
-//! (`--threads`/`--scaling`/`--json`/…).
+//! bench gate, [`history`] the per-commit machine-normalized perf
+//! trajectory (`BENCH_history.jsonl` + trend report), and [`opts`] shared
+//! experiment flags (`--threads`/`--scaling`/`--json`/…).
 
 pub mod baseline;
 pub mod gate;
+pub mod history;
 pub mod json;
 pub mod opts;
 pub mod report;

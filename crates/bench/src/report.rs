@@ -80,6 +80,39 @@ impl Table {
         print!("{}", self.render());
         println!();
     }
+
+    /// Renders as a GitHub-flavored markdown table (pipe syntax) — the
+    /// form `$GITHUB_STEP_SUMMARY` accepts, so the bench-history CI job
+    /// can surface the trend without artifact downloads.
+    pub fn render_markdown(&self) -> String {
+        let escape = |c: &str| c.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("### ");
+        out.push_str(&self.title);
+        out.push_str("\n\n| ");
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n|");
+        out.push_str(&" --- |".repeat(self.headers.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            );
+            out.push_str(" |\n");
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +132,17 @@ mod tests {
         assert_eq!(lines[3].len(), lines[4].len());
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn renders_markdown_with_escaped_pipes() {
+        let mut t = Table::new("trend", &["row", "drift"]);
+        t.row(&["axes/axis|odd".into(), "x1.12".into()]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("### trend\n"));
+        assert!(md.contains("| row | drift |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("axes/axis\\|odd"));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! End-to-end checks of the `bench_history` binary against the committed
+//! fixture histories: a synthetic >10% drift on a gated row must fail the
+//! check (exit 1), a flat trajectory across machine-speed swings must
+//! pass, and `append` must extend a history from real `BENCH_*.json`
+//! reports.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn bench_history(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_history"))
+        .args(args)
+        .output()
+        .expect("spawn bench_history")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vh_bench_history_it_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn gated_drift_in_the_fixture_history_fails_the_check() {
+    let dir = scratch("drift");
+    let json_path = dir.join("trend.json");
+    let md_path = dir.join("trend.md");
+    let out = bench_history(&[
+        "report",
+        fixture("BENCH_history_drift.jsonl").to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+        "--markdown",
+        md_path.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a >10% gated drift must exit 1; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("DRIFT (gated)"), "stdout:\n{stdout}");
+    assert!(stdout.contains("1 gated drift(s)"), "stdout:\n{stdout}");
+    // The ungated row also moved but only reports.
+    assert!(stdout.contains("scaling/axes/t4"), "stdout:\n{stdout}");
+
+    // Both report artifacts were written and carry the drifting row.
+    let json = std::fs::read_to_string(&json_path).expect("trend.json written");
+    assert!(json.contains("\"drifting\": true"));
+    assert!(json.contains("\"noise_floor_ns\""));
+    let md = std::fs::read_to_string(&md_path).expect("trend.md written");
+    assert!(md.contains("| --- |"), "markdown table shape:\n{md}");
+    assert!(md.contains("drift (gated)"), "markdown verdict:\n{md}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flat_history_passes_across_machine_speed_swings() {
+    // The flat fixture's calibration swings 1000 -> 3000 -> 1000 ns while
+    // normalized medians stay within 3%: machine speed, not a drift.
+    let out = bench_history(&[
+        "report",
+        fixture("BENCH_history_flat.jsonl").to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 gated drift(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn drift_below_the_window_is_ignored() {
+    // With --window 2 only the last two fixture records are compared
+    // (0.108 -> 0.118, a 9.3% move): under the 10% threshold, passes.
+    let out = bench_history(&[
+        "report",
+        fixture("BENCH_history_drift.jsonl").to_str().unwrap(),
+        "--window",
+        "2",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+}
+
+#[test]
+fn append_normalizes_reports_into_the_history() {
+    let dir = scratch("append");
+    let reports = dir.join("reports");
+    std::fs::create_dir_all(&reports).unwrap();
+    std::fs::write(
+        reports.join("BENCH_axes.json"),
+        r#"{
+  "experiment": "axes",
+  "config": {},
+  "rows": [
+    { "id": "meta/calibration", "median_ns_per_op": 2000, "ops_per_s": 500000 },
+    { "id": "axes/axis/descendant-range/t1", "median_ns_per_op": 100, "ops_per_s": 10000000 }
+  ]
+}
+"#,
+    )
+    .unwrap();
+    let history = dir.join("BENCH_history.jsonl");
+    for commit in ["c1", "c2"] {
+        let out = bench_history(&[
+            "append",
+            reports.to_str().unwrap(),
+            history.to_str().unwrap(),
+            "--commit",
+            commit,
+            "--timestamp",
+            "1723000000",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "append {commit}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let text = std::fs::read_to_string(&history).unwrap();
+    assert_eq!(text.lines().count(), 2, "one JSONL record per append");
+    assert!(text.contains("\"commit\":\"c1\""));
+    assert!(text.contains("\"commit\":\"c2\""));
+    // 100 ns over a 2000 ns calibration: normalized 0.05.
+    assert!(text.contains("\"normalized\":0.05"), "history:\n{text}");
+
+    // The appended history reports cleanly (flat by construction).
+    let out = bench_history(&["report", history.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_calibration_report_is_a_hard_error() {
+    let dir = scratch("nocal");
+    let reports = dir.join("reports");
+    std::fs::create_dir_all(&reports).unwrap();
+    std::fs::write(
+        reports.join("BENCH_axes.json"),
+        r#"{ "experiment": "axes", "config": {}, "rows": [
+  { "id": "axes/axis/x", "median_ns_per_op": 10, "ops_per_s": 100000000 } ] }
+"#,
+    )
+    .unwrap();
+    let out = bench_history(&[
+        "append",
+        reports.to_str().unwrap(),
+        dir.join("h.jsonl").to_str().unwrap(),
+        "--commit",
+        "c1",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "unnormalizable run must not record"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("calibration"));
+    std::fs::remove_dir_all(&dir).ok();
+}

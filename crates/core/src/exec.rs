@@ -231,6 +231,34 @@ fn merge_by<T: Copy>(a: &[T], b: &[T], cmp: &impl Fn(&T, &T) -> Ordering) -> Vec
     out
 }
 
+/// Branch-free `slice::partition_point`: the index of the first element
+/// for which `pred` is false, assuming `pred` is true on a prefix.
+///
+/// The halving loop advances `base` by `usize::from(pred) * half`, so the
+/// predicate result feeds a multiply instead of a conditional jump — on
+/// the random probe keys of the §5 axis scans the branchy form is a coin
+/// flip the predictor loses half the time.
+///
+/// oracle: partition_point_scalar
+#[inline]
+pub fn partition_point_branchless<T>(items: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut base = 0usize;
+    let mut len = items.len();
+    while len > 1 {
+        let half = len / 2;
+        base += usize::from(pred(&items[base + half - 1])) * half;
+        len -= half;
+    }
+    base + usize::from(len == 1 && pred(&items[base]))
+}
+
+/// Scalar twin of [`partition_point_branchless`]: `std`'s branchy
+/// bisection, the oracle the property suite compares against.
+#[inline]
+pub fn partition_point_scalar<T>(items: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    items.partition_point(pred)
+}
+
 /// Concatenates per-chunk result vectors in chunk order.
 pub fn concat<T>(chunks: Vec<Vec<T>>) -> Vec<T> {
     let total = chunks.iter().map(Vec::len).sum();
@@ -251,6 +279,22 @@ mod tests {
             threads,
             cache: true,
             par_threshold: 1,
+        }
+    }
+
+    #[test]
+    fn branchless_partition_point_matches_std_on_every_cut() {
+        // Every sorted-prefix shape over lengths straddling powers of two,
+        // with the cut at every position including the two ends.
+        for len in [0usize, 1, 2, 3, 7, 8, 9, 15, 16, 17, 100] {
+            let items: Vec<usize> = (0..len).collect();
+            for cut in 0..=len {
+                assert_eq!(
+                    partition_point_branchless(&items, |&x| x < cut),
+                    partition_point_scalar(&items, |&x| x < cut),
+                    "len={len} cut={cut}"
+                );
+            }
         }
     }
 

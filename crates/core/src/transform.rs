@@ -111,8 +111,8 @@ fn place(
         } else {
             let hi = prefix.sibling_successor();
             (
-                list.partition_point(|&c| td.pbn().pbn_of(c) < &prefix),
-                list.partition_point(|&c| td.pbn().pbn_of(c) < &hi),
+                crate::exec::partition_point_branchless(list, |&c| td.pbn().pbn_of(c) < &prefix),
+                crate::exec::partition_point_branchless(list, |&c| td.pbn().pbn_of(c) < &hi),
             )
         };
         for &cand in &list[start..end] {

@@ -487,8 +487,10 @@ impl<'a> VirtualDocument<'a> {
     /// the whole list.
     fn index_range(&self, list: &[NodeId], prefix: &[u8]) -> (usize, usize) {
         let pbn = self.td.pbn();
-        let start = list.partition_point(|&id| pbn.key_of(id) < prefix);
-        let end = list.partition_point(|&id| keys::before_subtree_end(prefix, pbn.key_of(id)));
+        let start = exec::partition_point_branchless(list, |&id| pbn.key_of(id) < prefix);
+        let end = exec::partition_point_branchless(list, |&id| {
+            keys::before_subtree_end(prefix, pbn.key_of(id))
+        });
         (start, end)
     }
 

@@ -213,7 +213,33 @@ impl PbnArena {
     }
 
     /// `partition_point` over slots ordered by key.
+    #[inline]
     fn partition(&self, pred: impl Fn(&[u8]) -> bool) -> usize {
+        self.partition_branchless(pred)
+    }
+
+    /// Branch-free `partition_point`: the halving loop advances `base` by
+    /// `usize::from(pred) * half`, so the predicate result feeds a multiply
+    /// instead of a compare-and-jump the predictor must guess on random
+    /// probe keys.
+    ///
+    /// oracle: partition_scalar
+    #[inline]
+    fn partition_branchless(&self, pred: impl Fn(&[u8]) -> bool) -> usize {
+        let mut base = 0usize;
+        let mut len = self.len();
+        while len > 1 {
+            let half = len / 2;
+            base += usize::from(pred(self.key_at_slot(base + half - 1))) * half;
+            len -= half;
+        }
+        base + usize::from(len == 1 && pred(self.key_at_slot(base)))
+    }
+
+    /// Scalar twin of [`Self::partition_branchless`]: the textbook branchy
+    /// bisection the property suite compares against slot-for-slot.
+    #[cfg(test)]
+    fn partition_scalar(&self, pred: impl Fn(&[u8]) -> bool) -> usize {
         let mut lo = 0;
         let mut hi = self.len();
         while lo < hi {
@@ -318,6 +344,36 @@ mod tests {
         let via_arena: Vec<NodeId> = a.arena().subtree_nodes(key.as_bytes()).to_vec();
         assert_eq!(via_arena, via_range);
         assert_eq!(slots.len(), 9, "book1 subtree has 9 nodes");
+    }
+
+    #[test]
+    fn branchless_partition_matches_the_scalar_bisection() {
+        // Probe with every slot key, every component-boundary cut of it,
+        // and its subtree-end bound — the three probe shapes the arena's
+        // callers use — under both predicate forms.
+        let (_, a) = arena();
+        let arena = a.arena();
+        let mut probes: Vec<Vec<u8>> = vec![Vec::new(), vec![0xFF; 9]];
+        for s in 0..arena.len() {
+            let k = arena.key_at_slot(s);
+            probes.push(k.to_vec());
+            probes.push(crate::keys::subtree_end(k));
+            for m in 0..=crate::keys::component_count(k) {
+                probes.push(k[..crate::keys::component_boundary(k, m)].to_vec());
+            }
+        }
+        for p in &probes {
+            assert_eq!(
+                arena.partition_branchless(|k| k < p.as_slice()),
+                arena.partition_scalar(|k| k < p.as_slice()),
+                "lower bound at {p:02x?}"
+            );
+            assert_eq!(
+                arena.partition_branchless(|k| crate::keys::before_subtree_end(p, k)),
+                arena.partition_scalar(|k| crate::keys::before_subtree_end(p, k)),
+                "upper bound at {p:02x?}"
+            );
+        }
     }
 
     #[test]

@@ -113,9 +113,23 @@ impl std::error::Error for PbnCodecError {}
 
 /// A PBN number in compact encoded form. Comparison (`Ord`) is a plain byte
 /// comparison and equals document order.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct EncodedPbn {
     bytes: Vec<u8>,
+}
+
+impl PartialOrd for EncodedPbn {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EncodedPbn {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        crate::keys::cmp(&self.bytes, &other.bytes)
+    }
 }
 
 impl EncodedPbn {

@@ -22,10 +22,125 @@
 use crate::encode::{ordinal_len, FRAC_END, FRONT_MARK, GAP_MARK};
 use std::cmp::Ordering;
 
-/// Document order of two encoded keys: a plain byte comparison.
+// --------------------------------------------------------- SWAR kernels ---
+//
+// The innermost operations — "is this key a prefix of that one", "which
+// key sorts first" — run on every axis predicate, every binary-search
+// probe and every structural-join containment test. The kernels below
+// process keys a `u64` word at a time (SWAR: SIMD within a register)
+// under `#![forbid(unsafe_code)]`: `from_le_bytes` on an 8-byte window
+// compiles to one unaligned load, the XOR of two windows is zero exactly
+// on equal bytes, and `trailing_zeros >> 3` names the first differing
+// byte (little-endian keeps byte 0 in the low bits). No `std::simd`
+// (nightly-only) and no `memchr`-style dependency — the workspace is
+// dependency-free and pinned to MSRV 1.85 (DESIGN.md §13).
+//
+// Every `*_swar` kernel has a byte-at-a-time scalar twin it must agree
+// with on all inputs; the `// oracle:` comments are load-bearing — the
+// vh-vet `oracle-twin` lint fails the build when a kernel loses its twin.
+
+/// Bytes per SWAR word.
+const WORD: usize = 8;
+
+/// Full-width little-endian load of `bytes[at..at + 8]`.
+#[inline]
+fn load_le(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; WORD];
+    buf.copy_from_slice(&bytes[at..at + WORD]);
+    u64::from_le_bytes(buf)
+}
+
+/// Length of the longest common byte prefix of `a` and `b`, one `u64`
+/// word per step: XOR the windows, and the first set bit's byte index is
+/// the first difference.
+///
+/// oracle: common_prefix_len_scalar
+#[inline]
+pub fn common_prefix_len_swar(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + WORD <= n {
+        let x = load_le(a, i) ^ load_le(b, i);
+        if x != 0 {
+            return i + (x.trailing_zeros() as usize >> 3);
+        }
+        i += WORD;
+    }
+    // Tail (< 8 bytes): plain byte loop. A zero-padded word load costs a
+    // variable-length copy per side, which loses to straight-line byte
+    // compares on the short keys shallow documents mint.
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Scalar twin of [`common_prefix_len_swar`]: the byte loop the kernel
+/// must be indistinguishable from. Kept `pub` so property tests and the
+/// bench ablation can drive both sides.
+#[inline]
+pub fn common_prefix_len_scalar(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Word-parallel `y.starts_with(p)`: full 8-byte windows of `p` compare
+/// as `u64`s, the sub-word tail as one slice equality (`memcmp`-class
+/// code), so short prefixes pay exactly what `std`'s `starts_with` does
+/// and long ones drop the per-byte loop.
+///
+/// oracle: starts_with_scalar
+#[inline]
+pub fn starts_with_swar(y: &[u8], p: &[u8]) -> bool {
+    if p.len() > y.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i + WORD <= p.len() {
+        if load_le(p, i) != load_le(y, i) {
+            return false;
+        }
+        i += WORD;
+    }
+    p[i..] == y[i..p.len()]
+}
+
+/// Scalar twin of [`starts_with_swar`] (`std`'s byte-loop semantics).
+#[inline]
+pub fn starts_with_scalar(y: &[u8], p: &[u8]) -> bool {
+    y.starts_with(p)
+}
+
+/// Word-parallel lexicographic byte comparison: walk full 8-byte windows
+/// until one XORs non-zero — `trailing_zeros >> 3` then names the
+/// deciding byte — and hand the sub-word tail to `std`'s slice ordering
+/// (`memcmp`-class), so short keys pay exactly what `a.cmp(b)` does.
+///
+/// oracle: cmp_scalar
+#[inline]
+pub fn cmp_swar(a: &[u8], b: &[u8]) -> Ordering {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + WORD <= n {
+        let x = load_le(a, i) ^ load_le(b, i);
+        if x != 0 {
+            let k = i + (x.trailing_zeros() as usize >> 3);
+            return a[k].cmp(&b[k]);
+        }
+        i += WORD;
+    }
+    a[i..].cmp(&b[i..])
+}
+
+/// Scalar twin of [`cmp_swar`]: `std`'s slice ordering.
+#[inline]
+pub fn cmp_scalar(a: &[u8], b: &[u8]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Document order of two encoded keys: a plain byte comparison (SWAR'd).
 #[inline]
 pub fn cmp(a: &[u8], b: &[u8]) -> Ordering {
-    a.cmp(b)
+    cmp_swar(a, b)
 }
 
 /// True when `y`'s byte at the end of prefix `p` continues into `p`'s
@@ -44,14 +159,14 @@ fn extends_into_gap(p: &[u8], y: &[u8]) -> bool {
 /// with `0x00`, *are* descendants and remain included.)
 #[inline]
 pub fn is_prefix(p: &[u8], y: &[u8]) -> bool {
-    y.starts_with(p) && !extends_into_gap(p, y)
+    starts_with_swar(y, p) && !extends_into_gap(p, y)
 }
 
 /// True if `p` encodes a proper ancestor of `y` (strict prefix, same
 /// gap-sibling exclusion as [`is_prefix`]).
 #[inline]
 pub fn is_strict_prefix(p: &[u8], y: &[u8]) -> bool {
-    y.len() > p.len() && y.starts_with(p) && !extends_into_gap(p, y)
+    y.len() > p.len() && starts_with_swar(y, p) && !extends_into_gap(p, y)
 }
 
 /// Number of bytes of the first component of `key`.
@@ -144,6 +259,32 @@ pub fn prefix_succ(p: &[u8]) -> Option<Vec<u8>> {
 /// subtree's end either precedes the subtree entirely or lies inside it.
 #[inline]
 pub fn before_subtree_end(p: &[u8], y: &[u8]) -> bool {
+    before_subtree_end_swar(p, y)
+}
+
+/// One SWAR pass decides both arms of [`before_subtree_end`]: with `k`
+/// common bytes, `y` extends `p` iff `k == p.len() ≤ y.len()`, and
+/// otherwise `y < p` iff the first differing byte (or `y` running out)
+/// says so.
+///
+/// oracle: before_subtree_end_scalar
+#[inline]
+pub fn before_subtree_end_swar(p: &[u8], y: &[u8]) -> bool {
+    let k = common_prefix_len_swar(p, y);
+    if k == p.len() && y.len() >= p.len() {
+        !extends_into_gap(p, y)
+    } else {
+        match (y.get(k), p.get(k)) {
+            (Some(a), Some(b)) => a < b,
+            _ => y.len() < p.len(),
+        }
+    }
+}
+
+/// Scalar twin of [`before_subtree_end_swar`], byte loops only — the
+/// form the SWAR rewrite must agree with on every key pair.
+#[inline]
+pub fn before_subtree_end_scalar(p: &[u8], y: &[u8]) -> bool {
     (y.starts_with(p) && !extends_into_gap(p, y)) || y < p
 }
 
@@ -269,5 +410,130 @@ mod tests {
     fn empty_prefix_spans_everything() {
         assert!(before_subtree_end(&[], &enc(&pbn![1])));
         assert!(is_prefix(&[], &enc(&pbn![7, 7])));
+    }
+
+    // ------------------------- SWAR kernels vs their scalar twins ---------
+
+    /// Asserts every SWAR kernel agrees with its scalar twin on one pair.
+    fn assert_twins_agree(a: &[u8], b: &[u8]) {
+        assert_eq!(
+            common_prefix_len_swar(a, b),
+            common_prefix_len_scalar(a, b),
+            "common_prefix_len on {a:02x?} vs {b:02x?}"
+        );
+        assert_eq!(
+            starts_with_swar(a, b),
+            starts_with_scalar(a, b),
+            "starts_with on {a:02x?} vs {b:02x?}"
+        );
+        assert_eq!(
+            cmp_swar(a, b),
+            cmp_scalar(a, b),
+            "cmp on {a:02x?} vs {b:02x?}"
+        );
+        assert_eq!(
+            before_subtree_end_swar(a, b),
+            before_subtree_end_scalar(a, b),
+            "before_subtree_end on {a:02x?} vs {b:02x?}"
+        );
+    }
+
+    /// Adversarial lengths: every pairing of lengths 0..17 straddles the
+    /// 8-byte word boundary (0, 7, 8, 9, 15, 16 in particular), with the
+    /// shared prefix ending at every byte of the shorter key — including
+    /// mid-word — and the first difference being each of +1/-1/0xFF flips.
+    #[test]
+    fn swar_twins_agree_around_the_word_boundary() {
+        for la in 0..17usize {
+            for lb in 0..17usize {
+                let base: Vec<u8> = (0..la.max(lb))
+                    .map(|i| (i as u8).wrapping_mul(37))
+                    .collect();
+                for cut in 0..=la.min(lb) {
+                    for flip in [0x01u8, 0xFF, 0x80] {
+                        let a: Vec<u8> = base[..la].to_vec();
+                        let mut b: Vec<u8> = base[..lb].to_vec();
+                        if cut < b.len() {
+                            b[cut] ^= flip;
+                        }
+                        assert_twins_agree(&a, &b);
+                        assert_twins_agree(&b, &a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Saturated runs: keys that are all-0x00 or all-0xFF defeat any
+    /// early-out keyed on byte values (a zero XOR word looks exactly like
+    /// tail padding).
+    #[test]
+    fn swar_twins_agree_on_saturated_runs() {
+        for la in 0..17usize {
+            for lb in 0..17usize {
+                for (fa, fb) in [(0x00u8, 0x00u8), (0xFF, 0xFF), (0x00, 0xFF), (0xFF, 0x00)] {
+                    let a = vec![fa; la];
+                    let b = vec![fb; lb];
+                    assert_twins_agree(&a, &b);
+                    // A single dissenting byte at each end of the run.
+                    for pos in [0usize, la.saturating_sub(1)] {
+                        let mut a2 = a.clone();
+                        if pos < a2.len() {
+                            a2[pos] ^= 0x10;
+                        }
+                        assert_twins_agree(&a2, &b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Minted gap-fraction keys: real encoder output whose GAP_MARK /
+    /// FRONT_MARK / FRAC_END bytes sit at codec-chosen offsets, crossed
+    /// against the whole universe and against component-boundary cuts of
+    /// themselves (the prefixes the §5 predicates actually probe with).
+    #[test]
+    fn swar_twins_agree_on_minted_universe_keys() {
+        let u = universe();
+        for (_, ka) in &u {
+            for (_, kb) in &u {
+                assert_twins_agree(ka, kb);
+            }
+            for m in 0..=component_count(ka) {
+                let p = &ka[..component_boundary(ka, m)];
+                for (_, kb) in &u {
+                    assert_twins_agree(p, kb);
+                    assert_twins_agree(kb, p);
+                }
+            }
+        }
+    }
+
+    /// A deterministic LCG fuzz pass over byte pairs sharing random-length
+    /// prefixes, lengths skewed to hug the word boundary.
+    #[test]
+    fn swar_twins_agree_on_lcg_fuzz() {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..4000 {
+            let la = (next() % 24) as usize;
+            let lb = (next() % 24) as usize;
+            let shared = (next() as usize) % (la.min(lb) + 1);
+            let mut a = vec![0u8; la];
+            let mut b = vec![0u8; lb];
+            for x in a.iter_mut() {
+                *x = next() as u8;
+            }
+            b[..shared.min(la)].copy_from_slice(&a[..shared.min(la)]);
+            for x in b.iter_mut().skip(shared) {
+                *x = next() as u8;
+            }
+            assert_twins_agree(&a, &b);
+        }
     }
 }

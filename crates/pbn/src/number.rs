@@ -62,10 +62,13 @@ impl Ord for Comp {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         match self.ord.cmp(&other.ord) {
             std::cmp::Ordering::Equal => {
+                // Keep the empty-frac fast path: dense documents never pay
+                // for the fraction compare. Minted keys fall through to the
+                // word-parallel byte compare.
                 if self.frac.is_empty() && other.frac.is_empty() {
                     std::cmp::Ordering::Equal
                 } else {
-                    self.frac.cmp(&other.frac)
+                    crate::keys::cmp(&self.frac, &other.frac)
                 }
             }
             unequal => unequal,

@@ -195,8 +195,9 @@ impl<'a> QueryDoc for PhysicalDoc<'a> {
                 // contiguous run of the PBN-sorted name list.
                 let pbn = self.td.pbn();
                 let (lo, hi) = vh_pbn::order::subtree_range(pbn.pbn_of(x));
-                let start = list.partition_point(|&c| pbn.pbn_of(c) < &lo);
-                let end = list.partition_point(|&c| pbn.pbn_of(c) < &hi);
+                let start =
+                    vh_core::exec::partition_point_branchless(list, |&c| pbn.pbn_of(c) < &lo);
+                let end = vh_core::exec::partition_point_branchless(list, |&c| pbn.pbn_of(c) < &hi);
                 // Exclude x itself (descendant, not self).
                 Some(
                     list[start..end]

@@ -189,7 +189,40 @@ pub fn physical_structural_join(
 }
 
 /// [`physical_structural_join`] with an execution knob.
+///
+/// Fast path: instead of routing every document-order comparison through
+/// a `dyn` closure comparing `Option<usize>` slots, the merge is
+/// monomorphized over the arena's flat u32 slot column (`slot_of` is one
+/// array load the prefetcher can stream) with slots encoded `slot + 1`
+/// and `0` for unassigned nodes — preserving the `Option` order (`None`
+/// sorts first) while the hot loop compares plain integers with no
+/// indirect calls and no per-join allocation.
 pub fn physical_structural_join_opts(
+    td: &TypedDocument,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    opts: &ExecOptions,
+) -> Vec<(NodeId, NodeId)> {
+    let arena = td.pbn().arena();
+    let chunks = exec::par_chunk_map(opts, descendants, |chunk| {
+        stack_tree_chunk_slots(
+            ancestors,
+            chunk,
+            |n| match arena.slot_of(n) {
+                Some(s) => s as u32 + 1,
+                None => 0,
+            },
+            |a, d| keys::is_strict_prefix(arena.key_of(a), arena.key_of(d)),
+        )
+    });
+    exec::concat(chunks)
+}
+
+/// The `dyn`-comparator form of [`physical_structural_join_opts`]: the
+/// generic Stack-Tree join with per-call slot lookups. Kept as the oracle
+/// the slot-column fast path must stay byte-identical to at every thread
+/// count.
+pub fn physical_structural_join_generic(
     td: &TypedDocument,
     ancestors: &[NodeId],
     descendants: &[NodeId],
@@ -203,6 +236,57 @@ pub fn physical_structural_join_opts(
         &|a, d| keys::is_strict_prefix(arena.key_of(a), arena.key_of(d)),
         opts,
     )
+}
+
+/// [`stack_tree_chunk`] monomorphized over u32 slot keys: document order
+/// is one integer compare on a value loaded straight from the arena's
+/// slot column, and both predicates inline — no `dyn` dispatch anywhere
+/// in the merge.
+///
+/// oracle: stack_tree_chunk
+fn stack_tree_chunk_slots(
+    ancestors: &[NodeId],
+    chunk: &[NodeId],
+    slot: impl Fn(NodeId) -> u32,
+    contains: impl Fn(NodeId, NodeId) -> bool,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    let Some(&first) = chunk.first() else {
+        return out;
+    };
+    let dslot0 = slot(first);
+    let mut stack: Vec<NodeId> = Vec::new();
+    let push_clean = |stack: &mut Vec<NodeId>, a: NodeId| {
+        while let Some(&top) = stack.last() {
+            if contains(top, a) {
+                break;
+            }
+            stack.pop();
+        }
+        stack.push(a);
+    };
+    let mut i = exec::partition_point_branchless(ancestors, |&a| slot(a) < dslot0);
+    for &a in &ancestors[..i] {
+        push_clean(&mut stack, a);
+    }
+    for &d in chunk {
+        let dslot = slot(d);
+        while i < ancestors.len() && slot(ancestors[i]) < dslot {
+            push_clean(&mut stack, ancestors[i]);
+            i += 1;
+        }
+        while let Some(&top) = stack.last() {
+            if contains(top, d) {
+                break;
+            }
+            stack.pop();
+        }
+        for &a in &stack {
+            debug_assert!(contains(a, d));
+            out.push((a, d));
+        }
+    }
+    out
 }
 
 /// Virtual structural join: inputs sorted by virtual document order;
@@ -466,7 +550,7 @@ mod tests {
                 td.nodes_of_type(td.guide().lookup_path(desc_path).must()),
             );
             let seq = physical_structural_join(&td, &anc, &desc);
-            for threads in [2, 3, 8] {
+            for threads in [1, 2, 3, 8] {
                 let opts = vh_core::ExecOptions {
                     threads,
                     cache: true,
@@ -474,6 +558,13 @@ mod tests {
                 };
                 let par = physical_structural_join_opts(&td, &anc, &desc, &opts);
                 assert_eq!(par, seq, "{anc_path:?}//{desc_path:?} t={threads}");
+                // The slot-column fast path must be byte-identical to the
+                // dyn-comparator oracle at every thread count.
+                let generic = physical_structural_join_generic(&td, &anc, &desc, &opts);
+                assert_eq!(
+                    par, generic,
+                    "{anc_path:?}//{desc_path:?} t={threads} oracle"
+                );
             }
         }
     }

@@ -353,7 +353,11 @@ impl<'a> TwigSource for PhysicalTwigSource<'a> {
             o.add_gallop_steps(gallops);
         }
         let hi = hi.min(tail.len());
-        let mut best = PROBES + tail[PROBES..hi].partition_point(|&n| arena.slot_of(n) < tslot);
+        // Branch-free bisection of the gallop bracket: random probe slots
+        // make the comparison a coin flip, so the multiply-by-bool form
+        // beats the predicted-branch loop (oracle-tested in vh-core).
+        let mut best = PROBES
+            + exec::partition_point_branchless(&tail[PROBES..hi], |&n| arena.slot_of(n) < tslot);
         // Ancestors of `target` all sit before the partition point; the
         // shortest prefix present is the earliest stop.
         let mut end = keys::component_boundary(tkey, 1);

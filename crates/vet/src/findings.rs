@@ -28,6 +28,9 @@ pub enum Lint {
     /// A legacy `Engine` wrapper that does not forward to `Engine::run`
     /// or lacks deprecation docs.
     DeprecatedWrapper,
+    /// A `*_swar`/`*_branchless` kernel without an `// oracle:` comment
+    /// naming a scalar twin defined in the same file.
+    OracleTwin,
     /// A malformed or unknown `// vet: allow(…)` comment.
     VetAllow,
 }
@@ -41,6 +44,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::ErrorExit,
     Lint::PromName,
     Lint::DeprecatedWrapper,
+    Lint::OracleTwin,
     Lint::VetAllow,
 ];
 
@@ -56,6 +60,7 @@ impl Lint {
             Lint::ErrorExit => "error-exit",
             Lint::PromName => "prom-name",
             Lint::DeprecatedWrapper => "deprecated-wrapper",
+            Lint::OracleTwin => "oracle-twin",
             Lint::VetAllow => "vet-allow",
         }
     }
@@ -81,6 +86,9 @@ impl Lint {
             }
             Lint::DeprecatedWrapper => {
                 "legacy Engine wrappers forward to Engine::run and carry deprecation docs"
+            }
+            Lint::OracleTwin => {
+                "every *_swar/*_branchless kernel has an // oracle: comment naming a scalar twin defined in the same file"
             }
             Lint::VetAllow => "vet: allow comments name a known lint and give a reason",
         }

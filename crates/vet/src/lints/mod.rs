@@ -1,6 +1,6 @@
 //! The lint set and its driver.
 //!
-//! Per-file lints ([`panics`], [`safety`], [`prom`]) run over every
+//! Per-file lints ([`panics`], [`safety`], [`prom`], [`oracle`]) run over every
 //! walked file in their scope; cross-file lints ([`spans`], [`edits`],
 //! [`errors`], [`deprecated`]) additionally read the workspace files
 //! that define the invariant they enforce (the `vh-obs` span
@@ -12,6 +12,7 @@
 pub mod deprecated;
 pub mod edits;
 pub mod errors;
+pub mod oracle;
 pub mod panics;
 pub mod prom;
 pub mod safety;
@@ -112,6 +113,7 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
         panics::check(file, &mut out);
         safety::check(file, &mut out);
         prom::check(file, &mut out);
+        oracle::check(file, &mut out);
     }
     spans::check(ws, &mut out);
     edits::check(ws, &mut out);

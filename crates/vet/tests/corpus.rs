@@ -26,6 +26,8 @@ fn stdout(out: &Output) -> String {
 /// Every seeded violation, as `(file, line, lint)`. The corpus README
 /// documents what each one is; this list is the contract the test pins.
 const SEEDED: &[(&str, u32, &str)] = &[
+    ("crates/demo/src/kernels.rs", 6, "oracle-twin"),
+    ("crates/demo/src/kernels.rs", 11, "oracle-twin"),
     ("crates/demo/src/lib.rs", 12, "safety-comment"),
     ("crates/query/src/edit.rs", 21, "edit-exhaustive"),
     ("crates/query/src/edit.rs", 29, "edit-exhaustive"),
@@ -105,6 +107,7 @@ fn json_report_matches_the_text_findings() {
         "error-exit",
         "prom-name",
         "deprecated-wrapper",
+        "oracle-twin",
         "vet-allow",
     ] {
         let expected = SEEDED.iter().filter(|(_, _, l)| l == &lint).count();
@@ -157,6 +160,7 @@ fn list_names_every_lint() {
         "error-exit",
         "prom-name",
         "deprecated-wrapper",
+        "oracle-twin",
         "vet-allow",
     ] {
         assert!(text.contains(lint), "--list misses {lint}");

@@ -1,0 +1,38 @@
+//! Branch-free kernels for the oracle-twin corpus: one SWAR kernel
+//! missing its oracle comment, one naming a twin that does not exist,
+//! and one compliant pair that must stay silent.
+
+/// Sums bytes a word at a time (no oracle comment: seeded violation).
+pub fn sum_swar(xs: &[u8]) -> u64 {
+    xs.iter().map(|&b| u64::from(b)).sum()
+}
+
+/// oracle: cmp_scalar
+pub fn cmp_branchless(a: u32, b: u32) -> u32 {
+    u32::from(a < b)
+}
+
+/// Picks the larger word without branching.
+///
+/// oracle: max_scalar
+pub fn max_swar(a: u64, b: u64) -> u64 {
+    let take_b = u64::from(b > a);
+    b * take_b + a * (1 - take_b)
+}
+
+/// Scalar twin of [`max_swar`].
+pub fn max_scalar(a: u64, b: u64) -> u64 {
+    if b > a {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test-region kernels are exempt.
+    fn helper_swar() -> u64 {
+        0
+    }
+}
