@@ -9,7 +9,9 @@
 //! ```
 //!
 //! Rows are matched by id. A gated row (id starts with a `--gate-prefix`;
-//! default `axes/axis/` and `twig/`) whose median ns/op regresses by more
+//! defaults in [`DEFAULT_GATE_PREFIXES`] — the axis/twig hot paths, the
+//! observability overhead, and the edit subsystem's apply and
+//! cache-maintenance rows) whose median ns/op regresses by more
 //! than the threshold — or which disappears from the current run — fails
 //! the gate (exit 1). Everything else is logged but passes. A baseline
 //! file with no counterpart in the current directory fails iff it
@@ -54,9 +56,10 @@ const USAGE: &str = "usage:
              [--gate-prefix <id-prefix>]... [--json <path>]
 
 Compares BENCH_*.json reports; exits 1 when a gated row (default
-prefixes: axes/axis/, twig/) regresses beyond the threshold or is
-missing from the current run. --json writes the findings (including
-the noise floor and pre-floor deltas) as a JSON document.";
+prefixes: axes/axis/, twig/, obs/run/, update/apply, update/cache_)
+regresses beyond the threshold or is missing from the current run.
+--json writes the findings (including the noise floor and pre-floor
+deltas) as a JSON document.";
 
 fn run() -> Result<bool, (String, u8)> {
     let args: Vec<String> = std::env::args().skip(1).collect();

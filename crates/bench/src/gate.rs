@@ -31,7 +31,13 @@
 use crate::json::{BenchReport, CALIBRATION_ROW};
 
 /// Gated row-id prefixes when the caller supplies none.
-pub const DEFAULT_GATE_PREFIXES: &[&str] = &["axes/axis/", "twig/", "obs/run/", "update/apply"];
+pub const DEFAULT_GATE_PREFIXES: &[&str] = &[
+    "axes/axis/",
+    "twig/",
+    "obs/run/",
+    "update/apply",
+    "update/cache_",
+];
 
 /// Median-ns regression threshold when the caller supplies none (15%).
 pub const DEFAULT_THRESHOLD: f64 = 0.15;

@@ -16,6 +16,7 @@
 //! deletions (a strong DataGuide only ever grows).
 
 use crate::build::TypedDocument;
+use crate::delta::{Touch, TouchedNode};
 use crate::types::TEXT_TYPE_NAME;
 use std::fmt;
 use vh_pbn::{KeyGen, Pbn};
@@ -158,6 +159,7 @@ impl TypedDocument {
         let subtree: Vec<NodeId> = self.doc.descendants_or_self(target).collect();
         self.doc.detach(target);
         for &id in &subtree {
+            self.journal_removal(id);
             self.pbn.remove_node(id);
         }
         Ok(subtree.len())
@@ -193,6 +195,7 @@ impl TypedDocument {
         // sees only the surviving siblings.
         let subtree: Vec<NodeId> = self.doc.descendants_or_self(target).collect();
         for &id in &subtree {
+            self.journal_removal(id);
             self.pbn.remove_node(id);
         }
         self.doc.detach(target);
@@ -301,10 +304,31 @@ impl TypedDocument {
             self.type_of[id.index()] = ty;
             let inserted = self.pbn.insert_node(id, num.clone());
             debug_assert!(inserted, "minted numbers are unique by construction");
+            self.journal.record(TouchedNode {
+                id,
+                ty,
+                pbn: num.clone(),
+                touch: Touch::Added,
+            });
             for (i, &c) in self.doc.children(id).iter().enumerate().rev() {
                 stack.push((c, num.child(i as u32 + 1), ty));
             }
         }
+    }
+
+    /// Journals the retirement of a still-numbered node (delete, or the
+    /// detach half of a move).
+    fn journal_removal(&mut self, id: NodeId) {
+        let Some(pbn) = self.pbn.by_node_checked(id).filter(|p| !p.is_empty()) else {
+            return;
+        };
+        let pbn = pbn.clone();
+        self.journal.record(TouchedNode {
+            id,
+            ty: self.type_of[id.index()],
+            pbn,
+            touch: Touch::Removed,
+        });
     }
 }
 

@@ -46,6 +46,7 @@ pub mod xpath;
 pub use edit::{Edit, EditReceipt, EditRecovery, ReplayFailure};
 pub use engine::{Engine, EngineSnapshot, Explain, QueryOutcome, QueryRequest};
 pub use error::{FlwrError, Limits, QueryError, ResourceKind};
+pub use vh_core::cache::MaintenancePolicy;
 pub use xpath::{parse_xpath, XPath};
 
 #[cfg(test)]

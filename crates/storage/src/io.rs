@@ -9,7 +9,11 @@
 use crate::error::PageFault;
 
 /// A device serving fixed-size pages.
-pub trait PageIo: std::fmt::Debug {
+///
+/// `Send` is a supertrait so stores (and the engines holding them) can
+/// move between threads — the concurrent reader/writer workload hands a
+/// whole engine to a scoped-thread scope behind a mutex.
+pub trait PageIo: std::fmt::Debug + Send {
     /// The device's page size in bytes.
     fn page_size(&self) -> usize;
 

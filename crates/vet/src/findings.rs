@@ -28,8 +28,9 @@ pub enum Lint {
     /// A legacy `Engine` wrapper that does not forward to `Engine::run`
     /// or lacks deprecation docs.
     DeprecatedWrapper,
-    /// A `*_swar`/`*_branchless` kernel without an `// oracle:` comment
-    /// naming a scalar twin defined in the same file.
+    /// A `*_swar`/`*_branchless` kernel — or a bodied cache `maintain`
+    /// impl — without an `// oracle:` comment naming a twin defined in
+    /// the same file.
     OracleTwin,
     /// A malformed or unknown `// vet: allow(…)` comment.
     VetAllow,
@@ -88,7 +89,7 @@ impl Lint {
                 "legacy Engine wrappers forward to Engine::run and carry deprecation docs"
             }
             Lint::OracleTwin => {
-                "every *_swar/*_branchless kernel has an // oracle: comment naming a scalar twin defined in the same file"
+                "every *_swar/*_branchless kernel and cache maintain impl has an // oracle: comment naming a twin defined in the same file"
             }
             Lint::VetAllow => "vet: allow comments name a known lint and give a reason",
         }

@@ -26,6 +26,7 @@ fn stdout(out: &Output) -> String {
 /// Every seeded violation, as `(file, line, lint)`. The corpus README
 /// documents what each one is; this list is the contract the test pins.
 const SEEDED: &[(&str, u32, &str)] = &[
+    ("crates/demo/src/cache.rs", 16, "oracle-twin"),
     ("crates/demo/src/kernels.rs", 6, "oracle-twin"),
     ("crates/demo/src/kernels.rs", 11, "oracle-twin"),
     ("crates/demo/src/lib.rs", 12, "safety-comment"),

@@ -1,0 +1,38 @@
+//! Cache-maintenance impls for the oracle-twin corpus: one bodied
+//! `maintain` missing its recompute-oracle comment (seeded violation),
+//! one compliant impl with its twin, and a bodyless trait declaration
+//! that must stay exempt.
+
+/// The trait declaration: bodyless `maintain` is a contract, not a
+/// splice, and must not fire.
+pub trait MaintainView: Sized {
+    fn maintain(&self, delta: &u32) -> Option<Self>;
+}
+
+pub struct Stale;
+
+impl MaintainView for Stale {
+    /// Splices without any proof (seeded violation).
+    fn maintain(&self, _delta: &u32) -> Option<Self> {
+        Some(Stale)
+    }
+}
+
+pub struct Fresh;
+
+// oracle: rebuild_fresh_oracle
+impl MaintainView for Fresh {
+    fn maintain(&self, _delta: &u32) -> Option<Self> {
+        Some(Fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Fresh;
+
+    /// Recompute twin of the compliant impl.
+    fn rebuild_fresh_oracle() -> Fresh {
+        Fresh
+    }
+}

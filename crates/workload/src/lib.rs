@@ -14,18 +14,22 @@
 //!
 //! [`scenarios`] names the virtual transformations each corpus is queried
 //! through (inversion, regrouping, projection, identity, …) and
-//! [`queries`] the query workloads per scenario. Both are consumed by the
+//! [`queries`] the query workloads per scenario. [`readwrite`] drives a
+//! live engine with concurrent readers while a writer streams edit
+//! batches — the scenario behind the cache-maintenance experiments. Both are consumed by the
 //! benchmark harness (`vh-bench`) and the integration tests.
 //!
 //! All generation is deterministic given a seed.
 
 pub mod books;
 pub mod queries;
+pub mod readwrite;
 pub mod scenarios;
 pub mod synthetic;
 pub mod xmark;
 
 pub use books::{generate_books, BooksConfig};
+pub use readwrite::{run_readwrite, ReadWriteConfig, ReadWriteReport};
 pub use scenarios::{book_scenarios, xmark_scenarios, Scenario};
 pub use synthetic::generate_comb;
 pub use xmark::{generate_xmark, XmarkConfig};

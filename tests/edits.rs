@@ -127,6 +127,71 @@ proptest! {
         }
     }
 
+    /// Batched scripts (`apply_all`) with a tiny mid-batch compaction
+    /// threshold: delta segments accumulate and threshold drains fire
+    /// mid-batch, then one merged `ViewDelta` per URI routes to the warm
+    /// cache at each batch boundary. Queries run *between* batches so
+    /// maintained entries serve real reads mid-script, and the surviving
+    /// cache must still answer identically to an engine rebuilt from
+    /// scratch on the final document at 1, 2 and 8 threads.
+    #[test]
+    fn batched_edits_across_the_compaction_threshold_match_the_oracle(
+        books in 1usize..6,
+        seed in 0u64..400,
+        script in prop::collection::vec((0u8..=255, 0u16..=u16::MAX, 0u16..=u16::MAX), 4..40),
+        threshold in 1usize..6,
+        chunk in 2usize..7,
+    ) {
+        let cfg = vpbn_suite::workload::BooksConfig {
+            books,
+            max_authors: 3,
+            rare_fraction: 0.2,
+            seed,
+        };
+        let base_xml = serialize(
+            &vpbn_suite::workload::generate_books(URI, &cfg),
+            SerializeOptions::compact(),
+        );
+        let mut edited = Engine::new();
+        edited.register_xml(URI, &base_xml).expect("base registers");
+        edited.set_compact_threshold(threshold);
+        // Warm every cache before the first batch.
+        let _ = answers(&edited);
+        for batch in script.chunks(chunk) {
+            let doc = edited.document(URI).expect("registered").doc();
+            let edits: Vec<_> = batch
+                .iter()
+                .filter_map(|&(op, a, b)| concretize(doc, op, a, b))
+                .collect();
+            // A rejected edit aborts the rest of its batch; the applied
+            // prefix is durable and routed, which the oracle verifies.
+            let _ = edited.apply_all(edits);
+            let _ = answers(&edited);
+        }
+        prop_assert_eq!(edited.compact(), 0, "apply_all left un-drained delta");
+
+        let final_xml = serialize(
+            edited.document(URI).expect("registered").doc(),
+            SerializeOptions::compact(),
+        );
+        for &threads in &[1usize, 2, 8] {
+            let opts = ExecOptions { threads, cache: true, par_threshold: 1 };
+            let mut rebuilt = Engine::new();
+            rebuilt.set_exec_options(opts);
+            rebuilt.register_xml(URI, &final_xml).expect("rebuild registers");
+            edited.set_exec_options(opts);
+            prop_assert_eq!(
+                answers(&edited),
+                answers(&rebuilt),
+                "threads={} threshold={} chunk={} script={:?}",
+                threads,
+                threshold,
+                chunk,
+                script
+            );
+        }
+    }
+
     /// Replaying the edited engine's WAL onto a fresh base reproduces
     /// the same document byte-for-byte — the recovery oracle, as a
     /// property over random scripts.
