@@ -15,6 +15,10 @@
 #                   with a notice when it is missing
 #   --recovery      run the fault-injected recovery matrix (crash-point
 #                   truncations + bit flips) over the widened CI seed set
+#   --serve         run the query-server leg: the vh-serve protocol fuzz
+#                   + end-to-end suites in release mode (real loopback
+#                   sockets, 8-client mixed traffic, crash-mid-frame
+#                   serviceability)
 #   --tsan          run the ThreadSanitizer leg over the partition/merge and
 #                   cache tests — needs nightly + `rust-src` (std must be
 #                   rebuilt instrumented); skipped with a notice otherwise
@@ -39,6 +43,7 @@ RUN_VET=0
 RUN_REBASE=0
 RUN_RECOVERY=0
 RUN_HISTORY=0
+RUN_SERVE=0
 
 for arg in "$@"; do
   case "$arg" in
@@ -48,6 +53,7 @@ for arg in "$@"; do
     --tsan)         RUN_TSAN=1 ;;
     --vet)          RUN_VET=1 ;;
     --recovery)     RUN_RECOVERY=1 ;;
+    --serve)        RUN_SERVE=1 ;;
     --no-gate)      RUN_GATE=0 ;;
     --bench-rebase) RUN_REBASE=1 ;;
     -h|--help)      grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
@@ -60,14 +66,17 @@ done
 # observability layer's end-to-end query cost (exp_obs also enforces its
 # own ≤2% disabled-mode overhead budget and exits nonzero past it) and the
 # edit subsystem's throughput (exp_update likewise enforces its ≤1.25x
-# post-edit slowdown and ≤2x arena-growth acceptance bounds itself).
+# post-edit slowdown and ≤2x arena-growth acceptance bounds itself) and
+# the query server's loopback throughput/tail (exp_serve self-enforces
+# zero sheds and zero dropped connections under the default quota, and
+# that a tight quota sheds with the distinct wire status).
 BENCH_FLAGS=(--quick --threads 1)
 BASELINE_DIR=crates/bench/baselines
 
 run_bench() {
   local out="$1"
   cargo build --release -p vh-bench --bins
-  for exp in exp_axes exp_twig exp_sjoin exp_space exp_obs exp_update; do
+  for exp in exp_axes exp_twig exp_sjoin exp_space exp_obs exp_update exp_serve; do
     "./target/release/$exp" "${BENCH_FLAGS[@]}" --json "$out" >/dev/null
   done
 }
@@ -105,6 +114,13 @@ run_recovery() {
   echo "==> recovery matrix (crash-point truncations + bit flips, CI seeds)"
   VPBN_RECOVERY_SEEDS="11,42,2026,7,1914" \
     cargo test --release --test recovery -q
+}
+
+# Release mode so the loopback timing-sensitive tests (stall timeouts,
+# 8-client mixed traffic) run at realistic speed.
+run_serve() {
+  echo "==> serve leg (VHRPC protocol fuzz + end-to-end over loopback sockets)"
+  cargo test --release -p vh-serve -q
 }
 
 run_tsan() {
@@ -145,6 +161,10 @@ if [ "$RUN_GATE" = 1 ]; then
   echo "==> vh-obs builds without default features (no-std-clock consumers)"
   cargo build -p vh-obs --no-default-features --quiet
 
+  echo "==> the frozen v1 API builds both ways (legacy-api off is the default)"
+  cargo build -p vh-query --no-default-features --quiet
+  cargo test -p vh-query --features legacy-api -q
+
   echo "==> cargo test"
   cargo test --workspace -q
 
@@ -167,6 +187,10 @@ fi
 
 if [ "$RUN_RECOVERY" = 1 ]; then
   run_recovery
+fi
+
+if [ "$RUN_SERVE" = 1 ]; then
+  run_serve
 fi
 
 if [ "$RUN_BENCH" = 1 ] || [ "$RUN_HISTORY" = 1 ]; then

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use vh_bench::baseline::{run_materialized, run_virtual};
 use vh_dataguide::TypedDocument;
-use vh_query::Engine;
+use vh_query::{Engine, QueryRequest};
 use vh_workload::queries::{rhonda_flwr, sam_flwr};
 use vh_workload::{generate_books, BooksConfig};
 
@@ -36,22 +36,23 @@ fn bench_pipelines(c: &mut Criterion) {
     let mut g = c.benchmark_group("flwr");
     g.sample_size(20);
     g.bench_function("rhonda_virtualdoc", |b| {
-        b.iter(|| e.eval(&virtual_q).unwrap())
+        b.iter(|| e.run(&QueryRequest::flwr(&*virtual_q)).unwrap().document)
     });
     g.bench_function("nested_sam_then_rhonda", |b| {
         b.iter(|| {
             // Materializing pipeline: run Sam, register, run Rhonda.
             let mut inner = Engine::new();
             inner.register(generate_books("books.xml", &BooksConfig::sized(500)));
-            let sam_out = inner.eval(&sam_q).unwrap();
+            let sam_out = inner.run(&QueryRequest::flwr(&*sam_q)).unwrap().document;
             inner.register(sam_out);
             inner
-                .eval(
+                .run(&QueryRequest::flwr(
                     r#"for $t in doc("results")//title
                        return <result><title>{$t/text()}</title>
                                       <count>{count($t/author)}</count></result>"#,
-                )
+                ))
                 .unwrap()
+                .document
         })
     });
     g.finish();

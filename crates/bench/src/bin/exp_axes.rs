@@ -308,7 +308,7 @@ fn cache_demo(opts: &BenchOpts, cfg: &BooksConfig, report: &mut BenchReport) {
     };
     let cold = open_ns();
     let warm = open_ns();
-    let stats = engine.cache_stats();
+    let stats = engine.snapshot().cache;
 
     let mut t = Table::new(
         "cache: compiled-view open, cold vs warm",

@@ -1,0 +1,271 @@
+//! **SRV — serve throughput and tail latency.** An in-process VHRPC
+//! server on a loopback socket, hammered by 8 client threads replaying
+//! seeded mixed point/twig/edit streams ([`vh_workload::serve`]).
+//!
+//! Two claims are enforced, not just measured:
+//!
+//! * **Zero loss under the default quota.** Every op in every stream
+//!   must be *answered* — no dropped connections, no sheds. A shed
+//!   under the default (effectively unlimited) quota, or any dropped
+//!   connection, exits nonzero.
+//! * **Shedding is deliberate.** A second phase points one client at a
+//!   tenant with a four-token never-refilling bucket and requires the
+//!   overflow to come back as the distinct `shed` wire status — not as
+//!   a dropped connection, not as a generic error.
+//!
+//! The gated rows are `serve/qps` (median ns per answered op across
+//! attempts; the sustained QPS rides along as a metric) and
+//! `serve/p99` (p99 single-op wire latency). Up to [`ATTEMPTS`]
+//! measurement rounds keep the best throughput, so a contended runner
+//! gets retries while a real server regression keeps failing the gate.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use vh_bench::json::{BenchReport, BenchRow, CALIBRATION_ROW};
+use vh_bench::opts::BenchOpts;
+use vh_bench::report::Table;
+use vh_bench::timing::calibration_ns;
+use vh_serve::wire::WireStatus;
+use vh_serve::{Client, ClientError, Registry, Server, ServerConfig, ServerHandle, TenantQuota};
+use vh_workload::serve::{serve_engine, serve_ops, ServeMixConfig, ServeOp, SERVE_SPEC, SERVE_URI};
+
+/// Client threads in the measured phase (the acceptance workload).
+const CLIENTS: usize = 8;
+
+/// Measurement rounds; the best-throughput round is reported.
+const ATTEMPTS: usize = 3;
+
+/// The tenant the measured phase drives.
+const TENANT: &str = "acme";
+
+/// One attempt's aggregate.
+struct Attempt {
+    qps: f64,
+    ns_per_op: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    ops: u64,
+}
+
+fn start_server(books: usize, quota: TenantQuota, workers: usize) -> ServerHandle {
+    let mut registry = Registry::new();
+    registry
+        .add_tenant(TENANT, serve_engine(books, 42), quota)
+        .unwrap_or_else(|e| panic!("tenant registers: {e:?}"));
+    let config = ServerConfig {
+        workers,
+        poll_interval: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    match Server::bind("127.0.0.1:0", registry, config).and_then(Server::start) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: server did not start: {e}");
+            std::process::exit(3);
+        }
+    }
+}
+
+/// Replays one client's stream; returns per-op wire latencies (ns).
+fn replay(
+    addr: std::net::SocketAddr,
+    ops: &[ServeOp],
+) -> Result<Vec<u64>, (&'static str, ClientError)> {
+    let mut client =
+        Client::connect(addr, TENANT).map_err(|e| ("connect", ClientError::from(e)))?;
+    let mut latencies = Vec::with_capacity(ops.len());
+    for op in ops {
+        let t0 = Instant::now();
+        match op {
+            ServeOp::Point { path } => {
+                client.point(SERVE_URI, path).map_err(|e| ("point", e))?;
+            }
+            ServeOp::Twig { path } => {
+                client
+                    .twig(SERVE_URI, SERVE_SPEC, path)
+                    .map_err(|e| ("twig", e))?;
+            }
+            ServeOp::Edit { edit } => {
+                client.edit(edit).map_err(|e| ("edit", e))?;
+            }
+        }
+        latencies.push(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(latencies)
+}
+
+/// One measured round: fresh server, fresh corpus, 8 streams.
+fn run_attempt(books: usize, ops_per_client: usize) -> Attempt {
+    let handle = start_server(books, TenantQuota::default(), CLIENTS + 2);
+    let addr = handle.local_addr();
+
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(CLIENTS * ops_per_client);
+    std::thread::scope(|s| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                s.spawn(move || {
+                    let stream = serve_ops(&ServeMixConfig {
+                        ops: ops_per_client,
+                        seed: 1000 + c as u64,
+                        ..ServeMixConfig::default()
+                    });
+                    replay(addr, &stream)
+                })
+            })
+            .collect();
+        for t in threads {
+            match t.join().unwrap_or_else(|_| panic!("client panicked")) {
+                Ok(ls) => latencies.extend(ls),
+                Err((verb, e)) => {
+                    eprintln!("error: {verb} failed under default quota: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    });
+    let wall = t0.elapsed();
+
+    // The zero-loss claim: every op answered, nothing shed or dropped.
+    let m = handle.metrics();
+    let shed = m.shed_total();
+    let dropped = m.dropped_connections_total.load(Ordering::Relaxed);
+    let answered = latencies.len() as u64;
+    handle.shutdown();
+    if shed != 0 || dropped != 0 || answered != (CLIENTS * ops_per_client) as u64 {
+        eprintln!(
+            "error: lossy run under default quota: {answered}/{} answered, \
+             {shed} shed, {dropped} dropped connections",
+            CLIENTS * ops_per_client
+        );
+        std::process::exit(1);
+    }
+
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize] as f64;
+    Attempt {
+        qps: answered as f64 / wall.as_secs_f64(),
+        ns_per_op: wall.as_nanos() as f64 / answered as f64,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        ops: answered,
+    }
+}
+
+/// The deliberate-shedding phase: a four-token bucket that never
+/// refills must shed the overflow with the `shed` status and keep the
+/// connection alive.
+fn verify_shedding(books: usize) {
+    let handle = start_server(
+        books,
+        TenantQuota {
+            burst: 4.0,
+            per_sec: 0.0,
+            max_concurrent: 64,
+            edit_cost: 4.0,
+        },
+        2,
+    );
+    let mut client = match Client::connect(handle.local_addr(), TENANT) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: shed-phase connect: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for _ in 0..20 {
+        match client.point(SERVE_URI, "//title") {
+            Ok(_) => ok += 1,
+            Err(e) if e.status() == Some(WireStatus::Shed) => shed += 1,
+            Err(e) => {
+                eprintln!("error: overload answered {e}, want the shed status");
+                std::process::exit(1);
+            }
+        }
+    }
+    let dropped = handle
+        .metrics()
+        .dropped_connections_total
+        .load(Ordering::Relaxed);
+    handle.shutdown();
+    if ok != 4 || shed != 16 || dropped != 0 {
+        eprintln!(
+            "error: four-token bucket admitted {ok} and shed {shed} of 20 \
+             ({dropped} dropped); want exactly 4/16/0"
+        );
+        std::process::exit(1);
+    }
+    println!("overload: 4-token bucket admitted {ok}, shed {shed} with the shed status, 0 dropped");
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let books = opts.books(24, 64, 160);
+    let ops_per_client = match opts.profile.name() {
+        "quick" => 100,
+        "full" => 500,
+        _ => 250,
+    };
+
+    let mut report = BenchReport::new("serve");
+    report.config("books", books);
+    report.config("profile", opts.profile.name());
+    report.config("clients", CLIENTS);
+    report.config("ops_per_client", ops_per_client);
+
+    let mut t = Table::new(
+        "SRV: 8-client mixed point/twig/edit over loopback VHRPC",
+        &["attempt", "ops", "qps", "ns_per_op", "p50_ns", "p99_ns"],
+    );
+    let mut best: Option<Attempt> = None;
+    let mut best_p99 = f64::INFINITY;
+    let mut best_p50 = f64::INFINITY;
+    for attempt in 1..=ATTEMPTS {
+        let a = run_attempt(books, ops_per_client);
+        t.row(&[
+            attempt.to_string(),
+            a.ops.to_string(),
+            format!("{:.0}", a.qps),
+            format!("{:.0}", a.ns_per_op),
+            format!("{:.0}", a.p50_ns),
+            format!("{:.0}", a.p99_ns),
+        ]);
+        // Throughput and tail are kept best *independently*: the
+        // highest-qps attempt is not always the one with the quietest
+        // tail on a contended runner, and both rows are gated.
+        best_p99 = best_p99.min(a.p99_ns);
+        best_p50 = best_p50.min(a.p50_ns);
+        if best.as_ref().is_none_or(|b| a.qps > b.qps) {
+            best = Some(a);
+        }
+    }
+    t.print();
+    let best = best.unwrap_or_else(|| unreachable!("ATTEMPTS >= 1"));
+
+    verify_shedding(books);
+
+    report.push(
+        BenchRow::new("serve/qps", best.ns_per_op)
+            .with("qps", best.qps)
+            .with("clients", CLIENTS as f64)
+            .with("ops", best.ops as f64),
+    );
+    report.push(BenchRow::new("serve/p99", best_p99).with("p50_ns", best_p50));
+    report.push(BenchRow::new(CALIBRATION_ROW, calibration_ns()));
+
+    if let Some(dir) = &opts.json_dir {
+        match report.write_to(dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing report: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+    println!(
+        "sustained: {:.0} qps across {CLIENTS} clients; p50 {:.0} ns, p99 {:.0} ns per op",
+        best.qps, best_p50, best_p99
+    );
+}

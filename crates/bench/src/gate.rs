@@ -35,6 +35,7 @@ pub const DEFAULT_GATE_PREFIXES: &[&str] = &[
     "axes/axis/",
     "twig/",
     "obs/run/",
+    "serve/",
     "update/apply",
     "update/cache_",
 ];

@@ -567,6 +567,24 @@ pub struct ExecCache {
     maintained: AtomicU64,
     recomputed: AtomicU64,
     fallback_evictions: AtomicU64,
+    /// Seqlock-style generation stamp over the maintenance counters: odd
+    /// while a delta route or fallback invalidation is mid-flight,
+    /// bumped to even when it commits. [`ExecCache::stats`] retries
+    /// until it reads the same even epoch on both sides, so a snapshot
+    /// can never observe a half-applied batch (entries dropped but the
+    /// maintained/recomputed totals not yet accounted).
+    epoch: AtomicU64,
+}
+
+/// RAII writer section of the [`ExecCache`] epoch seqlock: entering makes
+/// the epoch odd, dropping makes it even again (panic-safe — a poisoned
+/// route still closes its epoch, leaving readers live).
+struct EpochWriter<'a>(&'a AtomicU64);
+
+impl Drop for EpochWriter<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::Release);
+    }
 }
 
 impl ExecCache {
@@ -588,7 +606,24 @@ impl ExecCache {
             maintained: AtomicU64::new(0),
             recomputed: AtomicU64::new(0),
             fallback_evictions: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Opens a maintenance writer section: the epoch goes odd until the
+    /// returned guard drops. Sections never nest — `route_delta` and the
+    /// public `fallback_invalidate_uri` each open exactly one.
+    fn begin_maintenance(&self) -> EpochWriter<'_> {
+        self.epoch.fetch_add(1, Ordering::Acquire);
+        EpochWriter(&self.epoch)
+    }
+
+    /// The current maintenance epoch: even when quiescent, odd while a
+    /// delta route or fallback invalidation is in flight. Composite
+    /// readers (e.g. `Engine::snapshot`) can bracket multi-field reads
+    /// with two calls and retry on a mismatch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Evicts every artifact compiled for `uri` (all specs, all guide
@@ -605,6 +640,13 @@ impl ExecCache {
     /// compaction (or a recovery replay the engine cannot model) makes
     /// maintenance claims unsafe.
     pub fn fallback_invalidate_uri(&self, uri: &str) -> usize {
+        let _epoch = self.begin_maintenance();
+        self.fallback_invalidate_inner(uri)
+    }
+
+    /// [`ExecCache::fallback_invalidate_uri`] without the epoch bracket,
+    /// for callers (the delta router) already inside a writer section.
+    fn fallback_invalidate_inner(&self, uri: &str) -> usize {
         let dropped = self.invalidate_uri(uri);
         self.fallback_evictions
             .fetch_add(dropped as u64, Ordering::Relaxed);
@@ -643,9 +685,10 @@ impl ExecCache {
     /// maintenance the cost model rejects are dropped as fallback
     /// evictions. `td` is the document *after* the batch (drained).
     pub fn route_delta(&self, delta: &ViewDelta, td: &TypedDocument) -> RouteOutcome {
+        let _epoch = self.begin_maintenance();
         let mut out = RouteOutcome::default();
         if delta.overflowed {
-            out.fallback_evictions = self.fallback_invalidate_uri(&delta.uri) as u64;
+            out.fallback_evictions = self.fallback_invalidate_inner(&delta.uri) as u64;
             return out;
         }
         let of_uri = |k: &ViewKey| k.uri == delta.uri;
@@ -721,16 +764,30 @@ impl ExecCache {
         self.indexes.clear();
     }
 
-    /// Counter snapshot across the four artifact maps.
+    /// Counter snapshot across the four artifact maps, taken under a
+    /// stable maintenance epoch: if a delta route or fallback
+    /// invalidation is in flight (epoch odd) or commits mid-read (epoch
+    /// moved), the read retries, so the returned stats never mix
+    /// pre-batch entry counts with post-batch maintenance totals.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            expansions: self.expansions.counters(),
-            levels: self.levels.counters(),
-            tables: self.tables.counters(),
-            indexes: self.indexes.counters(),
-            maintained: self.maintained.load(Ordering::Relaxed),
-            recomputed: self.recomputed.load(Ordering::Relaxed),
-            fallback_evictions: self.fallback_evictions.load(Ordering::Relaxed),
+        loop {
+            let before = self.epoch();
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let stats = CacheStats {
+                expansions: self.expansions.counters(),
+                levels: self.levels.counters(),
+                tables: self.tables.counters(),
+                indexes: self.indexes.counters(),
+                maintained: self.maintained.load(Ordering::Relaxed),
+                recomputed: self.recomputed.load(Ordering::Relaxed),
+                fallback_evictions: self.fallback_evictions.load(Ordering::Relaxed),
+            };
+            if self.epoch() == before {
+                return stats;
+            }
         }
     }
 }
@@ -857,6 +914,61 @@ mod tests {
         let (other, _) =
             DataGuide::from_document(&vh_xml::parse("mem://t", "<data><extra/></data>").unwrap());
         assert_ne!(guide_fingerprint(&g1), guide_fingerprint(&other));
+    }
+
+    #[test]
+    fn stats_waits_for_an_in_flight_maintenance_section() {
+        // Regression: a snapshot taken while a delta route was mid-flight
+        // used to mix pre-batch entry counts with post-batch totals. Open
+        // a writer section, mutate one counter "mid-batch", and prove a
+        // concurrent stats() call holds until the section commits — then
+        // returns both mutations or neither, never a torn mixture.
+        let cache = ExecCache::new(16);
+        let guard = cache.begin_maintenance();
+        cache.maintained.fetch_add(1, Ordering::Relaxed);
+        let done = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| {
+                let stats = cache.stats();
+                done.store(1, Ordering::Release);
+                stats
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert_eq!(
+                done.load(Ordering::Acquire),
+                0,
+                "stats() returned inside an open maintenance section"
+            );
+            cache.recomputed.fetch_add(1, Ordering::Relaxed);
+            drop(guard);
+            let stats = reader.join().unwrap_or_else(|_| unreachable!("reader"));
+            assert_eq!(
+                (stats.maintained, stats.recomputed),
+                (1, 1),
+                "snapshot observed a half-applied batch"
+            );
+        });
+        assert_eq!(cache.epoch() % 2, 0, "section left the epoch odd");
+    }
+
+    #[test]
+    fn maintenance_entry_points_each_close_their_epoch() {
+        let cache = ExecCache::new(16);
+        assert_eq!(cache.epoch(), 0);
+        cache.fallback_invalidate_uri("a.xml");
+        assert_eq!(cache.epoch(), 2, "fallback left the epoch open or nested");
+        let delta = ViewDelta {
+            uri: "a.xml".into(),
+            overflowed: true,
+            ..ViewDelta::default()
+        };
+        let td = TypedDocument::analyze(vh_xml::builder::paper_figure2());
+        cache.route_delta(&delta, &td);
+        assert_eq!(
+            cache.epoch(),
+            4,
+            "overflow route (which falls back internally) must open exactly one section"
+        );
     }
 
     #[test]

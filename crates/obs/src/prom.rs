@@ -32,6 +32,42 @@ impl PromWriter {
         self.family(name, help, "gauge");
     }
 
+    /// Opens a histogram family.
+    pub fn histogram(&mut self, name: &str, help: &str) {
+        self.family(name, help, "histogram");
+    }
+
+    /// Emits one full histogram series: cumulative `_bucket{le=…}`
+    /// samples over `bounds` (plus the implicit `+Inf` bucket), then
+    /// `_sum` and `_count`. `counts` holds per-bucket (non-cumulative)
+    /// observation counts and must be one longer than `bounds` — the
+    /// last slot is the overflow bucket.
+    pub fn histogram_samples(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        counts: &[u64],
+        sum: u64,
+    ) {
+        debug_assert_eq!(counts.len(), bounds.len() + 1, "one overflow bucket");
+        let mut cumulative = 0u64;
+        let bucket = format!("{name}_bucket");
+        for (i, &bound) in bounds.iter().enumerate() {
+            cumulative += counts.get(i).copied().unwrap_or(0);
+            let le = format!("{bound}");
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&bucket, &with_le, cumulative);
+        }
+        cumulative += counts.last().copied().unwrap_or(0);
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket, &with_le, cumulative);
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, cumulative);
+    }
+
     /// Emits one sample, optionally labelled. Label values are escaped
     /// per the exposition format (backslash, quote, newline).
     pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
@@ -84,6 +120,28 @@ mod tests {
                     # TYPE vpbn_cache_hits_total counter\n\
                     vpbn_cache_hits_total{artifact=\"expansions\"} 3\n\
                     vpbn_cache_hits_total{artifact=\"level\\\"s\\n\"} 1\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut w = PromWriter::new();
+        w.histogram("lat_ns", "Latency in nanoseconds.");
+        w.histogram_samples(
+            "lat_ns",
+            &[("stage", "exec")],
+            &[1000.0, 10000.0],
+            &[3, 2, 1],
+            12345,
+        );
+        let got = w.finish();
+        let want = "# HELP lat_ns Latency in nanoseconds.\n\
+                    # TYPE lat_ns histogram\n\
+                    lat_ns_bucket{stage=\"exec\",le=\"1000\"} 3\n\
+                    lat_ns_bucket{stage=\"exec\",le=\"10000\"} 5\n\
+                    lat_ns_bucket{stage=\"exec\",le=\"+Inf\"} 6\n\
+                    lat_ns_sum{stage=\"exec\"} 12345\n\
+                    lat_ns_count{stage=\"exec\"} 6\n";
         assert_eq!(got, want);
     }
 }

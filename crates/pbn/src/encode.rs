@@ -308,6 +308,60 @@ fn decode_component_checked(bytes: &[u8], at: usize) -> Result<(Comp, usize), Pb
     Ok((Comp::new(ord), len))
 }
 
+/// Encodes one standalone 1-based ordinal with the tiered coder — the
+/// public entry point for callers packing *non-PBN* values (the vh-serve
+/// wire address length-prefixes its segments this way, so addresses sort
+/// byte-wise like keys). Zero is not an ordinal and is rejected as
+/// [`PbnCodecError::Reserved`]; everything else is a 1–5 byte encoding
+/// whose `memcmp` order equals numeric order.
+pub fn encode_ordinal_value(v: u32, out: &mut Vec<u8>) -> Result<(), PbnCodecError> {
+    if v == 0 {
+        return Err(PbnCodecError::Reserved { at: 0 });
+    }
+    encode_ordinal(v, out);
+    Ok(())
+}
+
+/// Decodes one standalone 1-based ordinal from the front of `bytes`,
+/// returning `(value, bytes used)`. The inverse of
+/// [`encode_ordinal_value`]: marker and reserved first bytes are
+/// rejected, truncated multi-byte tiers are [`PbnCodecError::Truncated`],
+/// and — unlike the PBN component decoder — a trailing [`GAP_MARK`] is
+/// *not* consumed, so the bytes after the ordinal are the caller's.
+pub fn decode_ordinal_value(bytes: &[u8]) -> Result<(u32, usize), PbnCodecError> {
+    let Some(&b0) = bytes.first() else {
+        return Err(PbnCodecError::Truncated { at: 0 });
+    };
+    if b0 == FRONT_MARK || b0 > 0b1111_0000 {
+        return Err(PbnCodecError::Reserved { at: 0 });
+    }
+    let len = ordinal_len(b0);
+    if bytes.len() < len {
+        return Err(PbnCodecError::Truncated { at: 0 });
+    }
+    let (r, offset) = match len {
+        1 => (u64::from(b0), 0),
+        2 => ((u64::from(b0 & 0b0011_1111) << 8) | u64::from(bytes[1]), T1),
+        3 => (
+            (u64::from(b0 & 0b0001_1111) << 16) | (u64::from(bytes[1]) << 8) | u64::from(bytes[2]),
+            T1 + T2,
+        ),
+        4 => (
+            (u64::from(b0 & 0b0000_1111) << 24)
+                | (u64::from(bytes[1]) << 16)
+                | (u64::from(bytes[2]) << 8)
+                | u64::from(bytes[3]),
+            T1 + T2 + T3,
+        ),
+        _ => (
+            u64::from(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]])),
+            T1 + T2 + T3 + T4,
+        ),
+    };
+    let v = u32::try_from(r + offset).map_err(|_| PbnCodecError::Overflow { at: 0 })?;
+    Ok((v, len))
+}
+
 /// Byte length of an ordinal encoding, from its first byte's leading bits.
 pub(crate) fn ordinal_len(b0: u8) -> usize {
     if b0 & 0b1000_0000 == 0 {
@@ -513,6 +567,55 @@ mod tests {
         // A front marker with an empty fraction.
         let err = EncodedPbn::from_bytes(vec![FRONT_MARK, FRAC_END]).unwrap_err();
         assert_eq!(err, PbnCodecError::Reserved { at: 0 });
+    }
+
+    #[test]
+    fn standalone_ordinal_values_round_trip_in_order() {
+        let values = [1u32, 2, 127, 128, 300_000, (T1 + T2 + T3) as u32, u32::MAX];
+        let mut prev: Option<Vec<u8>> = None;
+        for v in values {
+            let mut out = Vec::new();
+            encode_ordinal_value(v, &mut out).unwrap();
+            let (back, used) = decode_ordinal_value(&out).unwrap();
+            assert_eq!((back, used), (v, out.len()), "value {v}");
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < out.as_slice(), "order broke at {v}");
+            }
+            prev = Some(out);
+        }
+    }
+
+    #[test]
+    fn standalone_ordinal_decoder_leaves_trailing_bytes_alone() {
+        let mut out = Vec::new();
+        encode_ordinal_value(7, &mut out).unwrap();
+        // A GAP_MARK after the ordinal is payload here, not a fraction.
+        out.extend_from_slice(&[GAP_MARK, 0x42]);
+        assert_eq!(decode_ordinal_value(&out).unwrap(), (7, 1));
+    }
+
+    #[test]
+    fn standalone_ordinal_rejects_markers_and_truncation() {
+        assert_eq!(
+            encode_ordinal_value(0, &mut Vec::new()).unwrap_err(),
+            PbnCodecError::Reserved { at: 0 }
+        );
+        assert_eq!(
+            decode_ordinal_value(&[]).unwrap_err(),
+            PbnCodecError::Truncated { at: 0 }
+        );
+        assert_eq!(
+            decode_ordinal_value(&[FRONT_MARK]).unwrap_err(),
+            PbnCodecError::Reserved { at: 0 }
+        );
+        assert_eq!(
+            decode_ordinal_value(&[0xF9]).unwrap_err(),
+            PbnCodecError::Reserved { at: 0 }
+        );
+        assert_eq!(
+            decode_ordinal_value(&[0b1000_0001]).unwrap_err(),
+            PbnCodecError::Truncated { at: 0 }
+        );
     }
 
     #[test]

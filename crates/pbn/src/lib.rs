@@ -41,6 +41,6 @@ pub mod update;
 pub use arena::{ArenaFormatError, PbnArena};
 pub use assign::PbnAssignment;
 pub use axes::{relationship, Relationship};
-pub use encode::{EncodedPbn, PbnCodecError};
+pub use encode::{decode_ordinal_value, encode_ordinal_value, EncodedPbn, PbnCodecError};
 pub use mint::KeyGen;
 pub use number::{Comp, Pbn};

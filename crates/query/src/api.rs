@@ -6,8 +6,11 @@
 //! resolves the historical naming asymmetries in one place —
 //! [`PhysicalDoc::with_document`] / [`PhysicalDoc::with_store`] are the
 //! symmetric constructor pair, [`Engine::run`] with a [`QueryRequest`]
-//! is the one evaluation entry point (the `eval*` methods remain as
-//! wrappers), and [`query_document`] is the single-document convenience.
+//! (built from a typed [`QueryKind`], directly or via
+//! [`QueryRequest::builder`]) is the one evaluation entry point, and
+//! [`query_document`] is the single-document convenience. The pre-v1
+//! `eval*` wrappers compile only under the off-by-default `legacy-api`
+//! cargo feature.
 //!
 //! ```
 //! use vh_query::api::{Engine, QueryRequest};
@@ -23,7 +26,8 @@
 pub use crate::doc::{PhysicalDoc, QueryDoc, VirtualDoc};
 pub use crate::edit::{Edit, EditReceipt, EditRecovery, ReplayFailure};
 pub use crate::engine::{
-    query_document, Engine, EngineSnapshot, Explain, QueryOutcome, QueryRequest,
+    query_document, Engine, EngineSnapshot, Explain, QueryKind, QueryOutcome, QueryRequest,
+    QueryRequestBuilder,
 };
 pub use crate::error::{Limits, QueryError, ResourceKind};
 pub use crate::flwr::ast::FlwrQuery;

@@ -8,8 +8,9 @@
 //! [`ExecCache`] — vDataGuide expansions, Algorithm-1 level maps,
 //! scan-range prefix tables and per-type node indexes are each cached per
 //! `(uri, guide fingerprint, specification)` — so Algorithm 1 runs once
-//! per view, not once per query, and a warm open does no per-node work. The engine is `Sync`: reads (`eval*`)
-//! can run from many threads against one registry.
+//! per view, not once per query, and a warm open does no per-node work.
+//! The engine is `Sync`: reads ([`Engine::run`]) can run from many
+//! threads against one registry.
 //!
 //! # The request API
 //!
@@ -23,7 +24,9 @@
 //! counts. [`Engine::explain`] forces tracing on and wraps the result in
 //! an [`Explain`] with text/JSON renderings; [`Engine::snapshot`] and
 //! [`Engine::metrics_text`] expose the cumulative counters. The legacy
-//! `eval*` methods remain as thin wrappers over `run`.
+//! `eval*` wrappers over `run` compile only under the off-by-default
+//! `legacy-api` cargo feature — v1 of the API is [`QueryRequest`] in,
+//! [`QueryOutcome`] out.
 
 use crate::doc::{PhysicalDoc, QueryDoc, VirtualDoc};
 use crate::edit::{Edit, EditReceipt, EditRecovery, ReplayFailure};
@@ -58,9 +61,13 @@ use vh_xml::{Document, NodeId};
 
 // --------------------------------------------------------- request API ---
 
-/// What a [`QueryRequest`] asks the engine to evaluate.
+/// What a [`QueryRequest`] asks the engine to evaluate — the typed query
+/// classes of the frozen v1 API. One of these (not four optional fields)
+/// is the request's payload, so in-process callers and the `vh-serve`
+/// wire protocol share one request shape: each wire query verb maps onto
+/// exactly one `QueryKind` constructor.
 #[derive(Clone, Debug, PartialEq)]
-enum RequestKind {
+pub enum QueryKind {
     /// FLWR query text, parsed by the engine.
     Flwr(String),
     /// An already-parsed FLWR query (skips the parse stage).
@@ -68,19 +75,24 @@ enum RequestKind {
     /// An XPath over one registered document — physical when `spec` is
     /// `None`, over the virtual view compiled from `spec` otherwise.
     Path {
+        /// The registered document's URI.
         uri: String,
+        /// The vDataGuide transform spec of the virtual view, or `None`
+        /// to navigate the physical document.
         spec: Option<String>,
+        /// The XPath to evaluate.
         path: String,
     },
 }
 
-impl RequestKind {
-    fn label(&self) -> &'static str {
+impl QueryKind {
+    /// The stable label stamped on traces and metrics for this class.
+    pub fn label(&self) -> &'static str {
         match self {
-            RequestKind::Flwr(_) => "flwr",
-            RequestKind::Parsed(_) => "flwr-parsed",
-            RequestKind::Path { spec: None, .. } => "path",
-            RequestKind::Path { spec: Some(_), .. } => "virtual-path",
+            QueryKind::Flwr(_) => "flwr",
+            QueryKind::Parsed(_) => "flwr-parsed",
+            QueryKind::Path { spec: None, .. } => "path",
+            QueryKind::Path { spec: Some(_), .. } => "virtual-path",
         }
     }
 }
@@ -94,14 +106,16 @@ impl RequestKind {
 /// `with_*` builder methods.
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueryRequest {
-    kind: RequestKind,
+    kind: QueryKind,
     limits: Option<Limits>,
     exec: Option<ExecOptions>,
     trace: bool,
 }
 
 impl QueryRequest {
-    fn new(kind: RequestKind) -> Self {
+    /// A request evaluating `kind` with the engine's default limits,
+    /// execution options and tracing off.
+    pub fn new(kind: QueryKind) -> Self {
         QueryRequest {
             kind,
             limits: None,
@@ -110,19 +124,28 @@ impl QueryRequest {
         }
     }
 
+    /// Starts a [`QueryRequestBuilder`] for `kind` — the explicit-struct
+    /// spelling of the `with_*` chain, for callers (like the wire
+    /// protocol's request decoder) that assemble options incrementally.
+    pub fn builder(kind: QueryKind) -> QueryRequestBuilder {
+        QueryRequestBuilder {
+            request: Self::new(kind),
+        }
+    }
+
     /// A FLWR query from source text.
     pub fn flwr(query: impl Into<String>) -> Self {
-        Self::new(RequestKind::Flwr(query.into()))
+        Self::new(QueryKind::Flwr(query.into()))
     }
 
     /// An already-parsed FLWR query (the parse stage is skipped).
     pub fn parsed(query: FlwrQuery) -> Self {
-        Self::new(RequestKind::Parsed(query))
+        Self::new(QueryKind::Parsed(query))
     }
 
     /// An XPath over the physical document registered at `uri`.
     pub fn path(uri: impl Into<String>, path: impl Into<String>) -> Self {
-        Self::new(RequestKind::Path {
+        Self::new(QueryKind::Path {
             uri: uri.into(),
             spec: None,
             path: path.into(),
@@ -135,11 +158,16 @@ impl QueryRequest {
         spec: impl Into<String>,
         path: impl Into<String>,
     ) -> Self {
-        Self::new(RequestKind::Path {
+        Self::new(QueryKind::Path {
             uri: uri.into(),
             spec: Some(spec.into()),
             path: path.into(),
         })
+    }
+
+    /// The typed query class this request evaluates.
+    pub fn kind(&self) -> &QueryKind {
+        &self.kind
     }
 
     /// Overrides the engine's resource limits for this request.
@@ -163,6 +191,41 @@ impl QueryRequest {
     /// Whether this request collects a trace.
     pub fn trace_enabled(&self) -> bool {
         self.trace
+    }
+}
+
+/// Incremental constructor for a [`QueryRequest`], started by
+/// [`QueryRequest::builder`]. Every setter has a `with_*` twin on the
+/// request itself; the builder exists for call sites that thread options
+/// through conditionals before sealing the request with
+/// [`QueryRequestBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct QueryRequestBuilder {
+    request: QueryRequest,
+}
+
+impl QueryRequestBuilder {
+    /// Overrides the engine's resource limits for this request.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.request.limits = Some(limits);
+        self
+    }
+
+    /// Overrides the engine's execution options for this request.
+    pub fn exec(mut self, exec: ExecOptions) -> Self {
+        self.request.exec = Some(exec);
+        self
+    }
+
+    /// Turns span/counter collection on or off (off by default).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.request.trace = trace;
+        self
+    }
+
+    /// Seals the builder into the finished request.
+    pub fn build(self) -> QueryRequest {
+        self.request
     }
 }
 
@@ -845,15 +908,15 @@ impl Engine {
         let parsed_flwr;
         let mut xpath: Option<XPath> = None;
         match &req.kind {
-            RequestKind::Flwr(text) => {
+            QueryKind::Flwr(text) => {
                 parsed_flwr = Some(parse_flwr(text)?);
                 flwr = parsed_flwr.as_ref();
             }
-            RequestKind::Parsed(q) => {
+            QueryKind::Parsed(q) => {
                 trace.meta("cached", "pre-parsed");
                 flwr = Some(q);
             }
-            RequestKind::Path { path, .. } => {
+            QueryKind::Path { path, .. } => {
                 xpath = Some(parse_xpath(path)?);
             }
         }
@@ -864,7 +927,7 @@ impl Engine {
         trace.begin("plan");
         let tplan = Instant::now();
         let origins: Vec<(String, Option<String>)> = match (&req.kind, flwr) {
-            (RequestKind::Path { uri, spec, .. }, _) => vec![(uri.clone(), spec.clone())],
+            (QueryKind::Path { uri, spec, .. }, _) => vec![(uri.clone(), spec.clone())],
             (_, Some(q)) => flwr_origins(q)?,
             // Invariant: non-path kinds always parsed a FLWR query above.
             (_, None) => unreachable!("path requests carry an xpath"),
@@ -1117,20 +1180,36 @@ impl Engine {
     /// One consolidated statistics snapshot: compiled-view cache
     /// counters, storage/buffer counters merged over the attached
     /// stores, and cumulative query counters.
+    ///
+    /// The whole composite is read under a stable cache maintenance
+    /// epoch (the same generation stamp `Stamped` entries carry): if an
+    /// `apply` batch routes its delta while the snapshot is being
+    /// assembled, the read retries, so the returned stats can never mix
+    /// pre-batch cache state with post-batch counters.
     pub fn snapshot(&self) -> EngineSnapshot {
-        let mut storage = StorageStats::default();
-        let mut buffers = BufferStats::default();
-        for store in self.stores.values() {
-            storage.merge(&store.stats());
-            if let Some(b) = store.buffer_stats() {
-                buffers.merge(&b);
+        loop {
+            let epoch = self.cache.epoch();
+            if epoch % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
             }
-        }
-        EngineSnapshot {
-            cache: self.cache.stats(),
-            storage,
-            buffers,
-            queries: self.counters.snapshot(),
+            let mut storage = StorageStats::default();
+            let mut buffers = BufferStats::default();
+            for store in self.stores.values() {
+                storage.merge(&store.stats());
+                if let Some(b) = store.buffer_stats() {
+                    buffers.merge(&b);
+                }
+            }
+            let snap = EngineSnapshot {
+                cache: self.cache.stats(),
+                storage,
+                buffers,
+                queries: self.counters.snapshot(),
+            };
+            if self.cache.epoch() == epoch {
+                return snap;
+            }
         }
     }
 
@@ -1286,7 +1365,9 @@ impl Engine {
     /// Hit/miss/eviction counters of the compiled-view cache.
     ///
     /// Deprecated: prefer [`Engine::snapshot`], which reports these
-    /// alongside storage, buffer and query counters.
+    /// alongside storage, buffer and query counters. Compiled only with
+    /// the off-by-default `legacy-api` feature.
+    #[cfg(feature = "legacy-api")]
     #[doc(hidden)]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -1295,19 +1376,24 @@ impl Engine {
     /// Number of compiled views currently cached (expansion entries).
     ///
     /// Deprecated: prefer [`Engine::snapshot`]
-    /// (`snapshot().cache.expansions.entries`).
+    /// (`snapshot().cache.expansions.entries`). Compiled only with the
+    /// off-by-default `legacy-api` feature.
+    #[cfg(feature = "legacy-api")]
     #[doc(hidden)]
     pub fn cached_views(&self) -> usize {
         self.cache.expansions.len()
     }
 
     // ------------------------------------------------ legacy wrappers ---
+    // The pre-v1 entry points, kept only behind the off-by-default
+    // `legacy-api` cargo feature. New code goes through `Engine::run`.
 
     /// Evaluates a FLWR query, returning the result document (rooted at
     /// `<results>`).
     ///
     /// Deprecated: prefer [`Engine::run`] with [`QueryRequest::flwr`],
     /// which also returns per-query statistics.
+    #[cfg(feature = "legacy-api")]
     pub fn eval(&self, query: &str) -> Result<Document, FlwrError> {
         Ok(self.run(&QueryRequest::flwr(query))?.document)
     }
@@ -1318,6 +1404,7 @@ impl Engine {
     /// variable-free expressions.
     ///
     /// Deprecated: prefer [`Engine::run`] with [`QueryRequest::parsed`].
+    #[cfg(feature = "legacy-api")]
     pub fn eval_parsed(&self, q: &FlwrQuery) -> Result<Document, FlwrError> {
         Ok(self.run(&QueryRequest::parsed(q.clone()))?.document)
     }
@@ -1325,6 +1412,7 @@ impl Engine {
     /// Evaluates an XPath over the physical document registered at `uri`.
     ///
     /// Deprecated: prefer [`Engine::run`] with [`QueryRequest::path`].
+    #[cfg(feature = "legacy-api")]
     pub fn eval_path(&self, uri: &str, path: &str) -> Result<Vec<NodeId>, FlwrError> {
         Ok(self
             .run(&QueryRequest::path(uri, path))?
@@ -1336,6 +1424,7 @@ impl Engine {
     ///
     /// Deprecated: prefer [`Engine::run`] with
     /// [`QueryRequest::virtual_path`].
+    #[cfg(feature = "legacy-api")]
     pub fn eval_virtual_path(
         &self,
         uri: &str,
@@ -1352,6 +1441,7 @@ impl Engine {
     ///
     /// Deprecated: prefer [`Engine::run`] +
     /// [`QueryOutcome::to_string_compact`].
+    #[cfg(feature = "legacy-api")]
     pub fn eval_to_string(&self, query: &str) -> Result<String, FlwrError> {
         Ok(self.run(&QueryRequest::flwr(query))?.to_string_compact())
     }
@@ -1430,7 +1520,7 @@ fn elapsed_ns(t: Instant) -> u64 {
 pub fn query_document(doc: Document, query: &str) -> Result<Document, FlwrError> {
     let mut e = Engine::new();
     e.register(doc);
-    e.eval(query)
+    Ok(e.run(&QueryRequest::flwr(query))?.document)
 }
 
 #[cfg(test)]
@@ -1443,6 +1533,76 @@ mod tests {
         let mut e = Engine::new();
         e.register(paper_figure2());
         e
+    }
+
+    /// `run()`-backed spellings of the retired `eval*` wrappers: the
+    /// tests keep their shorthand while exercising only the v1
+    /// `QueryRequest` surface, so they compile with `legacy-api` on or
+    /// off. (With the feature on, the inherent wrappers shadow these —
+    /// both roads reach `Engine::run`.)
+    #[cfg_attr(feature = "legacy-api", allow(dead_code))]
+    trait RunExt {
+        fn eval(&self, query: &str) -> Result<Document, FlwrError>;
+        fn eval_to_string(&self, query: &str) -> Result<String, FlwrError>;
+        fn eval_path(&self, uri: &str, path: &str) -> Result<Vec<NodeId>, FlwrError>;
+        fn eval_virtual_path(
+            &self,
+            uri: &str,
+            spec: &str,
+            path: &str,
+        ) -> Result<Vec<NodeId>, FlwrError>;
+        fn cached_views(&self) -> usize;
+    }
+
+    #[cfg_attr(feature = "legacy-api", allow(dead_code))]
+    impl RunExt for Engine {
+        fn eval(&self, query: &str) -> Result<Document, FlwrError> {
+            Ok(self.run(&QueryRequest::flwr(query))?.document)
+        }
+        fn eval_to_string(&self, query: &str) -> Result<String, FlwrError> {
+            Ok(self.run(&QueryRequest::flwr(query))?.to_string_compact())
+        }
+        fn eval_path(&self, uri: &str, path: &str) -> Result<Vec<NodeId>, FlwrError> {
+            Ok(self
+                .run(&QueryRequest::path(uri, path))?
+                .nodes
+                .unwrap_or_default())
+        }
+        fn eval_virtual_path(
+            &self,
+            uri: &str,
+            spec: &str,
+            path: &str,
+        ) -> Result<Vec<NodeId>, FlwrError> {
+            Ok(self
+                .run(&QueryRequest::virtual_path(uri, spec, path))?
+                .nodes
+                .unwrap_or_default())
+        }
+        fn cached_views(&self) -> usize {
+            self.snapshot().cache.expansions.entries
+        }
+    }
+
+    #[test]
+    fn builder_and_with_chain_agree() {
+        let req = QueryRequest::builder(QueryKind::Path {
+            uri: "book.xml".into(),
+            spec: Some("title { author { name } }".into()),
+            path: "//title".into(),
+        })
+        .limits(Limits::default())
+        .exec(ExecOptions::default())
+        .trace(true)
+        .build();
+        let chained =
+            QueryRequest::virtual_path("book.xml", "title { author { name } }", "//title")
+                .with_limits(Limits::default())
+                .with_exec(ExecOptions::default())
+                .with_trace(true);
+        assert_eq!(req, chained);
+        assert_eq!(req.kind().label(), "virtual-path");
+        assert!(req.trace_enabled());
     }
 
     const RHONDA: &str = r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
@@ -2128,6 +2288,61 @@ mod tests {
             "vh_cache_maintained_total",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    /// The retired wrappers, exercised only when the `legacy-api`
+    /// feature resurrects them: each must agree with its `Engine::run`
+    /// replacement (the contract the deprecated-wrapper vet lint pins
+    /// structurally).
+    #[cfg(feature = "legacy-api")]
+    mod legacy_api {
+        use super::*;
+
+        #[test]
+        fn wrappers_agree_with_run() {
+            let e = engine();
+            assert_eq!(
+                Engine::eval_to_string(&e, RHONDA).must(),
+                e.run(&QueryRequest::flwr(RHONDA))
+                    .must()
+                    .to_string_compact()
+            );
+            assert_eq!(
+                Engine::eval_path(&e, "book.xml", "//book").must(),
+                e.run(&QueryRequest::path("book.xml", "//book"))
+                    .must()
+                    .nodes
+                    .must()
+            );
+            assert_eq!(
+                Engine::eval_virtual_path(&e, "book.xml", "title { author { name } }", "//title")
+                    .must(),
+                e.run(&QueryRequest::virtual_path(
+                    "book.xml",
+                    "title { author { name } }",
+                    "//title"
+                ))
+                .must()
+                .nodes
+                .must()
+            );
+            let parsed = parse_flwr(RHONDA).must();
+            assert_eq!(
+                vh_xml::serialize(
+                    &Engine::eval_parsed(&e, &parsed).must(),
+                    vh_xml::SerializeOptions::compact()
+                ),
+                Engine::eval_to_string(&e, RHONDA).must()
+            );
+            assert_eq!(
+                Engine::cache_stats(&e).total_hits(),
+                e.snapshot().cache.total_hits()
+            );
+            assert_eq!(
+                Engine::cached_views(&e),
+                e.snapshot().cache.expansions.entries
+            );
         }
     }
 }

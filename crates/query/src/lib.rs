@@ -44,7 +44,9 @@ pub mod twig;
 pub mod xpath;
 
 pub use edit::{Edit, EditReceipt, EditRecovery, ReplayFailure};
-pub use engine::{Engine, EngineSnapshot, Explain, QueryOutcome, QueryRequest};
+pub use engine::{
+    Engine, EngineSnapshot, Explain, QueryKind, QueryOutcome, QueryRequest, QueryRequestBuilder,
+};
 pub use error::{FlwrError, Limits, QueryError, ResourceKind};
 pub use vh_core::cache::MaintenancePolicy;
 pub use xpath::{parse_xpath, XPath};

@@ -1,0 +1,261 @@
+//! Per-tenant admission control: a token bucket prices sustained load,
+//! a concurrency cap bounds instantaneous load.
+//!
+//! Admission is the server's *graceful* overload response — a shed
+//! request costs one bucket probe and one wire error frame
+//! ([`crate::wire::WireStatus::Shed`]), never a dropped connection. It
+//! is distinct from the engine's own [`vh_query::Limits`] guards, which
+//! trip *inside* an admitted query and surface as
+//! [`crate::wire::WireStatus::ResourceExhausted`]: admission protects
+//! the server from too many requests, limits protect it from one
+//! request that is too big.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-tenant admission knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantQuota {
+    /// Token-bucket capacity: the burst a tenant may spend instantly.
+    pub burst: f64,
+    /// Bucket refill rate in tokens per second (sustained budget).
+    pub per_sec: f64,
+    /// Maximum requests in flight at once (all classes combined).
+    pub max_concurrent: usize,
+    /// Tokens one `edit`-class request costs (`query` costs 1,
+    /// `admin` costs 0 — snapshots and metrics are never shed by the
+    /// bucket, only by the concurrency cap).
+    pub edit_cost: f64,
+}
+
+impl Default for TenantQuota {
+    /// Generous defaults: a tenant under the default quota should never
+    /// see a shed on a loopback benchmark — overload shedding is opt-in
+    /// via tighter quotas.
+    fn default() -> Self {
+        TenantQuota {
+            burst: 100_000.0,
+            per_sec: 1_000_000.0,
+            max_concurrent: 1024,
+            edit_cost: 4.0,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// No admission control at all (bucket and cap effectively off).
+    pub fn unlimited() -> Self {
+        TenantQuota {
+            burst: f64::MAX,
+            per_sec: f64::MAX,
+            max_concurrent: usize::MAX,
+            edit_cost: 0.0,
+        }
+    }
+
+    /// The token cost of one request of the given address class.
+    pub fn cost_of(&self, class: &str) -> f64 {
+        match class {
+            "edit" => self.edit_cost,
+            "admin" => 0.0,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The token bucket had fewer tokens than the request's cost.
+    Quota,
+    /// The tenant already has `max_concurrent` requests in flight.
+    Concurrency,
+}
+
+impl ShedReason {
+    /// Stable label used in metrics and shed messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::Quota => "quota",
+            ShedReason::Concurrency => "concurrency",
+        }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// One tenant's admission state.
+pub struct Admission {
+    quota: TenantQuota,
+    bucket: Mutex<Bucket>,
+    in_flight: AtomicUsize,
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Admission")
+            .field("quota", &self.quota)
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Admission {
+    /// A fresh controller with a full bucket.
+    pub fn new(quota: TenantQuota) -> Admission {
+        Admission {
+            quota,
+            bucket: Mutex::new(Bucket {
+                tokens: quota.burst,
+                last_refill: Instant::now(),
+            }),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured quota.
+    pub fn quota(&self) -> &TenantQuota {
+        &self.quota
+    }
+
+    /// Requests currently admitted and not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Tries to admit one request of the given class. On success the
+    /// returned guard holds the concurrency slot until dropped; tokens
+    /// are spent either way (not refunded on failure downstream — a
+    /// failed query still did the work).
+    pub fn try_admit(&self, class: &str) -> Result<AdmitGuard<'_>, ShedReason> {
+        // Concurrency first: a CAS loop bounded by the cap, so two racing
+        // requests cannot both take the last slot.
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.quota.max_concurrent {
+                return Err(ShedReason::Concurrency);
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let guard = AdmitGuard {
+            in_flight: &self.in_flight,
+        };
+        let cost = self.quota.cost_of(class);
+        if cost > 0.0 {
+            let mut bucket = self
+                .bucket
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let now = Instant::now();
+            let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+            bucket.tokens = (bucket.tokens + elapsed * self.quota.per_sec).min(self.quota.burst);
+            bucket.last_refill = now;
+            if bucket.tokens < cost {
+                // Guard drops here, releasing the slot we just took.
+                return Err(ShedReason::Quota);
+            }
+            bucket.tokens -= cost;
+        }
+        Ok(guard)
+    }
+}
+
+/// RAII concurrency slot: dropping it re-opens the slot.
+pub struct AdmitGuard<'a> {
+    in_flight: &'a AtomicUsize,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_quota_admits_a_burst_without_shedding() {
+        let a = Admission::new(TenantQuota::default());
+        for _ in 0..1000 {
+            let g = a.try_admit("query").map_err(|r| r.label());
+            assert!(g.is_ok());
+        }
+        assert_eq!(a.in_flight(), 0, "guards released their slots");
+    }
+
+    #[test]
+    fn an_empty_bucket_sheds_with_the_quota_reason() {
+        let quota = TenantQuota {
+            burst: 2.0,
+            per_sec: 0.0, // never refills: deterministic
+            max_concurrent: 16,
+            edit_cost: 4.0,
+        };
+        let a = Admission::new(quota);
+        assert!(a.try_admit("query").is_ok());
+        assert!(a.try_admit("query").is_ok());
+        assert_eq!(a.try_admit("query").err(), Some(ShedReason::Quota));
+        // Admin requests bypass the bucket but not the slot count.
+        assert!(a.try_admit("admin").is_ok());
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn edits_cost_more_than_queries() {
+        let quota = TenantQuota {
+            burst: 4.0,
+            per_sec: 0.0,
+            max_concurrent: 16,
+            edit_cost: 4.0,
+        };
+        let a = Admission::new(quota);
+        assert!(a.try_admit("edit").is_ok());
+        assert_eq!(a.try_admit("query").err(), Some(ShedReason::Quota));
+    }
+
+    #[test]
+    fn the_concurrency_cap_bounds_live_guards() {
+        let quota = TenantQuota {
+            max_concurrent: 2,
+            ..TenantQuota::default()
+        };
+        let a = Admission::new(quota);
+        let g1 = a.try_admit("query").map_err(|r| r.label());
+        let g2 = a.try_admit("query").map_err(|r| r.label());
+        assert!(g1.is_ok() && g2.is_ok());
+        assert_eq!(a.try_admit("query").err(), Some(ShedReason::Concurrency));
+        drop(g1);
+        assert!(a.try_admit("query").is_ok(), "slot re-opens on drop");
+        drop(g2);
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn a_shed_quota_probe_releases_its_slot() {
+        let quota = TenantQuota {
+            burst: 0.0,
+            per_sec: 0.0,
+            max_concurrent: 1,
+            edit_cost: 1.0,
+        };
+        let a = Admission::new(quota);
+        assert_eq!(a.try_admit("query").err(), Some(ShedReason::Quota));
+        // The failed probe must not leak its concurrency slot.
+        assert_eq!(a.in_flight(), 0);
+        assert!(a.try_admit("admin").is_ok(), "cap slot is free again");
+    }
+}

@@ -1,0 +1,209 @@
+//! A small blocking VHRPC client over one persistent connection.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use vh_query::Edit;
+
+use crate::wire::{
+    frame, parse_header, verify_payload, Address, Request, RequestBody, Response, WireStatus,
+    HEADER_LEN,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed at the socket level.
+    Io(std::io::Error),
+    /// The server answered with a non-`ok` status.
+    Rejected {
+        /// The wire status.
+        status: WireStatus,
+        /// The server's diagnostic message.
+        message: String,
+    },
+    /// The server's bytes did not parse as a protocol response.
+    Protocol(String),
+}
+
+impl ClientError {
+    /// The wire status of a rejection, if that is what this is.
+    pub fn status(&self) -> Option<WireStatus> {
+        match self {
+            ClientError::Rejected { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Rejected { status, message } => {
+                write!(f, "server rejected [{}]: {message}", status.wire_name())
+            }
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One tenant's view of a server, over one persistent connection.
+pub struct Client {
+    stream: TcpStream,
+    tenant: String,
+}
+
+impl Client {
+    /// Connects to `addr` as `tenant`.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: impl Into<String>) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            tenant: tenant.into(),
+        })
+    }
+
+    /// The tenant this client addresses.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    fn call(&mut self, document: &str, body: RequestBody) -> Result<Response, ClientError> {
+        let request = Request {
+            address: Address::new(
+                self.tenant.clone(),
+                document,
+                match body {
+                    RequestBody::Edit { .. } => "edit",
+                    RequestBody::Snapshot | RequestBody::Metrics => "admin",
+                    _ => "query",
+                },
+            ),
+            body,
+        };
+        let payload = request
+            .encode()
+            .map_err(|r| ClientError::Protocol(r.message))?;
+        self.stream.write_all(&frame(&payload))?;
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let (len, crc) = parse_header(&header).map_err(|d| ClientError::Protocol(d.to_string()))?;
+        let mut resp_payload = vec![0u8; len];
+        self.stream.read_exact(&mut resp_payload)?;
+        verify_payload(crc, &resp_payload).map_err(|d| ClientError::Protocol(d.to_string()))?;
+        match Response::decode(&resp_payload).map_err(|r| ClientError::Protocol(r.message))? {
+            Response::Error { status, message } => Err(ClientError::Rejected { status, message }),
+            ok => Ok(ok),
+        }
+    }
+
+    /// XPath over the physical document; returns the node count.
+    pub fn point(&mut self, document: &str, path: &str) -> Result<u64, ClientError> {
+        match self.call(document, RequestBody::Point { path: path.into() })? {
+            Response::Count(n) => Ok(n),
+            other => Err(ClientError::Protocol(format!(
+                "point answered {other:?}, want a count"
+            ))),
+        }
+    }
+
+    /// XPath over a virtual view; returns the node count.
+    pub fn twig(&mut self, document: &str, spec: &str, path: &str) -> Result<u64, ClientError> {
+        match self.call(
+            document,
+            RequestBody::Twig {
+                spec: spec.into(),
+                path: path.into(),
+            },
+        )? {
+            Response::Count(n) => Ok(n),
+            other => Err(ClientError::Protocol(format!(
+                "twig answered {other:?}, want a count"
+            ))),
+        }
+    }
+
+    /// FLWR query; returns the compact-serialized result document.
+    pub fn flwr(&mut self, document: &str, query: &str) -> Result<String, ClientError> {
+        match self.call(
+            document,
+            RequestBody::Flwr {
+                query: query.into(),
+            },
+        )? {
+            Response::Text(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "flwr answered {other:?}, want text"
+            ))),
+        }
+    }
+
+    /// Applies one edit; returns its WAL sequence number.
+    pub fn edit(&mut self, edit: &Edit) -> Result<u64, ClientError> {
+        let document = edit.uri().to_owned();
+        match self.call(
+            &document,
+            RequestBody::Edit {
+                payload: edit.encode(),
+            },
+        )? {
+            Response::Seq(n) => Ok(n),
+            other => Err(ClientError::Protocol(format!(
+                "edit answered {other:?}, want a seq"
+            ))),
+        }
+    }
+
+    /// The tenant engine's composite snapshot as JSON.
+    pub fn snapshot(&mut self, document: &str) -> Result<String, ClientError> {
+        match self.call(document, RequestBody::Snapshot)? {
+            Response::Text(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "snapshot answered {other:?}, want text"
+            ))),
+        }
+    }
+
+    /// The server's live `vh_serve_*` metrics exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call("", RequestBody::Metrics)? {
+            Response::Text(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "metrics answered {other:?}, want text"
+            ))),
+        }
+    }
+}
+
+/// Fetches the metrics exposition over plain HTTP (`GET /metrics`) —
+/// what a stock Prometheus scraper does against the VHRPC port.
+pub fn http_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_owned()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no HTTP header/body separator in response",
+        )),
+    }
+}

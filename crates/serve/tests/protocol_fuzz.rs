@@ -1,0 +1,175 @@
+//! Protocol fuzz suite: random byte mutations of valid VHRPC frames must
+//! produce clean wire errors — never a panic, a hang, or a poisoned
+//! server. Also pins the bounded-read guard: a header declaring a huge
+//! payload is refused before any allocation happens.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use vh_query::Engine;
+use vh_serve::wire::{frame, Address, Request, RequestBody, Response, WireStatus, HEADER_LEN};
+use vh_serve::{Client, Registry, Server, ServerConfig, ServerHandle, TenantQuota};
+
+const DOC: &str = "books.xml";
+const XML: &str = "<data><book><title>X</title><author><name>C</name></author></book>\
+                   <book><title>Y</title><author><name>D</name></author></book></data>";
+
+fn start_server() -> ServerHandle {
+    let mut engine = Engine::new();
+    engine.register_xml(DOC, XML).expect("fixture parses");
+    let mut registry = Registry::new();
+    registry
+        .add_tenant("acme", engine, TenantQuota::default())
+        .expect("tenant registers");
+    let config = ServerConfig {
+        workers: 4,
+        poll_interval: Duration::from_millis(2),
+        stall_timeout: Duration::from_millis(50),
+    };
+    Server::bind("127.0.0.1:0", registry, config)
+        .expect("binds loopback")
+        .start()
+        .expect("starts")
+}
+
+fn valid_request_frame() -> Vec<u8> {
+    let payload = Request {
+        address: Address::new("acme", DOC, "query"),
+        body: RequestBody::Point {
+            path: "//title".into(),
+        },
+    }
+    .encode()
+    .expect("encodes");
+    frame(&payload)
+}
+
+/// Sends raw bytes, reads whatever comes back (bounded). Returns the
+/// decoded response if the server answered with a full frame.
+fn exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Option<Response> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    stream.write_all(bytes).ok()?;
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header).ok()?;
+    let (len, crc) = vh_serve::wire::parse_header(&header).ok()?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    vh_serve::wire::verify_payload(crc, &payload).ok()?;
+    Response::decode(&payload).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-byte mutations anywhere in a valid frame: the server
+    /// answers with a clean status (or legitimately waits for more
+    /// bytes), and is still serviceable for the next well-formed
+    /// request on a fresh connection.
+    #[test]
+    fn mutated_frames_get_clean_errors(pos in 0usize..1000, xor in 1u8..=255) {
+        let handle = start_server();
+        let addr = handle.local_addr();
+        let mut bytes = valid_request_frame();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+
+        // Three legal outcomes: an error response (magic/CRC/decode
+        // defect), silence (the flip raised the declared length and the
+        // server is waiting for bytes that never come — the stall
+        // timeout reclaims the worker), or — only if the flip landed in
+        // the CRC'd payload AND forged a matching checksum, which a
+        // single flip cannot — a success. Panics and hangs are the
+        // failures this property exists to rule out.
+        let _ = exchange(addr, &bytes);
+
+        // Serviceability is the real property: a fresh client still
+        // gets the right answer.
+        let mut client = Client::connect(addr, "acme").map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let n = client.point(DOC, "//title").map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(n, 2);
+        handle.shutdown();
+    }
+
+    /// Arbitrary garbage payloads never panic the request decoder.
+    #[test]
+    fn request_decoder_total_on_garbage(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    /// Arbitrary garbage payloads never panic the response decoder.
+    #[test]
+    fn response_decoder_total_on_garbage(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Truncations of a valid request payload decode to clean errors.
+    #[test]
+    fn truncated_requests_are_rejected_cleanly(cut in 0usize..200) {
+        let payload = Request {
+            address: Address::new("acme", DOC, "query"),
+            body: RequestBody::Twig {
+                spec: "title { author }".into(),
+                path: "//author".into(),
+            },
+        }
+        .encode()
+        .map_err(|e| TestCaseError::fail(e.message))?;
+        let cut = cut % payload.len();
+        if cut < payload.len() {
+            let r = Request::decode(&payload[..cut]);
+            prop_assert!(r.is_err(), "truncation to {} bytes must not decode", cut);
+        }
+    }
+}
+
+#[test]
+fn bounded_read_guard_refuses_oversize_declarations() {
+    let handle = start_server();
+    let addr = handle.local_addr();
+
+    // A header declaring a 4 GiB payload: the server must answer
+    // bad-frame from the header alone — it never tries to read (or
+    // allocate) the declared body.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"VHRPC\x01");
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    match exchange(addr, &bytes) {
+        Some(Response::Error { status, .. }) => assert_eq!(status, WireStatus::BadFrame),
+        other => panic!("oversize declaration answered {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_crc_closes_the_connection_but_not_the_server() {
+    let handle = start_server();
+    let addr = handle.local_addr();
+
+    let mut bytes = valid_request_frame();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01; // payload flip: CRC now mismatches
+    match exchange(addr, &bytes) {
+        Some(Response::Error { status, .. }) => assert_eq!(status, WireStatus::BadFrame),
+        other => panic!("corrupt payload answered {other:?}"),
+    }
+
+    // The server sheds the poisoned connection, not its own health.
+    let mut client = Client::connect(addr, "acme").expect("reconnects");
+    assert_eq!(client.point(DOC, "//title").expect("still serves"), 2);
+    assert!(
+        handle
+            .metrics()
+            .dropped_connections_total
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown();
+}

@@ -22,6 +22,11 @@ pub enum Lint {
     /// A `VhError` variant missing from `code()`/`exit_code()`, or an
     /// exit code missing its README table row.
     ErrorExit,
+    /// A VHRPC wire-table drift: a `Verb`/`WireStatus` variant without
+    /// `code()`/`wire_name()` arms or a README row, a `wire` pub type
+    /// not re-exported from the serve crate root, or a `vh_query`
+    /// import outside the frozen v1 API.
+    ApiSurface,
     /// A Prometheus metric name that is not namespaced snake_case, or a
     /// sample emitted before its family's `# HELP`/`# TYPE` opener.
     PromName,
@@ -43,6 +48,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::SpanVocab,
     Lint::EditExhaustive,
     Lint::ErrorExit,
+    Lint::ApiSurface,
     Lint::PromName,
     Lint::DeprecatedWrapper,
     Lint::OracleTwin,
@@ -59,6 +65,7 @@ impl Lint {
             Lint::SpanVocab => "span-vocab",
             Lint::EditExhaustive => "edit-exhaustive",
             Lint::ErrorExit => "error-exit",
+            Lint::ApiSurface => "api-surface",
             Lint::PromName => "prom-name",
             Lint::DeprecatedWrapper => "deprecated-wrapper",
             Lint::OracleTwin => "oracle-twin",
@@ -81,6 +88,9 @@ impl Lint {
             }
             Lint::ErrorExit => {
                 "every VhError variant has code()/exit_code() arms and a README exit-table row"
+            }
+            Lint::ApiSurface => {
+                "VHRPC wire tables are total, README-documented, re-exported, and vh-serve imports only the frozen v1 vh_query API"
             }
             Lint::PromName => {
                 "Prometheus metric names are vpbn_/vh_-prefixed snake_case with families opened before samples"

@@ -23,12 +23,12 @@ pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
         return; // no facade in this tree — nothing to enforce
     };
     let code = Code::of(file);
-    let variants = enum_variants(&code);
+    let variants = super::enum_variants(&code, ENUM_NAME);
     for (fn_name, label) in [
         ("code", "stable error code"),
         ("exit_code", "CLI exit code"),
     ] {
-        let Some((body_start, body_end)) = fn_body(&code, fn_name) else {
+        let Some((body_start, body_end)) = super::fn_body_in(&code, 0, code.len(), fn_name) else {
             file.report(
                 out,
                 Lint::ErrorExit,
@@ -37,7 +37,7 @@ pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
             );
             continue;
         };
-        let matched = matched_variants(&code, body_start, body_end);
+        let matched = super::matched_variants(&code, body_start, body_end, ENUM_NAME);
         for (variant, line) in &variants {
             if !matched.iter().any(|m| m == variant) {
                 file.report(
@@ -50,7 +50,7 @@ pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
         }
     }
     // Every distinct exit literal needs a README table row.
-    let Some((body_start, body_end)) = fn_body(&code, "exit_code") else {
+    let Some((body_start, body_end)) = super::fn_body_in(&code, 0, code.len(), "exit_code") else {
         return;
     };
     let Some(readme) = &ws.readme else { return };
@@ -76,84 +76,6 @@ pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
             );
         }
     }
-}
-
-/// Variant names (and lines) of `pub enum VhError { … }`.
-fn enum_variants(code: &Code<'_>) -> Vec<(String, u32)> {
-    let mut out = Vec::new();
-    for i in 0..code.len() {
-        if !(code.is_ident(i, "enum")
-            && code.is_ident(i + 1, ENUM_NAME)
-            && code.is_punct(i + 2, '{'))
-        {
-            continue;
-        }
-        let end = code.matching_brace(i + 2);
-        let mut expecting = true;
-        let mut depth = 0usize; // nesting inside variant fields
-        let mut j = i + 3;
-        while j < end {
-            match code.kind(j) {
-                Some(Tok::Punct('#')) if depth == 0 => {
-                    // Skip the `[…]` of an attribute.
-                    let mut k = j + 1;
-                    let mut b = 0usize;
-                    while k < end {
-                        if code.is_punct(k, '[') {
-                            b += 1;
-                        } else if code.is_punct(k, ']') {
-                            b -= 1;
-                            if b == 0 {
-                                break;
-                            }
-                        }
-                        k += 1;
-                    }
-                    j = k;
-                }
-                Some(Tok::Punct('(' | '{' | '[')) => depth += 1,
-                Some(Tok::Punct(')' | '}' | ']')) => depth = depth.saturating_sub(1),
-                Some(Tok::Punct(',')) if depth == 0 => expecting = true,
-                Some(Tok::Ident(name)) if depth == 0 && expecting => {
-                    out.push((name.clone(), code.line(j)));
-                    expecting = false;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        break;
-    }
-    out
-}
-
-/// Code-token range of the body of `fn name`.
-fn fn_body(code: &Code<'_>, name: &str) -> Option<(usize, usize)> {
-    for i in 0..code.len() {
-        if code.is_ident(i, "fn") && code.is_ident(i + 1, name) {
-            let mut j = i + 2;
-            while j < code.len() && !code.is_punct(j, '{') {
-                j += 1;
-            }
-            if j < code.len() {
-                return Some((j + 1, code.matching_brace(j)));
-            }
-        }
-    }
-    None
-}
-
-/// Variant names appearing as `VhError::X` in a token range.
-fn matched_variants(code: &Code<'_>, start: usize, end: usize) -> Vec<String> {
-    let mut out = Vec::new();
-    for i in start..end {
-        if code.is_ident(i, ENUM_NAME) && code.is_punct(i + 1, ':') && code.is_punct(i + 2, ':') {
-            if let Some(Tok::Ident(v)) = code.kind(i + 3) {
-                out.push(v.clone());
-            }
-        }
-    }
-    out
 }
 
 /// First-cell values of markdown table rows: `| 7 | storage | …` → "7".

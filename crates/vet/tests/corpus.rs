@@ -39,6 +39,10 @@ const SEEDED: &[(&str, u32, &str)] = &[
     ("crates/query/src/metrics.rs", 11, "prom-name"),
     ("crates/query/src/metrics.rs", 12, "prom-name"),
     ("crates/query/src/metrics.rs", 13, "prom-name"),
+    ("crates/serve/src/server.rs", 4, "api-surface"),
+    ("crates/serve/src/wire.rs", 10, "api-surface"),
+    ("crates/serve/src/wire.rs", 53, "api-surface"),
+    ("crates/serve/src/wire.rs", 59, "api-surface"),
     ("src/error.rs", 19, "error-exit"),
     ("src/error.rs", 39, "error-exit"),
     ("src/lib.rs", 11, "no-panic"),
@@ -106,6 +110,7 @@ fn json_report_matches_the_text_findings() {
         "span-vocab",
         "edit-exhaustive",
         "error-exit",
+        "api-surface",
         "prom-name",
         "deprecated-wrapper",
         "oracle-twin",
@@ -159,6 +164,7 @@ fn list_names_every_lint() {
         "span-vocab",
         "edit-exhaustive",
         "error-exit",
+        "api-surface",
         "prom-name",
         "deprecated-wrapper",
         "oracle-twin",

@@ -1,0 +1,3 @@
+//! The frozen v1 request API (fixture copy): the blessed names.
+
+pub use crate::engine::{Engine, QueryRequest};

@@ -1,0 +1,3 @@
+//! Serve crate root; the re-export list misses `Address` (seeded).
+
+pub use wire::{Verb, WireStatus};

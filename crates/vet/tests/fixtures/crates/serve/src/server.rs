@@ -1,0 +1,10 @@
+//! Imports an engine internal that the frozen v1 API does not bless
+//! (seeded): `SecretPlanner` is absent from `crates/query/src/api.rs`.
+
+use vh_query::{Engine, SecretPlanner};
+
+/// Holds a tenant engine.
+pub struct Srv {
+    /// The tenant's engine.
+    pub engine: Engine,
+}

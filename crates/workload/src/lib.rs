@@ -16,7 +16,9 @@
 //! through (inversion, regrouping, projection, identity, …) and
 //! [`queries`] the query workloads per scenario. [`readwrite`] drives a
 //! live engine with concurrent readers while a writer streams edit
-//! batches — the scenario behind the cache-maintenance experiments. Both are consumed by the
+//! batches — the scenario behind the cache-maintenance experiments —
+//! and [`serve`] deals the seeded point/twig/edit op streams the query
+//! server's bench replays over the wire. All are consumed by the
 //! benchmark harness (`vh-bench`) and the integration tests.
 //!
 //! All generation is deterministic given a seed.
@@ -25,11 +27,13 @@ pub mod books;
 pub mod queries;
 pub mod readwrite;
 pub mod scenarios;
+pub mod serve;
 pub mod synthetic;
 pub mod xmark;
 
 pub use books::{generate_books, BooksConfig};
 pub use readwrite::{run_readwrite, ReadWriteConfig, ReadWriteReport};
 pub use scenarios::{book_scenarios, xmark_scenarios, Scenario};
+pub use serve::{serve_engine, serve_ops, ServeMixConfig, ServeOp, SERVE_SPEC, SERVE_URI};
 pub use synthetic::generate_comb;
 pub use xmark::{generate_xmark, XmarkConfig};

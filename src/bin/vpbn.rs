@@ -8,6 +8,8 @@
 //! vpbn load <uri> <file.xml>    stats               # storage + engine stats
 //! vpbn --wal <log> load <uri> <file.xml> edit <op>  # apply a logged edit
 //! vpbn --wal <log> load <uri> <file.xml> recover    # replay the edit log
+//! vpbn load <uri> <file.xml> serve <addr> <tenant>  # VHRPC query server
+//! vpbn client <addr> <tenant> <verb> ...            # VHRPC client call
 //! vpbn demo                                         # the paper's Figure 2/6
 //! ```
 //!
@@ -35,9 +37,16 @@
 //! torn or corrupt tails instead of applying them. `--dump` turns the
 //! recover report into one line of JSON on stdout.
 //!
+//! `serve` exposes every loaded document over the VHRPC wire protocol
+//! as one tenant (repeat `--tenant`-less `load` clauses share the
+//! engine); `--quota burst,per_sec,max_concurrent` bounds its admission.
+//! `client` speaks the same protocol back: `point`/`twig`/`flwr` query
+//! verbs, plus `snapshot` and `metrics` admin verbs (see `DESIGN.md`
+//! § "The query server").
+//!
 //! Failures print the full error cause chain to stderr and exit with a
 //! class-specific code: usage=2, I/O=3, XML=4, vDataGuide=5, query=6,
-//! storage=7, resource limits=8, edit rejected=9 (see
+//! storage=7, resource limits=8, edit rejected=9, serve=10 (see
 //! `vpbn_suite::error`).
 
 use std::process::ExitCode;
@@ -46,6 +55,7 @@ use vpbn_suite::query::api::{
     Edit, EditRecovery, Engine, ExecOptions, QueryError, QueryOutcome, QueryRequest,
     VirtualDocument,
 };
+use vpbn_suite::serve::{Client, ClientError, Registry, Server, ServerConfig, TenantQuota};
 use vpbn_suite::xml::{serialize, SerializeOptions};
 use vpbn_suite::VhError;
 
@@ -74,6 +84,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   vpbn [flags] load <uri> <file.xml> [load <uri> <file.xml> ...] <action>
+  vpbn client <addr> <tenant> <verb> [operands...]
   vpbn demo
 
 flags (anywhere before the action):
@@ -86,6 +97,9 @@ flags (anywhere before the action):
   --explain-json               like --explain, as one line of JSON
   --wal <file>                 write-ahead log for edit/recover actions
   --dump                       recover: print the recovery report as JSON
+  --quota <b>,<r>,<c>          serve: admission quota — token-bucket
+                               burst, refill tokens/s, max concurrent
+                               (default: effectively unlimited)
 
 actions:
   query   <flwr-text>          evaluate a FLWR query (doc()/virtualDoc())
@@ -103,10 +117,20 @@ actions:
                                (paths are dotted child indexes, e.g. 1.2.1)
   recover                      replay the --wal log onto the loaded doc,
                                quarantining torn/corrupt tails
+  serve   <addr> <tenant>      serve every loaded document over VHRPC on
+                               <addr> (e.g. 127.0.0.1:7001) as <tenant>;
+                               runs until interrupted
+
+client verbs (vpbn client <addr> <tenant> ...):
+  point    <uri> <path>        count nodes matching a physical XPath
+  twig     <uri> <spec> <path> count nodes through a virtual view
+  flwr     <uri> <flwr-text>   evaluate a FLWR query, print the result
+  snapshot <uri>               the tenant engine's counters as JSON
+  metrics                      the server's Prometheus metrics text
 
 exit codes:
   2 usage   3 I/O   4 XML parse   5 vDataGuide   6 query
-  7 storage   8 resource limit exceeded   9 edit rejected";
+  7 storage   8 resource limit exceeded   9 edit rejected   10 serve";
 
 /// Global flags stripped off the argument list before the positional
 /// commands are interpreted.
@@ -118,6 +142,7 @@ struct Flags {
     explain_json: bool,
     wal: Option<String>,
     dump: bool,
+    quota: Option<TenantQuota>,
 }
 
 fn run(args: &[String]) -> Result<(), VhError> {
@@ -130,6 +155,9 @@ fn run(args: &[String]) -> Result<(), VhError> {
 
     if args.first().map(String::as_str) == Some("demo") {
         return demo();
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        return client(&args[1..]);
     }
 
     while i < args.len() {
@@ -349,10 +377,98 @@ fn run(args: &[String]) -> Result<(), VhError> {
                 }
                 return Ok(());
             }
+            "serve" => {
+                if last_uri.is_none() {
+                    return Err(VhError::usage("serve: load a document first"));
+                }
+                let addr = args
+                    .get(i + 1)
+                    .ok_or_else(|| VhError::usage("serve: missing <addr> (host:port)"))?;
+                let tenant = args
+                    .get(i + 2)
+                    .ok_or_else(|| VhError::usage("serve: missing <tenant>"))?;
+                expect_end(args, i + 3)?;
+                return serve(engine, addr, tenant, flags.quota.unwrap_or_default());
+            }
             other => return Err(VhError::usage(format!("unknown command '{other}'"))),
         }
     }
     Err(VhError::usage("no action given"))
+}
+
+/// Starts a VHRPC server exposing `engine` as the single tenant
+/// `tenant` on `addr`, then blocks until the process is interrupted.
+fn serve(engine: Engine, addr: &str, tenant: &str, quota: TenantQuota) -> Result<(), VhError> {
+    let mut registry = Registry::new();
+    registry
+        .add_tenant(tenant, engine, quota)
+        .map_err(|r| VhError::Serve(ClientError::Protocol(r.message)))?;
+    let server = Server::bind(addr, registry, ServerConfig::default())
+        .map_err(|e| VhError::Serve(ClientError::Io(e)))?;
+    let local = server.local_addr();
+    let _handle = server
+        .start()
+        .map_err(|e| VhError::Serve(ClientError::Io(e)))?;
+    eprintln!(
+        "serving tenant '{tenant}' on {local} \
+         (VHRPC; plain HTTP GET scrapes /metrics); interrupt to stop"
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// One VHRPC client call: `client <addr> <tenant> <verb> [operands...]`.
+fn client(args: &[String]) -> Result<(), VhError> {
+    let addr = args
+        .first()
+        .ok_or_else(|| VhError::usage("client: missing <addr> (host:port)"))?;
+    let tenant = args
+        .get(1)
+        .ok_or_else(|| VhError::usage("client: missing <tenant>"))?;
+    let verb = args
+        .get(2)
+        .ok_or_else(|| VhError::usage("client: missing <verb>"))?;
+    let operand = |off: usize, what: &str| -> Result<&String, VhError> {
+        args.get(2 + off)
+            .ok_or_else(|| VhError::usage(format!("client {verb}: missing <{what}>")))
+    };
+    let mut c = Client::connect(addr.as_str(), tenant.as_str())
+        .map_err(|e| VhError::Serve(ClientError::Io(e)))?;
+    match verb.as_str() {
+        "point" => {
+            let (uri, path) = (operand(1, "uri")?, operand(2, "path")?);
+            expect_end(args, 5)?;
+            println!("{}", c.point(uri, path).map_err(VhError::from)?);
+        }
+        "twig" => {
+            let (uri, spec) = (operand(1, "uri")?, operand(2, "spec")?);
+            let path = operand(3, "path")?;
+            expect_end(args, 6)?;
+            println!("{}", c.twig(uri, spec, path).map_err(VhError::from)?);
+        }
+        "flwr" => {
+            let (uri, q) = (operand(1, "uri")?, operand(2, "flwr-text")?);
+            expect_end(args, 5)?;
+            println!("{}", c.flwr(uri, q).map_err(VhError::from)?);
+        }
+        "snapshot" => {
+            let uri = operand(1, "uri")?;
+            expect_end(args, 4)?;
+            println!("{}", c.snapshot(uri).map_err(VhError::from)?);
+        }
+        "metrics" => {
+            expect_end(args, 3)?;
+            print!("{}", c.metrics().map_err(VhError::from)?);
+        }
+        other => {
+            return Err(VhError::usage(format!(
+                "client: unknown verb '{other}' \
+                 (point|twig|flwr|snapshot|metrics)"
+            )))
+        }
+    }
+    Ok(())
 }
 
 /// Runs one request under the global observability flags: `--explain`
@@ -418,6 +534,24 @@ fn parse_global_flags(args: &[String]) -> Result<(Flags, Vec<String>), VhError> 
                 flags.wal = Some(v.clone());
             }
             "--dump" => flags.dump = true,
+            "--quota" => {
+                let v = it.next().ok_or_else(|| {
+                    VhError::usage("--quota: missing <burst>,<per_sec>,<max_concurrent>")
+                })?;
+                let parts: Vec<&str> = v.split(',').collect();
+                let [burst, per_sec, max_concurrent] = parts.as_slice() else {
+                    return Err(VhError::usage(format!(
+                        "--quota: expected <burst>,<per_sec>,<max_concurrent>, got '{v}'"
+                    )));
+                };
+                let bad = |what: &str| VhError::usage(format!("--quota: bad {what} in '{v}'"));
+                flags.quota = Some(TenantQuota {
+                    burst: burst.parse().map_err(|_| bad("burst"))?,
+                    per_sec: per_sec.parse().map_err(|_| bad("per_sec"))?,
+                    max_concurrent: max_concurrent.parse().map_err(|_| bad("max_concurrent"))?,
+                    ..TenantQuota::default()
+                });
+            }
             "--explain" => flags.explain = true,
             "--explain-json" => {
                 flags.explain = true;
@@ -550,7 +684,7 @@ fn demo() -> Result<(), VhError> {
                return <result><title>{$t/text()}</title>
                               <count>{count($t/author)}</count></result>"#;
     println!("{q}\n");
-    let out = engine.eval(q)?;
+    let out = engine.run(&QueryRequest::flwr(q))?.document;
     println!("{}", serialize(&out, SerializeOptions::pretty(2)));
     Ok(())
 }

@@ -19,6 +19,7 @@
 //! | storage (faults, corruption)  | 7         |
 //! | resource limits exceeded      | 8         |
 //! | edit rejected                 | 9         |
+//! | serve (wire / admission)      | 10        |
 
 use std::error::Error;
 use std::fmt;
@@ -26,6 +27,7 @@ use std::fmt;
 use vh_core::value::ValueError;
 use vh_core::VdgError;
 use vh_query::QueryError;
+use vh_serve::ClientError;
 use vh_storage::StorageError;
 use vh_xml::ParseError;
 
@@ -54,6 +56,9 @@ pub enum VhError {
     Storage(StorageError),
     /// Value stitching failed; usually wraps a [`StorageError`].
     Value(ValueError),
+    /// A VHRPC client call failed: transport, protocol, or a server
+    /// rejection (including admission-control shedding).
+    Serve(ClientError),
 }
 
 impl VhError {
@@ -86,6 +91,7 @@ impl VhError {
                 Some(s) => s.code(),
                 None => "VALUE",
             },
+            VhError::Serve(_) => "SERVE",
         }
     }
 
@@ -107,6 +113,7 @@ impl VhError {
             // A ValueError is a storage-class failure whether or not the
             // boxed inner error is literally a StorageError.
             VhError::Value(_) => 7,
+            VhError::Serve(_) => 10,
         }
     }
 
@@ -141,6 +148,7 @@ impl fmt::Display for VhError {
             VhError::Query(e) => write!(f, "{e}"),
             VhError::Storage(e) => write!(f, "{e}"),
             VhError::Value(e) => write!(f, "{e}"),
+            VhError::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -155,6 +163,7 @@ impl Error for VhError {
             VhError::Query(e) => Some(e),
             VhError::Storage(e) => Some(e),
             VhError::Value(e) => Some(e),
+            VhError::Serve(e) => Some(e),
         }
     }
 }
@@ -194,6 +203,12 @@ impl From<ValueError> for VhError {
     }
 }
 
+impl From<ClientError> for VhError {
+    fn from(e: ClientError) -> Self {
+        VhError::Serve(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +231,11 @@ mod tests {
         .into();
         let storage: VhError = StorageError::Corrupt { page: 3 }.into();
         let edit: VhError = QueryError::Edit(vh_dataguide::EditError::RootTarget).into();
+        let serve: VhError = ClientError::Rejected {
+            status: vh_serve::WireStatus::Shed,
+            message: "quota".into(),
+        }
+        .into();
         let codes = [
             usage.exit_code(),
             io.exit_code(),
@@ -225,9 +245,11 @@ mod tests {
             storage.exit_code(),
             resource.exit_code(),
             edit.exit_code(),
+            serve.exit_code(),
         ];
-        assert_eq!(codes, [2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(codes, [2, 3, 4, 5, 6, 7, 8, 9, 10]);
         assert_eq!(edit.code(), "QUERY_EDIT");
+        assert_eq!(serve.code(), "SERVE");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   EXPLAIN text/JSON/Prometheus exporters ([`vh_obs`]).
 //! * [`workload`] — synthetic corpora and transformation scenarios
 //!   ([`vh_workload`]).
+//! * [`serve`] — the multi-tenant VHRPC query server and its blocking
+//!   client: prefix-routed tenants, admission control, live metrics
+//!   ([`vh_serve`]).
 //!
 //! Failures from every layer converge into [`VhError`], which carries a
 //! stable error code, a process exit code, and the full cause chain (see
@@ -37,6 +40,7 @@ pub use vh_dataguide as dataguide;
 pub use vh_obs as obs;
 pub use vh_pbn as pbn;
 pub use vh_query as query;
+pub use vh_serve as serve;
 pub use vh_storage as storage;
 pub use vh_workload as workload;
 pub use vh_xml as xml;

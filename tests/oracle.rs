@@ -316,7 +316,7 @@ fn mutating_a_document_evicts_stale_view_artifacts() {
 
     // Cold open fills the cache; warm open hits every shard.
     let old_pre = engine.virtual_doc(URI, SPEC).unwrap().preorder();
-    let cold = engine.cache_stats();
+    let cold = engine.snapshot().cache;
     assert_eq!(
         cold.total_misses(),
         4,
@@ -324,13 +324,13 @@ fn mutating_a_document_evicts_stale_view_artifacts() {
     );
     assert_eq!(cold.total_hits(), 0);
     let _ = engine.virtual_doc(URI, SPEC).unwrap();
-    let warm = engine.cache_stats();
+    let warm = engine.snapshot().cache;
     assert_eq!(warm.total_hits(), 4, "warm open hits all four caches");
     assert_eq!(warm.total_misses(), 4);
 
     // Mutate: same URI, new instance. Registration must invalidate.
     engine.register(generate_books(URI, &new_cfg));
-    let after = engine.cache_stats();
+    let after = engine.snapshot().cache;
     assert_eq!(
         after.total_invalidations(),
         4,
@@ -339,7 +339,7 @@ fn mutating_a_document_evicts_stale_view_artifacts() {
 
     // The next open recompiles (miss, not hit) ...
     let new_pre = engine.virtual_doc(URI, SPEC).unwrap().preorder();
-    let refilled = engine.cache_stats();
+    let refilled = engine.snapshot().cache;
     assert_eq!(refilled.total_misses(), 8, "recompiled after invalidation");
     assert_eq!(refilled.total_hits(), 4, "no stale hits served");
     assert_ne!(old_pre, new_pre, "the mutation changed the view");
@@ -360,16 +360,16 @@ fn mutating_a_document_evicts_stale_view_artifacts() {
     // Unrelated URIs are untouched by invalidation.
     engine.register(generate_books("other.xml", &old_cfg));
     let _ = engine.virtual_doc("other.xml", SPEC).unwrap();
-    let with_other = engine.cache_stats();
+    let with_other = engine.snapshot().cache;
     engine.register(generate_books(URI, &new_cfg));
-    let stats = engine.cache_stats();
+    let stats = engine.snapshot().cache;
     assert_eq!(
         stats.total_invalidations(),
         with_other.total_invalidations() + 4,
         "only books.xml entries are evicted"
     );
     let other_pre = engine.virtual_doc("other.xml", SPEC).unwrap().preorder();
-    let hits_after = engine.cache_stats().total_hits();
+    let hits_after = engine.snapshot().cache.total_hits();
     assert_eq!(
         hits_after,
         stats.total_hits() + 4,

@@ -4,7 +4,7 @@
 
 use vpbn_suite::core::{axes, VirtualDocument};
 use vpbn_suite::dataguide::TypedDocument;
-use vpbn_suite::query::Engine;
+use vpbn_suite::query::{Engine, QueryRequest};
 use vpbn_suite::xml::builder::paper_figure2;
 use vpbn_suite::xml::NodeId;
 
@@ -173,12 +173,13 @@ fn figure1_and_3_sams_query() {
     let mut e = Engine::new();
     e.register(paper_figure2());
     let got = e
-        .eval_to_string(
+        .run(&QueryRequest::flwr(
             r#"for $t in doc("book.xml")//book/title
                let $a := $t/../author
                return <title>{$t/text()}{$a}</title>"#,
-        )
-        .unwrap();
+        ))
+        .unwrap()
+        .to_string_compact();
     assert_eq!(
         got,
         "<results>\
@@ -196,12 +197,13 @@ fn figure4_and_6_rhondas_query() {
     e.register(paper_figure2());
     // Figure 6 directly.
     let direct = e
-        .eval_to_string(
+        .run(&QueryRequest::flwr(
             r#"for $t in virtualDoc("book.xml", "title { author { name } }")//title
                return <result><title>{$t/text()}</title>
                               <count>{count($t/author)}</count></result>"#,
-        )
-        .unwrap();
+        ))
+        .unwrap()
+        .to_string_compact();
     assert_eq!(
         direct,
         "<results>\
@@ -211,20 +213,22 @@ fn figure4_and_6_rhondas_query() {
     );
     // Figure 4: nested (Sam materialized, then counted).
     let sam = e
-        .eval(
+        .run(&QueryRequest::flwr(
             r#"for $t in doc("book.xml")//book/title
                let $a := $t/../author
                return <title>{$t/text()}{$a}</title>"#,
-        )
-        .unwrap();
+        ))
+        .unwrap()
+        .document;
     e.register(sam);
     let nested = e
-        .eval_to_string(
+        .run(&QueryRequest::flwr(
             r#"for $t in doc("results")//title
                return <result><title>{$t/text()}</title>
                               <count>{count($t/author)}</count></result>"#,
-        )
-        .unwrap();
+        ))
+        .unwrap()
+        .to_string_compact();
     assert_eq!(nested, direct);
 }
 

@@ -6,7 +6,7 @@
 use vpbn_suite::core::value::virtual_value;
 use vpbn_suite::core::VirtualDocument;
 use vpbn_suite::dataguide::TypedDocument;
-use vpbn_suite::query::Engine;
+use vpbn_suite::query::{Engine, QueryRequest};
 use vpbn_suite::storage::StoredDocument;
 use vpbn_suite::workload::queries::{rhonda_flwr, rhonda_over_materialized, sam_flwr};
 use vpbn_suite::workload::{generate_books, generate_xmark, BooksConfig, XmarkConfig};
@@ -28,16 +28,24 @@ fn nested_and_virtualdoc_formulations_agree_on_books() {
     ));
 
     // Road 1: materialize Sam's output, query it physically.
-    let sam_out = e.eval(&sam_flwr("books.xml")).expect("Sam's query runs");
+    let sam_out = e
+        .run(&QueryRequest::flwr(sam_flwr("books.xml")))
+        .expect("Sam's query runs")
+        .document;
     e.register(sam_out);
     let nested = e
-        .eval(&rhonda_over_materialized("results"))
-        .expect("Rhonda over materialized runs");
+        .run(&QueryRequest::flwr(rhonda_over_materialized("results")))
+        .expect("Rhonda over materialized runs")
+        .document;
 
     // Road 2: virtualDoc.
     let virtual_ = e
-        .eval(&rhonda_flwr("books.xml", "title { author { name } }"))
-        .expect("Rhonda over virtualDoc runs");
+        .run(&QueryRequest::flwr(rhonda_flwr(
+            "books.xml",
+            "title { author { name } }",
+        )))
+        .expect("Rhonda over virtualDoc runs")
+        .document;
 
     assert_eq!(
         serialize(&nested, SerializeOptions::compact()),
@@ -71,8 +79,12 @@ fn rhonda_counts_match_author_fanout() {
     let mut e = Engine::new();
     e.register(doc);
     let out = e
-        .eval(&rhonda_flwr("books.xml", "title { author { name } }"))
-        .unwrap();
+        .run(&QueryRequest::flwr(rhonda_flwr(
+            "books.xml",
+            "title { author { name } }",
+        )))
+        .unwrap()
+        .document;
     let results = out.children(out.root().unwrap()).to_vec();
     assert_eq!(results.len(), truth.len());
     for (&r, &expected) in results.iter().zip(&truth) {
@@ -107,10 +119,20 @@ fn virtual_xpath_equals_materialized_xpath_on_xmark() {
         "//open_auction[count(bidder) >= 2]",
         "//open_auction[initial > 100]/bidder",
     ] {
-        let virt = e.eval_virtual_path("xmark.xml", spec, q).unwrap().len();
-        let mat = e
-            .eval_path(&format!("materialized:{}", "xmark.xml"), q)
+        let virt = e
+            .run(&QueryRequest::virtual_path("xmark.xml", spec, q))
             .unwrap()
+            .nodes
+            .unwrap_or_default()
+            .len();
+        let mat = e
+            .run(&QueryRequest::path(
+                format!("materialized:{}", "xmark.xml"),
+                q,
+            ))
+            .unwrap()
+            .nodes
+            .unwrap_or_default()
             .len();
         assert_eq!(virt, mat, "query {q}");
     }
@@ -157,13 +179,14 @@ fn flwr_over_xmark_person_city_view() {
         },
     ));
     let out = e
-        .eval(
+        .run(&QueryRequest::flwr(
             r#"for $c in virtualDoc("xmark.xml",
                    "city { person { person.name emailaddress } }")//city
                return <row><city>{$c/text()}</city>
                            <n>{count($c/person)}</n></row>"#,
-        )
-        .unwrap();
+        ))
+        .unwrap()
+        .document;
     let rows = out.children(out.root().unwrap()).to_vec();
     assert!(!rows.is_empty());
     // Physically, each city sits inside exactly one person: every row
@@ -197,7 +220,7 @@ fn cross_document_join_through_a_virtual_view() {
     )
     .unwrap();
     let out = e
-        .eval(
+        .run(&QueryRequest::flwr(
             r#"for $t in virtualDoc("books.xml", "title { author { name } }")//title
                for $r in doc("ratings.xml")//r
                where $t/text() = $r/@title
@@ -205,8 +228,9 @@ fn cross_document_join_through_a_virtual_view() {
                return <hit><t>{$t/text()}</t>
                            <stars>{$r/text()}</stars>
                            <authors>{count($t/author)}</authors></hit>"#,
-        )
-        .unwrap();
+        ))
+        .unwrap()
+        .document;
     let rows = out.children(out.root().unwrap()).to_vec();
     assert_eq!(rows.len(), 3);
     // Ordered by rating, descending: 5, 4, 3.
@@ -240,8 +264,11 @@ fn identity_view_is_transparent_on_xmark() {
         "//closed_auction[price >= 100]",
         "//open_auction/bidder[1]/increase",
     ] {
-        let phys = e.eval_path("xmark.xml", q).unwrap();
-        let virt = e.eval_virtual_path("xmark.xml", "site { ** }", q).unwrap();
+        let phys = e.run(&QueryRequest::path("xmark.xml", q)).unwrap().nodes;
+        let virt = e
+            .run(&QueryRequest::virtual_path("xmark.xml", "site { ** }", q))
+            .unwrap()
+            .nodes;
         assert_eq!(phys, virt, "query {q}");
     }
 }

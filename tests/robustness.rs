@@ -8,7 +8,7 @@ use vpbn_suite::dataguide::TypedDocument;
 use vpbn_suite::query::flwr::parse_flwr;
 use vpbn_suite::query::twig::TwigPattern;
 use vpbn_suite::query::xpath::parse_xpath;
-use vpbn_suite::query::Engine;
+use vpbn_suite::query::{Engine, QueryRequest};
 use vpbn_suite::xml::builder::paper_figure2;
 use vpbn_suite::xml::parse;
 
@@ -109,14 +109,20 @@ fn engine_reports_clean_errors() {
     let mut e = Engine::new();
     e.register(paper_figure2());
     // Bad vDataGuide inside virtualDoc: error, not panic.
-    let r = e.eval(r#"for $t in virtualDoc("book.xml", "nosuch {")//t return <x/>"#);
+    let r = e.run(&QueryRequest::flwr(
+        r#"for $t in virtualDoc("book.xml", "nosuch {")//t return <x/>"#,
+    ));
     assert!(r.is_err());
     // Ambiguous label: error mentions candidates.
-    let r = e.eval(r##"for $t in virtualDoc("book.xml", "#text")//t return <x/>"##);
+    let r = e.run(&QueryRequest::flwr(
+        r##"for $t in virtualDoc("book.xml", "#text")//t return <x/>"##,
+    ));
     let msg = format!("{}", r.unwrap_err());
     assert!(msg.contains("ambiguous"), "{msg}");
     // Unknown function.
-    let r = e.eval(r#"for $t in doc("book.xml")//book[frob()] return <x/>"#);
+    let r = e.run(&QueryRequest::flwr(
+        r#"for $t in doc("book.xml")//book[frob()] return <x/>"#,
+    ));
     assert!(r.is_err());
     // Bad XML registration.
     assert!(e.register_xml("bad.xml", "<a><b></a>").is_err());
