@@ -82,9 +82,10 @@ run_bench() {
 }
 
 run_vet() {
-  echo "==> vh-vet (workspace invariants; JSON report in target/vet-findings.json)"
+  echo "==> vh-vet (workspace invariants; reports in target/vet-findings.{json,sarif})"
   cargo build --release -p vh-vet --quiet
-  ./target/release/vh-vet --json target/vet-findings.json
+  ./target/release/vh-vet --json target/vet-findings.json \
+    --sarif target/vet-findings.sarif
 }
 
 # Miri and TSan want the nightly toolchain plus specific components; on

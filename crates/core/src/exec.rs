@@ -240,15 +240,18 @@ fn merge_by<T: Copy>(a: &[T], b: &[T], cmp: &impl Fn(&T, &T) -> Ordering) -> Vec
 /// flip the predictor loses half the time.
 ///
 /// oracle: partition_point_scalar
+// vet: hot
 #[inline]
 pub fn partition_point_branchless<T>(items: &[T], pred: impl Fn(&T) -> bool) -> usize {
     let mut base = 0usize;
     let mut len = items.len();
     while len > 1 {
         let half = len / 2;
+        // vet: allow(hot-path) — base + len ≤ items.len() is the loop invariant, so base + half - 1 is in bounds
         base += usize::from(pred(&items[base + half - 1])) * half;
         len -= half;
     }
+    // vet: allow(hot-path) — the len == 1 guard short-circuits the probe of items[base]
     base + usize::from(len == 1 && pred(&items[base]))
 }
 

@@ -146,6 +146,7 @@ impl PbnArena {
     /// Panics if `slot >= self.len()`.
     #[inline]
     pub fn key_at_slot(&self, slot: usize) -> &[u8] {
+        // vet: allow(hot-path) — offsets has len() + 1 entries and the panic on slot ≥ len() is this fn's documented contract
         &self.bytes[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
     }
 
@@ -224,6 +225,7 @@ impl PbnArena {
     /// probe keys.
     ///
     /// oracle: partition_scalar
+    // vet: hot
     #[inline]
     fn partition_branchless(&self, pred: impl Fn(&[u8]) -> bool) -> usize {
         let mut base = 0usize;

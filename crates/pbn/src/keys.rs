@@ -46,6 +46,7 @@ const WORD: usize = 8;
 #[inline]
 fn load_le(bytes: &[u8], at: usize) -> u64 {
     let mut buf = [0u8; WORD];
+    // vet: allow(hot-path) — every caller checks at + WORD ≤ bytes.len() before loading
     buf.copy_from_slice(&bytes[at..at + WORD]);
     u64::from_le_bytes(buf)
 }
@@ -55,6 +56,7 @@ fn load_le(bytes: &[u8], at: usize) -> u64 {
 /// the first difference.
 ///
 /// oracle: common_prefix_len_scalar
+// vet: hot
 #[inline]
 pub fn common_prefix_len_swar(a: &[u8], b: &[u8]) -> usize {
     let n = a.len().min(b.len());
@@ -69,6 +71,7 @@ pub fn common_prefix_len_swar(a: &[u8], b: &[u8]) -> usize {
     // Tail (< 8 bytes): plain byte loop. A zero-padded word load costs a
     // variable-length copy per side, which loses to straight-line byte
     // compares on the short keys shallow documents mint.
+    // vet: allow(hot-path) — i < n ≤ min(a.len(), b.len()) bounds both probes
     while i < n && a[i] == b[i] {
         i += 1;
     }
@@ -89,6 +92,7 @@ pub fn common_prefix_len_scalar(a: &[u8], b: &[u8]) -> usize {
 /// and long ones drop the per-byte loop.
 ///
 /// oracle: starts_with_scalar
+// vet: hot
 #[inline]
 pub fn starts_with_swar(y: &[u8], p: &[u8]) -> bool {
     if p.len() > y.len() {
@@ -101,6 +105,7 @@ pub fn starts_with_swar(y: &[u8], p: &[u8]) -> bool {
         }
         i += WORD;
     }
+    // vet: allow(hot-path) — p.len() ≤ y.len() was checked at entry and i ≤ p.len()
     p[i..] == y[i..p.len()]
 }
 
@@ -116,6 +121,7 @@ pub fn starts_with_scalar(y: &[u8], p: &[u8]) -> bool {
 /// (`memcmp`-class), so short keys pay exactly what `a.cmp(b)` does.
 ///
 /// oracle: cmp_scalar
+// vet: hot
 #[inline]
 pub fn cmp_swar(a: &[u8], b: &[u8]) -> Ordering {
     let n = a.len().min(b.len());
@@ -124,10 +130,12 @@ pub fn cmp_swar(a: &[u8], b: &[u8]) -> Ordering {
         let x = load_le(a, i) ^ load_le(b, i);
         if x != 0 {
             let k = i + (x.trailing_zeros() as usize >> 3);
+            // vet: allow(hot-path) — k < i + WORD ≤ n ≤ both lengths: the differing byte lies inside the loaded window
             return a[k].cmp(&b[k]);
         }
         i += WORD;
     }
+    // vet: allow(hot-path) — i ≤ n ≤ both lengths, so both range tails are in bounds
     a[i..].cmp(&b[i..])
 }
 
@@ -157,6 +165,7 @@ fn extends_into_gap(p: &[u8], y: &[u8]) -> bool {
 /// with [`GAP_MARK`] right after `p` lies in
 /// `p`'s sibling gap and is excluded. (Front-gap children, continuing
 /// with `0x00`, *are* descendants and remain included.)
+// vet: hot
 #[inline]
 pub fn is_prefix(p: &[u8], y: &[u8]) -> bool {
     starts_with_swar(y, p) && !extends_into_gap(p, y)
@@ -164,6 +173,7 @@ pub fn is_prefix(p: &[u8], y: &[u8]) -> bool {
 
 /// True if `p` encodes a proper ancestor of `y` (strict prefix, same
 /// gap-sibling exclusion as [`is_prefix`]).
+// vet: hot
 #[inline]
 pub fn is_strict_prefix(p: &[u8], y: &[u8]) -> bool {
     y.len() > p.len() && starts_with_swar(y, p) && !extends_into_gap(p, y)
@@ -268,6 +278,7 @@ pub fn before_subtree_end(p: &[u8], y: &[u8]) -> bool {
 /// says so.
 ///
 /// oracle: before_subtree_end_scalar
+// vet: hot
 #[inline]
 pub fn before_subtree_end_swar(p: &[u8], y: &[u8]) -> bool {
     let k = common_prefix_len_swar(p, y);

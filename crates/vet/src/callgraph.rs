@@ -1,0 +1,243 @@
+//! An approximate intra-workspace call graph over the token stream.
+//!
+//! Call sites are recognised syntactically — `name(…)`, `Type::name(…)`
+//! and `.name(…)` — and resolved to [`crate::model::FnDef`]s by name,
+//! with a locality tier: candidates in the same file win over the same
+//! crate, which wins over the whole workspace. Method calls never
+//! resolve past their own crate (receiver types are unknown, and a
+//! workspace-wide name match on `.get(…)` or `.len(…)` would drown the
+//! graph in false edges); free and `Type::`-qualified calls do, since
+//! their names are globally meaningful. `Type::name` prefers an
+//! impl-owner match; an unmatched uppercase qualifier is treated as a
+//! std type and left unresolved. Soundness caveats: DESIGN.md §16.
+
+use crate::model::{FnDef, Model};
+use crate::scan::Tok;
+
+/// Names that look like calls but never resolve to workspace fns:
+/// keywords and ubiquitous enum constructors.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "move", "Some", "Ok", "Err", "None",
+];
+
+/// Primitive type names: lowercase, so the uppercase-qualifier std-type
+/// rule misses them, yet `usize::from(…)` must never resolve to a
+/// workspace `from`.
+const PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "bool", "char", "str",
+];
+
+/// One syntactic call site inside a fn body.
+pub struct CallSite {
+    /// Called name.
+    pub callee: String,
+    /// `Type` of a `Type::name(…)` call.
+    pub qual: Option<String>,
+    /// A `.name(…)` method call.
+    pub method: bool,
+    /// The ident directly left of the dot of a method call, when the
+    /// receiver is that simple (`engine.run(…)` → `engine`).
+    pub recv: Option<String>,
+    /// Code-token position of the callee name.
+    pub pos: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// `name()` with no arguments — how `.read()`/`.write()` lock
+    /// acquisitions are told apart from blocking I/O reads and writes.
+    pub empty_args: bool,
+}
+
+/// Call sites and their resolutions, indexed like `Model::fns`.
+pub struct CallGraph {
+    /// Per fn: the syntactic call sites in body order.
+    pub sites: Vec<Vec<CallSite>>,
+    /// Per fn, per site: resolved candidate fn ids (empty when the name
+    /// is external or filtered).
+    pub resolved: Vec<Vec<Vec<usize>>>,
+}
+
+impl CallGraph {
+    /// Extracts and resolves every call site of the model's fns.
+    pub fn build(model: &Model<'_>) -> CallGraph {
+        let mut sites = Vec::with_capacity(model.fns.len());
+        for (id, f) in model.fns.iter().enumerate() {
+            sites.push(extract_sites(model, id, f));
+        }
+        let resolved = sites
+            .iter()
+            .enumerate()
+            .map(|(id, ss)| {
+                ss.iter()
+                    .map(|s| resolve(model, &model.fns[id], id, s))
+                    .collect()
+            })
+            .collect();
+        CallGraph { sites, resolved }
+    }
+}
+
+/// Scans `f`'s body for call sites, skipping nested fn bodies.
+fn extract_sites(model: &Model<'_>, id: usize, f: &FnDef) -> Vec<CallSite> {
+    let Some((start, end)) = f.body else {
+        return Vec::new();
+    };
+    let code = model.code_of(f);
+    let nested = model.nested_bodies(id);
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if let Some(&(_, ne)) = nested.iter().find(|&&(ns, _)| ns == i) {
+            i = ne + 1;
+            continue;
+        }
+        let Some(Tok::Ident(name)) = code.kind(i) else {
+            i += 1;
+            continue;
+        };
+        if !code.is_punct(i + 1, '(') || NOT_CALLS.contains(&name.as_str()) {
+            i += 1;
+            continue;
+        }
+        // `fn name(` is a definition, not a call.
+        if code.is_ident(i.wrapping_sub(1), "fn") {
+            i += 1;
+            continue;
+        }
+        let method = code.is_punct(i.wrapping_sub(1), '.');
+        let recv = if method {
+            match code.kind(i.wrapping_sub(2)) {
+                Some(Tok::Ident(r)) => Some(r.clone()),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let qual = if !method
+            && code.is_punct(i.wrapping_sub(1), ':')
+            && code.is_punct(i.wrapping_sub(2), ':')
+        {
+            match code.kind(i.wrapping_sub(3)) {
+                Some(Tok::Ident(q)) => Some(q.clone()),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        out.push(CallSite {
+            callee: name.clone(),
+            qual,
+            method,
+            recv,
+            pos: i,
+            line: code.line(i),
+            empty_args: code.is_punct(i + 2, ')'),
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Resolves one call site to candidate fn definitions.
+fn resolve(model: &Model<'_>, caller: &FnDef, caller_id: usize, site: &CallSite) -> Vec<usize> {
+    let all: Vec<usize> = model
+        .named(&site.callee)
+        .iter()
+        .copied()
+        .filter(|&i| !model.fns[i].in_test && model.fns[i].body.is_some())
+        // A method call resolving to its own enclosing fn is almost
+        // always a std-container name collision (`entries.retain(…)`
+        // inside `ShardedLru::retain`), not recursion — drop it.
+        .filter(|&i| !(site.method && i == caller_id))
+        .collect();
+    if all.is_empty() {
+        return all;
+    }
+    if let Some(q) = &site.qual {
+        if q == "Self" {
+            // `Self::name(…)`: the impl's own associated fns — same
+            // file, any owner.
+            return all
+                .iter()
+                .copied()
+                .filter(|&i| model.fns[i].file == caller.file)
+                .collect();
+        }
+        let owned: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| model.fns[i].owner.as_deref() == Some(q))
+            .collect();
+        if !owned.is_empty() {
+            return owned;
+        }
+        if q.starts_with(char::is_uppercase) || PRIMITIVES.contains(&q.as_str()) {
+            // `Vec::new`, `String::from`, `usize::from`, …: a std type,
+            // not a module path into the workspace.
+            return Vec::new();
+        }
+    }
+    if site.method {
+        // Receiver typing: `self.name(…)` stays inside the caller's
+        // own impl, and a receiver named after a workspace type
+        // (`engine.run(…)` when `impl Engine` exists) resolves only to
+        // that type's methods — crossing crates, since the match is by
+        // type rather than locality.
+        match site.recv.as_deref() {
+            Some("self") if caller.owner.is_some() => {
+                return all
+                    .into_iter()
+                    .filter(|&i| model.fns[i].owner == caller.owner)
+                    .collect();
+            }
+            Some(recv) => {
+                if let Some(ty) = receiver_type(model, recv) {
+                    return all
+                        .into_iter()
+                        .filter(|&i| model.fns[i].owner.as_deref() == Some(&ty))
+                        .collect();
+                }
+            }
+            _ => {}
+        }
+    }
+    let all: Vec<usize> = if site.method || site.qual.is_some() {
+        all
+    } else {
+        // A bare `name(…)` call can only reach free fns: associated
+        // fns need a `Self::`/`Type::` path.
+        all.into_iter()
+            .filter(|&i| model.fns[i].owner.is_none())
+            .collect()
+    };
+    let same_file: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| model.fns[i].file == caller.file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let caller_crate = crate::model::crate_of(&model.ws.files[caller.file].rel);
+    let same_crate: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| crate::model::crate_of(&model.ws.files[model.fns[i].file].rel) == caller_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    if site.method {
+        return Vec::new();
+    }
+    all
+}
+
+/// The workspace type a receiver ident names, if capitalising its first
+/// letter lands on a known impl-block owner (`engine` → `Engine`).
+fn receiver_type(model: &Model<'_>, recv: &str) -> Option<String> {
+    let mut chars = recv.chars();
+    let first = chars.next()?;
+    let ty: String = first.to_ascii_uppercase().to_string() + chars.as_str();
+    (ty != recv && model.owners.contains(&ty)).then_some(ty)
+}

@@ -37,8 +37,20 @@ pub enum Lint {
     /// impl — without an `// oracle:` comment naming a twin defined in
     /// the same file.
     OracleTwin,
+    /// Two lock classes acquired in opposite orders somewhere across
+    /// the workspace call graph: a potential deadlock.
+    LockOrder,
+    /// A lock guard live across a blocking operation (socket I/O, WAL
+    /// append, `Engine::run`/`apply`) without a documented allow.
+    HoldAcrossBlocking,
+    /// A `// vet: hot` function whose call-graph closure heap-allocates
+    /// or can panic through indexing.
+    HotPath,
     /// A malformed or unknown `// vet: allow(…)` comment.
     VetAllow,
+    /// A well-formed allow-comment that no longer suppresses anything
+    /// (warning level — the escape hatch must not rot).
+    StaleAllow,
 }
 
 /// Every lint, in reporting order.
@@ -52,7 +64,11 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::PromName,
     Lint::DeprecatedWrapper,
     Lint::OracleTwin,
+    Lint::LockOrder,
+    Lint::HoldAcrossBlocking,
+    Lint::HotPath,
     Lint::VetAllow,
+    Lint::StaleAllow,
 ];
 
 impl Lint {
@@ -69,7 +85,20 @@ impl Lint {
             Lint::PromName => "prom-name",
             Lint::DeprecatedWrapper => "deprecated-wrapper",
             Lint::OracleTwin => "oracle-twin",
+            Lint::LockOrder => "lock-order",
+            Lint::HoldAcrossBlocking => "hold-across-blocking",
+            Lint::HotPath => "hot-path",
             Lint::VetAllow => "vet-allow",
+            Lint::StaleAllow => "stale-allow",
+        }
+    }
+
+    /// SARIF severity level. Everything vh-vet enforces is an error
+    /// except `stale-allow`, which reports rot rather than a violation.
+    pub fn level(self) -> &'static str {
+        match self {
+            Lint::StaleAllow => "warning",
+            _ => "error",
         }
     }
 
@@ -101,7 +130,19 @@ impl Lint {
             Lint::OracleTwin => {
                 "every *_swar/*_branchless kernel and cache maintain impl has an // oracle: comment naming a twin defined in the same file"
             }
+            Lint::LockOrder => {
+                "no two lock classes are acquired in opposite orders anywhere in the call graph"
+            }
+            Lint::HoldAcrossBlocking => {
+                "no lock guard is held across socket I/O, WAL appends, or Engine::run/apply"
+            }
+            Lint::HotPath => {
+                "the call-graph closure of every // vet: hot fn is free of heap allocation and panicking indexing"
+            }
             Lint::VetAllow => "vet: allow comments name a known lint and give a reason",
+            Lint::StaleAllow => {
+                "every vet: allow comment still suppresses a finding (stale allows must be deleted)"
+            }
         }
     }
 

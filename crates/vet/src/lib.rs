@@ -15,9 +15,13 @@
 //! under load.
 //!
 //! Pipeline: [`workspace::Workspace::load`] walks the tree and scans
-//! every file with the hand-rolled lexer in [`scan`]; [`lints::run`]
-//! applies the lint set; findings render as text lines or as the JSON
-//! document CI uploads ([`findings::to_json`]).
+//! every file with the hand-rolled lexer in [`scan`]; [`model`] builds
+//! the workspace semantic model (item index, approximate call graph,
+//! lock-acquisition model) that the cross-function lint families
+//! (`lock-order`, `hold-across-blocking`, `hot-path`) reason over;
+//! [`lints::run`] applies the lint set; findings render as text lines,
+//! as the JSON document CI uploads ([`findings::to_json`]), or as SARIF
+//! for GitHub code scanning ([`sarif::to_sarif`]).
 //!
 //! Escape hatch: a finding is suppressed by a comment on the same line
 //! or the line directly above, of the form
@@ -30,12 +34,17 @@
 //! the live workspace on every `cargo test`, so a stray `unwrap()` or an
 //! uncommented `unsafe` fails the ordinary test gate, not just CI.
 
+pub mod callgraph;
 pub mod findings;
 pub mod lints;
+pub mod locks;
+pub mod model;
+pub mod sarif;
 pub mod scan;
 pub mod workspace;
 
 pub use findings::{to_json, Finding, Lint, ALL_LINTS};
+pub use sarif::to_sarif;
 pub use workspace::{VetError, Workspace};
 
 use std::path::Path;

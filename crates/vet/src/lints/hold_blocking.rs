@@ -1,0 +1,39 @@
+//! `hold-across-blocking` — no lock guard may be live across a
+//! blocking operation (socket read/write, WAL append,
+//! `Engine::run`/`apply`, sleeps, channel ops).
+//!
+//! A tenant engine guard held across socket I/O turns one slow client
+//! into a stall for every request routed to that tenant; the same holds
+//! for the admission guard and the worker registry. Where the hold is
+//! by design (the workload harness serialises a whole scenario, the
+//! server executes under the engine lock by contract), the site carries
+//! a documented `// vet: allow(hold-across-blocking) — <reason>`.
+
+use crate::findings::{Finding, Lint};
+use crate::locks::LockFacts;
+use crate::model::Model;
+
+/// Reports every guard-across-blocking site found by the lock walk.
+pub fn check(model: &Model<'_>, facts: &LockFacts, out: &mut Vec<Finding>) {
+    for h in &facts.holds {
+        let file = &model.ws.files[h.file];
+        let held = h
+            .held
+            .iter()
+            .map(|c| format!("`{c}`"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let guards = if h.held.len() == 1 { "guard" } else { "guards" };
+        file.report(
+            out,
+            Lint::HoldAcrossBlocking,
+            h.line,
+            format!(
+                "{held} {guards} held across blocking `{}` \
+                 (drop the guard first, or document the hold with \
+                 `// vet: allow(hold-across-blocking) — <reason>`)",
+                h.what
+            ),
+        );
+    }
+}

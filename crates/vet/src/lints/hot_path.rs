@@ -1,0 +1,165 @@
+//! `hot-path` — the call-graph closure of every `// vet: hot` fn must
+//! be free of heap allocation and panicking indexing.
+//!
+//! The SWAR key kernels, axis predicates and branchless searches are
+//! the per-key inner loops of every query; an accidental `Vec`
+//! allocation or a panicking `[]` deep in a helper undoes the perf
+//! contract the bench gate protects. Marking the root
+//! `// vet: hot` puts its whole reachable closure (same-crate method
+//! resolution, lib scope) under the purity contract. Loop-bounded
+//! indexing that cannot overrun carries a per-site
+//! `// vet: allow(hot-path) — <bounds argument>`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::findings::{Finding, Lint};
+use crate::model::{Model, HOT_WINDOW};
+use crate::scan::Tok;
+use crate::workspace::FileClass;
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+/// Types whose associated fns allocate.
+const ALLOC_TYPES: &[&str] = &["Vec", "Box", "String"];
+/// Methods that allocate.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "collect"];
+/// Macros that panic (debug_assert* compiles out of release builds and
+/// is exempt).
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Reports impurities in the closure of every hot root, and dangling
+/// `// vet: hot` markers that name no fn.
+pub fn check(model: &Model<'_>, graph: &CallGraph, out: &mut Vec<Finding>) {
+    // Per impure site: the hot roots whose closure reaches it.
+    let mut sites: BTreeMap<(usize, u32, String), BTreeSet<String>> = BTreeMap::new();
+    for (root, rf) in model.fns.iter().enumerate() {
+        if !rf.hot || rf.in_test {
+            continue;
+        }
+        let mut stack = vec![root];
+        let mut seen = BTreeSet::from([root]);
+        while let Some(id) = stack.pop() {
+            scan_body(model, id, &rf.qual_name(), &mut sites);
+            for cands in &graph.resolved[id] {
+                for &c in cands {
+                    if !model.fns[c].in_test && seen.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+    for ((file, line, what), roots) in sites {
+        let file = &model.ws.files[file];
+        let roots = roots.into_iter().collect::<Vec<_>>().join(", ");
+        file.report(
+            out,
+            Lint::HotPath,
+            line,
+            format!("{what} on the hot path of {roots}"),
+        );
+    }
+    // Dangling markers: a `// vet: hot` with no fn in its window.
+    for (fi, file) in model.ws.files.iter().enumerate() {
+        if file.class != FileClass::Lib {
+            continue;
+        }
+        for &h in &file.hots {
+            let named = model
+                .fns
+                .iter()
+                .any(|f| f.file == fi && h <= f.line && f.line <= h + HOT_WINDOW);
+            if !named {
+                file.report(
+                    out,
+                    Lint::HotPath,
+                    h,
+                    "dangling `// vet: hot` marker: no fn within the next 5 lines".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Scans one fn body for allocation, panic and indexing impurities,
+/// charging each to `root`.
+fn scan_body(
+    model: &Model<'_>,
+    id: usize,
+    root: &str,
+    sites: &mut BTreeMap<(usize, u32, String), BTreeSet<String>>,
+) {
+    let f = &model.fns[id];
+    let Some((start, end)) = f.body else {
+        return;
+    };
+    let code = model.code_of(f);
+    let nested = model.nested_bodies(id);
+    let mut record = |line: u32, what: String| {
+        sites
+            .entry((f.file, line, what))
+            .or_default()
+            .insert(format!("`{root}`"));
+    };
+    let mut i = start;
+    while i < end {
+        if let Some(&(_, ne)) = nested.iter().find(|&&(ns, _)| ns == i) {
+            i = ne + 1;
+            continue;
+        }
+        match code.kind(i) {
+            Some(Tok::Ident(s)) if code.is_punct(i + 1, '!') => {
+                if ALLOC_MACROS.contains(&s.as_str()) {
+                    record(code.line(i), format!("allocating `{s}!`"));
+                } else if PANIC_MACROS.contains(&s.as_str()) {
+                    record(code.line(i), format!("panicking `{s}!`"));
+                }
+            }
+            Some(Tok::Ident(s))
+                if ALLOC_TYPES.contains(&s.as_str())
+                    && code.is_punct(i + 1, ':')
+                    && code.is_punct(i + 2, ':') =>
+            {
+                let method = match code.kind(i + 3) {
+                    Some(Tok::Ident(m)) => m.as_str(),
+                    _ => "…",
+                };
+                record(code.line(i), format!("allocating `{s}::{method}`"));
+            }
+            Some(Tok::Ident(s))
+                if code.is_punct(i.wrapping_sub(1), '.') && code.is_punct(i + 1, '(') =>
+            {
+                if ALLOC_METHODS.contains(&s.as_str()) {
+                    record(code.line(i), format!("allocating `.{s}()`"));
+                } else if s == "unwrap" || s == "expect" {
+                    record(code.line(i), format!("panicking `.{s}()`"));
+                }
+            }
+            Some(Tok::Punct('[')) => {
+                // `a[i]`, `a()[i]`, `a[i][j]`: the previous code token
+                // ends an indexable expression. Attributes (`#[…]`) and
+                // literals/slice types do not match.
+                let prev = i.wrapping_sub(1);
+                let keyword = ["mut", "return", "break", "else", "in"]
+                    .iter()
+                    .any(|k| code.is_ident(prev, k));
+                if matches!(code.kind(prev), Some(Tok::Ident(_) | Tok::Punct(']' | ')')))
+                    && !keyword
+                {
+                    record(code.line(i), "panicking `[…]` indexing".to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,92 @@
+//! `lock-order` — no two lock classes may be acquired in opposite
+//! orders anywhere in the call graph.
+//!
+//! The lock model ([`crate::locks`]) emits one edge per
+//! acquired-while-held pair, with call-graph closure folded in. A set
+//! of classes that can each be reached from the other (a cycle in the
+//! edge digraph) is a potential deadlock: two threads entering the
+//! cycle at different points can each hold what the other wants. Every
+//! edge lying on a cycle is reported at its acquisition site, so the
+//! finding lands where the fix (reordering or splitting the critical
+//! section) goes. A self-edge — re-acquiring a class already held — is
+//! reported only when the inner acquisition is a literal lock call, not
+//! when the class merely recurs in a callee's transitive set, which is
+//! usually a same-name resolution artifact (DESIGN.md §16).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::{Finding, Lint};
+use crate::locks::{Edge, LockFacts};
+use crate::model::Model;
+
+/// Reports every acquired-while-held edge that lies on a cycle.
+pub fn check(model: &Model<'_>, facts: &LockFacts, out: &mut Vec<Finding>) {
+    // The class digraph, minus indirect self-edges.
+    let edges: Vec<&Edge> = facts
+        .edges
+        .iter()
+        .filter(|e| e.held != e.acquired || e.direct)
+        .collect();
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        succ.entry(&e.held).or_default().insert(&e.acquired);
+    }
+    for e in edges {
+        let Some(path) = path_between(&succ, &e.acquired, &e.held) else {
+            continue;
+        };
+        let file = &model.ws.files[e.file];
+        let cycle = if e.held == e.acquired {
+            format!("`{}` is re-acquired while already held", e.held)
+        } else {
+            let chain: Vec<String> = std::iter::once(e.held.clone())
+                .chain(path.iter().map(|c| c.to_string()))
+                .collect();
+            format!(
+                "acquired while `{}` is held, closing the cycle {}",
+                e.held,
+                chain.join(" -> ")
+            )
+        };
+        file.report(
+            out,
+            Lint::LockOrder,
+            e.line,
+            format!("lock `{}` {cycle}: potential deadlock", e.acquired),
+        );
+    }
+}
+
+/// BFS path `from -> … -> to` over the class digraph, inclusive of both
+/// endpoints; `Some` even when `from == to` (the trivial path).
+fn path_between<'a>(
+    succ: &BTreeMap<&str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        for &next in succ.get(cur).into_iter().flatten() {
+            if next == from || prev.contains_key(next) {
+                continue;
+            }
+            prev.insert(next, cur);
+            if next == to {
+                let mut path = vec![next];
+                let mut at = next;
+                while at != from {
+                    at = *prev.get(at)?;
+                    path.push(at);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}

@@ -13,13 +13,19 @@ pub mod api;
 pub mod deprecated;
 pub mod edits;
 pub mod errors;
+pub mod hold_blocking;
+pub mod hot_path;
+pub mod lock_order;
 pub mod oracle;
 pub mod panics;
 pub mod prom;
 pub mod safety;
 pub mod spans;
 
+use crate::callgraph::CallGraph;
 use crate::findings::{Finding, Lint};
+use crate::locks::LockFacts;
+use crate::model::Model;
 use crate::scan::Tok;
 use crate::workspace::{SourceFile, Workspace};
 
@@ -44,6 +50,11 @@ impl<'a> Code<'a> {
 
     pub(crate) fn len(&self) -> usize {
         self.idx.len()
+    }
+
+    /// The scanned file this view reads from.
+    pub(crate) fn source(&self) -> &'a SourceFile {
+        self.file
     }
 
     /// The code token at code-position `i`.
@@ -209,6 +220,16 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
     errors::check(ws, &mut out);
     api::check(ws, &mut out);
     deprecated::check(ws, &mut out);
+    // The semantic families share one model, call graph and lock walk.
+    let model = Model::build(ws);
+    let graph = CallGraph::build(&model);
+    let facts = LockFacts::build(&model, &graph);
+    lock_order::check(&model, &facts, &mut out);
+    hold_blocking::check(&model, &facts, &mut out);
+    hot_path::check(&model, &graph, &mut out);
+    // Last: every earlier lint has consulted the allows it needed, so
+    // what is left unused is stale.
+    stale_allows(ws, &mut out);
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
     out
 }
@@ -237,6 +258,28 @@ fn allow_comments(file: &SourceFile, out: &mut Vec<Finding>) {
                           (`// vet: allow(<lint>) — <reason>`)"
                     .to_string(),
             });
+        }
+    }
+}
+
+/// The `stale-allow` lint: a well-formed allow-comment that gated no
+/// finding this run suppresses nothing — the violation it excused was
+/// fixed or moved, and the stale comment would silently excuse the
+/// *next* violation on that line. Warning level, but still exit 1.
+fn stale_allows(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        for a in &file.allows {
+            if a.is_valid() && !a.used.get() {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: a.line,
+                    lint: Lint::StaleAllow,
+                    message: format!(
+                        "stale `vet: allow({})`: no `{}` finding fires here any more — delete the comment",
+                        a.id_text, a.id_text
+                    ),
+                });
+            }
         }
     }
 }

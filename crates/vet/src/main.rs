@@ -1,23 +1,25 @@
 //! `vh-vet` — the workspace invariant checker CLI.
 //!
 //! ```text
-//! vh-vet [--root <dir>] [--json <file>] [--quiet] [--list]
+//! vh-vet [--root <dir>] [--json <file>] [--sarif <file>] [--quiet] [--list]
 //! ```
 //!
 //! Walks the workspace (default: the current directory), runs every lint
 //! and prints one `file:line: [lint] message` line per finding. With
 //! `--json <file>` the findings are additionally written as the JSON
-//! document the CI job uploads as an artifact. Exit codes follow the
-//! suite's classes: 0 clean, 1 findings, 2 usage, 3 I/O.
+//! document the CI job uploads as an artifact; `--sarif <file>` writes
+//! the SARIF 2.1.0 report GitHub code scanning ingests. Exit codes
+//! follow the suite's classes: 0 clean, 1 findings, 2 usage, 3 I/O.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vh_vet::{to_json, vet_workspace, ALL_LINTS};
+use vh_vet::{to_json, to_sarif, vet_workspace, ALL_LINTS};
 
 struct Args {
     root: PathBuf,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     quiet: bool,
     list: bool,
 }
@@ -26,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         json: None,
+        sarif: None,
         quiet: false,
         list: false,
     };
@@ -44,12 +47,18 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--json needs a file path".to_string())?,
                 ));
             }
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--sarif needs a file path".to_string())?,
+                ));
+            }
             "--quiet" | "-q" => args.quiet = true,
             "--list" => args.list = true,
             "--help" | "-h" => {
                 println!(
                     "vh-vet: workspace invariant checker\n\n\
-                     usage: vh-vet [--root <dir>] [--json <file>] [--quiet] [--list]\n\n\
+                     usage: vh-vet [--root <dir>] [--json <file>] [--sarif <file>] [--quiet] [--list]\n\n\
                      Lints (suppress one occurrence with \
                      `// vet: allow(<lint>) — <reason>`):"
                 );
@@ -85,13 +94,20 @@ fn main() -> ExitCode {
             return ExitCode::from(3);
         }
     };
-    if let Some(path) = &args.json {
+    let reports = [
+        (&args.json, to_json as fn(&[vh_vet::Finding]) -> String),
+        (&args.sarif, to_sarif as fn(&[vh_vet::Finding]) -> String),
+    ];
+    for (path, render) in reports {
+        let Some(path) = path else {
+            continue;
+        };
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 let _ = std::fs::create_dir_all(parent);
             }
         }
-        if let Err(e) = std::fs::write(path, to_json(&findings)) {
+        if let Err(e) = std::fs::write(path, render(&findings)) {
             eprintln!("vh-vet: cannot write {}: {e}", path.display());
             return ExitCode::from(3);
         }

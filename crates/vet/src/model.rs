@@ -1,0 +1,288 @@
+//! The workspace semantic model: an item index over every lib-crate
+//! source file.
+//!
+//! vh-vet's original lints are token-local; the lock-order,
+//! hold-across-blocking and hot-path families need to see *across*
+//! function boundaries. This module builds the layer they share: every
+//! `fn` definition in lib scope, with its impl-block owner, body token
+//! range, guard-returning signature, and `// vet: hot` marker. The
+//! [`crate::callgraph`] and [`crate::locks`] modules build on top.
+//!
+//! The model is approximate by design (DESIGN.md §16): it is derived
+//! from the token stream, not a parse tree, so generics, macros and
+//! trait dispatch are resolved by name, not by type.
+
+use std::collections::HashMap;
+
+use crate::lints::Code;
+use crate::scan::Tok;
+use crate::workspace::{FileClass, Workspace};
+
+/// How many lines above a `fn` a `// vet: hot` marker may sit — the
+/// same window the oracle-twin lint uses for its comments.
+pub const HOT_WINDOW: u32 = 5;
+
+/// Guard types std hands back from lock acquisitions. A fn whose return
+/// type names one of these re-exports a lock it takes internally.
+pub const STD_GUARDS: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// One `fn` definition in lib scope.
+pub struct FnDef {
+    /// Index of the defining file in `Workspace::files`.
+    pub file: usize,
+    /// Bare fn name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, when any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-token range of the body: `(open_brace, close_brace)`.
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// A `*Guard` type named in the return type, when any. The fn then
+    /// counts as a lock acquisition at its call sites.
+    pub ret_guard: Option<String>,
+    /// Defined inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Carries a `// vet: hot` marker: a hot-path purity root.
+    pub hot: bool,
+}
+
+impl FnDef {
+    /// `Owner::name` or the bare name, for findings.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The item index plus per-file code views, shared by the semantic
+/// lint families.
+pub struct Model<'w> {
+    /// The loaded workspace.
+    pub ws: &'w Workspace,
+    /// Comment-free code view per file (all classes; only lib files
+    /// are indexed for fns).
+    pub(crate) codes: Vec<Code<'w>>,
+    /// Every lib-scope fn definition.
+    pub fns: Vec<FnDef>,
+    /// Every impl-block self type seen in lib scope.
+    pub owners: std::collections::HashSet<String>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`),
+/// or `"root"` for the top-level `src/` tree.
+pub fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+}
+
+impl<'w> Model<'w> {
+    /// Indexes every lib-scope file of the workspace.
+    pub fn build(ws: &'w Workspace) -> Model<'w> {
+        let mut codes = Vec::with_capacity(ws.files.len());
+        let mut fns = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            let code = Code::of(file);
+            if file.class == FileClass::Lib {
+                index_fns(&code, fi, &mut fns);
+            }
+            codes.push(code);
+        }
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut owners = std::collections::HashSet::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some(o) = &f.owner {
+                owners.insert(o.clone());
+            }
+        }
+        Model {
+            ws,
+            codes,
+            fns,
+            owners,
+            by_name,
+        }
+    }
+
+    /// Fn ids sharing a bare name (callers filter test definitions).
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The code view of the file defining `f`.
+    pub(crate) fn code_of(&self, f: &FnDef) -> &Code<'w> {
+        &self.codes[f.file]
+    }
+
+    /// Body ranges of *other* fns nested inside `outer`'s body. The
+    /// lock and purity walks skip these so an inner helper's
+    /// acquisitions are not charged to the outer fn.
+    pub fn nested_bodies(&self, outer: usize) -> Vec<(usize, usize)> {
+        let of = &self.fns[outer];
+        let Some((start, end)) = of.body else {
+            return Vec::new();
+        };
+        let mut out: Vec<(usize, usize)> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(i, f)| i != outer && f.file == of.file)
+            .filter_map(|(_, f)| f.body)
+            .filter(|&(s, e)| s > start && e < end)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Scans one code view for `impl` blocks and `fn` definitions.
+fn index_fns(code: &Code<'_>, file: usize, out: &mut Vec<FnDef>) {
+    // Impl regions with their self-type, innermost last.
+    let mut impls: Vec<(usize, usize, Option<String>)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code.is_ident(i, "impl") {
+            if let Some((open, owner)) = impl_header(code, i) {
+                impls.push((open, code.matching_brace(open), owner));
+            }
+        }
+        i += 1;
+    }
+    for i in 0..code.len() {
+        if !code.is_ident(i, "fn") {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = code.kind(i + 1) else {
+            continue;
+        };
+        let name = name.clone();
+        let Some(sig_end) = sig_end(code, i + 2) else {
+            continue;
+        };
+        let body = if code.is_punct(sig_end, '{') {
+            Some((sig_end, code.matching_brace(sig_end)))
+        } else {
+            None
+        };
+        let owner = impls
+            .iter()
+            .rev()
+            .find(|&&(open, close, _)| open < i && i < close)
+            .and_then(|(_, _, o)| o.clone());
+        let line = code.line(i);
+        let hot_from = line.saturating_sub(HOT_WINDOW);
+        let hot = code
+            .source()
+            .hots
+            .iter()
+            .any(|&h| hot_from <= h && h <= line);
+        out.push(FnDef {
+            file,
+            name,
+            owner,
+            line,
+            body,
+            ret_guard: ret_guard(code, i, sig_end),
+            in_test: code.suppressed(i),
+            hot,
+        });
+    }
+}
+
+/// Parses an `impl` header starting at `at` (the `impl` keyword):
+/// returns the position of the opening `{` and the self type — the
+/// ident after `for` when present, else the first ident after the
+/// generic parameter list.
+fn impl_header(code: &Code<'_>, at: usize) -> Option<(usize, Option<String>)> {
+    let mut j = at + 1;
+    // Skip `<…>` generics; `->` inside bounds must not close the list.
+    if code.is_punct(j, '<') {
+        let mut depth = 0usize;
+        while j < code.len() {
+            if code.is_punct(j, '-') && code.is_punct(j + 1, '>') {
+                j += 2;
+                continue;
+            }
+            if code.is_punct(j, '<') {
+                depth += 1;
+            } else if code.is_punct(j, '>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    let mut owner_from = j;
+    let mut k = j;
+    loop {
+        if k >= code.len() || code.is_punct(k, ';') {
+            return None;
+        }
+        if code.is_ident(k, "for") {
+            owner_from = k + 1;
+        }
+        if code.is_punct(k, '{') {
+            break;
+        }
+        k += 1;
+    }
+    let owner = (owner_from..k).find_map(|p| match code.kind(p) {
+        Some(Tok::Ident(s)) if s != "dyn" => Some(s.clone()),
+        _ => None,
+    });
+    Some((k, owner))
+}
+
+/// Position of the `{` opening the body, or of the `;` ending a bodyless
+/// declaration, scanning from just past the fn name. Depth-aware over
+/// `(`/`[` so defaults and array types cannot fake the end.
+fn sig_end(code: &Code<'_>, from: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < code.len() {
+        match code.kind(j) {
+            Some(Tok::Punct('(' | '[')) => depth += 1,
+            Some(Tok::Punct(')' | ']')) => depth = depth.saturating_sub(1),
+            Some(Tok::Punct('{')) if depth == 0 => return Some(j),
+            Some(Tok::Punct(';')) if depth == 0 => return Some(j),
+            None => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The first `*Guard` ident in the return type (between `->` and the
+/// signature end), when any.
+fn ret_guard(code: &Code<'_>, fn_at: usize, sig_end: usize) -> Option<String> {
+    let mut j = fn_at;
+    let mut depth = 0usize;
+    let mut arrow = None;
+    while j < sig_end {
+        match code.kind(j) {
+            Some(Tok::Punct('(' | '[')) => depth += 1,
+            Some(Tok::Punct(')' | ']')) => depth = depth.saturating_sub(1),
+            Some(Tok::Punct('-')) if depth == 0 && code.is_punct(j + 1, '>') => {
+                arrow = Some(j + 2);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let from = arrow?;
+    (from..sig_end).find_map(|p| match code.kind(p) {
+        Some(Tok::Ident(s)) if s.ends_with("Guard") => Some(s.clone()),
+        _ => None,
+    })
+}

@@ -449,6 +449,33 @@ mod tests {
     }
 
     #[test]
+    fn comment_markers_inside_raw_strings_do_not_open_comments() {
+        let src = r###"let p = r#"// not a comment /* nor this"#; q.unwrap()"###;
+        let toks = scan(src);
+        assert!(
+            !toks.iter().any(|t| matches!(t.kind, Tok::Comment { .. })),
+            "raw string contents must stay opaque: {toks:?}"
+        );
+        // The code *after* the raw string is still scanned normally.
+        assert!(idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* outer /* inner unwrap() */ still comment */ fn after() {}";
+        let toks = scan(src);
+        let comments = toks
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Comment { .. }))
+            .count();
+        assert_eq!(comments, 1, "one nested comment, not two: {toks:?}");
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"still".to_string()));
+    }
+
+    #[test]
     fn lifetimes_are_not_char_literals() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
         let ids = idents(src);

@@ -2,6 +2,7 @@
 
 use crate::findings::{Finding, Lint};
 use crate::scan::{scan, test_regions, Tok, Token};
+use std::cell::Cell;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -35,6 +36,9 @@ pub struct Allow {
     pub id_text: String,
     /// Whether a non-empty reason follows the dash.
     pub has_reason: bool,
+    /// Set when the allow actually gated a finding this run; a valid
+    /// allow that stays unused is reported as `stale-allow`.
+    pub used: Cell<bool>,
 }
 
 impl Allow {
@@ -55,6 +59,8 @@ pub struct SourceFile {
     pub suppressed: Vec<bool>,
     /// Parsed allow-comments, in line order.
     pub allows: Vec<Allow>,
+    /// Lines carrying a `// vet: hot` marker (hot-path purity roots).
+    pub hots: Vec<u32>,
     /// Scope class.
     pub class: FileClass,
 }
@@ -65,21 +71,35 @@ impl SourceFile {
         let tokens = scan(src);
         let suppressed = test_regions(&tokens);
         let allows = parse_allows(&tokens);
+        let hots = parse_hots(&tokens);
         SourceFile {
             rel: rel.to_string(),
             tokens,
             suppressed,
             allows,
+            hots,
             class: classify(rel),
         }
     }
 
     /// Is a finding of `lint` at `line` suppressed by a valid
     /// allow-comment on the same line or the line directly above?
+    /// Every allow consulted here is marked used, which is what keeps
+    /// it off the `stale-allow` report.
     pub fn allowed(&self, lint: Lint, line: u32) -> bool {
-        self.allows
-            .iter()
-            .any(|a| a.is_valid() && a.lint == Some(lint) && (a.line == line || a.line + 1 == line))
+        let mut hit = false;
+        for a in &self.allows {
+            if a.is_valid() && a.lint == Some(lint) && (a.line == line || a.line + 1 == line) {
+                a.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// True when every token sits in a suppressed (test-only) region.
+    pub fn fully_suppressed(&self) -> bool {
+        self.suppressed.iter().all(|&s| s)
     }
 
     /// Emits `finding` unless an allow-comment covers it.
@@ -152,7 +172,31 @@ fn parse_allows(tokens: &[Token]) -> Vec<Allow> {
             lint: Lint::from_id(&id_text),
             id_text,
             has_reason: !reason.is_empty(),
+            used: Cell::new(false),
         });
+    }
+    out
+}
+
+/// Lines of `// vet: hot` marker comments. The marker names a hot-path
+/// purity root: the next `fn` within a few lines gets the contract.
+fn parse_hots(tokens: &[Token]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for t in tokens {
+        let Tok::Comment { text, .. } = &t.kind else {
+            continue;
+        };
+        let Some(rest) = text.strip_prefix("vet:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let is_marker = match rest.strip_prefix("hot") {
+            Some(tail) => !tail.starts_with(|c: char| c.is_alphanumeric() || c == '-'),
+            None => false,
+        };
+        if is_marker {
+            out.push(t.line);
+        }
     }
     out
 }
@@ -210,6 +254,7 @@ impl Workspace {
             let rel_str = rel.to_string_lossy().replace('\\', "/");
             files.push(SourceFile::from_source(&rel_str, &src));
         }
+        suppress_test_mod_files(&mut files);
         let readme = std::fs::read_to_string(root.join("README.md")).ok();
         Ok(Workspace { files, readme })
     }
@@ -217,6 +262,79 @@ impl Workspace {
     /// The file at a workspace-relative path, if it was walked.
     pub fn file(&self, rel: &str) -> Option<&SourceFile> {
         self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// The directory a file's `mod x;` declarations resolve against.
+fn module_dir(rel: &str) -> String {
+    let (dir, name) = match rel.rsplit_once('/') {
+        Some((d, n)) => (d, n),
+        None => ("", rel),
+    };
+    let stem = name.strip_suffix(".rs").unwrap_or(name);
+    if matches!(stem, "lib" | "main" | "mod") {
+        dir.to_string()
+    } else if dir.is_empty() {
+        stem.to_string()
+    } else {
+        format!("{dir}/{stem}")
+    }
+}
+
+/// `#[cfg(test)] mod helpers;` gates a whole *separate* file behind the
+/// test cfg. `test_regions` suppresses the declaration's own tokens,
+/// but the declared file was scanned independently — mark it (and any
+/// `mod` files it declares in turn) fully suppressed, so test-only code
+/// never leaks into lint input. Iterates to a fixpoint for nested
+/// test-module trees.
+fn suppress_test_mod_files(files: &mut [SourceFile]) {
+    loop {
+        let mut targets: Vec<String> = Vec::new();
+        for f in files.iter() {
+            let all_test = !f.tokens.is_empty() && f.fully_suppressed();
+            let dir = module_dir(&f.rel);
+            let code: Vec<usize> = f
+                .tokens
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.kind, Tok::Comment { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            for w in 0..code.len().saturating_sub(2) {
+                let (i, j, k) = (code[w], code[w + 1], code[w + 2]);
+                if !matches!(&f.tokens[i].kind, Tok::Ident(s) if s == "mod") {
+                    continue;
+                }
+                if !(all_test || f.suppressed[i]) {
+                    continue;
+                }
+                let Tok::Ident(name) = &f.tokens[j].kind else {
+                    continue;
+                };
+                if f.tokens[k].kind != Tok::Punct(';') {
+                    continue;
+                }
+                if dir.is_empty() {
+                    targets.push(format!("{name}.rs"));
+                    targets.push(format!("{name}/mod.rs"));
+                } else {
+                    targets.push(format!("{dir}/{name}.rs"));
+                    targets.push(format!("{dir}/{name}/mod.rs"));
+                }
+            }
+        }
+        let mut changed = false;
+        for f in files.iter_mut() {
+            if targets.iter().any(|t| *t == f.rel) && !f.fully_suppressed() {
+                for s in &mut f.suppressed {
+                    *s = true;
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
     }
 }
 
@@ -287,5 +405,58 @@ w.unwrap();
         assert!(!f.allowed(Lint::NoPanic, 5), "missing reason does not gate");
         assert!(!f.allowed(Lint::NoPanic, 7), "unknown lint does not gate");
         assert!(!f.allowed(Lint::SafetyComment, 2), "other lints unaffected");
+    }
+
+    #[test]
+    fn cfg_test_mod_declarations_suppress_the_declared_file() {
+        let mut files = vec![
+            SourceFile::from_source(
+                "crates/x/src/lib.rs",
+                "#[cfg(test)]\nmod helpers;\nmod real;\npub fn live() {}",
+            ),
+            SourceFile::from_source(
+                "crates/x/src/helpers.rs",
+                "pub fn gone(x: Option<u32>) -> u32 { x.unwrap() }",
+            ),
+            SourceFile::from_source("crates/x/src/real.rs", "pub fn stays() {}"),
+        ];
+        suppress_test_mod_files(&mut files);
+        assert!(
+            files[1].fully_suppressed(),
+            "the cfg(test)-gated mod's file is test code"
+        );
+        assert!(
+            !files[2].fully_suppressed(),
+            "an ungated sibling mod stays live"
+        );
+        assert!(!files[0].fully_suppressed());
+    }
+
+    #[test]
+    fn test_mod_suppression_reaches_nested_declarations() {
+        // helpers is test-gated; whatever helpers declares in turn —
+        // including a `name/mod.rs` directory module — is test code too.
+        let mut files = vec![
+            SourceFile::from_source("crates/x/src/lib.rs", "#[cfg(test)]\nmod helpers;"),
+            SourceFile::from_source("crates/x/src/helpers.rs", "pub mod deeper;"),
+            SourceFile::from_source("crates/x/src/helpers/deeper/mod.rs", "pub fn gone() {}"),
+        ];
+        suppress_test_mod_files(&mut files);
+        assert!(files[1].fully_suppressed(), "first hop");
+        assert!(
+            files[2].fully_suppressed(),
+            "fixpoint reaches the second hop"
+        );
+    }
+
+    #[test]
+    fn plain_mod_declarations_do_not_suppress_anything() {
+        let mut files = vec![
+            SourceFile::from_source("crates/x/src/lib.rs", "mod real;\nmod other;"),
+            SourceFile::from_source("crates/x/src/real.rs", "pub fn stays() {}"),
+            SourceFile::from_source("crates/x/src/other.rs", "pub fn also() {}"),
+        ];
+        suppress_test_mod_files(&mut files);
+        assert!(files.iter().all(|f| !f.fully_suppressed()));
     }
 }

@@ -27,6 +27,11 @@ fn stdout(out: &Output) -> String {
 /// documents what each one is; this list is the contract the test pins.
 const SEEDED: &[(&str, u32, &str)] = &[
     ("crates/demo/src/cache.rs", 16, "oracle-twin"),
+    ("crates/demo/src/hot.rs", 8, "hot-path"),
+    ("crates/demo/src/hot.rs", 16, "hot-path"),
+    ("crates/demo/src/hot.rs", 28, "hot-path"),
+    ("crates/demo/src/hot.rs", 39, "stale-allow"),
+    ("crates/demo/src/hot.rs", 44, "hot-path"),
     ("crates/demo/src/kernels.rs", 6, "oracle-twin"),
     ("crates/demo/src/kernels.rs", 11, "oracle-twin"),
     ("crates/demo/src/lib.rs", 12, "safety-comment"),
@@ -39,6 +44,13 @@ const SEEDED: &[(&str, u32, &str)] = &[
     ("crates/query/src/metrics.rs", 11, "prom-name"),
     ("crates/query/src/metrics.rs", 12, "prom-name"),
     ("crates/query/src/metrics.rs", 13, "prom-name"),
+    ("crates/serve/src/hold.rs", 27, "hold-across-blocking"),
+    ("crates/serve/src/hold.rs", 33, "hold-across-blocking"),
+    ("crates/serve/src/hold.rs", 40, "hold-across-blocking"),
+    ("crates/serve/src/hold.rs", 58, "stale-allow"),
+    ("crates/serve/src/locks.rs", 21, "lock-order"),
+    ("crates/serve/src/locks.rs", 28, "lock-order"),
+    ("crates/serve/src/locks.rs", 36, "lock-order"),
     ("crates/serve/src/server.rs", 4, "api-surface"),
     ("crates/serve/src/wire.rs", 10, "api-surface"),
     ("crates/serve/src/wire.rs", 53, "api-surface"),
@@ -55,6 +67,7 @@ const SEEDED: &[(&str, u32, &str)] = &[
     ("src/lib.rs", 35, "no-panic"),
     ("src/lib.rs", 41, "vet-allow"),
     ("src/lib.rs", 42, "no-panic"),
+    ("src/lib.rs", 55, "stale-allow"),
 ];
 
 #[test]
@@ -114,11 +127,78 @@ fn json_report_matches_the_text_findings() {
         "prom-name",
         "deprecated-wrapper",
         "oracle-twin",
+        "lock-order",
+        "hold-across-blocking",
+        "hot-path",
         "vet-allow",
+        "stale-allow",
     ] {
         let expected = SEEDED.iter().filter(|(_, _, l)| l == &lint).count();
         let got = json.matches(&format!("\"lint\":\"{lint}\"")).count();
         assert_eq!(got, expected, "JSON count for {lint}");
+    }
+}
+
+#[test]
+fn sarif_report_matches_the_text_findings() {
+    let root = fixtures_root();
+    let sarif_path =
+        std::env::temp_dir().join(format!("vh-vet-corpus-{}.sarif", std::process::id()));
+    let out = run_vet(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--sarif",
+        sarif_path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let sarif = std::fs::read_to_string(&sarif_path).expect("SARIF artifact written");
+    let _ = std::fs::remove_file(&sarif_path);
+
+    assert!(
+        sarif.contains("sarif-2.1.0.json") && sarif.contains("\"version\":\"2.1.0\""),
+        "SARIF header:\n{sarif}"
+    );
+    assert!(sarif.contains("\"name\":\"vh-vet\""));
+    // One result per seeded violation, each carrying its rule and line.
+    assert_eq!(
+        sarif.matches("\"ruleId\":").count(),
+        SEEDED.len(),
+        "one SARIF result per seeded violation"
+    );
+    for (file, line, lint) in SEEDED {
+        assert!(
+            sarif.contains(&format!("\"ruleId\":\"{lint}\"")),
+            "SARIF misses rule {lint}"
+        );
+        assert!(
+            sarif.contains(&format!("\"uri\":\"{file}\""))
+                && sarif.contains(&format!("\"startLine\":{line}")),
+            "SARIF misses {file}:{line}"
+        );
+    }
+    // Warnings stay warnings in SARIF: stale-allow results demote.
+    let stale = SEEDED
+        .iter()
+        .filter(|(_, _, l)| *l == "stale-allow")
+        .count();
+    assert_eq!(
+        sarif.matches("\"level\":\"warning\"").count(),
+        stale + 1, // the rule's defaultConfiguration plus each result
+        "stale-allow results carry warning level"
+    );
+}
+
+/// The drift gate: a lint registered in `ALL_LINTS` without a seeded
+/// fixture violation would silently stop being exercised end-to-end.
+#[test]
+fn every_registered_lint_has_a_seeded_fixture_violation() {
+    for lint in vh_vet::ALL_LINTS {
+        let id = lint.id();
+        assert!(
+            SEEDED.iter().any(|(_, _, l)| *l == id),
+            "lint `{id}` has no seeded violation in the fixture corpus"
+        );
     }
 }
 
@@ -168,7 +248,11 @@ fn list_names_every_lint() {
         "prom-name",
         "deprecated-wrapper",
         "oracle-twin",
+        "lock-order",
+        "hold-across-blocking",
+        "hot-path",
         "vet-allow",
+        "stale-allow",
     ] {
         assert!(text.contains(lint), "--list misses {lint}");
     }

@@ -1,0 +1,44 @@
+//! Hot-path fixture: annotated kernels whose closures allocate or index
+//! (seeded), one clean kernel that must stay silent, one dangling
+//! marker, and one stale allow.
+
+/// Seeded: a hot kernel that allocates.
+// vet: hot
+pub fn gather(n: usize) -> usize {
+    let mut out = Vec::new();
+    out.extend([n]);
+    out.len()
+}
+
+/// Seeded: a hot kernel that formats into a fresh String.
+// vet: hot
+pub fn label(n: usize) -> usize {
+    let s = format!("{n}");
+    s.len()
+}
+
+/// Seeded at the helper: the hot head reaches the indexing below.
+// vet: hot
+pub fn head(xs: &[usize]) -> usize {
+    tail(xs)
+}
+
+/// Indexes without a bound in sight.
+fn tail(xs: &[usize]) -> usize {
+    xs[0]
+}
+
+/// Clean: mask math only, stays silent.
+// vet: hot
+pub fn pure_mask(x: u64) -> u64 {
+    (x ^ (x >> 1)) & 0x00ff_00ff_00ff_00ff
+}
+
+/// Seeded `stale-allow`: gates a line that is already pure.
+pub fn settled(x: u64) -> u64 {
+    // vet: allow(hot-path) — fixture: stale, the indexing was rewritten away
+    x.rotate_left(8)
+}
+
+// Seeded: a dangling marker with no fn in the window below it.
+// vet: hot

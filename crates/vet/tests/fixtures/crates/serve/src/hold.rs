@@ -1,0 +1,61 @@
+//! Hold-across-blocking fixture: guards living across socket writes and
+//! WAL appends, directly and through a helper (seeded), plus one
+//! documented hold that must stay silent and one stale allow.
+
+use std::sync::Mutex;
+
+/// Minimal WAL stand-in.
+pub struct Wal;
+
+impl Wal {
+    /// Appends one record (blocking: an fsync'd WAL write).
+    pub fn append(&self, _rec: &[u8]) {}
+}
+
+/// A relay holding connection state and a write-ahead log.
+pub struct Relay {
+    /// Connection state.
+    pub state: Mutex<u32>,
+    /// Write-ahead log.
+    pub wal: Wal,
+}
+
+impl Relay {
+    /// Seeded: the state guard lives across the socket write.
+    pub fn emit(&self, out: &mut std::net::TcpStream) {
+        let g = self.state.lock();
+        out.write_all(b"frame");
+    }
+
+    /// Seeded: the state guard lives across the WAL append.
+    pub fn persist(&self) {
+        let g = self.state.lock();
+        self.wal.append(b"rec");
+    }
+
+    /// Seeded: the blocking write hides one call deep — the finding
+    /// lands on the `forward` call while the guard is live.
+    pub fn flush_all(&self, out: &mut std::net::TcpStream) {
+        let g = self.state.lock();
+        self.forward(out);
+    }
+
+    /// Writes the buffered frames out (blocking, transitively).
+    fn forward(&self, out: &mut std::net::TcpStream) {
+        out.write_all(b"tail");
+    }
+
+    /// A documented hold: the allow gates the append, zero findings.
+    pub fn checkpoint(&self) {
+        let g = self.state.lock();
+        // vet: allow(hold-across-blocking) — fixture: the checkpoint must serialise its own append
+        self.wal.append(b"ckpt");
+    }
+
+    /// Seeded `stale-allow`: the allow gates a line where nothing
+    /// blocks any more.
+    pub fn tally(&self) -> u32 {
+        // vet: allow(hold-across-blocking) — fixture: stale, the blocking call moved away
+        7
+    }
+}

@@ -1,0 +1,39 @@
+//! Lock-ordering fixture: three registry locks acquired pairwise so the
+//! third fn inverts the order and closes a cycle (seeded — one
+//! `lock-order` finding per edge of the cycle).
+
+use std::sync::Mutex;
+
+/// Shared server state guarded by three locks.
+pub struct Gate {
+    /// Tenant registry.
+    pub registry: Mutex<u32>,
+    /// Admission counters.
+    pub admission: Mutex<u32>,
+    /// Metrics ranges.
+    pub ranges: Mutex<u32>,
+}
+
+impl Gate {
+    /// Acquires registry, then admission while holding it.
+    pub fn admit(&self) -> u32 {
+        let r = self.registry.lock();
+        let a = self.admission.lock();
+        0
+    }
+
+    /// Acquires admission, then ranges while holding it.
+    pub fn observe(&self) -> u32 {
+        let a = self.admission.lock();
+        let m = self.ranges.lock();
+        0
+    }
+
+    /// Inverts the order: ranges before registry, closing the
+    /// registry → admission → ranges → registry cycle.
+    pub fn report(&self) -> u32 {
+        let m = self.ranges.lock();
+        let r = self.registry.lock();
+        0
+    }
+}

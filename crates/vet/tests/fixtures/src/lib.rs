@@ -49,3 +49,9 @@ mod tests {
         Some(1u32).unwrap();
     }
 }
+
+/// Seeded `stale-allow`: the unwrap this once gated is long gone.
+pub fn healed(x: Option<u32>) -> u32 {
+    // vet: allow(no-panic) — fixture: stale, the unwrap was removed
+    x.map_or(0, |v| v + 1)
+}

@@ -141,6 +141,7 @@ pub fn run_readwrite(cfg: &ReadWriteConfig) -> ReadWriteReport {
                     let path = READWRITE_PATHS[i % READWRITE_PATHS.len()];
                     i += 1;
                     let engine = shared.lock().unwrap_or_else(PoisonError::into_inner);
+                    // vet: allow(hold-across-blocking) — the scenario measures reader/writer interleaving on one shared engine; the lock spanning run() is the workload
                     if let Ok(out) = engine.run(&QueryRequest::virtual_path(
                         READWRITE_URI,
                         READWRITE_SPEC,
@@ -163,6 +164,7 @@ pub fn run_readwrite(cfg: &ReadWriteConfig) -> ReadWriteReport {
                 })
                 .collect();
             let mut engine = shared.lock().unwrap_or_else(PoisonError::into_inner);
+            // vet: allow(hold-across-blocking) — the writer batch holds the engine for the whole burst by design: the scenario exists to stress exactly this contention
             let _ = engine.apply_all(edits);
         }
         done.store(true, Ordering::Release);
